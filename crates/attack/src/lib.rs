@@ -1,0 +1,207 @@
+//! # geattack-attack
+//!
+//! Targeted structure attacks on GCN node classification — the baselines the paper
+//! compares GEAttack against (Section 5.1 / Appendix A.4):
+//!
+//! * [`rna`] — Random attack toward nodes of the target label;
+//! * [`fga`] — fast-gradient attack (FGA) and its targeted variant FGA-T;
+//! * [`nettack`] — Nettack with the linearized surrogate and the
+//!   degree-distribution unnoticeability test;
+//! * [`ig`] — IG-Attack based on integrated gradients;
+//! * [`fga_te`] — FGA-T&E, which avoids nodes already present in the clean-graph
+//!   explanation.
+//!
+//! All attacks are **direct, addition-only, evasion** attacks: the model is frozen,
+//! only edges incident to the target node are inserted, and the budget `Δ` equals
+//! the target's degree (configurable). Every attack returns a
+//! [`geattack_graph::Perturbation`] so the evaluation pipeline can later ask which
+//! edges were adversarial.
+
+use geattack_gnn::Gcn;
+use geattack_graph::{Graph, Perturbation};
+use geattack_tensor::{grad::grad_values, nn, Matrix, Tape};
+
+pub mod fga;
+pub mod fga_te;
+pub mod ig;
+pub mod nettack;
+pub mod rna;
+
+pub use fga::{Fga, FgaT};
+pub use fga_te::{FgaTE, FgaTEConfig};
+pub use ig::{IgAttack, IgConfig};
+pub use nettack::{Nettack, NettackConfig};
+pub use rna::RandomAttack;
+
+/// Everything a targeted structure attack needs to know.
+#[derive(Clone, Copy, Debug)]
+pub struct AttackContext<'a> {
+    /// The (frozen) victim model.
+    pub model: &'a Gcn,
+    /// The clean graph.
+    pub graph: &'a Graph,
+    /// The victim node.
+    pub target: usize,
+    /// The specific incorrect label the attacker wants the model to predict.
+    pub target_label: usize,
+    /// Maximum number of edge insertions `Δ`.
+    pub budget: usize,
+}
+
+impl<'a> AttackContext<'a> {
+    /// Creates a context with the paper's default budget `Δ = degree(target)`
+    /// (at least 1).
+    pub fn with_degree_budget(model: &'a Gcn, graph: &'a Graph, target: usize, target_label: usize) -> Self {
+        let budget = graph.degree(target).max(1);
+        Self { model, graph, target, target_label, budget }
+    }
+}
+
+/// A targeted structure attack: produce a set of edge insertions that should make
+/// the model predict `target_label` for `target`.
+pub trait TargetedAttack {
+    /// Runs the attack and returns the chosen perturbation (at most `budget` edges).
+    fn attack(&self, ctx: &AttackContext<'_>) -> Perturbation;
+
+    /// Name used in result tables.
+    fn name(&self) -> &'static str;
+}
+
+/// Candidate endpoints for a direct attack on `target`: every node that is not the
+/// target itself, not already a neighbor, and not excluded.
+pub fn candidate_endpoints(graph: &Graph, target: usize, exclude: &[usize]) -> Vec<usize> {
+    (0..graph.num_nodes())
+        .filter(|&v| v != target && !graph.has_edge(target, v) && !exclude.contains(&v))
+        .collect()
+}
+
+/// Gradient of the targeted attack loss
+/// `L_GNN = -log f(A, X)^{ŷ}_{target}` (Eq. 4) with respect to the raw adjacency
+/// matrix, evaluated at `graph`.
+///
+/// Because the loss is to be **minimized** by edge insertions, candidates with the
+/// most negative gradient entries are the most attractive.
+pub fn targeted_loss_gradient(model: &Gcn, graph: &Graph, target: usize, target_label: usize) -> Matrix {
+    let tape = Tape::new();
+    let a = tape.input(graph.adjacency().clone());
+    let x = tape.constant(graph.features().clone());
+    let params = model.insert_params_frozen(&tape);
+    let log_probs = model.log_probs_from_raw_adj(&tape, a, x, &params);
+    let loss = nn::node_class_nll(&tape, log_probs, target, target_label, model.num_classes());
+    grad_values(&tape, loss, &[a]).remove(0)
+}
+
+/// Gradient of the *untargeted* attack loss `+log f(A, X)^{y_true}_{target}`
+/// (maximizing the cross-entropy of the true label) with respect to the raw
+/// adjacency matrix. Candidates with the most negative entries are most attractive.
+pub fn untargeted_loss_gradient(model: &Gcn, graph: &Graph, target: usize) -> Matrix {
+    let true_label = graph.label(target);
+    let tape = Tape::new();
+    let a = tape.input(graph.adjacency().clone());
+    let x = tape.constant(graph.features().clone());
+    let params = model.insert_params_frozen(&tape);
+    let log_probs = model.log_probs_from_raw_adj(&tape, a, x, &params);
+    // +log p(y_true): decreasing this is what the attacker wants.
+    let nll = nn::node_class_nll(&tape, log_probs, target, true_label, model.num_classes());
+    let loss = tape.mul_scalar(nll, -1.0);
+    grad_values(&tape, loss, &[a]).remove(0)
+}
+
+/// Combined (symmetrized) gradient score of inserting the undirected edge
+/// `(target, v)`: the sum of the two directed entries.
+pub fn undirected_entry(grad: &Matrix, target: usize, v: usize) -> f64 {
+    grad[(target, v)] + grad[(v, target)]
+}
+
+/// Picks the candidate with the minimum symmetrized gradient entry (the edge whose
+/// insertion most decreases the loss). Returns `None` if `candidates` is empty.
+pub fn best_candidate_by_gradient(grad: &Matrix, target: usize, candidates: &[usize]) -> Option<usize> {
+    candidates
+        .iter()
+        .copied()
+        .min_by(|&a, &b| {
+            undirected_entry(grad, target, a)
+                .partial_cmp(&undirected_entry(grad, target, b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geattack_gnn::{train, TrainConfig};
+    use geattack_graph::datasets::{load, DatasetName, GeneratorConfig};
+    use geattack_graph::stratified_split;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    pub(crate) fn small_setup(seed: u64) -> (Graph, Gcn) {
+        let cfg = GeneratorConfig::at_scale(0.06, seed);
+        let graph = load(DatasetName::Cora, &cfg);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let split = stratified_split(graph.labels(), graph.num_classes(), 0.1, 0.1, &mut rng);
+        let trained = train(&graph, &split, &TrainConfig { epochs: 80, patience: None, seed, ..Default::default() });
+        (graph, trained.model)
+    }
+
+    /// Picks a victim that the clean model classifies correctly, plus a target
+    /// label different from the truth.
+    pub(crate) fn pick_victim(graph: &Graph, model: &Gcn) -> (usize, usize) {
+        let preds = model.predict_labels(graph);
+        let victim = (0..graph.num_nodes())
+            .find(|&i| preds[i] == graph.label(i) && graph.degree(i) >= 2)
+            .expect("no correctly classified node found");
+        let target_label = (graph.label(victim) + 1) % graph.num_classes();
+        (victim, target_label)
+    }
+
+    #[test]
+    fn candidate_endpoints_exclude_neighbors_and_self() {
+        let (graph, _) = small_setup(1);
+        let target = 0;
+        let cands = candidate_endpoints(&graph, target, &[]);
+        assert!(!cands.contains(&target));
+        for v in graph.neighbors(target) {
+            assert!(!cands.contains(&v));
+        }
+        let excluded = cands[0];
+        let cands2 = candidate_endpoints(&graph, target, &[excluded]);
+        assert!(!cands2.contains(&excluded));
+        assert_eq!(cands2.len(), cands.len() - 1);
+    }
+
+    #[test]
+    fn targeted_gradient_identifies_helpful_edges() {
+        let (graph, model) = small_setup(2);
+        let (victim, target_label) = pick_victim(&graph, &model);
+        let grad = targeted_loss_gradient(&model, &graph, victim, target_label);
+        let cands = candidate_endpoints(&graph, victim, &[]);
+        let best = best_candidate_by_gradient(&grad, victim, &cands).unwrap();
+        // The chosen edge must have a negative score (it decreases the targeted loss)...
+        assert!(undirected_entry(&grad, victim, best) < 0.0);
+        // ...and actually increase the probability of the target label when added.
+        let before = model.predict_proba(&graph)[(victim, target_label)];
+        let mut attacked = graph.clone();
+        attacked.add_edge(victim, best);
+        let after = model.predict_proba(&attacked)[(victim, target_label)];
+        assert!(after > before, "best gradient edge did not raise target-label probability ({before} -> {after})");
+    }
+
+    #[test]
+    fn untargeted_gradient_nonzero_on_candidates() {
+        let (graph, model) = small_setup(3);
+        let (victim, _) = pick_victim(&graph, &model);
+        let grad = untargeted_loss_gradient(&model, &graph, victim);
+        let cands = candidate_endpoints(&graph, victim, &[]);
+        let any_nonzero = cands.iter().any(|&v| undirected_entry(&grad, victim, v).abs() > 1e-12);
+        assert!(any_nonzero, "untargeted gradient is identically zero on candidates");
+    }
+
+    #[test]
+    fn degree_budget_context() {
+        let (graph, model) = small_setup(4);
+        let ctx = AttackContext::with_degree_budget(&model, &graph, 0, 1);
+        assert_eq!(ctx.budget, graph.degree(0).max(1));
+        assert_eq!(ctx.target, 0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Benchmarks of the baseline attackers (cost of one full attack on one victim).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use geattack_attack::{AttackContext, FgaT, IgAttack, Nettack, RandomAttack, TargetedAttack};
+use geattack_gnn::{train, TrainConfig};
+use geattack_graph::datasets::{load, DatasetName, GeneratorConfig};
+use geattack_graph::stratified_split;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn setup() -> (geattack_graph::Graph, geattack_gnn::Gcn, usize, usize) {
+    let graph = load(DatasetName::Cora, &GeneratorConfig::at_scale(0.08, 0));
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let split = stratified_split(graph.labels(), graph.num_classes(), 0.1, 0.1, &mut rng);
+    let trained = train(&graph, &split, &TrainConfig { epochs: 60, patience: None, ..Default::default() });
+    let model = trained.model;
+    let preds = model.predict_labels(&graph);
+    let victim = (0..graph.num_nodes())
+        .find(|&i| preds[i] == graph.label(i) && graph.degree(i) >= 3)
+        .expect("no suitable victim");
+    let target_label = (graph.label(victim) + 1) % graph.num_classes();
+    (graph, model, victim, target_label)
+}
+
+fn bench_attacks(c: &mut Criterion) {
+    let (graph, model, victim, target_label) = setup();
+    let ctx = AttackContext { model: &model, graph: &graph, target: victim, target_label, budget: 3 };
+
+    let mut group = c.benchmark_group("attack_one_victim_budget3");
+    group.sample_size(10);
+    group.bench_function("RNA", |b| {
+        let attack = RandomAttack::new(0);
+        b.iter(|| std::hint::black_box(attack.attack(&ctx)));
+    });
+    group.bench_function("FGA-T", |b| {
+        let attack = FgaT::default();
+        b.iter(|| std::hint::black_box(attack.attack(&ctx)));
+    });
+    group.bench_function("Nettack", |b| {
+        let attack = Nettack::default();
+        b.iter(|| std::hint::black_box(attack.attack(&ctx)));
+    });
+    group.bench_function("IG-Attack", |b| {
+        let attack = IgAttack::default();
+        b.iter(|| std::hint::black_box(attack.attack(&ctx)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_attacks);
+criterion_main!(benches);

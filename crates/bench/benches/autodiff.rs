@@ -1,0 +1,80 @@
+//! Micro-benchmarks of the autodiff substrate: matrix multiplication, a GCN-shaped
+//! forward/backward, and the double-backward pattern GEAttack relies on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use geattack_tensor::{grad::grad, grad_values, init, Matrix, Tape};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    for &n in &[64usize, 128, 256] {
+        let a = init::uniform(n, n, -1.0, 1.0, &mut rng);
+        let b = init::uniform(n, n, -1.0, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, _| {
+            bencher.iter(|| std::hint::black_box(a.matmul(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_forward_backward(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let n = 200;
+    let d = 64;
+    let h = 16;
+    let x = init::uniform(n, d, 0.0, 1.0, &mut rng);
+    let w1 = init::glorot_uniform(d, h, &mut rng);
+    let w2 = init::glorot_uniform(h, 4, &mut rng);
+    let a = Matrix::from_fn(n, n, |i, j| if (i + j) % 17 == 0 && i != j { 1.0 } else { 0.0 });
+
+    c.bench_function("gcn_like_forward_backward", |bencher| {
+        bencher.iter(|| {
+            let tape = Tape::new();
+            let av = tape.input(a.clone());
+            let xv = tape.constant(x.clone());
+            let w1v = tape.constant(w1.clone());
+            let w2v = tape.constant(w2.clone());
+            let norm = geattack_tensor::nn::gcn_normalize(&tape, av);
+            let hidden = tape.relu(tape.matmul(norm, tape.matmul(xv, w1v)));
+            let logits = tape.matmul(norm, tape.matmul(hidden, w2v));
+            let lp = geattack_tensor::nn::log_softmax_rows(&tape, logits);
+            let loss = geattack_tensor::nn::node_class_nll(&tape, lp, 0, 1, 4);
+            std::hint::black_box(grad_values(&tape, loss, &[av]))
+        });
+    });
+}
+
+fn bench_double_backward(c: &mut Criterion) {
+    // The GEAttack inner-loop pattern: T gradient-descent steps on a mask, then a
+    // gradient of the final mask with respect to the adjacency.
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let k = 48;
+    let a = Matrix::from_fn(k, k, |i, j| if (i + j) % 5 == 0 && i != j { 1.0 } else { 0.0 });
+    let mask0 = init::normal(k, k, 0.0, 0.1, &mut rng);
+
+    let mut group = c.benchmark_group("double_backward_inner_steps");
+    for &steps in &[1usize, 3, 5] {
+        group.bench_with_input(BenchmarkId::from_parameter(steps), &steps, |bencher, &steps| {
+            bencher.iter(|| {
+                let tape = Tape::new();
+                let av = tape.input(a.clone());
+                let mut m = tape.input(mask0.clone());
+                for _ in 0..steps {
+                    let gated = tape.mul(av, tape.sigmoid(m));
+                    let inner = tape.sum_all(tape.mul(gated, gated));
+                    let step = grad(&tape, inner, &[m])[0];
+                    m = tape.sub(m, tape.mul_scalar(step, 0.1));
+                }
+                let outer = tape.sum_all(m);
+                std::hint::black_box(tape.value(grad(&tape, outer, &[av])[0]))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_forward_backward, bench_double_backward);
+criterion_main!(benches);

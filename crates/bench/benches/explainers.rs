@@ -1,0 +1,63 @@
+//! Benchmarks of the explainers: GNNExplainer mask optimization and PGExplainer
+//! inductive explanation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use geattack_explain::{Explainer, GnnExplainer, GnnExplainerConfig, PgExplainer, PgExplainerConfig};
+use geattack_gnn::{train, TrainConfig};
+use geattack_graph::datasets::{load, DatasetName, GeneratorConfig};
+use geattack_graph::stratified_split;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn setup() -> (geattack_graph::Graph, geattack_gnn::Gcn, Vec<usize>) {
+    let graph = load(DatasetName::Cora, &GeneratorConfig::at_scale(0.08, 0));
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let split = stratified_split(graph.labels(), graph.num_classes(), 0.1, 0.1, &mut rng);
+    let trained = train(&graph, &split, &TrainConfig { epochs: 60, patience: None, ..Default::default() });
+    (graph, trained.model, split.test)
+}
+
+fn bench_gnnexplainer(c: &mut Criterion) {
+    let (graph, model, _) = setup();
+    let target = (0..graph.num_nodes()).max_by_key(|&i| graph.degree(i)).unwrap();
+    let mut group = c.benchmark_group("gnnexplainer_explain");
+    group.sample_size(10);
+    for &epochs in &[20usize, 100] {
+        group.bench_function(format!("{epochs}_epochs"), |bencher| {
+            let explainer = GnnExplainer::new(GnnExplainerConfig { epochs, ..Default::default() });
+            bencher.iter(|| std::hint::black_box(explainer.explain(&model, &graph, target)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_pgexplainer(c: &mut Criterion) {
+    let (graph, model, test_nodes) = setup();
+    let target = (0..graph.num_nodes()).max_by_key(|&i| graph.degree(i)).unwrap();
+    let mut group = c.benchmark_group("pgexplainer");
+    group.sample_size(10);
+    group.bench_function("train", |bencher| {
+        bencher.iter(|| {
+            std::hint::black_box(PgExplainer::train(
+                &model,
+                &graph,
+                &test_nodes,
+                PgExplainerConfig { epochs: 2, training_instances: 8, ..Default::default() },
+            ))
+        });
+    });
+    let explainer = PgExplainer::train(
+        &model,
+        &graph,
+        &test_nodes,
+        PgExplainerConfig { epochs: 2, training_instances: 8, ..Default::default() },
+    );
+    group.bench_function("explain", |bencher| {
+        bencher.iter(|| std::hint::black_box(explainer.explain(&model, &graph, target)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gnnexplainer, bench_pgexplainer);
+criterion_main!(benches);

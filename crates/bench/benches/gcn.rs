@@ -1,0 +1,42 @@
+//! Benchmarks of GCN training and inference on the synthetic datasets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use geattack_gnn::{train, TrainConfig};
+use geattack_graph::datasets::{load, DatasetName, GeneratorConfig};
+use geattack_graph::stratified_split;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gcn_train_20_epochs");
+    group.sample_size(10);
+    for dataset in [DatasetName::Citeseer, DatasetName::Cora] {
+        let graph = load(dataset, &GeneratorConfig::at_scale(0.1, 0));
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let split = stratified_split(graph.labels(), graph.num_classes(), 0.1, 0.1, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(dataset.as_str()), &dataset, |bencher, _| {
+            bencher.iter(|| {
+                std::hint::black_box(train(
+                    &graph,
+                    &split,
+                    &TrainConfig { epochs: 20, patience: None, ..Default::default() },
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let graph = load(DatasetName::Cora, &GeneratorConfig::at_scale(0.1, 0));
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let split = stratified_split(graph.labels(), graph.num_classes(), 0.1, 0.1, &mut rng);
+    let trained = train(&graph, &split, &TrainConfig { epochs: 30, patience: None, ..Default::default() });
+    c.bench_function("gcn_full_graph_inference", |bencher| {
+        bencher.iter(|| std::hint::black_box(trained.model.predict_proba(&graph)));
+    });
+}
+
+criterion_group!(benches, bench_training, bench_inference);
+criterion_main!(benches);

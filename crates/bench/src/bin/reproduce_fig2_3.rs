@@ -1,0 +1,49 @@
+//! Reproduces **Figures 2 and 3**: the preliminary study. Nettack attacks victims
+//! bucketed by clean-graph degree; Figure 2 reports the attack success rate per
+//! degree, Figure 3 reports how well GNNExplainer detects the inserted edges
+//! (F1@15 and NDCG@15) on CITESEER and CORA.
+//!
+//! ```text
+//! cargo run --release -p geattack-bench --bin reproduce_fig2_3 -- [--full] [--runs N]
+//! ```
+
+use geattack_bench::runner::{degree_sweep, write_json, Options};
+use geattack_core::pipeline::{AttackerKind, ExplainerKind};
+use geattack_core::report::{to_json, Figure, Series};
+use geattack_graph::DatasetName;
+
+fn main() {
+    let options = Options::from_args();
+    let degrees: Vec<usize> = (1..=10).collect();
+    let victims_per_degree = if options.full { 40 } else { 8 };
+    let mut figures = Vec::new();
+
+    for dataset in [DatasetName::Citeseer, DatasetName::Cora] {
+        let results = degree_sweep(
+            &options,
+            dataset,
+            ExplainerKind::GnnExplainer,
+            AttackerKind::Nettack,
+            &degrees,
+            victims_per_degree,
+        );
+        let x: Vec<f64> = results.iter().map(|r| r.degree as f64).collect();
+        let fig2 = Figure {
+            title: format!("Figure 2 ({}) — Nettack ASR vs. node degree", dataset.as_str()),
+            series: vec![Series::new("ASR", x.clone(), results.iter().map(|r| r.asr).collect())],
+        };
+        let fig3 = Figure {
+            title: format!("Figure 3 ({}) — GNNExplainer detection of Nettack edges vs. degree", dataset.as_str()),
+            series: vec![
+                Series::new("F1@15", x.clone(), results.iter().map(|r| r.f1).collect()),
+                Series::new("NDCG@15", x, results.iter().map(|r| r.ndcg).collect()),
+            ],
+        };
+        print!("{}", fig2.to_text());
+        print!("{}", fig3.to_text());
+        figures.push(fig2);
+        figures.push(fig3);
+    }
+    let path = write_json("fig2_3", &to_json(&figures));
+    println!("(JSON written to {})", path.display());
+}

@@ -1,0 +1,42 @@
+//! Reproduces **Figure 4** (λ sweep on CORA: ASR-T, F1@15, NDCG@15) and
+//! **Figure 8** (λ sweep on CITESEER: Precision/Recall/F1/NDCG@15), the study of
+//! the trade-off between attacking the GCN and evading GNNExplainer.
+//!
+//! ```text
+//! cargo run --release -p geattack-bench --bin reproduce_fig4_8 -- [--full] [--runs N]
+//! ```
+
+use geattack_bench::runner::{lambda_sweep, summaries_to_figure, write_json, Options};
+use geattack_core::evaluation::RunSummary;
+use geattack_core::report::to_json;
+use geattack_graph::DatasetName;
+
+fn main() {
+    let options = Options::from_args();
+    // The paper's grid; the reduced default skips some of the long plateau.
+    let lambdas: Vec<f64> = if options.full {
+        vec![0.001, 0.01, 1.0, 10.0, 20.0, 50.0, 100.0, 150.0, 200.0, 500.0, 1000.0]
+    } else {
+        vec![0.001, 1.0, 20.0, 100.0, 500.0]
+    };
+
+    let metrics_fig4: &[(&str, fn(&RunSummary) -> f64)] =
+        &[("ASR-T", |s| s.asr_t), ("F1@15", |s| s.f1), ("NDCG@15", |s| s.ndcg)];
+    let metrics_fig8: &[(&str, fn(&RunSummary) -> f64)] = &[
+        ("Precision@15", |s| s.precision),
+        ("Recall@15", |s| s.recall),
+        ("F1@15", |s| s.f1),
+        ("NDCG@15", |s| s.ndcg),
+    ];
+
+    let cora = lambda_sweep(&options, DatasetName::Cora, &lambdas);
+    let fig4 = summaries_to_figure("Figure 4 — effect of lambda on CORA (GEAttack)", &cora, metrics_fig4);
+    print!("{}", fig4.to_text());
+
+    let citeseer = lambda_sweep(&options, DatasetName::Citeseer, &lambdas);
+    let fig8 = summaries_to_figure("Figure 8 — effect of lambda on CITESEER (GEAttack)", &citeseer, metrics_fig8);
+    print!("{}", fig8.to_text());
+
+    let path = write_json("fig4_8", &to_json(&vec![fig4, fig8]));
+    println!("(JSON written to {})", path.display());
+}

@@ -1,0 +1,24 @@
+//! Reproduces **Table 1**: joint-attack comparison of all seven attackers on
+//! CITESEER, CORA and ACM with GNNExplainer as the inspector.
+//!
+//! ```text
+//! cargo run --release -p geattack-bench --bin reproduce_table1 -- [--full] [--runs N]
+//! ```
+
+use geattack_bench::runner::{table_block, write_json, Options};
+use geattack_core::pipeline::{AttackerKind, ExplainerKind};
+use geattack_core::report::to_json;
+use geattack_graph::DatasetName;
+
+fn main() {
+    let options = Options::from_args();
+    println!("# Table 1 — attacking a GCN and GNNExplainer jointly\n");
+    let mut blocks = Vec::new();
+    for dataset in DatasetName::ALL {
+        let block = table_block(&options, dataset, ExplainerKind::GnnExplainer, &AttackerKind::ALL);
+        print!("{}", block.to_markdown());
+        blocks.push(block);
+    }
+    let path = write_json("table1", &to_json(&blocks));
+    println!("(JSON written to {})", path.display());
+}

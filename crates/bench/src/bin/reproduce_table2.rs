@@ -1,0 +1,20 @@
+//! Reproduces **Table 2**: joint-attack comparison on CITESEER with PGExplainer as
+//! the inspector (Section 5.3).
+//!
+//! ```text
+//! cargo run --release -p geattack-bench --bin reproduce_table2 -- [--full] [--runs N]
+//! ```
+
+use geattack_bench::runner::{table_block, write_json, Options};
+use geattack_core::pipeline::{AttackerKind, ExplainerKind};
+use geattack_core::report::to_json;
+use geattack_graph::DatasetName;
+
+fn main() {
+    let options = Options::from_args();
+    println!("# Table 2 — attacking a GCN and PGExplainer jointly (CITESEER)\n");
+    let block = table_block(&options, DatasetName::Citeseer, ExplainerKind::PgExplainer, &AttackerKind::ALL);
+    print!("{}", block.to_markdown());
+    let path = write_json("table2", &to_json(&block));
+    println!("(JSON written to {})", path.display());
+}

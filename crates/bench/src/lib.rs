@@ -1,0 +1,7 @@
+//! # geattack-bench
+//!
+//! Criterion micro-benchmarks (under `benches/`) and the `reproduce_*` binaries
+//! (under `src/bin/`) that regenerate every table and figure of the paper's
+//! evaluation. The shared experiment-running logic lives in [`runner`].
+
+pub mod runner;

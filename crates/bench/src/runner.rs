@@ -1,0 +1,309 @@
+//! Shared experiment-running logic behind the `reproduce_*` binaries.
+//!
+//! Each binary parses the common command-line options ([`Options::from_args`]),
+//! builds the appropriate [`PipelineConfig`]s, runs the attacks and prints the
+//! table / figure in the same shape as the paper, plus a JSON artifact under
+//! `results/`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use geattack_core::evaluation::{aggregate_runs, summarize_run, MeanStd, RunSummary};
+use geattack_core::pipeline::{prepare, run_attacker, AttackerKind, ExplainerKind, PipelineConfig};
+use geattack_core::report::{Figure, Series, TableBlock};
+use geattack_core::targets::Victim;
+use geattack_core::GeAttackConfig;
+use geattack_graph::datasets::{DatasetName, GeneratorConfig};
+
+/// Command-line options shared by all reproduction binaries.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Run at the paper's full dataset scale (default: reduced scale for speed).
+    pub full: bool,
+    /// Number of independent seeds/runs to aggregate.
+    pub runs: usize,
+    /// Number of victims per run (overrides the per-mode default when set).
+    pub victims: Option<usize>,
+    /// Dataset scale override.
+    pub scale: Option<f64>,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self { full: false, runs: 2, victims: None, scale: None, seed: 0 }
+    }
+}
+
+impl Options {
+    /// Parses options from `std::env::args()`. Unknown flags abort with a usage
+    /// message so typos do not silently run the wrong experiment.
+    pub fn from_args() -> Self {
+        let mut options = Self::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--full" => options.full = true,
+                "--runs" => options.runs = parse_next(&mut args, "--runs"),
+                "--victims" => options.victims = Some(parse_next(&mut args, "--victims")),
+                "--scale" => options.scale = Some(parse_next(&mut args, "--scale")),
+                "--seed" => options.seed = parse_next(&mut args, "--seed"),
+                "--help" | "-h" => {
+                    eprintln!("usage: [--full] [--runs N] [--victims N] [--scale F] [--seed N]");
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown option: {other}");
+                    eprintln!("usage: [--full] [--runs N] [--victims N] [--scale F] [--seed N]");
+                    std::process::exit(2);
+                }
+            }
+        }
+        options
+    }
+
+    /// Builds the pipeline configuration for one dataset and one run index.
+    pub fn pipeline(&self, dataset: DatasetName, run: usize) -> PipelineConfig {
+        let seed = self.seed + run as u64;
+        let mut config = if self.full {
+            PipelineConfig::paper_scale(dataset, seed)
+        } else {
+            PipelineConfig::quick(dataset, seed)
+        };
+        if let Some(scale) = self.scale {
+            config.generator = GeneratorConfig::at_scale(scale, seed);
+        }
+        if let Some(victims) = self.victims {
+            config.victims.count = victims;
+            // Keep the paper's 1/4 top-margin, 1/4 bottom-margin, 1/2 random mix
+            // when the victim count is overridden.
+            config.victims.top_margin = (victims / 4).max(1);
+            config.victims.bottom_margin = (victims / 4).max(1);
+        }
+        config
+    }
+
+    /// The seeds of all runs.
+    pub fn run_indices(&self) -> std::ops::Range<usize> {
+        0..self.runs.max(1)
+    }
+}
+
+fn parse_next<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, flag: &str) -> T {
+    args.next()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            eprintln!("{flag} expects a value");
+            std::process::exit(2);
+        })
+}
+
+/// Writes a JSON artifact under `results/` (created on demand) and returns its path.
+pub fn write_json(name: &str, json: &str) -> PathBuf {
+    let dir = PathBuf::from("results");
+    let _ = fs::create_dir_all(&dir);
+    let path = dir.join(format!("{name}.json"));
+    if let Err(e) = fs::write(&path, json) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+    path
+}
+
+/// Runs every attacker of Table 1/2 on one dataset, aggregating over the runs, and
+/// returns the table block in the paper's column order.
+pub fn table_block(
+    options: &Options,
+    dataset: DatasetName,
+    explainer: ExplainerKind,
+    attackers: &[AttackerKind],
+) -> TableBlock {
+    let mut per_attacker: Vec<Vec<RunSummary>> = vec![Vec::new(); attackers.len()];
+    for run in options.run_indices() {
+        let mut config = options.pipeline(dataset, run);
+        config.explainer = explainer;
+        let prepared = prepare(config);
+        eprintln!(
+            "[{}] run {run}: {} nodes, {} victims",
+            dataset.as_str(),
+            prepared.graph.num_nodes(),
+            prepared.victims.len()
+        );
+        if prepared.victims.is_empty() {
+            eprintln!("  (no victims survived the FGA pre-pass in this run; skipping it)");
+            continue;
+        }
+        for (i, &kind) in attackers.iter().enumerate() {
+            let attacker = prepared.attacker(kind);
+            let inspector = prepared.inspector();
+            let outcomes = run_attacker(&prepared, attacker.as_ref(), inspector.as_ref());
+            per_attacker[i].push(summarize_run(kind.name(), &outcomes));
+            eprintln!("  {} done", kind.name());
+        }
+    }
+    TableBlock {
+        dataset: dataset.as_str().to_string(),
+        columns: per_attacker.iter().map(|runs| aggregate_runs(runs)).collect(),
+    }
+}
+
+/// Result of attacking the victims of one degree bucket (Figures 2, 3 and 7).
+#[derive(Clone, Debug)]
+pub struct DegreeBucketResult {
+    /// The victim degree.
+    pub degree: usize,
+    /// Attack success rate.
+    pub asr: MeanStd,
+    /// F1@15 of the inspector.
+    pub f1: MeanStd,
+    /// NDCG@15 of the inspector.
+    pub ndcg: MeanStd,
+}
+
+/// Runs one attacker over victims bucketed by clean-graph degree and reports the
+/// per-degree ASR and detection scores (the protocol of Figures 2/3/7).
+pub fn degree_sweep(
+    options: &Options,
+    dataset: DatasetName,
+    explainer: ExplainerKind,
+    attacker_kind: AttackerKind,
+    degrees: &[usize],
+    victims_per_degree: usize,
+) -> Vec<DegreeBucketResult> {
+    let mut per_degree: Vec<Vec<RunSummary>> = vec![Vec::new(); degrees.len()];
+    for run in options.run_indices() {
+        let mut config = options.pipeline(dataset, run);
+        config.explainer = explainer;
+        let prepared = prepare(config);
+        let preds = prepared.model.predict_labels(&prepared.graph);
+        for (di, &degree) in degrees.iter().enumerate() {
+            // Victims of exactly this degree among correctly-classified test nodes.
+            let nodes: Vec<usize> = prepared
+                .split
+                .test
+                .iter()
+                .copied()
+                .filter(|&n| prepared.graph.degree(n) == degree && preds[n] == prepared.graph.label(n))
+                .take(victims_per_degree)
+                .collect();
+            let victims: Vec<Victim> = geattack_core::targets::assign_target_labels(&prepared.model, &prepared.graph, &nodes);
+            if victims.is_empty() {
+                continue;
+            }
+            let scoped = prepared.with_victims(victims);
+            let attacker = prepared.attacker(attacker_kind);
+            let inspector = prepared.inspector();
+            let outcomes = run_attacker(&scoped, attacker.as_ref(), inspector.as_ref());
+            per_degree[di].push(summarize_run(attacker_kind.name(), &outcomes));
+        }
+    }
+    degrees
+        .iter()
+        .enumerate()
+        .map(|(di, &degree)| {
+            let runs = &per_degree[di];
+            let collect = |f: fn(&RunSummary) -> f64| MeanStd::of(&runs.iter().map(f).collect::<Vec<_>>());
+            DegreeBucketResult { degree, asr: collect(|s| s.asr), f1: collect(|s| s.f1), ndcg: collect(|s| s.ndcg) }
+        })
+        .collect()
+}
+
+/// λ sweep of GEAttack (Figures 4 and 8): ASR-T plus detection metrics per λ.
+pub fn lambda_sweep(
+    options: &Options,
+    dataset: DatasetName,
+    lambdas: &[f64],
+) -> Vec<(f64, RunSummary)> {
+    let mut out = Vec::new();
+    for &lambda in lambdas {
+        let mut summaries = Vec::new();
+        for run in options.run_indices() {
+            let mut config = options.pipeline(dataset, run);
+            config.geattack = GeAttackConfig { lambda, ..config.geattack };
+            let prepared = prepare(config);
+            if prepared.victims.is_empty() {
+                continue;
+            }
+            let attacker = prepared.attacker(AttackerKind::GeAttack);
+            let inspector = prepared.inspector();
+            let outcomes = run_attacker(&prepared, attacker.as_ref(), inspector.as_ref());
+            summaries.push(summarize_run("GEAttack", &outcomes));
+        }
+        if summaries.is_empty() {
+            continue;
+        }
+        let agg = aggregate_runs(&summaries);
+        out.push((
+            lambda,
+            RunSummary {
+                attacker: "GEAttack".into(),
+                victims: summaries.iter().map(|s| s.victims).sum(),
+                asr: agg.asr.mean,
+                asr_t: agg.asr_t.mean,
+                precision: agg.precision.mean,
+                recall: agg.recall.mean,
+                f1: agg.f1.mean,
+                ndcg: agg.ndcg.mean,
+            },
+        ));
+        eprintln!("lambda {lambda} done");
+    }
+    out
+}
+
+/// Builds figure series from per-x RunSummaries.
+pub fn summaries_to_figure(title: &str, points: &[(f64, RunSummary)], metrics: &[(&str, fn(&RunSummary) -> f64)]) -> Figure {
+    let x: Vec<f64> = points.iter().map(|(v, _)| *v).collect();
+    let series = metrics
+        .iter()
+        .map(|(label, getter)| {
+            Series::new(
+                *label,
+                x.clone(),
+                points.iter().map(|(_, s)| MeanStd { mean: getter(s), std: 0.0 }).collect(),
+            )
+        })
+        .collect();
+    Figure { title: title.to_string(), series }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_defaults_and_pipeline() {
+        let options = Options::default();
+        assert!(!options.full);
+        let config = options.pipeline(DatasetName::Cora, 1);
+        assert_eq!(config.generator.seed, 1);
+        assert_eq!(options.run_indices().len(), 2);
+    }
+
+    #[test]
+    fn options_overrides() {
+        let options = Options { scale: Some(0.05), victims: Some(3), seed: 7, ..Default::default() };
+        let config = options.pipeline(DatasetName::Acm, 0);
+        assert_eq!(config.victims.count, 3);
+        assert!((config.generator.scale - 0.05).abs() < 1e-12);
+        assert_eq!(config.generator.seed, 7);
+    }
+
+    #[test]
+    fn summaries_to_figure_shapes() {
+        let s = RunSummary {
+            attacker: "GEAttack".into(),
+            victims: 5,
+            asr: 1.0,
+            asr_t: 0.9,
+            precision: 0.1,
+            recall: 0.5,
+            f1: 0.2,
+            ndcg: 0.3,
+        };
+        let fig = summaries_to_figure("t", &[(1.0, s)], &[("ASR-T", |s| s.asr_t), ("F1@15", |s| s.f1)]);
+        assert_eq!(fig.series.len(), 2);
+        assert_eq!(fig.series[0].x, vec![1.0]);
+        assert!((fig.series[1].y[0].mean - 0.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,41 @@
+//! # geattack-core
+//!
+//! The paper's primary contribution — **GEAttack**, the joint attack on a graph
+//! neural network and its explanations — together with the experiment pipeline
+//! that reproduces the paper's evaluation protocol.
+//!
+//! * [`geattack`] — Algorithm 1: greedy edge insertion driven by the joint loss
+//!   `L_GNN + λ·Σ M_A^T[i,j]·B[i,j]`, where the explainer mask `M_A^T` is obtained
+//!   by differentiable inner gradient-descent steps (double backward).
+//! * [`pg_geattack`] — the PGExplainer variant of the joint attack (Section 5.3).
+//! * [`targets`] — victim selection and target-label assignment (Section 5.1).
+//! * [`pipeline`] — dataset → GCN → victims → attack → evaluation.
+//! * [`evaluation`] — ASR / ASR-T and detection aggregation (mean ± std).
+//! * [`report`] — markdown tables and figure series matching the paper's format.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use geattack_core::pipeline::{prepare, run_attacker_kind, AttackerKind, PipelineConfig};
+//! use geattack_core::evaluation::summarize_run;
+//! use geattack_graph::DatasetName;
+//!
+//! let prepared = prepare(PipelineConfig::quick(DatasetName::Cora, 0));
+//! let outcomes = run_attacker_kind(&prepared, AttackerKind::GeAttack);
+//! let summary = summarize_run("GEAttack", &outcomes);
+//! println!("ASR-T = {:.1}%, F1@15 = {:.1}%", summary.asr_t * 100.0, summary.f1 * 100.0);
+//! ```
+
+pub mod evaluation;
+pub mod geattack;
+pub mod pg_geattack;
+pub mod pipeline;
+pub mod report;
+pub mod targets;
+
+pub use evaluation::{aggregate_runs, summarize_run, AggregatedSummary, AttackOutcome, MeanStd, RunSummary};
+pub use geattack::{GeAttack, GeAttackConfig};
+pub use pg_geattack::{PgGeAttack, PgGeAttackConfig};
+pub use pipeline::{prepare, run_attacker, run_attacker_kind, AttackerKind, ExplainerKind, PipelineConfig, Prepared};
+pub use report::{format_percent, Figure, Series, TableBlock};
+pub use targets::{assign_target_labels, select_victims, victims_with_degree, Victim, VictimSelectionConfig};

@@ -1,0 +1,246 @@
+//! GEAttack against PGExplainer (Section 5.3 of the paper).
+//!
+//! The joint objective is the same as against GNNExplainer, but the explainer
+//! penalty uses PGExplainer's trained edge-scoring MLP: the gate the MLP assigns to
+//! a (candidate) adversarial edge is computed from the GCN's first-layer node
+//! embeddings, which themselves depend on the perturbed adjacency `Â`. The penalty
+//! `λ Σ σ(ω_{vj}(Â)) · B[v, j]` is therefore differentiable with respect to `Â`
+//! and the attack follows the same greedy outer loop as [`crate::geattack`].
+
+use geattack_attack::{candidate_endpoints, targeted_loss_gradient, undirected_entry, AttackContext, TargetedAttack};
+use geattack_explain::pgexplainer::{PgExplainer, SubgraphEdges};
+use geattack_graph::{computation_subgraph, Graph, Perturbation};
+use geattack_tensor::{grad::grad, nn, Matrix, Tape};
+
+/// Hyper-parameters of GEAttack-PG.
+#[derive(Clone, Debug)]
+pub struct PgGeAttackConfig {
+    /// Trade-off between attacking the GCN and evading PGExplainer.
+    pub lambda: f64,
+    /// Computation-subgraph radius.
+    pub hops: usize,
+    /// Candidate shortlist size per outer iteration.
+    pub candidate_pool: usize,
+}
+
+impl Default for PgGeAttackConfig {
+    fn default() -> Self {
+        Self { lambda: 20.0, hops: 2, candidate_pool: 48 }
+    }
+}
+
+/// GEAttack driving a (trained, frozen) PGExplainer.
+#[derive(Clone, Debug)]
+pub struct PgGeAttack {
+    /// Attack configuration.
+    pub config: PgGeAttackConfig,
+    /// The trained explainer the attacker wants to evade.
+    pub explainer: PgExplainer,
+}
+
+impl PgGeAttack {
+    /// Creates the attacker around a trained PGExplainer.
+    pub fn new(explainer: PgExplainer, config: PgGeAttackConfig) -> Self {
+        Self { config, explainer }
+    }
+
+    /// Gradient of the PGExplainer penalty with respect to the subgraph adjacency.
+    ///
+    /// The penalty sums the explainer's gates over the target's candidate /
+    /// adversarial edges (entries where `B = 1`), evaluated on the current
+    /// perturbed adjacency. Gradients flow through the GCN embeddings.
+    fn penalty_gradient(
+        &self,
+        model: &geattack_gnn::Gcn,
+        working: &Graph,
+        target: usize,
+        shortlist: &[usize],
+        b: &Matrix,
+    ) -> (Matrix, geattack_graph::ComputationSubgraph) {
+        let sub = computation_subgraph(working, target, self.config.hops, shortlist);
+        let tl = sub.target_local;
+        let k = sub.num_nodes();
+
+        // Penalty edges: the target paired with every subgraph node that is not a
+        // clean-graph neighbor (B = 1), i.e. candidate and already-added
+        // adversarial endpoints.
+        let mut penalty_edges = Vec::new();
+        for j in 0..k {
+            if j != tl && b[(target, sub.to_global(j))] > 0.5 {
+                let (u, v) = if tl < j { (tl, j) } else { (j, tl) };
+                penalty_edges.push((u, v));
+            }
+        }
+        if penalty_edges.is_empty() {
+            return (Matrix::zeros(k, k), sub);
+        }
+        let edges = SubgraphEdges {
+            src_indices: penalty_edges.iter().map(|&(u, _)| u).collect(),
+            dst_indices: penalty_edges.iter().map(|&(_, v)| v).collect(),
+            src_incidence: Matrix::from_fn(penalty_edges.len(), k, |e, c| if penalty_edges[e].0 == c { 1.0 } else { 0.0 }),
+            dst_incidence: Matrix::from_fn(penalty_edges.len(), k, |e, c| if penalty_edges[e].1 == c { 1.0 } else { 0.0 }),
+            edges: penalty_edges,
+        };
+
+        let tape = Tape::new();
+        let a_sub = tape.input(sub.adjacency.clone());
+        let x_sub = tape.constant(sub.features.clone());
+        let gcn_params = model.insert_params_frozen(&tape);
+        // Embeddings as a function of the (sub)adjacency, so ∂gate/∂Â is non-zero.
+        let a_norm = nn::gcn_normalize(&tape, a_sub);
+        let z = model.hidden_layer(&tape, a_norm, x_sub, &gcn_params);
+        let pg_params = self.explainer.insert_params_frozen(&tape);
+        let logits = PgExplainer::edge_logits(&tape, z, &edges, tl, &pg_params);
+        let gates = tape.sigmoid(logits);
+        let penalty = tape.mul_scalar(tape.sum_all(gates), self.config.lambda);
+        let g = tape.value(grad(&tape, penalty, &[a_sub])[0]);
+        (g, sub)
+    }
+}
+
+impl TargetedAttack for PgGeAttack {
+    fn attack(&self, ctx: &AttackContext<'_>) -> Perturbation {
+        let n = ctx.graph.num_nodes();
+        let mut b = Matrix::from_fn(n, n, |i, j| {
+            if i == j || ctx.graph.adjacency()[(i, j)] > 0.5 {
+                0.0
+            } else {
+                1.0
+            }
+        });
+        let mut perturbation = Perturbation::new();
+        let mut working = ctx.graph.clone();
+
+        for _ in 0..ctx.budget {
+            let candidates = candidate_endpoints(&working, ctx.target, &[]);
+            if candidates.is_empty() {
+                break;
+            }
+            let g_attack = targeted_loss_gradient(ctx.model, &working, ctx.target, ctx.target_label);
+            let mut ranked = candidates.clone();
+            ranked.sort_by(|&a, &bnd| {
+                undirected_entry(&g_attack, ctx.target, a)
+                    .partial_cmp(&undirected_entry(&g_attack, ctx.target, bnd))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let shortlist: Vec<usize> = ranked.into_iter().take(self.config.candidate_pool.max(1)).collect();
+
+            let (g_penalty, sub) = self.penalty_gradient(ctx.model, &working, ctx.target, &shortlist, &b);
+            let tl = sub.target_local;
+            // Normalize both gradient components (see geattack.rs for the rationale).
+            let attack_entry = |v: usize| undirected_entry(&g_attack, ctx.target, v);
+            let penalty_entry = |v: usize| {
+                sub.to_local(v)
+                    .map(|lv| g_penalty[(tl, lv)] + g_penalty[(lv, tl)])
+                    .unwrap_or(0.0)
+            };
+            let attack_scale = shortlist.iter().map(|&v| attack_entry(v).abs()).fold(0.0f64, f64::max).max(1e-12);
+            let penalty_scale = shortlist.iter().map(|&v| penalty_entry(v).abs()).fold(0.0f64, f64::max);
+            let penalty_weight = if penalty_scale > 1e-12 {
+                self.config.lambda / (50.0 * penalty_scale)
+            } else {
+                0.0
+            };
+            let chosen = shortlist
+                .into_iter()
+                .min_by(|&a, &bnd| {
+                    let score = |v: usize| attack_entry(v) / attack_scale + penalty_weight * penalty_entry(v);
+                    score(a).partial_cmp(&score(bnd)).unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .expect("shortlist is non-empty");
+
+            perturbation.add_edge(ctx.target, chosen);
+            working.add_edge(ctx.target, chosen);
+            b[(ctx.target, chosen)] = 0.0;
+            b[(chosen, ctx.target)] = 0.0;
+        }
+        perturbation
+    }
+
+    fn name(&self) -> &'static str {
+        "GEAttack"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geattack_explain::PgExplainerConfig;
+    use geattack_gnn::{train, Gcn, TrainConfig};
+    use geattack_graph::datasets::{load, DatasetName, GeneratorConfig};
+    use geattack_graph::stratified_split;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn setup(seed: u64) -> (Graph, Gcn, PgExplainer) {
+        let cfg = GeneratorConfig::at_scale(0.06, seed);
+        let graph = load(DatasetName::Citeseer, &cfg);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let split = stratified_split(graph.labels(), graph.num_classes(), 0.1, 0.1, &mut rng);
+        let trained = train(&graph, &split, &TrainConfig { epochs: 80, patience: None, seed, ..Default::default() });
+        let explainer = PgExplainer::train(
+            &trained.model,
+            &graph,
+            &split.test,
+            PgExplainerConfig { epochs: 2, training_instances: 6, ..Default::default() },
+        );
+        (graph, trained.model, explainer)
+    }
+
+    fn pick_victim(graph: &Graph, model: &Gcn) -> (usize, usize) {
+        let preds = model.predict_labels(graph);
+        let victim = (0..graph.num_nodes())
+            .find(|&i| preds[i] == graph.label(i) && graph.degree(i) >= 2)
+            .expect("no correctly classified node");
+        (victim, (graph.label(victim) + 1) % graph.num_classes())
+    }
+
+    #[test]
+    fn pg_geattack_attacks_the_model() {
+        let (graph, model, explainer) = setup(71);
+        let (victim, target_label) = pick_victim(&graph, &model);
+        let ctx = AttackContext::with_degree_budget(&model, &graph, victim, target_label);
+        let attack = PgGeAttack::new(explainer, PgGeAttackConfig { candidate_pool: 24, ..Default::default() });
+        let p = attack.attack(&ctx);
+        assert!(!p.is_empty());
+        let attacked = p.apply(&graph);
+        let before = model.predict_proba(&graph)[(victim, target_label)];
+        let after = model.predict_proba(&attacked)[(victim, target_label)];
+        assert!(after > before);
+    }
+
+    #[test]
+    fn penalty_gradient_is_finite_and_shaped() {
+        let (graph, model, explainer) = setup(72);
+        let (victim, _) = pick_victim(&graph, &model);
+        let attack = PgGeAttack::new(explainer, PgGeAttackConfig { candidate_pool: 8, ..Default::default() });
+        let b = Matrix::from_fn(graph.num_nodes(), graph.num_nodes(), |i, j| {
+            if i == j || graph.adjacency()[(i, j)] > 0.5 {
+                0.0
+            } else {
+                1.0
+            }
+        });
+        let shortlist: Vec<usize> = candidate_endpoints(&graph, victim, &[]).into_iter().take(8).collect();
+        let (g, sub) = attack.penalty_gradient(&model, &graph, victim, &shortlist, &b);
+        assert_eq!(g.shape(), (sub.num_nodes(), sub.num_nodes()));
+        assert!(!g.has_non_finite());
+        // Some candidate entry must receive gradient signal from the explainer.
+        let tl = sub.target_local;
+        let any_signal = shortlist.iter().filter_map(|&v| sub.to_local(v)).any(|lv| (g[(tl, lv)] + g[(lv, tl)]).abs() > 0.0);
+        assert!(any_signal, "PGExplainer penalty produced no gradient on candidates");
+    }
+
+    #[test]
+    fn added_edges_are_direct_and_within_budget() {
+        let (graph, model, explainer) = setup(73);
+        let (victim, target_label) = pick_victim(&graph, &model);
+        let ctx = AttackContext { model: &model, graph: &graph, target: victim, target_label, budget: 2 };
+        let attack = PgGeAttack::new(explainer, PgGeAttackConfig { candidate_pool: 16, ..Default::default() });
+        let p = attack.attack(&ctx);
+        assert!(p.size() <= 2);
+        for &(u, v) in p.added() {
+            assert!(u == victim || v == victim);
+        }
+    }
+}

@@ -1,0 +1,385 @@
+//! End-to-end experiment pipeline: dataset → GCN → victims → attacks → evaluation.
+//!
+//! This module glues the substrates together exactly the way the paper's
+//! experimental protocol describes (Section 5.1): generate/load a dataset, train a
+//! GCN on a 10/10/80 split, select 40 victims from the correctly-classified test
+//! nodes, obtain each victim's specific target label via an untargeted FGA
+//! pre-pass, run every attacker in the evasion setting with budget `Δ = degree`,
+//! and score both attack success and explainer-based detection.
+
+use serde::{Deserialize, Serialize};
+
+use geattack_attack::{
+    AttackContext, Fga, FgaT, FgaTE, FgaTEConfig, IgAttack, Nettack, RandomAttack, TargetedAttack,
+};
+use geattack_explain::{Explainer, GnnExplainer, GnnExplainerConfig, PgExplainer, PgExplainerConfig};
+use geattack_gnn::{train, Gcn, TrainConfig};
+use geattack_graph::datasets::{load, DatasetName, GeneratorConfig};
+use geattack_graph::{stratified_split, DataSplit, Graph};
+
+use crate::evaluation::{evaluate_attack, AttackOutcome};
+use crate::geattack::{GeAttack, GeAttackConfig};
+use crate::pg_geattack::{PgGeAttack, PgGeAttackConfig};
+use crate::targets::{assign_target_labels, select_victims, Victim, VictimSelectionConfig};
+
+/// The attackers compared in Tables 1 and 2, in the paper's column order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttackerKind {
+    /// Untargeted fast-gradient attack.
+    Fga,
+    /// Random attack toward target-label nodes.
+    Rna,
+    /// Targeted fast-gradient attack.
+    FgaT,
+    /// Nettack with the linearized surrogate and degree test.
+    Nettack,
+    /// Integrated-gradients attack.
+    IgAttack,
+    /// FGA-T avoiding nodes in the clean-graph explanation.
+    FgaTE,
+    /// The proposed joint attack.
+    GeAttack,
+}
+
+impl AttackerKind {
+    /// All attackers in the paper's column order.
+    pub const ALL: [AttackerKind; 7] = [
+        AttackerKind::Fga,
+        AttackerKind::Rna,
+        AttackerKind::FgaT,
+        AttackerKind::Nettack,
+        AttackerKind::IgAttack,
+        AttackerKind::FgaTE,
+        AttackerKind::GeAttack,
+    ];
+
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AttackerKind::Fga => "FGA",
+            AttackerKind::Rna => "RNA",
+            AttackerKind::FgaT => "FGA-T",
+            AttackerKind::Nettack => "Nettack",
+            AttackerKind::IgAttack => "IG-Attack",
+            AttackerKind::FgaTE => "FGA-T&E",
+            AttackerKind::GeAttack => "GEAttack",
+        }
+    }
+
+    /// Parses a case-insensitive attacker name.
+    pub fn parse(s: &str) -> Option<Self> {
+        let lowered = s.to_ascii_lowercase();
+        match lowered.as_str() {
+            "fga" => Some(AttackerKind::Fga),
+            "rna" | "random" => Some(AttackerKind::Rna),
+            "fga-t" | "fgat" => Some(AttackerKind::FgaT),
+            "nettack" => Some(AttackerKind::Nettack),
+            "ig-attack" | "ig" => Some(AttackerKind::IgAttack),
+            "fga-t&e" | "fgate" => Some(AttackerKind::FgaTE),
+            "geattack" => Some(AttackerKind::GeAttack),
+            _ => None,
+        }
+    }
+}
+
+/// Which explainer plays the inspector role.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExplainerKind {
+    /// GNNExplainer (Tables 1, Figures 2-6, 8).
+    GnnExplainer,
+    /// PGExplainer (Table 2, Figure 7).
+    PgExplainer,
+}
+
+/// Full configuration of one experiment run.
+#[derive(Clone, Debug)]
+pub struct PipelineConfig {
+    /// Which dataset to generate.
+    pub dataset: DatasetName,
+    /// Synthetic-dataset generator settings (scale, seed, ...).
+    pub generator: GeneratorConfig,
+    /// GCN training settings.
+    pub train: TrainConfig,
+    /// Victim selection settings.
+    pub victims: VictimSelectionConfig,
+    /// Which explainer acts as the inspector.
+    pub explainer: ExplainerKind,
+    /// GNNExplainer settings (inspection and FGA-T&E / GEAttack inner loop).
+    pub gnnexplainer: GnnExplainerConfig,
+    /// PGExplainer settings (only used when `explainer` is `PgExplainer`).
+    pub pgexplainer: PgExplainerConfig,
+    /// GEAttack settings.
+    pub geattack: GeAttackConfig,
+    /// GEAttack-PG settings.
+    pub pg_geattack: PgGeAttackConfig,
+    /// Detection metric cut-off `K` (15 in the paper).
+    pub detection_k: usize,
+    /// Explanation size `L` (20 in the paper).
+    pub explanation_size: usize,
+    /// Run victims in parallel across threads.
+    pub parallel: bool,
+}
+
+impl PipelineConfig {
+    /// A configuration sized for fast experimentation: reduced dataset scale,
+    /// fewer victims, fewer explainer epochs. `seed` drives the dataset, the model
+    /// initialization and victim selection, so different seeds give independent
+    /// runs (the paper reports mean ± std over 5 runs).
+    pub fn quick(dataset: DatasetName, seed: u64) -> Self {
+        Self {
+            dataset,
+            generator: GeneratorConfig::at_scale(0.12, seed),
+            train: TrainConfig { seed, ..Default::default() },
+            victims: VictimSelectionConfig { count: 20, top_margin: 5, bottom_margin: 5, seed },
+            explainer: ExplainerKind::GnnExplainer,
+            gnnexplainer: GnnExplainerConfig { epochs: 40, seed, ..Default::default() },
+            pgexplainer: PgExplainerConfig { epochs: 5, training_instances: 12, seed, ..Default::default() },
+            geattack: GeAttackConfig { seed, ..Default::default() },
+            pg_geattack: PgGeAttackConfig::default(),
+            detection_k: 15,
+            explanation_size: 20,
+            parallel: true,
+        }
+    }
+
+    /// A configuration matching the paper's scale (slow: full-size graphs and 40
+    /// victims).
+    pub fn paper_scale(dataset: DatasetName, seed: u64) -> Self {
+        Self {
+            generator: GeneratorConfig::full_scale(seed),
+            victims: VictimSelectionConfig { count: 40, seed, ..Default::default() },
+            ..Self::quick(dataset, seed)
+        }
+    }
+}
+
+/// The shared state of one experiment run: the data, the trained victim model, the
+/// split, the victims with their target labels, and (when PGExplainer is the
+/// inspector) the trained PGExplainer.
+pub struct Prepared {
+    /// The clean graph.
+    pub graph: Graph,
+    /// The trained (frozen) GCN under attack.
+    pub model: Gcn,
+    /// Train/val/test node split.
+    pub split: DataSplit,
+    /// Victims with assigned target labels.
+    pub victims: Vec<Victim>,
+    /// The trained PGExplainer, if the experiment uses one.
+    pub pg_explainer: Option<PgExplainer>,
+    config: PipelineConfig,
+}
+
+impl Prepared {
+    /// Read access to the configuration used to prepare this experiment.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Clones the experiment with a different victim set (used by the degree
+    /// buckets of Figures 2/3/7 and the parameter sweeps).
+    pub fn with_victims(&self, victims: Vec<Victim>) -> Prepared {
+        Prepared {
+            graph: self.graph.clone(),
+            model: self.model.clone(),
+            split: self.split.clone(),
+            victims,
+            pg_explainer: self.pg_explainer.clone(),
+            config: self.config.clone(),
+        }
+    }
+
+    /// Builds the inspector explainer configured for this experiment.
+    pub fn inspector(&self) -> Box<dyn Explainer + Sync> {
+        match self.config.explainer {
+            ExplainerKind::GnnExplainer => Box::new(GnnExplainer::new(self.config.gnnexplainer.clone())),
+            ExplainerKind::PgExplainer => Box::new(
+                self.pg_explainer
+                    .clone()
+                    .expect("PGExplainer inspector requested but not trained"),
+            ),
+        }
+    }
+
+    /// Builds an attacker instance for this experiment.
+    pub fn attacker(&self, kind: AttackerKind) -> Box<dyn TargetedAttack + Sync> {
+        match kind {
+            AttackerKind::Fga => Box::new(Fga),
+            AttackerKind::Rna => Box::new(RandomAttack::new(self.config.generator.seed)),
+            AttackerKind::FgaT => Box::new(FgaT::default()),
+            AttackerKind::Nettack => Box::new(Nettack::default()),
+            AttackerKind::IgAttack => Box::new(IgAttack::default()),
+            AttackerKind::FgaTE => Box::new(FgaTE::new(FgaTEConfig {
+                explanation_size: self.config.explanation_size,
+                explainer: self.config.gnnexplainer.clone(),
+            })),
+            AttackerKind::GeAttack => match (&self.config.explainer, &self.pg_explainer) {
+                (ExplainerKind::PgExplainer, Some(pg)) => {
+                    Box::new(PgGeAttack::new(pg.clone(), self.config.pg_geattack.clone()))
+                }
+                _ => Box::new(GeAttack::new(self.config.geattack.clone())),
+            },
+        }
+    }
+}
+
+/// Prepares an experiment: generate the dataset, train the GCN, select victims and
+/// assign their target labels (and train PGExplainer if it is the inspector).
+pub fn prepare(config: PipelineConfig) -> Prepared {
+    let graph = load(config.dataset, &config.generator);
+    use rand::SeedableRng as _;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(config.generator.seed);
+    let split = stratified_split(graph.labels(), graph.num_classes(), 0.1, 0.1, &mut rng);
+    let trained = train(&graph, &split, &config.train);
+    let model = trained.model;
+
+    let victims = select_victims(&model, &graph, &split.test, &config.victims);
+    let victims = assign_target_labels(&model, &graph, &victims);
+
+    let pg_explainer = match config.explainer {
+        ExplainerKind::PgExplainer => {
+            Some(PgExplainer::train(&model, &graph, &split.test, config.pgexplainer.clone()))
+        }
+        ExplainerKind::GnnExplainer => None,
+    };
+
+    Prepared { graph, model, split, victims, pg_explainer, config }
+}
+
+/// Runs one attacker over all prepared victims and returns per-victim outcomes.
+pub fn run_attacker(
+    prepared: &Prepared,
+    attacker: &(dyn TargetedAttack + Sync),
+    inspector: &(dyn Explainer + Sync),
+) -> Vec<AttackOutcome> {
+    let config = prepared.config();
+    let evaluate = |victim: &Victim| {
+        let ctx = AttackContext::with_degree_budget(&prepared.model, &prepared.graph, victim.node, victim.target_label);
+        let perturbation = attacker.attack(&ctx);
+        evaluate_attack(
+            &prepared.model,
+            &prepared.graph,
+            inspector,
+            victim,
+            &perturbation,
+            config.detection_k,
+            config.explanation_size,
+        )
+    };
+
+    if !config.parallel || prepared.victims.len() < 2 {
+        return prepared.victims.iter().map(evaluate).collect();
+    }
+
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let results: Vec<parking_lot::Mutex<Option<AttackOutcome>>> =
+        prepared.victims.iter().map(|_| parking_lot::Mutex::new(None)).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads.min(prepared.victims.len()) {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                if i >= prepared.victims.len() {
+                    break;
+                }
+                let outcome = evaluate(&prepared.victims[i]);
+                *results[i].lock() = Some(outcome);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("missing outcome"))
+        .collect()
+}
+
+/// Runs one attacker kind end-to-end on an already-prepared experiment.
+pub fn run_attacker_kind(prepared: &Prepared, kind: AttackerKind) -> Vec<AttackOutcome> {
+    let attacker = prepared.attacker(kind);
+    let inspector = prepared.inspector();
+    run_attacker(prepared, attacker.as_ref(), inspector.as_ref())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluation::summarize_run;
+
+    fn tiny_config(seed: u64) -> PipelineConfig {
+        let mut config = PipelineConfig::quick(DatasetName::Cora, seed);
+        config.generator = GeneratorConfig::at_scale(0.06, seed);
+        config.victims.count = 6;
+        config.victims.top_margin = 2;
+        config.victims.bottom_margin = 2;
+        config.gnnexplainer.epochs = 15;
+        config.geattack.candidate_pool = 16;
+        config.geattack.explainer.epochs = 15;
+        config
+    }
+
+    #[test]
+    fn prepare_produces_victims_with_targets() {
+        let prepared = prepare(tiny_config(91));
+        assert!(!prepared.victims.is_empty());
+        for v in &prepared.victims {
+            assert_ne!(v.true_label, v.target_label);
+            assert!(prepared.split.test.contains(&v.node));
+        }
+        assert!(prepared.pg_explainer.is_none());
+    }
+
+    #[test]
+    fn fga_t_summary_has_high_asr_t() {
+        let prepared = prepare(tiny_config(92));
+        let outcomes = run_attacker_kind(&prepared, AttackerKind::FgaT);
+        assert_eq!(outcomes.len(), prepared.victims.len());
+        let summary = summarize_run("FGA-T", &outcomes);
+        assert!(summary.asr_t >= 0.5, "FGA-T ASR-T unexpectedly low: {}", summary.asr_t);
+        assert!(summary.asr >= summary.asr_t);
+    }
+
+    #[test]
+    fn attacker_kind_parse_and_names() {
+        assert_eq!(AttackerKind::parse("geattack"), Some(AttackerKind::GeAttack));
+        assert_eq!(AttackerKind::parse("FGA-T&E"), Some(AttackerKind::FgaTE));
+        assert_eq!(AttackerKind::parse("nope"), None);
+        assert_eq!(AttackerKind::ALL.len(), 7);
+        assert_eq!(AttackerKind::GeAttack.name(), "GEAttack");
+    }
+
+    #[test]
+    fn parallel_and_serial_runs_agree() {
+        let mut config = tiny_config(93);
+        config.victims.count = 4;
+        let prepared_serial = {
+            let mut c = config.clone();
+            c.parallel = false;
+            prepare(c)
+        };
+        let prepared_parallel = prepare(config);
+        let serial = run_attacker_kind(&prepared_serial, AttackerKind::FgaT);
+        let parallel = run_attacker_kind(&prepared_parallel, AttackerKind::FgaT);
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(parallel.iter()) {
+            assert_eq!(a.node, b.node);
+            assert_eq!(a.success_target, b.success_target);
+            assert!((a.detection.f1 - b.detection.f1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pg_explainer_pipeline_builds() {
+        let mut config = tiny_config(94);
+        config.explainer = ExplainerKind::PgExplainer;
+        config.victims.count = 3;
+        config.pgexplainer.epochs = 1;
+        config.pgexplainer.training_instances = 4;
+        let prepared = prepare(config);
+        assert!(prepared.pg_explainer.is_some());
+        let outcomes = run_attacker_kind(&prepared, AttackerKind::GeAttack);
+        assert_eq!(outcomes.len(), prepared.victims.len());
+    }
+}

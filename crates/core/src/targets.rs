@@ -1,0 +1,193 @@
+//! Victim (target node) selection and target-label assignment.
+//!
+//! Following the protocol of IG-Attack that the paper adopts (Section 5.1), 40
+//! victims are selected from the correctly-classified test nodes: the 10 with the
+//! highest classification margin, the 10 with the lowest margin, and the rest at
+//! random. The *specific incorrect target label* for each victim is obtained by a
+//! preliminary untargeted FGA pass: whatever wrong label FGA pushes the node to
+//! becomes the label every targeted attacker must reach; victims FGA cannot flip
+//! are discarded (the paper evaluates on the successfully attacked nodes).
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use geattack_attack::{AttackContext, Fga, TargetedAttack};
+use geattack_gnn::{node_predictions, Gcn};
+use geattack_graph::Graph;
+
+/// A victim node together with the label the attacker must force.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Victim {
+    /// Node id.
+    pub node: usize,
+    /// Ground-truth label.
+    pub true_label: usize,
+    /// Specific incorrect label the attack must produce (ASR-T is measured against
+    /// this label).
+    pub target_label: usize,
+    /// Degree of the node in the clean graph (used for the degree-bucketed plots).
+    pub degree: usize,
+}
+
+/// Configuration of victim selection.
+#[derive(Clone, Debug)]
+pub struct VictimSelectionConfig {
+    /// Total number of victims (the paper uses 40).
+    pub count: usize,
+    /// How many top-margin nodes to include.
+    pub top_margin: usize,
+    /// How many bottom-margin nodes to include.
+    pub bottom_margin: usize,
+    /// RNG seed for the random remainder.
+    pub seed: u64,
+}
+
+impl Default for VictimSelectionConfig {
+    fn default() -> Self {
+        Self { count: 40, top_margin: 10, bottom_margin: 10, seed: 0 }
+    }
+}
+
+/// Selects victim nodes among `candidate_nodes` (typically the test split).
+///
+/// Only nodes the clean model classifies correctly are eligible — attacking an
+/// already-misclassified node is meaningless for ASR.
+pub fn select_victims(
+    model: &Gcn,
+    graph: &Graph,
+    candidate_nodes: &[usize],
+    config: &VictimSelectionConfig,
+) -> Vec<usize> {
+    let mut correct: Vec<_> = node_predictions(model, graph, candidate_nodes)
+        .into_iter()
+        .filter(|p| p.predicted == p.label)
+        .collect();
+    correct.sort_by(|a, b| b.margin.partial_cmp(&a.margin).unwrap_or(std::cmp::Ordering::Equal));
+
+    let total = config.count.min(correct.len());
+    let top_n = config.top_margin.min(total);
+    let bottom_n = config.bottom_margin.min(total.saturating_sub(top_n));
+
+    let mut chosen: Vec<usize> = Vec::with_capacity(total);
+    chosen.extend(correct.iter().take(top_n).map(|p| p.node));
+    chosen.extend(correct.iter().rev().take(bottom_n).map(|p| p.node));
+
+    let mut remaining: Vec<usize> = correct
+        .iter()
+        .map(|p| p.node)
+        .filter(|n| !chosen.contains(n))
+        .collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    remaining.shuffle(&mut rng);
+    chosen.extend(remaining.into_iter().take(total - chosen.len()));
+    chosen
+}
+
+/// Runs the preliminary untargeted FGA pass to assign each victim its specific
+/// target label. Victims whose prediction FGA cannot change are dropped.
+pub fn assign_target_labels(model: &Gcn, graph: &Graph, victims: &[usize]) -> Vec<Victim> {
+    let mut out = Vec::with_capacity(victims.len());
+    for &node in victims {
+        let true_label = graph.label(node);
+        let ctx = AttackContext::with_degree_budget(model, graph, node, 0);
+        let perturbation = Fga.attack(&ctx);
+        if perturbation.is_empty() {
+            continue;
+        }
+        let attacked = perturbation.apply(graph);
+        let new_label = model.predict_proba(&attacked).argmax_row(node);
+        if new_label != true_label {
+            out.push(Victim { node, true_label, target_label: new_label, degree: graph.degree(node) });
+        }
+    }
+    out
+}
+
+/// Selects victims with a specific clean-graph degree (used by Figures 2, 3 and 7,
+/// which bucket victims by degree).
+pub fn victims_with_degree(
+    model: &Gcn,
+    graph: &Graph,
+    candidate_nodes: &[usize],
+    degree: usize,
+    count: usize,
+    seed: u64,
+) -> Vec<usize> {
+    let mut eligible: Vec<usize> = node_predictions(model, graph, candidate_nodes)
+        .into_iter()
+        .filter(|p| p.predicted == p.label && graph.degree(p.node) == degree)
+        .map(|p| p.node)
+        .collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ degree as u64);
+    eligible.shuffle(&mut rng);
+    eligible.truncate(count);
+    eligible
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geattack_gnn::{train, TrainConfig};
+    use geattack_graph::datasets::{load, DatasetName, GeneratorConfig};
+    use geattack_graph::stratified_split;
+
+    fn setup() -> (Graph, Gcn, Vec<usize>) {
+        let cfg = GeneratorConfig::at_scale(0.08, 81);
+        let graph = load(DatasetName::Cora, &cfg);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let split = stratified_split(graph.labels(), graph.num_classes(), 0.1, 0.1, &mut rng);
+        let trained = train(&graph, &split, &TrainConfig { epochs: 80, patience: None, ..Default::default() });
+        (graph, trained.model, split.test)
+    }
+
+    #[test]
+    fn selected_victims_are_correctly_classified() {
+        let (graph, model, test_nodes) = setup();
+        let config = VictimSelectionConfig { count: 12, top_margin: 4, bottom_margin: 4, seed: 1 };
+        let victims = select_victims(&model, &graph, &test_nodes, &config);
+        assert_eq!(victims.len(), 12);
+        let preds = model.predict_labels(&graph);
+        for &v in &victims {
+            assert_eq!(preds[v], graph.label(v), "victim {v} is already misclassified");
+            assert!(test_nodes.contains(&v));
+        }
+        // No duplicates.
+        let mut unique = victims.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), victims.len());
+    }
+
+    #[test]
+    fn target_labels_differ_from_truth() {
+        let (graph, model, test_nodes) = setup();
+        let config = VictimSelectionConfig { count: 8, top_margin: 2, bottom_margin: 2, seed: 2 };
+        let victims = select_victims(&model, &graph, &test_nodes, &config);
+        let assigned = assign_target_labels(&model, &graph, &victims);
+        assert!(!assigned.is_empty(), "FGA pre-pass flipped no victims at all");
+        for v in &assigned {
+            assert_ne!(v.target_label, v.true_label);
+            assert_eq!(v.degree, graph.degree(v.node));
+        }
+    }
+
+    #[test]
+    fn degree_bucketed_selection() {
+        let (graph, model, test_nodes) = setup();
+        let victims = victims_with_degree(&model, &graph, &test_nodes, 2, 5, 3);
+        assert!(victims.len() <= 5);
+        for &v in &victims {
+            assert_eq!(graph.degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn selection_is_deterministic() {
+        let (graph, model, test_nodes) = setup();
+        let config = VictimSelectionConfig { count: 10, top_margin: 3, bottom_margin: 3, seed: 7 };
+        let a = select_victims(&model, &graph, &test_nodes, &config);
+        let b = select_victims(&model, &graph, &test_nodes, &config);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,169 @@
+//! Detection metrics: how visible are adversarial edges in an explanation?
+//!
+//! Following Section A.2 of the paper, the explanation's ranked edge list is
+//! treated as a retrieval result and the attacker's inserted edges as the relevant
+//! items. Precision@K / Recall@K / F1@K measure membership in the top-K,
+//! NDCG@K additionally rewards adversarial edges that appear near the very top
+//! (i.e. are most noticeable to a human inspector). Higher values mean the attack
+//! is easier to detect.
+
+use serde::{Deserialize, Serialize};
+
+use crate::explainer::Explanation;
+
+/// Detection scores at a fixed cut-off `K`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct DetectionScores {
+    /// Fraction of the top-K explanation edges that are adversarial.
+    pub precision: f64,
+    /// Fraction of adversarial edges that appear in the top-K.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+    /// Normalized discounted cumulative gain of the adversarial edges' ranks.
+    pub ndcg: f64,
+}
+
+fn canonical(e: (usize, usize)) -> (usize, usize) {
+    if e.0 <= e.1 {
+        e
+    } else {
+        (e.1, e.0)
+    }
+}
+
+/// Computes detection scores of `adversarial_edges` within the top-`k` edges of
+/// `explanation`.
+///
+/// Edges are compared as undirected pairs. If there are no adversarial edges the
+/// scores are all zero (nothing to detect).
+pub fn detection_scores(
+    explanation: &Explanation,
+    adversarial_edges: &[(usize, usize)],
+    k: usize,
+) -> DetectionScores {
+    if adversarial_edges.is_empty() || k == 0 {
+        return DetectionScores::default();
+    }
+    let adversarial: Vec<(usize, usize)> = adversarial_edges.iter().map(|&e| canonical(e)).collect();
+    let top: Vec<(usize, usize)> = explanation.top_edges(k);
+
+    let hits = top.iter().filter(|e| adversarial.contains(e)).count();
+    let precision = hits as f64 / k as f64;
+    let recall = hits as f64 / adversarial.len() as f64;
+    let f1 = if precision + recall > 0.0 {
+        2.0 * precision * recall / (precision + recall)
+    } else {
+        0.0
+    };
+
+    // DCG with binary relevance over the top-K ranking.
+    let mut dcg = 0.0;
+    for (pos, edge) in top.iter().enumerate() {
+        if adversarial.contains(edge) {
+            dcg += 1.0 / ((pos as f64 + 2.0).log2());
+        }
+    }
+    let ideal_hits = adversarial.len().min(k);
+    let idcg: f64 = (0..ideal_hits).map(|pos| 1.0 / ((pos as f64 + 2.0).log2())).sum();
+    let ndcg = if idcg > 0.0 { dcg / idcg } else { 0.0 };
+
+    DetectionScores { precision, recall, f1, ndcg }
+}
+
+/// Averages a collection of detection scores (used to aggregate over victims).
+pub fn mean_scores(scores: &[DetectionScores]) -> DetectionScores {
+    if scores.is_empty() {
+        return DetectionScores::default();
+    }
+    let n = scores.len() as f64;
+    DetectionScores {
+        precision: scores.iter().map(|s| s.precision).sum::<f64>() / n,
+        recall: scores.iter().map(|s| s.recall).sum::<f64>() / n,
+        f1: scores.iter().map(|s| s.f1).sum::<f64>() / n,
+        ndcg: scores.iter().map(|s| s.ndcg).sum::<f64>() / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use crate::explainer::Explanation;
+
+    fn explanation_with_ranks(edges: &[(usize, usize)]) -> Explanation {
+        let n = edges.len() as f64;
+        let weighted = edges
+            .iter()
+            .enumerate()
+            .map(|(i, &(u, v))| (u, v, n - i as f64))
+            .collect();
+        Explanation::from_edge_weights(0, 0, weighted)
+    }
+
+    #[test]
+    fn perfect_detection_at_top() {
+        let e = explanation_with_ranks(&[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let s = detection_scores(&e, &[(1, 0)], 2);
+        assert!((s.precision - 0.5).abs() < 1e-12);
+        assert!((s.recall - 1.0).abs() < 1e-12);
+        assert!((s.ndcg - 1.0).abs() < 1e-12, "adversarial edge at rank 1 should give NDCG 1");
+        assert!(s.f1 > 0.66);
+    }
+
+    #[test]
+    fn missed_detection_scores_zero() {
+        let e = explanation_with_ranks(&[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let s = detection_scores(&e, &[(0, 4)], 2);
+        assert_eq!(s.precision, 0.0);
+        assert_eq!(s.recall, 0.0);
+        assert_eq!(s.f1, 0.0);
+        assert_eq!(s.ndcg, 0.0);
+    }
+
+    #[test]
+    fn lower_rank_gives_lower_ndcg() {
+        let e = explanation_with_ranks(&[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let top = detection_scores(&e, &[(0, 1)], 4).ndcg;
+        let low = detection_scores(&e, &[(0, 4)], 4).ndcg;
+        assert!(top > low, "rank-1 hit ({top}) must out-score rank-4 hit ({low})");
+        assert!(low > 0.0);
+    }
+
+    #[test]
+    fn multiple_adversarial_edges_partial_recall() {
+        let e = explanation_with_ranks(&[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]);
+        let s = detection_scores(&e, &[(0, 2), (0, 5)], 3);
+        assert!((s.recall - 0.5).abs() < 1e-12);
+        assert!((s.precision - 1.0 / 3.0).abs() < 1e-12);
+        assert!(s.ndcg > 0.0 && s.ndcg < 1.0);
+    }
+
+    #[test]
+    fn no_adversarial_edges_all_zero() {
+        let e = explanation_with_ranks(&[(0, 1)]);
+        assert_eq!(detection_scores(&e, &[], 5), DetectionScores::default());
+        assert_eq!(detection_scores(&e, &[(0, 1)], 0), DetectionScores::default());
+    }
+
+    #[test]
+    fn mean_scores_averages_fields() {
+        let a = DetectionScores { precision: 1.0, recall: 0.0, f1: 0.0, ndcg: 1.0 };
+        let b = DetectionScores { precision: 0.0, recall: 1.0, f1: 1.0, ndcg: 0.0 };
+        let m = mean_scores(&[a, b]);
+        assert!((m.precision - 0.5).abs() < 1e-12);
+        assert!((m.recall - 0.5).abs() < 1e-12);
+        assert!((m.f1 - 0.5).abs() < 1e-12);
+        assert!((m.ndcg - 0.5).abs() < 1e-12);
+        assert_eq!(mean_scores(&[]), DetectionScores::default());
+    }
+
+    #[test]
+    fn direction_of_edge_does_not_matter() {
+        let e = explanation_with_ranks(&[(2, 7), (1, 5)]);
+        let a = detection_scores(&e, &[(7, 2)], 1);
+        let b = detection_scores(&e, &[(2, 7)], 1);
+        assert_eq!(a, b);
+        assert!((a.recall - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,465 @@
+//! PGExplainer (Luo et al., NeurIPS 2020).
+//!
+//! PGExplainer trains a small MLP, shared across all nodes, that maps an edge's
+//! endpoint embeddings (plus the target node's embedding) to an importance logit.
+//! Once trained on a sample of instances it explains any node inductively — no
+//! per-node optimization. The training objective is the same mutual-information
+//! style loss as GNNExplainer: make the prediction under the masked adjacency match
+//! the model's prediction, while keeping the mask sparse.
+//!
+//! Simplification relative to the reference implementation (documented in
+//! `DESIGN.md`): the concrete-distribution reparameterization used during training
+//! is replaced by the deterministic sigmoid relaxation. The ranking of edges —
+//! which is all the detection metrics and GEAttack use — is unaffected.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use geattack_gnn::Gcn;
+use geattack_graph::{computation_subgraph, ComputationSubgraph, Graph};
+use geattack_tensor::{grad::grad_values, init, nn, Adam, Matrix, Optimizer, Tape, Var};
+
+use crate::explainer::{Explainer, Explanation};
+
+/// Hyper-parameters of PGExplainer.
+#[derive(Clone, Debug)]
+pub struct PgExplainerConfig {
+    /// Training epochs over the sampled instances.
+    pub epochs: usize,
+    /// Adam learning rate for the MLP.
+    pub lr: f64,
+    /// Computation-subgraph radius.
+    pub hops: usize,
+    /// Hidden width of the edge-scoring MLP.
+    pub hidden: usize,
+    /// Coefficient of the mask-size regularizer.
+    pub size_coeff: f64,
+    /// Coefficient of the mask-entropy regularizer.
+    pub entropy_coeff: f64,
+    /// Number of nodes sampled as training instances.
+    pub training_instances: usize,
+    /// RNG seed (MLP init and instance sampling).
+    pub seed: u64,
+}
+
+impl Default for PgExplainerConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 10,
+            lr: 0.005,
+            hops: 2,
+            hidden: 32,
+            size_coeff: 0.01,
+            entropy_coeff: 0.5,
+            training_instances: 20,
+            seed: 0,
+        }
+    }
+}
+
+/// Parameters of the edge-scoring MLP.
+///
+/// The first layer conceptually takes the concatenation `[z_u ; z_v ; z_t]` of the
+/// two endpoint embeddings and the target embedding; it is stored as three blocks
+/// (`w_src`, `w_dst`, `w_tgt`) so the forward pass is three matmuls and no
+/// concatenation op is required.
+#[derive(Clone, Debug)]
+pub struct PgMlpParams {
+    /// Block applied to the source endpoint embedding.
+    pub w_src: Matrix,
+    /// Block applied to the destination endpoint embedding.
+    pub w_dst: Matrix,
+    /// Block applied to the explained (target) node embedding.
+    pub w_tgt: Matrix,
+    /// First-layer bias.
+    pub b1: Matrix,
+    /// Output layer weights.
+    pub w2: Matrix,
+    /// Output layer bias.
+    pub b2: Matrix,
+}
+
+impl PgMlpParams {
+    fn init(embedding_dim: usize, hidden: usize, rng: &mut impl rand::Rng) -> Self {
+        Self {
+            w_src: init::he_normal(embedding_dim, hidden, rng),
+            w_dst: init::he_normal(embedding_dim, hidden, rng),
+            w_tgt: init::he_normal(embedding_dim, hidden, rng),
+            b1: Matrix::zeros(1, hidden),
+            w2: init::he_normal(hidden, 1, rng),
+            b2: Matrix::zeros(1, 1),
+        }
+    }
+
+    /// Flat list of the six parameter matrices.
+    pub fn to_vec(&self) -> Vec<Matrix> {
+        vec![
+            self.w_src.clone(),
+            self.w_dst.clone(),
+            self.w_tgt.clone(),
+            self.b1.clone(),
+            self.w2.clone(),
+            self.b2.clone(),
+        ]
+    }
+
+    /// Rebuilds the parameters from the list produced by [`PgMlpParams::to_vec`].
+    pub fn from_vec(mut v: Vec<Matrix>) -> Self {
+        assert_eq!(v.len(), 6, "expected 6 parameter matrices");
+        let b2 = v.pop().unwrap();
+        let w2 = v.pop().unwrap();
+        let b1 = v.pop().unwrap();
+        let w_tgt = v.pop().unwrap();
+        let w_dst = v.pop().unwrap();
+        let w_src = v.pop().unwrap();
+        Self { w_src, w_dst, w_tgt, b1, w2, b2 }
+    }
+}
+
+/// Tape handles to the MLP parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct PgMlpVars {
+    /// Source-endpoint block.
+    pub w_src: Var,
+    /// Destination-endpoint block.
+    pub w_dst: Var,
+    /// Target-node block.
+    pub w_tgt: Var,
+    /// First-layer bias.
+    pub b1: Var,
+    /// Output weights.
+    pub w2: Var,
+    /// Output bias.
+    pub b2: Var,
+}
+
+impl PgMlpVars {
+    /// Handles in the order of [`PgMlpParams::to_vec`].
+    pub fn to_vec(&self) -> Vec<Var> {
+        vec![self.w_src, self.w_dst, self.w_tgt, self.b1, self.w2, self.b2]
+    }
+}
+
+/// The local edge list of a computation subgraph plus the incidence matrices used
+/// to turn per-edge mask values into a dense masked adjacency.
+#[derive(Clone, Debug)]
+pub struct SubgraphEdges {
+    /// Local `(u, v)` pairs with `u < v`.
+    pub edges: Vec<(usize, usize)>,
+    /// `|E| x k` one-hot rows selecting each edge's source endpoint.
+    pub src_incidence: Matrix,
+    /// `|E| x k` one-hot rows selecting each edge's destination endpoint.
+    pub dst_incidence: Matrix,
+    /// Local source indices (row gather order for embeddings).
+    pub src_indices: Vec<usize>,
+    /// Local destination indices.
+    pub dst_indices: Vec<usize>,
+}
+
+impl SubgraphEdges {
+    /// Extracts the edge list and incidence matrices of a local adjacency matrix.
+    pub fn from_adjacency(adjacency: &Matrix) -> Self {
+        let k = adjacency.rows();
+        let mut edges = Vec::new();
+        for i in 0..k {
+            for j in (i + 1)..k {
+                if adjacency[(i, j)] > 0.5 {
+                    edges.push((i, j));
+                }
+            }
+        }
+        let m = edges.len();
+        let mut src_incidence = Matrix::zeros(m, k);
+        let mut dst_incidence = Matrix::zeros(m, k);
+        for (e, &(u, v)) in edges.iter().enumerate() {
+            src_incidence[(e, u)] = 1.0;
+            dst_incidence[(e, v)] = 1.0;
+        }
+        Self {
+            src_indices: edges.iter().map(|&(u, _)| u).collect(),
+            dst_indices: edges.iter().map(|&(_, v)| v).collect(),
+            edges,
+            src_incidence,
+            dst_incidence,
+        }
+    }
+
+    /// Number of edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True if the subgraph has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+}
+
+/// A trained PGExplainer.
+#[derive(Clone, Debug)]
+pub struct PgExplainer {
+    /// Hyper-parameters the explainer was trained with.
+    pub config: PgExplainerConfig,
+    params: PgMlpParams,
+}
+
+impl PgExplainer {
+    /// Read access to the trained MLP parameters.
+    pub fn params(&self) -> &PgMlpParams {
+        &self.params
+    }
+
+    /// Records the MLP parameters on a tape as constants.
+    pub fn insert_params_frozen(&self, tape: &Tape) -> PgMlpVars {
+        let p = &self.params;
+        PgMlpVars {
+            w_src: tape.constant(p.w_src.clone()),
+            w_dst: tape.constant(p.w_dst.clone()),
+            w_tgt: tape.constant(p.w_tgt.clone()),
+            b1: tape.constant(p.b1.clone()),
+            w2: tape.constant(p.w2.clone()),
+            b2: tape.constant(p.b2.clone()),
+        }
+    }
+
+    /// Differentiable per-edge logits for a subgraph, given endpoint embeddings
+    /// `z` (`k x h`, a tape variable so gradients can flow back into the adjacency
+    /// when GEAttack needs them).
+    pub fn edge_logits(
+        tape: &Tape,
+        z: Var,
+        edges: &SubgraphEdges,
+        target_local: usize,
+        params: &PgMlpVars,
+    ) -> Var {
+        assert!(!edges.is_empty(), "edge_logits requires at least one edge");
+        let z_src = tape.gather_rows(z, &edges.src_indices);
+        let z_dst = tape.gather_rows(z, &edges.dst_indices);
+        let tgt_rows: Vec<usize> = vec![target_local; edges.len()];
+        let z_tgt = tape.gather_rows(z, &tgt_rows);
+        let pre = tape.add(
+            tape.add(tape.matmul(z_src, params.w_src), tape.matmul(z_dst, params.w_dst)),
+            tape.matmul(z_tgt, params.w_tgt),
+        );
+        let pre = tape.add(pre, tape.row_broadcast(params.b1, pre.rows()));
+        let hidden = tape.relu(pre);
+        let out = tape.matmul(hidden, params.w2);
+        tape.add(out, tape.row_broadcast(params.b2, out.rows()))
+    }
+
+    /// Builds the dense masked adjacency `A ⊙ mask` from per-edge gate values
+    /// (`|E| x 1`), placing each gate symmetrically at its edge's two entries.
+    pub fn masked_adjacency_from_gates(
+        tape: &Tape,
+        a_sub: Var,
+        gates: Var,
+        edges: &SubgraphEdges,
+    ) -> Var {
+        let k = a_sub.rows();
+        let src = tape.constant(edges.src_incidence.clone());
+        let dst = tape.constant(edges.dst_incidence.clone());
+        let scaled_src = tape.mul(src, tape.col_broadcast(gates, k));
+        let upper = tape.matmul(tape.transpose(scaled_src), dst);
+        let sym = tape.add(upper, tape.transpose(upper));
+        tape.mul(a_sub, sym)
+    }
+
+    /// The PGExplainer training loss for one instance, given embeddings `z` for the
+    /// subgraph nodes.
+    fn instance_loss(
+        &self,
+        tape: &Tape,
+        model: &Gcn,
+        sub: &ComputationSubgraph,
+        edges: &SubgraphEdges,
+        z: Var,
+        explained_class: usize,
+        params: &PgMlpVars,
+    ) -> Var {
+        let logits = Self::edge_logits(tape, z, edges, sub.target_local, params);
+        let gates = tape.sigmoid(logits);
+        let a_sub = tape.constant(sub.adjacency.clone());
+        let x_sub = tape.constant(sub.features.clone());
+        let masked = Self::masked_adjacency_from_gates(tape, a_sub, gates, edges);
+        let gcn_params = model.insert_params_frozen(tape);
+        let log_probs = model.log_probs_from_raw_adj(tape, masked, x_sub, &gcn_params);
+        let nll = nn::node_class_nll(tape, log_probs, sub.target_local, explained_class, model.num_classes());
+
+        let size_reg = tape.mul_scalar(tape.sum_all(gates), self.config.size_coeff);
+        let one_minus = tape.add_scalar(tape.mul_scalar(gates, -1.0), 1.0);
+        let ent = tape.neg(tape.add(
+            tape.mul(gates, tape.ln(gates)),
+            tape.mul(one_minus, tape.ln(one_minus)),
+        ));
+        let ent_reg = tape.mul_scalar(tape.mean_all(ent), self.config.entropy_coeff);
+        tape.add(tape.add(nll, size_reg), ent_reg)
+    }
+
+    /// Trains PGExplainer on instances sampled from `candidate_nodes` (typically
+    /// the test split, following the inductive setting of the original paper).
+    pub fn train(
+        model: &Gcn,
+        graph: &Graph,
+        candidate_nodes: &[usize],
+        config: PgExplainerConfig,
+    ) -> Self {
+        assert!(!candidate_nodes.is_empty(), "PGExplainer needs at least one training instance");
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let mut params = PgMlpParams::init(model.hidden(), config.hidden, &mut rng);
+        let mut optimizer = Adam::new(config.lr);
+
+        let mut instances = candidate_nodes.to_vec();
+        instances.shuffle(&mut rng);
+        instances.truncate(config.training_instances.max(1));
+
+        let embeddings = model.node_embeddings(graph);
+        let predictions = model.predict_proba(graph);
+        let explainer = Self { config: config.clone(), params: params.clone() };
+
+        for _ in 0..config.epochs {
+            for &node in &instances {
+                let sub = computation_subgraph(graph, node, config.hops, &[]);
+                let edges = SubgraphEdges::from_adjacency(&sub.adjacency);
+                if edges.is_empty() {
+                    continue;
+                }
+                let explained_class = predictions.argmax_row(node);
+                let tape = Tape::new();
+                let z = tape.constant(embeddings.gather_rows(&sub.nodes));
+                let param_vars = PgMlpVars {
+                    w_src: tape.input(params.w_src.clone()),
+                    w_dst: tape.input(params.w_dst.clone()),
+                    w_tgt: tape.input(params.w_tgt.clone()),
+                    b1: tape.input(params.b1.clone()),
+                    w2: tape.input(params.w2.clone()),
+                    b2: tape.input(params.b2.clone()),
+                };
+                let current = Self { config: config.clone(), params: params.clone() };
+                let loss = current.instance_loss(&tape, model, &sub, &edges, z, explained_class, &param_vars);
+                let grads = grad_values(&tape, loss, &param_vars.to_vec());
+                let mut flat = params.to_vec();
+                optimizer.step(&mut flat, &grads);
+                params = PgMlpParams::from_vec(flat);
+            }
+        }
+        Self { params, ..explainer }
+    }
+}
+
+impl Explainer for PgExplainer {
+    fn explain(&self, model: &Gcn, graph: &Graph, target: usize) -> Explanation {
+        let explained_class = model.predict_proba(graph).argmax_row(target);
+        let sub = computation_subgraph(graph, target, self.config.hops, &[]);
+        let edges = SubgraphEdges::from_adjacency(&sub.adjacency);
+        if edges.is_empty() {
+            return Explanation::from_edge_weights(target, explained_class, vec![]);
+        }
+        let embeddings = model.node_embeddings(graph);
+        let tape = Tape::new();
+        let z = tape.constant(embeddings.gather_rows(&sub.nodes));
+        let params = self.insert_params_frozen(&tape);
+        let logits = Self::edge_logits(&tape, z, &edges, sub.target_local, &params);
+        let gates = tape.value(tape.sigmoid(logits));
+
+        let weighted = edges
+            .edges
+            .iter()
+            .enumerate()
+            .map(|(e, &(u, v))| (sub.to_global(u), sub.to_global(v), gates[(e, 0)]))
+            .collect();
+        Explanation::from_edge_weights(target, explained_class, weighted)
+    }
+
+    fn name(&self) -> &'static str {
+        "PGExplainer"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geattack_gnn::{train, TrainConfig};
+    use geattack_graph::datasets::{load, DatasetName, GeneratorConfig};
+    use geattack_graph::stratified_split;
+
+    fn small_setup() -> (Graph, Gcn, Vec<usize>) {
+        let cfg = GeneratorConfig::at_scale(0.06, 31);
+        let graph = load(DatasetName::Citeseer, &cfg);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let split = stratified_split(graph.labels(), graph.num_classes(), 0.1, 0.1, &mut rng);
+        let trained = train(&graph, &split, &TrainConfig { epochs: 60, patience: None, ..Default::default() });
+        (graph, trained.model, split.test)
+    }
+
+    #[test]
+    fn subgraph_edges_incidence_consistency() {
+        let adj = Matrix::from_vec(3, 3, vec![0.0, 1.0, 1.0, 1.0, 0.0, 0.0, 1.0, 0.0, 0.0]);
+        let edges = SubgraphEdges::from_adjacency(&adj);
+        assert_eq!(edges.edges, vec![(0, 1), (0, 2)]);
+        assert_eq!(edges.src_incidence.shape(), (2, 3));
+        assert_eq!(edges.src_incidence[(0, 0)], 1.0);
+        assert_eq!(edges.dst_incidence[(1, 2)], 1.0);
+        assert_eq!(edges.src_indices, vec![0, 0]);
+        assert_eq!(edges.dst_indices, vec![1, 2]);
+    }
+
+    #[test]
+    fn masked_adjacency_from_gates_places_values_symmetrically() {
+        let adj = Matrix::from_vec(3, 3, vec![0.0, 1.0, 1.0, 1.0, 0.0, 0.0, 1.0, 0.0, 0.0]);
+        let edges = SubgraphEdges::from_adjacency(&adj);
+        let tape = Tape::new();
+        let a = tape.constant(adj.clone());
+        let gates = tape.constant(Matrix::col_vector(&[0.25, 0.75]));
+        let masked = tape.value(PgExplainer::masked_adjacency_from_gates(&tape, a, gates, &edges));
+        assert!((masked[(0, 1)] - 0.25).abs() < 1e-12);
+        assert!((masked[(1, 0)] - 0.25).abs() < 1e-12);
+        assert!((masked[(0, 2)] - 0.75).abs() < 1e-12);
+        assert_eq!(masked[(1, 2)], 0.0);
+    }
+
+    #[test]
+    fn trained_pgexplainer_produces_ranked_edges() {
+        let (graph, model, test_nodes) = small_setup();
+        let config = PgExplainerConfig { epochs: 3, training_instances: 8, ..Default::default() };
+        let explainer = PgExplainer::train(&model, &graph, &test_nodes, config);
+        let target = (0..graph.num_nodes()).max_by_key(|&i| graph.degree(i)).unwrap();
+        let explanation = explainer.explain(&model, &graph, target);
+        assert!(!explanation.is_empty());
+        for &(_, _, w) in &explanation.ranked_edges {
+            assert!((0.0..=1.0).contains(&w));
+        }
+        for v in graph.neighbors(target) {
+            assert!(explanation.rank_of(target, v).is_some());
+        }
+    }
+
+    #[test]
+    fn explanation_is_inductive_and_deterministic() {
+        let (graph, model, test_nodes) = small_setup();
+        let config = PgExplainerConfig { epochs: 2, training_instances: 5, ..Default::default() };
+        let explainer = PgExplainer::train(&model, &graph, &test_nodes, config);
+        let target = test_nodes[0];
+        let a = explainer.explain(&model, &graph, target);
+        let b = explainer.explain(&model, &graph, target);
+        assert_eq!(a.ranked_edges.len(), b.ranked_edges.len());
+        for (x, y) in a.ranked_edges.iter().zip(b.ranked_edges.iter()) {
+            assert!((x.2 - y.2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn training_changes_mlp_parameters() {
+        let (graph, model, test_nodes) = small_setup();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let before = PgMlpParams::init(model.hidden(), 32, &mut rng);
+        let config = PgExplainerConfig { epochs: 2, training_instances: 5, seed: 0, ..Default::default() };
+        let explainer = PgExplainer::train(&model, &graph, &test_nodes, config);
+        let diff = explainer
+            .params()
+            .w_src
+            .sub(&before.w_src)
+            .frobenius_norm();
+        assert!(diff > 1e-9, "training left the MLP untouched");
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests of the detection metrics and explanation bookkeeping.
+
+use proptest::prelude::*;
+
+use geattack_explain::{detection_scores, Explanation};
+
+fn explanation_strategy() -> impl Strategy<Value = Explanation> {
+    proptest::collection::vec(((0usize..20, 0usize..20), 0.0f64..1.0), 1..30).prop_map(|entries| {
+        let edges = entries
+            .into_iter()
+            .filter(|((u, v), _)| u != v)
+            .map(|((u, v), w)| (u, v, w))
+            .collect();
+        Explanation::from_edge_weights(0, 0, edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn ranked_edges_are_sorted_and_canonical(explanation in explanation_strategy()) {
+        for window in explanation.ranked_edges.windows(2) {
+            prop_assert!(window[0].2 >= window[1].2, "weights must be non-increasing");
+        }
+        for &(u, v, w) in &explanation.ranked_edges {
+            prop_assert!(u <= v, "edges must be canonicalized");
+            prop_assert!((0.0..=1.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn truncation_never_grows(explanation in explanation_strategy(), l in 0usize..40) {
+        let truncated = explanation.truncated(l);
+        prop_assert!(truncated.len() <= l.min(explanation.len()) + 0);
+        prop_assert!(truncated.len() <= explanation.len());
+    }
+
+    #[test]
+    fn detection_metrics_are_bounded(
+        explanation in explanation_strategy(),
+        adversarial in proptest::collection::vec((0usize..20, 0usize..20), 0..5),
+        k in 1usize..25,
+    ) {
+        let adversarial: Vec<(usize, usize)> = adversarial.into_iter().filter(|(u, v)| u != v).collect();
+        let scores = detection_scores(&explanation, &adversarial, k);
+        for value in [scores.precision, scores.recall, scores.f1, scores.ndcg] {
+            prop_assert!((0.0..=1.0).contains(&value), "metric out of range: {value}");
+        }
+        // F1 is zero exactly when precision or recall is zero.
+        if scores.precision == 0.0 || scores.recall == 0.0 {
+            prop_assert_eq!(scores.f1, 0.0);
+        } else {
+            prop_assert!(scores.f1 > 0.0);
+        }
+    }
+
+    #[test]
+    fn recall_is_monotone_in_k(
+        explanation in explanation_strategy(),
+        adversarial in proptest::collection::vec((0usize..20, 0usize..20), 1..4),
+    ) {
+        let adversarial: Vec<(usize, usize)> = adversarial.into_iter().filter(|(u, v)| u != v).collect();
+        prop_assume!(!adversarial.is_empty());
+        let mut previous = 0.0;
+        for k in 1..20 {
+            let recall = detection_scores(&explanation, &adversarial, k).recall;
+            prop_assert!(recall + 1e-12 >= previous, "recall decreased from {previous} to {recall} at k={k}");
+            previous = recall;
+        }
+    }
+
+    #[test]
+    fn rank_lookup_agrees_with_top_edges(explanation in explanation_strategy()) {
+        let top = explanation.top_edges(explanation.len());
+        for (rank, &(u, v)) in top.iter().enumerate() {
+            let found = explanation.rank_of(u, v).expect("edge must be present");
+            // Equal-weight edges may tie; the reported rank can only be earlier.
+            prop_assert!(found <= rank);
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! # geattack-gnn
+//!
+//! Graph convolutional network models, training and evaluation for the GEAttack
+//! reproduction: the differentiable two-layer GCN that is attacked ([`gcn`]), its
+//! training loop ([`train`]), evaluation helpers ([`eval`]) and the linearized
+//! surrogate model used by the Nettack baseline ([`surrogate`]).
+
+pub mod eval;
+pub mod gcn;
+pub mod surrogate;
+pub mod train;
+
+pub use eval::{accuracy, node_predictions, predicted_class, NodePrediction};
+pub use gcn::{Gcn, GcnParamVars, GcnParams};
+pub use surrogate::{Surrogate, SurrogateConfig};
+pub use train::{train, EpochStats, TrainConfig, TrainedGcn};

@@ -1,0 +1,198 @@
+//! Compressed sparse row adjacency storage.
+//!
+//! The attacks and the GCN operate on a dense adjacency matrix (they need gradients
+//! with respect to every potential edge), but graph-traversal style preprocessing
+//! (connected components, k-hop neighbourhoods) is much cheaper on a CSR view.
+
+use geattack_tensor::Matrix;
+
+/// Compressed sparse row representation of an unweighted, undirected graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Csr {
+    indptr: Vec<usize>,
+    indices: Vec<usize>,
+}
+
+impl Csr {
+    /// Builds a CSR structure from an undirected edge list over `n` nodes.
+    /// Each `(u, v)` pair is inserted in both directions; duplicates and self loops
+    /// are ignored.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut neighbor_sets: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(u, v) in edges {
+            assert!(u < n && v < n, "edge ({u},{v}) out of bounds for {n} nodes");
+            if u == v {
+                continue;
+            }
+            neighbor_sets[u].push(v);
+            neighbor_sets[v].push(u);
+        }
+        for set in &mut neighbor_sets {
+            set.sort_unstable();
+            set.dedup();
+        }
+        let mut indptr = Vec::with_capacity(n + 1);
+        let mut indices = Vec::new();
+        indptr.push(0);
+        for set in &neighbor_sets {
+            indices.extend_from_slice(set);
+            indptr.push(indices.len());
+        }
+        Self { indptr, indices }
+    }
+
+    /// Builds a CSR structure from a dense, symmetric 0/1 adjacency matrix.
+    pub fn from_dense(adj: &Matrix) -> Self {
+        assert_eq!(adj.rows(), adj.cols(), "adjacency matrix must be square");
+        let n = adj.rows();
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if adj[(i, j)] > 0.5 {
+                    edges.push((i, j));
+                }
+            }
+        }
+        Self::from_edges(n, &edges)
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.indptr.len() - 1
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.indices.len() / 2
+    }
+
+    /// Neighbors of node `i` in ascending order.
+    pub fn neighbors(&self, i: usize) -> &[usize] {
+        &self.indices[self.indptr[i]..self.indptr[i + 1]]
+    }
+
+    /// Degree of node `i`.
+    pub fn degree(&self, i: usize) -> usize {
+        self.indptr[i + 1] - self.indptr[i]
+    }
+
+    /// Returns `true` if `u` and `v` are adjacent.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Connected components as a label per node (labels are 0..num_components).
+    pub fn connected_components(&self) -> Vec<usize> {
+        let n = self.num_nodes();
+        let mut comp = vec![usize::MAX; n];
+        let mut next = 0;
+        let mut stack = Vec::new();
+        for start in 0..n {
+            if comp[start] != usize::MAX {
+                continue;
+            }
+            comp[start] = next;
+            stack.push(start);
+            while let Some(u) = stack.pop() {
+                for &v in self.neighbors(u) {
+                    if comp[v] == usize::MAX {
+                        comp[v] = next;
+                        stack.push(v);
+                    }
+                }
+            }
+            next += 1;
+        }
+        comp
+    }
+
+    /// Nodes reachable from `seeds` within `k` hops (including the seeds),
+    /// returned in ascending order.
+    pub fn k_hop_nodes(&self, seeds: &[usize], k: usize) -> Vec<usize> {
+        let n = self.num_nodes();
+        let mut dist = vec![usize::MAX; n];
+        let mut frontier: Vec<usize> = Vec::new();
+        for &s in seeds {
+            assert!(s < n, "seed {s} out of bounds");
+            if dist[s] == usize::MAX {
+                dist[s] = 0;
+                frontier.push(s);
+            }
+        }
+        for hop in 1..=k {
+            let mut next = Vec::new();
+            for &u in &frontier {
+                for &v in self.neighbors(u) {
+                    if dist[v] == usize::MAX {
+                        dist[v] = hop;
+                        next.push(v);
+                    }
+                }
+            }
+            frontier = next;
+            if frontier.is_empty() {
+                break;
+            }
+        }
+        let mut out: Vec<usize> = (0..n).filter(|&i| dist[i] != usize::MAX).collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> Csr {
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        Csr::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn from_edges_dedups_and_symmetrizes() {
+        let csr = Csr::from_edges(3, &[(0, 1), (1, 0), (0, 1), (2, 2)]);
+        assert_eq!(csr.num_edges(), 1);
+        assert_eq!(csr.neighbors(0), &[1]);
+        assert_eq!(csr.neighbors(1), &[0]);
+        assert_eq!(csr.neighbors(2), &[] as &[usize]);
+    }
+
+    #[test]
+    fn from_dense_matches_from_edges() {
+        let mut adj = Matrix::zeros(4, 4);
+        for &(u, v) in &[(0usize, 1usize), (1, 2), (2, 3)] {
+            adj[(u, v)] = 1.0;
+            adj[(v, u)] = 1.0;
+        }
+        assert_eq!(Csr::from_dense(&adj), path_graph(4));
+    }
+
+    #[test]
+    fn degrees_and_has_edge() {
+        let csr = path_graph(4);
+        assert_eq!(csr.degree(0), 1);
+        assert_eq!(csr.degree(1), 2);
+        assert!(csr.has_edge(1, 2));
+        assert!(!csr.has_edge(0, 3));
+    }
+
+    #[test]
+    fn connected_components_two_islands() {
+        let csr = Csr::from_edges(5, &[(0, 1), (3, 4)]);
+        let comp = csr.connected_components();
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[3]);
+        assert_ne!(comp[2], comp[0]);
+    }
+
+    #[test]
+    fn k_hop_on_path() {
+        let csr = path_graph(6);
+        assert_eq!(csr.k_hop_nodes(&[0], 2), vec![0, 1, 2]);
+        assert_eq!(csr.k_hop_nodes(&[3], 1), vec![2, 3, 4]);
+        assert_eq!(csr.k_hop_nodes(&[0, 5], 1), vec![0, 1, 4, 5]);
+        assert_eq!(csr.k_hop_nodes(&[2], 0), vec![2]);
+    }
+}

@@ -1,0 +1,262 @@
+//! The central attributed-graph type used across the workspace.
+
+use geattack_tensor::Matrix;
+
+use crate::csr::Csr;
+
+/// An undirected attributed graph `G = (A, X, y)`.
+///
+/// The adjacency matrix is stored densely because every attack in the paper needs
+/// gradients (or scores) for *potential* edges, i.e. for the dense complement of
+/// the edge set. Node features are a dense `n x d` matrix and every node carries a
+/// class label in `0..n_classes`.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    adj: Matrix,
+    features: Matrix,
+    labels: Vec<usize>,
+    n_classes: usize,
+}
+
+impl Graph {
+    /// Creates a graph from its parts.
+    ///
+    /// # Panics
+    /// Panics if the adjacency matrix is not square/symmetric/0-1, if the feature
+    /// row count does not match, or if any label is out of range.
+    pub fn new(adj: Matrix, features: Matrix, labels: Vec<usize>, n_classes: usize) -> Self {
+        let n = adj.rows();
+        assert_eq!(adj.cols(), n, "adjacency matrix must be square");
+        assert_eq!(features.rows(), n, "feature rows must match node count");
+        assert_eq!(labels.len(), n, "label count must match node count");
+        assert!(n_classes > 0, "need at least one class");
+        for (i, &l) in labels.iter().enumerate() {
+            assert!(l < n_classes, "label {l} of node {i} out of range");
+        }
+        for i in 0..n {
+            assert_eq!(adj[(i, i)], 0.0, "self loop on node {i}; strip self loops first");
+            for j in 0..n {
+                let v = adj[(i, j)];
+                assert!(v == 0.0 || v == 1.0, "adjacency entries must be 0/1 (found {v})");
+                assert_eq!(v, adj[(j, i)], "adjacency must be symmetric at ({i},{j})");
+            }
+        }
+        Self { adj, features, labels, n_classes }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.adj.rows()
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        (self.adj.sum() / 2.0).round() as usize
+    }
+
+    /// Feature dimensionality.
+    pub fn num_features(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Dense adjacency matrix.
+    pub fn adjacency(&self) -> &Matrix {
+        &self.adj
+    }
+
+    /// Node feature matrix (`n x d`).
+    pub fn features(&self) -> &Matrix {
+        &self.features
+    }
+
+    /// Node labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Label of a single node.
+    pub fn label(&self, node: usize) -> usize {
+        self.labels[node]
+    }
+
+    /// Degree of `node` (number of incident edges).
+    pub fn degree(&self, node: usize) -> usize {
+        self.adj.row(node).iter().filter(|&&v| v > 0.5).count()
+    }
+
+    /// Neighbors of `node` in ascending order.
+    pub fn neighbors(&self, node: usize) -> Vec<usize> {
+        self.adj
+            .row(node)
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v > 0.5)
+            .map(|(j, _)| j)
+            .collect()
+    }
+
+    /// Returns `true` if `(u, v)` is an edge.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.adj[(u, v)] > 0.5
+    }
+
+    /// Adds the undirected edge `(u, v)`. Returns `false` if it already existed or
+    /// `u == v`.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> bool {
+        if u == v || self.has_edge(u, v) {
+            return false;
+        }
+        self.adj[(u, v)] = 1.0;
+        self.adj[(v, u)] = 1.0;
+        true
+    }
+
+    /// Removes the undirected edge `(u, v)`. Returns `false` if it did not exist.
+    pub fn remove_edge(&mut self, u: usize, v: usize) -> bool {
+        if !self.has_edge(u, v) {
+            return false;
+        }
+        self.adj[(u, v)] = 0.0;
+        self.adj[(v, u)] = 0.0;
+        true
+    }
+
+    /// All undirected edges as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        let n = self.num_nodes();
+        let mut out = Vec::with_capacity(self.num_edges());
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if self.has_edge(u, v) {
+                    out.push((u, v));
+                }
+            }
+        }
+        out
+    }
+
+    /// All nodes with the given label.
+    pub fn nodes_with_label(&self, label: usize) -> Vec<usize> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == label)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// CSR view of the current adjacency (rebuilt on demand).
+    pub fn to_csr(&self) -> Csr {
+        Csr::from_dense(&self.adj)
+    }
+
+    /// Fraction of edges whose endpoints share a label (edge homophily).
+    pub fn edge_homophily(&self) -> f64 {
+        let edges = self.edges();
+        if edges.is_empty() {
+            return 0.0;
+        }
+        let same = edges.iter().filter(|&&(u, v)| self.labels[u] == self.labels[v]).count();
+        same as f64 / edges.len() as f64
+    }
+
+    /// Average node degree.
+    pub fn average_degree(&self) -> f64 {
+        2.0 * self.num_edges() as f64 / self.num_nodes() as f64
+    }
+
+    /// Builds a new graph keeping only `nodes` (in the given order), remapping
+    /// edges, features and labels. Returns the new graph; the mapping from old to
+    /// new ids is simply `nodes[i] -> i`.
+    pub fn induced_subgraph(&self, nodes: &[usize]) -> Graph {
+        let k = nodes.len();
+        let mut adj = Matrix::zeros(k, k);
+        for (a, &u) in nodes.iter().enumerate() {
+            for (b, &v) in nodes.iter().enumerate() {
+                adj[(a, b)] = self.adj[(u, v)];
+            }
+        }
+        let features = self.features.gather_rows(nodes);
+        let labels = nodes.iter().map(|&u| self.labels[u]).collect();
+        Graph { adj, features, labels, n_classes: self.n_classes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn triangle_plus_isolated() -> Graph {
+        let mut adj = Matrix::zeros(4, 4);
+        for &(u, v) in &[(0usize, 1usize), (1, 2), (0, 2)] {
+            adj[(u, v)] = 1.0;
+            adj[(v, u)] = 1.0;
+        }
+        let features = Matrix::from_fn(4, 3, |i, j| (i * 3 + j) as f64);
+        Graph::new(adj, features, vec![0, 0, 1, 1], 2)
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = triangle_plus_isolated();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.num_features(), 3);
+        assert_eq!(g.num_classes(), 2);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(3), 0);
+        assert_eq!(g.neighbors(1), vec![0, 2]);
+    }
+
+    #[test]
+    fn add_remove_edge_symmetry() {
+        let mut g = triangle_plus_isolated();
+        assert!(g.add_edge(0, 3));
+        assert!(!g.add_edge(0, 3), "duplicate edge must be rejected");
+        assert!(!g.add_edge(2, 2), "self loop must be rejected");
+        assert!(g.has_edge(3, 0));
+        assert!(g.remove_edge(3, 0));
+        assert!(!g.has_edge(0, 3));
+        assert!(!g.remove_edge(0, 3));
+    }
+
+    #[test]
+    fn edges_and_labels() {
+        let g = triangle_plus_isolated();
+        assert_eq!(g.edges(), vec![(0, 1), (0, 2), (1, 2)]);
+        assert_eq!(g.nodes_with_label(1), vec![2, 3]);
+        // Two of three triangle edges connect different labels.
+        assert!((g.edge_homophily() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn induced_subgraph_remaps() {
+        let g = triangle_plus_isolated();
+        let sub = g.induced_subgraph(&[2, 0, 1]);
+        assert_eq!(sub.num_nodes(), 3);
+        assert_eq!(sub.num_edges(), 3);
+        assert_eq!(sub.labels(), &[1, 0, 0]);
+        assert_eq!(sub.features().row(0), g.features().row(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn asymmetric_adjacency_rejected() {
+        let mut adj = Matrix::zeros(2, 2);
+        adj[(0, 1)] = 1.0;
+        let _ = Graph::new(adj, Matrix::zeros(2, 1), vec![0, 0], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "self loop")]
+    fn self_loop_rejected() {
+        let mut adj = Matrix::zeros(2, 2);
+        adj[(0, 0)] = 1.0;
+        let _ = Graph::new(adj, Matrix::zeros(2, 1), vec![0, 0], 1);
+    }
+}

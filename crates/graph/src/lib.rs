@@ -1,0 +1,27 @@
+//! # geattack-graph
+//!
+//! Graph data structures, preprocessing and synthetic benchmark datasets for the
+//! GEAttack reproduction.
+//!
+//! The central type is [`graph::Graph`]: a dense-adjacency attributed graph
+//! `G = (A, X, y)`. Supporting modules provide CSR traversal ([`csr`]), largest
+//! connected-component extraction and GCN normalization ([`preprocess`]),
+//! computation-subgraph extraction for explainers ([`subgraph`]), node splits
+//! ([`split`]), synthetic CITESEER/CORA/ACM-like datasets ([`datasets`]) and
+//! adversarial perturbation bookkeeping ([`perturb`]).
+
+pub mod csr;
+pub mod datasets;
+pub mod graph;
+pub mod perturb;
+pub mod preprocess;
+pub mod split;
+pub mod subgraph;
+
+pub use csr::Csr;
+pub use datasets::{DatasetName, DatasetSpec, GeneratorConfig};
+pub use graph::Graph;
+pub use perturb::Perturbation;
+pub use preprocess::{largest_connected_component, normalized_adjacency, GraphStats};
+pub use split::{random_split, stratified_split, DataSplit};
+pub use subgraph::{computation_subgraph, ComputationSubgraph};

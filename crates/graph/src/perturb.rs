@@ -1,0 +1,164 @@
+//! Tracking and applying adversarial perturbations `E'` to a graph.
+//!
+//! The paper restricts attackers to **adding** edges incident to the target node
+//! (direct structure attack) under a budget `Δ = ‖Â − A‖₀ ≤ degree(target)`.
+//! [`Perturbation`] records the edit set so that evaluation code can later ask
+//! "which edges were adversarial?" when scoring explainer-based detection.
+
+use crate::graph::Graph;
+
+/// An ordered set of undirected edge edits applied to a clean graph.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Perturbation {
+    added: Vec<(usize, usize)>,
+    removed: Vec<(usize, usize)>,
+}
+
+fn canonical(u: usize, v: usize) -> (usize, usize) {
+    if u <= v {
+        (u, v)
+    } else {
+        (v, u)
+    }
+}
+
+impl Perturbation {
+    /// Creates an empty perturbation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an edge addition. Duplicate additions are ignored.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert_ne!(u, v, "cannot add a self loop");
+        let e = canonical(u, v);
+        if !self.added.contains(&e) {
+            self.added.push(e);
+        }
+    }
+
+    /// Records an edge removal. Duplicate removals are ignored.
+    pub fn remove_edge(&mut self, u: usize, v: usize) {
+        assert_ne!(u, v, "cannot remove a self loop");
+        let e = canonical(u, v);
+        if !self.removed.contains(&e) {
+            self.removed.push(e);
+        }
+    }
+
+    /// Edges added by the attacker (canonical `(min, max)` order).
+    pub fn added(&self) -> &[(usize, usize)] {
+        &self.added
+    }
+
+    /// Edges removed by the attacker.
+    pub fn removed(&self) -> &[(usize, usize)] {
+        &self.removed
+    }
+
+    /// Number of edits, i.e. `‖Â − A‖₀` counted over undirected edges.
+    pub fn size(&self) -> usize {
+        self.added.len() + self.removed.len()
+    }
+
+    /// True if no edits were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.size() == 0
+    }
+
+    /// True if the number of edits does not exceed `budget`.
+    pub fn within_budget(&self, budget: usize) -> bool {
+        self.size() <= budget
+    }
+
+    /// Added edges incident to `node`.
+    pub fn added_incident_to(&self, node: usize) -> Vec<(usize, usize)> {
+        self.added.iter().copied().filter(|&(u, v)| u == node || v == node).collect()
+    }
+
+    /// Returns `true` if the given undirected edge was added by this perturbation.
+    pub fn contains_added(&self, u: usize, v: usize) -> bool {
+        self.added.contains(&canonical(u, v))
+    }
+
+    /// Applies the perturbation to `graph`, returning the corrupted graph `Ĝ`.
+    ///
+    /// # Panics
+    /// Panics if an addition already exists in the graph or a removal does not —
+    /// that would indicate the attack and the clean graph got out of sync.
+    pub fn apply(&self, graph: &Graph) -> Graph {
+        let mut out = graph.clone();
+        for &(u, v) in &self.added {
+            assert!(out.add_edge(u, v), "perturbation adds an existing edge ({u},{v})");
+        }
+        for &(u, v) in &self.removed {
+            assert!(out.remove_edge(u, v), "perturbation removes a missing edge ({u},{v})");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geattack_tensor::Matrix;
+
+    fn small_graph() -> Graph {
+        let mut adj = Matrix::zeros(4, 4);
+        adj[(0, 1)] = 1.0;
+        adj[(1, 0)] = 1.0;
+        Graph::new(adj, Matrix::ones(4, 2), vec![0, 1, 0, 1], 2)
+    }
+
+    #[test]
+    fn add_and_apply() {
+        let g = small_graph();
+        let mut p = Perturbation::new();
+        p.add_edge(2, 0);
+        p.add_edge(0, 2); // duplicate, ignored
+        assert_eq!(p.size(), 1);
+        let attacked = p.apply(&g);
+        assert!(attacked.has_edge(0, 2));
+        assert_eq!(attacked.num_edges(), g.num_edges() + 1);
+        assert!(p.contains_added(0, 2));
+        assert!(p.contains_added(2, 0));
+    }
+
+    #[test]
+    fn removal_tracked_separately() {
+        let g = small_graph();
+        let mut p = Perturbation::new();
+        p.remove_edge(0, 1);
+        let attacked = p.apply(&g);
+        assert!(!attacked.has_edge(0, 1));
+        assert_eq!(p.removed(), &[(0, 1)]);
+        assert!(p.added().is_empty());
+    }
+
+    #[test]
+    fn budget_and_incidence() {
+        let mut p = Perturbation::new();
+        p.add_edge(3, 1);
+        p.add_edge(2, 3);
+        assert!(p.within_budget(2));
+        assert!(!p.within_budget(1));
+        assert_eq!(p.added_incident_to(3), vec![(1, 3), (2, 3)]);
+        assert_eq!(p.added_incident_to(0), vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "adds an existing edge")]
+    fn applying_existing_edge_panics() {
+        let g = small_graph();
+        let mut p = Perturbation::new();
+        p.add_edge(0, 1);
+        let _ = p.apply(&g);
+    }
+
+    #[test]
+    #[should_panic(expected = "self loop")]
+    fn self_loop_panics() {
+        let mut p = Perturbation::new();
+        p.add_edge(1, 1);
+    }
+}

@@ -1,0 +1,141 @@
+//! Train/validation/test node splits.
+//!
+//! Following the paper (Section A.1), nodes are split 10% / 10% / 80% uniformly at
+//! random; an optional stratified variant keeps class proportions balanced in the
+//! training set, which stabilizes GCN accuracy on small synthetic graphs.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Node index sets for training, validation and testing.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DataSplit {
+    /// Labelled nodes used to train the GCN.
+    pub train: Vec<usize>,
+    /// Nodes used for early stopping / model selection.
+    pub val: Vec<usize>,
+    /// Held-out nodes (attack victims are drawn from these).
+    pub test: Vec<usize>,
+}
+
+impl DataSplit {
+    /// Total number of nodes covered by the split.
+    pub fn len(&self) -> usize {
+        self.train.len() + self.val.len() + self.test.len()
+    }
+
+    /// True if the split covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Checks that the three sets are disjoint and cover exactly `0..n`.
+    pub fn is_partition_of(&self, n: usize) -> bool {
+        let mut seen = vec![false; n];
+        for &i in self.train.iter().chain(&self.val).chain(&self.test) {
+            if i >= n || seen[i] {
+                return false;
+            }
+            seen[i] = true;
+        }
+        seen.into_iter().all(|s| s)
+    }
+}
+
+/// Uniform random split with the given train/val fractions (test gets the rest).
+pub fn random_split(n: usize, train_frac: f64, val_frac: f64, rng: &mut impl Rng) -> DataSplit {
+    assert!(train_frac > 0.0 && val_frac >= 0.0 && train_frac + val_frac < 1.0, "invalid split fractions");
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+    let n_train = ((n as f64) * train_frac).round().max(1.0) as usize;
+    let n_val = ((n as f64) * val_frac).round() as usize;
+    let (train, rest) = order.split_at(n_train.min(n));
+    let (val, test) = rest.split_at(n_val.min(rest.len()));
+    DataSplit { train: train.to_vec(), val: val.to_vec(), test: test.to_vec() }
+}
+
+/// Random split whose training set is stratified by class label: each class
+/// contributes proportionally (at least one node when possible).
+pub fn stratified_split(
+    labels: &[usize],
+    n_classes: usize,
+    train_frac: f64,
+    val_frac: f64,
+    rng: &mut impl Rng,
+) -> DataSplit {
+    assert!(train_frac > 0.0 && val_frac >= 0.0 && train_frac + val_frac < 1.0, "invalid split fractions");
+    let n = labels.len();
+    let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); n_classes];
+    for (i, &l) in labels.iter().enumerate() {
+        assert!(l < n_classes, "label {l} out of range");
+        by_class[l].push(i);
+    }
+    let mut train = Vec::new();
+    let mut rest = Vec::new();
+    for nodes in &mut by_class {
+        nodes.shuffle(rng);
+        let take = ((nodes.len() as f64) * train_frac).round().max(1.0) as usize;
+        let take = take.min(nodes.len());
+        train.extend_from_slice(&nodes[..take]);
+        rest.extend_from_slice(&nodes[take..]);
+    }
+    rest.shuffle(rng);
+    let n_val = ((n as f64) * val_frac).round() as usize;
+    let n_val = n_val.min(rest.len());
+    let val = rest[..n_val].to_vec();
+    let test = rest[n_val..].to_vec();
+    train.sort_unstable();
+    DataSplit { train, val, test }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn random_split_is_partition() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let s = random_split(100, 0.1, 0.1, &mut rng);
+        assert!(s.is_partition_of(100));
+        assert_eq!(s.train.len(), 10);
+        assert_eq!(s.val.len(), 10);
+        assert_eq!(s.test.len(), 80);
+    }
+
+    #[test]
+    fn stratified_split_covers_every_class() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        // 3 classes with unbalanced sizes.
+        let labels: Vec<usize> = (0..90).map(|i| if i < 60 { 0 } else if i < 80 { 1 } else { 2 }).collect();
+        let s = stratified_split(&labels, 3, 0.1, 0.1, &mut rng);
+        assert!(s.is_partition_of(90));
+        for c in 0..3 {
+            assert!(
+                s.train.iter().any(|&i| labels[i] == c),
+                "class {c} missing from training set"
+            );
+        }
+    }
+
+    #[test]
+    fn split_is_deterministic_for_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(9);
+        let mut b = ChaCha8Rng::seed_from_u64(9);
+        assert_eq!(random_split(50, 0.2, 0.2, &mut a), random_split(50, 0.2, 0.2, &mut b));
+    }
+
+    #[test]
+    fn partition_check_detects_overlap() {
+        let s = DataSplit { train: vec![0, 1], val: vec![1], test: vec![2] };
+        assert!(!s.is_partition_of(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid split fractions")]
+    fn invalid_fractions_panic() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let _ = random_split(10, 0.9, 0.2, &mut rng);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests of the graph substrate: structural invariants of CSR,
+//! graphs, subgraphs and perturbations under random inputs.
+
+use proptest::prelude::*;
+
+use geattack_graph::csr::Csr;
+use geattack_graph::graph::Graph;
+use geattack_graph::perturb::Perturbation;
+use geattack_graph::preprocess::largest_connected_component;
+use geattack_graph::subgraph::computation_subgraph;
+use geattack_tensor::Matrix;
+
+const N: usize = 12;
+
+fn edges_strategy() -> impl Strategy<Value = Vec<(usize, usize)>> {
+    proptest::collection::vec((0usize..N, 0usize..N), 0..40)
+}
+
+fn graph_from_edges(edges: &[(usize, usize)]) -> Graph {
+    let mut adj = Matrix::zeros(N, N);
+    for &(u, v) in edges {
+        if u != v {
+            adj[(u, v)] = 1.0;
+            adj[(v, u)] = 1.0;
+        }
+    }
+    let features = Matrix::from_fn(N, 3, |i, j| ((i + j) % 2) as f64);
+    let labels: Vec<usize> = (0..N).map(|i| i % 3).collect();
+    Graph::new(adj, features, labels, 3)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csr_degree_sum_is_twice_edge_count(edges in edges_strategy()) {
+        let csr = Csr::from_edges(N, &edges);
+        let degree_sum: usize = (0..N).map(|i| csr.degree(i)).sum();
+        prop_assert_eq!(degree_sum, 2 * csr.num_edges());
+    }
+
+    #[test]
+    fn csr_adjacency_is_symmetric(edges in edges_strategy()) {
+        let csr = Csr::from_edges(N, &edges);
+        for u in 0..N {
+            for &v in csr.neighbors(u) {
+                prop_assert!(csr.has_edge(v, u), "asymmetric edge ({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn graph_and_csr_agree(edges in edges_strategy()) {
+        let graph = graph_from_edges(&edges);
+        let csr = graph.to_csr();
+        prop_assert_eq!(graph.num_edges(), csr.num_edges());
+        for i in 0..N {
+            prop_assert_eq!(graph.degree(i), csr.degree(i));
+            prop_assert_eq!(graph.neighbors(i), csr.neighbors(i).to_vec());
+        }
+    }
+
+    #[test]
+    fn lcc_is_connected_and_no_larger_than_original(edges in edges_strategy()) {
+        let graph = graph_from_edges(&edges);
+        let (lcc, nodes) = largest_connected_component(&graph);
+        prop_assert!(lcc.num_nodes() <= graph.num_nodes());
+        prop_assert_eq!(lcc.num_nodes(), nodes.len());
+        if lcc.num_nodes() > 0 {
+            let comps = lcc.to_csr().connected_components();
+            prop_assert!(comps.iter().all(|&c| c == comps[0]), "LCC is not connected");
+        }
+    }
+
+    #[test]
+    fn computation_subgraph_preserves_edges_and_target(edges in edges_strategy(), target in 0usize..N) {
+        let graph = graph_from_edges(&edges);
+        let sub = computation_subgraph(&graph, target, 2, &[]);
+        prop_assert_eq!(sub.to_global(sub.target_local), target);
+        // Every edge of the local adjacency must exist in the full graph.
+        for a in 0..sub.num_nodes() {
+            for b in 0..sub.num_nodes() {
+                if sub.adjacency[(a, b)] > 0.5 {
+                    prop_assert!(graph.has_edge(sub.to_global(a), sub.to_global(b)));
+                }
+            }
+        }
+        // Every direct neighbor of the target must be present.
+        for v in graph.neighbors(target) {
+            prop_assert!(sub.to_local(v).is_some());
+        }
+    }
+
+    #[test]
+    fn perturbation_apply_adds_exactly_the_new_edges(
+        edges in edges_strategy(),
+        additions in proptest::collection::vec((0usize..N, 0usize..N), 1..6),
+    ) {
+        let graph = graph_from_edges(&edges);
+        let mut perturbation = Perturbation::new();
+        for (u, v) in additions {
+            if u != v && !graph.has_edge(u, v) && !perturbation.contains_added(u, v) {
+                perturbation.add_edge(u, v);
+            }
+        }
+        let attacked = perturbation.apply(&graph);
+        prop_assert_eq!(attacked.num_edges(), graph.num_edges() + perturbation.size());
+        for &(u, v) in perturbation.added() {
+            prop_assert!(attacked.has_edge(u, v));
+            prop_assert!(!graph.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn edge_homophily_is_a_fraction(edges in edges_strategy()) {
+        let graph = graph_from_edges(&edges);
+        let h = graph.edge_homophily();
+        prop_assert!((0.0..=1.0).contains(&h));
+    }
+}

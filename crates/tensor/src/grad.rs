@@ -1,0 +1,371 @@
+//! Reverse-mode gradient construction.
+//!
+//! [`grad`] walks the tape backwards from a scalar output and accumulates
+//! vector-Jacobian products. Crucially every VJP is expressed *with tape
+//! operations*, so the returned gradients are ordinary [`Var`]s that can be fed
+//! into further computations and differentiated again (double backward). This is
+//! what lets GEAttack differentiate through the explainer's inner gradient-descent
+//! updates (Eq. 6/8 of the paper).
+
+use crate::matrix::Matrix;
+use crate::tape::{Op, Tape, Var};
+
+/// Computes `d output / d wrt[i]` for every requested variable.
+///
+/// `output` must be a `1x1` scalar. Variables that `output` does not depend on
+/// receive an all-zeros gradient of their own shape.
+///
+/// The gradients are recorded on the same tape, so they can participate in new
+/// expressions whose gradients can be taken in turn.
+///
+/// # Panics
+/// Panics if `output` is not `1x1`.
+pub fn grad(tape: &Tape, output: Var, wrt: &[Var]) -> Vec<Var> {
+    assert_eq!(output.shape(), (1, 1), "grad: output must be a 1x1 scalar");
+
+    // Mark every ancestor of `output` so the backward sweep can skip unrelated nodes.
+    let mut needed = vec![false; output.id() + 1];
+    let mut stack = vec![output.id()];
+    needed[output.id()] = true;
+    while let Some(id) = stack.pop() {
+        for p in tape.parents_of(id) {
+            if !needed[p] {
+                needed[p] = true;
+                stack.push(p);
+            }
+        }
+    }
+
+    let mut grads: Vec<Option<Var>> = vec![None; output.id() + 1];
+    grads[output.id()] = Some(tape.constant(Matrix::ones(1, 1)));
+
+    for id in (0..=output.id()).rev() {
+        if !needed[id] {
+            continue;
+        }
+        let Some(g) = grads[id] else { continue };
+        let op = tape.op_of(id);
+        let parents = tape.parents_of(id);
+        for (slot, contribution) in vjp(tape, id, &op, &parents, g) {
+            accumulate(tape, &mut grads, slot, contribution);
+        }
+    }
+
+    wrt.iter()
+        .map(|w| {
+            if w.id() <= output.id() {
+                if let Some(g) = grads[w.id()] {
+                    return g;
+                }
+            }
+            tape.constant(Matrix::zeros(w.rows(), w.cols()))
+        })
+        .collect()
+}
+
+/// Convenience wrapper around [`grad`] returning concrete matrices instead of tape
+/// handles. Use this when the gradient is a final result (e.g. an optimizer step)
+/// rather than part of a larger differentiable expression.
+pub fn grad_values(tape: &Tape, output: Var, wrt: &[Var]) -> Vec<Matrix> {
+    grad(tape, output, wrt).into_iter().map(|v| tape.value(v)).collect()
+}
+
+fn accumulate(tape: &Tape, grads: &mut [Option<Var>], id: usize, contribution: Var) {
+    grads[id] = Some(match grads[id] {
+        Some(existing) => tape.add(existing, contribution),
+        None => contribution,
+    });
+}
+
+/// Vector-Jacobian products of a single node: for each parent, the gradient
+/// contribution flowing into it given the output gradient `g` of node `id`.
+fn vjp(tape: &Tape, id: usize, op: &Op, parents: &[usize], g: Var) -> Vec<(usize, Var)> {
+    let parent_var = |k: usize| tape.var_for(parents[k]);
+    match op {
+        Op::Leaf => vec![],
+        Op::Add => vec![(parents[0], g), (parents[1], g)],
+        Op::Sub => vec![(parents[0], g), (parents[1], tape.neg(g))],
+        Op::Neg => vec![(parents[0], tape.neg(g))],
+        Op::Mul => {
+            let a = parent_var(0);
+            let b = parent_var(1);
+            vec![(parents[0], tape.mul(g, b)), (parents[1], tape.mul(g, a))]
+        }
+        Op::AddScalar(_) => vec![(parents[0], g)],
+        Op::MulScalar(s) => vec![(parents[0], tape.mul_scalar(g, *s))],
+        Op::PowScalar(p) => {
+            let a = parent_var(0);
+            let deriv = tape.mul_scalar(tape.pow_scalar(a, p - 1.0), *p);
+            vec![(parents[0], tape.mul(g, deriv))]
+        }
+        Op::MatMul => {
+            let a = parent_var(0);
+            let b = parent_var(1);
+            let bt = tape.transpose(b);
+            let at = tape.transpose(a);
+            vec![(parents[0], tape.matmul(g, bt)), (parents[1], tape.matmul(at, g))]
+        }
+        Op::Transpose => vec![(parents[0], tape.transpose(g))],
+        Op::Sigmoid => {
+            // dσ/dx = σ(x)(1 - σ(x)); reuse the node's own output value.
+            let y = tape.var_for(id);
+            let one_minus = tape.add_scalar(tape.mul_scalar(y, -1.0), 1.0);
+            let deriv = tape.mul(y, one_minus);
+            vec![(parents[0], tape.mul(g, deriv))]
+        }
+        Op::Relu => {
+            // The subgradient mask is treated as a constant: the second derivative
+            // of ReLU is zero almost everywhere, so detaching is exact for the
+            // double-backward use case.
+            let mask = tape.with_node(parents[0], |n| n.value.map(|x| if x > 0.0 { 1.0 } else { 0.0 }));
+            let mask = tape.constant(mask);
+            vec![(parents[0], tape.mul(g, mask))]
+        }
+        Op::Tanh => {
+            let y = tape.var_for(id);
+            let y2 = tape.mul(y, y);
+            let deriv = tape.add_scalar(tape.mul_scalar(y2, -1.0), 1.0);
+            vec![(parents[0], tape.mul(g, deriv))]
+        }
+        Op::Exp => {
+            let y = tape.var_for(id);
+            vec![(parents[0], tape.mul(g, y))]
+        }
+        Op::Ln => {
+            let a = parent_var(0);
+            let inv = tape.pow_scalar(a, -1.0);
+            vec![(parents[0], tape.mul(g, inv))]
+        }
+        Op::SumAll => {
+            let a = parent_var(0);
+            vec![(parents[0], tape.broadcast_scalar(g, a.rows(), a.cols()))]
+        }
+        Op::SumRows => {
+            let a = parent_var(0);
+            vec![(parents[0], tape.col_broadcast(g, a.cols()))]
+        }
+        Op::SumCols => {
+            let a = parent_var(0);
+            vec![(parents[0], tape.row_broadcast(g, a.rows()))]
+        }
+        Op::BroadcastScalar { .. } => vec![(parents[0], tape.sum_all(g))],
+        Op::ColBroadcast { .. } => vec![(parents[0], tape.sum_rows(g))],
+        Op::RowBroadcast { .. } => vec![(parents[0], tape.sum_cols(g))],
+        Op::GatherRows { indices } => {
+            let a = parent_var(0);
+            vec![(parents[0], tape.scatter_rows(g, indices, a.rows()))]
+        }
+        Op::ScatterRows { indices, .. } => vec![(parents[0], tape.gather_rows(g, indices))],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Central finite-difference check of `d f / d x` for a scalar-valued builder.
+    fn finite_diff(
+        build: impl Fn(&Tape, Var) -> Var,
+        x0: &Matrix,
+        eps: f64,
+    ) -> Matrix {
+        let mut out = Matrix::zeros(x0.rows(), x0.cols());
+        for i in 0..x0.rows() {
+            for j in 0..x0.cols() {
+                let mut plus = x0.clone();
+                plus[(i, j)] += eps;
+                let mut minus = x0.clone();
+                minus[(i, j)] -= eps;
+                let tape = Tape::new();
+                let vp = tape.input(plus);
+                let fp = tape.value(build(&tape, vp)).scalar();
+                let tape = Tape::new();
+                let vm = tape.input(minus);
+                let fm = tape.value(build(&tape, vm)).scalar();
+                out[(i, j)] = (fp - fm) / (2.0 * eps);
+            }
+        }
+        out
+    }
+
+    fn check_grad(build: impl Fn(&Tape, Var) -> Var + Copy, x0: Matrix, tol: f64) {
+        let tape = Tape::new();
+        let x = tape.input(x0.clone());
+        let y = build(&tape, x);
+        let g = grad(&tape, y, &[x]);
+        let analytic = tape.value(g[0]);
+        let numeric = finite_diff(build, &x0, 1e-5);
+        assert!(
+            analytic.approx_eq(&numeric, tol),
+            "gradient mismatch\nanalytic: {analytic:?}\nnumeric: {numeric:?}"
+        );
+    }
+
+    #[test]
+    fn grad_of_sum_is_ones() {
+        let tape = Tape::new();
+        let x = tape.input(Matrix::from_fn(3, 2, |i, j| (i + j) as f64));
+        let y = tape.sum_all(x);
+        let g = grad(&tape, y, &[x]);
+        assert!(tape.value(g[0]).approx_eq(&Matrix::ones(3, 2), 1e-12));
+    }
+
+    #[test]
+    fn grad_of_unrelated_var_is_zero() {
+        let tape = Tape::new();
+        let x = tape.input(Matrix::ones(2, 2));
+        let z = tape.input(Matrix::ones(3, 1));
+        let y = tape.sum_all(x);
+        let g = grad(&tape, y, &[z]);
+        assert!(tape.value(g[0]).approx_eq(&Matrix::zeros(3, 1), 1e-12));
+    }
+
+    #[test]
+    fn grad_elementwise_chain_matches_finite_diff() {
+        let x0 = Matrix::from_vec(2, 3, vec![0.5, -1.2, 0.3, 2.0, -0.7, 1.1]);
+        check_grad(
+            |t, x| {
+                let s = t.sigmoid(x);
+                let r = t.mul(s, s);
+                t.sum_all(r)
+            },
+            x0,
+            1e-6,
+        );
+    }
+
+    #[test]
+    fn grad_matmul_matches_finite_diff() {
+        let x0 = Matrix::from_vec(2, 3, vec![0.5, -1.2, 0.3, 2.0, -0.7, 1.1]);
+        check_grad(
+            |t, x| {
+                let w = t.constant(Matrix::from_fn(3, 2, |i, j| 0.3 * (i as f64) - 0.2 * (j as f64) + 0.1));
+                let h = t.matmul(x, w);
+                let h = t.relu(h);
+                t.sum_all(t.mul(h, h))
+            },
+            x0,
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn grad_exp_ln_pow_matches_finite_diff() {
+        let x0 = Matrix::from_vec(1, 4, vec![0.4, 1.3, 2.2, 0.9]);
+        check_grad(
+            |t, x| {
+                let e = t.exp(x);
+                let l = t.ln(t.add_scalar(e, 1.0));
+                let p = t.pow_scalar(l, 1.5);
+                t.sum_all(p)
+            },
+            x0,
+            1e-6,
+        );
+    }
+
+    #[test]
+    fn grad_broadcast_reduction_matches_finite_diff() {
+        let x0 = Matrix::from_vec(3, 1, vec![0.2, -0.4, 0.9]);
+        check_grad(
+            |t, x| {
+                let b = t.col_broadcast(x, 4);
+                let s = t.sigmoid(b);
+                let r = t.sum_cols(s);
+                t.sum_all(t.mul(r, r))
+            },
+            x0,
+            1e-6,
+        );
+    }
+
+    #[test]
+    fn grad_gather_scatter_matches_finite_diff() {
+        let x0 = Matrix::from_fn(4, 2, |i, j| 0.1 * (i as f64 + 1.0) * (j as f64 + 1.0));
+        check_grad(
+            |t, x| {
+                let g = t.gather_rows(x, &[2, 0, 2]);
+                let s = t.mul(g, g);
+                t.sum_all(s)
+            },
+            x0,
+            1e-6,
+        );
+    }
+
+    #[test]
+    fn grad_transpose_matches_finite_diff() {
+        let x0 = Matrix::from_fn(2, 3, |i, j| (i as f64) - 0.5 * (j as f64));
+        check_grad(
+            |t, x| {
+                let xt = t.transpose(x);
+                let p = t.matmul(xt, x);
+                t.sum_all(p)
+            },
+            x0,
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn double_backward_quadratic() {
+        // f(x) = sum(x^3); df/dx = 3x^2; g(x) = sum(df/dx) => dg/dx = 6x.
+        let x0 = Matrix::from_vec(1, 3, vec![1.0, -2.0, 0.5]);
+        let tape = Tape::new();
+        let x = tape.input(x0.clone());
+        let f = tape.sum_all(tape.pow_scalar(x, 3.0));
+        let df = grad(&tape, f, &[x])[0];
+        let g = tape.sum_all(df);
+        let d2 = grad(&tape, g, &[x])[0];
+        let expected = x0.map(|v| 6.0 * v);
+        assert!(tape.value(d2).approx_eq(&expected, 1e-8));
+    }
+
+    #[test]
+    fn double_backward_through_gradient_step() {
+        // Mimics the GEAttack inner loop on a toy problem:
+        //   inner loss  L(m, a) = sum((m - a)^2)
+        //   one gradient step m1 = m0 - eta * dL/dm = m0 - 2 eta (m0 - a)
+        //   outer loss  J(a) = sum(m1 * a)
+        // Analytically m1 = m0(1-2eta) + 2 eta a, so dJ/da = m0(1-2eta) + 4 eta a.
+        let eta = 0.3;
+        let m0 = Matrix::from_vec(1, 3, vec![0.5, -0.2, 1.0]);
+        let a0 = Matrix::from_vec(1, 3, vec![1.5, 0.4, -0.3]);
+
+        let tape = Tape::new();
+        let a = tape.input(a0.clone());
+        let m = tape.constant(m0.clone());
+        let diff = tape.sub(m, a);
+        let inner = tape.sum_all(tape.mul(diff, diff));
+        let dm = grad(&tape, inner, &[m])[0];
+        let m1 = tape.sub(m, tape.mul_scalar(dm, eta));
+        let outer = tape.sum_all(tape.mul(m1, a));
+        let da = grad(&tape, outer, &[a])[0];
+
+        let expected = Matrix::from_fn(1, 3, |_, j| {
+            m0[(0, j)] * (1.0 - 2.0 * eta) + 4.0 * eta * a0[(0, j)]
+        });
+        assert!(
+            tape.value(da).approx_eq(&expected, 1e-8),
+            "outer gradient through inner step mismatch: {:?} vs {expected:?}",
+            tape.value(da)
+        );
+    }
+
+    #[test]
+    fn grad_values_returns_matrices() {
+        let tape = Tape::new();
+        let x = tape.input(Matrix::ones(2, 2));
+        let y = tape.sum_all(tape.mul(x, x));
+        let gs = grad_values(&tape, y, &[x]);
+        assert!(gs[0].approx_eq(&Matrix::full(2, 2, 2.0), 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "1x1 scalar")]
+    fn grad_requires_scalar_output() {
+        let tape = Tape::new();
+        let x = tape.input(Matrix::ones(2, 2));
+        let _ = grad(&tape, x, &[x]);
+    }
+}

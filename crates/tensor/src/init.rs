@@ -1,0 +1,77 @@
+//! Weight initialization schemes.
+
+use rand::Rng;
+
+use crate::matrix::Matrix;
+
+/// Glorot/Xavier uniform initialization: `U(-limit, limit)` with
+/// `limit = sqrt(6 / (fan_in + fan_out))`. The standard choice for GCN layers.
+pub fn glorot_uniform(rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix {
+    let limit = (6.0 / (rows + cols) as f64).sqrt();
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-limit..limit))
+}
+
+/// He/Kaiming normal initialization, suited to ReLU MLPs (PGExplainer's mask MLP).
+pub fn he_normal(rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix {
+    let std = (2.0 / rows as f64).sqrt();
+    Matrix::from_fn(rows, cols, |_, _| std * standard_normal(rng))
+}
+
+/// Uniform initialization on `(low, high)`.
+pub fn uniform(rows: usize, cols: usize, low: f64, high: f64, rng: &mut impl Rng) -> Matrix {
+    assert!(low < high, "uniform: low must be < high");
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(low..high))
+}
+
+/// Normal initialization with the given mean and standard deviation.
+pub fn normal(rows: usize, cols: usize, mean: f64, std: f64, rng: &mut impl Rng) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| mean + std * standard_normal(rng))
+}
+
+/// Standard normal sample via Box–Muller (avoids an extra dependency on
+/// `rand_distr`).
+pub fn standard_normal(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn glorot_within_limit() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let m = glorot_uniform(50, 30, &mut rng);
+        let limit = (6.0 / 80.0f64).sqrt();
+        assert!(m.max() <= limit && m.min() >= -limit);
+        assert_eq!(m.shape(), (50, 30));
+    }
+
+    #[test]
+    fn normal_statistics_roughly_match() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let m = normal(200, 50, 1.0, 2.0, &mut rng);
+        let mean = m.mean();
+        assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
+        let var = m.map(|x| (x - mean) * (x - mean)).mean();
+        assert!((var.sqrt() - 2.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(11);
+        let mut b = ChaCha8Rng::seed_from_u64(11);
+        assert!(glorot_uniform(4, 4, &mut a).approx_eq(&glorot_uniform(4, 4, &mut b), 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "low must be")]
+    fn uniform_invalid_range_panics() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let _ = uniform(2, 2, 1.0, 1.0, &mut rng);
+    }
+}

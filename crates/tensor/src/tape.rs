@@ -1,0 +1,453 @@
+//! The autodiff tape: eagerly-evaluated operations recorded as a DAG.
+//!
+//! Every operation immediately computes its [`Matrix`] value and records a node
+//! referencing its parents. Gradients ([`crate::grad::grad`]) are produced by
+//! *emitting more tape operations*, which makes the gradient expressions themselves
+//! differentiable — the double-backward capability GEAttack's bilevel objective
+//! needs (the outer gradient w.r.t. the adjacency matrix flows through the inner
+//! explainer gradient-descent steps).
+
+use std::cell::{Ref, RefCell};
+
+use crate::matrix::Matrix;
+
+/// Handle to a value recorded on a [`Tape`].
+///
+/// `Var` is a cheap `Copy` handle: it stores the node id plus the value's shape so
+/// shape checks do not need to touch the tape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Var {
+    pub(crate) id: usize,
+    pub(crate) rows: usize,
+    pub(crate) cols: usize,
+}
+
+impl Var {
+    /// Node id within its tape.
+    #[inline]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Number of rows of the recorded value.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns of the recorded value.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` of the recorded value.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+}
+
+/// Primitive differentiable operations.
+///
+/// Composite functions (softmax, cross-entropy, GCN normalization, ...) are built
+/// from these in [`crate::nn`]; keeping the primitive set small keeps the
+/// vector-Jacobian-product rules in `grad.rs` short and auditable.
+///
+/// Some variants carry shape payloads that are only read by `Debug` output; they
+/// are kept because they make tape dumps self-describing when debugging.
+#[allow(dead_code)]
+#[derive(Clone, Debug)]
+pub(crate) enum Op {
+    /// Leaf node (input or constant); has no parents.
+    Leaf,
+    Add,
+    Sub,
+    Neg,
+    /// Element-wise (Hadamard) product.
+    Mul,
+    AddScalar(f64),
+    MulScalar(f64),
+    /// Element-wise power with a constant exponent.
+    PowScalar(f64),
+    MatMul,
+    Transpose,
+    Sigmoid,
+    Relu,
+    Tanh,
+    Exp,
+    Ln,
+    /// Sum of all elements into a `1x1` matrix.
+    SumAll,
+    /// Per-row sums into an `n x 1` matrix.
+    SumRows,
+    /// Per-column sums into a `1 x m` matrix.
+    SumCols,
+    /// Broadcast of a `1x1` scalar to `rows x cols`.
+    BroadcastScalar { rows: usize, cols: usize },
+    /// Broadcast of an `n x 1` column vector across `cols` columns.
+    ColBroadcast { cols: usize },
+    /// Broadcast of a `1 x m` row vector across `rows` rows.
+    RowBroadcast { rows: usize },
+    /// Row selection (`indices.len() x cols`).
+    GatherRows { indices: Vec<usize> },
+    /// Row scattering into a `total_rows x cols` zero matrix.
+    ScatterRows { indices: Vec<usize>, total_rows: usize },
+}
+
+pub(crate) struct Node {
+    pub(crate) op: Op,
+    pub(crate) parents: Vec<usize>,
+    pub(crate) value: Matrix,
+}
+
+/// An autodiff tape (a growable arena of [`Node`]s).
+///
+/// A tape is intended to be short-lived: create one per training step / attack
+/// iteration, record the forward (and any gradient) computation, read the results
+/// out as [`Matrix`] values and drop it.
+#[derive(Default)]
+pub struct Tape {
+    nodes: RefCell<Vec<Node>>,
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self { nodes: RefCell::new(Vec::new()) }
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.borrow().len()
+    }
+
+    /// Returns `true` if no nodes have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.borrow().is_empty()
+    }
+
+    /// Records a leaf holding `value` (an input the caller may later differentiate
+    /// with respect to).
+    pub fn input(&self, value: Matrix) -> Var {
+        self.push(Op::Leaf, vec![], value)
+    }
+
+    /// Records a leaf holding `value`. Semantically identical to [`Tape::input`];
+    /// the distinct name documents intent (constants are never differentiated
+    /// against, though doing so simply yields zeros).
+    pub fn constant(&self, value: Matrix) -> Var {
+        self.push(Op::Leaf, vec![], value)
+    }
+
+    /// Convenience: records a `1x1` constant.
+    pub fn scalar(&self, value: f64) -> Var {
+        self.constant(Matrix::from_vec(1, 1, vec![value]))
+    }
+
+    /// Clones the value currently stored for `v`.
+    pub fn value(&self, v: Var) -> Matrix {
+        self.nodes.borrow()[v.id].value.clone()
+    }
+
+    /// Borrows the value stored for `v` without cloning.
+    pub fn value_ref(&self, v: Var) -> Ref<'_, Matrix> {
+        Ref::map(self.nodes.borrow(), |nodes| &nodes[v.id].value)
+    }
+
+    pub(crate) fn push(&self, op: Op, parents: Vec<usize>, value: Matrix) -> Var {
+        debug_assert!(
+            !value.has_non_finite(),
+            "tape op {op:?} produced a non-finite value"
+        );
+        let rows = value.rows();
+        let cols = value.cols();
+        let mut nodes = self.nodes.borrow_mut();
+        let id = nodes.len();
+        nodes.push(Node { op, parents, value });
+        Var { id, rows, cols }
+    }
+
+    pub(crate) fn with_node<R>(&self, id: usize, f: impl FnOnce(&Node) -> R) -> R {
+        f(&self.nodes.borrow()[id])
+    }
+
+    pub(crate) fn parents_of(&self, id: usize) -> Vec<usize> {
+        self.nodes.borrow()[id].parents.clone()
+    }
+
+    pub(crate) fn op_of(&self, id: usize) -> Op {
+        self.nodes.borrow()[id].op.clone()
+    }
+
+    pub(crate) fn var_for(&self, id: usize) -> Var {
+        let nodes = self.nodes.borrow();
+        let v = &nodes[id].value;
+        Var { id, rows: v.rows(), cols: v.cols() }
+    }
+
+    // ---- primitive operations -------------------------------------------------
+
+    fn assert_same_shape(a: Var, b: Var, what: &str) {
+        assert_eq!(a.shape(), b.shape(), "{what}: shape mismatch {:?} vs {:?}", a.shape(), b.shape());
+    }
+
+    /// Element-wise sum `a + b`.
+    pub fn add(&self, a: Var, b: Var) -> Var {
+        Self::assert_same_shape(a, b, "add");
+        let value = {
+            let nodes = self.nodes.borrow();
+            nodes[a.id].value.add(&nodes[b.id].value)
+        };
+        self.push(Op::Add, vec![a.id, b.id], value)
+    }
+
+    /// Element-wise difference `a - b`.
+    pub fn sub(&self, a: Var, b: Var) -> Var {
+        Self::assert_same_shape(a, b, "sub");
+        let value = {
+            let nodes = self.nodes.borrow();
+            nodes[a.id].value.sub(&nodes[b.id].value)
+        };
+        self.push(Op::Sub, vec![a.id, b.id], value)
+    }
+
+    /// Element-wise negation `-a`.
+    pub fn neg(&self, a: Var) -> Var {
+        let value = self.nodes.borrow()[a.id].value.map(|x| -x);
+        self.push(Op::Neg, vec![a.id], value)
+    }
+
+    /// Element-wise (Hadamard) product `a ⊙ b`.
+    pub fn mul(&self, a: Var, b: Var) -> Var {
+        Self::assert_same_shape(a, b, "mul");
+        let value = {
+            let nodes = self.nodes.borrow();
+            nodes[a.id].value.hadamard(&nodes[b.id].value)
+        };
+        self.push(Op::Mul, vec![a.id, b.id], value)
+    }
+
+    /// Adds the constant `s` to every element.
+    pub fn add_scalar(&self, a: Var, s: f64) -> Var {
+        let value = self.nodes.borrow()[a.id].value.map(|x| x + s);
+        self.push(Op::AddScalar(s), vec![a.id], value)
+    }
+
+    /// Multiplies every element by the constant `s`.
+    pub fn mul_scalar(&self, a: Var, s: f64) -> Var {
+        let value = self.nodes.borrow()[a.id].value.map(|x| x * s);
+        self.push(Op::MulScalar(s), vec![a.id], value)
+    }
+
+    /// Element-wise power `a^p` with constant exponent `p`.
+    pub fn pow_scalar(&self, a: Var, p: f64) -> Var {
+        let value = self.nodes.borrow()[a.id].value.map(|x| x.powf(p));
+        self.push(Op::PowScalar(p), vec![a.id], value)
+    }
+
+    /// Matrix product `a @ b`.
+    pub fn matmul(&self, a: Var, b: Var) -> Var {
+        assert_eq!(a.cols, b.rows, "matmul: inner dimensions differ ({} vs {})", a.cols, b.rows);
+        let value = {
+            let nodes = self.nodes.borrow();
+            nodes[a.id].value.matmul(&nodes[b.id].value)
+        };
+        self.push(Op::MatMul, vec![a.id, b.id], value)
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self, a: Var) -> Var {
+        let value = self.nodes.borrow()[a.id].value.transpose();
+        self.push(Op::Transpose, vec![a.id], value)
+    }
+
+    /// Element-wise logistic sigmoid.
+    pub fn sigmoid(&self, a: Var) -> Var {
+        let value = self.nodes.borrow()[a.id].value.map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.push(Op::Sigmoid, vec![a.id], value)
+    }
+
+    /// Element-wise ReLU.
+    pub fn relu(&self, a: Var) -> Var {
+        let value = self.nodes.borrow()[a.id].value.map(|x| x.max(0.0));
+        self.push(Op::Relu, vec![a.id], value)
+    }
+
+    /// Element-wise hyperbolic tangent.
+    pub fn tanh(&self, a: Var) -> Var {
+        let value = self.nodes.borrow()[a.id].value.map(f64::tanh);
+        self.push(Op::Tanh, vec![a.id], value)
+    }
+
+    /// Element-wise exponential.
+    pub fn exp(&self, a: Var) -> Var {
+        let value = self.nodes.borrow()[a.id].value.map(f64::exp);
+        self.push(Op::Exp, vec![a.id], value)
+    }
+
+    /// Element-wise natural logarithm.
+    pub fn ln(&self, a: Var) -> Var {
+        let value = self.nodes.borrow()[a.id].value.map(f64::ln);
+        self.push(Op::Ln, vec![a.id], value)
+    }
+
+    /// Sum of all elements as a `1x1` matrix.
+    pub fn sum_all(&self, a: Var) -> Var {
+        let value = Matrix::from_vec(1, 1, vec![self.nodes.borrow()[a.id].value.sum()]);
+        self.push(Op::SumAll, vec![a.id], value)
+    }
+
+    /// Per-row sums as an `n x 1` column vector.
+    pub fn sum_rows(&self, a: Var) -> Var {
+        let value = self.nodes.borrow()[a.id].value.row_sums();
+        self.push(Op::SumRows, vec![a.id], value)
+    }
+
+    /// Per-column sums as a `1 x m` row vector.
+    pub fn sum_cols(&self, a: Var) -> Var {
+        let value = self.nodes.borrow()[a.id].value.col_sums();
+        self.push(Op::SumCols, vec![a.id], value)
+    }
+
+    /// Broadcasts a `1x1` scalar to a `rows x cols` matrix.
+    pub fn broadcast_scalar(&self, a: Var, rows: usize, cols: usize) -> Var {
+        assert_eq!(a.shape(), (1, 1), "broadcast_scalar requires a 1x1 input");
+        let s = self.nodes.borrow()[a.id].value.scalar();
+        self.push(Op::BroadcastScalar { rows, cols }, vec![a.id], Matrix::full(rows, cols, s))
+    }
+
+    /// Broadcasts an `n x 1` column vector across `cols` columns.
+    pub fn col_broadcast(&self, a: Var, cols: usize) -> Var {
+        assert_eq!(a.cols, 1, "col_broadcast requires an n x 1 input");
+        let value = self.nodes.borrow()[a.id].value.broadcast_col(cols);
+        self.push(Op::ColBroadcast { cols }, vec![a.id], value)
+    }
+
+    /// Broadcasts a `1 x m` row vector across `rows` rows.
+    pub fn row_broadcast(&self, a: Var, rows: usize) -> Var {
+        assert_eq!(a.rows, 1, "row_broadcast requires a 1 x m input");
+        let value = self.nodes.borrow()[a.id].value.broadcast_row(rows);
+        self.push(Op::RowBroadcast { rows }, vec![a.id], value)
+    }
+
+    /// Selects rows `indices` of `a`.
+    pub fn gather_rows(&self, a: Var, indices: &[usize]) -> Var {
+        let value = self.nodes.borrow()[a.id].value.gather_rows(indices);
+        self.push(Op::GatherRows { indices: indices.to_vec() }, vec![a.id], value)
+    }
+
+    /// Scatters the rows of `a` into a `total_rows x cols` zero matrix at `indices`.
+    pub fn scatter_rows(&self, a: Var, indices: &[usize], total_rows: usize) -> Var {
+        assert_eq!(a.rows, indices.len(), "scatter_rows: row count must match index count");
+        let value = self.nodes.borrow()[a.id].value.scatter_rows(indices, total_rows);
+        self.push(Op::ScatterRows { indices: indices.to_vec(), total_rows }, vec![a.id], value)
+    }
+
+    // ---- composite conveniences -------------------------------------------------
+
+    /// `a ⊙ c` where `c` is a plain matrix (recorded as a constant leaf).
+    pub fn mul_const(&self, a: Var, c: &Matrix) -> Var {
+        let c = self.constant(c.clone());
+        self.mul(a, c)
+    }
+
+    /// `a + c` where `c` is a plain matrix (recorded as a constant leaf).
+    pub fn add_const(&self, a: Var, c: &Matrix) -> Var {
+        let c = self.constant(c.clone());
+        self.add(a, c)
+    }
+
+    /// Mean of all elements as a `1x1` matrix.
+    pub fn mean_all(&self, a: Var) -> Var {
+        let n = (a.rows * a.cols) as f64;
+        let s = self.sum_all(a);
+        self.mul_scalar(s, 1.0 / n)
+    }
+
+    /// Element-wise division `a / b` (implemented as `a ⊙ b^{-1}`).
+    pub fn div(&self, a: Var, b: Var) -> Var {
+        let inv = self.pow_scalar(b, -1.0);
+        self.mul(a, inv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_roundtrip() {
+        let tape = Tape::new();
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let v = tape.input(m.clone());
+        assert_eq!(v.shape(), (2, 2));
+        assert!(tape.value(v).approx_eq(&m, 0.0));
+        assert_eq!(tape.len(), 1);
+    }
+
+    #[test]
+    fn eager_values_match_matrix_ops() {
+        let tape = Tape::new();
+        let a = tape.input(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let b = tape.input(Matrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]));
+        let s = tape.add(a, b);
+        let p = tape.matmul(a, b);
+        assert!(tape.value(s).approx_eq(&Matrix::from_vec(2, 2, vec![6.0, 8.0, 10.0, 12.0]), 1e-12));
+        assert!(tape.value(p).approx_eq(&Matrix::from_vec(2, 2, vec![19.0, 22.0, 43.0, 50.0]), 1e-12));
+    }
+
+    #[test]
+    fn sigmoid_range() {
+        let tape = Tape::new();
+        let a = tape.input(Matrix::from_vec(1, 3, vec![-100.0, 0.0, 100.0]));
+        let s = tape.value(tape.sigmoid(a));
+        assert!(s[(0, 0)] < 1e-12);
+        assert!((s[(0, 1)] - 0.5).abs() < 1e-12);
+        assert!((s[(0, 2)] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reductions_and_broadcasts() {
+        let tape = Tape::new();
+        let a = tape.input(Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]));
+        assert_eq!(tape.value(tape.sum_all(a)).scalar(), 21.0);
+        assert!(tape.value(tape.sum_rows(a)).approx_eq(&Matrix::col_vector(&[6.0, 15.0]), 1e-12));
+        assert!(tape.value(tape.sum_cols(a)).approx_eq(&Matrix::row_vector(&[5.0, 7.0, 9.0]), 1e-12));
+        let s = tape.scalar(2.5);
+        assert_eq!(tape.value(tape.broadcast_scalar(s, 2, 2)).sum(), 10.0);
+        let c = tape.input(Matrix::col_vector(&[1.0, 2.0]));
+        assert_eq!(tape.value(tape.col_broadcast(c, 3)).shape(), (2, 3));
+        let r = tape.input(Matrix::row_vector(&[1.0, 2.0, 3.0]));
+        assert_eq!(tape.value(tape.row_broadcast(r, 2)).shape(), (2, 3));
+    }
+
+    #[test]
+    fn gather_scatter_ops() {
+        let tape = Tape::new();
+        let a = tape.input(Matrix::from_fn(4, 2, |i, j| (i * 2 + j) as f64));
+        let g = tape.gather_rows(a, &[3, 1]);
+        assert_eq!(tape.value(g).row(0), &[6.0, 7.0]);
+        let s = tape.scatter_rows(g, &[3, 1], 4);
+        assert_eq!(tape.value(s).row(3), &[6.0, 7.0]);
+        assert_eq!(tape.value(s).row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn div_matches_manual() {
+        let tape = Tape::new();
+        let a = tape.input(Matrix::row_vector(&[2.0, 9.0]));
+        let b = tape.input(Matrix::row_vector(&[4.0, 3.0]));
+        let d = tape.div(a, b);
+        assert!(tape.value(d).approx_eq(&Matrix::row_vector(&[0.5, 3.0]), 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn add_shape_mismatch_panics() {
+        let tape = Tape::new();
+        let a = tape.input(Matrix::zeros(2, 2));
+        let b = tape.input(Matrix::zeros(2, 3));
+        let _ = tape.add(a, b);
+    }
+}

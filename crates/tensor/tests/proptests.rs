@@ -1,0 +1,149 @@
+//! Property-based tests of the autodiff engine: analytic gradients must agree with
+//! central finite differences for randomly generated inputs and expressions, and
+//! the matrix kernels must satisfy their algebraic identities.
+
+use proptest::prelude::*;
+
+use geattack_tensor::{grad::grad, Matrix, Tape, Var};
+
+fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-2.0f64..2.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+fn finite_diff(f: &dyn Fn(&Matrix) -> f64, x0: &Matrix, eps: f64) -> Matrix {
+    let mut out = Matrix::zeros(x0.rows(), x0.cols());
+    for i in 0..x0.rows() {
+        for j in 0..x0.cols() {
+            let mut plus = x0.clone();
+            plus[(i, j)] += eps;
+            let mut minus = x0.clone();
+            minus[(i, j)] -= eps;
+            out[(i, j)] = (f(&plus) - f(&minus)) / (2.0 * eps);
+        }
+    }
+    out
+}
+
+fn check_against_finite_diff(build: impl Fn(&Tape, Var) -> Var, x0: Matrix, tol: f64) {
+    let f = |m: &Matrix| -> f64 {
+        let tape = Tape::new();
+        let v = tape.input(m.clone());
+        tape.value(build(&tape, v)).scalar()
+    };
+    let tape = Tape::new();
+    let x = tape.input(x0.clone());
+    let y = build(&tape, x);
+    let analytic = tape.value(grad(&tape, y, &[x])[0]);
+    let numeric = finite_diff(&f, &x0, 1e-5);
+    for i in 0..x0.rows() {
+        for j in 0..x0.cols() {
+            let a = analytic[(i, j)];
+            let n = numeric[(i, j)];
+            assert!(
+                (a - n).abs() <= tol * (1.0 + n.abs()),
+                "gradient mismatch at ({i},{j}): analytic {a}, numeric {n}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn gradient_of_sigmoid_chain_matches_finite_diff(x in matrix_strategy(3, 4)) {
+        check_against_finite_diff(
+            |t, v| {
+                let s = t.sigmoid(v);
+                let m = t.mul(s, s);
+                t.sum_all(m)
+            },
+            x,
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn gradient_of_matmul_chain_matches_finite_diff(x in matrix_strategy(3, 3)) {
+        check_against_finite_diff(
+            |t, v| {
+                let w = t.constant(Matrix::from_fn(3, 2, |i, j| 0.4 * i as f64 - 0.3 * j as f64 + 0.2));
+                let h = t.tanh(t.matmul(v, w));
+                t.sum_all(t.mul(h, h))
+            },
+            x,
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn gradient_of_softmax_loss_matches_finite_diff(x in matrix_strategy(2, 4)) {
+        check_against_finite_diff(
+            |t, v| {
+                let lp = geattack_tensor::nn::log_softmax_rows(t, v);
+                geattack_tensor::nn::masked_nll(t, lp, &[0, 1], &[1, 3], 4)
+            },
+            x,
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn double_backward_of_cubic_matches_closed_form(x in matrix_strategy(2, 3)) {
+        // f = sum(x^3) => d²f/dx² applied to an all-ones vector is 6x.
+        let tape = Tape::new();
+        let v = tape.input(x.clone());
+        let f = tape.sum_all(tape.pow_scalar(v, 3.0));
+        let df = grad(&tape, f, &[v])[0];
+        let g = tape.sum_all(df);
+        let d2 = tape.value(grad(&tape, g, &[v])[0]);
+        let expected = x.map(|e| 6.0 * e);
+        prop_assert!(d2.approx_eq(&expected, 1e-6));
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in matrix_strategy(3, 4),
+        b in matrix_strategy(3, 4),
+        c in matrix_strategy(4, 2),
+    ) {
+        let lhs = a.add(&b).matmul(&c);
+        let rhs = a.matmul(&c).add(&b.matmul(&c));
+        prop_assert!(lhs.approx_eq(&rhs, 1e-9));
+    }
+
+    #[test]
+    fn transpose_of_product_reverses_order(a in matrix_strategy(3, 4), b in matrix_strategy(4, 2)) {
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert!(lhs.approx_eq(&rhs, 1e-9));
+    }
+
+    #[test]
+    fn softmax_rows_are_probability_distributions(x in matrix_strategy(4, 5)) {
+        let tape = Tape::new();
+        let v = tape.input(x);
+        let s = tape.value(geattack_tensor::nn::softmax_rows(&tape, v));
+        for i in 0..4 {
+            let row_sum: f64 = s.row(i).iter().sum();
+            prop_assert!((row_sum - 1.0).abs() < 1e-9);
+            prop_assert!(s.row(i).iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn gcn_normalization_is_symmetric_and_bounded(edges in proptest::collection::vec((0usize..6, 0usize..6), 0..12)) {
+        let mut adj = Matrix::zeros(6, 6);
+        for (u, v) in edges {
+            if u != v {
+                adj[(u, v)] = 1.0;
+                adj[(v, u)] = 1.0;
+            }
+        }
+        let norm = geattack_tensor::nn::gcn_normalize_matrix(&adj);
+        prop_assert!(norm.approx_eq(&norm.transpose(), 1e-12));
+        prop_assert!(norm.max() <= 1.0 + 1e-12);
+        prop_assert!(norm.min() >= 0.0);
+    }
+}

@@ -1,0 +1,45 @@
+//! Runs the paper's evaluation protocol end-to-end on one synthetic dataset and a
+//! subset of attackers, printing a miniature version of Table 1.
+//!
+//! ```text
+//! cargo run --release -p geattack-examples --bin joint_attack
+//! ```
+
+use geattack_core::evaluation::summarize_run;
+use geattack_core::pipeline::{prepare, run_attacker_kind, AttackerKind, PipelineConfig};
+use geattack_graph::DatasetName;
+
+fn main() {
+    let mut config = PipelineConfig::quick(DatasetName::Citeseer, 3);
+    config.victims.count = 12;
+    let prepared = prepare(config);
+    println!(
+        "dataset: CITESEER-like synthetic graph with {} nodes / {} edges, {} victims\n",
+        prepared.graph.num_nodes(),
+        prepared.graph.num_edges(),
+        prepared.victims.len()
+    );
+
+    println!(
+        "{:<10} {:>6} {:>6} {:>10} {:>8} {:>6} {:>6}",
+        "attacker", "ASR", "ASR-T", "Precision", "Recall", "F1", "NDCG"
+    );
+    for kind in [AttackerKind::Rna, AttackerKind::FgaT, AttackerKind::Nettack, AttackerKind::GeAttack] {
+        let outcomes = run_attacker_kind(&prepared, kind);
+        let s = summarize_run(kind.name(), &outcomes);
+        println!(
+            "{:<10} {:>5.1}% {:>5.1}% {:>9.1}% {:>7.1}% {:>5.1}% {:>5.1}%",
+            s.attacker,
+            s.asr * 100.0,
+            s.asr_t * 100.0,
+            s.precision * 100.0,
+            s.recall * 100.0,
+            s.f1 * 100.0,
+            s.ndcg * 100.0
+        );
+    }
+    println!("\nExpected shape (as in Table 1 of the paper): the gradient-based attackers all");
+    println!("reach near-100% ASR-T, but GEAttack's edges score markedly lower on the");
+    println!("detection metrics than FGA-T's and Nettack's, approaching RNA's stealth without");
+    println!("RNA's weak attack success.");
+}

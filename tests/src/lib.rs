@@ -1,0 +1,34 @@
+//! Shared fixtures for the cross-crate integration tests.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use geattack_core::pipeline::{prepare, PipelineConfig, Prepared};
+use geattack_graph::datasets::GeneratorConfig;
+use geattack_graph::DatasetName;
+
+/// A deliberately tiny experiment configuration so the integration tests run in a
+/// few seconds while still exercising every stage of the pipeline.
+pub fn tiny_config(dataset: DatasetName, seed: u64) -> PipelineConfig {
+    let mut config = PipelineConfig::quick(dataset, seed);
+    config.generator = GeneratorConfig::at_scale(0.07, seed);
+    config.victims.count = 8;
+    config.victims.top_margin = 3;
+    config.victims.bottom_margin = 3;
+    config.gnnexplainer.epochs = 25;
+    config.geattack.candidate_pool = 20;
+    config.geattack.explainer.epochs = 20;
+    config.pgexplainer.epochs = 2;
+    config.pgexplainer.training_instances = 6;
+    config
+}
+
+/// Prepares a tiny experiment (synthetic dataset, trained GCN, victims).
+pub fn tiny_prepared(dataset: DatasetName, seed: u64) -> Prepared {
+    prepare(tiny_config(dataset, seed))
+}
+
+/// A deterministic RNG for tests that need one.
+pub fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
