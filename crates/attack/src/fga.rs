@@ -9,8 +9,8 @@
 use geattack_graph::Perturbation;
 
 use crate::{
-    best_candidate_by_gradient, candidate_endpoints, targeted_loss_gradient,
-    untargeted_loss_gradient, AttackContext, TargetedAttack,
+    best_candidate_by_gradient, candidate_endpoints, targeted_loss_gradient, untargeted_loss_gradient, AttackContext,
+    TargetedAttack,
 };
 
 /// Untargeted fast-gradient attack.
@@ -133,10 +133,19 @@ mod tests {
     fn all_added_edges_touch_the_target() {
         let (graph, model) = small_setup(23);
         let (victim, target_label) = pick_victim(&graph, &model);
-        let ctx = AttackContext { model: &model, graph: &graph, target: victim, target_label, budget: 3 };
+        let ctx = AttackContext {
+            model: &model,
+            graph: &graph,
+            target: victim,
+            target_label,
+            budget: 3,
+        };
         let p = FgaT::default().attack(&ctx);
         for &(u, v) in p.added() {
-            assert!(u == victim || v == victim, "direct attack must only add edges incident to the target");
+            assert!(
+                u == victim || v == victim,
+                "direct attack must only add edges incident to the target"
+            );
         }
     }
 
@@ -144,8 +153,17 @@ mod tests {
     fn label_restriction_is_honored() {
         let (graph, model) = small_setup(24);
         let (victim, target_label) = pick_victim(&graph, &model);
-        let ctx = AttackContext { model: &model, graph: &graph, target: victim, target_label, budget: 2 };
-        let p = FgaT { restrict_to_target_label: true }.attack(&ctx);
+        let ctx = AttackContext {
+            model: &model,
+            graph: &graph,
+            target: victim,
+            target_label,
+            budget: 2,
+        };
+        let p = FgaT {
+            restrict_to_target_label: true,
+        }
+        .attack(&ctx);
         for &(u, v) in p.added() {
             let other = if u == victim { v } else { u };
             assert_eq!(graph.label(other), target_label);
@@ -156,7 +174,13 @@ mod tests {
     fn exclusion_list_is_honored() {
         let (graph, model) = small_setup(25);
         let (victim, target_label) = pick_victim(&graph, &model);
-        let ctx = AttackContext { model: &model, graph: &graph, target: victim, target_label, budget: 2 };
+        let ctx = AttackContext {
+            model: &model,
+            graph: &graph,
+            target: victim,
+            target_label,
+            budget: 2,
+        };
         let unrestricted = FgaT::default().attack(&ctx);
         let first_choice = {
             let &(u, v) = &unrestricted.added()[0];
@@ -177,8 +201,20 @@ mod tests {
     fn stronger_budget_is_at_least_as_successful() {
         let (graph, model) = small_setup(26);
         let (victim, target_label) = pick_victim(&graph, &model);
-        let small = AttackContext { model: &model, graph: &graph, target: victim, target_label, budget: 1 };
-        let large = AttackContext { model: &model, graph: &graph, target: victim, target_label, budget: 4 };
+        let small = AttackContext {
+            model: &model,
+            graph: &graph,
+            target: victim,
+            target_label,
+            budget: 1,
+        };
+        let large = AttackContext {
+            model: &model,
+            graph: &graph,
+            target: victim,
+            target_label,
+            budget: 4,
+        };
         let p_small = FgaT::default().attack(&small).apply(&graph);
         let p_large = FgaT::default().attack(&large).apply(&graph);
         let prob_small = model.predict_proba(&p_small)[(victim, target_label)];

@@ -26,7 +26,10 @@ pub struct FgaTEConfig {
 
 impl Default for FgaTEConfig {
     fn default() -> Self {
-        Self { explanation_size: 20, explainer: GnnExplainerConfig::default() }
+        Self {
+            explanation_size: 20,
+            explainer: GnnExplainerConfig::default(),
+        }
     }
 }
 
@@ -78,7 +81,10 @@ mod tests {
     fn quick_config() -> FgaTEConfig {
         FgaTEConfig {
             explanation_size: 10,
-            explainer: GnnExplainerConfig { epochs: 15, ..Default::default() },
+            explainer: GnnExplainerConfig {
+                epochs: 15,
+                ..Default::default()
+            },
         }
     }
 
@@ -86,7 +92,13 @@ mod tests {
     fn excluded_endpoints_come_from_explanation() {
         let (graph, model) = small_setup(51);
         let (victim, target_label) = pick_victim(&graph, &model);
-        let ctx = AttackContext { model: &model, graph: &graph, target: victim, target_label, budget: 2 };
+        let ctx = AttackContext {
+            model: &model,
+            graph: &graph,
+            target: victim,
+            target_label,
+            budget: 2,
+        };
         let attack = FgaTE::new(quick_config());
         let excluded = attack.excluded_endpoints(&ctx);
         assert!(!excluded.contains(&victim));
@@ -99,7 +111,13 @@ mod tests {
     fn attack_avoids_excluded_endpoints() {
         let (graph, model) = small_setup(52);
         let (victim, target_label) = pick_victim(&graph, &model);
-        let ctx = AttackContext { model: &model, graph: &graph, target: victim, target_label, budget: 3 };
+        let ctx = AttackContext {
+            model: &model,
+            graph: &graph,
+            target: victim,
+            target_label,
+            budget: 3,
+        };
         let attack = FgaTE::new(quick_config());
         let excluded = attack.excluded_endpoints(&ctx);
         let p = attack.attack(&ctx);

@@ -42,12 +42,7 @@ impl IgAttack {
 
     /// Integrated gradients of the targeted loss with respect to the adjacency
     /// matrix, along the path that switches the candidate edges `(target, v)` on.
-    pub fn integrated_gradients(
-        &self,
-        ctx: &AttackContext<'_>,
-        graph: &Graph,
-        candidates: &[usize],
-    ) -> Matrix {
+    pub fn integrated_gradients(&self, ctx: &AttackContext<'_>, graph: &Graph, candidates: &[usize]) -> Matrix {
         let n = graph.num_nodes();
         let mut accumulated = Matrix::zeros(n, n);
         let steps = self.config.steps.max(1);
@@ -128,21 +123,36 @@ mod tests {
         // the path; the edge it selects should still be a loss-decreasing edge.
         let (graph, model) = small_setup(42);
         let (victim, target_label) = pick_victim(&graph, &model);
-        let ctx = AttackContext { model: &model, graph: &graph, target: victim, target_label, budget: 1 };
+        let ctx = AttackContext {
+            model: &model,
+            graph: &graph,
+            target: victim,
+            target_label,
+            budget: 1,
+        };
         let attack = IgAttack::new(IgConfig { steps: 1 });
         let candidates = candidate_endpoints(&graph, victim, &[]);
         let ig = attack.integrated_gradients(&ctx, &graph, &candidates);
         let chosen = attack.attack(&ctx);
         let &(u, v) = &chosen.added()[0];
         let other = if u == victim { v } else { u };
-        assert!(undirected_entry(&ig, victim, other) <= 0.0, "selected edge must have non-positive IG score");
+        assert!(
+            undirected_entry(&ig, victim, other) <= 0.0,
+            "selected edge must have non-positive IG score"
+        );
     }
 
     #[test]
     fn ig_and_fga_t_are_both_direct_attacks() {
         let (graph, model) = small_setup(43);
         let (victim, target_label) = pick_victim(&graph, &model);
-        let ctx = AttackContext { model: &model, graph: &graph, target: victim, target_label, budget: 2 };
+        let ctx = AttackContext {
+            model: &model,
+            graph: &graph,
+            target: victim,
+            target_label,
+            budget: 2,
+        };
         for p in [IgAttack::default().attack(&ctx), FgaT::default().attack(&ctx)] {
             for &(u, v) in p.added() {
                 assert!(u == victim || v == victim);
@@ -155,7 +165,13 @@ mod tests {
     fn more_steps_changes_but_does_not_break_scores() {
         let (graph, model) = small_setup(44);
         let (victim, target_label) = pick_victim(&graph, &model);
-        let ctx = AttackContext { model: &model, graph: &graph, target: victim, target_label, budget: 1 };
+        let ctx = AttackContext {
+            model: &model,
+            graph: &graph,
+            target: victim,
+            target_label,
+            budget: 1,
+        };
         let candidates = candidate_endpoints(&graph, victim, &[]);
         let coarse = IgAttack::new(IgConfig { steps: 2 }).integrated_gradients(&ctx, &graph, &candidates);
         let fine = IgAttack::new(IgConfig { steps: 8 }).integrated_gradients(&ctx, &graph, &candidates);

@@ -53,7 +53,13 @@ impl<'a> AttackContext<'a> {
     /// (at least 1).
     pub fn with_degree_budget(model: &'a Gcn, graph: &'a Graph, target: usize, target_label: usize) -> Self {
         let budget = graph.degree(target).max(1);
-        Self { model, graph, target, target_label, budget }
+        Self {
+            model,
+            graph,
+            target,
+            target_label,
+            budget,
+        }
     }
 }
 
@@ -116,14 +122,11 @@ pub fn undirected_entry(grad: &Matrix, target: usize, v: usize) -> f64 {
 /// Picks the candidate with the minimum symmetrized gradient entry (the edge whose
 /// insertion most decreases the loss). Returns `None` if `candidates` is empty.
 pub fn best_candidate_by_gradient(grad: &Matrix, target: usize, candidates: &[usize]) -> Option<usize> {
-    candidates
-        .iter()
-        .copied()
-        .min_by(|&a, &b| {
-            undirected_entry(grad, target, a)
-                .partial_cmp(&undirected_entry(grad, target, b))
-                .unwrap_or(std::cmp::Ordering::Equal)
-        })
+    candidates.iter().copied().min_by(|&a, &b| {
+        undirected_entry(grad, target, a)
+            .partial_cmp(&undirected_entry(grad, target, b))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    })
 }
 
 #[cfg(test)]
@@ -140,7 +143,16 @@ mod tests {
         let graph = load(DatasetName::Cora, &cfg);
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let split = stratified_split(graph.labels(), graph.num_classes(), 0.1, 0.1, &mut rng);
-        let trained = train(&graph, &split, &TrainConfig { epochs: 80, patience: None, seed, ..Default::default() });
+        let trained = train(
+            &graph,
+            &split,
+            &TrainConfig {
+                epochs: 80,
+                patience: None,
+                seed,
+                ..Default::default()
+            },
+        );
         (graph, trained.model)
     }
 
@@ -184,7 +196,10 @@ mod tests {
         let mut attacked = graph.clone();
         attacked.add_edge(victim, best);
         let after = model.predict_proba(&attacked)[(victim, target_label)];
-        assert!(after > before, "best gradient edge did not raise target-label probability ({before} -> {after})");
+        assert!(
+            after > before,
+            "best gradient edge did not raise target-label probability ({before} -> {after})"
+        );
     }
 
     #[test]

@@ -33,7 +33,11 @@ pub struct NettackConfig {
 
 impl Default for NettackConfig {
     fn default() -> Self {
-        Self { degree_test: true, ll_cutoff: 0.004, d_min: 2 }
+        Self {
+            degree_test: true,
+            ll_cutoff: 0.004,
+            d_min: 2,
+        }
     }
 }
 
@@ -82,7 +86,7 @@ impl TargetedAttack for Nettack {
                 }
                 let logits = cache.target_logits_after_adding(ctx.target, v);
                 let score = margin(&logits, ctx.target_label);
-                if best.map_or(true, |(_, s)| score > s) {
+                if best.is_none_or(|(_, s)| score > s) {
                     best = Some((v, score));
                 }
             }
@@ -349,14 +353,23 @@ mod tests {
         let attacked = p.apply(&graph);
         let before = model.predict_proba(&graph)[(victim, target_label)];
         let after = model.predict_proba(&attacked)[(victim, target_label)];
-        assert!(after > before, "Nettack did not raise the target-label probability ({before} -> {after})");
+        assert!(
+            after > before,
+            "Nettack did not raise the target-label probability ({before} -> {after})"
+        );
     }
 
     #[test]
     fn added_edges_are_direct() {
         let (graph, model) = small_setup(33);
         let (victim, target_label) = pick_victim(&graph, &model);
-        let ctx = AttackContext { model: &model, graph: &graph, target: victim, target_label, budget: 2 };
+        let ctx = AttackContext {
+            model: &model,
+            graph: &graph,
+            target: victim,
+            target_label,
+            budget: 2,
+        };
         let p = Nettack::default().attack(&ctx);
         for &(u, v) in p.added() {
             assert!(u == victim || v == victim);
@@ -382,7 +395,10 @@ mod tests {
         severe[0] += 150;
         let s_mild = degree_test_statistic(&clean, &mild, 2);
         let s_severe = degree_test_statistic(&clean, &severe, 2);
-        assert!(s_mild < s_severe, "statistic must grow with severity: {s_mild} vs {s_severe}");
+        assert!(
+            s_mild < s_severe,
+            "statistic must grow with severity: {s_mild} vs {s_severe}"
+        );
         assert!(s_mild >= 0.0);
     }
 

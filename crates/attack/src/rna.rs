@@ -14,17 +14,11 @@ use geattack_graph::Perturbation;
 use crate::{candidate_endpoints, AttackContext, TargetedAttack};
 
 /// The random baseline attacker.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct RandomAttack {
     /// RNG seed; the per-victim stream also mixes in the target id so different
     /// victims draw different edges.
     pub seed: u64,
-}
-
-impl Default for RandomAttack {
-    fn default() -> Self {
-        Self { seed: 0 }
-    }
 }
 
 impl RandomAttack {
@@ -47,7 +41,10 @@ impl TargetedAttack for RandomAttack {
             .copied()
             .filter(|&v| ctx.graph.label(v) == ctx.target_label)
             .collect();
-        let mut fallback: Vec<usize> = all.into_iter().filter(|&v| ctx.graph.label(v) != ctx.target_label).collect();
+        let mut fallback: Vec<usize> = all
+            .into_iter()
+            .filter(|&v| ctx.graph.label(v) != ctx.target_label)
+            .collect();
         preferred.shuffle(&mut rng);
         fallback.shuffle(&mut rng);
         preferred.extend(fallback);
@@ -72,13 +69,23 @@ mod tests {
     fn respects_budget_and_prefers_target_label() {
         let (graph, model) = small_setup(11);
         let (victim, target_label) = pick_victim(&graph, &model);
-        let ctx = AttackContext { model: &model, graph: &graph, target: victim, target_label, budget: 3 };
+        let ctx = AttackContext {
+            model: &model,
+            graph: &graph,
+            target: victim,
+            target_label,
+            budget: 3,
+        };
         let p = RandomAttack::new(7).attack(&ctx);
         assert_eq!(p.size(), 3);
         for &(u, v) in p.added() {
             let other = if u == victim { v } else { u };
             assert!(!graph.has_edge(victim, other), "added an existing edge");
-            assert_eq!(graph.label(other), target_label, "RNA should prefer target-label nodes when available");
+            assert_eq!(
+                graph.label(other),
+                target_label,
+                "RNA should prefer target-label nodes when available"
+            );
         }
     }
 
@@ -86,7 +93,13 @@ mod tests {
     fn deterministic_per_seed_and_target() {
         let (graph, model) = small_setup(12);
         let (victim, target_label) = pick_victim(&graph, &model);
-        let ctx = AttackContext { model: &model, graph: &graph, target: victim, target_label, budget: 2 };
+        let ctx = AttackContext {
+            model: &model,
+            graph: &graph,
+            target: victim,
+            target_label,
+            budget: 2,
+        };
         let a = RandomAttack::new(3).attack(&ctx);
         let b = RandomAttack::new(3).attack(&ctx);
         assert_eq!(a, b);

@@ -13,7 +13,15 @@ fn setup() -> (geattack_graph::Graph, geattack_gnn::Gcn, usize, usize) {
     let graph = load(DatasetName::Cora, &GeneratorConfig::at_scale(0.08, 0));
     let mut rng = ChaCha8Rng::seed_from_u64(0);
     let split = stratified_split(graph.labels(), graph.num_classes(), 0.1, 0.1, &mut rng);
-    let trained = train(&graph, &split, &TrainConfig { epochs: 60, patience: None, ..Default::default() });
+    let trained = train(
+        &graph,
+        &split,
+        &TrainConfig {
+            epochs: 60,
+            patience: None,
+            ..Default::default()
+        },
+    );
     let model = trained.model;
     let preds = model.predict_labels(&graph);
     let victim = (0..graph.num_nodes())
@@ -25,7 +33,13 @@ fn setup() -> (geattack_graph::Graph, geattack_gnn::Gcn, usize, usize) {
 
 fn bench_attacks(c: &mut Criterion) {
     let (graph, model, victim, target_label) = setup();
-    let ctx = AttackContext { model: &model, graph: &graph, target: victim, target_label, budget: 3 };
+    let ctx = AttackContext {
+        model: &model,
+        graph: &graph,
+        target: victim,
+        target_label,
+        budget: 3,
+    };
 
     let mut group = c.benchmark_group("attack_one_victim_budget3");
     group.sample_size(10);

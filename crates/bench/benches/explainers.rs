@@ -14,7 +14,15 @@ fn setup() -> (geattack_graph::Graph, geattack_gnn::Gcn, Vec<usize>) {
     let graph = load(DatasetName::Cora, &GeneratorConfig::at_scale(0.08, 0));
     let mut rng = ChaCha8Rng::seed_from_u64(0);
     let split = stratified_split(graph.labels(), graph.num_classes(), 0.1, 0.1, &mut rng);
-    let trained = train(&graph, &split, &TrainConfig { epochs: 60, patience: None, ..Default::default() });
+    let trained = train(
+        &graph,
+        &split,
+        &TrainConfig {
+            epochs: 60,
+            patience: None,
+            ..Default::default()
+        },
+    );
     (graph, trained.model, split.test)
 }
 
@@ -25,7 +33,10 @@ fn bench_gnnexplainer(c: &mut Criterion) {
     group.sample_size(10);
     for &epochs in &[20usize, 100] {
         group.bench_function(format!("{epochs}_epochs"), |bencher| {
-            let explainer = GnnExplainer::new(GnnExplainerConfig { epochs, ..Default::default() });
+            let explainer = GnnExplainer::new(GnnExplainerConfig {
+                epochs,
+                ..Default::default()
+            });
             bencher.iter(|| std::hint::black_box(explainer.explain(&model, &graph, target)));
         });
     }
@@ -43,7 +54,11 @@ fn bench_pgexplainer(c: &mut Criterion) {
                 &model,
                 &graph,
                 &test_nodes,
-                PgExplainerConfig { epochs: 2, training_instances: 8, ..Default::default() },
+                PgExplainerConfig {
+                    epochs: 2,
+                    training_instances: 8,
+                    ..Default::default()
+                },
             ))
         });
     });
@@ -51,7 +66,11 @@ fn bench_pgexplainer(c: &mut Criterion) {
         &model,
         &graph,
         &test_nodes,
-        PgExplainerConfig { epochs: 2, training_instances: 8, ..Default::default() },
+        PgExplainerConfig {
+            epochs: 2,
+            training_instances: 8,
+            ..Default::default()
+        },
     );
     group.bench_function("explain", |bencher| {
         bencher.iter(|| std::hint::black_box(explainer.explain(&model, &graph, target)));

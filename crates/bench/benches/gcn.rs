@@ -20,7 +20,11 @@ fn bench_training(c: &mut Criterion) {
                 std::hint::black_box(train(
                     &graph,
                     &split,
-                    &TrainConfig { epochs: 20, patience: None, ..Default::default() },
+                    &TrainConfig {
+                        epochs: 20,
+                        patience: None,
+                        ..Default::default()
+                    },
                 ))
             });
         });
@@ -32,7 +36,15 @@ fn bench_inference(c: &mut Criterion) {
     let graph = load(DatasetName::Cora, &GeneratorConfig::at_scale(0.1, 0));
     let mut rng = ChaCha8Rng::seed_from_u64(0);
     let split = stratified_split(graph.labels(), graph.num_classes(), 0.1, 0.1, &mut rng);
-    let trained = train(&graph, &split, &TrainConfig { epochs: 30, patience: None, ..Default::default() });
+    let trained = train(
+        &graph,
+        &split,
+        &TrainConfig {
+            epochs: 30,
+            patience: None,
+            ..Default::default()
+        },
+    );
     c.bench_function("gcn_full_graph_inference", |bencher| {
         bencher.iter(|| std::hint::black_box(trained.model.predict_proba(&graph)));
     });

@@ -16,7 +16,15 @@ fn setup() -> (geattack_graph::Graph, geattack_gnn::Gcn, usize, usize) {
     let graph = load(DatasetName::Cora, &GeneratorConfig::at_scale(0.08, 0));
     let mut rng = ChaCha8Rng::seed_from_u64(0);
     let split = stratified_split(graph.labels(), graph.num_classes(), 0.1, 0.1, &mut rng);
-    let trained = train(&graph, &split, &TrainConfig { epochs: 60, patience: None, ..Default::default() });
+    let trained = train(
+        &graph,
+        &split,
+        &TrainConfig {
+            epochs: 60,
+            patience: None,
+            ..Default::default()
+        },
+    );
     let model = trained.model;
     let preds = model.predict_labels(&graph);
     let victim = (0..graph.num_nodes())
@@ -31,14 +39,23 @@ fn config(inner_steps: usize, lambda: f64) -> GeAttackConfig {
         lambda,
         inner_steps,
         candidate_pool: 32,
-        explainer: GnnExplainerConfig { epochs: 20, ..Default::default() },
+        explainer: GnnExplainerConfig {
+            epochs: 20,
+            ..Default::default()
+        },
         ..Default::default()
     }
 }
 
 fn bench_inner_steps(c: &mut Criterion) {
     let (graph, model, victim, target_label) = setup();
-    let ctx = AttackContext { model: &model, graph: &graph, target: victim, target_label, budget: 1 };
+    let ctx = AttackContext {
+        model: &model,
+        graph: &graph,
+        target: victim,
+        target_label,
+        budget: 1,
+    };
     let mut group = c.benchmark_group("geattack_one_edge_vs_inner_steps");
     group.sample_size(10);
     for &t in &[1usize, 3, 5] {
@@ -55,7 +72,13 @@ fn bench_lambda_ablation(c: &mut Criterion) {
     // selection rule itself; comparing with λ = 20 shows the joint objective adds
     // no measurable overhead beyond the double-backward pass.
     let (graph, model, victim, target_label) = setup();
-    let ctx = AttackContext { model: &model, graph: &graph, target: victim, target_label, budget: 2 };
+    let ctx = AttackContext {
+        model: &model,
+        graph: &graph,
+        target: victim,
+        target_label,
+        budget: 2,
+    };
     let mut group = c.benchmark_group("geattack_budget2_lambda_ablation");
     group.sample_size(10);
     for &lambda in &[0.0f64, 20.0, 500.0] {

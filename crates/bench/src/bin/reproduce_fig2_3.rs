@@ -33,7 +33,10 @@ fn main() {
             series: vec![Series::new("ASR", x.clone(), results.iter().map(|r| r.asr).collect())],
         };
         let fig3 = Figure {
-            title: format!("Figure 3 ({}) — GNNExplainer detection of Nettack edges vs. degree", dataset.as_str()),
+            title: format!(
+                "Figure 3 ({}) — GNNExplainer detection of Nettack edges vs. degree",
+                dataset.as_str()
+            ),
             series: vec![
                 Series::new("F1@15", x.clone(), results.iter().map(|r| r.f1).collect()),
                 Series::new("NDCG@15", x, results.iter().map(|r| r.ndcg).collect()),

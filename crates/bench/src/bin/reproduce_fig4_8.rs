@@ -7,8 +7,7 @@
 //! ```
 
 use geattack_bench::runner::{lambda_sweep, summaries_to_figure, write_json, Options};
-use geattack_core::evaluation::RunSummary;
-use geattack_core::report::to_json;
+use geattack_core::report::{to_json, SummaryMetric};
 use geattack_graph::DatasetName;
 
 fn main() {
@@ -20,9 +19,9 @@ fn main() {
         vec![0.001, 1.0, 20.0, 100.0, 500.0]
     };
 
-    let metrics_fig4: &[(&str, fn(&RunSummary) -> f64)] =
+    let metrics_fig4: &[(&str, SummaryMetric)] =
         &[("ASR-T", |s| s.asr_t), ("F1@15", |s| s.f1), ("NDCG@15", |s| s.ndcg)];
-    let metrics_fig8: &[(&str, fn(&RunSummary) -> f64)] = &[
+    let metrics_fig8: &[(&str, SummaryMetric)] = &[
         ("Precision@15", |s| s.precision),
         ("Recall@15", |s| s.recall),
         ("F1@15", |s| s.f1),
@@ -34,7 +33,11 @@ fn main() {
     print!("{}", fig4.to_text());
 
     let citeseer = lambda_sweep(&options, DatasetName::Citeseer, &lambdas);
-    let fig8 = summaries_to_figure("Figure 8 — effect of lambda on CITESEER (GEAttack)", &citeseer, metrics_fig8);
+    let fig8 = summaries_to_figure(
+        "Figure 8 — effect of lambda on CITESEER (GEAttack)",
+        &citeseer,
+        metrics_fig8,
+    );
     print!("{}", fig8.to_text());
 
     let path = write_json("fig4_8", &to_json(&vec![fig4, fig8]));

@@ -14,7 +14,11 @@ use geattack_graph::DatasetName;
 
 fn main() {
     let options = Options::from_args();
-    let iterations: Vec<usize> = if options.full { (1..=10).collect() } else { vec![1, 2, 3, 5, 8] };
+    let iterations: Vec<usize> = if options.full {
+        (1..=10).collect()
+    } else {
+        vec![1, 2, 3, 5, 8]
+    };
     let mut figures = Vec::new();
 
     for dataset in [DatasetName::Cora, DatasetName::Acm] {
@@ -40,7 +44,10 @@ fn main() {
                 .collect()
         };
         let figure = Figure {
-            title: format!("Figure 6 ({}) — effect of inner iterations T (GEAttack)", dataset.as_str()),
+            title: format!(
+                "Figure 6 ({}) — effect of inner iterations T (GEAttack)",
+                dataset.as_str()
+            ),
             series: vec![
                 Series::new("F1@15", x.clone(), collect(|s| s.f1)),
                 Series::new("NDCG@15", x, collect(|s| s.ndcg)),

@@ -27,7 +27,10 @@ fn main() {
         );
         let x: Vec<f64> = results.iter().map(|r| r.degree as f64).collect();
         let figure = Figure {
-            title: format!("Figure 7 ({}) — PGExplainer detection of Nettack edges vs. degree", dataset.as_str()),
+            title: format!(
+                "Figure 7 ({}) — PGExplainer detection of Nettack edges vs. degree",
+                dataset.as_str()
+            ),
             series: vec![
                 Series::new("ASR", x.clone(), results.iter().map(|r| r.asr).collect()),
                 Series::new("F1@15", x.clone(), results.iter().map(|r| r.f1).collect()),

@@ -13,7 +13,12 @@ use geattack_graph::DatasetName;
 fn main() {
     let options = Options::from_args();
     println!("# Table 2 — attacking a GCN and PGExplainer jointly (CITESEER)\n");
-    let block = table_block(&options, DatasetName::Citeseer, ExplainerKind::PgExplainer, &AttackerKind::ALL);
+    let block = table_block(
+        &options,
+        DatasetName::Citeseer,
+        ExplainerKind::PgExplainer,
+        &AttackerKind::ALL,
+    );
     print!("{}", block.to_markdown());
     let path = write_json("table2", &to_json(&block));
     println!("(JSON written to {})", path.display());

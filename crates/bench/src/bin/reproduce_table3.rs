@@ -24,8 +24,17 @@ fn main() {
         let s = stats(&graph);
         println!(
             "| {} | {} | {} | {} | {} | {:.2} | {:.2} | {}/{}/{}/{} |",
-            spec.name, s.nodes, s.edges, s.classes, s.features, s.average_degree, s.edge_homophily,
-            spec.nodes, spec.edges, spec.classes, spec.features
+            spec.name,
+            s.nodes,
+            s.edges,
+            s.classes,
+            s.features,
+            s.average_degree,
+            s.edge_homophily,
+            spec.nodes,
+            spec.edges,
+            spec.classes,
+            spec.features
         );
         records.push((spec, s));
     }

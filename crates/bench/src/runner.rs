@@ -10,9 +10,9 @@ use std::path::PathBuf;
 
 use geattack_core::evaluation::{aggregate_runs, summarize_run, MeanStd, RunSummary};
 use geattack_core::pipeline::{prepare, run_attacker, AttackerKind, ExplainerKind, PipelineConfig};
-use geattack_core::report::{Figure, Series, TableBlock};
+use geattack_core::report::{Figure, Series, SummaryMetric, TableBlock};
 use geattack_core::targets::Victim;
-use geattack_core::GeAttackConfig;
+use geattack_core::{GeAttack, GeAttackConfig};
 use geattack_graph::datasets::{DatasetName, GeneratorConfig};
 
 /// Command-line options shared by all reproduction binaries.
@@ -28,11 +28,21 @@ pub struct Options {
     pub scale: Option<f64>,
     /// Base seed.
     pub seed: u64,
+    /// Force the single-threaded pipeline path (`--serial`), for timing
+    /// comparisons and debugging.
+    pub serial: bool,
 }
 
 impl Default for Options {
     fn default() -> Self {
-        Self { full: false, runs: 2, victims: None, scale: None, seed: 0 }
+        Self {
+            full: false,
+            runs: 2,
+            victims: None,
+            scale: None,
+            seed: 0,
+            serial: false,
+        }
     }
 }
 
@@ -49,13 +59,14 @@ impl Options {
                 "--victims" => options.victims = Some(parse_next(&mut args, "--victims")),
                 "--scale" => options.scale = Some(parse_next(&mut args, "--scale")),
                 "--seed" => options.seed = parse_next(&mut args, "--seed"),
+                "--serial" => options.serial = true,
                 "--help" | "-h" => {
-                    eprintln!("usage: [--full] [--runs N] [--victims N] [--scale F] [--seed N]");
+                    eprintln!("usage: [--full] [--runs N] [--victims N] [--scale F] [--seed N] [--serial]");
                     std::process::exit(0);
                 }
                 other => {
                     eprintln!("unknown option: {other}");
-                    eprintln!("usage: [--full] [--runs N] [--victims N] [--scale F] [--seed N]");
+                    eprintln!("usage: [--full] [--runs N] [--victims N] [--scale F] [--seed N] [--serial]");
                     std::process::exit(2);
                 }
             }
@@ -81,6 +92,7 @@ impl Options {
             config.victims.top_margin = (victims / 4).max(1);
             config.victims.bottom_margin = (victims / 4).max(1);
         }
+        config.parallel = !self.serial;
         config
     }
 
@@ -91,12 +103,43 @@ impl Options {
 }
 
 fn parse_next<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, flag: &str) -> T {
-    args.next()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or_else(|| {
-            eprintln!("{flag} expects a value");
-            std::process::exit(2);
-        })
+    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+        eprintln!("{flag} expects a value");
+        std::process::exit(2);
+    })
+}
+
+/// Maps `f` over the independent seeds/runs of an experiment — across threads
+/// when `fan_out` is set (see [`runs_fan_out`]), serially otherwise. Results
+/// come back in run order either way, so aggregation is deterministic.
+pub fn map_runs<R: Send>(fan_out: bool, runs: &[usize], f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    #[cfg(feature = "parallel")]
+    if fan_out {
+        use rayon::prelude::*;
+        return runs.par_iter().map(|&run| f(run)).collect();
+    }
+    let _ = fan_out;
+    runs.iter().map(|&run| f(run)).collect()
+}
+
+/// Decides where the experiment's parallelism lives. Exactly one level fans
+/// out so the cores are never oversubscribed (outcomes are identical either
+/// way; this is purely a scheduling choice):
+///
+/// * enough runs to saturate the cores → parallelize across runs and run each
+///   run's victim loop serially (`true`);
+/// * fewer runs than cores (the common `--runs 2` default) → iterate runs
+///   serially and let each run's victim loop fan out instead (`false`).
+fn runs_fan_out(serial: bool, runs: &[usize]) -> bool {
+    #[cfg(feature = "parallel")]
+    {
+        !serial && runs.len() > 1 && runs.len() >= rayon::current_num_threads()
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        let _ = (serial, runs);
+        false
+    }
 }
 
 /// Writes a JSON artifact under `results/` (created on demand) and returns its path.
@@ -118,10 +161,12 @@ pub fn table_block(
     explainer: ExplainerKind,
     attackers: &[AttackerKind],
 ) -> TableBlock {
-    let mut per_attacker: Vec<Vec<RunSummary>> = vec![Vec::new(); attackers.len()];
-    for run in options.run_indices() {
+    let runs: Vec<usize> = options.run_indices().collect();
+    let fan_out = runs_fan_out(options.serial, &runs);
+    let per_run: Vec<Option<Vec<RunSummary>>> = map_runs(fan_out, &runs, |run| {
         let mut config = options.pipeline(dataset, run);
         config.explainer = explainer;
+        config.parallel = config.parallel && !fan_out;
         let prepared = prepare(config);
         eprintln!(
             "[{}] run {run}: {} nodes, {} victims",
@@ -131,14 +176,25 @@ pub fn table_block(
         );
         if prepared.victims.is_empty() {
             eprintln!("  (no victims survived the FGA pre-pass in this run; skipping it)");
-            continue;
+            return None;
         }
-        for (i, &kind) in attackers.iter().enumerate() {
-            let attacker = prepared.attacker(kind);
-            let inspector = prepared.inspector();
-            let outcomes = run_attacker(&prepared, attacker.as_ref(), inspector.as_ref());
-            per_attacker[i].push(summarize_run(kind.name(), &outcomes));
-            eprintln!("  {} done", kind.name());
+        Some(
+            attackers
+                .iter()
+                .map(|&kind| {
+                    let attacker = prepared.attacker(kind);
+                    let inspector = prepared.inspector();
+                    let outcomes = run_attacker(&prepared, attacker.as_ref(), inspector.as_ref());
+                    eprintln!("  [{}] run {run}: {} done", dataset.as_str(), kind.name());
+                    summarize_run(kind.name(), &outcomes)
+                })
+                .collect(),
+        )
+    });
+    let mut per_attacker: Vec<Vec<RunSummary>> = vec![Vec::new(); attackers.len()];
+    for summaries in per_run.into_iter().flatten() {
+        for (i, summary) in summaries.into_iter().enumerate() {
+            per_attacker[i].push(summary);
         }
     }
     TableBlock {
@@ -170,13 +226,16 @@ pub fn degree_sweep(
     degrees: &[usize],
     victims_per_degree: usize,
 ) -> Vec<DegreeBucketResult> {
-    let mut per_degree: Vec<Vec<RunSummary>> = vec![Vec::new(); degrees.len()];
-    for run in options.run_indices() {
+    let runs: Vec<usize> = options.run_indices().collect();
+    let fan_out = runs_fan_out(options.serial, &runs);
+    let per_run: Vec<Vec<Option<RunSummary>>> = map_runs(fan_out, &runs, |run| {
         let mut config = options.pipeline(dataset, run);
         config.explainer = explainer;
+        config.parallel = config.parallel && !fan_out;
         let prepared = prepare(config);
         let preds = prepared.model.predict_labels(&prepared.graph);
-        for (di, &degree) in degrees.iter().enumerate() {
+        let mut row: Vec<Option<RunSummary>> = Vec::with_capacity(degrees.len());
+        for &degree in degrees.iter() {
             // Victims of exactly this degree among correctly-classified test nodes.
             let nodes: Vec<usize> = prepared
                 .split
@@ -186,15 +245,26 @@ pub fn degree_sweep(
                 .filter(|&n| prepared.graph.degree(n) == degree && preds[n] == prepared.graph.label(n))
                 .take(victims_per_degree)
                 .collect();
-            let victims: Vec<Victim> = geattack_core::targets::assign_target_labels(&prepared.model, &prepared.graph, &nodes);
+            let victims: Vec<Victim> =
+                geattack_core::targets::assign_target_labels(&prepared.model, &prepared.graph, &nodes);
             if victims.is_empty() {
+                row.push(None);
                 continue;
             }
             let scoped = prepared.with_victims(victims);
             let attacker = prepared.attacker(attacker_kind);
             let inspector = prepared.inspector();
             let outcomes = run_attacker(&scoped, attacker.as_ref(), inspector.as_ref());
-            per_degree[di].push(summarize_run(attacker_kind.name(), &outcomes));
+            row.push(Some(summarize_run(attacker_kind.name(), &outcomes)));
+        }
+        row
+    });
+    let mut per_degree: Vec<Vec<RunSummary>> = vec![Vec::new(); degrees.len()];
+    for row in per_run {
+        for (di, summary) in row.into_iter().enumerate() {
+            if let Some(summary) = summary {
+                per_degree[di].push(summary);
+            }
         }
     }
     degrees
@@ -203,32 +273,45 @@ pub fn degree_sweep(
         .map(|(di, &degree)| {
             let runs = &per_degree[di];
             let collect = |f: fn(&RunSummary) -> f64| MeanStd::of(&runs.iter().map(f).collect::<Vec<_>>());
-            DegreeBucketResult { degree, asr: collect(|s| s.asr), f1: collect(|s| s.f1), ndcg: collect(|s| s.ndcg) }
+            DegreeBucketResult {
+                degree,
+                asr: collect(|s| s.asr),
+                f1: collect(|s| s.f1),
+                ndcg: collect(|s| s.ndcg),
+            }
         })
         .collect()
 }
 
 /// λ sweep of GEAttack (Figures 4 and 8): ASR-T plus detection metrics per λ.
-pub fn lambda_sweep(
-    options: &Options,
-    dataset: DatasetName,
-    lambdas: &[f64],
-) -> Vec<(f64, RunSummary)> {
+pub fn lambda_sweep(options: &Options, dataset: DatasetName, lambdas: &[f64]) -> Vec<(f64, RunSummary)> {
     let mut out = Vec::new();
+    let runs: Vec<usize> = options.run_indices().collect();
+    let fan_out = runs_fan_out(options.serial, &runs);
+    // Dataset generation, GCN training and victim selection do not depend on λ,
+    // so each run is prepared once and shared by every λ of the sweep.
+    let prepared_runs: Vec<_> = map_runs(fan_out, &runs, |run| {
+        let mut config = options.pipeline(dataset, run);
+        config.parallel = config.parallel && !fan_out;
+        prepare(config)
+    });
     for &lambda in lambdas {
-        let mut summaries = Vec::new();
-        for run in options.run_indices() {
-            let mut config = options.pipeline(dataset, run);
-            config.geattack = GeAttackConfig { lambda, ..config.geattack };
-            let prepared = prepare(config);
+        let summaries: Vec<RunSummary> = map_runs(fan_out, &runs, |run| {
+            let prepared = &prepared_runs[run];
             if prepared.victims.is_empty() {
-                continue;
+                return None;
             }
-            let attacker = prepared.attacker(AttackerKind::GeAttack);
+            let attacker = GeAttack::new(GeAttackConfig {
+                lambda,
+                ..prepared.config().geattack.clone()
+            });
             let inspector = prepared.inspector();
-            let outcomes = run_attacker(&prepared, attacker.as_ref(), inspector.as_ref());
-            summaries.push(summarize_run("GEAttack", &outcomes));
-        }
+            let outcomes = run_attacker(prepared, &attacker, inspector.as_ref());
+            Some(summarize_run("GEAttack", &outcomes))
+        })
+        .into_iter()
+        .flatten()
+        .collect();
         if summaries.is_empty() {
             continue;
         }
@@ -252,7 +335,7 @@ pub fn lambda_sweep(
 }
 
 /// Builds figure series from per-x RunSummaries.
-pub fn summaries_to_figure(title: &str, points: &[(f64, RunSummary)], metrics: &[(&str, fn(&RunSummary) -> f64)]) -> Figure {
+pub fn summaries_to_figure(title: &str, points: &[(f64, RunSummary)], metrics: &[(&str, SummaryMetric)]) -> Figure {
     let x: Vec<f64> = points.iter().map(|(v, _)| *v).collect();
     let series = metrics
         .iter()
@@ -260,11 +343,20 @@ pub fn summaries_to_figure(title: &str, points: &[(f64, RunSummary)], metrics: &
             Series::new(
                 *label,
                 x.clone(),
-                points.iter().map(|(_, s)| MeanStd { mean: getter(s), std: 0.0 }).collect(),
+                points
+                    .iter()
+                    .map(|(_, s)| MeanStd {
+                        mean: getter(s),
+                        std: 0.0,
+                    })
+                    .collect(),
             )
         })
         .collect();
-    Figure { title: title.to_string(), series }
+    Figure {
+        title: title.to_string(),
+        series,
+    }
 }
 
 #[cfg(test)]
@@ -282,7 +374,12 @@ mod tests {
 
     #[test]
     fn options_overrides() {
-        let options = Options { scale: Some(0.05), victims: Some(3), seed: 7, ..Default::default() };
+        let options = Options {
+            scale: Some(0.05),
+            victims: Some(3),
+            seed: 7,
+            ..Default::default()
+        };
         let config = options.pipeline(DatasetName::Acm, 0);
         assert_eq!(config.victims.count, 3);
         assert!((config.generator.scale - 0.05).abs() < 1e-12);

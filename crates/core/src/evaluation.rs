@@ -48,7 +48,9 @@ pub fn evaluate_attack(
     let success_any = predicted != victim.true_label;
     let success_target = predicted == victim.target_label;
 
-    let explanation = explainer.explain(model, &attacked, victim.node).truncated(explanation_size);
+    let explanation = explainer
+        .explain(model, &attacked, victim.node)
+        .truncated(explanation_size);
     let detection = detection_scores(&explanation, perturbation.added(), detection_k);
 
     AttackOutcome {
@@ -173,7 +175,12 @@ mod tests {
             perturbation_size: 2,
             success_any,
             success_target,
-            detection: DetectionScores { precision: f1, recall: f1, f1, ndcg: f1 },
+            detection: DetectionScores {
+                precision: f1,
+                recall: f1,
+                f1,
+                ndcg: f1,
+            },
         }
     }
 
@@ -187,7 +194,11 @@ mod tests {
 
     #[test]
     fn summarize_run_rates() {
-        let outcomes = vec![outcome(true, true, 0.4), outcome(true, false, 0.2), outcome(false, false, 0.0)];
+        let outcomes = vec![
+            outcome(true, true, 0.4),
+            outcome(true, false, 0.2),
+            outcome(false, false, 0.0),
+        ];
         let s = summarize_run("FGA-T", &outcomes);
         assert_eq!(s.victims, 3);
         assert!((s.asr - 2.0 / 3.0).abs() < 1e-12);

@@ -200,7 +200,11 @@ impl GeAttack {
                 .unwrap_or(0.0)
         };
         let best_attack = shortlist.iter().map(|&v| attack_entry(v)).fold(f64::INFINITY, f64::min);
-        let attack_scale = shortlist.iter().map(|&v| attack_entry(v).abs()).fold(0.0f64, f64::max).max(1e-12);
+        let attack_scale = shortlist
+            .iter()
+            .map(|&v| attack_entry(v).abs())
+            .fold(0.0f64, f64::max)
+            .max(1e-12);
         let penalty_scale = shortlist.iter().map(|&v| penalty_entry(v).abs()).fold(0.0f64, f64::max);
         let penalty_weight = if penalty_scale > 1e-12 {
             self.config.lambda / (20.0 * penalty_scale)
@@ -237,7 +241,8 @@ impl TargetedAttack for GeAttack {
                 1.0
             }
         });
-        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed ^ (ctx.target as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng =
+            ChaCha8Rng::seed_from_u64(self.config.seed ^ (ctx.target as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let mut perturbation = Perturbation::new();
         let mut working = ctx.graph.clone();
 
@@ -273,7 +278,16 @@ mod tests {
         let graph = load(DatasetName::Cora, &cfg);
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let split = stratified_split(graph.labels(), graph.num_classes(), 0.1, 0.1, &mut rng);
-        let trained = train(&graph, &split, &TrainConfig { epochs: 80, patience: None, seed, ..Default::default() });
+        let trained = train(
+            &graph,
+            &split,
+            &TrainConfig {
+                epochs: 80,
+                patience: None,
+                seed,
+                ..Default::default()
+            },
+        );
         (graph, trained.model)
     }
 
@@ -289,7 +303,10 @@ mod tests {
         GeAttackConfig {
             inner_steps: 2,
             candidate_pool: 24,
-            explainer: GnnExplainerConfig { epochs: 15, ..Default::default() },
+            explainer: GnnExplainerConfig {
+                epochs: 15,
+                ..Default::default()
+            },
             ..Default::default()
         }
     }
@@ -298,7 +315,13 @@ mod tests {
     fn geattack_respects_budget_and_directness() {
         let (graph, model) = small_setup(61);
         let (victim, target_label) = pick_victim(&graph, &model);
-        let ctx = AttackContext { model: &model, graph: &graph, target: victim, target_label, budget: 2 };
+        let ctx = AttackContext {
+            model: &model,
+            graph: &graph,
+            target: victim,
+            target_label,
+            budget: 2,
+        };
         let p = GeAttack::new(quick_config()).attack(&ctx);
         assert!(!p.is_empty());
         assert!(p.size() <= 2);
@@ -316,7 +339,10 @@ mod tests {
         let attacked = p.apply(&graph);
         let before = model.predict_proba(&graph)[(victim, target_label)];
         let after = model.predict_proba(&attacked)[(victim, target_label)];
-        assert!(after > before, "GEAttack did not raise target-label probability ({before} -> {after})");
+        assert!(
+            after > before,
+            "GEAttack did not raise target-label probability ({before} -> {after})"
+        );
     }
 
     #[test]
@@ -326,8 +352,17 @@ mod tests {
         // attacks should pick the same first edge.
         let (graph, model) = small_setup(63);
         let (victim, target_label) = pick_victim(&graph, &model);
-        let ctx = AttackContext { model: &model, graph: &graph, target: victim, target_label, budget: 1 };
-        let config = GeAttackConfig { lambda: 0.0, ..quick_config() };
+        let ctx = AttackContext {
+            model: &model,
+            graph: &graph,
+            target: victim,
+            target_label,
+            budget: 1,
+        };
+        let config = GeAttackConfig {
+            lambda: 0.0,
+            ..quick_config()
+        };
         let ge = GeAttack::new(config).attack(&ctx);
         let fga = FgaT::default().attack(&ctx);
         assert_eq!(ge.added(), fga.added());
@@ -337,7 +372,13 @@ mod tests {
     fn geattack_is_deterministic_for_seed() {
         let (graph, model) = small_setup(64);
         let (victim, target_label) = pick_victim(&graph, &model);
-        let ctx = AttackContext { model: &model, graph: &graph, target: victim, target_label, budget: 2 };
+        let ctx = AttackContext {
+            model: &model,
+            graph: &graph,
+            target: victim,
+            target_label,
+            budget: 2,
+        };
         let a = GeAttack::new(quick_config()).attack(&ctx);
         let b = GeAttack::new(quick_config()).attack(&ctx);
         assert_eq!(a, b);
@@ -350,11 +391,24 @@ mod tests {
         // is genuinely optimal for both goals) its detection score is no worse.
         let (graph, model) = small_setup(65);
         let (victim, target_label) = pick_victim(&graph, &model);
-        let ctx = AttackContext { model: &model, graph: &graph, target: victim, target_label, budget: 1 };
-        let heavy = GeAttack::new(GeAttackConfig { lambda: 500.0, ..quick_config() }).attack(&ctx);
+        let ctx = AttackContext {
+            model: &model,
+            graph: &graph,
+            target: victim,
+            target_label,
+            budget: 1,
+        };
+        let heavy = GeAttack::new(GeAttackConfig {
+            lambda: 500.0,
+            ..quick_config()
+        })
+        .attack(&ctx);
         let fga = FgaT::default().attack(&ctx);
         if heavy.added() == fga.added() {
-            let explainer = GnnExplainer::new(GnnExplainerConfig { epochs: 20, ..Default::default() });
+            let explainer = GnnExplainer::new(GnnExplainerConfig {
+                epochs: 20,
+                ..Default::default()
+            });
             let attacked = heavy.apply(&graph);
             let explanation = explainer.explain(&model, &attacked, victim);
             let scores = detection_scores(&explanation, heavy.added(), 15);

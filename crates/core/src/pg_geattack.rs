@@ -25,7 +25,11 @@ pub struct PgGeAttackConfig {
 
 impl Default for PgGeAttackConfig {
     fn default() -> Self {
-        Self { lambda: 20.0, hops: 2, candidate_pool: 48 }
+        Self {
+            lambda: 20.0,
+            hops: 2,
+            candidate_pool: 48,
+        }
     }
 }
 
@@ -77,8 +81,16 @@ impl PgGeAttack {
         let edges = SubgraphEdges {
             src_indices: penalty_edges.iter().map(|&(u, _)| u).collect(),
             dst_indices: penalty_edges.iter().map(|&(_, v)| v).collect(),
-            src_incidence: Matrix::from_fn(penalty_edges.len(), k, |e, c| if penalty_edges[e].0 == c { 1.0 } else { 0.0 }),
-            dst_incidence: Matrix::from_fn(penalty_edges.len(), k, |e, c| if penalty_edges[e].1 == c { 1.0 } else { 0.0 }),
+            src_incidence: Matrix::from_fn(
+                penalty_edges.len(),
+                k,
+                |e, c| if penalty_edges[e].0 == c { 1.0 } else { 0.0 },
+            ),
+            dst_incidence: Matrix::from_fn(
+                penalty_edges.len(),
+                k,
+                |e, c| if penalty_edges[e].1 == c { 1.0 } else { 0.0 },
+            ),
             edges: penalty_edges,
         };
 
@@ -134,7 +146,11 @@ impl TargetedAttack for PgGeAttack {
                     .map(|lv| g_penalty[(tl, lv)] + g_penalty[(lv, tl)])
                     .unwrap_or(0.0)
             };
-            let attack_scale = shortlist.iter().map(|&v| attack_entry(v).abs()).fold(0.0f64, f64::max).max(1e-12);
+            let attack_scale = shortlist
+                .iter()
+                .map(|&v| attack_entry(v).abs())
+                .fold(0.0f64, f64::max)
+                .max(1e-12);
             let penalty_scale = shortlist.iter().map(|&v| penalty_entry(v).abs()).fold(0.0f64, f64::max);
             let penalty_weight = if penalty_scale > 1e-12 {
                 self.config.lambda / (50.0 * penalty_scale)
@@ -177,12 +193,25 @@ mod tests {
         let graph = load(DatasetName::Citeseer, &cfg);
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let split = stratified_split(graph.labels(), graph.num_classes(), 0.1, 0.1, &mut rng);
-        let trained = train(&graph, &split, &TrainConfig { epochs: 80, patience: None, seed, ..Default::default() });
+        let trained = train(
+            &graph,
+            &split,
+            &TrainConfig {
+                epochs: 80,
+                patience: None,
+                seed,
+                ..Default::default()
+            },
+        );
         let explainer = PgExplainer::train(
             &trained.model,
             &graph,
             &split.test,
-            PgExplainerConfig { epochs: 2, training_instances: 6, ..Default::default() },
+            PgExplainerConfig {
+                epochs: 2,
+                training_instances: 6,
+                ..Default::default()
+            },
         );
         (graph, trained.model, explainer)
     }
@@ -200,7 +229,13 @@ mod tests {
         let (graph, model, explainer) = setup(71);
         let (victim, target_label) = pick_victim(&graph, &model);
         let ctx = AttackContext::with_degree_budget(&model, &graph, victim, target_label);
-        let attack = PgGeAttack::new(explainer, PgGeAttackConfig { candidate_pool: 24, ..Default::default() });
+        let attack = PgGeAttack::new(
+            explainer,
+            PgGeAttackConfig {
+                candidate_pool: 24,
+                ..Default::default()
+            },
+        );
         let p = attack.attack(&ctx);
         assert!(!p.is_empty());
         let attacked = p.apply(&graph);
@@ -213,7 +248,13 @@ mod tests {
     fn penalty_gradient_is_finite_and_shaped() {
         let (graph, model, explainer) = setup(72);
         let (victim, _) = pick_victim(&graph, &model);
-        let attack = PgGeAttack::new(explainer, PgGeAttackConfig { candidate_pool: 8, ..Default::default() });
+        let attack = PgGeAttack::new(
+            explainer,
+            PgGeAttackConfig {
+                candidate_pool: 8,
+                ..Default::default()
+            },
+        );
         let b = Matrix::from_fn(graph.num_nodes(), graph.num_nodes(), |i, j| {
             if i == j || graph.adjacency()[(i, j)] > 0.5 {
                 0.0
@@ -227,7 +268,10 @@ mod tests {
         assert!(!g.has_non_finite());
         // Some candidate entry must receive gradient signal from the explainer.
         let tl = sub.target_local;
-        let any_signal = shortlist.iter().filter_map(|&v| sub.to_local(v)).any(|lv| (g[(tl, lv)] + g[(lv, tl)]).abs() > 0.0);
+        let any_signal = shortlist
+            .iter()
+            .filter_map(|&v| sub.to_local(v))
+            .any(|lv| (g[(tl, lv)] + g[(lv, tl)]).abs() > 0.0);
         assert!(any_signal, "PGExplainer penalty produced no gradient on candidates");
     }
 
@@ -235,8 +279,20 @@ mod tests {
     fn added_edges_are_direct_and_within_budget() {
         let (graph, model, explainer) = setup(73);
         let (victim, target_label) = pick_victim(&graph, &model);
-        let ctx = AttackContext { model: &model, graph: &graph, target: victim, target_label, budget: 2 };
-        let attack = PgGeAttack::new(explainer, PgGeAttackConfig { candidate_pool: 16, ..Default::default() });
+        let ctx = AttackContext {
+            model: &model,
+            graph: &graph,
+            target: victim,
+            target_label,
+            budget: 2,
+        };
+        let attack = PgGeAttack::new(
+            explainer,
+            PgGeAttackConfig {
+                candidate_pool: 16,
+                ..Default::default()
+            },
+        );
         let p = attack.attack(&ctx);
         assert!(p.size() <= 2);
         for &(u, v) in p.added() {

@@ -9,9 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use geattack_attack::{
-    AttackContext, Fga, FgaT, FgaTE, FgaTEConfig, IgAttack, Nettack, RandomAttack, TargetedAttack,
-};
+use geattack_attack::{AttackContext, Fga, FgaT, FgaTE, FgaTEConfig, IgAttack, Nettack, RandomAttack, TargetedAttack};
 use geattack_explain::{Explainer, GnnExplainer, GnnExplainerConfig, PgExplainer, PgExplainerConfig};
 use geattack_gnn::{train, Gcn, TrainConfig};
 use geattack_graph::datasets::{load, DatasetName, GeneratorConfig};
@@ -129,12 +127,32 @@ impl PipelineConfig {
         Self {
             dataset,
             generator: GeneratorConfig::at_scale(0.12, seed),
-            train: TrainConfig { seed, ..Default::default() },
-            victims: VictimSelectionConfig { count: 20, top_margin: 5, bottom_margin: 5, seed },
+            train: TrainConfig {
+                seed,
+                ..Default::default()
+            },
+            victims: VictimSelectionConfig {
+                count: 20,
+                top_margin: 5,
+                bottom_margin: 5,
+                seed,
+            },
             explainer: ExplainerKind::GnnExplainer,
-            gnnexplainer: GnnExplainerConfig { epochs: 40, seed, ..Default::default() },
-            pgexplainer: PgExplainerConfig { epochs: 5, training_instances: 12, seed, ..Default::default() },
-            geattack: GeAttackConfig { seed, ..Default::default() },
+            gnnexplainer: GnnExplainerConfig {
+                epochs: 40,
+                seed,
+                ..Default::default()
+            },
+            pgexplainer: PgExplainerConfig {
+                epochs: 5,
+                training_instances: 12,
+                seed,
+                ..Default::default()
+            },
+            geattack: GeAttackConfig {
+                seed,
+                ..Default::default()
+            },
             pg_geattack: PgGeAttackConfig::default(),
             detection_k: 15,
             explanation_size: 20,
@@ -147,7 +165,11 @@ impl PipelineConfig {
     pub fn paper_scale(dataset: DatasetName, seed: u64) -> Self {
         Self {
             generator: GeneratorConfig::full_scale(seed),
-            victims: VictimSelectionConfig { count: 40, seed, ..Default::default() },
+            victims: VictimSelectionConfig {
+                count: 40,
+                seed,
+                ..Default::default()
+            },
             ..Self::quick(dataset, seed)
         }
     }
@@ -237,16 +259,31 @@ pub fn prepare(config: PipelineConfig) -> Prepared {
     let victims = assign_target_labels(&model, &graph, &victims);
 
     let pg_explainer = match config.explainer {
-        ExplainerKind::PgExplainer => {
-            Some(PgExplainer::train(&model, &graph, &split.test, config.pgexplainer.clone()))
-        }
+        ExplainerKind::PgExplainer => Some(PgExplainer::train(
+            &model,
+            &graph,
+            &split.test,
+            config.pgexplainer.clone(),
+        )),
         ExplainerKind::GnnExplainer => None,
     };
 
-    Prepared { graph, model, split, victims, pg_explainer, config }
+    Prepared {
+        graph,
+        model,
+        split,
+        victims,
+        pg_explainer,
+        config,
+    }
 }
 
 /// Runs one attacker over all prepared victims and returns per-victim outcomes.
+///
+/// With the `parallel` feature (on by default) and `config.parallel == true`,
+/// victims are distributed across threads with rayon. Every attack draws its
+/// randomness from victim-local RNG state, so the parallel outcomes are
+/// identical to the serial ones — the determinism integration test pins this.
 pub fn run_attacker(
     prepared: &Prepared,
     attacker: &(dyn TargetedAttack + Sync),
@@ -267,33 +304,13 @@ pub fn run_attacker(
         )
     };
 
-    if !config.parallel || prepared.victims.len() < 2 {
-        return prepared.victims.iter().map(evaluate).collect();
+    #[cfg(feature = "parallel")]
+    if config.parallel && prepared.victims.len() >= 2 {
+        use rayon::prelude::*;
+        return prepared.victims.par_iter().map(evaluate).collect();
     }
 
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    let results: Vec<parking_lot::Mutex<Option<AttackOutcome>>> =
-        prepared.victims.iter().map(|_| parking_lot::Mutex::new(None)).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads.min(prepared.victims.len()) {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-                if i >= prepared.victims.len() {
-                    break;
-                }
-                let outcome = evaluate(&prepared.victims[i]);
-                *results[i].lock() = Some(outcome);
-            });
-        }
-    })
-    .expect("worker thread panicked");
-
-    results
-        .into_iter()
-        .map(|m| m.into_inner().expect("missing outcome"))
-        .collect()
+    prepared.victims.iter().map(evaluate).collect()
 }
 
 /// Runs one attacker kind end-to-end on an already-prepared experiment.

@@ -2,7 +2,14 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::evaluation::{AggregatedSummary, MeanStd};
+use crate::evaluation::{AggregatedSummary, MeanStd, RunSummary};
+
+/// Extracts one scalar metric from a per-run summary (used to build figure
+/// series from sweeps).
+pub type SummaryMetric = fn(&RunSummary) -> f64;
+
+/// Extracts one aggregated metric column from a table summary.
+pub type AggregatedMetric = fn(&AggregatedSummary) -> &MeanStd;
 
 /// Formats a rate in `[0,1]` as the paper's `percent±std` notation,
 /// e.g. `99.11±0.01`.
@@ -34,7 +41,7 @@ impl TableBlock {
         out.push_str(&"---|".repeat(self.columns.len()));
         out.push('\n');
 
-        let rows: [(&str, fn(&AggregatedSummary) -> &MeanStd); 6] = [
+        let rows: [(&str, AggregatedMetric); 6] = [
             ("ASR", |c| &c.asr),
             ("ASR-T", |c| &c.asr_t),
             ("Precision", |c| &c.precision),
@@ -122,14 +129,22 @@ mod tests {
             perturbation_size: 3,
             success_any: true,
             success_target: true,
-            detection: DetectionScores { precision: 0.1, recall: 0.6, f1: 0.17, ndcg: 0.36 },
+            detection: DetectionScores {
+                precision: 0.1,
+                recall: 0.6,
+                f1: 0.17,
+                ndcg: 0.36,
+            },
         };
         aggregate_runs(&[summarize_run(name, &[outcome])])
     }
 
     #[test]
     fn percent_formatting() {
-        let v = MeanStd { mean: 0.9911, std: 0.0001 };
+        let v = MeanStd {
+            mean: 0.9911,
+            std: 0.0001,
+        };
         assert_eq!(format_percent(&v), "99.11±0.01");
     }
 
@@ -140,15 +155,32 @@ mod tests {
             columns: vec![sample_summary("FGA"), sample_summary("GEAttack")],
         };
         let md = block.to_markdown();
-        for needle in ["### CORA", "FGA", "GEAttack", "ASR-T", "Precision", "Recall", "F1", "NDCG"] {
+        for needle in [
+            "### CORA",
+            "FGA",
+            "GEAttack",
+            "ASR-T",
+            "Precision",
+            "Recall",
+            "F1",
+            "NDCG",
+        ] {
             assert!(md.contains(needle), "markdown missing {needle}:\n{md}");
         }
-        assert_eq!(md.matches("100.00±0.00").count(), 4, "ASR/ASR-T cells for both attackers");
+        assert_eq!(
+            md.matches("100.00±0.00").count(),
+            4,
+            "ASR/ASR-T cells for both attackers"
+        );
     }
 
     #[test]
     fn series_text_and_length_check() {
-        let s = Series::new("F1@15", vec![1.0, 2.0], vec![MeanStd { mean: 0.2, std: 0.0 }, MeanStd { mean: 0.3, std: 0.1 }]);
+        let s = Series::new(
+            "F1@15",
+            vec![1.0, 2.0],
+            vec![MeanStd { mean: 0.2, std: 0.0 }, MeanStd { mean: 0.3, std: 0.1 }],
+        );
         let text = s.to_text();
         assert!(text.contains("F1@15"));
         assert!(text.contains("20.00±0.00"));
@@ -178,7 +210,10 @@ mod tests {
 
     #[test]
     fn json_roundtrip() {
-        let block = TableBlock { dataset: "ACM".into(), columns: vec![sample_summary("RNA")] };
+        let block = TableBlock {
+            dataset: "ACM".into(),
+            columns: vec![sample_summary("RNA")],
+        };
         let json = to_json(&block);
         let back: TableBlock = serde_json::from_str(&json).unwrap();
         assert_eq!(back.dataset, "ACM");

@@ -45,7 +45,12 @@ pub struct VictimSelectionConfig {
 
 impl Default for VictimSelectionConfig {
     fn default() -> Self {
-        Self { count: 40, top_margin: 10, bottom_margin: 10, seed: 0 }
+        Self {
+            count: 40,
+            top_margin: 10,
+            bottom_margin: 10,
+            seed: 0,
+        }
     }
 }
 
@@ -73,11 +78,7 @@ pub fn select_victims(
     chosen.extend(correct.iter().take(top_n).map(|p| p.node));
     chosen.extend(correct.iter().rev().take(bottom_n).map(|p| p.node));
 
-    let mut remaining: Vec<usize> = correct
-        .iter()
-        .map(|p| p.node)
-        .filter(|n| !chosen.contains(n))
-        .collect();
+    let mut remaining: Vec<usize> = correct.iter().map(|p| p.node).filter(|n| !chosen.contains(n)).collect();
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
     remaining.shuffle(&mut rng);
     chosen.extend(remaining.into_iter().take(total - chosen.len()));
@@ -98,7 +99,12 @@ pub fn assign_target_labels(model: &Gcn, graph: &Graph, victims: &[usize]) -> Ve
         let attacked = perturbation.apply(graph);
         let new_label = model.predict_proba(&attacked).argmax_row(node);
         if new_label != true_label {
-            out.push(Victim { node, true_label, target_label: new_label, degree: graph.degree(node) });
+            out.push(Victim {
+                node,
+                true_label,
+                target_label: new_label,
+                degree: graph.degree(node),
+            });
         }
     }
     out
@@ -137,14 +143,27 @@ mod tests {
         let graph = load(DatasetName::Cora, &cfg);
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         let split = stratified_split(graph.labels(), graph.num_classes(), 0.1, 0.1, &mut rng);
-        let trained = train(&graph, &split, &TrainConfig { epochs: 80, patience: None, ..Default::default() });
+        let trained = train(
+            &graph,
+            &split,
+            &TrainConfig {
+                epochs: 80,
+                patience: None,
+                ..Default::default()
+            },
+        );
         (graph, trained.model, split.test)
     }
 
     #[test]
     fn selected_victims_are_correctly_classified() {
         let (graph, model, test_nodes) = setup();
-        let config = VictimSelectionConfig { count: 12, top_margin: 4, bottom_margin: 4, seed: 1 };
+        let config = VictimSelectionConfig {
+            count: 12,
+            top_margin: 4,
+            bottom_margin: 4,
+            seed: 1,
+        };
         let victims = select_victims(&model, &graph, &test_nodes, &config);
         assert_eq!(victims.len(), 12);
         let preds = model.predict_labels(&graph);
@@ -162,7 +181,12 @@ mod tests {
     #[test]
     fn target_labels_differ_from_truth() {
         let (graph, model, test_nodes) = setup();
-        let config = VictimSelectionConfig { count: 8, top_margin: 2, bottom_margin: 2, seed: 2 };
+        let config = VictimSelectionConfig {
+            count: 8,
+            top_margin: 2,
+            bottom_margin: 2,
+            seed: 2,
+        };
         let victims = select_victims(&model, &graph, &test_nodes, &config);
         let assigned = assign_target_labels(&model, &graph, &victims);
         assert!(!assigned.is_empty(), "FGA pre-pass flipped no victims at all");
@@ -185,7 +209,12 @@ mod tests {
     #[test]
     fn selection_is_deterministic() {
         let (graph, model, test_nodes) = setup();
-        let config = VictimSelectionConfig { count: 10, top_margin: 3, bottom_margin: 3, seed: 7 };
+        let config = VictimSelectionConfig {
+            count: 10,
+            top_margin: 3,
+            bottom_margin: 3,
+            seed: 7,
+        };
         let a = select_victims(&model, &graph, &test_nodes, &config);
         let b = select_victims(&model, &graph, &test_nodes, &config);
         assert_eq!(a, b);

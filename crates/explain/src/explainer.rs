@@ -1,7 +1,7 @@
 //! The explanation interface shared by GNNExplainer and PGExplainer.
 
-use geattack_graph::Graph;
 use geattack_gnn::Gcn;
+use geattack_graph::Graph;
 
 /// An explanation of a single node's prediction: every edge of the node's
 /// computation subgraph together with an importance weight, ranked from most to
@@ -23,18 +23,23 @@ pub struct Explanation {
 
 impl Explanation {
     /// Creates an explanation from unordered edge weights (sorts internally).
-    pub fn from_edge_weights(
-        target: usize,
-        explained_class: usize,
-        mut edges: Vec<(usize, usize, f64)>,
-    ) -> Self {
+    pub fn from_edge_weights(target: usize, explained_class: usize, mut edges: Vec<(usize, usize, f64)>) -> Self {
         for e in &mut edges {
             if e.0 > e.1 {
                 std::mem::swap(&mut e.0, &mut e.1);
             }
         }
-        edges.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
-        Self { target, explained_class, ranked_edges: edges }
+        edges.sort_by(|a, b| {
+            b.2.partial_cmp(&a.2)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+                .then(a.1.cmp(&b.1))
+        });
+        Self {
+            target,
+            explained_class,
+            ranked_edges: edges,
+        }
     }
 
     /// Number of edges covered by the explanation.
@@ -71,7 +76,10 @@ impl Explanation {
     /// Importance weight of the given undirected edge, if it appears.
     pub fn weight_of(&self, u: usize, v: usize) -> Option<f64> {
         let key = if u <= v { (u, v) } else { (v, u) };
-        self.ranked_edges.iter().find(|&&(a, b, _)| (a, b) == key).map(|&(_, _, w)| w)
+        self.ranked_edges
+            .iter()
+            .find(|&&(a, b, _)| (a, b) == key)
+            .map(|&(_, _, w)| w)
     }
 }
 
@@ -92,11 +100,7 @@ mod tests {
     use super::*;
 
     fn example() -> Explanation {
-        Explanation::from_edge_weights(
-            0,
-            1,
-            vec![(3, 1, 0.2), (0, 1, 0.9), (2, 0, 0.5)],
-        )
+        Explanation::from_edge_weights(0, 1, vec![(3, 1, 0.2), (0, 1, 0.9), (2, 0, 0.5)])
     }
 
     #[test]

@@ -75,6 +75,7 @@ impl GnnExplainer {
     /// The explainer objective `L_Explainer` of Eq. (2)/(3): negative log-likelihood
     /// of the explained class under the masked adjacency, plus size and entropy
     /// regularizers. Exposed for reuse by GEAttack.
+    #[allow(clippy::too_many_arguments)]
     pub fn explainer_loss(
         &self,
         tape: &Tape,
@@ -95,12 +96,14 @@ impl GnnExplainer {
         let gated_edges = tape.mul(gate, a_sub);
         let size_reg = tape.mul_scalar(tape.sum_all(gated_edges), self.config.size_coeff);
 
-        // Binary entropy of the gated edge weights, clamped away from 0/1 by the
-        // sigmoid itself (its output is strictly inside (0,1)).
+        // Binary entropy of the gated edge weights. Sigmoid is mathematically
+        // inside (0,1) but saturates to exactly 0/1 in f64 for |logit| ≳ 37, so
+        // the logs are epsilon-stabilized (same fix as PGExplainer's loss).
+        let eps = 1e-12;
         let one_minus = tape.add_scalar(tape.mul_scalar(gate, -1.0), 1.0);
         let ent = tape.neg(tape.add(
-            tape.mul(gate, tape.ln(gate)),
-            tape.mul(one_minus, tape.ln(one_minus)),
+            tape.mul(gate, tape.ln(tape.add_scalar(gate, eps))),
+            tape.mul(one_minus, tape.ln(tape.add_scalar(one_minus, eps))),
         ));
         let ent_edges = tape.mul(ent, a_sub);
         let denom = tape.value_ref(a_sub).sum().max(1.0);
@@ -174,14 +177,25 @@ mod tests {
         let graph = load(DatasetName::Cora, &cfg);
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let split = stratified_split(graph.labels(), graph.num_classes(), 0.1, 0.1, &mut rng);
-        let trained = train(&graph, &split, &TrainConfig { epochs: 80, patience: None, ..Default::default() });
+        let trained = train(
+            &graph,
+            &split,
+            &TrainConfig {
+                epochs: 80,
+                patience: None,
+                ..Default::default()
+            },
+        );
         (graph, trained.model)
     }
 
     #[test]
     fn explanation_covers_subgraph_edges() {
         let (graph, model) = small_setup();
-        let explainer = GnnExplainer::new(GnnExplainerConfig { epochs: 20, ..Default::default() });
+        let explainer = GnnExplainer::new(GnnExplainerConfig {
+            epochs: 20,
+            ..Default::default()
+        });
         let target = (0..graph.num_nodes()).max_by_key(|&i| graph.degree(i)).unwrap();
         let explanation = explainer.explain(&model, &graph, target);
         assert!(!explanation.is_empty());
@@ -202,7 +216,10 @@ mod tests {
     #[test]
     fn explanation_is_deterministic_for_seed() {
         let (graph, model) = small_setup();
-        let explainer = GnnExplainer::new(GnnExplainerConfig { epochs: 10, ..Default::default() });
+        let explainer = GnnExplainer::new(GnnExplainerConfig {
+            epochs: 10,
+            ..Default::default()
+        });
         let target = graph.num_nodes() / 2;
         let a = explainer.explain(&model, &graph, target);
         let b = explainer.explain(&model, &graph, target);
@@ -219,13 +236,19 @@ mod tests {
         // After optimization the mask weights should not all be identical: the
         // explainer must have learned that some edges matter more than others.
         let (graph, model) = small_setup();
-        let explainer = GnnExplainer::new(GnnExplainerConfig { epochs: 40, ..Default::default() });
+        let explainer = GnnExplainer::new(GnnExplainerConfig {
+            epochs: 40,
+            ..Default::default()
+        });
         let target = (0..graph.num_nodes()).max_by_key(|&i| graph.degree(i)).unwrap();
         let explanation = explainer.explain(&model, &graph, target);
         let weights: Vec<f64> = explanation.ranked_edges.iter().map(|&(_, _, w)| w).collect();
         let spread = weights.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
             - weights.iter().cloned().fold(f64::INFINITY, f64::min);
-        assert!(spread > 1e-3, "mask weights did not differentiate edges (spread {spread})");
+        assert!(
+            spread > 1e-3,
+            "mask weights did not differentiate edges (spread {spread})"
+        );
     }
 
     #[test]

@@ -37,11 +37,7 @@ fn canonical(e: (usize, usize)) -> (usize, usize) {
 ///
 /// Edges are compared as undirected pairs. If there are no adversarial edges the
 /// scores are all zero (nothing to detect).
-pub fn detection_scores(
-    explanation: &Explanation,
-    adversarial_edges: &[(usize, usize)],
-    k: usize,
-) -> DetectionScores {
+pub fn detection_scores(explanation: &Explanation, adversarial_edges: &[(usize, usize)], k: usize) -> DetectionScores {
     if adversarial_edges.is_empty() || k == 0 {
         return DetectionScores::default();
     }
@@ -68,7 +64,12 @@ pub fn detection_scores(
     let idcg: f64 = (0..ideal_hits).map(|pos| 1.0 / ((pos as f64 + 2.0).log2())).sum();
     let ndcg = if idcg > 0.0 { dcg / idcg } else { 0.0 };
 
-    DetectionScores { precision, recall, f1, ndcg }
+    DetectionScores {
+        precision,
+        recall,
+        f1,
+        ndcg,
+    }
 }
 
 /// Averages a collection of detection scores (used to aggregate over victims).
@@ -107,7 +108,10 @@ mod tests {
         let s = detection_scores(&e, &[(1, 0)], 2);
         assert!((s.precision - 0.5).abs() < 1e-12);
         assert!((s.recall - 1.0).abs() < 1e-12);
-        assert!((s.ndcg - 1.0).abs() < 1e-12, "adversarial edge at rank 1 should give NDCG 1");
+        assert!(
+            (s.ndcg - 1.0).abs() < 1e-12,
+            "adversarial edge at rank 1 should give NDCG 1"
+        );
         assert!(s.f1 > 0.66);
     }
 
@@ -148,8 +152,18 @@ mod tests {
 
     #[test]
     fn mean_scores_averages_fields() {
-        let a = DetectionScores { precision: 1.0, recall: 0.0, f1: 0.0, ndcg: 1.0 };
-        let b = DetectionScores { precision: 0.0, recall: 1.0, f1: 1.0, ndcg: 0.0 };
+        let a = DetectionScores {
+            precision: 1.0,
+            recall: 0.0,
+            f1: 0.0,
+            ndcg: 1.0,
+        };
+        let b = DetectionScores {
+            precision: 0.0,
+            recall: 1.0,
+            f1: 1.0,
+            ndcg: 0.0,
+        };
         let m = mean_scores(&[a, b]);
         assert!((m.precision - 0.5).abs() < 1e-12);
         assert!((m.recall - 0.5).abs() < 1e-12);

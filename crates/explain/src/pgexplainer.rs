@@ -113,7 +113,14 @@ impl PgMlpParams {
         let w_tgt = v.pop().unwrap();
         let w_dst = v.pop().unwrap();
         let w_src = v.pop().unwrap();
-        Self { w_src, w_dst, w_tgt, b1, w2, b2 }
+        Self {
+            w_src,
+            w_dst,
+            w_tgt,
+            b1,
+            w2,
+            b2,
+        }
     }
 }
 
@@ -226,13 +233,7 @@ impl PgExplainer {
     /// Differentiable per-edge logits for a subgraph, given endpoint embeddings
     /// `z` (`k x h`, a tape variable so gradients can flow back into the adjacency
     /// when GEAttack needs them).
-    pub fn edge_logits(
-        tape: &Tape,
-        z: Var,
-        edges: &SubgraphEdges,
-        target_local: usize,
-        params: &PgMlpVars,
-    ) -> Var {
+    pub fn edge_logits(tape: &Tape, z: Var, edges: &SubgraphEdges, target_local: usize, params: &PgMlpVars) -> Var {
         assert!(!edges.is_empty(), "edge_logits requires at least one edge");
         let z_src = tape.gather_rows(z, &edges.src_indices);
         let z_dst = tape.gather_rows(z, &edges.dst_indices);
@@ -250,12 +251,7 @@ impl PgExplainer {
 
     /// Builds the dense masked adjacency `A ⊙ mask` from per-edge gate values
     /// (`|E| x 1`), placing each gate symmetrically at its edge's two entries.
-    pub fn masked_adjacency_from_gates(
-        tape: &Tape,
-        a_sub: Var,
-        gates: Var,
-        edges: &SubgraphEdges,
-    ) -> Var {
+    pub fn masked_adjacency_from_gates(tape: &Tape, a_sub: Var, gates: Var, edges: &SubgraphEdges) -> Var {
         let k = a_sub.rows();
         let src = tape.constant(edges.src_incidence.clone());
         let dst = tape.constant(edges.dst_incidence.clone());
@@ -267,6 +263,7 @@ impl PgExplainer {
 
     /// The PGExplainer training loss for one instance, given embeddings `z` for the
     /// subgraph nodes.
+    #[allow(clippy::too_many_arguments)]
     fn instance_loss(
         &self,
         tape: &Tape,
@@ -288,9 +285,12 @@ impl PgExplainer {
 
         let size_reg = tape.mul_scalar(tape.sum_all(gates), self.config.size_coeff);
         let one_minus = tape.add_scalar(tape.mul_scalar(gates, -1.0), 1.0);
+        // Saturated gates make sigmoid exactly 0/1 in f64 and ln(0) = -inf, so
+        // the element-wise entropy is stabilized with a small epsilon.
+        let eps = 1e-12;
         let ent = tape.neg(tape.add(
-            tape.mul(gates, tape.ln(gates)),
-            tape.mul(one_minus, tape.ln(one_minus)),
+            tape.mul(gates, tape.ln(tape.add_scalar(gates, eps))),
+            tape.mul(one_minus, tape.ln(tape.add_scalar(one_minus, eps))),
         ));
         let ent_reg = tape.mul_scalar(tape.mean_all(ent), self.config.entropy_coeff);
         tape.add(tape.add(nll, size_reg), ent_reg)
@@ -298,13 +298,11 @@ impl PgExplainer {
 
     /// Trains PGExplainer on instances sampled from `candidate_nodes` (typically
     /// the test split, following the inductive setting of the original paper).
-    pub fn train(
-        model: &Gcn,
-        graph: &Graph,
-        candidate_nodes: &[usize],
-        config: PgExplainerConfig,
-    ) -> Self {
-        assert!(!candidate_nodes.is_empty(), "PGExplainer needs at least one training instance");
+    pub fn train(model: &Gcn, graph: &Graph, candidate_nodes: &[usize], config: PgExplainerConfig) -> Self {
+        assert!(
+            !candidate_nodes.is_empty(),
+            "PGExplainer needs at least one training instance"
+        );
         let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
         let mut params = PgMlpParams::init(model.hidden(), config.hidden, &mut rng);
         let mut optimizer = Adam::new(config.lr);
@@ -315,7 +313,10 @@ impl PgExplainer {
 
         let embeddings = model.node_embeddings(graph);
         let predictions = model.predict_proba(graph);
-        let explainer = Self { config: config.clone(), params: params.clone() };
+        let explainer = Self {
+            config: config.clone(),
+            params: params.clone(),
+        };
 
         for _ in 0..config.epochs {
             for &node in &instances {
@@ -335,7 +336,10 @@ impl PgExplainer {
                     w2: tape.input(params.w2.clone()),
                     b2: tape.input(params.b2.clone()),
                 };
-                let current = Self { config: config.clone(), params: params.clone() };
+                let current = Self {
+                    config: config.clone(),
+                    params: params.clone(),
+                };
                 let loss = current.instance_loss(&tape, model, &sub, &edges, z, explained_class, &param_vars);
                 let grads = grad_values(&tape, loss, &param_vars.to_vec());
                 let mut flat = params.to_vec();
@@ -388,7 +392,15 @@ mod tests {
         let graph = load(DatasetName::Citeseer, &cfg);
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let split = stratified_split(graph.labels(), graph.num_classes(), 0.1, 0.1, &mut rng);
-        let trained = train(&graph, &split, &TrainConfig { epochs: 60, patience: None, ..Default::default() });
+        let trained = train(
+            &graph,
+            &split,
+            &TrainConfig {
+                epochs: 60,
+                patience: None,
+                ..Default::default()
+            },
+        );
         (graph, trained.model, split.test)
     }
 
@@ -421,7 +433,11 @@ mod tests {
     #[test]
     fn trained_pgexplainer_produces_ranked_edges() {
         let (graph, model, test_nodes) = small_setup();
-        let config = PgExplainerConfig { epochs: 3, training_instances: 8, ..Default::default() };
+        let config = PgExplainerConfig {
+            epochs: 3,
+            training_instances: 8,
+            ..Default::default()
+        };
         let explainer = PgExplainer::train(&model, &graph, &test_nodes, config);
         let target = (0..graph.num_nodes()).max_by_key(|&i| graph.degree(i)).unwrap();
         let explanation = explainer.explain(&model, &graph, target);
@@ -437,7 +453,11 @@ mod tests {
     #[test]
     fn explanation_is_inductive_and_deterministic() {
         let (graph, model, test_nodes) = small_setup();
-        let config = PgExplainerConfig { epochs: 2, training_instances: 5, ..Default::default() };
+        let config = PgExplainerConfig {
+            epochs: 2,
+            training_instances: 5,
+            ..Default::default()
+        };
         let explainer = PgExplainer::train(&model, &graph, &test_nodes, config);
         let target = test_nodes[0];
         let a = explainer.explain(&model, &graph, target);
@@ -453,13 +473,14 @@ mod tests {
         let (graph, model, test_nodes) = small_setup();
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         let before = PgMlpParams::init(model.hidden(), 32, &mut rng);
-        let config = PgExplainerConfig { epochs: 2, training_instances: 5, seed: 0, ..Default::default() };
+        let config = PgExplainerConfig {
+            epochs: 2,
+            training_instances: 5,
+            seed: 0,
+            ..Default::default()
+        };
         let explainer = PgExplainer::train(&model, &graph, &test_nodes, config);
-        let diff = explainer
-            .params()
-            .w_src
-            .sub(&before.w_src)
-            .frobenius_norm();
+        let diff = explainer.params().w_src.sub(&before.w_src).frobenius_norm();
         assert!(diff > 1e-9, "training left the MLP untouched");
     }
 }

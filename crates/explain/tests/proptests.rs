@@ -32,7 +32,7 @@ proptest! {
     #[test]
     fn truncation_never_grows(explanation in explanation_strategy(), l in 0usize..40) {
         let truncated = explanation.truncated(l);
-        prop_assert!(truncated.len() <= l.min(explanation.len()) + 0);
+        prop_assert!(truncated.len() <= l.min(explanation.len()));
         prop_assert!(truncated.len() <= explanation.len());
     }
 

@@ -51,7 +51,13 @@ pub fn prediction_from_probs(probs: &Matrix, graph: &Graph, node: usize) -> Node
         .filter(|&(c, _)| c != label)
         .map(|(_, &p)| p)
         .fold(f64::NEG_INFINITY, f64::max);
-    NodePrediction { node, predicted, label, true_class_prob, margin: true_class_prob - best_other }
+    NodePrediction {
+        node,
+        predicted,
+        label,
+        true_class_prob,
+        margin: true_class_prob - best_other,
+    }
 }
 
 /// Predicted class of a single node (convenience wrapper).

@@ -83,7 +83,12 @@ impl Gcn {
     /// Creates a GCN with freshly initialized parameters.
     pub fn new(in_features: usize, hidden: usize, n_classes: usize, rng: &mut impl Rng) -> Self {
         assert!(hidden > 0 && n_classes > 1 && in_features > 0, "invalid GCN dimensions");
-        Self { params: GcnParams::init(in_features, hidden, n_classes, rng), in_features, hidden, n_classes }
+        Self {
+            params: GcnParams::init(in_features, hidden, n_classes, rng),
+            in_features,
+            hidden,
+            n_classes,
+        }
     }
 
     /// Creates a GCN from existing parameters.
@@ -91,7 +96,12 @@ impl Gcn {
         let in_features = params.w1.rows();
         let hidden = params.w1.cols();
         let n_classes = params.w2.cols();
-        Self { params, in_features, hidden, n_classes }
+        Self {
+            params,
+            in_features,
+            hidden,
+            n_classes,
+        }
     }
 
     /// Input feature dimensionality.

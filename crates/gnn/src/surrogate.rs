@@ -26,7 +26,12 @@ pub struct SurrogateConfig {
 
 impl Default for SurrogateConfig {
     fn default() -> Self {
-        Self { epochs: 100, lr: 0.01, weight_decay: 5e-4, seed: 0 }
+        Self {
+            epochs: 100,
+            lr: 0.01,
+            weight_decay: 5e-4,
+            seed: 0,
+        }
     }
 }
 
@@ -117,7 +122,10 @@ mod tests {
         let graph = load(DatasetName::Citeseer, &cfg);
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let split = stratified_split(graph.labels(), graph.num_classes(), 0.1, 0.1, &mut rng);
-        let config = SurrogateConfig { epochs: 30, ..Default::default() };
+        let config = SurrogateConfig {
+            epochs: 30,
+            ..Default::default()
+        };
         let a = Surrogate::train(&graph, &split, &config);
         let b = Surrogate::train(&graph, &split, &config);
         assert!(a.w.approx_eq(&b.w, 0.0), "surrogate training must be deterministic");
@@ -131,19 +139,23 @@ mod tests {
         let graph = load(DatasetName::Cora, &cfg);
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         let split = stratified_split(graph.labels(), graph.num_classes(), 0.1, 0.1, &mut rng);
-        let surrogate = Surrogate::train(&graph, &split, &SurrogateConfig { epochs: 20, ..Default::default() });
+        let surrogate = Surrogate::train(
+            &graph,
+            &split,
+            &SurrogateConfig {
+                epochs: 20,
+                ..Default::default()
+            },
+        );
         let base = surrogate.logits(graph.adjacency(), graph.features());
         // Add an edge incident to node 0 and confirm its logits move.
         let mut perturbed = graph.clone();
-        let other = (0..graph.num_nodes()).find(|&j| j != 0 && !graph.has_edge(0, j)).unwrap();
+        let other = (0..graph.num_nodes())
+            .find(|&j| j != 0 && !graph.has_edge(0, j))
+            .unwrap();
         perturbed.add_edge(0, other);
         let after = surrogate.logits(perturbed.adjacency(), perturbed.features());
-        let delta: f64 = base
-            .row(0)
-            .iter()
-            .zip(after.row(0))
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let delta: f64 = base.row(0).iter().zip(after.row(0)).map(|(a, b)| (a - b).abs()).sum();
         assert!(delta > 1e-9, "surrogate logits must respond to adjacency edits");
     }
 }

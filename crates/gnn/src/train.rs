@@ -30,7 +30,14 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        Self { hidden: 16, epochs: 200, lr: 0.01, weight_decay: 5e-4, patience: Some(30), seed: 0 }
+        Self {
+            hidden: 16,
+            epochs: 200,
+            lr: 0.01,
+            weight_decay: 5e-4,
+            patience: Some(30),
+            seed: 0,
+        }
     }
 }
 
@@ -83,7 +90,14 @@ pub fn train(graph: &Graph, split: &DataSplit, config: &TrainConfig) -> TrainedG
         let val_loss = if split.val.is_empty() {
             tape.value(train_loss).scalar()
         } else {
-            tape.value(nn::masked_nll(&tape, log_probs, &split.val, &val_labels, graph.num_classes())).scalar()
+            tape.value(nn::masked_nll(
+                &tape,
+                log_probs,
+                &split.val,
+                &val_labels,
+                graph.num_classes(),
+            ))
+            .scalar()
         };
         let train_loss_value = tape.value(train_loss).scalar();
 
@@ -92,7 +106,11 @@ pub fn train(graph: &Graph, split: &DataSplit, config: &TrainConfig) -> TrainedG
         optimizer.step(&mut param_values, &grads);
         model.set_params(GcnParams::from_vec(param_values));
 
-        history.push(EpochStats { epoch, train_loss: train_loss_value, val_loss });
+        history.push(EpochStats {
+            epoch,
+            train_loss: train_loss_value,
+            val_loss,
+        });
 
         if val_loss < best_val - 1e-6 {
             best_val = val_loss;
@@ -125,7 +143,15 @@ mod tests {
         let graph = load(DatasetName::Cora, &cfg);
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         let split = stratified_split(graph.labels(), graph.num_classes(), 0.1, 0.1, &mut rng);
-        let trained = train(&graph, &split, &TrainConfig { epochs: 60, patience: None, ..Default::default() });
+        let trained = train(
+            &graph,
+            &split,
+            &TrainConfig {
+                epochs: 60,
+                patience: None,
+                ..Default::default()
+            },
+        );
         let first = trained.history.first().unwrap().train_loss;
         let last = trained.history.last().unwrap().train_loss;
         assert!(last < first * 0.7, "training loss did not decrease: {first} -> {last}");
@@ -140,7 +166,10 @@ mod tests {
         let trained = train(&graph, &split, &TrainConfig::default());
         let acc = accuracy(&trained.model, &graph, &split.test);
         let chance = 1.0 / graph.num_classes() as f64;
-        assert!(acc > chance + 0.2, "test accuracy {acc:.3} barely above chance {chance:.3}");
+        assert!(
+            acc > chance + 0.2,
+            "test accuracy {acc:.3} barely above chance {chance:.3}"
+        );
     }
 
     #[test]
@@ -149,7 +178,15 @@ mod tests {
         let graph = load(DatasetName::Acm, &cfg);
         let mut rng = ChaCha8Rng::seed_from_u64(4);
         let split = stratified_split(graph.labels(), graph.num_classes(), 0.1, 0.1, &mut rng);
-        let trained = train(&graph, &split, &TrainConfig { epochs: 500, patience: Some(5), ..Default::default() });
+        let trained = train(
+            &graph,
+            &split,
+            &TrainConfig {
+                epochs: 500,
+                patience: Some(5),
+                ..Default::default()
+            },
+        );
         assert!(trained.history.len() < 500, "early stopping never triggered");
     }
 
@@ -159,7 +196,11 @@ mod tests {
         let graph = load(DatasetName::Cora, &cfg);
         let mut rng = ChaCha8Rng::seed_from_u64(7);
         let split = stratified_split(graph.labels(), graph.num_classes(), 0.1, 0.1, &mut rng);
-        let config = TrainConfig { epochs: 20, patience: None, ..Default::default() };
+        let config = TrainConfig {
+            epochs: 20,
+            patience: None,
+            ..Default::default()
+        };
         let a = train(&graph, &split, &config);
         let b = train(&graph, &split, &config);
         assert!(a.model.params().w1.approx_eq(&b.model.params().w1, 0.0));

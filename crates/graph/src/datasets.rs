@@ -20,8 +20,8 @@
 
 use rand::seq::SliceRandom;
 use rand::Rng;
-use rand_chacha::ChaCha8Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 use geattack_tensor::Matrix;
@@ -131,19 +131,33 @@ pub struct GeneratorConfig {
 
 impl Default for GeneratorConfig {
     fn default() -> Self {
-        Self { scale: 0.25, min_features: 64, words_per_node: 24, topic_affinity: 0.85, seed: 0 }
+        Self {
+            scale: 0.25,
+            min_features: 64,
+            words_per_node: 24,
+            topic_affinity: 0.85,
+            seed: 0,
+        }
     }
 }
 
 impl GeneratorConfig {
     /// Config at the paper's full scale.
     pub fn full_scale(seed: u64) -> Self {
-        Self { scale: 1.0, seed, ..Self::default() }
+        Self {
+            scale: 1.0,
+            seed,
+            ..Self::default()
+        }
     }
 
     /// Config at a reduced scale (useful for tests and CI).
     pub fn at_scale(scale: f64, seed: u64) -> Self {
-        Self { scale, seed, ..Self::default() }
+        Self {
+            scale,
+            seed,
+            ..Self::default()
+        }
     }
 }
 
@@ -188,13 +202,7 @@ fn hash_name(name: &str) -> u64 {
 /// Degree-corrected planted-partition edges: nodes are processed in random order
 /// and attach preferentially to already-popular nodes; the partner's class is the
 /// node's own class with probability `homophily`.
-fn generate_edges(
-    n: usize,
-    target_edges: usize,
-    labels: &[usize],
-    homophily: f64,
-    rng: &mut impl Rng,
-) -> Matrix {
+fn generate_edges(n: usize, target_edges: usize, labels: &[usize], homophily: f64, rng: &mut impl Rng) -> Matrix {
     let classes = labels.iter().copied().max().unwrap_or(0) + 1;
     let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); classes];
     for (i, &c) in labels.iter().enumerate() {
@@ -382,7 +390,10 @@ mod tests {
         }
         let same_avg = same.0 / same.1.max(1) as f64;
         let diff_avg = diff.0 / diff.1.max(1) as f64;
-        assert!(same_avg > diff_avg, "same-class overlap {same_avg} <= cross-class {diff_avg}");
+        assert!(
+            same_avg > diff_avg,
+            "same-class overlap {same_avg} <= cross-class {diff_avg}"
+        );
     }
 
     #[test]

@@ -41,7 +41,12 @@ impl Graph {
                 assert_eq!(v, adj[(j, i)], "adjacency must be symmetric at ({i},{j})");
             }
         }
-        Self { adj, features, labels, n_classes }
+        Self {
+            adj,
+            features,
+            labels,
+            n_classes,
+        }
     }
 
     /// Number of nodes.
@@ -183,7 +188,12 @@ impl Graph {
         }
         let features = self.features.gather_rows(nodes);
         let labels = nodes.iter().map(|&u| self.labels[u]).collect();
-        Graph { adj, features, labels, n_classes: self.n_classes }
+        Graph {
+            adj,
+            features,
+            labels,
+            n_classes: self.n_classes,
+        }
     }
 }
 

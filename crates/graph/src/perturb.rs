@@ -73,7 +73,11 @@ impl Perturbation {
 
     /// Added edges incident to `node`.
     pub fn added_incident_to(&self, node: usize) -> Vec<(usize, usize)> {
-        self.added.iter().copied().filter(|&(u, v)| u == node || v == node).collect()
+        self.added
+            .iter()
+            .copied()
+            .filter(|&(u, v)| u == node || v == node)
+            .collect()
     }
 
     /// Returns `true` if the given undirected edge was added by this perturbation.

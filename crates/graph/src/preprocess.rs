@@ -22,7 +22,9 @@ pub fn largest_connected_component(graph: &Graph) -> (Graph, Vec<usize>) {
     for &c in &comps {
         sizes[c] += 1;
     }
-    let largest = (0..n_comp).max_by_key(|&c| (sizes[c], std::cmp::Reverse(c))).unwrap_or(0);
+    let largest = (0..n_comp)
+        .max_by_key(|&c| (sizes[c], std::cmp::Reverse(c)))
+        .unwrap_or(0);
     let nodes: Vec<usize> = (0..graph.num_nodes()).filter(|&i| comps[i] == largest).collect();
     (graph.induced_subgraph(&nodes), nodes)
 }

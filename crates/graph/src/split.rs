@@ -44,14 +44,21 @@ impl DataSplit {
 
 /// Uniform random split with the given train/val fractions (test gets the rest).
 pub fn random_split(n: usize, train_frac: f64, val_frac: f64, rng: &mut impl Rng) -> DataSplit {
-    assert!(train_frac > 0.0 && val_frac >= 0.0 && train_frac + val_frac < 1.0, "invalid split fractions");
+    assert!(
+        train_frac > 0.0 && val_frac >= 0.0 && train_frac + val_frac < 1.0,
+        "invalid split fractions"
+    );
     let mut order: Vec<usize> = (0..n).collect();
     order.shuffle(rng);
     let n_train = ((n as f64) * train_frac).round().max(1.0) as usize;
     let n_val = ((n as f64) * val_frac).round() as usize;
     let (train, rest) = order.split_at(n_train.min(n));
     let (val, test) = rest.split_at(n_val.min(rest.len()));
-    DataSplit { train: train.to_vec(), val: val.to_vec(), test: test.to_vec() }
+    DataSplit {
+        train: train.to_vec(),
+        val: val.to_vec(),
+        test: test.to_vec(),
+    }
 }
 
 /// Random split whose training set is stratified by class label: each class
@@ -63,7 +70,10 @@ pub fn stratified_split(
     val_frac: f64,
     rng: &mut impl Rng,
 ) -> DataSplit {
-    assert!(train_frac > 0.0 && val_frac >= 0.0 && train_frac + val_frac < 1.0, "invalid split fractions");
+    assert!(
+        train_frac > 0.0 && val_frac >= 0.0 && train_frac + val_frac < 1.0,
+        "invalid split fractions"
+    );
     let n = labels.len();
     let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); n_classes];
     for (i, &l) in labels.iter().enumerate() {
@@ -108,7 +118,17 @@ mod tests {
     fn stratified_split_covers_every_class() {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         // 3 classes with unbalanced sizes.
-        let labels: Vec<usize> = (0..90).map(|i| if i < 60 { 0 } else if i < 80 { 1 } else { 2 }).collect();
+        let labels: Vec<usize> = (0..90)
+            .map(|i| {
+                if i < 60 {
+                    0
+                } else if i < 80 {
+                    1
+                } else {
+                    2
+                }
+            })
+            .collect();
         let s = stratified_split(&labels, 3, 0.1, 0.1, &mut rng);
         assert!(s.is_partition_of(90));
         for c in 0..3 {
@@ -128,7 +148,11 @@ mod tests {
 
     #[test]
     fn partition_check_detects_overlap() {
-        let s = DataSplit { train: vec![0, 1], val: vec![1], test: vec![2] };
+        let s = DataSplit {
+            train: vec![0, 1],
+            val: vec![1],
+            test: vec![2],
+        };
         assert!(!s.is_partition_of(3));
     }
 

@@ -53,12 +53,7 @@ impl ComputationSubgraph {
 /// Extracts the `hops`-hop computation subgraph around `target`, additionally
 /// forcing `extra_nodes` (e.g. endpoints of candidate adversarial edges) into the
 /// node set so their rows/columns exist in the local adjacency.
-pub fn computation_subgraph(
-    graph: &Graph,
-    target: usize,
-    hops: usize,
-    extra_nodes: &[usize],
-) -> ComputationSubgraph {
+pub fn computation_subgraph(graph: &Graph, target: usize, hops: usize, extra_nodes: &[usize]) -> ComputationSubgraph {
     assert!(target < graph.num_nodes(), "target {target} out of bounds");
     let csr = graph.to_csr();
     let mut nodes = csr.k_hop_nodes(&[target], hops);
@@ -71,8 +66,7 @@ pub fn computation_subgraph(
     nodes.sort_unstable();
     nodes.dedup();
 
-    let global_to_local: HashMap<usize, usize> =
-        nodes.iter().enumerate().map(|(l, &g)| (g, l)).collect();
+    let global_to_local: HashMap<usize, usize> = nodes.iter().enumerate().map(|(l, &g)| (g, l)).collect();
     let k = nodes.len();
     let adj = graph.adjacency();
     let mut local_adj = Matrix::zeros(k, k);

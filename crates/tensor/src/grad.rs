@@ -164,11 +164,7 @@ mod tests {
     use super::*;
 
     /// Central finite-difference check of `d f / d x` for a scalar-valued builder.
-    fn finite_diff(
-        build: impl Fn(&Tape, Var) -> Var,
-        x0: &Matrix,
-        eps: f64,
-    ) -> Matrix {
+    fn finite_diff(build: impl Fn(&Tape, Var) -> Var, x0: &Matrix, eps: f64) -> Matrix {
         let mut out = Matrix::zeros(x0.rows(), x0.cols());
         for i in 0..x0.rows() {
             for j in 0..x0.cols() {
@@ -342,9 +338,7 @@ mod tests {
         let outer = tape.sum_all(tape.mul(m1, a));
         let da = grad(&tape, outer, &[a])[0];
 
-        let expected = Matrix::from_fn(1, 3, |_, j| {
-            m0[(0, j)] * (1.0 - 2.0 * eta) + 4.0 * eta * a0[(0, j)]
-        });
+        let expected = Matrix::from_fn(1, 3, |_, j| m0[(0, j)] * (1.0 - 2.0 * eta) + 4.0 * eta * a0[(0, j)]);
         assert!(
             tape.value(da).approx_eq(&expected, 1e-8),
             "outer gradient through inner step mismatch: {:?} vs {expected:?}",

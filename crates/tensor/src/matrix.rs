@@ -46,17 +46,29 @@ impl fmt::Debug for Matrix {
 impl Matrix {
     /// Creates a matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a matrix filled with ones.
     pub fn ones(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![1.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![1.0; rows * cols],
+        }
     }
 
     /// Creates a matrix where every element equals `value`.
     pub fn full(rows: usize, cols: usize, value: f64) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates an identity matrix of size `n`.
@@ -308,11 +320,7 @@ impl Matrix {
     pub fn row_max(&self) -> Self {
         let mut out = Self::zeros(self.rows, 1);
         for i in 0..self.rows {
-            out[(i, 0)] = self
-                .row(i)
-                .iter()
-                .cloned()
-                .fold(f64::NEG_INFINITY, f64::max);
+            out[(i, 0)] = self.row(i).iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         }
         out
     }

@@ -46,14 +46,12 @@ pub fn one_hot(labels: &[usize], n_classes: usize) -> Matrix {
 /// in `node_indices` with the given `labels`.
 ///
 /// This is the GCN training objective of Eq. (1): cross-entropy over labelled nodes.
-pub fn masked_nll(
-    tape: &Tape,
-    log_probs: Var,
-    node_indices: &[usize],
-    labels: &[usize],
-    n_classes: usize,
-) -> Var {
-    assert_eq!(node_indices.len(), labels.len(), "masked_nll: index/label length mismatch");
+pub fn masked_nll(tape: &Tape, log_probs: Var, node_indices: &[usize], labels: &[usize], n_classes: usize) -> Var {
+    assert_eq!(
+        node_indices.len(),
+        labels.len(),
+        "masked_nll: index/label length mismatch"
+    );
     assert!(!node_indices.is_empty(), "masked_nll: empty node set");
     let selected = tape.gather_rows(log_probs, node_indices);
     let mask = tape.constant(one_hot(labels, n_classes));
@@ -65,13 +63,7 @@ pub fn masked_nll(
 /// Negative log-likelihood of a single node's prediction for a single class,
 /// `-log f(A, X)^{c}_{v}` — the per-target attack/explainer loss used throughout
 /// the paper (Eq. 2, 3 and 4).
-pub fn node_class_nll(
-    tape: &Tape,
-    log_probs: Var,
-    node: usize,
-    class: usize,
-    n_classes: usize,
-) -> Var {
+pub fn node_class_nll(tape: &Tape, log_probs: Var, node: usize, class: usize, n_classes: usize) -> Var {
     masked_nll(tape, log_probs, &[node], &[class], n_classes)
 }
 
@@ -150,7 +142,11 @@ mod tests {
     fn masked_nll_known_value() {
         let tape = Tape::new();
         // log-probs for 2 nodes, 2 classes
-        let lp = tape.input(Matrix::from_vec(2, 2, vec![(0.9f64).ln(), (0.1f64).ln(), (0.4f64).ln(), (0.6f64).ln()]));
+        let lp = tape.input(Matrix::from_vec(
+            2,
+            2,
+            vec![(0.9f64).ln(), (0.1f64).ln(), (0.4f64).ln(), (0.6f64).ln()],
+        ));
         let loss = masked_nll(&tape, lp, &[0, 1], &[0, 1], 2);
         let expected = -(0.9f64.ln() + 0.6f64.ln()) / 2.0;
         assert!((tape.value(loss).scalar() - expected).abs() < 1e-9);

@@ -69,7 +69,16 @@ impl Adam {
     /// Creates an Adam optimizer with standard hyper-parameters
     /// (`beta1=0.9`, `beta2=0.999`, `eps=1e-8`).
     pub fn new(lr: f64) -> Self {
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, t: 0, m: Vec::new(), v: Vec::new() }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// Sets the weight-decay coefficient (builder style).
@@ -91,7 +100,11 @@ impl Optimizer for Adam {
             self.m = params.iter().map(|p| Matrix::zeros(p.rows(), p.cols())).collect();
             self.v = params.iter().map(|p| Matrix::zeros(p.rows(), p.cols())).collect();
         }
-        assert_eq!(self.m.len(), params.len(), "adam: state/param count mismatch (call reset after changing parameter set)");
+        assert_eq!(
+            self.m.len(),
+            params.len(),
+            "adam: state/param count mismatch (call reset after changing parameter set)"
+        );
         self.t += 1;
         let b1t = 1.0 - self.beta1.powi(self.t as i32);
         let b2t = 1.0 - self.beta2.powi(self.t as i32);
@@ -172,7 +185,10 @@ mod tests {
 
     #[test]
     fn sgd_weight_decay_shrinks_params() {
-        let mut opt = Sgd { lr: 0.1, weight_decay: 1.0 };
+        let mut opt = Sgd {
+            lr: 0.1,
+            weight_decay: 1.0,
+        };
         let mut params = vec![Matrix::ones(1, 1)];
         let grads = vec![Matrix::zeros(1, 1)];
         opt.step(&mut params, &grads);

@@ -84,15 +84,27 @@ pub(crate) enum Op {
     /// Per-column sums into a `1 x m` matrix.
     SumCols,
     /// Broadcast of a `1x1` scalar to `rows x cols`.
-    BroadcastScalar { rows: usize, cols: usize },
+    BroadcastScalar {
+        rows: usize,
+        cols: usize,
+    },
     /// Broadcast of an `n x 1` column vector across `cols` columns.
-    ColBroadcast { cols: usize },
+    ColBroadcast {
+        cols: usize,
+    },
     /// Broadcast of a `1 x m` row vector across `rows` rows.
-    RowBroadcast { rows: usize },
+    RowBroadcast {
+        rows: usize,
+    },
     /// Row selection (`indices.len() x cols`).
-    GatherRows { indices: Vec<usize> },
+    GatherRows {
+        indices: Vec<usize>,
+    },
     /// Row scattering into a `total_rows x cols` zero matrix.
-    ScatterRows { indices: Vec<usize>, total_rows: usize },
+    ScatterRows {
+        indices: Vec<usize>,
+        total_rows: usize,
+    },
 }
 
 pub(crate) struct Node {
@@ -114,7 +126,9 @@ pub struct Tape {
 impl Tape {
     /// Creates an empty tape.
     pub fn new() -> Self {
-        Self { nodes: RefCell::new(Vec::new()) }
+        Self {
+            nodes: RefCell::new(Vec::new()),
+        }
     }
 
     /// Number of recorded nodes.
@@ -156,10 +170,7 @@ impl Tape {
     }
 
     pub(crate) fn push(&self, op: Op, parents: Vec<usize>, value: Matrix) -> Var {
-        debug_assert!(
-            !value.has_non_finite(),
-            "tape op {op:?} produced a non-finite value"
-        );
+        debug_assert!(!value.has_non_finite(), "tape op {op:?} produced a non-finite value");
         let rows = value.rows();
         let cols = value.cols();
         let mut nodes = self.nodes.borrow_mut();
@@ -183,13 +194,23 @@ impl Tape {
     pub(crate) fn var_for(&self, id: usize) -> Var {
         let nodes = self.nodes.borrow();
         let v = &nodes[id].value;
-        Var { id, rows: v.rows(), cols: v.cols() }
+        Var {
+            id,
+            rows: v.rows(),
+            cols: v.cols(),
+        }
     }
 
     // ---- primitive operations -------------------------------------------------
 
     fn assert_same_shape(a: Var, b: Var, what: &str) {
-        assert_eq!(a.shape(), b.shape(), "{what}: shape mismatch {:?} vs {:?}", a.shape(), b.shape());
+        assert_eq!(
+            a.shape(),
+            b.shape(),
+            "{what}: shape mismatch {:?} vs {:?}",
+            a.shape(),
+            b.shape()
+        );
     }
 
     /// Element-wise sum `a + b`.
@@ -248,7 +269,11 @@ impl Tape {
 
     /// Matrix product `a @ b`.
     pub fn matmul(&self, a: Var, b: Var) -> Var {
-        assert_eq!(a.cols, b.rows, "matmul: inner dimensions differ ({} vs {})", a.cols, b.rows);
+        assert_eq!(
+            a.cols, b.rows,
+            "matmul: inner dimensions differ ({} vs {})",
+            a.cols, b.rows
+        );
         let value = {
             let nodes = self.nodes.borrow();
             nodes[a.id].value.matmul(&nodes[b.id].value)
@@ -314,7 +339,11 @@ impl Tape {
     pub fn broadcast_scalar(&self, a: Var, rows: usize, cols: usize) -> Var {
         assert_eq!(a.shape(), (1, 1), "broadcast_scalar requires a 1x1 input");
         let s = self.nodes.borrow()[a.id].value.scalar();
-        self.push(Op::BroadcastScalar { rows, cols }, vec![a.id], Matrix::full(rows, cols, s))
+        self.push(
+            Op::BroadcastScalar { rows, cols },
+            vec![a.id],
+            Matrix::full(rows, cols, s),
+        )
     }
 
     /// Broadcasts an `n x 1` column vector across `cols` columns.
@@ -334,14 +363,27 @@ impl Tape {
     /// Selects rows `indices` of `a`.
     pub fn gather_rows(&self, a: Var, indices: &[usize]) -> Var {
         let value = self.nodes.borrow()[a.id].value.gather_rows(indices);
-        self.push(Op::GatherRows { indices: indices.to_vec() }, vec![a.id], value)
+        self.push(
+            Op::GatherRows {
+                indices: indices.to_vec(),
+            },
+            vec![a.id],
+            value,
+        )
     }
 
     /// Scatters the rows of `a` into a `total_rows x cols` zero matrix at `indices`.
     pub fn scatter_rows(&self, a: Var, indices: &[usize], total_rows: usize) -> Var {
         assert_eq!(a.rows, indices.len(), "scatter_rows: row count must match index count");
         let value = self.nodes.borrow()[a.id].value.scatter_rows(indices, total_rows);
-        self.push(Op::ScatterRows { indices: indices.to_vec(), total_rows }, vec![a.id], value)
+        self.push(
+            Op::ScatterRows {
+                indices: indices.to_vec(),
+                total_rows,
+            },
+            vec![a.id],
+            value,
+        )
     }
 
     // ---- composite conveniences -------------------------------------------------
@@ -393,8 +435,12 @@ mod tests {
         let b = tape.input(Matrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]));
         let s = tape.add(a, b);
         let p = tape.matmul(a, b);
-        assert!(tape.value(s).approx_eq(&Matrix::from_vec(2, 2, vec![6.0, 8.0, 10.0, 12.0]), 1e-12));
-        assert!(tape.value(p).approx_eq(&Matrix::from_vec(2, 2, vec![19.0, 22.0, 43.0, 50.0]), 1e-12));
+        assert!(tape
+            .value(s)
+            .approx_eq(&Matrix::from_vec(2, 2, vec![6.0, 8.0, 10.0, 12.0]), 1e-12));
+        assert!(tape
+            .value(p)
+            .approx_eq(&Matrix::from_vec(2, 2, vec![19.0, 22.0, 43.0, 50.0]), 1e-12));
     }
 
     #[test]
@@ -412,8 +458,12 @@ mod tests {
         let tape = Tape::new();
         let a = tape.input(Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]));
         assert_eq!(tape.value(tape.sum_all(a)).scalar(), 21.0);
-        assert!(tape.value(tape.sum_rows(a)).approx_eq(&Matrix::col_vector(&[6.0, 15.0]), 1e-12));
-        assert!(tape.value(tape.sum_cols(a)).approx_eq(&Matrix::row_vector(&[5.0, 7.0, 9.0]), 1e-12));
+        assert!(tape
+            .value(tape.sum_rows(a))
+            .approx_eq(&Matrix::col_vector(&[6.0, 15.0]), 1e-12));
+        assert!(tape
+            .value(tape.sum_cols(a))
+            .approx_eq(&Matrix::row_vector(&[5.0, 7.0, 9.0]), 1e-12));
         let s = tape.scalar(2.5);
         assert_eq!(tape.value(tape.broadcast_scalar(s, 2, 2)).sum(), 10.0);
         let c = tape.input(Matrix::col_vector(&[1.0, 2.0]));

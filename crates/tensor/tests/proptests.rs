@@ -7,8 +7,7 @@ use proptest::prelude::*;
 use geattack_tensor::{grad::grad, Matrix, Tape, Var};
 
 fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
-    proptest::collection::vec(-2.0f64..2.0, rows * cols)
-        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+    proptest::collection::vec(-2.0f64..2.0, rows * cols).prop_map(move |data| Matrix::from_vec(rows, cols, data))
 }
 
 fn finite_diff(f: &dyn Fn(&Matrix) -> f64, x0: &Matrix, eps: f64) -> Matrix {

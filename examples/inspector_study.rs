@@ -48,7 +48,11 @@ fn main() {
         setup.graph.degree(setup.victim),
         setup.target_label
     );
-    inspect("Attacker 1: Nettack (attacks the GCN only)", &setup, &Nettack::default());
+    inspect(
+        "Attacker 1: Nettack (attacks the GCN only)",
+        &setup,
+        &Nettack::default(),
+    );
     inspect(
         "Attacker 2: GEAttack (attacks the GCN and its explanations)",
         &setup,

@@ -24,7 +24,12 @@ fn main() {
         "{:<10} {:>6} {:>6} {:>10} {:>8} {:>6} {:>6}",
         "attacker", "ASR", "ASR-T", "Precision", "Recall", "F1", "NDCG"
     );
-    for kind in [AttackerKind::Rna, AttackerKind::FgaT, AttackerKind::Nettack, AttackerKind::GeAttack] {
+    for kind in [
+        AttackerKind::Rna,
+        AttackerKind::FgaT,
+        AttackerKind::Nettack,
+        AttackerKind::GeAttack,
+    ] {
         let outcomes = run_attacker_kind(&prepared, kind);
         let s = summarize_run(kind.name(), &outcomes);
         println!(

@@ -28,7 +28,16 @@ pub fn demo_setup(scale: f64, seed: u64) -> DemoSetup {
     let graph = load(DatasetName::Cora, &GeneratorConfig::at_scale(scale, seed));
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let split = stratified_split(graph.labels(), graph.num_classes(), 0.1, 0.1, &mut rng);
-    let trained = train(&graph, &split, &TrainConfig { epochs: 120, patience: Some(30), seed, ..Default::default() });
+    let trained = train(
+        &graph,
+        &split,
+        &TrainConfig {
+            epochs: 120,
+            patience: Some(30),
+            seed,
+            ..Default::default()
+        },
+    );
     let model = trained.model;
 
     let preds = model.predict_labels(&graph);
@@ -39,5 +48,11 @@ pub fn demo_setup(scale: f64, seed: u64) -> DemoSetup {
         .find(|&i| preds[i] == graph.label(i) && graph.degree(i) >= 3)
         .expect("no suitable victim in the test split");
     let target_label = (graph.label(victim) + 1) % graph.num_classes();
-    DemoSetup { graph, model, split, victim, target_label }
+    DemoSetup {
+        graph,
+        model,
+        split,
+        victim,
+        target_label,
+    }
 }

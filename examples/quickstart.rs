@@ -28,14 +28,22 @@ fn main() {
     let ctx = AttackContext::with_degree_budget(&setup.model, &setup.graph, setup.victim, setup.target_label);
     let attack = GeAttack::new(GeAttackConfig::default());
     let perturbation = attack.attack(&ctx);
-    println!("GEAttack inserted {} adversarial edges: {:?}", perturbation.size(), perturbation.added());
+    println!(
+        "GEAttack inserted {} adversarial edges: {:?}",
+        perturbation.size(),
+        perturbation.added()
+    );
 
     let attacked = perturbation.apply(&setup.graph);
     let new_prediction = setup.model.predict_proba(&attacked).argmax_row(setup.victim);
     println!(
         "prediction after the attack: {} ({})",
         new_prediction,
-        if new_prediction == setup.target_label { "target label reached" } else { "target label NOT reached" }
+        if new_prediction == setup.target_label {
+            "target label reached"
+        } else {
+            "target label NOT reached"
+        }
     );
 
     // Would an inspector running GNNExplainer notice the inserted edges?
@@ -48,7 +56,10 @@ fn main() {
     );
     for &(u, v) in perturbation.added() {
         match explanation.rank_of(u, v) {
-            Some(rank) => println!("  adversarial edge ({u},{v}) appears at rank {} of the explanation", rank + 1),
+            Some(rank) => println!(
+                "  adversarial edge ({u},{v}) appears at rank {} of the explanation",
+                rank + 1
+            ),
             None => println!("  adversarial edge ({u},{v}) does not appear in the top-20 explanation"),
         }
     }

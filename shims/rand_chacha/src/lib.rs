@@ -1,0 +1,135 @@
+//! Offline stand-in for the `rand_chacha` crate.
+//!
+//! Implements a genuine ChaCha8 block cipher as a deterministic PRNG under the
+//! upstream type name [`ChaCha8Rng`]. Output is deterministic per seed but not
+//! bit-compatible with upstream `rand_chacha` (which the workspace never relies
+//! on — only self-consistency across runs and threads matters).
+
+use rand::{split_mix_64, RngCore, SeedableRng};
+
+/// The ChaCha8-based pseudo-random generator.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    /// 256-bit key expanded from the seed.
+    key: [u32; 8],
+    /// 64-bit block counter.
+    counter: u64,
+    /// Current keystream block.
+    buffer: [u32; 16],
+    /// Next unread word of `buffer`; 16 means exhausted.
+    index: usize,
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    /// "expand 32-byte k" — the standard ChaCha constant words.
+    const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646E, 0x7962_2D32, 0x6B20_6574];
+
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&Self::SIGMA);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        state[14] = 0;
+        state[15] = 0;
+        let initial = state;
+        for _ in 0..4 {
+            // One double round: column round + diagonal round (8 rounds total).
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (word, init) in state.iter_mut().zip(initial.iter()) {
+            *word = word.wrapping_add(*init);
+        }
+        self.buffer = state;
+        self.index = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(state: u64) -> Self {
+        let mut sm = state;
+        let mut key = [0u32; 8];
+        for pair in key.chunks_mut(2) {
+            let word = split_mix_64(&mut sm);
+            pair[0] = word as u32;
+            if pair.len() > 1 {
+                pair[1] = (word >> 32) as u32;
+            }
+        }
+        Self {
+            key,
+            counter: 0,
+            buffer: [0; 16],
+            index: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let word = self.buffer[self.index];
+        self.index += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2, "streams from different seeds overlap too much");
+    }
+
+    #[test]
+    fn floats_cover_the_unit_interval() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let samples: Vec<f64> = (0..1000).map(|_| rng.gen::<f64>()).collect();
+        assert!(samples.iter().all(|&f| (0.0..1.0).contains(&f)));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean} far from 0.5");
+    }
+}

@@ -1,0 +1,150 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Provides the `par_iter().map(..).collect()` shape the workspace's hot loops
+//! use, built on `std::thread::scope`. Work is split into one contiguous chunk
+//! per available core; results are reassembled in input order, so a parallel map
+//! is observably identical to its serial counterpart whenever the mapped
+//! function is deterministic per item.
+
+use std::marker::PhantomData;
+
+/// Rayon-style import surface: `use rayon::prelude::*;`.
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// The number of worker threads a parallel call will use for `len` items.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+/// Order-preserving parallel map over a slice: one scoped thread per chunk.
+fn par_map_chunks<'a, T, R, F>(items: &'a [T], f: &F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    let n = items.len();
+    if n <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let threads = current_num_threads().min(n);
+    let chunk = n.div_ceil(threads);
+    let mut per_chunk: Vec<Vec<R>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| scope.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        per_chunk = handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect();
+    });
+    per_chunk.into_iter().flatten().collect()
+}
+
+/// A borrowing parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps every item; the closure must be shareable across threads.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, R, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+            _result: PhantomData,
+        }
+    }
+
+    /// Number of items the iterator will yield.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the iterator is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// The result of [`ParIter::map`], ready to collect.
+pub struct ParMap<'a, T, R, F> {
+    items: &'a [T],
+    f: F,
+    _result: PhantomData<fn() -> R>,
+}
+
+impl<'a, T, R, F> ParMap<'a, T, R, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    /// Runs the map in parallel and collects the results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        par_map_chunks(self.items, &self.f).into_iter().collect()
+    }
+}
+
+/// Extension trait giving `&self`-based containers a `par_iter`.
+pub trait IntoParallelRefIterator<'a> {
+    /// The borrowed item type.
+    type Item: Sync + 'a;
+
+    /// Returns a parallel iterator borrowing the container's items.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = items.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_matches_serial_map() {
+        let items: Vec<f64> = (0..257).map(|i| i as f64 * 0.5).collect();
+        let serial: Vec<f64> = items.iter().map(|x| x.sin().exp()).collect();
+        let parallel: Vec<f64> = items.par_iter().map(|x| x.sin().exp()).collect();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<usize> = Vec::new();
+        let out: Vec<usize> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [7usize];
+        let out: Vec<usize> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+}

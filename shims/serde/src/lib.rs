@@ -1,0 +1,254 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no registry access, so this shim replaces serde's
+//! serializer/deserializer architecture with a concrete [`Value`] tree: types
+//! implement [`Serialize`] by producing a `Value` and [`Deserialize`] by reading
+//! one back. The companion `serde_derive` shim generates both impls for plain
+//! structs with named fields and for enums with unit variants — the only shapes
+//! this workspace derives.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A dynamically-typed serialization tree (the JSON data model).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number (always stored as `f64`; integers are printed without a
+    /// fractional part).
+    Number(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a field of an object value.
+    pub fn get_field(&self, name: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Object(fields) => fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error(format!("missing field `{name}`"))),
+            other => Err(Error(format!(
+                "expected object with field `{name}`, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Extracts a string value.
+    pub fn as_str(&self) -> Result<&str, Error> {
+        match self {
+            Value::String(s) => Ok(s),
+            other => Err(Error(format!("expected string, found {}", other.kind()))),
+        }
+    }
+
+    /// Extracts a number value.
+    pub fn as_f64(&self) -> Result<f64, Error> {
+        match self {
+            Value::Number(n) => Ok(*n),
+            other => Err(Error(format!("expected number, found {}", other.kind()))),
+        }
+    }
+
+    /// Human-readable name of the value's type, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Error(pub String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion into the serialization tree.
+pub trait Serialize {
+    /// Produces the value-tree representation of `self`.
+    fn serialize(&self) -> Value;
+}
+
+/// Conversion back from the serialization tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a value tree.
+    fn deserialize(value: &Value) -> Result<Self, Error>;
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+macro_rules! impl_number {
+    ($($ty:ty),*) => {
+        $(
+            impl Serialize for $ty {
+                fn serialize(&self) -> Value {
+                    Value::Number(*self as f64)
+                }
+            }
+
+            impl Deserialize for $ty {
+                fn deserialize(value: &Value) -> Result<Self, Error> {
+                    Ok(value.as_f64()? as $ty)
+                }
+            }
+        )*
+    };
+}
+
+impl_number!(f32, f64, i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(value.as_str()?.to_string())
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for &str {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Deserializing into `&'static str` requires giving the string a static
+    /// lifetime; the shim leaks the (small, test-only) allocation, which upstream
+    /// serde cannot express at all for owned input.
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(Box::leak(value.as_str()?.to_string().into_boxed_str()))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(Error(format!("expected array, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(v) => v.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::deserialize(other)?)),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+)),*) => {
+        $(
+            impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+                fn serialize(&self) -> Value {
+                    Value::Array(vec![$(self.$idx.serialize()),+])
+                }
+            }
+
+            impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+                fn deserialize(value: &Value) -> Result<Self, Error> {
+                    match value {
+                        Value::Array(items) => {
+                            let expected = [$($idx),+].len();
+                            if items.len() != expected {
+                                return Err(Error(format!(
+                                    "expected {expected}-tuple, found array of {}",
+                                    items.len()
+                                )));
+                            }
+                            Ok(($($name::deserialize(&items[$idx])?,)+))
+                        }
+                        other => Err(Error(format!("expected array, found {}", other.kind()))),
+                    }
+                }
+            }
+        )*
+    };
+}
+
+impl_tuple!((A: 0), (A: 0, B: 1), (A: 0, B: 1, C: 2), (A: 0, B: 1, C: 2, D: 3));

@@ -1,0 +1,234 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! With no registry access there is no `syn`/`quote`, so these derive macros
+//! parse the item with the bare `proc_macro` API and emit the generated impls by
+//! formatting Rust source and re-parsing it. Supported shapes (the only ones the
+//! workspace derives):
+//!
+//! * structs with named fields (serialized as a JSON object in field order);
+//! * enums whose variants are all unit variants (serialized as the variant name).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of a parsed item.
+enum Item {
+    /// Struct name plus named fields in declaration order.
+    Struct { name: String, fields: Vec<String> },
+    /// Enum name plus unit-variant names in declaration order.
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Consumes leading outer attributes (`#[...]`, including doc comments).
+fn skip_attributes(tokens: &[TokenTree], mut pos: usize) -> usize {
+    while pos + 1 < tokens.len() {
+        match (&tokens[pos], &tokens[pos + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g)) if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket => {
+                pos += 2;
+            }
+            _ => break,
+        }
+    }
+    pos
+}
+
+/// Consumes an optional visibility modifier (`pub`, `pub(crate)`, ...).
+fn skip_visibility(tokens: &[TokenTree], mut pos: usize) -> usize {
+    if let Some(TokenTree::Ident(ident)) = tokens.get(pos) {
+        if ident.to_string() == "pub" {
+            pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    pos += 1;
+                }
+            }
+        }
+    }
+    pos
+}
+
+fn ident_at(tokens: &[TokenTree], pos: usize) -> Option<String> {
+    match tokens.get(pos) {
+        Some(TokenTree::Ident(ident)) => Some(ident.to_string()),
+        _ => None,
+    }
+}
+
+/// Splits a brace-group body into named fields: `attrs* vis? name : type ,`.
+fn parse_named_fields(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < body.len() {
+        pos = skip_attributes(body, pos);
+        pos = skip_visibility(body, pos);
+        if pos >= body.len() {
+            break;
+        }
+        let name =
+            ident_at(body, pos).ok_or_else(|| format!("expected field name, found {:?}", body[pos].to_string()))?;
+        pos += 1;
+        match body.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => return Err(format!("expected `:` after field `{name}`, found {other:?}")),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth zero.
+        // Parens/brackets/braces arrive as single groups, so only `<`/`>` need
+        // explicit depth tracking.
+        let mut angle_depth = 0usize;
+        while pos < body.len() {
+            match &body[pos] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    angle_depth = angle_depth.saturating_sub(1);
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Splits a brace-group body into unit variants: `attrs* name ,`.
+fn parse_unit_variants(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < body.len() {
+        pos = skip_attributes(body, pos);
+        if pos >= body.len() {
+            break;
+        }
+        let name =
+            ident_at(body, pos).ok_or_else(|| format!("expected variant name, found {:?}", body[pos].to_string()))?;
+        pos += 1;
+        match body.get(pos) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => pos += 1,
+            Some(other) => {
+                return Err(format!(
+                    "variant `{name}` is not a unit variant (found {:?}); the serde shim only derives unit enums",
+                    other.to_string()
+                ))
+            }
+        }
+        variants.push(name);
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = skip_attributes(&tokens, 0);
+    pos = skip_visibility(&tokens, pos);
+    let keyword = ident_at(&tokens, pos).ok_or("expected `struct` or `enum`")?;
+    pos += 1;
+    let name = ident_at(&tokens, pos).ok_or("expected type name")?;
+    pos += 1;
+    let body = match tokens.get(pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream().into_iter().collect::<Vec<_>>(),
+        _ => {
+            return Err(format!(
+                "the serde shim can only derive braced items without generics; `{name}` is not one"
+            ))
+        }
+    };
+    match keyword.as_str() {
+        "struct" => Ok(Item::Struct {
+            name,
+            fields: parse_named_fields(&body)?,
+        }),
+        "enum" => Ok(Item::Enum {
+            name,
+            variants: parse_unit_variants(&body)?,
+        }),
+        other => Err(format!("cannot derive serde impls for `{other}` items")),
+    }
+}
+
+fn compile_error(message: &str) -> TokenStream {
+    format!("compile_error!({message:?});").parse().unwrap()
+}
+
+/// Derives the shim's `serde::Serialize` for named-field structs and unit enums.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match item {
+        Item::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| format!("fields.push(({f:?}.to_string(), ::serde::Serialize::serialize(&self.{f})));\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(fields)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants.iter().map(|v| format!("{name}::{v} => {v:?},\n")).collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::String(match self {{ {arms} }}.to_string())\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
+
+/// Derives the shim's `serde::Deserialize` for named-field structs and unit enums.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match item {
+        Item::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::deserialize(value.get_field({f:?})?)?,\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(value: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         Ok(Self {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(value: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         match value.as_str()? {{\n\
+                             {arms}\
+                             other => Err(::serde::Error(format!(\n\
+                                 \"unknown {name} variant `{{other}}`\"\n\
+                             ))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}

@@ -1,0 +1,440 @@
+//! Offline stand-in for the `serde_json` crate: serializes the serde shim's
+//! [`Value`] tree to JSON text, parses JSON text back, and provides the [`json!`]
+//! constructor macro.
+
+pub use serde::{Error, Value};
+
+/// Converts any serializable value into a [`Value`] tree (used by [`json!`]).
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.serialize()
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn number_to_string(n: f64) -> String {
+    if n.is_finite() && n.fract() == 0.0 && n.abs() < 9.007_199_254_740_992e15 {
+        format!("{}", n as i64)
+    } else if n.is_finite() {
+        format!("{n}")
+    } else {
+        // JSON has no NaN/Infinity; mirror serde_json's lossy behaviour.
+        "null".to_string()
+    }
+}
+
+fn write_value(value: &Value, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    let pad_inner = "  ".repeat(indent + 1);
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&number_to_string(*n)),
+        Value::String(s) => escape_into(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&pad_inner);
+                write_value(item, indent + 1, out);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push_str("{\n");
+            for (i, (key, item)) in fields.iter().enumerate() {
+                out.push_str(&pad_inner);
+                escape_into(key, out);
+                out.push_str(": ");
+                write_value(item, indent + 1, out);
+                if i + 1 < fields.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+/// Serializes a value as pretty-printed JSON (2-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.serialize(), 0, &mut out);
+    Ok(out)
+}
+
+/// Serializes a value as compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    // The pretty printer is the only writer; compact output just strips the
+    // layout by re-walking the tree.
+    fn compact(value: &Value, out: &mut String) {
+        match value {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => out.push_str(&number_to_string(*n)),
+            Value::String(s) => escape_into(s, out),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    compact(item, out);
+                }
+                out.push(']');
+            }
+            Value::Object(fields) => {
+                out.push('{');
+                for (i, (key, item)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(key, out);
+                    out.push(':');
+                    compact(item, out);
+                }
+                out.push('}');
+            }
+        }
+    }
+    let mut out = String::new();
+    compact(&value.serialize(), &mut out);
+    Ok(out)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: &str) -> Error {
+        Error(format!("{message} at byte {}", self.pos))
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_whitespace();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected `{word}`")))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-')) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Value::Number)
+            .ok_or_else(|| self.error("invalid number"))
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.error("invalid \\u escape"))?;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.error("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 code point.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..]).map_err(|_| self.error("invalid UTF-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err(self.error("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.error("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(self.error("expected `,` or `}`")),
+            }
+        }
+    }
+}
+
+/// Parses JSON text into any deserializable type.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let value = parser.parse_value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing characters"));
+    }
+    T::deserialize(&value)
+}
+
+/// Builds a [`Value`] from JSON-like syntax; values are arbitrary serializable
+/// expressions.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => {{
+        let mut items: Vec<$crate::Value> = Vec::new();
+        $crate::json_array_entries!(items; $($tt)*);
+        $crate::Value::Array(items)
+    }};
+    ({ $($tt:tt)* }) => {{
+        let mut fields: Vec<(String, $crate::Value)> = Vec::new();
+        $crate::json_object_entries!(fields; $($tt)*);
+        $crate::Value::Object(fields)
+    }};
+    ($($expr:tt)+) => { $crate::to_value(&($($expr)+)) };
+}
+
+/// Internal: accumulates `key: value` pairs of a [`json!`] object.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_object_entries {
+    ($fields:ident;) => {};
+    ($fields:ident; $key:literal : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $fields.push(($key.to_string(), $crate::json!({ $($inner)* })));
+        $crate::json_object_entries!($fields; $($($rest)*)?);
+    };
+    ($fields:ident; $key:literal : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $fields.push(($key.to_string(), $crate::json!([ $($inner)* ])));
+        $crate::json_object_entries!($fields; $($($rest)*)?);
+    };
+    ($fields:ident; $key:literal : null $(, $($rest:tt)*)?) => {
+        $fields.push(($key.to_string(), $crate::Value::Null));
+        $crate::json_object_entries!($fields; $($($rest)*)?);
+    };
+    ($fields:ident; $key:literal : $($rest:tt)*) => {
+        $crate::json_object_value!($fields; $key; []; $($rest)*);
+    };
+}
+
+/// Internal: munches one expression value up to a top-level comma.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_object_value {
+    ($fields:ident; $key:literal; [$($acc:tt)*]; , $($rest:tt)*) => {
+        $fields.push(($key.to_string(), $crate::to_value(&($($acc)*))));
+        $crate::json_object_entries!($fields; $($rest)*);
+    };
+    ($fields:ident; $key:literal; [$($acc:tt)*];) => {
+        $fields.push(($key.to_string(), $crate::to_value(&($($acc)*))));
+    };
+    ($fields:ident; $key:literal; [$($acc:tt)*]; $next:tt $($rest:tt)*) => {
+        $crate::json_object_value!($fields; $key; [$($acc)* $next]; $($rest)*);
+    };
+}
+
+/// Internal: accumulates elements of a [`json!`] array.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_array_entries {
+    ($items:ident;) => {};
+    ($items:ident; { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $items.push($crate::json!({ $($inner)* }));
+        $crate::json_array_entries!($items; $($($rest)*)?);
+    };
+    ($items:ident; [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $items.push($crate::json!([ $($inner)* ]));
+        $crate::json_array_entries!($items; $($($rest)*)?);
+    };
+    ($items:ident; null $(, $($rest:tt)*)?) => {
+        $items.push($crate::Value::Null);
+        $crate::json_array_entries!($items; $($($rest)*)?);
+    };
+    ($items:ident; $($rest:tt)*) => {
+        $crate::json_array_value!($items; []; $($rest)*);
+    };
+}
+
+/// Internal: munches one array element up to a top-level comma.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_array_value {
+    ($items:ident; [$($acc:tt)*]; , $($rest:tt)*) => {
+        $items.push($crate::to_value(&($($acc)*)));
+        $crate::json_array_entries!($items; $($rest)*);
+    };
+    ($items:ident; [$($acc:tt)*];) => {
+        $items.push($crate::to_value(&($($acc)*)));
+    };
+    ($items:ident; [$($acc:tt)*]; $next:tt $($rest:tt)*) => {
+        $crate::json_array_value!($items; [$($acc)* $next]; $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::vec_init_then_push)]
+    fn roundtrip_object() {
+        let value = json!({
+            "name": "cora",
+            "nodes": 2485usize,
+            "stats": { "homophily": 0.81, "ok": true, "missing": null },
+            "list": [1.0, 2.0, 3.5],
+        });
+        let text = to_string_pretty(&value).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn integers_print_without_fraction() {
+        assert_eq!(to_string(&5usize).unwrap(), "5");
+        assert_eq!(to_string(&2.5f64).unwrap(), "2.5");
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let original = "line\nbreak \"quoted\" \\slash\ttab".to_string();
+        let text = to_string(&original).unwrap();
+        let back: String = from_str(&text).unwrap();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn parses_nested_json() {
+        let value: Value = from_str(r#"{"a": [1, {"b": "c"}], "d": -2.5e1}"#).unwrap();
+        assert_eq!(value.get_field("d").unwrap().as_f64().unwrap(), -25.0);
+    }
+}

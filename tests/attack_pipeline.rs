@@ -34,8 +34,18 @@ fn gradient_attacks_beat_random_attack() {
 
     // The paper's Table 1 ordering: optimized attacks reach (near-)perfect ASR-T,
     // the random baseline does not.
-    assert!(fga_t.asr_t >= rna.asr_t, "FGA-T ({}) should not lose to RNA ({})", fga_t.asr_t, rna.asr_t);
-    assert!(ge.asr_t >= rna.asr_t, "GEAttack ({}) should not lose to RNA ({})", ge.asr_t, rna.asr_t);
+    assert!(
+        fga_t.asr_t >= rna.asr_t,
+        "FGA-T ({}) should not lose to RNA ({})",
+        fga_t.asr_t,
+        rna.asr_t
+    );
+    assert!(
+        ge.asr_t >= rna.asr_t,
+        "GEAttack ({}) should not lose to RNA ({})",
+        ge.asr_t,
+        rna.asr_t
+    );
     assert!(fga_t.asr_t >= 0.5);
 }
 

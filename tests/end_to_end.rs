@@ -3,10 +3,11 @@
 //! shape of the paper's headline result.
 
 use geattack_core::evaluation::summarize_run;
-use geattack_core::pipeline::{run_attacker_kind, AttackerKind};
+use geattack_core::pipeline::{prepare, run_attacker_kind, AttackerKind};
 use geattack_gnn::accuracy;
+use geattack_graph::datasets::GeneratorConfig;
 use geattack_graph::DatasetName;
-use geattack_integration_tests::tiny_prepared;
+use geattack_integration_tests::{tiny_config, tiny_prepared};
 
 #[test]
 fn full_pipeline_produces_sane_results() {
@@ -28,10 +29,19 @@ fn full_pipeline_produces_sane_results() {
     let outcomes = run_attacker_kind(&prepared, AttackerKind::GeAttack);
     assert_eq!(outcomes.len(), prepared.victims.len());
     let summary = summarize_run("GEAttack", &outcomes);
-    assert!(summary.asr_t >= 0.5, "GEAttack ASR-T {:.2} unexpectedly low", summary.asr_t);
+    assert!(
+        summary.asr_t >= 0.5,
+        "GEAttack ASR-T {:.2} unexpectedly low",
+        summary.asr_t
+    );
     for o in &outcomes {
         assert!(o.perturbation_size >= 1);
-        for value in [o.detection.precision, o.detection.recall, o.detection.f1, o.detection.ndcg] {
+        for value in [
+            o.detection.precision,
+            o.detection.recall,
+            o.detection.f1,
+            o.detection.ndcg,
+        ] {
             assert!((0.0..=1.0).contains(&value));
         }
     }
@@ -40,18 +50,37 @@ fn full_pipeline_produces_sane_results() {
 #[test]
 fn geattack_is_no_easier_to_detect_than_fga_t() {
     // The paper's headline comparison: GEAttack achieves comparable attack success
-    // to FGA-T while being harder for GNNExplainer to detect. On a tiny synthetic
-    // instance we assert the non-strict version (no worse than FGA-T plus a small
-    // tolerance) to keep the test robust across seeds.
-    let prepared = tiny_prepared(DatasetName::Citeseer, 2);
-    let fga = summarize_run("FGA-T", &run_attacker_kind(&prepared, AttackerKind::FgaT));
-    let ge = summarize_run("GEAttack", &run_attacker_kind(&prepared, AttackerKind::GeAttack));
+    // to FGA-T while being harder for GNNExplainer to detect. A single tiny run
+    // (a handful of victims) is far too noisy to pin this, so — like the paper,
+    // which reports means over independent runs — we average over three seeds on
+    // a slightly larger instance and assert the non-strict version (no worse than
+    // FGA-T plus a small tolerance).
+    let seeds = [1u64, 2, 3];
+    let mut fga_asr = 0.0;
+    let mut fga_ndcg = 0.0;
+    let mut ge_asr = 0.0;
+    let mut ge_ndcg = 0.0;
+    for &seed in &seeds {
+        let mut config = tiny_config(DatasetName::Citeseer, seed);
+        config.generator = GeneratorConfig::at_scale(0.12, seed);
+        config.victims.count = 12;
+        config.victims.top_margin = 4;
+        config.victims.bottom_margin = 4;
+        let prepared = prepare(config);
+        let fga = summarize_run("FGA-T", &run_attacker_kind(&prepared, AttackerKind::FgaT));
+        let ge = summarize_run("GEAttack", &run_attacker_kind(&prepared, AttackerKind::GeAttack));
+        fga_asr += fga.asr / seeds.len() as f64;
+        fga_ndcg += fga.ndcg / seeds.len() as f64;
+        ge_asr += ge.asr / seeds.len() as f64;
+        ge_ndcg += ge.ndcg / seeds.len() as f64;
+    }
 
-    assert!(ge.asr >= fga.asr - 0.2, "GEAttack lost too much attack power: {} vs {}", ge.asr, fga.asr);
     assert!(
-        ge.ndcg <= fga.ndcg + 0.1,
-        "GEAttack should not be easier to detect than FGA-T (NDCG {} vs {})",
-        ge.ndcg,
-        fga.ndcg
+        ge_asr >= fga_asr - 0.2,
+        "GEAttack lost too much attack power: mean ASR {ge_asr} vs {fga_asr}"
+    );
+    assert!(
+        ge_ndcg <= fga_ndcg + 0.1,
+        "GEAttack should not be easier to detect than FGA-T (mean NDCG {ge_ndcg} vs {fga_ndcg})"
     );
 }

@@ -11,7 +11,10 @@ use geattack_integration_tests::{tiny_config, tiny_prepared};
 #[test]
 fn gnnexplainer_detects_fga_t_edges_on_average() {
     let prepared = tiny_prepared(DatasetName::Cora, 6);
-    let explainer = GnnExplainer::new(GnnExplainerConfig { epochs: 30, ..Default::default() });
+    let explainer = GnnExplainer::new(GnnExplainerConfig {
+        epochs: 30,
+        ..Default::default()
+    });
     let mut recalls = Vec::new();
     for victim in prepared.victims.iter().take(5) {
         let ctx = AttackContext::with_degree_budget(&prepared.model, &prepared.graph, victim.node, victim.target_label);
@@ -50,7 +53,10 @@ fn pgexplainer_pipeline_produces_valid_detection_scores() {
 fn explanation_of_clean_graph_contains_no_adversarial_edges() {
     // Sanity: detection metrics must be zero when nothing was perturbed.
     let prepared = tiny_prepared(DatasetName::Cora, 8);
-    let explainer = GnnExplainer::new(GnnExplainerConfig { epochs: 20, ..Default::default() });
+    let explainer = GnnExplainer::new(GnnExplainerConfig {
+        epochs: 20,
+        ..Default::default()
+    });
     let victim = prepared.victims[0];
     let explanation = explainer.explain(&prepared.model, &prepared.graph, victim.node);
     let scores = detection_scores(&explanation, &[], 15);

@@ -1,0 +1,94 @@
+//! Pins the determinism contract of the rayon-parallelized pipeline: running
+//! the multi-victim attack loop with `config.parallel` on and off must produce
+//! byte-identical outcomes (same victims, same perturbation sizes, same
+//! detection scores), because every victim draws from victim-local RNG state.
+//!
+//! When the `parallel` feature is compiled out, both configurations take the
+//! serial path and the assertions hold trivially; CI runs the suite with the
+//! feature both on and off.
+
+use geattack_core::evaluation::AttackOutcome;
+use geattack_core::pipeline::{prepare, run_attacker_kind, AttackerKind};
+use geattack_graph::DatasetName;
+use geattack_integration_tests::tiny_config;
+
+fn outcomes_with_parallel(parallel: bool, kind: AttackerKind, seed: u64) -> Vec<AttackOutcome> {
+    let mut config = tiny_config(DatasetName::Cora, seed);
+    config.victims.count = 6;
+    config.parallel = parallel;
+    let prepared = prepare(config);
+    assert!(
+        prepared.victims.len() >= 2,
+        "need at least two victims to exercise the parallel path"
+    );
+    run_attacker_kind(&prepared, kind)
+}
+
+fn assert_identical(serial: &[AttackOutcome], parallel: &[AttackOutcome], kind: AttackerKind) {
+    assert_eq!(serial.len(), parallel.len(), "{}: outcome count differs", kind.name());
+    for (s, p) in serial.iter().zip(parallel.iter()) {
+        assert_eq!(s.node, p.node, "{}: victim order differs", kind.name());
+        assert_eq!(s.degree, p.degree, "{}: node {} degree", kind.name(), s.node);
+        assert_eq!(
+            s.perturbation_size,
+            p.perturbation_size,
+            "{}: node {} perturbation size",
+            kind.name(),
+            s.node
+        );
+        assert_eq!(s.success_any, p.success_any, "{}: node {} ASR bit", kind.name(), s.node);
+        assert_eq!(
+            s.success_target,
+            p.success_target,
+            "{}: node {} ASR-T bit",
+            kind.name(),
+            s.node
+        );
+        for (metric, sv, pv) in [
+            ("precision", s.detection.precision, p.detection.precision),
+            ("recall", s.detection.recall, p.detection.recall),
+            ("f1", s.detection.f1, p.detection.f1),
+            ("ndcg", s.detection.ndcg, p.detection.ndcg),
+        ] {
+            assert!(
+                sv == pv,
+                "{}: node {} {metric} differs between serial ({sv}) and parallel ({pv})",
+                kind.name(),
+                s.node
+            );
+        }
+    }
+}
+
+#[test]
+fn gradient_attacker_is_deterministic_across_thread_counts() {
+    let serial = outcomes_with_parallel(false, AttackerKind::FgaT, 11);
+    let parallel = outcomes_with_parallel(true, AttackerKind::FgaT, 11);
+    assert_identical(&serial, &parallel, AttackerKind::FgaT);
+}
+
+#[test]
+fn seeded_random_attacker_is_deterministic_across_thread_counts() {
+    // RNA derives its RNG from the per-target seed, so even the "random"
+    // baseline must not be affected by scheduling.
+    let serial = outcomes_with_parallel(false, AttackerKind::Rna, 12);
+    let parallel = outcomes_with_parallel(true, AttackerKind::Rna, 12);
+    assert_identical(&serial, &parallel, AttackerKind::Rna);
+}
+
+#[test]
+fn joint_attacker_is_deterministic_across_thread_counts() {
+    let serial = outcomes_with_parallel(false, AttackerKind::GeAttack, 13);
+    let parallel = outcomes_with_parallel(true, AttackerKind::GeAttack, 13);
+    assert_identical(&serial, &parallel, AttackerKind::GeAttack);
+}
+
+#[test]
+fn repeated_parallel_runs_are_stable() {
+    // Two parallel executions with the same seed must agree with each other,
+    // not just with the serial baseline (guards against work-stealing order
+    // leaking into results through shared state).
+    let first = outcomes_with_parallel(true, AttackerKind::FgaT, 14);
+    let second = outcomes_with_parallel(true, AttackerKind::FgaT, 14);
+    assert_identical(&first, &second, AttackerKind::FgaT);
+}
