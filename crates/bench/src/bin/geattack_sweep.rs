@@ -1,0 +1,81 @@
+//! Executes a declarative scenario sweep: a JSON [`SweepSpec`] naming a grid of
+//! `{family x scale x seed x attacker x explainer x budget}` cells.
+//!
+//! ```text
+//! cargo run --release -p geattack-bench --bin geattack-sweep -- examples/sweeps/quick.json [--serial]
+//! ```
+//!
+//! One experiment is prepared per (family, scale, seed, explainer) cell and
+//! shared across all attackers and budgets; cells run in parallel unless
+//! `--serial` is passed. The aggregated report is deterministic: the same spec
+//! produces byte-identical JSON whether it runs serially or in parallel.
+//!
+//! The shared flags override the spec's axes explicitly: `--scale F` replaces
+//! the scales axis, `--victims N` the per-cell victim count, `--seed N` offsets
+//! every seed, `--runs N` replaces the seeds axis with `seed..seed+N`, and
+//! `--quick`/`--full` override the training profile. `--dataset` does not apply
+//! (families come from the spec) and is rejected.
+
+use geattack_bench::cli::Options;
+use geattack_bench::runner::write_json;
+use geattack_bench::sweep::run_sweep;
+use geattack_scenarios::SweepSpec;
+
+/// Applies the shared CLI flags to the parsed spec (documented in the module
+/// header); every flag either takes effect or aborts, never silently ignored.
+fn apply_flag_overrides(spec: &mut SweepSpec, options: &Options) {
+    if options.dataset.is_some() {
+        eprintln!("--dataset does not apply to sweeps; name the families in the spec instead");
+        std::process::exit(2);
+    }
+    if let Some(scale) = options.scale {
+        spec.scales = vec![scale];
+    }
+    if let Some(victims) = options.victims {
+        spec.victims = victims;
+    }
+    if let Some(runs) = options.runs {
+        spec.seeds = (0..runs.max(1) as u64).collect();
+    }
+    if options.seed != 0 {
+        spec.seeds = spec.seeds.iter().map(|&s| s + options.seed).collect();
+    }
+    if let Some(full) = options.full {
+        spec.quick = !full;
+    }
+}
+
+fn main() {
+    let parsed = Options::parse_with_positionals("SWEEP_SPEC.json");
+    let [spec_path] = parsed.positional.as_slice() else {
+        eprintln!("expected exactly one sweep spec path, got {:?}", parsed.positional);
+        std::process::exit(2);
+    };
+    let text = std::fs::read_to_string(spec_path).unwrap_or_else(|e| {
+        eprintln!("cannot read {spec_path}: {e}");
+        std::process::exit(2);
+    });
+    let mut spec = SweepSpec::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("{spec_path}: {e}");
+        std::process::exit(2);
+    });
+    apply_flag_overrides(&mut spec, &parsed.options);
+    spec.validate().unwrap_or_else(|e| {
+        eprintln!("{spec_path} (after flag overrides): {e}");
+        std::process::exit(2);
+    });
+    eprintln!(
+        "sweep `{}`: {} prepared cells, {} result cells",
+        spec.name,
+        spec.prepared_cells(),
+        spec.total_cells()
+    );
+
+    let report = run_sweep(&spec, parsed.options.serial).unwrap_or_else(|e| {
+        eprintln!("sweep failed: {e}");
+        std::process::exit(2);
+    });
+    print!("{}", report.to_markdown());
+    let path = write_json(&format!("sweep_{}", spec.name), &report.to_json());
+    println!("(JSON written to {})", path.display());
+}

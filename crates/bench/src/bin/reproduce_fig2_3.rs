@@ -15,10 +15,10 @@ use geattack_graph::DatasetName;
 fn main() {
     let options = Options::from_args();
     let degrees: Vec<usize> = (1..=10).collect();
-    let victims_per_degree = if options.full { 40 } else { 8 };
+    let victims_per_degree = if options.is_full() { 40 } else { 8 };
     let mut figures = Vec::new();
 
-    for dataset in [DatasetName::Citeseer, DatasetName::Cora] {
+    for dataset in options.datasets(&[DatasetName::Citeseer, DatasetName::Cora]) {
         let results = degree_sweep(
             &options,
             dataset,

@@ -13,7 +13,7 @@ use geattack_graph::DatasetName;
 fn main() {
     let options = Options::from_args();
     // The paper's grid; the reduced default skips some of the long plateau.
-    let lambdas: Vec<f64> = if options.full {
+    let lambdas: Vec<f64> = if options.is_full() {
         vec![0.001, 0.01, 1.0, 10.0, 20.0, 50.0, 100.0, 150.0, 200.0, 500.0, 1000.0]
     } else {
         vec![0.001, 1.0, 20.0, 100.0, 500.0]
@@ -28,18 +28,25 @@ fn main() {
         ("NDCG@15", |s| s.ndcg),
     ];
 
-    let cora = lambda_sweep(&options, DatasetName::Cora, &lambdas);
-    let fig4 = summaries_to_figure("Figure 4 — effect of lambda on CORA (GEAttack)", &cora, metrics_fig4);
-    print!("{}", fig4.to_text());
+    let selected = options.datasets(&[DatasetName::Cora, DatasetName::Citeseer]);
+    let mut figures = Vec::new();
+    if selected.contains(&DatasetName::Cora) {
+        let cora = lambda_sweep(&options, DatasetName::Cora, &lambdas);
+        let fig4 = summaries_to_figure("Figure 4 — effect of lambda on CORA (GEAttack)", &cora, metrics_fig4);
+        print!("{}", fig4.to_text());
+        figures.push(fig4);
+    }
+    if selected.contains(&DatasetName::Citeseer) {
+        let citeseer = lambda_sweep(&options, DatasetName::Citeseer, &lambdas);
+        let fig8 = summaries_to_figure(
+            "Figure 8 — effect of lambda on CITESEER (GEAttack)",
+            &citeseer,
+            metrics_fig8,
+        );
+        print!("{}", fig8.to_text());
+        figures.push(fig8);
+    }
 
-    let citeseer = lambda_sweep(&options, DatasetName::Citeseer, &lambdas);
-    let fig8 = summaries_to_figure(
-        "Figure 8 — effect of lambda on CITESEER (GEAttack)",
-        &citeseer,
-        metrics_fig8,
-    );
-    print!("{}", fig8.to_text());
-
-    let path = write_json("fig4_8", &to_json(&vec![fig4, fig8]));
+    let path = write_json("fig4_8", &to_json(&figures));
     println!("(JSON written to {})", path.display());
 }

@@ -16,16 +16,20 @@ use geattack_graph::DatasetName;
 
 fn main() {
     let options = Options::from_args();
-    let sizes: Vec<usize> = if options.full {
+    let sizes: Vec<usize> = if options.is_full() {
         vec![20, 40, 60, 80, 100]
     } else {
         vec![10, 20, 40, 60]
     };
 
+    // Figure 5 is a CORA-only analysis; `--dataset cora` is accepted for
+    // symmetry with the other binaries.
+    let dataset = options.datasets(&[DatasetName::Cora])[0];
+
     // summaries[size index][run index]
     let mut summaries = vec![Vec::new(); sizes.len()];
     for run in options.run_indices() {
-        let base = options.pipeline(DatasetName::Cora, run);
+        let base = options.pipeline(dataset, run);
         for (si, &l) in sizes.iter().enumerate() {
             let mut config = base.clone();
             config.explanation_size = l;

@@ -14,14 +14,14 @@ use geattack_graph::DatasetName;
 
 fn main() {
     let options = Options::from_args();
-    let iterations: Vec<usize> = if options.full {
+    let iterations: Vec<usize> = if options.is_full() {
         (1..=10).collect()
     } else {
         vec![1, 2, 3, 5, 8]
     };
     let mut figures = Vec::new();
 
-    for dataset in [DatasetName::Cora, DatasetName::Acm] {
+    for dataset in options.datasets(&[DatasetName::Cora, DatasetName::Acm]) {
         let mut summaries = vec![Vec::new(); iterations.len()];
         for run in options.run_indices() {
             let base = options.pipeline(dataset, run);

@@ -14,7 +14,7 @@ fn main() {
     let options = Options::from_args();
     println!("# Table 1 — attacking a GCN and GNNExplainer jointly\n");
     let mut blocks = Vec::new();
-    for dataset in DatasetName::ALL {
+    for dataset in options.datasets(&DatasetName::ALL) {
         let block = table_block(&options, dataset, ExplainerKind::GnnExplainer, &AttackerKind::ALL);
         print!("{}", block.to_markdown());
         blocks.push(block);

@@ -13,12 +13,12 @@ use geattack_graph::DatasetName;
 
 fn main() {
     let options = Options::from_args();
-    let scale = options.scale.unwrap_or(if options.full { 1.0 } else { 0.25 });
+    let scale = options.scale.unwrap_or(if options.is_full() { 1.0 } else { 0.25 });
     println!("# Table 3 — dataset statistics (synthetic stand-ins, scale {scale})\n");
     println!("| Dataset | Nodes | Edges | Classes | Features | Avg. degree | Homophily | Paper (nodes/edges/classes/features) |");
     println!("|---|---|---|---|---|---|---|---|");
     let mut records = Vec::new();
-    for dataset in DatasetName::ALL {
+    for dataset in options.datasets(&DatasetName::ALL) {
         let spec = dataset.spec();
         let graph = load(dataset, &GeneratorConfig::at_scale(scale, options.seed));
         let s = stats(&graph);

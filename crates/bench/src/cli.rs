@@ -1,0 +1,259 @@
+//! The one shared command-line parser behind every binary in this crate.
+//!
+//! All eight `reproduce_*` binaries and `geattack-sweep` accept the same flag
+//! set (`--seed`, `--scale`, `--quick`/`--full`, `--serial`, `--runs`,
+//! `--victims`, `--dataset`); the parsing, the usage message and the
+//! flag-to-[`PipelineConfig`] translation live here so a new binary never
+//! copy-pastes an argument loop again. Binaries that take positional arguments
+//! (the sweep's spec path) call [`Options::parse_with_positionals`]; the rest
+//! use [`Options::from_args`].
+
+use geattack_core::pipeline::{GraphSource, PipelineConfig};
+use geattack_graph::datasets::{DatasetName, GeneratorConfig};
+
+/// Command-line options shared by all reproduction binaries and the sweep
+/// runner.
+#[derive(Clone, Debug, Default)]
+pub struct Options {
+    /// `Some(true)` after `--full` (paper scale), `Some(false)` after `--quick`
+    /// (the reduced default, stated explicitly), `None` when neither flag was
+    /// given — the sweep runner needs the distinction to know whether to
+    /// override the spec's profile.
+    pub full: Option<bool>,
+    /// Number of independent seeds/runs to aggregate (`--runs`); `None` means
+    /// the binary's default of 2.
+    pub runs: Option<usize>,
+    /// Number of victims per run (overrides the per-mode default when set).
+    pub victims: Option<usize>,
+    /// Dataset scale override.
+    pub scale: Option<f64>,
+    /// Base seed.
+    pub seed: u64,
+    /// Force the single-threaded pipeline path (`--serial`), for timing
+    /// comparisons and debugging.
+    pub serial: bool,
+    /// Restrict a multi-dataset binary to one dataset (`--dataset NAME`).
+    pub dataset: Option<DatasetName>,
+}
+
+/// The result of parsing a command line that may carry positional arguments.
+#[derive(Clone, Debug)]
+pub struct ParsedArgs {
+    /// The shared flag set.
+    pub options: Options,
+    /// Positional (non-flag) arguments, in order.
+    pub positional: Vec<String>,
+}
+
+const FLAG_USAGE: &str = "[--quick|--full] [--runs N] [--victims N] [--scale F] [--seed N] [--serial] [--dataset NAME]";
+
+impl Options {
+    /// Parses options from `std::env::args()`, rejecting positional arguments.
+    /// Unknown flags abort with a usage message so typos do not silently run
+    /// the wrong experiment.
+    pub fn from_args() -> Self {
+        let parsed = parse(std::env::args().skip(1), false, "");
+        parsed.options
+    }
+
+    /// Parses options plus positional arguments (e.g. the sweep spec path);
+    /// `positional_usage` is appended to the usage message.
+    pub fn parse_with_positionals(positional_usage: &str) -> ParsedArgs {
+        parse(std::env::args().skip(1), true, positional_usage)
+    }
+
+    /// Builds the pipeline configuration for one dataset and one run index.
+    pub fn pipeline(&self, dataset: DatasetName, run: usize) -> PipelineConfig {
+        self.pipeline_for_source(GraphSource::Dataset(dataset), run)
+    }
+
+    /// Whether `--full` (paper scale) was requested.
+    pub fn is_full(&self) -> bool {
+        self.full == Some(true)
+    }
+
+    /// The number of independent runs to aggregate (default 2).
+    pub fn run_count(&self) -> usize {
+        self.runs.unwrap_or(2).max(1)
+    }
+
+    /// Builds the pipeline configuration for an arbitrary graph source and one
+    /// run index.
+    pub fn pipeline_for_source(&self, source: GraphSource, run: usize) -> PipelineConfig {
+        let seed = self.seed + run as u64;
+        let mut config = if self.is_full() {
+            PipelineConfig::paper_scale_source(source, seed)
+        } else {
+            PipelineConfig::quick_source(source, seed)
+        };
+        if let Some(scale) = self.scale {
+            config.generator = GeneratorConfig::at_scale(scale, seed);
+        }
+        if let Some(victims) = self.victims {
+            config.set_victim_count(victims);
+        }
+        config.parallel = !self.serial;
+        config
+    }
+
+    /// The seeds of all runs.
+    pub fn run_indices(&self) -> std::ops::Range<usize> {
+        0..self.run_count()
+    }
+
+    /// The datasets a binary should run on: its own default list, unless
+    /// `--dataset` restricts it to one (which must be in the default list).
+    pub fn datasets(&self, default: &[DatasetName]) -> Vec<DatasetName> {
+        match self.dataset {
+            None => default.to_vec(),
+            Some(dataset) if default.contains(&dataset) => vec![dataset],
+            Some(dataset) => {
+                eprintln!(
+                    "--dataset {} is not part of this experiment (choices: {})",
+                    dataset.as_str(),
+                    default.iter().map(|d| d.as_str()).collect::<Vec<_>>().join(", ")
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+fn parse(args: impl Iterator<Item = String>, allow_positional: bool, positional_usage: &str) -> ParsedArgs {
+    let usage = if positional_usage.is_empty() {
+        format!("usage: {FLAG_USAGE}")
+    } else {
+        format!("usage: {FLAG_USAGE} {positional_usage}")
+    };
+    let fail = |message: &str| -> ! {
+        eprintln!("{message}");
+        eprintln!("{usage}");
+        std::process::exit(2);
+    };
+    let mut options = Options::default();
+    let mut positional = Vec::new();
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--full" => options.full = Some(true),
+            "--quick" => options.full = Some(false),
+            "--runs" => options.runs = Some(parse_next(&mut args, "--runs")),
+            "--victims" => options.victims = Some(parse_next(&mut args, "--victims")),
+            "--scale" => options.scale = Some(parse_next(&mut args, "--scale")),
+            "--seed" => options.seed = parse_next(&mut args, "--seed"),
+            "--serial" => options.serial = true,
+            "--dataset" => {
+                let name: String = parse_next(&mut args, "--dataset");
+                match DatasetName::parse(&name) {
+                    Some(dataset) => options.dataset = Some(dataset),
+                    None => fail(&format!("unknown dataset: {name}")),
+                }
+            }
+            "--help" | "-h" => {
+                eprintln!("{usage}");
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => fail(&format!("unknown option: {other}")),
+            other if allow_positional => positional.push(other.to_string()),
+            other => fail(&format!("unexpected argument: {other}")),
+        }
+    }
+    ParsedArgs { options, positional }
+}
+
+fn parse_next<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, flag: &str) -> T {
+    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+        eprintln!("{flag} expects a value");
+        std::process::exit(2);
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> std::vec::IntoIter<String> {
+        list.iter().map(|s| s.to_string()).collect::<Vec<_>>().into_iter()
+    }
+
+    #[test]
+    fn defaults_and_pipeline() {
+        let options = Options::default();
+        assert!(!options.is_full());
+        let config = options.pipeline(DatasetName::Cora, 1);
+        assert_eq!(config.generator.seed, 1);
+        assert_eq!(options.run_indices().len(), 2);
+    }
+
+    #[test]
+    fn overrides_flow_into_the_pipeline_config() {
+        let options = Options {
+            scale: Some(0.05),
+            victims: Some(3),
+            seed: 7,
+            ..Default::default()
+        };
+        let config = options.pipeline(DatasetName::Acm, 0);
+        assert_eq!(config.victims.count, 3);
+        assert!((config.generator.scale - 0.05).abs() < 1e-12);
+        assert_eq!(config.generator.seed, 7);
+    }
+
+    #[test]
+    fn flags_parse_into_options() {
+        let parsed = parse(
+            args(&[
+                "--seed",
+                "9",
+                "--scale",
+                "0.2",
+                "--serial",
+                "--dataset",
+                "acm",
+                "--runs",
+                "3",
+            ]),
+            false,
+            "",
+        );
+        assert_eq!(parsed.options.seed, 9);
+        assert_eq!(parsed.options.scale, Some(0.2));
+        assert!(parsed.options.serial);
+        assert_eq!(parsed.options.dataset, Some(DatasetName::Acm));
+        assert_eq!(parsed.options.runs, Some(3));
+        assert_eq!(parsed.options.run_count(), 3);
+        assert!(parsed.positional.is_empty());
+    }
+
+    #[test]
+    fn quick_undoes_full_and_positionals_are_collected() {
+        let parsed = parse(args(&["--full", "--quick", "spec.json"]), true, "SPEC");
+        assert_eq!(parsed.options.full, Some(false));
+        assert!(!parsed.options.is_full());
+        assert_eq!(parsed.positional, vec!["spec.json".to_string()]);
+        // Neither profile flag → None, so callers can tell "default" apart
+        // from an explicit `--quick`.
+        assert_eq!(parse(args(&[]), false, "").options.full, None);
+    }
+
+    #[test]
+    fn dataset_filter_restricts_the_default_list() {
+        let options = Options {
+            dataset: Some(DatasetName::Cora),
+            ..Default::default()
+        };
+        assert_eq!(
+            options.datasets(&[DatasetName::Citeseer, DatasetName::Cora]),
+            vec![DatasetName::Cora]
+        );
+        let unfiltered = Options::default();
+        assert_eq!(unfiltered.datasets(&DatasetName::ALL), DatasetName::ALL.to_vec());
+    }
+
+    #[test]
+    fn scenario_sources_build_pipelines_too() {
+        let options = Options::default();
+        let config = options.pipeline_for_source(GraphSource::parse("sbm").unwrap(), 0);
+        assert_eq!(config.source.label(), "sbm");
+    }
+}

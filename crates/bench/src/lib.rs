@@ -1,7 +1,14 @@
 //! # geattack-bench
 //!
-//! Criterion micro-benchmarks (under `benches/`) and the `reproduce_*` binaries
+//! Criterion micro-benchmarks (under `benches/`), the `reproduce_*` binaries
 //! (under `src/bin/`) that regenerate every table and figure of the paper's
-//! evaluation. The shared experiment-running logic lives in [`runner`].
+//! evaluation, and the `geattack-sweep` binary that executes declarative
+//! scenario sweeps. Shared pieces:
+//!
+//! * [`cli`] — the one command-line parser every binary uses;
+//! * [`runner`] — experiment-running logic for the paper reproductions;
+//! * [`sweep`] — the scenario-sweep executor and its aggregated report.
 
+pub mod cli;
 pub mod runner;
+pub mod sweep;

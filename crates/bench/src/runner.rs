@@ -1,113 +1,21 @@
 //! Shared experiment-running logic behind the `reproduce_*` binaries.
 //!
-//! Each binary parses the common command-line options ([`Options::from_args`]),
-//! builds the appropriate [`PipelineConfig`]s, runs the attacks and prints the
-//! table / figure in the same shape as the paper, plus a JSON artifact under
-//! `results/`.
+//! Each binary parses the common command-line options ([`Options::from_args`],
+//! defined in [`crate::cli`]), builds the appropriate [`PipelineConfig`]s, runs
+//! the attacks and prints the table / figure in the same shape as the paper,
+//! plus a JSON artifact under `results/`.
 
 use std::fs;
 use std::path::PathBuf;
 
 use geattack_core::evaluation::{aggregate_runs, summarize_run, MeanStd, RunSummary};
-use geattack_core::pipeline::{prepare, run_attacker, AttackerKind, ExplainerKind, PipelineConfig};
+use geattack_core::pipeline::{prepare, run_attacker, AttackerKind, ExplainerKind};
 use geattack_core::report::{Figure, Series, SummaryMetric, TableBlock};
 use geattack_core::targets::Victim;
 use geattack_core::{GeAttack, GeAttackConfig};
-use geattack_graph::datasets::{DatasetName, GeneratorConfig};
+use geattack_graph::datasets::DatasetName;
 
-/// Command-line options shared by all reproduction binaries.
-#[derive(Clone, Debug)]
-pub struct Options {
-    /// Run at the paper's full dataset scale (default: reduced scale for speed).
-    pub full: bool,
-    /// Number of independent seeds/runs to aggregate.
-    pub runs: usize,
-    /// Number of victims per run (overrides the per-mode default when set).
-    pub victims: Option<usize>,
-    /// Dataset scale override.
-    pub scale: Option<f64>,
-    /// Base seed.
-    pub seed: u64,
-    /// Force the single-threaded pipeline path (`--serial`), for timing
-    /// comparisons and debugging.
-    pub serial: bool,
-}
-
-impl Default for Options {
-    fn default() -> Self {
-        Self {
-            full: false,
-            runs: 2,
-            victims: None,
-            scale: None,
-            seed: 0,
-            serial: false,
-        }
-    }
-}
-
-impl Options {
-    /// Parses options from `std::env::args()`. Unknown flags abort with a usage
-    /// message so typos do not silently run the wrong experiment.
-    pub fn from_args() -> Self {
-        let mut options = Self::default();
-        let mut args = std::env::args().skip(1);
-        while let Some(arg) = args.next() {
-            match arg.as_str() {
-                "--full" => options.full = true,
-                "--runs" => options.runs = parse_next(&mut args, "--runs"),
-                "--victims" => options.victims = Some(parse_next(&mut args, "--victims")),
-                "--scale" => options.scale = Some(parse_next(&mut args, "--scale")),
-                "--seed" => options.seed = parse_next(&mut args, "--seed"),
-                "--serial" => options.serial = true,
-                "--help" | "-h" => {
-                    eprintln!("usage: [--full] [--runs N] [--victims N] [--scale F] [--seed N] [--serial]");
-                    std::process::exit(0);
-                }
-                other => {
-                    eprintln!("unknown option: {other}");
-                    eprintln!("usage: [--full] [--runs N] [--victims N] [--scale F] [--seed N] [--serial]");
-                    std::process::exit(2);
-                }
-            }
-        }
-        options
-    }
-
-    /// Builds the pipeline configuration for one dataset and one run index.
-    pub fn pipeline(&self, dataset: DatasetName, run: usize) -> PipelineConfig {
-        let seed = self.seed + run as u64;
-        let mut config = if self.full {
-            PipelineConfig::paper_scale(dataset, seed)
-        } else {
-            PipelineConfig::quick(dataset, seed)
-        };
-        if let Some(scale) = self.scale {
-            config.generator = GeneratorConfig::at_scale(scale, seed);
-        }
-        if let Some(victims) = self.victims {
-            config.victims.count = victims;
-            // Keep the paper's 1/4 top-margin, 1/4 bottom-margin, 1/2 random mix
-            // when the victim count is overridden.
-            config.victims.top_margin = (victims / 4).max(1);
-            config.victims.bottom_margin = (victims / 4).max(1);
-        }
-        config.parallel = !self.serial;
-        config
-    }
-
-    /// The seeds of all runs.
-    pub fn run_indices(&self) -> std::ops::Range<usize> {
-        0..self.runs.max(1)
-    }
-}
-
-fn parse_next<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, flag: &str) -> T {
-    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
-        eprintln!("{flag} expects a value");
-        std::process::exit(2);
-    })
-}
+pub use crate::cli::{Options, ParsedArgs};
 
 /// Maps `f` over the independent seeds/runs of an experiment — across threads
 /// when `fan_out` is set (see [`runs_fan_out`]), serially otherwise. Results
@@ -362,29 +270,6 @@ pub fn summaries_to_figure(title: &str, points: &[(f64, RunSummary)], metrics: &
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn options_defaults_and_pipeline() {
-        let options = Options::default();
-        assert!(!options.full);
-        let config = options.pipeline(DatasetName::Cora, 1);
-        assert_eq!(config.generator.seed, 1);
-        assert_eq!(options.run_indices().len(), 2);
-    }
-
-    #[test]
-    fn options_overrides() {
-        let options = Options {
-            scale: Some(0.05),
-            victims: Some(3),
-            seed: 7,
-            ..Default::default()
-        };
-        let config = options.pipeline(DatasetName::Acm, 0);
-        assert_eq!(config.victims.count, 3);
-        assert!((config.generator.scale - 0.05).abs() < 1e-12);
-        assert_eq!(config.generator.seed, 7);
-    }
 
     #[test]
     fn summaries_to_figure_shapes() {

@@ -1,0 +1,448 @@
+//! Executor of declarative scenario sweeps (`geattack-sweep`).
+//!
+//! A [`SweepSpec`] describes a grid of `{family x scale x seed x attacker x
+//! explainer x budget}` cells. The executor expands the grid in a fixed
+//! deterministic order, prepares **one** experiment per (family, scale, seed,
+//! explainer) cell — dataset generation, GCN training, victim selection and
+//! (when PGExplainer inspects) explainer training — and reuses it across every
+//! attacker and budget of that cell, the sharing trick the λ sweep introduced,
+//! now applied to the whole grid. Prepared cells fan out across threads via
+//! the `parallel` feature; because every pipeline stage is seed-deterministic,
+//! a parallel sweep produces a byte-identical report to a serial one, which the
+//! `sweep_end_to_end` integration test pins.
+
+use serde::{Deserialize, Serialize};
+
+use geattack_core::evaluation::{summarize_run, MeanStd};
+use geattack_core::pipeline::{
+    prepare, run_attacker_with_budget, AttackerKind, BudgetRule, ExplainerKind, GraphSource, PipelineConfig,
+};
+use geattack_core::report::to_json;
+use geattack_graph::datasets::GeneratorConfig;
+use geattack_scenarios::{ScenarioSpec, SweepSpec};
+
+/// One fully-specified grid cell's results.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SweepCell {
+    /// Graph family (registry name).
+    pub family: String,
+    /// Dataset scale of this cell.
+    pub scale: f64,
+    /// Seed of this cell.
+    pub seed: u64,
+    /// Inspector explainer display name.
+    pub explainer: String,
+    /// Attacker display name.
+    pub attacker: String,
+    /// Budget label (`degree` or the fixed edge count).
+    pub budget: String,
+    /// Node count of the generated graph (after LCC).
+    pub nodes: usize,
+    /// Undirected edge count of the generated graph.
+    pub edges: usize,
+    /// Victims actually attacked in this cell.
+    pub victims: usize,
+    /// Attack success rate toward any wrong label.
+    pub asr: f64,
+    /// Attack success rate toward the assigned target label.
+    pub asr_t: f64,
+    /// Mean Precision@K of adversarial-edge detection.
+    pub precision: f64,
+    /// Mean Recall@K.
+    pub recall: f64,
+    /// Mean F1@K.
+    pub f1: f64,
+    /// Mean NDCG@K.
+    pub ndcg: f64,
+}
+
+/// Seed-aggregated results of one (family, scale, explainer, attacker, budget)
+/// grid point.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SweepAggregate {
+    /// Graph family (registry name).
+    pub family: String,
+    /// Dataset scale.
+    pub scale: f64,
+    /// Inspector explainer display name.
+    pub explainer: String,
+    /// Attacker display name.
+    pub attacker: String,
+    /// Budget label.
+    pub budget: String,
+    /// Number of seeds aggregated (only cells with at least one victim count).
+    pub seeds: usize,
+    /// Total victims across seeds.
+    pub victims: usize,
+    /// ASR over seeds.
+    pub asr: MeanStd,
+    /// ASR-T over seeds.
+    pub asr_t: MeanStd,
+    /// Precision@K over seeds.
+    pub precision: MeanStd,
+    /// Recall@K over seeds.
+    pub recall: MeanStd,
+    /// F1@K over seeds.
+    pub f1: MeanStd,
+    /// NDCG@K over seeds.
+    pub ndcg: MeanStd,
+}
+
+/// The aggregated artifact of one sweep run: the spec that produced it, every
+/// raw cell in grid order, and the per-grid-point aggregates.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// Sweep name (from the spec).
+    pub sweep: String,
+    /// The spec that was executed (round-trips through JSON).
+    pub spec: SweepSpec,
+    /// Raw per-seed cells, in deterministic grid order.
+    pub cells: Vec<SweepCell>,
+    /// Seed-aggregated grid points, in deterministic grid order.
+    pub aggregates: Vec<SweepAggregate>,
+}
+
+impl SweepReport {
+    /// Serializes the report as deterministic pretty JSON.
+    pub fn to_json(&self) -> String {
+        to_json(self)
+    }
+
+    /// Renders a compact markdown summary of the aggregates.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("## Sweep `{}`\n\n", self.sweep);
+        out.push_str(
+            "| Family | Scale | Explainer | Attacker | Budget | Victims | ASR-T (%) | F1@K (%) | NDCG@K (%) |\n",
+        );
+        out.push_str("|---|---|---|---|---|---|---|---|---|\n");
+        for a in &self.aggregates {
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {} | {} | {:.2}±{:.2} | {:.2}±{:.2} | {:.2}±{:.2} |\n",
+                a.family,
+                a.scale,
+                a.explainer,
+                a.attacker,
+                a.budget,
+                a.victims,
+                a.asr_t.mean * 100.0,
+                a.asr_t.std * 100.0,
+                a.f1.mean * 100.0,
+                a.f1.std * 100.0,
+                a.ndcg.mean * 100.0,
+                a.ndcg.std * 100.0,
+            ));
+        }
+        out
+    }
+}
+
+/// One (family, scale, seed, explainer) preparation unit of the grid.
+#[derive(Clone, Debug)]
+struct PrepCell {
+    family: String,
+    scale: f64,
+    seed: u64,
+    explainer: ExplainerKind,
+}
+
+/// Runs a validated sweep spec. `serial` forces single-threaded execution; the
+/// result is identical either way.
+pub fn run_sweep(spec: &SweepSpec, serial: bool) -> Result<SweepReport, String> {
+    spec.validate()?;
+    let attackers: Vec<AttackerKind> = spec
+        .attackers
+        .iter()
+        .map(|name| AttackerKind::parse(name).ok_or_else(|| format!("unknown attacker `{name}`")))
+        .collect::<Result<_, _>>()?;
+    let explainers: Vec<ExplainerKind> = spec
+        .explainers
+        .iter()
+        .map(|name| ExplainerKind::parse(name).ok_or_else(|| format!("unknown explainer `{name}`")))
+        .collect::<Result<_, _>>()?;
+    // Spec validation rejects literal duplicates, but aliases ("fga-t" and
+    // "fgat") only collide after resolution — duplicate kinds would run (and
+    // aggregate) the same cells twice.
+    for (axis, duplicated) in [
+        ("attackers", has_duplicates(&attackers)),
+        ("explainers", has_duplicates(&explainers)),
+    ] {
+        if duplicated {
+            return Err(format!("sweep axis `{axis}` lists the same {axis} under two aliases"));
+        }
+    }
+
+    // Expand the preparation grid in deterministic order: family, scale, seed,
+    // explainer (innermost).
+    let mut prep_cells = Vec::with_capacity(spec.prepared_cells());
+    for family in &spec.families {
+        for &scale in &spec.scales {
+            for &seed in &spec.seeds {
+                for &explainer in &explainers {
+                    prep_cells.push(PrepCell {
+                        family: geattack_scenarios::canonical(family),
+                        scale,
+                        seed,
+                        explainer,
+                    });
+                }
+            }
+        }
+    }
+
+    // One level of parallelism only (mirroring the multi-run experiment
+    // runner): enough prepared cells to saturate the cores → fan out across
+    // cells with serial victim loops; otherwise keep the cell loop serial and
+    // let each cell's victim loop fan out.
+    let fan_out = cells_fan_out(serial, prep_cells.len());
+    let run_cell = |cell: &PrepCell| run_prep_cell(spec, cell, &attackers, !serial && !fan_out);
+    let nested: Vec<Vec<SweepCell>> = map_cells(fan_out, &prep_cells, run_cell);
+    let cells: Vec<SweepCell> = nested.into_iter().flatten().collect();
+
+    let aggregates = aggregate_cells(spec, &explainers, &attackers, &cells);
+    Ok(SweepReport {
+        sweep: spec.name.clone(),
+        spec: spec.clone(),
+        cells,
+        aggregates,
+    })
+}
+
+/// Prepares one (family, scale, seed, explainer) experiment and attacks it with
+/// every attacker and budget of the grid.
+fn run_prep_cell(
+    spec: &SweepSpec,
+    cell: &PrepCell,
+    attackers: &[AttackerKind],
+    victim_parallel: bool,
+) -> Vec<SweepCell> {
+    let source = GraphSource::Scenario(ScenarioSpec::named(cell.family.clone()));
+    let mut config = if spec.quick {
+        PipelineConfig::quick_source(source, cell.seed)
+    } else {
+        PipelineConfig::paper_scale_source(source, cell.seed)
+    };
+    config.generator = GeneratorConfig::at_scale(cell.scale, cell.seed);
+    config.set_victim_count(spec.victims);
+    config.explainer = cell.explainer;
+    config.parallel = victim_parallel;
+    let prepared = prepare(config);
+    eprintln!(
+        "[{} scale {} seed {} {}] prepared: {} nodes, {} victims",
+        cell.family,
+        cell.scale,
+        cell.seed,
+        cell.explainer.name(),
+        prepared.graph.num_nodes(),
+        prepared.victims.len()
+    );
+    if prepared.victims.is_empty() {
+        eprintln!("  (no victims survived the FGA pre-pass; this seed is excluded from the aggregates)");
+    }
+
+    let inspector = prepared.inspector();
+    let mut out = Vec::with_capacity(attackers.len() * spec.budgets.len());
+    for &kind in attackers {
+        let attacker = prepared.attacker(kind);
+        for &budget in &spec.budgets {
+            let outcomes = run_attacker_with_budget(
+                &prepared,
+                attacker.as_ref(),
+                inspector.as_ref(),
+                BudgetRule::from(budget),
+            );
+            let summary = summarize_run(kind.name(), &outcomes);
+            out.push(SweepCell {
+                family: cell.family.clone(),
+                scale: cell.scale,
+                seed: cell.seed,
+                explainer: cell.explainer.name().to_string(),
+                attacker: kind.name().to_string(),
+                budget: budget.label(),
+                nodes: prepared.graph.num_nodes(),
+                edges: prepared.graph.num_edges(),
+                victims: summary.victims,
+                asr: summary.asr,
+                asr_t: summary.asr_t,
+                precision: summary.precision,
+                recall: summary.recall,
+                f1: summary.f1,
+                ndcg: summary.ndcg,
+            });
+        }
+    }
+    out
+}
+
+/// Groups the raw cells over seeds, in deterministic grid order.
+fn aggregate_cells(
+    spec: &SweepSpec,
+    explainers: &[ExplainerKind],
+    attackers: &[AttackerKind],
+    cells: &[SweepCell],
+) -> Vec<SweepAggregate> {
+    let mut aggregates = Vec::new();
+    for family in &spec.families {
+        let family = geattack_scenarios::canonical(family);
+        for &scale in &spec.scales {
+            for &explainer in explainers {
+                for &attacker in attackers {
+                    for &budget in &spec.budgets {
+                        // Cells whose victim selection came up empty carry
+                        // artificial all-zero scores; they stay in the raw
+                        // cell list (self-describing, victims = 0) but would
+                        // corrupt the mean/std here, so — like the table
+                        // runner — they do not contribute to aggregates.
+                        let group: Vec<&SweepCell> = cells
+                            .iter()
+                            .filter(|c| {
+                                c.victims > 0
+                                    && c.family == family
+                                    && c.scale == scale
+                                    && c.explainer == explainer.name()
+                                    && c.attacker == attacker.name()
+                                    && c.budget == budget.label()
+                            })
+                            .collect();
+                        if group.is_empty() {
+                            continue;
+                        }
+                        let stat =
+                            |f: fn(&SweepCell) -> f64| MeanStd::of(&group.iter().map(|c| f(c)).collect::<Vec<_>>());
+                        aggregates.push(SweepAggregate {
+                            family: family.clone(),
+                            scale,
+                            explainer: explainer.name().to_string(),
+                            attacker: attacker.name().to_string(),
+                            budget: budget.label(),
+                            seeds: group.len(),
+                            victims: group.iter().map(|c| c.victims).sum(),
+                            asr: stat(|c| c.asr),
+                            asr_t: stat(|c| c.asr_t),
+                            precision: stat(|c| c.precision),
+                            recall: stat(|c| c.recall),
+                            f1: stat(|c| c.f1),
+                            ndcg: stat(|c| c.ndcg),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    aggregates
+}
+
+/// Whether `values` contains the same resolved kind twice.
+fn has_duplicates<T: PartialEq>(values: &[T]) -> bool {
+    values.iter().enumerate().any(|(i, v)| values[..i].contains(v))
+}
+
+/// Whether the prepared-cell loop should fan out across threads (see
+/// [`run_sweep`]).
+fn cells_fan_out(serial: bool, cells: usize) -> bool {
+    #[cfg(feature = "parallel")]
+    {
+        !serial && cells > 1 && cells >= rayon::current_num_threads()
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        let _ = (serial, cells);
+        false
+    }
+}
+
+/// Maps `f` over the prepared cells — across threads when `fan_out` is set,
+/// serially otherwise. Results come back in cell order either way.
+fn map_cells<R: Send>(fan_out: bool, cells: &[PrepCell], f: impl Fn(&PrepCell) -> R + Sync) -> Vec<R> {
+    #[cfg(feature = "parallel")]
+    if fan_out {
+        use rayon::prelude::*;
+        return cells.par_iter().map(&f).collect();
+    }
+    let _ = fan_out;
+    cells.iter().map(f).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geattack_scenarios::BudgetSpec;
+
+    fn tiny_spec() -> SweepSpec {
+        let mut spec = SweepSpec::new("unit", vec!["tree-cycles".to_string()], vec!["rna".to_string()]);
+        spec.scales = vec![0.07];
+        spec.seeds = vec![0];
+        spec.victims = 3;
+        spec
+    }
+
+    #[test]
+    fn unknown_attacker_and_explainer_are_rejected_before_running() {
+        let mut spec = tiny_spec();
+        spec.attackers = vec!["metattack".to_string()];
+        assert!(run_sweep(&spec, true).unwrap_err().contains("unknown attacker"));
+        let mut spec = tiny_spec();
+        spec.explainers = vec!["shap".to_string()];
+        assert!(run_sweep(&spec, true).unwrap_err().contains("unknown explainer"));
+    }
+
+    #[test]
+    fn zero_victim_cells_are_excluded_from_aggregates() {
+        let mut spec = tiny_spec();
+        spec.seeds = vec![0, 1];
+        let cell = |seed: u64, victims: usize, asr: f64| SweepCell {
+            family: "tree-cycles".to_string(),
+            scale: 0.07,
+            seed,
+            explainer: "GNNExplainer".to_string(),
+            attacker: "RNA".to_string(),
+            budget: "degree".to_string(),
+            nodes: 50,
+            edges: 60,
+            victims,
+            asr,
+            asr_t: asr,
+            precision: 0.1,
+            recall: 0.1,
+            f1: 0.1,
+            ndcg: 0.1,
+        };
+        // Seed 1 found no victims; its all-zero scores must not drag the mean.
+        let cells = vec![cell(0, 3, 1.0), cell(1, 0, 0.0)];
+        let aggregates = aggregate_cells(&spec, &[ExplainerKind::GnnExplainer], &[AttackerKind::Rna], &cells);
+        assert_eq!(aggregates.len(), 1);
+        assert_eq!(aggregates[0].seeds, 1, "only the seed with victims counts");
+        assert_eq!(aggregates[0].victims, 3);
+        assert!((aggregates[0].asr.mean - 1.0).abs() < 1e-12);
+        assert_eq!(aggregates[0].asr.std, 0.0);
+    }
+
+    #[test]
+    fn alias_duplicates_are_rejected_after_resolution() {
+        // "fga-t" and "fgat" pass spec validation (different strings) but
+        // resolve to the same attacker kind.
+        let mut spec = tiny_spec();
+        spec.attackers = vec!["fga-t".to_string(), "fgat".to_string()];
+        let err = run_sweep(&spec, true).unwrap_err();
+        assert!(err.contains("two aliases"), "{err}");
+        let mut spec = tiny_spec();
+        spec.explainers = vec!["gnnexplainer".to_string(), "gnn".to_string()];
+        let err = run_sweep(&spec, true).unwrap_err();
+        assert!(err.contains("two aliases"), "{err}");
+    }
+
+    #[test]
+    fn tiny_sweep_produces_grid_ordered_cells_and_aggregates() {
+        let mut spec = tiny_spec();
+        spec.budgets = vec![BudgetSpec::Degree, BudgetSpec::Fixed(1)];
+        let report = run_sweep(&spec, true).expect("sweep runs");
+        assert_eq!(report.cells.len(), spec.total_cells());
+        assert_eq!(report.cells[0].budget, "degree");
+        assert_eq!(report.cells[1].budget, "1");
+        assert_eq!(report.aggregates.len(), 2);
+        assert_eq!(report.aggregates[0].seeds, 1);
+        let md = report.to_markdown();
+        assert!(md.contains("tree-cycles") && md.contains("RNA"), "{md}");
+        let json = report.to_json();
+        assert!(json.contains("\"aggregates\""));
+    }
+}

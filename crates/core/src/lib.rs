@@ -36,6 +36,9 @@ pub mod targets;
 pub use evaluation::{aggregate_runs, summarize_run, AggregatedSummary, AttackOutcome, MeanStd, RunSummary};
 pub use geattack::{GeAttack, GeAttackConfig};
 pub use pg_geattack::{PgGeAttack, PgGeAttackConfig};
-pub use pipeline::{prepare, run_attacker, run_attacker_kind, AttackerKind, ExplainerKind, PipelineConfig, Prepared};
+pub use pipeline::{
+    prepare, run_attacker, run_attacker_kind, run_attacker_with_budget, AttackerKind, BudgetRule, ExplainerKind,
+    GraphSource, PipelineConfig, Prepared,
+};
 pub use report::{format_percent, Figure, Series, TableBlock};
 pub use targets::{assign_target_labels, select_victims, victims_with_degree, Victim, VictimSelectionConfig};

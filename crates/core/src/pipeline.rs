@@ -1,11 +1,16 @@
-//! End-to-end experiment pipeline: dataset → GCN → victims → attacks → evaluation.
+//! End-to-end experiment pipeline: graph source → GCN → victims → attacks →
+//! evaluation.
 //!
 //! This module glues the substrates together exactly the way the paper's
-//! experimental protocol describes (Section 5.1): generate/load a dataset, train a
+//! experimental protocol describes (Section 5.1): generate/load a graph, train a
 //! GCN on a 10/10/80 split, select 40 victims from the correctly-classified test
 //! nodes, obtain each victim's specific target label via an untargeted FGA
 //! pre-pass, run every attacker in the evasion setting with budget `Δ = degree`,
 //! and score both attack success and explainer-based detection.
+//!
+//! The graph comes from a [`GraphSource`]: either one of the paper's citation
+//! datasets or any named [`geattack_scenarios`] family, so the same pipeline
+//! drives both the reproduction binaries and the scenario sweep runner.
 
 use serde::{Deserialize, Serialize};
 
@@ -14,6 +19,7 @@ use geattack_explain::{Explainer, GnnExplainer, GnnExplainerConfig, PgExplainer,
 use geattack_gnn::{train, Gcn, TrainConfig};
 use geattack_graph::datasets::{load, DatasetName, GeneratorConfig};
 use geattack_graph::{stratified_split, DataSplit, Graph};
+use geattack_scenarios::{BudgetSpec, ScenarioSpec};
 
 use crate::evaluation::{evaluate_attack, AttackOutcome};
 use crate::geattack::{GeAttack, GeAttackConfig};
@@ -89,11 +95,112 @@ pub enum ExplainerKind {
     PgExplainer,
 }
 
+impl ExplainerKind {
+    /// Display name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExplainerKind::GnnExplainer => "GNNExplainer",
+            ExplainerKind::PgExplainer => "PGExplainer",
+        }
+    }
+
+    /// Parses a case-insensitive explainer name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "gnnexplainer" | "gnn-explainer" | "gnn" => Some(ExplainerKind::GnnExplainer),
+            "pgexplainer" | "pg-explainer" | "pg" => Some(ExplainerKind::PgExplainer),
+            _ => None,
+        }
+    }
+}
+
+/// Where an experiment's graph comes from: one of the paper's citation datasets
+/// (with the full [`GeneratorConfig`] knob set) or a named scenario family from
+/// the `geattack-scenarios` registry.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GraphSource {
+    /// A synthetic stand-in for one of the paper's benchmark datasets.
+    Dataset(DatasetName),
+    /// A scenario-registry graph family (BA-Shapes, SBM, ...).
+    Scenario(ScenarioSpec),
+}
+
+impl GraphSource {
+    /// Parses a source name: citation dataset names take priority, everything
+    /// else is looked up in the scenario registry.
+    pub fn parse(s: &str) -> Option<Self> {
+        if let Some(dataset) = DatasetName::parse(s) {
+            return Some(GraphSource::Dataset(dataset));
+        }
+        let spec = ScenarioSpec::named(s);
+        spec.validate().ok().map(|()| GraphSource::Scenario(spec))
+    }
+
+    /// Display label for tables and reports.
+    pub fn label(&self) -> String {
+        match self {
+            GraphSource::Dataset(dataset) => dataset.as_str().to_string(),
+            GraphSource::Scenario(spec) => geattack_scenarios::canonical(&spec.family),
+        }
+    }
+
+    /// Checks the source is resolvable without generating anything.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            GraphSource::Dataset(_) => Ok(()),
+            GraphSource::Scenario(spec) => spec.validate(),
+        }
+    }
+
+    /// Generates the graph (largest connected component). Scenario sources
+    /// inherit scale and seed from `generator` unless the spec overrides them.
+    ///
+    /// # Panics
+    /// Panics on an unknown scenario family; call [`GraphSource::validate`]
+    /// first when the name comes from user input.
+    pub fn load(&self, generator: &GeneratorConfig) -> Graph {
+        match self {
+            GraphSource::Dataset(dataset) => load(*dataset, generator),
+            GraphSource::Scenario(spec) => spec
+                .load(generator.scale, generator.seed)
+                .unwrap_or_else(|e| panic!("cannot load scenario graph: {e}")),
+        }
+    }
+}
+
+/// How many adversarial edges each victim grants the attacker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BudgetRule {
+    /// The paper's default: `Δ = max(degree(victim), 1)`.
+    Degree,
+    /// The same fixed budget for every victim.
+    Fixed(usize),
+}
+
+impl BudgetRule {
+    /// The budget granted for attacking `node` in `graph`.
+    pub fn budget_for(&self, graph: &Graph, node: usize) -> usize {
+        match self {
+            BudgetRule::Degree => graph.degree(node).max(1),
+            BudgetRule::Fixed(edges) => (*edges).max(1),
+        }
+    }
+}
+
+impl From<BudgetSpec> for BudgetRule {
+    fn from(spec: BudgetSpec) -> Self {
+        match spec {
+            BudgetSpec::Degree => BudgetRule::Degree,
+            BudgetSpec::Fixed(edges) => BudgetRule::Fixed(edges),
+        }
+    }
+}
+
 /// Full configuration of one experiment run.
 #[derive(Clone, Debug)]
 pub struct PipelineConfig {
-    /// Which dataset to generate.
-    pub dataset: DatasetName,
+    /// Where the graph comes from (named dataset or scenario family).
+    pub source: GraphSource,
     /// Synthetic-dataset generator settings (scale, seed, ...).
     pub generator: GeneratorConfig,
     /// GCN training settings.
@@ -124,8 +231,14 @@ impl PipelineConfig {
     /// initialization and victim selection, so different seeds give independent
     /// runs (the paper reports mean ± std over 5 runs).
     pub fn quick(dataset: DatasetName, seed: u64) -> Self {
+        Self::quick_source(GraphSource::Dataset(dataset), seed)
+    }
+
+    /// [`PipelineConfig::quick`] for an arbitrary graph source (the scenario
+    /// sweep runner's entry point).
+    pub fn quick_source(source: GraphSource, seed: u64) -> Self {
         Self {
-            dataset,
+            source,
             generator: GeneratorConfig::at_scale(0.12, seed),
             train: TrainConfig {
                 seed,
@@ -163,6 +276,20 @@ impl PipelineConfig {
     /// A configuration matching the paper's scale (slow: full-size graphs and 40
     /// victims).
     pub fn paper_scale(dataset: DatasetName, seed: u64) -> Self {
+        Self::paper_scale_source(GraphSource::Dataset(dataset), seed)
+    }
+
+    /// Overrides the victim count, keeping the paper's 1/4 top-margin, 1/4
+    /// bottom-margin, 1/2 random selection mix (the one place this rounding
+    /// lives — the CLI and the sweep runner both go through it).
+    pub fn set_victim_count(&mut self, count: usize) {
+        self.victims.count = count;
+        self.victims.top_margin = (count / 4).max(1);
+        self.victims.bottom_margin = (count / 4).max(1);
+    }
+
+    /// [`PipelineConfig::paper_scale`] for an arbitrary graph source.
+    pub fn paper_scale_source(source: GraphSource, seed: u64) -> Self {
         Self {
             generator: GeneratorConfig::full_scale(seed),
             victims: VictimSelectionConfig {
@@ -170,7 +297,7 @@ impl PipelineConfig {
                 seed,
                 ..Default::default()
             },
-            ..Self::quick(dataset, seed)
+            ..Self::quick_source(source, seed)
         }
     }
 }
@@ -196,6 +323,11 @@ impl Prepared {
     /// Read access to the configuration used to prepare this experiment.
     pub fn config(&self) -> &PipelineConfig {
         &self.config
+    }
+
+    /// Display label of the graph source this experiment was prepared from.
+    pub fn source_label(&self) -> String {
+        self.config.source.label()
     }
 
     /// Clones the experiment with a different victim set (used by the degree
@@ -248,7 +380,7 @@ impl Prepared {
 /// Prepares an experiment: generate the dataset, train the GCN, select victims and
 /// assign their target labels (and train PGExplainer if it is the inspector).
 pub fn prepare(config: PipelineConfig) -> Prepared {
-    let graph = load(config.dataset, &config.generator);
+    let graph = config.source.load(&config.generator);
     use rand::SeedableRng as _;
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(config.generator.seed);
     let split = stratified_split(graph.labels(), graph.num_classes(), 0.1, 0.1, &mut rng);
@@ -289,9 +421,26 @@ pub fn run_attacker(
     attacker: &(dyn TargetedAttack + Sync),
     inspector: &(dyn Explainer + Sync),
 ) -> Vec<AttackOutcome> {
+    run_attacker_with_budget(prepared, attacker, inspector, BudgetRule::Degree)
+}
+
+/// [`run_attacker`] with an explicit per-victim budget rule (the sweep runner's
+/// budget axis; `BudgetRule::Degree` reproduces the paper's protocol).
+pub fn run_attacker_with_budget(
+    prepared: &Prepared,
+    attacker: &(dyn TargetedAttack + Sync),
+    inspector: &(dyn Explainer + Sync),
+    budget: BudgetRule,
+) -> Vec<AttackOutcome> {
     let config = prepared.config();
     let evaluate = |victim: &Victim| {
-        let ctx = AttackContext::with_degree_budget(&prepared.model, &prepared.graph, victim.node, victim.target_label);
+        let ctx = AttackContext {
+            model: &prepared.model,
+            graph: &prepared.graph,
+            target: victim.node,
+            target_label: victim.target_label,
+            budget: budget.budget_for(&prepared.graph, victim.node),
+        };
         let perturbation = attacker.attack(&ctx);
         evaluate_attack(
             &prepared.model,
@@ -385,6 +534,68 @@ mod tests {
             assert_eq!(a.success_target, b.success_target);
             assert!((a.detection.f1 - b.detection.f1).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn graph_source_parse_label_and_load() {
+        assert_eq!(
+            GraphSource::parse("cora"),
+            Some(GraphSource::Dataset(DatasetName::Cora))
+        );
+        let scenario = GraphSource::parse("Tree_Cycles").expect("scenario families parse");
+        assert_eq!(scenario.label(), "tree-cycles");
+        assert!(scenario.validate().is_ok());
+        assert_eq!(GraphSource::parse("no-such-graph"), None);
+
+        let graph = scenario.load(&GeneratorConfig::at_scale(0.08, 1));
+        assert!(graph.num_nodes() >= 30);
+        let comps = graph.to_csr().connected_components();
+        assert!(comps.iter().all(|&c| c == comps[0]), "source load applies LCC");
+    }
+
+    #[test]
+    fn scenario_source_pipeline_prepares_and_attacks() {
+        let mut config = PipelineConfig::quick_source(GraphSource::parse("ba-shapes").unwrap(), 17);
+        config.generator = GeneratorConfig::at_scale(0.08, 17);
+        config.victims.count = 4;
+        config.victims.top_margin = 1;
+        config.victims.bottom_margin = 1;
+        config.gnnexplainer.epochs = 10;
+        let prepared = prepare(config);
+        assert_eq!(prepared.source_label(), "ba-shapes");
+        assert!(!prepared.victims.is_empty(), "BA-Shapes must yield attackable victims");
+        let outcomes = run_attacker_kind(&prepared, AttackerKind::FgaT);
+        assert_eq!(outcomes.len(), prepared.victims.len());
+    }
+
+    #[test]
+    fn budget_rules_bound_perturbation_sizes() {
+        let prepared = prepare(tiny_config(95));
+        let attacker = prepared.attacker(AttackerKind::FgaT);
+        let inspector = prepared.inspector();
+        let fixed = run_attacker_with_budget(&prepared, attacker.as_ref(), inspector.as_ref(), BudgetRule::Fixed(1));
+        assert!(fixed.iter().all(|o| o.perturbation_size <= 1), "fixed budget of 1 edge");
+        let degree = run_attacker_with_budget(&prepared, attacker.as_ref(), inspector.as_ref(), BudgetRule::Degree);
+        for (o, victim) in degree.iter().zip(&prepared.victims) {
+            assert!(o.perturbation_size <= victim.degree.max(1));
+        }
+        assert_eq!(
+            BudgetRule::from(geattack_scenarios::BudgetSpec::Degree),
+            BudgetRule::Degree
+        );
+        assert_eq!(
+            BudgetRule::from(geattack_scenarios::BudgetSpec::Fixed(4)),
+            BudgetRule::Fixed(4)
+        );
+        assert_eq!(BudgetRule::Fixed(0).budget_for(&prepared.graph, 0), 1);
+    }
+
+    #[test]
+    fn explainer_kind_parse_and_names() {
+        assert_eq!(ExplainerKind::parse("GNNExplainer"), Some(ExplainerKind::GnnExplainer));
+        assert_eq!(ExplainerKind::parse("pg-explainer"), Some(ExplainerKind::PgExplainer));
+        assert_eq!(ExplainerKind::parse("shap"), None);
+        assert_eq!(ExplainerKind::PgExplainer.name(), "PGExplainer");
     }
 
     #[test]

@@ -26,6 +26,7 @@ use serde::{Deserialize, Serialize};
 
 use geattack_tensor::Matrix;
 
+use crate::family::{stream_seed, topic_features, FamilyConfig, GraphFamily};
 use crate::graph::Graph;
 use crate::preprocess::largest_connected_component;
 
@@ -172,7 +173,7 @@ pub fn load(name: DatasetName, config: &GeneratorConfig) -> Graph {
 /// Generates a synthetic class-structured citation graph following `spec`.
 pub fn generate(spec: &DatasetSpec, config: &GeneratorConfig) -> Graph {
     assert!(config.scale > 0.0 && config.scale <= 1.0, "scale must be in (0, 1]");
-    let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ hash_name(spec.name));
+    let mut rng = ChaCha8Rng::seed_from_u64(stream_seed(spec.name, config.seed));
 
     let n = ((spec.nodes as f64) * config.scale).round().max(40.0) as usize;
     let target_edges = ((spec.edges as f64) * config.scale).round().max(60.0) as usize;
@@ -187,16 +188,6 @@ pub fn generate(spec: &DatasetSpec, config: &GeneratorConfig) -> Graph {
     let features = generate_features(n, d, classes, &labels, config, &mut rng);
 
     Graph::new(adj, features, labels, classes)
-}
-
-fn hash_name(name: &str) -> u64 {
-    // Small FNV-1a so each dataset gets a distinct RNG stream for the same seed.
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in name.bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x1000_0000_01b3);
-    }
-    h
 }
 
 /// Degree-corrected planted-partition edges: nodes are processed in random order
@@ -293,7 +284,8 @@ fn add_edge(adj: &mut Matrix, degree: &mut [usize], u: usize, v: usize) -> bool 
 
 /// Sparse bag-of-words features: the vocabulary is partitioned into per-class
 /// topic blocks plus a shared block; each node activates `words_per_node` words,
-/// mostly from its own class block.
+/// mostly from its own class block (shared with every synthetic family via
+/// [`topic_features`]).
 fn generate_features(
     n: usize,
     d: usize,
@@ -302,20 +294,44 @@ fn generate_features(
     config: &GeneratorConfig,
     rng: &mut impl Rng,
 ) -> Matrix {
-    let block = d / (classes + 1).max(1);
-    let mut features = Matrix::zeros(n, d);
-    for i in 0..n {
-        let class_block_start = labels[i] * block;
-        for _ in 0..config.words_per_node {
-            let j = if rng.gen::<f64>() < config.topic_affinity && block > 0 {
-                class_block_start + rng.gen_range(0..block)
-            } else {
-                rng.gen_range(0..d)
-            };
-            features[(i, j)] = 1.0;
+    topic_features(n, d, classes, labels, config.words_per_node, config.topic_affinity, rng)
+}
+
+/// Adapter exposing one synthetic citation dataset as a [`GraphFamily`], so the
+/// paper's three benchmarks are ordinary members of the scenario registry rather
+/// than the only way to obtain a graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CitationFamily {
+    dataset: DatasetName,
+}
+
+impl CitationFamily {
+    /// Wraps `dataset` as a graph family.
+    pub fn new(dataset: DatasetName) -> Self {
+        Self { dataset }
+    }
+
+    /// The wrapped dataset.
+    pub fn dataset(&self) -> DatasetName {
+        self.dataset
+    }
+}
+
+impl GraphFamily for CitationFamily {
+    fn name(&self) -> &'static str {
+        match self.dataset {
+            DatasetName::Citeseer => "citeseer",
+            DatasetName::Cora => "cora",
+            DatasetName::Acm => "acm",
         }
     }
-    features
+
+    fn generate(&self, config: &FamilyConfig) -> Graph {
+        generate(
+            &self.dataset.spec(),
+            &GeneratorConfig::at_scale(config.scale, config.seed),
+        )
+    }
 }
 
 #[cfg(test)]
@@ -413,6 +429,23 @@ mod tests {
         assert_eq!(a.num_edges(), b.num_edges());
         assert!(a.adjacency().approx_eq(b.adjacency(), 0.0));
         assert!(a.features().approx_eq(b.features(), 0.0));
+    }
+
+    #[test]
+    fn citation_family_adapter_matches_direct_generation() {
+        let family = CitationFamily::new(DatasetName::Cora);
+        assert_eq!(family.name(), "cora");
+        assert_eq!(family.dataset(), DatasetName::Cora);
+        let via_family = family.generate(&FamilyConfig::new(0.1, 42));
+        let direct = generate(&DatasetName::Cora.spec(), &GeneratorConfig::at_scale(0.1, 42));
+        assert!(via_family.adjacency().approx_eq(direct.adjacency(), 0.0));
+        assert!(via_family.features().approx_eq(direct.features(), 0.0));
+        assert_eq!(via_family.labels(), direct.labels());
+        // The default `load` applies the same LCC preprocessing as `datasets::load`.
+        let loaded = family.load(&FamilyConfig::new(0.1, 42));
+        let reference = load(DatasetName::Cora, &GeneratorConfig::at_scale(0.1, 42));
+        assert_eq!(loaded.num_nodes(), reference.num_nodes());
+        assert_eq!(loaded.num_edges(), reference.num_edges());
     }
 
     #[test]

@@ -7,11 +7,13 @@
 //! `G = (A, X, y)`. Supporting modules provide CSR traversal ([`csr`]), largest
 //! connected-component extraction and GCN normalization ([`preprocess`]),
 //! computation-subgraph extraction for explainers ([`subgraph`]), node splits
-//! ([`split`]), synthetic CITESEER/CORA/ACM-like datasets ([`datasets`]) and
-//! adversarial perturbation bookkeeping ([`perturb`]).
+//! ([`split`]), the pluggable [`family::GraphFamily`] generator trait,
+//! synthetic CITESEER/CORA/ACM-like datasets ([`datasets`]) and adversarial
+//! perturbation bookkeeping ([`perturb`]).
 
 pub mod csr;
 pub mod datasets;
+pub mod family;
 pub mod graph;
 pub mod perturb;
 pub mod preprocess;
@@ -19,7 +21,8 @@ pub mod split;
 pub mod subgraph;
 
 pub use csr::Csr;
-pub use datasets::{DatasetName, DatasetSpec, GeneratorConfig};
+pub use datasets::{CitationFamily, DatasetName, DatasetSpec, GeneratorConfig};
+pub use family::{FamilyConfig, GraphFamily};
 pub use graph::Graph;
 pub use perturb::Perturbation;
 pub use preprocess::{largest_connected_component, normalized_adjacency, GraphStats};

@@ -1,0 +1,122 @@
+//! Barabási–Albert base graph with planted "house" motifs (BA-Shapes).
+//!
+//! The benchmark GNNExplainer itself is evaluated on (Ying et al., 2019): a
+//! preferential-attachment base graph whose heavy-tailed degree distribution
+//! contains hubs, plus planted 5-node house motifs whose members carry
+//! structural role labels. Hubs make gradient attacks cheap while motif nodes
+//! give the explainer crisp local structure — the opposite regime from the
+//! homophilous citation graphs the paper evaluates on.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use geattack_graph::family::{stream_seed, topic_features, FamilyConfig, GraphFamily};
+use geattack_graph::Graph;
+use geattack_tensor::Matrix;
+
+use super::feature_dim;
+
+/// Number of classes: base node plus the three house roles.
+const CLASSES: usize = 4;
+
+/// The five house-motif nodes in order: top, two middles, two bottoms.
+/// Edges: roof (top-mid, top-mid, mid-mid) and walls (mid-bot, mid-bot, bot-bot).
+const HOUSE_EDGES: [(usize, usize); 6] = [(0, 1), (0, 2), (1, 2), (1, 3), (2, 4), (3, 4)];
+const HOUSE_LABELS: [usize; 5] = [1, 2, 2, 3, 3];
+
+/// BA-Shapes generator. Reference scale (`scale = 1.0`): a 300-node BA base
+/// with 80 planted houses (700 nodes total).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BaShapes {
+    /// Base-graph size at scale 1.0.
+    pub base_nodes: usize,
+    /// Number of planted house motifs at scale 1.0.
+    pub motifs: usize,
+    /// Edges each new base node attaches with (the BA `m` parameter).
+    pub attach_edges: usize,
+}
+
+impl Default for BaShapes {
+    fn default() -> Self {
+        Self {
+            base_nodes: 300,
+            motifs: 80,
+            attach_edges: 2,
+        }
+    }
+}
+
+impl GraphFamily for BaShapes {
+    fn name(&self) -> &'static str {
+        "ba-shapes"
+    }
+
+    fn generate(&self, config: &FamilyConfig) -> Graph {
+        let mut rng = ChaCha8Rng::seed_from_u64(stream_seed(self.name(), config.seed));
+        let n_base = ((self.base_nodes as f64 * config.scale).round() as usize).max(30);
+        let motifs = ((self.motifs as f64 * config.scale).round() as usize).max(4);
+        let n = n_base + 5 * motifs;
+
+        let mut adj = Matrix::zeros(n, n);
+        let mut degree = vec![0usize; n];
+        let add = |adj: &mut Matrix, degree: &mut Vec<usize>, u: usize, v: usize| {
+            if u != v && adj[(u, v)] < 0.5 {
+                adj[(u, v)] = 1.0;
+                adj[(v, u)] = 1.0;
+                degree[u] += 1;
+                degree[v] += 1;
+            }
+        };
+
+        // Preferential-attachment base: seed clique of m+1 nodes, then each new
+        // node attaches to `m` distinct existing nodes sampled proportionally to
+        // their current degree (roulette over the cumulative degree sum).
+        let m = self.attach_edges.max(1).min(n_base - 1);
+        for u in 0..=m {
+            for v in 0..u {
+                add(&mut adj, &mut degree, u, v);
+            }
+        }
+        for u in (m + 1)..n_base {
+            let mut chosen: Vec<usize> = Vec::with_capacity(m);
+            while chosen.len() < m {
+                let total: usize = degree[..u].iter().sum();
+                let mut ticket = rng.gen_range(0..total.max(1));
+                let mut pick = 0;
+                for (v, &d) in degree[..u].iter().enumerate() {
+                    if ticket < d {
+                        pick = v;
+                        break;
+                    }
+                    ticket -= d;
+                }
+                if !chosen.contains(&pick) {
+                    chosen.push(pick);
+                }
+            }
+            for v in chosen {
+                add(&mut adj, &mut degree, u, v);
+            }
+        }
+
+        // Plant the houses: five fresh nodes each, wired as a house and attached
+        // to a uniformly random base node through the first bottom node.
+        let mut labels = vec![0usize; n];
+        for k in 0..motifs {
+            let offset = n_base + 5 * k;
+            for &(a, b) in &HOUSE_EDGES {
+                add(&mut adj, &mut degree, offset + a, offset + b);
+            }
+            for (i, &role) in HOUSE_LABELS.iter().enumerate() {
+                labels[offset + i] = role;
+            }
+            let anchor = rng.gen_range(0..n_base);
+            add(&mut adj, &mut degree, offset + 3, anchor);
+        }
+
+        let d = feature_dim(config.scale);
+        let features = topic_features(n, d, CLASSES, &labels, 16, 0.85, &mut rng);
+        Graph::new(adj, features, labels, CLASSES)
+    }
+}

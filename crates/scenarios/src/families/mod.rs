@@ -1,0 +1,26 @@
+//! The synthetic graph families of the scenario subsystem.
+//!
+//! Each family is a [`geattack_graph::GraphFamily`]: a seeded, deterministic
+//! generator with a characteristic topology. Together with the citation
+//! adapters from `geattack-graph` they cover four structurally distinct
+//! regimes — hub-dominated preferential attachment with planted motifs
+//! ([`ba_shapes`]), block-community graphs with tunable homophily ([`sbm`]),
+//! near-regular small-world rings ([`watts_strogatz`]) and sparse bridge-heavy
+//! trees with cycle motifs ([`tree_cycles`]).
+
+pub mod ba_shapes;
+pub mod sbm;
+pub mod tree_cycles;
+pub mod watts_strogatz;
+
+pub use ba_shapes::BaShapes;
+pub use sbm::StochasticBlockModel;
+pub use tree_cycles::TreeCycles;
+pub use watts_strogatz::WattsStrogatz;
+
+/// Feature dimensionality shared by the synthetic families: enough topic words
+/// per class for a GCN to learn from, scaled down with the graph so quick-mode
+/// sweeps stay fast.
+pub(crate) fn feature_dim(scale: f64) -> usize {
+    ((160.0 * scale).round() as usize).max(64)
+}

@@ -1,0 +1,82 @@
+//! Balanced binary tree with attached cycle motifs (Tree-Cycles).
+//!
+//! The second motif benchmark of the GNNExplainer paper: a balanced binary
+//! tree (label 0) with fixed-length cycles (label 1) hanging off uniformly
+//! random tree nodes. The tree is sparse and hub-free with many bridge edges;
+//! every cycle is a crisp structural explanation. Attacking a cycle node while
+//! staying out of its explanation is maximally hard here, which is exactly the
+//! stress the scenario sweep wants to put on GEAttack's evasion term.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use geattack_graph::family::{stream_seed, topic_features, FamilyConfig, GraphFamily};
+use geattack_graph::Graph;
+use geattack_tensor::Matrix;
+
+use super::feature_dim;
+
+/// Tree-Cycles generator. Reference scale: a 511-node balanced binary tree with
+/// 60 hexagon cycles (871 nodes total).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TreeCycles {
+    /// Tree size at scale 1.0.
+    pub tree_nodes: usize,
+    /// Number of attached cycles at scale 1.0.
+    pub cycles: usize,
+    /// Nodes per cycle.
+    pub cycle_len: usize,
+}
+
+impl Default for TreeCycles {
+    fn default() -> Self {
+        Self {
+            tree_nodes: 511,
+            cycles: 60,
+            cycle_len: 6,
+        }
+    }
+}
+
+impl GraphFamily for TreeCycles {
+    fn name(&self) -> &'static str {
+        "tree-cycles"
+    }
+
+    fn generate(&self, config: &FamilyConfig) -> Graph {
+        let mut rng = ChaCha8Rng::seed_from_u64(stream_seed(self.name(), config.seed));
+        let n_tree = ((self.tree_nodes as f64 * config.scale).round() as usize).max(31);
+        let cycles = ((self.cycles as f64 * config.scale).round() as usize).max(3);
+        let len = self.cycle_len.max(3);
+        let n = n_tree + cycles * len;
+
+        let mut adj = Matrix::zeros(n, n);
+        let add = |adj: &mut Matrix, u: usize, v: usize| {
+            adj[(u, v)] = 1.0;
+            adj[(v, u)] = 1.0;
+        };
+
+        // Complete binary tree on nodes 0..n_tree: node i's parent is (i-1)/2.
+        for u in 1..n_tree {
+            add(&mut adj, u, (u - 1) / 2);
+        }
+
+        // Cycles: `len` fresh nodes wired as a ring, anchored to a random tree
+        // node through the ring's first node.
+        for k in 0..cycles {
+            let offset = n_tree + k * len;
+            for i in 0..len {
+                add(&mut adj, offset + i, offset + (i + 1) % len);
+            }
+            let anchor = rng.gen_range(0..n_tree);
+            add(&mut adj, offset, anchor);
+        }
+
+        // Binary structural labels: tree vs. cycle membership.
+        let labels: Vec<usize> = (0..n).map(|i| usize::from(i >= n_tree)).collect();
+        let d = feature_dim(config.scale);
+        let features = topic_features(n, d, 2, &labels, 14, 0.85, &mut rng);
+        Graph::new(adj, features, labels, 2)
+    }
+}

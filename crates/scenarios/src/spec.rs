@@ -1,0 +1,415 @@
+//! Declarative scenario and sweep specifications (JSON).
+//!
+//! A [`ScenarioSpec`] names one graph: a registry family plus optional scale
+//! and seed overrides. A [`SweepSpec`] describes a full experiment grid —
+//! `{family x scale x seed x attacker x explainer x budget}` — that the
+//! `geattack-sweep` binary expands, executes and aggregates. Attacker and
+//! explainer names are kept as strings here so the spec layer stays free of the
+//! pipeline crates; the sweep executor resolves (and rejects) them against
+//! `geattack-core` before any cell runs.
+//!
+//! Both types serialize to/from JSON through the workspace's serde shim. The
+//! deserializer fills in defaults for omitted grid axes, so the minimal useful
+//! sweep spec is just a name, a family list and an attacker list.
+
+use serde::{Deserialize, Error, Serialize, Value};
+
+use geattack_graph::{FamilyConfig, Graph};
+
+use crate::registry;
+
+/// One concrete graph scenario: a family name plus optional scale/seed
+/// overrides. `None` means "inherit from the surrounding pipeline config".
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioSpec {
+    /// Registry name of the graph family (see [`registry::FAMILY_NAMES`]).
+    pub family: String,
+    /// Scale override in `(0, 1]`.
+    pub scale: Option<f64>,
+    /// Seed override.
+    pub seed: Option<u64>,
+}
+
+impl ScenarioSpec {
+    /// A scenario inheriting scale and seed from the pipeline.
+    pub fn named(family: impl Into<String>) -> Self {
+        Self {
+            family: family.into(),
+            scale: None,
+            seed: None,
+        }
+    }
+
+    /// Checks the family exists and the overrides are usable.
+    pub fn validate(&self) -> Result<(), String> {
+        if !registry::is_known(&self.family) {
+            return Err(format!(
+                "unknown graph family `{}` (known: {})",
+                self.family,
+                registry::FAMILY_NAMES.join(", ")
+            ));
+        }
+        if let Some(scale) = self.scale {
+            if !(scale > 0.0 && scale <= 1.0) {
+                return Err(format!("scenario scale {scale} out of (0, 1]"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Generates the scenario's graph (largest connected component), using
+    /// `default_scale`/`default_seed` where the spec does not override them.
+    pub fn load(&self, default_scale: f64, default_seed: u64) -> Result<Graph, String> {
+        self.validate()?;
+        let family = registry::resolve(&self.family).expect("validated above");
+        let config = FamilyConfig::new(self.scale.unwrap_or(default_scale), self.seed.unwrap_or(default_seed));
+        Ok(family.load(&config))
+    }
+}
+
+impl Serialize for ScenarioSpec {
+    fn serialize(&self) -> Value {
+        let mut fields = vec![("family".to_string(), Value::String(self.family.clone()))];
+        if let Some(scale) = self.scale {
+            fields.push(("scale".to_string(), Value::Number(scale)));
+        }
+        if let Some(seed) = self.seed {
+            fields.push(("seed".to_string(), Value::Number(seed as f64)));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for ScenarioSpec {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        // Accept both the object form and a bare family-name string.
+        if let Value::String(family) = value {
+            return Ok(Self::named(family.clone()));
+        }
+        Ok(Self {
+            family: String::deserialize(value.get_field("family")?)?,
+            scale: optional(value, "scale")?,
+            seed: optional(value, "seed")?,
+        })
+    }
+}
+
+/// Per-victim edge budget of one grid axis value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BudgetSpec {
+    /// The paper's default: `Δ = max(degree(victim), 1)`.
+    Degree,
+    /// A fixed number of edge insertions for every victim.
+    Fixed(usize),
+}
+
+impl BudgetSpec {
+    /// Parses `"degree"` or a positive integer string/number of edges.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let s = s.trim();
+        if s.eq_ignore_ascii_case("degree") {
+            return Ok(BudgetSpec::Degree);
+        }
+        match s.parse::<usize>() {
+            Ok(edges) if edges > 0 => Ok(BudgetSpec::Fixed(edges)),
+            _ => Err(format!("budget must be `degree` or a positive edge count, got `{s}`")),
+        }
+    }
+
+    /// Canonical string form (`degree` or the edge count).
+    pub fn label(&self) -> String {
+        match self {
+            BudgetSpec::Degree => "degree".to_string(),
+            BudgetSpec::Fixed(edges) => edges.to_string(),
+        }
+    }
+}
+
+impl Serialize for BudgetSpec {
+    fn serialize(&self) -> Value {
+        Value::String(self.label())
+    }
+}
+
+impl Deserialize for BudgetSpec {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) => BudgetSpec::parse(s).map_err(Error),
+            Value::Number(n) if *n >= 1.0 && n.fract() == 0.0 => Ok(BudgetSpec::Fixed(*n as usize)),
+            other => Err(Error(format!(
+                "budget must be `\"degree\"` or an edge count, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+/// A declarative experiment grid over scenarios, attackers, explainers, seeds
+/// and budgets.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepSpec {
+    /// Sweep name (used for the report and its JSON artifact).
+    pub name: String,
+    /// Graph families to sweep (registry names).
+    pub families: Vec<String>,
+    /// Dataset scales; defaults to `[0.1]`.
+    pub scales: Vec<f64>,
+    /// Independent seeds; defaults to `[0, 1]`.
+    pub seeds: Vec<u64>,
+    /// Attacker names (resolved by the executor against `AttackerKind::parse`).
+    pub attackers: Vec<String>,
+    /// Explainer names; defaults to `["gnnexplainer"]`.
+    pub explainers: Vec<String>,
+    /// Per-victim budgets; defaults to `[degree]`.
+    pub budgets: Vec<BudgetSpec>,
+    /// Victims per cell; defaults to 8.
+    pub victims: usize,
+    /// Use the fast pipeline profile (reduced explainer epochs etc.); defaults
+    /// to `true`. `false` selects the paper-scale training profile.
+    pub quick: bool,
+}
+
+impl SweepSpec {
+    /// A minimal spec with the documented defaults for every omitted axis.
+    pub fn new(name: impl Into<String>, families: Vec<String>, attackers: Vec<String>) -> Self {
+        Self {
+            name: name.into(),
+            families,
+            scales: vec![0.1],
+            seeds: vec![0, 1],
+            attackers,
+            explainers: vec!["gnnexplainer".to_string()],
+            budgets: vec![BudgetSpec::Degree],
+            victims: 8,
+            quick: true,
+        }
+    }
+
+    /// Parses a sweep spec from JSON text.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let spec: SweepSpec = serde_json::from_str(text).map_err(|e| format!("invalid sweep spec: {e}"))?;
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Structural validation: every axis non-empty, families known, scales in
+    /// range. Attacker/explainer strings are resolved by the executor.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.trim().is_empty() {
+            return Err("sweep name must not be empty".to_string());
+        }
+        for (axis, empty) in [
+            ("families", self.families.is_empty()),
+            ("scales", self.scales.is_empty()),
+            ("seeds", self.seeds.is_empty()),
+            ("attackers", self.attackers.is_empty()),
+            ("explainers", self.explainers.is_empty()),
+            ("budgets", self.budgets.is_empty()),
+        ] {
+            if empty {
+                return Err(format!("sweep axis `{axis}` must not be empty"));
+            }
+        }
+        for family in &self.families {
+            ScenarioSpec::named(family.clone()).validate()?;
+        }
+        for &scale in &self.scales {
+            if !(scale > 0.0 && scale <= 1.0) {
+                return Err(format!("sweep scale {scale} out of (0, 1]"));
+            }
+        }
+        if self.victims == 0 {
+            return Err("sweep needs at least one victim per cell".to_string());
+        }
+        // Duplicate axis values would silently run duplicate cells and inflate
+        // the aggregates, so they are rejected up front. Attacker/explainer
+        // *aliases* that resolve to the same kind are caught by the executor,
+        // which knows the resolution.
+        reject_duplicates("families", self.families.iter().map(|f| registry::canonical(f)))?;
+        reject_duplicates("scales", self.scales.iter().map(|s| s.to_bits()))?;
+        reject_duplicates("seeds", self.seeds.iter().copied())?;
+        reject_duplicates(
+            "attackers",
+            self.attackers.iter().map(|a| a.trim().to_ascii_lowercase()),
+        )?;
+        reject_duplicates(
+            "explainers",
+            self.explainers.iter().map(|e| e.trim().to_ascii_lowercase()),
+        )?;
+        reject_duplicates("budgets", self.budgets.iter().map(|b| b.label()))?;
+        Ok(())
+    }
+
+    /// Number of (family, scale, seed, explainer) experiment preparations.
+    pub fn prepared_cells(&self) -> usize {
+        self.families.len() * self.scales.len() * self.seeds.len() * self.explainers.len()
+    }
+
+    /// Total number of result cells in the grid.
+    pub fn total_cells(&self) -> usize {
+        self.prepared_cells() * self.attackers.len() * self.budgets.len()
+    }
+}
+
+impl Serialize for SweepSpec {
+    fn serialize(&self) -> Value {
+        Value::Object(vec![
+            ("name".to_string(), Value::String(self.name.clone())),
+            ("families".to_string(), self.families.serialize()),
+            ("scales".to_string(), self.scales.serialize()),
+            ("seeds".to_string(), self.seeds.serialize()),
+            ("attackers".to_string(), self.attackers.serialize()),
+            ("explainers".to_string(), self.explainers.serialize()),
+            ("budgets".to_string(), self.budgets.serialize()),
+            ("victims".to_string(), self.victims.serialize()),
+            ("quick".to_string(), self.quick.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for SweepSpec {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let defaults = SweepSpec::new("", Vec::new(), Vec::new());
+        Ok(Self {
+            name: String::deserialize(value.get_field("name")?)?,
+            families: Vec::deserialize(value.get_field("families")?)?,
+            scales: optional(value, "scales")?.unwrap_or(defaults.scales),
+            seeds: optional(value, "seeds")?.unwrap_or(defaults.seeds),
+            attackers: Vec::deserialize(value.get_field("attackers")?)?,
+            explainers: optional(value, "explainers")?.unwrap_or(defaults.explainers),
+            budgets: optional(value, "budgets")?.unwrap_or(defaults.budgets),
+            victims: optional(value, "victims")?.unwrap_or(defaults.victims),
+            quick: optional(value, "quick")?.unwrap_or(defaults.quick),
+        })
+    }
+}
+
+/// Errors when a sweep axis contains the same (canonicalized) value twice.
+fn reject_duplicates<T: std::hash::Hash + Eq + std::fmt::Debug>(
+    axis: &str,
+    values: impl Iterator<Item = T>,
+) -> Result<(), String> {
+    let mut seen = std::collections::HashSet::new();
+    for value in values {
+        if let Some(duplicate) = seen.replace(value) {
+            return Err(format!("sweep axis `{axis}` lists {duplicate:?} more than once"));
+        }
+    }
+    Ok(())
+}
+
+/// Reads an optional object field: absent (or `null`) means `None`.
+fn optional<T: Deserialize>(value: &Value, field: &str) -> Result<Option<T>, Error> {
+    match value.get_field(field) {
+        Ok(Value::Null) | Err(_) => Ok(None),
+        Ok(present) => T::deserialize(present).map(Some),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_json_fills_defaults() {
+        let spec =
+            SweepSpec::from_json(r#"{ "name": "demo", "families": ["ba-shapes", "cora"], "attackers": ["fga-t"] }"#)
+                .unwrap();
+        assert_eq!(spec.scales, vec![0.1]);
+        assert_eq!(spec.seeds, vec![0, 1]);
+        assert_eq!(spec.explainers, vec!["gnnexplainer".to_string()]);
+        assert_eq!(spec.budgets, vec![BudgetSpec::Degree]);
+        assert_eq!(spec.victims, 8);
+        assert!(spec.quick);
+        // 2 families x 1 scale x 2 seeds x 1 explainer.
+        assert_eq!(spec.prepared_cells(), 4);
+        assert_eq!(spec.total_cells(), 4);
+    }
+
+    #[test]
+    fn explicit_axes_roundtrip_through_json() {
+        let mut spec = SweepSpec::new(
+            "full",
+            vec!["sbm".to_string(), "tree-cycles".to_string()],
+            vec!["geattack".to_string(), "nettack".to_string()],
+        );
+        spec.budgets = vec![BudgetSpec::Degree, BudgetSpec::Fixed(3)];
+        spec.victims = 5;
+        spec.quick = false;
+        let json = serde_json::to_string_pretty(&spec).unwrap();
+        let back = SweepSpec::from_json(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn unknown_family_is_rejected() {
+        let err =
+            SweepSpec::from_json(r#"{ "name": "x", "families": ["petersen"], "attackers": ["fga"] }"#).unwrap_err();
+        assert!(err.contains("unknown graph family"), "{err}");
+    }
+
+    #[test]
+    fn empty_axes_and_bad_scales_are_rejected() {
+        let err = SweepSpec::from_json(r#"{ "name": "x", "families": [], "attackers": ["fga"] }"#).unwrap_err();
+        assert!(err.contains("families"), "{err}");
+        let err =
+            SweepSpec::from_json(r#"{ "name": "x", "families": ["sbm"], "attackers": ["fga"], "scales": [1.5] }"#)
+                .unwrap_err();
+        assert!(err.contains("out of (0, 1]"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_axis_values_are_rejected() {
+        // Case/separator variants of the same family are one value after
+        // canonicalization, so they would duplicate every cell of the grid.
+        let err =
+            SweepSpec::from_json(r#"{ "name": "d", "families": ["sbm", "SBM"], "attackers": ["fga"] }"#).unwrap_err();
+        assert!(err.contains("`families`") && err.contains("more than once"), "{err}");
+        let err =
+            SweepSpec::from_json(r#"{ "name": "d", "families": ["sbm"], "attackers": ["fga"], "seeds": [1, 2, 1] }"#)
+                .unwrap_err();
+        assert!(err.contains("`seeds`"), "{err}");
+        let err =
+            SweepSpec::from_json(r#"{ "name": "d", "families": ["sbm"], "attackers": ["fga", "FGA"] }"#).unwrap_err();
+        assert!(err.contains("`attackers`"), "{err}");
+        let err =
+            SweepSpec::from_json(r#"{ "name": "d", "families": ["sbm"], "attackers": ["fga"], "budgets": [2, "2"] }"#)
+                .unwrap_err();
+        assert!(err.contains("`budgets`"), "{err}");
+    }
+
+    #[test]
+    fn budgets_accept_strings_and_numbers() {
+        let spec = SweepSpec::from_json(
+            r#"{ "name": "b", "families": ["sbm"], "attackers": ["fga"], "budgets": ["degree", "2", 4] }"#,
+        )
+        .unwrap();
+        assert_eq!(
+            spec.budgets,
+            vec![BudgetSpec::Degree, BudgetSpec::Fixed(2), BudgetSpec::Fixed(4)]
+        );
+        assert!(BudgetSpec::parse("0").is_err());
+        assert!(BudgetSpec::parse("many").is_err());
+        assert_eq!(BudgetSpec::Fixed(7).label(), "7");
+    }
+
+    #[test]
+    fn scenario_spec_loads_with_inherited_and_overridden_knobs() {
+        let inherited = ScenarioSpec::named("tree-cycles").load(0.1, 3).unwrap();
+        let overridden = ScenarioSpec {
+            family: "tree-cycles".to_string(),
+            scale: Some(0.2),
+            seed: Some(3),
+        }
+        .load(0.1, 99)
+        .unwrap();
+        assert!(overridden.num_nodes() > inherited.num_nodes());
+        assert!(ScenarioSpec::named("nope").load(0.1, 0).is_err());
+    }
+
+    #[test]
+    fn scenario_spec_accepts_bare_string_form() {
+        let spec: ScenarioSpec = serde_json::from_str(r#""ba-shapes""#).unwrap();
+        assert_eq!(spec, ScenarioSpec::named("ba-shapes"));
+    }
+}

@@ -1,0 +1,128 @@
+//! Property tests of the scenario generators: every family must be seed-
+//! deterministic, connected after LCC extraction, class-structured enough to
+//! train on, and shaped like the topology it claims to model.
+
+use proptest::prelude::*;
+
+use geattack_graph::{FamilyConfig, GraphFamily};
+use geattack_scenarios::{registry, StochasticBlockModel};
+
+/// The four new synthetic families (the citation adapters are covered by the
+/// `geattack-graph` unit tests).
+const SYNTHETIC: [&str; 5] = ["ba-shapes", "sbm", "sbm-het", "watts-strogatz", "tree-cycles"];
+
+fn family(name: &str) -> Box<dyn GraphFamily> {
+    registry::resolve(name).unwrap_or_else(|| panic!("{name} must resolve"))
+}
+
+fn degree_stats(graph: &geattack_graph::Graph) -> (f64, usize) {
+    let n = graph.num_nodes();
+    let degrees: Vec<usize> = (0..n).map(|i| graph.degree(i)).collect();
+    let avg = degrees.iter().sum::<usize>() as f64 / n as f64;
+    let max = degrees.iter().copied().max().unwrap_or(0);
+    (avg, max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn generation_is_deterministic_per_seed(seed in 0u64..1000, idx in 0usize..SYNTHETIC.len()) {
+        let name = SYNTHETIC[idx];
+        let config = FamilyConfig::new(0.1, seed);
+        let a = family(name).generate(&config);
+        let b = family(name).generate(&config);
+        prop_assert!(a.adjacency().approx_eq(b.adjacency(), 0.0), "{name}: adjacency differs");
+        prop_assert!(a.features().approx_eq(b.features(), 0.0), "{name}: features differ");
+        prop_assert_eq!(a.labels(), b.labels(), "{name}: labels differ");
+    }
+
+    #[test]
+    fn different_seeds_give_different_graphs(seed in 0u64..1000, idx in 0usize..SYNTHETIC.len()) {
+        let name = SYNTHETIC[idx];
+        let a = family(name).generate(&FamilyConfig::new(0.12, seed));
+        let b = family(name).generate(&FamilyConfig::new(0.12, seed + 1));
+        prop_assert!(
+            !a.adjacency().approx_eq(b.adjacency(), 0.0) || !a.features().approx_eq(b.features(), 0.0),
+            "{}: seeds {} and {} produced identical graphs",
+            name, seed, seed + 1
+        );
+    }
+
+    #[test]
+    fn load_returns_a_connected_graph(seed in 0u64..200, idx in 0usize..SYNTHETIC.len()) {
+        let name = SYNTHETIC[idx];
+        let graph = family(name).load(&FamilyConfig::new(0.1, seed));
+        let comps = graph.to_csr().connected_components();
+        prop_assert!(comps.iter().all(|&c| c == comps[0]), "{name}: LCC must be one component");
+        prop_assert!(graph.num_nodes() >= 30, "{name}: LCC too small ({} nodes)", graph.num_nodes());
+        // Every class must survive preprocessing so stratified splits work.
+        for class in 0..graph.num_classes() {
+            prop_assert!(
+                !graph.nodes_with_label(class).is_empty(),
+                "{name}: class {class} vanished in the LCC"
+            );
+        }
+    }
+
+    #[test]
+    fn sbm_homophily_is_within_tolerance(seed in 0u64..100) {
+        for (name, target) in [("sbm", 0.8), ("sbm-het", 0.3)] {
+            let graph = family(name).generate(&FamilyConfig::new(0.5, seed));
+            let h = graph.edge_homophily();
+            prop_assert!(
+                (h - target).abs() < 0.1,
+                "{name}: realized homophily {h} too far from target {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn degree_distributions_match_the_family_shape(seed in 0u64..50) {
+        // BA-Shapes is hub-dominated: the max degree towers over the average.
+        let ba = family("ba-shapes").generate(&FamilyConfig::new(0.3, seed));
+        let (ba_avg, ba_max) = degree_stats(&ba);
+        prop_assert!(
+            ba_max as f64 > 3.0 * ba_avg,
+            "ba-shapes: expected hubs (max {ba_max} vs avg {ba_avg:.2})"
+        );
+
+        // Watts-Strogatz stays near-regular around the lattice degree.
+        let ws = family("watts-strogatz").generate(&FamilyConfig::new(0.3, seed));
+        let (ws_avg, ws_max) = degree_stats(&ws);
+        prop_assert!(
+            (ws_max as f64) < 2.5 * ws_avg,
+            "watts-strogatz: expected near-regular degrees (max {ws_max} vs avg {ws_avg:.2})"
+        );
+
+        // Tree-Cycles is sparse: parent + two children + a few cycle anchors.
+        let tc = family("tree-cycles").generate(&FamilyConfig::new(0.3, seed));
+        let (tc_avg, _) = degree_stats(&tc);
+        prop_assert!(
+            tc_avg < 3.5,
+            "tree-cycles: average degree {tc_avg:.2} too high for a tree with motifs"
+        );
+    }
+}
+
+#[test]
+fn scale_grows_every_family() {
+    for name in SYNTHETIC {
+        let small = family(name).generate(&FamilyConfig::new(0.1, 0));
+        let large = family(name).generate(&FamilyConfig::new(0.6, 0));
+        assert!(
+            large.num_nodes() > small.num_nodes(),
+            "{name}: scale 0.6 ({} nodes) not larger than scale 0.1 ({} nodes)",
+            large.num_nodes(),
+            small.num_nodes()
+        );
+    }
+}
+
+#[test]
+fn tunable_homophily_is_exposed_programmatically() {
+    let custom = StochasticBlockModel::preset("sbm-custom", 0.55);
+    let graph = custom.generate(&FamilyConfig::new(0.5, 7));
+    let h = graph.edge_homophily();
+    assert!((h - 0.55).abs() < 0.1, "custom homophily preset realized {h}");
+}

@@ -1,12 +1,16 @@
 //! Offline stand-in for the `rayon` crate.
 //!
 //! Provides the `par_iter().map(..).collect()` shape the workspace's hot loops
-//! use, built on `std::thread::scope`. Work is split into one contiguous chunk
-//! per available core; results are reassembled in input order, so a parallel map
-//! is observably identical to its serial counterpart whenever the mapped
-//! function is deterministic per item.
+//! use, built on `std::thread::scope`. Scheduling is a **self-scheduling work
+//! queue**: workers repeatedly claim the next unprocessed index from a shared
+//! atomic counter, so a handful of expensive items (a high-degree victim, a
+//! slow sweep cell) no longer idles the workers that drew cheap chunks under
+//! the previous static chunking. Results are reassembled in input order, so a
+//! parallel map is observably identical to its serial counterpart whenever the
+//! mapped function is deterministic per item.
 
 use std::marker::PhantomData;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Rayon-style import surface: `use rayon::prelude::*;`.
 pub mod prelude {
@@ -18,8 +22,13 @@ pub fn current_num_threads() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
 }
 
-/// Order-preserving parallel map over a slice: one scoped thread per chunk.
-fn par_map_chunks<'a, T, R, F>(items: &'a [T], f: &F) -> Vec<R>
+/// Order-preserving parallel map over a slice, scheduled through a shared
+/// atomic work queue: each worker claims the next index with `fetch_add` until
+/// the queue drains, then the `(index, result)` pairs are merged back into
+/// input order. Skewed per-item costs therefore balance themselves — a worker
+/// that drew a cheap item immediately claims another one instead of waiting
+/// for the slowest static chunk.
+fn par_map_queue<'a, T, R, F>(items: &'a [T], f: &F) -> Vec<R>
 where
     T: Sync,
     R: Send,
@@ -30,19 +39,36 @@ where
         return items.iter().map(f).collect();
     }
     let threads = current_num_threads().min(n);
-    let chunk = n.div_ceil(threads);
-    let mut per_chunk: Vec<Vec<R>> = Vec::new();
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut per_worker: Vec<Vec<(usize, R)>> = Vec::new();
     std::thread::scope(|scope| {
-        let handles: Vec<_> = items
-            .chunks(chunk)
-            .map(|c| scope.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                scope.spawn(move || {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    local
+                })
+            })
             .collect();
-        per_chunk = handles
+        per_worker = handles
             .into_iter()
             .map(|h| h.join().expect("parallel worker panicked"))
             .collect();
     });
-    per_chunk.into_iter().flatten().collect()
+    let mut indexed: Vec<(usize, R)> = per_worker.into_iter().flatten().collect();
+    indexed.sort_unstable_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, r)| r).collect()
 }
 
 /// A borrowing parallel iterator over a slice.
@@ -90,7 +116,7 @@ where
 {
     /// Runs the map in parallel and collects the results in input order.
     pub fn collect<C: FromIterator<R>>(self) -> C {
-        par_map_chunks(self.items, &self.f).into_iter().collect()
+        par_map_queue(self.items, &self.f).into_iter().collect()
     }
 }
 
@@ -136,6 +162,24 @@ mod tests {
         let serial: Vec<f64> = items.iter().map(|x| x.sin().exp()).collect();
         let parallel: Vec<f64> = items.par_iter().map(|x| x.sin().exp()).collect();
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn skewed_item_costs_preserve_input_order() {
+        // The work queue assigns items dynamically; heavily skewed costs must
+        // not leak scheduling order into the output.
+        let items: Vec<u64> = (0..64).collect();
+        let out: Vec<u64> = items
+            .par_iter()
+            .map(|&x| {
+                if x % 13 == 0 {
+                    // A few items are ~orders of magnitude more expensive.
+                    std::thread::sleep(std::time::Duration::from_millis(3));
+                }
+                x * x
+            })
+            .collect();
+        assert_eq!(out, items.iter().map(|&x| x * x).collect::<Vec<_>>());
     }
 
     #[test]
