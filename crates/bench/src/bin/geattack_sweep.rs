@@ -2,13 +2,27 @@
 //! `{family x scale x seed x attacker x explainer x budget}` cells.
 //!
 //! ```text
-//! cargo run --release -p geattack-bench --bin geattack-sweep -- examples/sweeps/quick.json [--serial]
+//! cargo run --release -p geattack-bench --bin geattack-sweep -- examples/sweeps/quick.json \
+//!     [--serial] [--shard I/N] [--cache-dir DIR] [--dry-run] [--list-families]
 //! ```
 //!
 //! One experiment is prepared per (family, scale, seed, explainer) cell and
 //! shared across all attackers and budgets; cells run in parallel unless
 //! `--serial` is passed. The aggregated report is deterministic: the same spec
 //! produces byte-identical JSON whether it runs serially or in parallel.
+//!
+//! Distribution flags:
+//!
+//! * `--shard I/N` runs only the prepared cells at grid positions `p` with
+//!   `p % N == I` (zero-based) and writes a *partial* report
+//!   (`results/sweep_<name>.shard<I>of<N>.json`) for `geattack-merge`, which
+//!   reassembles the byte-identical full report from a complete shard set.
+//! * `--cache-dir DIR` memoizes prepared experiments on disk: a warm re-run
+//!   decodes them instead of retraining and still writes a byte-identical
+//!   report. Hit/miss/evict counters land in the `.meta.json` sidecar.
+//! * `--dry-run` prints the enumerated cell plan (with shard assignments when
+//!   `--shard` is given) without running anything; `--list-families` prints
+//!   the scenario registry.
 //!
 //! The shared flags override the spec's axes explicitly: `--scale F` replaces
 //! the scales axis, `--victims N` the per-cell victim count, `--seed N` offsets
@@ -18,7 +32,7 @@
 
 use geattack_bench::cli::Options;
 use geattack_bench::runner::write_json;
-use geattack_bench::sweep::run_sweep;
+use geattack_bench::sweep::{merge_shards, plan_lines, run_sweep_options, SweepOptions};
 use geattack_scenarios::SweepSpec;
 
 /// Applies the shared CLI flags to the parsed spec (documented in the module
@@ -46,7 +60,13 @@ fn apply_flag_overrides(spec: &mut SweepSpec, options: &Options) {
 }
 
 fn main() {
-    let parsed = Options::parse_with_positionals("SWEEP_SPEC.json");
+    let parsed = Options::parse_sweep("SWEEP_SPEC.json");
+    if parsed.options.list_families {
+        for name in geattack_scenarios::FAMILY_NAMES {
+            println!("{name}");
+        }
+        return;
+    }
     let [spec_path] = parsed.positional.as_slice() else {
         eprintln!("expected exactly one sweep spec path, got {:?}", parsed.positional);
         std::process::exit(2);
@@ -64,18 +84,74 @@ fn main() {
         eprintln!("{spec_path} (after flag overrides): {e}");
         std::process::exit(2);
     });
+
+    if parsed.options.dry_run {
+        let lines = plan_lines(&spec, parsed.options.shard.as_ref()).unwrap_or_else(|e| {
+            eprintln!("{spec_path}: {e}");
+            std::process::exit(2);
+        });
+        for line in lines {
+            println!("{line}");
+        }
+        return;
+    }
+
     eprintln!(
-        "sweep `{}`: {} prepared cells, {} result cells",
+        "sweep `{}`: {} prepared cells, {} result cells{}",
         spec.name,
         spec.prepared_cells(),
-        spec.total_cells()
+        spec.total_cells(),
+        match &parsed.options.shard {
+            Some(shard) => format!(" (running shard {})", shard.label()),
+            None => String::new(),
+        }
     );
 
-    let report = run_sweep(&spec, parsed.options.serial).unwrap_or_else(|e| {
+    let options = SweepOptions {
+        serial: parsed.options.serial,
+        shard: parsed.options.shard,
+        cache_dir: parsed.options.cache_dir.clone().map(Into::into),
+    };
+    let run = run_sweep_options(&spec, &options).unwrap_or_else(|e| {
         eprintln!("sweep failed: {e}");
         std::process::exit(2);
     });
-    print!("{}", report.to_markdown());
-    let path = write_json(&format!("sweep_{}", spec.name), &report.to_json());
-    println!("(JSON written to {})", path.display());
+    if let Some(cache) = &run.cache {
+        eprintln!(
+            "cache: {} hits, {} misses, {} evictions over {} prepared cells",
+            cache.hits, cache.misses, cache.evictions, run.prepared_cells
+        );
+    }
+
+    let artifact = match &parsed.options.shard {
+        Some(shard) => {
+            let name = format!("sweep_{}.shard{}of{}", spec.name, shard.index, shard.count);
+            let path = write_json(&name, &run.shard.to_json());
+            println!(
+                "shard {} done: {} prepared cells, {} result cells (JSON written to {})",
+                shard.label(),
+                run.prepared_cells,
+                run.shard.cells.len(),
+                path.display()
+            );
+            println!(
+                "merge a complete shard set with: geattack-merge results/sweep_{}.shard*.json",
+                spec.name
+            );
+            name
+        }
+        None => {
+            let report = merge_shards(std::slice::from_ref(&run.shard)).unwrap_or_else(|e| {
+                eprintln!("sweep failed: {e}");
+                std::process::exit(2);
+            });
+            print!("{}", report.to_markdown());
+            let name = format!("sweep_{}", spec.name);
+            let path = write_json(&name, &report.to_json());
+            println!("(JSON written to {})", path.display());
+            name
+        }
+    };
+    let meta_path = write_json(&format!("{artifact}.meta"), &run.meta_json());
+    eprintln!("(metadata written to {})", meta_path.display());
 }

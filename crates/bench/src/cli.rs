@@ -6,8 +6,12 @@
 //! flag-to-[`PipelineConfig`] translation live here so a new binary never
 //! copy-pastes an argument loop again. Binaries that take positional arguments
 //! (the sweep's spec path) call [`Options::parse_with_positionals`]; the rest
-//! use [`Options::from_args`].
+//! use [`Options::from_args`]. The sweep-only distribution flags (`--shard`,
+//! `--cache-dir`, `--dry-run`, `--list-families`) are parsed via
+//! [`Options::parse_sweep`] and rejected — with a pointed message, not a
+//! generic "unknown option" — everywhere else.
 
+use crate::sweep::Shard;
 use geattack_core::pipeline::{GraphSource, PipelineConfig};
 use geattack_graph::datasets::{DatasetName, GeneratorConfig};
 
@@ -34,6 +38,14 @@ pub struct Options {
     pub serial: bool,
     /// Restrict a multi-dataset binary to one dataset (`--dataset NAME`).
     pub dataset: Option<DatasetName>,
+    /// Run only one shard of the sweep grid (`--shard I/N`, zero-based).
+    pub shard: Option<Shard>,
+    /// Memoize prepared experiments under this directory (`--cache-dir DIR`).
+    pub cache_dir: Option<String>,
+    /// Print the enumerated cell plan instead of running (`--dry-run`).
+    pub dry_run: bool,
+    /// Print the scenario family registry and exit (`--list-families`).
+    pub list_families: bool,
 }
 
 /// The result of parsing a command line that may carry positional arguments.
@@ -46,20 +58,27 @@ pub struct ParsedArgs {
 }
 
 const FLAG_USAGE: &str = "[--quick|--full] [--runs N] [--victims N] [--scale F] [--seed N] [--serial] [--dataset NAME]";
+const SWEEP_FLAG_USAGE: &str = "[--shard I/N] [--cache-dir DIR] [--dry-run] [--list-families]";
 
 impl Options {
     /// Parses options from `std::env::args()`, rejecting positional arguments.
     /// Unknown flags abort with a usage message so typos do not silently run
     /// the wrong experiment.
     pub fn from_args() -> Self {
-        let parsed = parse(std::env::args().skip(1), false, "");
+        let parsed = parse(std::env::args().skip(1), false, "", false);
         parsed.options
     }
 
     /// Parses options plus positional arguments (e.g. the sweep spec path);
     /// `positional_usage` is appended to the usage message.
     pub fn parse_with_positionals(positional_usage: &str) -> ParsedArgs {
-        parse(std::env::args().skip(1), true, positional_usage)
+        parse(std::env::args().skip(1), true, positional_usage, false)
+    }
+
+    /// [`Options::parse_with_positionals`] plus the sweep-only distribution
+    /// flags (`--shard`, `--cache-dir`, `--dry-run`, `--list-families`).
+    pub fn parse_sweep(positional_usage: &str) -> ParsedArgs {
+        parse(std::env::args().skip(1), true, positional_usage, true)
     }
 
     /// Builds the pipeline configuration for one dataset and one run index.
@@ -119,11 +138,21 @@ impl Options {
     }
 }
 
-fn parse(args: impl Iterator<Item = String>, allow_positional: bool, positional_usage: &str) -> ParsedArgs {
-    let usage = if positional_usage.is_empty() {
-        format!("usage: {FLAG_USAGE}")
+fn parse(
+    args: impl Iterator<Item = String>,
+    allow_positional: bool,
+    positional_usage: &str,
+    allow_sweep_flags: bool,
+) -> ParsedArgs {
+    let flags = if allow_sweep_flags {
+        format!("{FLAG_USAGE} {SWEEP_FLAG_USAGE}")
     } else {
-        format!("usage: {FLAG_USAGE} {positional_usage}")
+        FLAG_USAGE.to_string()
+    };
+    let usage = if positional_usage.is_empty() {
+        format!("usage: {flags}")
+    } else {
+        format!("usage: {flags} {positional_usage}")
     };
     let fail = |message: &str| -> ! {
         eprintln!("{message}");
@@ -149,6 +178,28 @@ fn parse(args: impl Iterator<Item = String>, allow_positional: bool, positional_
                     None => fail(&format!("unknown dataset: {name}")),
                 }
             }
+            "--shard" | "--cache-dir" | "--dry-run" | "--list-families" if !allow_sweep_flags => {
+                fail(&format!("{arg} is only supported by geattack-sweep"));
+            }
+            "--shard" => {
+                let value: String = parse_next(&mut args, "--shard");
+                match Shard::parse(&value) {
+                    Ok(shard) => options.shard = Some(shard),
+                    Err(e) => fail(&e),
+                }
+            }
+            "--cache-dir" => {
+                let dir: String = parse_next(&mut args, "--cache-dir");
+                // Any string parses, so a forgotten value would silently
+                // swallow the next flag (`--cache-dir --dry-run` caching into
+                // ./--dry-run); prefix paths with ./ to use a literal dash.
+                if dir.starts_with('-') {
+                    fail(&format!("--cache-dir expects a directory path, got flag-like `{dir}`"));
+                }
+                options.cache_dir = Some(dir);
+            }
+            "--dry-run" => options.dry_run = true,
+            "--list-families" => options.list_families = true,
             "--help" | "-h" => {
                 eprintln!("{usage}");
                 std::process::exit(0);
@@ -159,6 +210,29 @@ fn parse(args: impl Iterator<Item = String>, allow_positional: bool, positional_
         }
     }
     ParsedArgs { options, positional }
+}
+
+/// Parses a command line consisting only of positional path arguments (the
+/// merge binary's shard-report list): no flags apply, so anything starting
+/// with `-` other than `-h`/`--help` aborts.
+pub fn paths_only(positional_usage: &str) -> Vec<String> {
+    let usage = format!("usage: {positional_usage}");
+    let mut paths = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                eprintln!("{usage}");
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown option: {other}");
+                eprintln!("{usage}");
+                std::process::exit(2);
+            }
+            other => paths.push(other.to_string()),
+        }
+    }
+    paths
 }
 
 fn parse_next<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, flag: &str) -> T {
@@ -215,6 +289,7 @@ mod tests {
             ]),
             false,
             "",
+            false,
         );
         assert_eq!(parsed.options.seed, 9);
         assert_eq!(parsed.options.scale, Some(0.2));
@@ -227,13 +302,40 @@ mod tests {
 
     #[test]
     fn quick_undoes_full_and_positionals_are_collected() {
-        let parsed = parse(args(&["--full", "--quick", "spec.json"]), true, "SPEC");
+        let parsed = parse(args(&["--full", "--quick", "spec.json"]), true, "SPEC", false);
         assert_eq!(parsed.options.full, Some(false));
         assert!(!parsed.options.is_full());
         assert_eq!(parsed.positional, vec!["spec.json".to_string()]);
         // Neither profile flag → None, so callers can tell "default" apart
         // from an explicit `--quick`.
-        assert_eq!(parse(args(&[]), false, "").options.full, None);
+        assert_eq!(parse(args(&[]), false, "", false).options.full, None);
+    }
+
+    #[test]
+    fn sweep_flags_parse_when_allowed() {
+        let parsed = parse(
+            args(&[
+                "--shard",
+                "1/3",
+                "--cache-dir",
+                "/tmp/geattack-cache",
+                "--dry-run",
+                "--list-families",
+                "spec.json",
+            ]),
+            true,
+            "SPEC",
+            true,
+        );
+        assert_eq!(parsed.options.shard, Some(Shard { index: 1, count: 3 }));
+        assert_eq!(parsed.options.cache_dir.as_deref(), Some("/tmp/geattack-cache"));
+        assert!(parsed.options.dry_run);
+        assert!(parsed.options.list_families);
+        // Defaults: no distribution behavior unless asked for.
+        let plain = parse(args(&[]), false, "", true).options;
+        assert_eq!(plain.shard, None);
+        assert_eq!(plain.cache_dir, None);
+        assert!(!plain.dry_run && !plain.list_families);
     }
 
     #[test]

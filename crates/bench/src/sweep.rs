@@ -1,21 +1,39 @@
-//! Executor of declarative scenario sweeps (`geattack-sweep`).
+//! Executor of declarative scenario sweeps (`geattack-sweep`), including the
+//! distribution layer: deterministic sharding and on-disk experiment caching.
 //!
 //! A [`SweepSpec`] describes a grid of `{family x scale x seed x attacker x
 //! explainer x budget}` cells. The executor expands the grid in a fixed
 //! deterministic order, prepares **one** experiment per (family, scale, seed,
 //! explainer) cell — dataset generation, GCN training, victim selection and
 //! (when PGExplainer inspects) explainer training — and reuses it across every
-//! attacker and budget of that cell, the sharing trick the λ sweep introduced,
-//! now applied to the whole grid. Prepared cells fan out across threads via
+//! attacker and budget of that cell. Prepared cells fan out across threads via
 //! the `parallel` feature; because every pipeline stage is seed-deterministic,
-//! a parallel sweep produces a byte-identical report to a serial one, which the
-//! `sweep_end_to_end` integration test pins.
+//! a parallel sweep produces a byte-identical report to a serial one.
+//!
+//! **Sharding.** Every run is a [`Shard`] of the grid — the default is the
+//! trivial shard `0/1`. Prepared cell `p` (in deterministic grid order)
+//! belongs to shard `p % N`, so `--shard 0/2` and `--shard 1/2` partition the
+//! grid with no coordination. Each shard emits a [`ShardReport`] carrying the
+//! spec and its content hash; [`merge_shards`] validates a complete,
+//! non-overlapping, same-spec set of shard reports and reassembles the exact
+//! [`SweepReport`] an unsharded run produces — byte-identical, because the
+//! unsharded path itself goes through the same merge of its single shard.
+//!
+//! **Caching.** With a cache directory set, each cell's preparation goes
+//! through [`geattack_core::persist::prepare_cached`]: a warm sweep decodes
+//! every prepared experiment from disk instead of retraining and still writes
+//! a byte-identical report; hit/miss/evict counters come back in [`SweepRun`]
+//! for the metadata sidecar.
+
+use std::path::PathBuf;
 
 use serde::{Deserialize, Serialize};
 
+use geattack_cache::{CacheCounters, CacheStore};
 use geattack_core::evaluation::{summarize_run, MeanStd};
+use geattack_core::persist::prepare_cached;
 use geattack_core::pipeline::{
-    prepare, run_attacker_with_budget, AttackerKind, BudgetRule, ExplainerKind, GraphSource, PipelineConfig,
+    run_attacker_with_budget, AttackerKind, BudgetRule, ExplainerKind, GraphSource, PipelineConfig,
 };
 use geattack_core::report::to_json;
 use geattack_graph::datasets::GeneratorConfig;
@@ -136,6 +154,150 @@ impl SweepReport {
     }
 }
 
+/// One slice of a sharded sweep: shard `index` of `count` runs the prepared
+/// cells whose deterministic grid position `p` satisfies `p % count == index`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Shard {
+    /// Zero-based shard index.
+    pub index: usize,
+    /// Total number of shards.
+    pub count: usize,
+}
+
+impl Shard {
+    /// The trivial shard covering the whole grid.
+    pub const FULL: Shard = Shard { index: 0, count: 1 };
+
+    /// Parses the `I/N` form of `--shard` (zero-based: `0/2` and `1/2` are
+    /// the two halves of a two-way split).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let (index, count) = s
+            .split_once('/')
+            .ok_or_else(|| format!("shard must look like I/N (zero-based), got `{s}`"))?;
+        let parse = |part: &str, what: &str| {
+            part.trim()
+                .parse::<usize>()
+                .map_err(|_| format!("shard {what} must be an integer, got `{part}`"))
+        };
+        let shard = Shard {
+            index: parse(index, "index")?,
+            count: parse(count, "count")?,
+        };
+        shard.validate()?;
+        Ok(shard)
+    }
+
+    /// Checks the index addresses one of `count` shards.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.count == 0 {
+            return Err("shard count must be at least 1".to_string());
+        }
+        if self.index >= self.count {
+            return Err(format!(
+                "shard index {} out of range for {} shards (indices are zero-based)",
+                self.index, self.count
+            ));
+        }
+        Ok(())
+    }
+
+    /// Whether this shard runs the prepared cell at grid position `p`.
+    pub fn owns(&self, p: usize) -> bool {
+        p % self.count == self.index
+    }
+
+    /// Display form (`0/2`).
+    pub fn label(&self) -> String {
+        format!("{}/{}", self.index, self.count)
+    }
+}
+
+/// Execution knobs of one sweep run.
+#[derive(Clone, Debug, Default)]
+pub struct SweepOptions {
+    /// Force single-threaded execution (results are identical either way).
+    pub serial: bool,
+    /// Slice of the grid to run; `None` means the whole grid.
+    pub shard: Option<Shard>,
+    /// Directory of the on-disk `Prepared` cache; `None` disables caching.
+    pub cache_dir: Option<PathBuf>,
+}
+
+/// The raw output of one shard's execution: everything [`merge_shards`] needs
+/// to validate and reassemble the full report.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ShardReport {
+    /// Sweep name (from the spec).
+    pub sweep: String,
+    /// Content hash of the spec (shards of one sweep must agree).
+    pub spec_hash: String,
+    /// Zero-based index of this shard.
+    pub shard_index: usize,
+    /// Total number of shards in the split.
+    pub shard_count: usize,
+    /// The spec the shard executed.
+    pub spec: SweepSpec,
+    /// This shard's result cells, in deterministic grid order.
+    pub cells: Vec<SweepCell>,
+}
+
+impl ShardReport {
+    /// Serializes the shard report as deterministic pretty JSON.
+    pub fn to_json(&self) -> String {
+        to_json(self)
+    }
+
+    /// Parses a shard report from JSON text.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| format!("invalid shard report: {e}"))
+    }
+}
+
+/// One finished sweep execution: the shard report plus run-level metadata
+/// (cache counters, prepared-cell count) for the `.meta.json` sidecar.
+#[derive(Clone, Debug)]
+pub struct SweepRun {
+    /// The cells this run produced, as a shard report (`0/1` when unsharded).
+    pub shard: ShardReport,
+    /// Cache counters, when a cache directory was in use.
+    pub cache: Option<CacheCounters>,
+    /// Number of experiments this run prepared (== cache hits + misses when
+    /// caching).
+    pub prepared_cells: usize,
+}
+
+impl SweepRun {
+    /// Renders the run's metadata sidecar (spec hash, shard, prepared-cell
+    /// count, cache counters) as pretty JSON. This lives *next to* the report
+    /// instead of inside it so cold and warm runs stay byte-identical on the
+    /// report while still surfacing their cache behavior.
+    pub fn meta_json(&self) -> String {
+        use serde::Value;
+        let cache = match &self.cache {
+            None => Value::Null,
+            Some(c) => Value::Object(vec![
+                ("hits".to_string(), Value::Number(c.hits as f64)),
+                ("misses".to_string(), Value::Number(c.misses as f64)),
+                ("evictions".to_string(), Value::Number(c.evictions as f64)),
+            ]),
+        };
+        let shard = if self.shard.shard_count == 1 {
+            Value::Null
+        } else {
+            Value::String(format!("{}/{}", self.shard.shard_index, self.shard.shard_count))
+        };
+        let meta = Value::Object(vec![
+            ("sweep".to_string(), Value::String(self.shard.sweep.clone())),
+            ("spec_hash".to_string(), Value::String(self.shard.spec_hash.clone())),
+            ("shard".to_string(), shard),
+            ("prepared_cells".to_string(), Value::Number(self.prepared_cells as f64)),
+            ("result_cells".to_string(), Value::Number(self.shard.cells.len() as f64)),
+            ("cache".to_string(), cache),
+        ]);
+        serde_json::to_string_pretty(&meta).expect("metadata always serializes")
+    }
+}
+
 /// One (family, scale, seed, explainer) preparation unit of the grid.
 #[derive(Clone, Debug)]
 struct PrepCell {
@@ -145,10 +307,9 @@ struct PrepCell {
     explainer: ExplainerKind,
 }
 
-/// Runs a validated sweep spec. `serial` forces single-threaded execution; the
-/// result is identical either way.
-pub fn run_sweep(spec: &SweepSpec, serial: bool) -> Result<SweepReport, String> {
-    spec.validate()?;
+/// Resolves the spec's attacker/explainer name axes against the pipeline,
+/// rejecting unknown names and alias duplicates.
+fn resolve_axes(spec: &SweepSpec) -> Result<(Vec<AttackerKind>, Vec<ExplainerKind>), String> {
     let attackers: Vec<AttackerKind> = spec
         .attackers
         .iter()
@@ -170,14 +331,18 @@ pub fn run_sweep(spec: &SweepSpec, serial: bool) -> Result<SweepReport, String> 
             return Err(format!("sweep axis `{axis}` lists the same {axis} under two aliases"));
         }
     }
+    Ok((attackers, explainers))
+}
 
-    // Expand the preparation grid in deterministic order: family, scale, seed,
-    // explainer (innermost).
+/// Expands the preparation grid in deterministic order: family, scale, seed,
+/// explainer (innermost). Shard assignment and merge reassembly both index
+/// into this order, so it must never change silently.
+fn expand_prep_cells(spec: &SweepSpec, explainers: &[ExplainerKind]) -> Vec<PrepCell> {
     let mut prep_cells = Vec::with_capacity(spec.prepared_cells());
     for family in &spec.families {
         for &scale in &spec.scales {
             for &seed in &spec.seeds {
-                for &explainer in &explainers {
+                for &explainer in explainers {
                     prep_cells.push(PrepCell {
                         family: geattack_scenarios::canonical(family),
                         scale,
@@ -188,15 +353,181 @@ pub fn run_sweep(spec: &SweepSpec, serial: bool) -> Result<SweepReport, String> 
             }
         }
     }
+    prep_cells
+}
+
+/// Runs a validated sweep spec over the whole grid. `serial` forces
+/// single-threaded execution; the result is identical either way.
+pub fn run_sweep(spec: &SweepSpec, serial: bool) -> Result<SweepReport, String> {
+    let run = run_sweep_options(
+        spec,
+        &SweepOptions {
+            serial,
+            ..Default::default()
+        },
+    )?;
+    merge_shards(std::slice::from_ref(&run.shard))
+}
+
+/// Runs one shard of a sweep (the whole grid when `options.shard` is `None`),
+/// optionally memoizing prepared experiments in an on-disk cache.
+pub fn run_sweep_options(spec: &SweepSpec, options: &SweepOptions) -> Result<SweepRun, String> {
+    spec.validate()?;
+    let (attackers, explainers) = resolve_axes(spec)?;
+    let shard = options.shard.unwrap_or(Shard::FULL);
+    shard.validate()?;
+    let cache = match &options.cache_dir {
+        Some(dir) => Some(CacheStore::open(dir.clone())?),
+        None => None,
+    };
+
+    let mine: Vec<PrepCell> = expand_prep_cells(spec, &explainers)
+        .into_iter()
+        .enumerate()
+        .filter(|(p, _)| shard.owns(*p))
+        .map(|(_, cell)| cell)
+        .collect();
 
     // One level of parallelism only (mirroring the multi-run experiment
     // runner): enough prepared cells to saturate the cores → fan out across
     // cells with serial victim loops; otherwise keep the cell loop serial and
     // let each cell's victim loop fan out.
-    let fan_out = cells_fan_out(serial, prep_cells.len());
-    let run_cell = |cell: &PrepCell| run_prep_cell(spec, cell, &attackers, !serial && !fan_out);
-    let nested: Vec<Vec<SweepCell>> = map_cells(fan_out, &prep_cells, run_cell);
+    let fan_out = cells_fan_out(options.serial, mine.len());
+    let run_cell = |cell: &PrepCell| run_prep_cell(spec, cell, &attackers, !options.serial && !fan_out, cache.as_ref());
+    let nested: Vec<Vec<SweepCell>> = map_cells(fan_out, &mine, run_cell);
     let cells: Vec<SweepCell> = nested.into_iter().flatten().collect();
+
+    Ok(SweepRun {
+        shard: ShardReport {
+            sweep: spec.name.clone(),
+            spec_hash: spec.content_hash(),
+            shard_index: shard.index,
+            shard_count: shard.count,
+            spec: spec.clone(),
+            cells,
+        },
+        cache: cache.as_ref().map(|c| c.counters()),
+        prepared_cells: mine.len(),
+    })
+}
+
+/// Combines a complete set of shard reports into the full [`SweepReport`].
+///
+/// Validation is strict, because a silently-wrong merge poisons every
+/// downstream aggregate: the shards must share one sweep (same spec content
+/// hash, which each embedded spec is re-checked against), agree on the shard
+/// count, neither overlap nor leave an index missing, and carry exactly the
+/// cells their grid slice predicts. Cells are reassembled in deterministic
+/// grid order and re-aggregated, so merging the single `0/1` shard of an
+/// unsharded run reproduces that run's report byte-for-byte — the unsharded
+/// path itself goes through this function.
+pub fn merge_shards(shards: &[ShardReport]) -> Result<SweepReport, String> {
+    let first = shards.first().ok_or("cannot merge zero shard reports")?;
+    let count = first.shard_count;
+    for shard in shards {
+        if shard.spec_hash != shard.spec.content_hash() {
+            return Err(format!(
+                "shard {}/{} embeds a spec that does not match its spec hash (corrupt or tampered report)",
+                shard.shard_index, shard.shard_count
+            ));
+        }
+        if shard.spec_hash != first.spec_hash || shard.sweep != first.sweep {
+            return Err(format!(
+                "shard {}/{} belongs to a different sweep (spec hash {} != {})",
+                shard.shard_index, shard.shard_count, shard.spec_hash, first.spec_hash
+            ));
+        }
+        if shard.shard_count != count {
+            return Err(format!(
+                "inconsistent shard counts: {} and {}",
+                shard.shard_count, count
+            ));
+        }
+        if shard.shard_index >= count {
+            return Err(format!(
+                "shard index {} out of range for {count} shards",
+                shard.shard_index
+            ));
+        }
+    }
+    // Completeness needs one report per index, so a declared count beyond the
+    // given reports is already a missing-shard error — checked *before* the
+    // count-sized allocation so a corrupt report claiming 10^18 shards fails
+    // cleanly instead of aborting on OOM.
+    if count > shards.len() {
+        return Err(format!(
+            "missing shard reports: {count} shards declared, got {}",
+            shards.len()
+        ));
+    }
+    let mut by_index: Vec<Option<&ShardReport>> = vec![None; count];
+    for shard in shards {
+        if by_index[shard.shard_index].is_some() {
+            return Err(format!(
+                "overlapping shards: shard {}/{count} appears more than once",
+                shard.shard_index
+            ));
+        }
+        by_index[shard.shard_index] = Some(shard);
+    }
+    if let Some(missing) = by_index.iter().position(|s| s.is_none()) {
+        return Err(format!("missing shard {missing}/{count}"));
+    }
+
+    let spec = &first.spec;
+    spec.validate()?;
+    let (attackers, explainers) = resolve_axes(spec)?;
+    let prep_cells = expand_prep_cells(spec, &explainers);
+    let block = spec.attackers.len() * spec.budgets.len();
+
+    // Each shard must carry exactly the cells its slice of the prep grid
+    // predicts: one block of (attacker x budget) cells per owned prep cell.
+    for (index, shard) in by_index.iter().enumerate() {
+        let shard = shard.expect("completeness checked above");
+        let owned = prep_cells
+            .iter()
+            .enumerate()
+            .filter(|(p, _)| p % count == index)
+            .count();
+        if shard.cells.len() != owned * block {
+            return Err(format!(
+                "shard {index}/{count} carries {} cells, expected {} ({} prepared cells x {block})",
+                shard.cells.len(),
+                owned * block,
+                owned
+            ));
+        }
+    }
+
+    // Reassemble in grid order: prep cell p's block comes from shard p % N.
+    let mut cursors = vec![0usize; count];
+    let mut cells = Vec::with_capacity(prep_cells.len() * block);
+    for (p, prep) in prep_cells.iter().enumerate() {
+        let shard = by_index[p % count].expect("completeness checked above");
+        let start = cursors[p % count];
+        cursors[p % count] += block;
+        for cell in &shard.cells[start..start + block] {
+            let matches = cell.family == prep.family
+                && cell.scale.to_bits() == prep.scale.to_bits()
+                && cell.seed == prep.seed
+                && cell.explainer == prep.explainer.name();
+            if !matches {
+                return Err(format!(
+                    "shard {}/{count} cell mismatch at grid position {p}: expected ({}, scale {}, seed {}, {}), found ({}, scale {}, seed {}, {})",
+                    p % count,
+                    prep.family,
+                    prep.scale,
+                    prep.seed,
+                    prep.explainer.name(),
+                    cell.family,
+                    cell.scale,
+                    cell.seed,
+                    cell.explainer,
+                ));
+            }
+            cells.push(cell.clone());
+        }
+    }
 
     let aggregates = aggregate_cells(spec, &explainers, &attackers, &cells);
     Ok(SweepReport {
@@ -207,13 +538,62 @@ pub fn run_sweep(spec: &SweepSpec, serial: bool) -> Result<SweepReport, String> 
     })
 }
 
-/// Prepares one (family, scale, seed, explainer) experiment and attacks it with
-/// every attacker and budget of the grid.
+/// Renders the enumerated cell plan (`--dry-run`): one line per prepared cell
+/// with its shard assignment, without running anything.
+pub fn plan_lines(spec: &SweepSpec, shard: Option<&Shard>) -> Result<Vec<String>, String> {
+    spec.validate()?;
+    let (attackers, explainers) = resolve_axes(spec)?;
+    if let Some(shard) = shard {
+        shard.validate()?;
+    }
+    let prep_cells = expand_prep_cells(spec, &explainers);
+    let block = attackers.len() * spec.budgets.len();
+    let mut lines = vec![format!(
+        "sweep `{}`: {} prepared cells x {} (attacker x budget) = {} result cells",
+        spec.name,
+        prep_cells.len(),
+        block,
+        prep_cells.len() * block
+    )];
+    for (p, cell) in prep_cells.iter().enumerate() {
+        let mut line = format!(
+            "[{p:>3}] {} scale={} seed={} {}",
+            cell.family,
+            cell.scale,
+            cell.seed,
+            cell.explainer.name()
+        );
+        if let Some(shard) = shard {
+            let owner = p % shard.count;
+            line.push_str(&format!(
+                "  -> shard {owner}/{} ({})",
+                shard.count,
+                if shard.owns(p) { "run" } else { "skip" }
+            ));
+        }
+        lines.push(line);
+    }
+    if let Some(shard) = shard {
+        let owned = (0..prep_cells.len()).filter(|&p| shard.owns(p)).count();
+        lines.push(format!(
+            "shard {} runs {owned} of {} prepared cells ({} result cells)",
+            shard.label(),
+            prep_cells.len(),
+            owned * block
+        ));
+    }
+    Ok(lines)
+}
+
+/// Prepares one (family, scale, seed, explainer) experiment — through the
+/// cache when one is given — and attacks it with every attacker and budget of
+/// the grid.
 fn run_prep_cell(
     spec: &SweepSpec,
     cell: &PrepCell,
     attackers: &[AttackerKind],
     victim_parallel: bool,
+    cache: Option<&CacheStore>,
 ) -> Vec<SweepCell> {
     let source = GraphSource::Scenario(ScenarioSpec::named(cell.family.clone()));
     let mut config = if spec.quick {
@@ -225,7 +605,7 @@ fn run_prep_cell(
     config.set_victim_count(spec.victims);
     config.explainer = cell.explainer;
     config.parallel = victim_parallel;
-    let prepared = prepare(config);
+    let prepared = prepare_cached(config, cache);
     eprintln!(
         "[{} scale {} seed {} {}] prepared: {} nodes, {} victims",
         cell.family,
@@ -337,7 +717,7 @@ fn has_duplicates<T: PartialEq>(values: &[T]) -> bool {
 }
 
 /// Whether the prepared-cell loop should fan out across threads (see
-/// [`run_sweep`]).
+/// [`run_sweep_options`]).
 fn cells_fan_out(serial: bool, cells: usize) -> bool {
     #[cfg(feature = "parallel")]
     {
@@ -375,21 +755,15 @@ mod tests {
         spec
     }
 
-    #[test]
-    fn unknown_attacker_and_explainer_are_rejected_before_running() {
-        let mut spec = tiny_spec();
-        spec.attackers = vec!["metattack".to_string()];
-        assert!(run_sweep(&spec, true).unwrap_err().contains("unknown attacker"));
-        let mut spec = tiny_spec();
-        spec.explainers = vec!["shap".to_string()];
-        assert!(run_sweep(&spec, true).unwrap_err().contains("unknown explainer"));
-    }
-
-    #[test]
-    fn zero_victim_cells_are_excluded_from_aggregates() {
+    /// A two-prep-cell spec (2 seeds) whose cells are cheap to fabricate.
+    fn two_seed_spec() -> SweepSpec {
         let mut spec = tiny_spec();
         spec.seeds = vec![0, 1];
-        let cell = |seed: u64, victims: usize, asr: f64| SweepCell {
+        spec
+    }
+
+    fn fabricated_cell(seed: u64, victims: usize, asr: f64) -> SweepCell {
+        SweepCell {
             family: "tree-cycles".to_string(),
             scale: 0.07,
             seed,
@@ -405,9 +779,37 @@ mod tests {
             recall: 0.1,
             f1: 0.1,
             ndcg: 0.1,
-        };
+        }
+    }
+
+    /// A consistent shard report over `two_seed_spec` holding the given cells.
+    fn fabricated_shard(index: usize, count: usize, cells: Vec<SweepCell>) -> ShardReport {
+        let spec = two_seed_spec();
+        ShardReport {
+            sweep: spec.name.clone(),
+            spec_hash: spec.content_hash(),
+            shard_index: index,
+            shard_count: count,
+            spec,
+            cells,
+        }
+    }
+
+    #[test]
+    fn unknown_attacker_and_explainer_are_rejected_before_running() {
+        let mut spec = tiny_spec();
+        spec.attackers = vec!["metattack".to_string()];
+        assert!(run_sweep(&spec, true).unwrap_err().contains("unknown attacker"));
+        let mut spec = tiny_spec();
+        spec.explainers = vec!["shap".to_string()];
+        assert!(run_sweep(&spec, true).unwrap_err().contains("unknown explainer"));
+    }
+
+    #[test]
+    fn zero_victim_cells_are_excluded_from_aggregates() {
+        let spec = two_seed_spec();
         // Seed 1 found no victims; its all-zero scores must not drag the mean.
-        let cells = vec![cell(0, 3, 1.0), cell(1, 0, 0.0)];
+        let cells = vec![fabricated_cell(0, 3, 1.0), fabricated_cell(1, 0, 0.0)];
         let aggregates = aggregate_cells(&spec, &[ExplainerKind::GnnExplainer], &[AttackerKind::Rna], &cells);
         assert_eq!(aggregates.len(), 1);
         assert_eq!(aggregates[0].seeds, 1, "only the seed with victims counts");
@@ -444,5 +846,189 @@ mod tests {
         assert!(md.contains("tree-cycles") && md.contains("RNA"), "{md}");
         let json = report.to_json();
         assert!(json.contains("\"aggregates\""));
+    }
+
+    #[test]
+    fn shard_parse_accepts_valid_and_rejects_invalid_forms() {
+        assert_eq!(Shard::parse("0/2").unwrap(), Shard { index: 0, count: 2 });
+        assert_eq!(Shard::parse("1/2").unwrap(), Shard { index: 1, count: 2 });
+        assert_eq!(Shard::parse("0/1").unwrap(), Shard::FULL);
+        assert!(Shard::parse("2").unwrap_err().contains("I/N"));
+        assert!(Shard::parse("a/b").unwrap_err().contains("integer"));
+        assert!(Shard::parse("0/0").unwrap_err().contains("at least 1"));
+        assert!(Shard::parse("2/2").unwrap_err().contains("zero-based"));
+        assert!(Shard { index: 3, count: 2 }.validate().is_err());
+        assert_eq!(Shard { index: 1, count: 3 }.label(), "1/3");
+    }
+
+    #[test]
+    fn shard_ownership_partitions_the_grid() {
+        let shards = [
+            Shard { index: 0, count: 3 },
+            Shard { index: 1, count: 3 },
+            Shard { index: 2, count: 3 },
+        ];
+        for p in 0..20 {
+            let owners = shards.iter().filter(|s| s.owns(p)).count();
+            assert_eq!(owners, 1, "prep cell {p} owned exactly once");
+        }
+    }
+
+    #[test]
+    fn merge_rejects_overlapping_shards() {
+        let a = fabricated_shard(0, 2, vec![fabricated_cell(0, 3, 1.0)]);
+        let err = merge_shards(&[a.clone(), a]).unwrap_err();
+        assert!(err.contains("overlapping"), "{err}");
+    }
+
+    #[test]
+    fn merge_detects_missing_shards() {
+        let a = fabricated_shard(0, 2, vec![fabricated_cell(0, 3, 1.0)]);
+        let err = merge_shards(&[a]).unwrap_err();
+        assert!(err.contains("missing shard"), "{err}");
+        assert!(merge_shards(&[]).unwrap_err().contains("zero shard"));
+        // An absurd declared count must error before allocating count slots.
+        let huge = fabricated_shard(0, usize::MAX / 2, vec![fabricated_cell(0, 3, 1.0)]);
+        let err = merge_shards(&[huge]).unwrap_err();
+        assert!(err.contains("missing shard reports"), "{err}");
+    }
+
+    #[test]
+    fn merge_rejects_spec_hash_mismatches() {
+        let a = fabricated_shard(0, 2, vec![fabricated_cell(0, 3, 1.0)]);
+        let mut b = fabricated_shard(1, 2, vec![fabricated_cell(1, 3, 0.5)]);
+        // A shard of a *different* spec: consistent in itself (hash matches its
+        // own spec) but not mergeable with `a`.
+        b.spec.victims += 1;
+        b.spec_hash = b.spec.content_hash();
+        let err = merge_shards(&[a.clone(), b]).unwrap_err();
+        assert!(err.contains("different sweep"), "{err}");
+
+        // A tampered shard whose embedded spec no longer matches its hash.
+        let mut tampered = fabricated_shard(1, 2, vec![fabricated_cell(1, 3, 0.5)]);
+        tampered.spec_hash = "0".repeat(32);
+        let err = merge_shards(&[a, tampered]).unwrap_err();
+        assert!(err.contains("does not match its spec hash"), "{err}");
+    }
+
+    #[test]
+    fn merge_rejects_inconsistent_counts_and_wrong_cell_counts() {
+        let a = fabricated_shard(0, 2, vec![fabricated_cell(0, 3, 1.0)]);
+        let b = fabricated_shard(1, 3, vec![fabricated_cell(1, 3, 0.5)]);
+        assert!(merge_shards(&[a.clone(), b])
+            .unwrap_err()
+            .contains("inconsistent shard counts"));
+
+        // Shard 1 claims both prep cells' results: wrong cell count.
+        let overfull = fabricated_shard(1, 2, vec![fabricated_cell(0, 3, 1.0), fabricated_cell(1, 3, 0.5)]);
+        let err = merge_shards(&[a.clone(), overfull]).unwrap_err();
+        assert!(err.contains("expected 1"), "{err}");
+
+        // Right count, wrong identity: shard 1 carries seed 0's cell.
+        let misplaced = fabricated_shard(1, 2, vec![fabricated_cell(0, 3, 0.5)]);
+        let err = merge_shards(&[a, misplaced]).unwrap_err();
+        assert!(err.contains("cell mismatch"), "{err}");
+    }
+
+    #[test]
+    fn empty_shard_merges_cleanly() {
+        // 2 prep cells split 3 ways: shard 2/3 owns nothing.
+        let spec = two_seed_spec();
+        let shard = |index: usize, cells: Vec<SweepCell>| ShardReport {
+            sweep: spec.name.clone(),
+            spec_hash: spec.content_hash(),
+            shard_index: index,
+            shard_count: 3,
+            spec: spec.clone(),
+            cells,
+        };
+        let report = merge_shards(&[
+            shard(0, vec![fabricated_cell(0, 3, 1.0)]),
+            shard(1, vec![fabricated_cell(1, 2, 0.5)]),
+            shard(2, Vec::new()),
+        ])
+        .expect("empty shard merges");
+        assert_eq!(report.cells.len(), 2);
+        assert_eq!(report.cells[0].seed, 0);
+        assert_eq!(report.cells[1].seed, 1);
+        assert_eq!(report.aggregates.len(), 1);
+        assert_eq!(report.aggregates[0].seeds, 2);
+    }
+
+    #[test]
+    fn merging_the_single_full_shard_reproduces_the_report() {
+        let spec = tiny_spec();
+        let run = run_sweep_options(
+            &spec,
+            &SweepOptions {
+                serial: true,
+                ..Default::default()
+            },
+        )
+        .expect("runs");
+        assert_eq!(run.prepared_cells, 1);
+        assert!(run.cache.is_none());
+        let merged = merge_shards(std::slice::from_ref(&run.shard)).expect("merges");
+        let direct = run_sweep(&spec, true).expect("runs");
+        assert_eq!(merged.to_json(), direct.to_json());
+    }
+
+    #[test]
+    fn shard_report_round_trips_through_json() {
+        let report = fabricated_shard(0, 2, vec![fabricated_cell(0, 3, 1.0)]);
+        let back = ShardReport::from_json(&report.to_json()).expect("round-trips");
+        assert_eq!(back.spec_hash, report.spec_hash);
+        assert_eq!(back.shard_index, 0);
+        assert_eq!(back.shard_count, 2);
+        assert_eq!(back.cells.len(), 1);
+        assert_eq!(back.spec, report.spec);
+        assert!(ShardReport::from_json("{}").is_err());
+    }
+
+    #[test]
+    fn plan_lines_enumerate_cells_and_shard_assignments() {
+        let spec = two_seed_spec();
+        let lines = plan_lines(&spec, None).expect("plans");
+        assert_eq!(lines.len(), 3, "header + one line per prep cell");
+        assert!(lines[0].contains("2 prepared cells"), "{}", lines[0]);
+        assert!(lines[1].contains("tree-cycles") && lines[1].contains("seed=0"));
+        assert!(!lines[1].contains("shard"), "no shard column without --shard");
+
+        let shard = Shard { index: 1, count: 2 };
+        let lines = plan_lines(&spec, Some(&shard)).expect("plans");
+        assert_eq!(lines.len(), 4, "header + cells + shard summary");
+        assert!(lines[1].contains("shard 0/2 (skip)"), "{}", lines[1]);
+        assert!(lines[2].contains("shard 1/2 (run)"), "{}", lines[2]);
+        assert!(lines[3].contains("runs 1 of 2"), "{}", lines[3]);
+
+        let mut bad = spec;
+        bad.attackers = vec!["metattack".to_string()];
+        assert!(plan_lines(&bad, None).is_err());
+    }
+
+    #[test]
+    fn meta_json_reports_shard_and_cache_state() {
+        let run = SweepRun {
+            shard: fabricated_shard(1, 2, vec![fabricated_cell(1, 3, 0.5)]),
+            cache: Some(CacheCounters {
+                hits: 2,
+                misses: 1,
+                evictions: 0,
+            }),
+            prepared_cells: 1,
+        };
+        let meta = run.meta_json();
+        assert!(meta.contains("\"shard\": \"1/2\""), "{meta}");
+        assert!(meta.contains("\"hits\": 2"), "{meta}");
+        assert!(meta.contains("\"prepared_cells\": 1"), "{meta}");
+
+        let full = SweepRun {
+            shard: fabricated_shard(0, 1, Vec::new()),
+            cache: None,
+            prepared_cells: 0,
+        };
+        let meta = full.meta_json();
+        assert!(meta.contains("\"shard\": null"), "{meta}");
+        assert!(meta.contains("\"cache\": null"), "{meta}");
     }
 }

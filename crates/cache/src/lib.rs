@@ -1,0 +1,28 @@
+//! # geattack-cache
+//!
+//! The on-disk memoization layer behind repeated sweeps: a content-addressed
+//! key-value store plus the two deterministic primitives it is built on.
+//!
+//! * [`hash`] — stable 128-bit FNV-1a hashing. Cache keys and sweep-spec
+//!   hashes must be identical across processes, platforms and releases, so the
+//!   hash is hand-rolled rather than borrowed from `std` (whose `Hasher`s are
+//!   explicitly allowed to change between versions).
+//! * [`codec`] — a length-checked little-endian binary codec. Cached payloads
+//!   carry `f64` matrices whose bits must round-trip *exactly* (a warm sweep
+//!   has to be byte-identical to a cold one), which rules JSON out.
+//! * [`store`] — [`store::CacheStore`]: one file per entry under a cache
+//!   directory, written atomically (write to a temp file, then rename) so a
+//!   crashed or concurrent writer can never leave a torn entry behind, with
+//!   hit/miss/evict counters that callers surface in report metadata.
+//!
+//! The crate is deliberately leaf-level: no workspace dependencies, no serde.
+//! `geattack-core` layers `Prepared`-experiment persistence on top and
+//! `geattack-scenarios` uses the hashing for sweep-spec fingerprints.
+
+pub mod codec;
+pub mod hash;
+pub mod store;
+
+pub use codec::{Decoder, Encoder};
+pub use hash::{fnv1a128, KeyHasher};
+pub use store::{CacheCounters, CacheStore};

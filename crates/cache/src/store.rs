@@ -1,0 +1,273 @@
+//! Atomic, content-addressed on-disk key-value store.
+//!
+//! One entry per file under the cache directory: `<key>.bin`, where `key` is
+//! the 32-hex-char content hash the caller derived with [`crate::KeyHasher`].
+//! Every entry starts with a magic number and a store-format version; payload
+//! semantics (and payload versioning) belong to the caller. Writes go to a
+//! unique temp file first and are `rename`d into place, so readers — including
+//! concurrent shard processes sharing one cache directory — only ever observe
+//! complete entries.
+//!
+//! The store never counts its own hits and misses: only the caller knows
+//! whether a loaded payload actually *decoded* into something usable, so the
+//! counting protocol is explicit — [`CacheStore::record_hit`] after a
+//! successful decode, [`CacheStore::record_miss`] before recomputing, and
+//! [`CacheStore::evict`] when an entry turns out to be corrupt. Counters are
+//! atomic because sweep cells touch the store from worker threads.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Magic bytes opening every entry file.
+const MAGIC: [u8; 4] = *b"GEAC";
+/// On-disk envelope version (bump when the header layout changes).
+const STORE_VERSION: u32 = 1;
+/// Entry file extension.
+const ENTRY_EXT: &str = "bin";
+
+/// Snapshot of a store's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Entries that loaded and decoded successfully.
+    pub hits: u64,
+    /// Lookups that found no usable entry and fell back to computing.
+    pub misses: u64,
+    /// Entries removed because they were corrupt or unreadable.
+    pub evictions: u64,
+}
+
+impl CacheCounters {
+    /// Adds another snapshot's counts (used to combine per-shard metadata).
+    pub fn merged(self, other: CacheCounters) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            evictions: self.evictions + other.evictions,
+        }
+    }
+}
+
+/// A directory of atomically-written cache entries.
+#[derive(Debug)]
+pub struct CacheStore {
+    dir: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    tmp_counter: AtomicU64,
+}
+
+impl CacheStore {
+    /// Opens (creating if needed) a cache directory.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, String> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create cache dir {}: {e}", dir.display()))?;
+        Ok(Self {
+            dir,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            tmp_counter: AtomicU64::new(0),
+        })
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The file an entry lives in.
+    pub fn entry_path(&self, key: &str) -> PathBuf {
+        debug_assert!(
+            key.chars().all(|c| c.is_ascii_alphanumeric() || c == '-'),
+            "cache keys must be filesystem-safe, got {key:?}"
+        );
+        self.dir.join(format!("{key}.{ENTRY_EXT}"))
+    }
+
+    /// Loads an entry's payload. Returns `None` when the entry is absent; a
+    /// present entry with a bad envelope (wrong magic or store version, or an
+    /// unreadable file) is evicted and also reported as `None`. No hit/miss
+    /// accounting happens here — see the module docs for the protocol.
+    pub fn load(&self, key: &str) -> Option<Vec<u8>> {
+        let path = self.entry_path(key);
+        let bytes = match std::fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return None,
+            Err(e) => {
+                eprintln!("cache: evicting unreadable entry {}: {e}", path.display());
+                self.evict(key);
+                return None;
+            }
+        };
+        let envelope_ok = bytes.len() >= 8
+            && bytes[..4] == MAGIC
+            && u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")) == STORE_VERSION;
+        if !envelope_ok {
+            eprintln!("cache: evicting entry {} with a bad envelope", path.display());
+            self.evict(key);
+            return None;
+        }
+        Some(bytes[8..].to_vec())
+    }
+
+    /// Stores a payload under `key`, atomically: the entry is written to a
+    /// process-unique temp file and renamed into place, so concurrent readers
+    /// and writers never see a torn entry (last writer wins).
+    pub fn store(&self, key: &str, payload: &[u8]) -> Result<(), String> {
+        let path = self.entry_path(key);
+        let tmp = self.dir.join(format!(
+            "{key}.tmp.{}.{}",
+            std::process::id(),
+            self.tmp_counter.fetch_add(1, Ordering::Relaxed)
+        ));
+        let mut bytes = Vec::with_capacity(8 + payload.len());
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&STORE_VERSION.to_le_bytes());
+        bytes.extend_from_slice(payload);
+        std::fs::write(&tmp, &bytes).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, &path).map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            format!("cannot publish {}: {e}", path.display())
+        })
+    }
+
+    /// Removes an entry (corrupt or invalidated) and counts the eviction.
+    pub fn evict(&self, key: &str) {
+        let _ = std::fs::remove_file(self.entry_path(key));
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a successful cache hit.
+    pub fn record_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a miss (about to recompute).
+    pub fn record_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the counters.
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of committed entries on disk (temp files excluded).
+    pub fn entry_count(&self) -> usize {
+        std::fs::read_dir(&self.dir)
+            .map(|entries| {
+                entries
+                    .flatten()
+                    .filter(|e| e.path().extension().is_some_and(|ext| ext == ENTRY_EXT))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A fresh store under the system temp dir, cleaned up on drop.
+    struct TempStore {
+        store: CacheStore,
+    }
+
+    impl TempStore {
+        fn new(tag: &str) -> Self {
+            let dir = std::env::temp_dir().join(format!("geattack-cache-store-{}-{tag}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            Self {
+                store: CacheStore::open(dir).expect("temp cache opens"),
+            }
+        }
+    }
+
+    impl Drop for TempStore {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(self.store.dir());
+        }
+    }
+
+    #[test]
+    fn round_trip_and_counter_protocol() {
+        let t = TempStore::new("roundtrip");
+        let store = &t.store;
+        assert!(store.load("00ff").is_none());
+        store.record_miss();
+        store.store("00ff", b"payload").expect("store succeeds");
+        assert_eq!(store.entry_count(), 1);
+        let loaded = store.load("00ff").expect("entry exists");
+        assert_eq!(loaded, b"payload");
+        store.record_hit();
+        assert_eq!(
+            store.counters(),
+            CacheCounters {
+                hits: 1,
+                misses: 1,
+                evictions: 0
+            }
+        );
+    }
+
+    #[test]
+    fn overwrite_is_last_writer_wins() {
+        let t = TempStore::new("overwrite");
+        t.store.store("aa", b"one").unwrap();
+        t.store.store("aa", b"two").unwrap();
+        assert_eq!(t.store.load("aa").unwrap(), b"two");
+        assert_eq!(t.store.entry_count(), 1);
+    }
+
+    #[test]
+    fn bad_envelope_is_evicted_and_reported_absent() {
+        let t = TempStore::new("envelope");
+        let store = &t.store;
+        // Wrong magic.
+        std::fs::write(store.entry_path("bad1"), b"NOPE....payload").unwrap();
+        assert!(store.load("bad1").is_none());
+        assert!(!store.entry_path("bad1").exists(), "corrupt entry removed");
+        // Too short to even carry a header.
+        std::fs::write(store.entry_path("bad2"), b"GE").unwrap();
+        assert!(store.load("bad2").is_none());
+        // Wrong store version.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"GEAC");
+        bytes.extend_from_slice(&999u32.to_le_bytes());
+        bytes.extend_from_slice(b"payload");
+        std::fs::write(store.entry_path("bad3"), bytes).unwrap();
+        assert!(store.load("bad3").is_none());
+        assert_eq!(store.counters().evictions, 3);
+    }
+
+    #[test]
+    fn empty_payloads_and_counter_merge() {
+        let t = TempStore::new("empty");
+        t.store.store("ee", b"").unwrap();
+        assert_eq!(t.store.load("ee").unwrap(), b"");
+        let a = CacheCounters {
+            hits: 1,
+            misses: 2,
+            evictions: 3,
+        };
+        let b = CacheCounters {
+            hits: 10,
+            misses: 20,
+            evictions: 30,
+        };
+        assert_eq!(
+            a.merged(b),
+            CacheCounters {
+                hits: 11,
+                misses: 22,
+                evictions: 33
+            }
+        );
+    }
+}

@@ -28,6 +28,7 @@
 
 pub mod evaluation;
 pub mod geattack;
+pub mod persist;
 pub mod pg_geattack;
 pub mod pipeline;
 pub mod report;
@@ -35,6 +36,7 @@ pub mod targets;
 
 pub use evaluation::{aggregate_runs, summarize_run, AggregatedSummary, AttackOutcome, MeanStd, RunSummary};
 pub use geattack::{GeAttack, GeAttackConfig};
+pub use persist::{cache_key, prepare_cached, CODE_VERSION_SALT};
 pub use pg_geattack::{PgGeAttack, PgGeAttackConfig};
 pub use pipeline::{
     prepare, run_attacker, run_attacker_kind, run_attacker_with_budget, AttackerKind, BudgetRule, ExplainerKind,

@@ -1,0 +1,590 @@
+//! Persisting [`Prepared`] experiments in an on-disk cache.
+//!
+//! Preparation — dataset generation, GCN training, victim selection and (for
+//! PGExplainer inspections) explainer training — dominates sweep wall-clock,
+//! and it is a pure function of a subset of [`PipelineConfig`]. This module
+//! memoizes it: [`cache_key`] fingerprints exactly the config fields that
+//! preparation depends on (plus a code-version salt), [`encode_prepared`] /
+//! [`decode_prepared`] serialize the prepared state through the exact-bits
+//! binary codec of `geattack-cache`, and [`prepare_cached`] ties it together
+//! with corrupted-entry recovery: an entry that fails to decode is evicted and
+//! recomputed, never trusted and never fatal.
+//!
+//! Two invariants make warm runs byte-identical to cold ones:
+//!
+//! * the codec round-trips every `f64` bit pattern exactly, so a decoded
+//!   experiment produces the same attack outcomes as the freshly-computed one;
+//! * the key covers *all* inputs of [`prepare`] — graph source, generator,
+//!   training, victim-selection and (when inspecting with PGExplainer) the
+//!   explainer-training config — and *only* those, so scheduling knobs like
+//!   `parallel` share entries.
+//!
+//! Bump [`CODE_VERSION_SALT`] whenever the semantics of [`prepare`] change:
+//! old entries then simply stop matching any key and are never resurrected.
+
+use geattack_cache::{CacheStore, Decoder, Encoder, KeyHasher};
+use geattack_explain::{PgExplainer, PgMlpParams};
+use geattack_gnn::{Gcn, GcnParams};
+use geattack_graph::{DataSplit, Graph};
+use geattack_tensor::Matrix;
+
+use crate::pipeline::{prepare, ExplainerKind, GraphSource, PipelineConfig, Prepared};
+use crate::targets::Victim;
+
+/// Version salt folded into every cache key. Bump on any change to the
+/// preparation pipeline's semantics (generators, training, victim selection,
+/// PGExplainer training): old entries become unreachable instead of stale.
+pub const CODE_VERSION_SALT: &str = "prepare-v1";
+
+/// Version of the encoded payload layout, checked before decoding.
+const PAYLOAD_VERSION: u32 = 1;
+
+/// Content-hash key of the experiment `config` prepares, under the compiled-in
+/// [`CODE_VERSION_SALT`].
+pub fn cache_key(config: &PipelineConfig) -> String {
+    cache_key_salted(config, CODE_VERSION_SALT)
+}
+
+/// [`cache_key`] under an explicit salt (tests use this to prove that bumping
+/// the salt invalidates existing entries).
+pub fn cache_key_salted(config: &PipelineConfig, salt: &str) -> String {
+    let mut h = KeyHasher::new();
+    h.write_str("geattack-prepared").write_str(salt);
+    match &config.source {
+        GraphSource::Dataset(dataset) => {
+            h.write_str("dataset").write_str(dataset.as_str());
+        }
+        GraphSource::Scenario(spec) => {
+            h.write_str("scenario")
+                .write_str(&geattack_scenarios::canonical(&spec.family))
+                .write_opt_f64(spec.scale)
+                .write_opt_u64(spec.seed);
+        }
+    }
+    let g = &config.generator;
+    h.write_f64(g.scale)
+        .write_usize(g.min_features)
+        .write_usize(g.words_per_node)
+        .write_f64(g.topic_affinity)
+        .write_u64(g.seed);
+    let t = &config.train;
+    h.write_usize(t.hidden)
+        .write_usize(t.epochs)
+        .write_f64(t.lr)
+        .write_f64(t.weight_decay)
+        .write_opt_u64(t.patience.map(|p| p as u64))
+        .write_u64(t.seed);
+    let v = &config.victims;
+    h.write_usize(v.count)
+        .write_usize(v.top_margin)
+        .write_usize(v.bottom_margin)
+        .write_u64(v.seed);
+    h.write_str(config.explainer.name());
+    if config.explainer == ExplainerKind::PgExplainer {
+        // PGExplainer is trained during preparation, so its config shapes the
+        // cached state. GNNExplainer runs per-victim at attack time and must
+        // NOT be part of the key — tweaking it would needlessly cold-start.
+        let p = &config.pgexplainer;
+        h.write_usize(p.epochs)
+            .write_f64(p.lr)
+            .write_usize(p.hops)
+            .write_usize(p.hidden)
+            .write_f64(p.size_coeff)
+            .write_f64(p.entropy_coeff)
+            .write_usize(p.training_instances)
+            .write_u64(p.seed);
+    }
+    h.finish()
+}
+
+fn put_matrix(enc: &mut Encoder, m: &Matrix) {
+    enc.put_usize(m.rows());
+    enc.put_usize(m.cols());
+    enc.put_f64_slice(m.as_slice());
+}
+
+fn get_matrix(dec: &mut Decoder) -> Result<Matrix, String> {
+    let rows = dec.get_usize()?;
+    let cols = dec.get_usize()?;
+    let data = dec.get_f64_vec()?;
+    if rows.checked_mul(cols) != Some(data.len()) {
+        return Err(format!(
+            "matrix shape {rows}x{cols} does not match {} values",
+            data.len()
+        ));
+    }
+    Ok(Matrix::from_vec(rows, cols, data))
+}
+
+/// Serializes a prepared experiment's *state* (not its config — the decoder is
+/// handed the config that, by key construction, produced this state).
+pub fn encode_prepared(prepared: &Prepared) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.put_u32(PAYLOAD_VERSION);
+
+    // Graph: labels, features and the 0/1 adjacency bit-packed (64x smaller
+    // than its dense f64 form — the single largest part of the payload).
+    let graph = &prepared.graph;
+    let n = graph.num_nodes();
+    enc.put_usize(n);
+    enc.put_usize(graph.num_classes());
+    enc.put_usize_slice(graph.labels());
+    put_matrix(&mut enc, graph.features());
+    let adj = graph.adjacency();
+    let bits: Vec<bool> = (0..n * n).map(|i| adj.as_slice()[i] > 0.5).collect();
+    enc.put_bits(&bits);
+
+    // Model: the four GCN parameter matrices (dims are embedded per matrix).
+    for m in prepared.model.params().to_vec() {
+        put_matrix(&mut enc, &m);
+    }
+
+    // Split and victims.
+    enc.put_usize_slice(&prepared.split.train);
+    enc.put_usize_slice(&prepared.split.val);
+    enc.put_usize_slice(&prepared.split.test);
+    enc.put_usize(prepared.victims.len());
+    for v in &prepared.victims {
+        enc.put_usize(v.node);
+        enc.put_usize(v.true_label);
+        enc.put_usize(v.target_label);
+        enc.put_usize(v.degree);
+    }
+
+    // PGExplainer MLP parameters, when one was trained.
+    match &prepared.pg_explainer {
+        None => enc.put_bool(false),
+        Some(pg) => {
+            enc.put_bool(true);
+            let p = pg.params();
+            for m in [&p.w_src, &p.w_dst, &p.w_tgt, &p.b1, &p.w2, &p.b2] {
+                put_matrix(&mut enc, m);
+            }
+        }
+    }
+    enc.finish()
+}
+
+/// Rebuilds a [`Prepared`] from an encoded payload and the config that
+/// produced it. Every structural invariant is re-checked with `Err` (never a
+/// panic), so arbitrary corruption degrades into a cache miss.
+pub fn decode_prepared(payload: &[u8], config: PipelineConfig) -> Result<Prepared, String> {
+    let mut dec = Decoder::new(payload);
+    let version = dec.get_u32()?;
+    if version != PAYLOAD_VERSION {
+        return Err(format!("payload version {version}, expected {PAYLOAD_VERSION}"));
+    }
+
+    let n = dec.get_usize()?;
+    let n_classes = dec.get_usize()?;
+    let labels = dec.get_usize_vec()?;
+    if labels.len() != n || n_classes == 0 || labels.iter().any(|&l| l >= n_classes) {
+        return Err("corrupt graph labels".to_string());
+    }
+    let features = get_matrix(&mut dec)?;
+    if features.rows() != n {
+        return Err("corrupt feature matrix".to_string());
+    }
+    let bits = dec.get_bits()?;
+    if bits.len() != n * n {
+        return Err("corrupt adjacency bit set".to_string());
+    }
+    let mut adj = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            if bits[i * n + j] {
+                adj[(i, j)] = 1.0;
+            }
+        }
+    }
+    for i in 0..n {
+        if adj[(i, i)] != 0.0 {
+            return Err("corrupt adjacency: self loop".to_string());
+        }
+        for j in (i + 1)..n {
+            if adj[(i, j)] != adj[(j, i)] {
+                return Err("corrupt adjacency: asymmetric".to_string());
+            }
+        }
+    }
+    let graph = Graph::new(adj, features, labels, n_classes);
+
+    let mut params = Vec::with_capacity(4);
+    for _ in 0..4 {
+        params.push(get_matrix(&mut dec)?);
+    }
+    // Full cross-matrix shape check: a corrupt-but-internally-consistent
+    // entry must fail here, not panic later inside a forward pass.
+    let (w1, b1, w2, b2) = (&params[0], &params[1], &params[2], &params[3]);
+    let hidden = w1.cols();
+    let shapes_ok = w1.rows() == graph.num_features()
+        && hidden > 0
+        && b1.rows() == 1
+        && b1.cols() == hidden
+        && w2.rows() == hidden
+        && w2.cols() == n_classes
+        && b2.rows() == 1
+        && b2.cols() == n_classes;
+    if !shapes_ok {
+        return Err("corrupt GCN parameters".to_string());
+    }
+    let model = Gcn::from_params(GcnParams::from_vec(params));
+
+    let split = DataSplit {
+        train: dec.get_usize_vec()?,
+        val: dec.get_usize_vec()?,
+        test: dec.get_usize_vec()?,
+    };
+    if !split.is_partition_of(n) {
+        return Err("corrupt data split".to_string());
+    }
+
+    let victim_count = dec.get_usize()?;
+    if victim_count > n {
+        return Err("corrupt victim count".to_string());
+    }
+    let mut victims = Vec::with_capacity(victim_count);
+    for _ in 0..victim_count {
+        let victim = Victim {
+            node: dec.get_usize()?,
+            true_label: dec.get_usize()?,
+            target_label: dec.get_usize()?,
+            degree: dec.get_usize()?,
+        };
+        if victim.node >= n || victim.true_label >= n_classes || victim.target_label >= n_classes {
+            return Err("corrupt victim record".to_string());
+        }
+        victims.push(victim);
+    }
+
+    let pg_explainer = if dec.get_bool()? {
+        let mut ms = Vec::with_capacity(6);
+        for _ in 0..6 {
+            ms.push(get_matrix(&mut dec)?);
+        }
+        let [w_src, w_dst, w_tgt, b1, w2, b2]: [Matrix; 6] = ms.try_into().expect("six matrices");
+        // MLP shape contract: three embedding_dim x h blocks feeding a 1 x h
+        // bias and an h x 1 output layer, where the embedding dimension is
+        // the GCN's hidden width (the explainer scores hidden-layer
+        // embeddings) and h comes from the explainer config.
+        let h = config.pgexplainer.hidden;
+        let embedding_dim = model.hidden();
+        let mlp_ok = [&w_src, &w_dst, &w_tgt]
+            .iter()
+            .all(|w| w.rows() == embedding_dim && w.cols() == h)
+            && b1.rows() == 1
+            && b1.cols() == h
+            && w2.rows() == h
+            && w2.cols() == 1
+            && b2.rows() == 1
+            && b2.cols() == 1;
+        if !mlp_ok {
+            return Err("corrupt PGExplainer parameters".to_string());
+        }
+        Some(PgExplainer::from_parts(
+            config.pgexplainer.clone(),
+            PgMlpParams {
+                w_src,
+                w_dst,
+                w_tgt,
+                b1,
+                w2,
+                b2,
+            },
+        ))
+    } else {
+        None
+    };
+    if (config.explainer == ExplainerKind::PgExplainer) != pg_explainer.is_some() {
+        return Err("cached explainer state does not match the requested inspector".to_string());
+    }
+    dec.finish()?;
+
+    Ok(Prepared::from_parts(graph, model, split, victims, pg_explainer, config))
+}
+
+/// [`prepare`] with optional on-disk memoization: on a hit the experiment is
+/// decoded instead of retrained; on a miss (or after evicting a corrupt
+/// entry) it is computed and persisted. Without a store this is exactly
+/// [`prepare`].
+pub fn prepare_cached(config: PipelineConfig, cache: Option<&CacheStore>) -> Prepared {
+    prepare_cached_salted(config, cache, CODE_VERSION_SALT)
+}
+
+/// [`prepare_cached`] under an explicit code-version salt.
+pub fn prepare_cached_salted(config: PipelineConfig, cache: Option<&CacheStore>, salt: &str) -> Prepared {
+    let Some(store) = cache else {
+        return prepare(config);
+    };
+    let key = cache_key_salted(&config, salt);
+    if let Some(payload) = store.load(&key) {
+        match decode_prepared(&payload, config.clone()) {
+            Ok(prepared) => {
+                store.record_hit();
+                return prepared;
+            }
+            Err(e) => {
+                eprintln!("cache: evicting corrupt entry {key}: {e}");
+                store.evict(&key);
+            }
+        }
+    }
+    store.record_miss();
+    let prepared = prepare(config);
+    if let Err(e) = store.store(&key, &encode_prepared(&prepared)) {
+        eprintln!("cache: warning: could not persist entry {key}: {e}");
+    }
+    prepared
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluation::summarize_run;
+    use crate::pipeline::{run_attacker_kind, AttackerKind};
+    use geattack_graph::datasets::{DatasetName, GeneratorConfig};
+
+    fn tiny_config(seed: u64) -> PipelineConfig {
+        let mut config = PipelineConfig::quick(DatasetName::Cora, seed);
+        config.generator = GeneratorConfig::at_scale(0.06, seed);
+        config.set_victim_count(4);
+        config.gnnexplainer.epochs = 10;
+        config
+    }
+
+    /// A fresh store under the system temp dir, cleaned up on drop.
+    struct TempStore {
+        store: CacheStore,
+    }
+
+    impl TempStore {
+        fn new(tag: &str) -> Self {
+            let dir = std::env::temp_dir().join(format!("geattack-persist-{}-{tag}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            Self {
+                store: CacheStore::open(dir).expect("temp cache opens"),
+            }
+        }
+    }
+
+    impl Drop for TempStore {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(self.store.dir());
+        }
+    }
+
+    #[test]
+    fn cache_key_tracks_preparation_inputs_only() {
+        let base = cache_key(&tiny_config(7));
+        assert_eq!(base.len(), 32);
+        assert_eq!(base, cache_key(&tiny_config(7)), "keys are deterministic");
+        assert_ne!(base, cache_key(&tiny_config(8)), "seed changes the key");
+
+        let mut other = tiny_config(7);
+        other.train.hidden += 1;
+        assert_ne!(base, cache_key(&other), "training config changes the key");
+
+        let mut scheduling = tiny_config(7);
+        scheduling.parallel = !scheduling.parallel;
+        scheduling.detection_k += 1;
+        scheduling.gnnexplainer.epochs += 5;
+        assert_eq!(
+            base,
+            cache_key(&scheduling),
+            "scheduling and attack-time knobs must not change the key"
+        );
+
+        let mut pg = tiny_config(7);
+        pg.explainer = ExplainerKind::PgExplainer;
+        let pg_base = cache_key(&pg);
+        assert_ne!(base, pg_base, "the inspector kind changes the key");
+        let mut pg2 = pg.clone();
+        pg2.pgexplainer.epochs += 1;
+        assert_ne!(
+            pg_base,
+            cache_key(&pg2),
+            "PGExplainer training config is part of the key"
+        );
+
+        assert_ne!(
+            cache_key_salted(&tiny_config(7), "prepare-v1"),
+            cache_key_salted(&tiny_config(7), "prepare-v2"),
+            "bumping the version salt invalidates every key"
+        );
+    }
+
+    #[test]
+    fn encode_decode_round_trips_the_experiment_exactly() {
+        let prepared = prepare(tiny_config(11));
+        let payload = encode_prepared(&prepared);
+        let decoded = decode_prepared(&payload, tiny_config(11)).expect("payload decodes");
+
+        assert_eq!(decoded.graph.adjacency(), prepared.graph.adjacency());
+        assert_eq!(decoded.graph.features(), prepared.graph.features());
+        assert_eq!(decoded.graph.labels(), prepared.graph.labels());
+        assert_eq!(decoded.split, prepared.split);
+        assert_eq!(decoded.victims.len(), prepared.victims.len());
+        for (a, b) in decoded.victims.iter().zip(&prepared.victims) {
+            assert_eq!(
+                (a.node, a.true_label, a.target_label, a.degree),
+                (b.node, b.true_label, b.target_label, b.degree)
+            );
+        }
+        // The decisive equivalence: attacking the decoded experiment produces
+        // bit-identical outcomes to attacking the original.
+        let fresh = run_attacker_kind(&prepared, AttackerKind::FgaT);
+        let cached = run_attacker_kind(&decoded, AttackerKind::FgaT);
+        let a = summarize_run("FGA-T", &fresh);
+        let b = summarize_run("FGA-T", &cached);
+        assert_eq!(a.asr_t.to_bits(), b.asr_t.to_bits());
+        assert_eq!(a.f1.to_bits(), b.f1.to_bits());
+        assert_eq!(a.ndcg.to_bits(), b.ndcg.to_bits());
+    }
+
+    #[test]
+    fn pg_explainer_state_round_trips() {
+        let mut config = tiny_config(13);
+        config.explainer = ExplainerKind::PgExplainer;
+        config.pgexplainer.epochs = 1;
+        config.pgexplainer.training_instances = 4;
+        let prepared = prepare(config.clone());
+        let decoded = decode_prepared(&encode_prepared(&prepared), config.clone()).expect("decodes");
+        let original = prepared.pg_explainer.as_ref().expect("trained");
+        let restored = decoded.pg_explainer.as_ref().expect("restored");
+        assert_eq!(restored.params().w2, original.params().w2);
+        assert_eq!(restored.params().b1, original.params().b1);
+
+        // A payload without PGExplainer state must not satisfy a PG config.
+        let gnn_payload = encode_prepared(&prepare(tiny_config(13)));
+        let err = decode_prepared(&gnn_payload, config).map(|_| ()).unwrap_err();
+        assert!(err.contains("does not match the requested inspector"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_payloads_error_instead_of_panicking() {
+        let prepared = prepare(tiny_config(17));
+        let payload = encode_prepared(&prepared);
+        assert!(decode_prepared(&payload[..payload.len() / 2], tiny_config(17)).is_err());
+        assert!(decode_prepared(&[], tiny_config(17)).is_err());
+        let mut flipped = payload.clone();
+        // Flip a label byte near the front (inside the label vector).
+        flipped[30] ^= 0xff;
+        assert!(decode_prepared(&flipped, tiny_config(17)).is_err());
+    }
+
+    #[test]
+    fn self_consistent_but_wrong_shapes_are_rejected() {
+        // A transposed weight matrix survives get_matrix's rows*cols check
+        // (same element count) — only the cross-matrix shape validation can
+        // catch it, turning a would-be forward-pass panic into a cache miss.
+        let prepared = prepare(tiny_config(31));
+        let p = prepared.model.params();
+        let transposed = Matrix::from_vec(p.w2.cols(), p.w2.rows(), p.w2.as_slice().to_vec());
+        let bad_model = Gcn::from_params(GcnParams {
+            w1: p.w1.clone(),
+            b1: p.b1.clone(),
+            w2: transposed,
+            b2: p.b2.clone(),
+        });
+        let tampered = Prepared::from_parts(
+            prepared.graph.clone(),
+            bad_model,
+            prepared.split.clone(),
+            prepared.victims.clone(),
+            None,
+            tiny_config(31),
+        );
+        let err = decode_prepared(&encode_prepared(&tampered), tiny_config(31))
+            .map(|_| ())
+            .unwrap_err();
+        assert!(err.contains("corrupt GCN parameters"), "{err}");
+
+        // Same trap for the PGExplainer MLP output layer (h x 1 -> 1 x h).
+        let mut config = tiny_config(31);
+        config.explainer = ExplainerKind::PgExplainer;
+        config.pgexplainer.epochs = 1;
+        config.pgexplainer.training_instances = 4;
+        let prepared = prepare(config.clone());
+        let pg = prepared.pg_explainer.clone().expect("trained");
+        let mlp = pg.params();
+        let bad_pg = PgExplainer::from_parts(
+            config.pgexplainer.clone(),
+            PgMlpParams {
+                w_src: mlp.w_src.clone(),
+                w_dst: mlp.w_dst.clone(),
+                w_tgt: mlp.w_tgt.clone(),
+                b1: mlp.b1.clone(),
+                w2: Matrix::from_vec(mlp.w2.cols(), mlp.w2.rows(), mlp.w2.as_slice().to_vec()),
+                b2: mlp.b2.clone(),
+            },
+        );
+        let tampered = Prepared::from_parts(
+            prepared.graph.clone(),
+            prepared.model.clone(),
+            prepared.split.clone(),
+            prepared.victims.clone(),
+            Some(bad_pg),
+            config.clone(),
+        );
+        let err = decode_prepared(&encode_prepared(&tampered), config)
+            .map(|_| ())
+            .unwrap_err();
+        assert!(err.contains("corrupt PGExplainer parameters"), "{err}");
+    }
+
+    #[test]
+    fn prepare_cached_hits_after_a_cold_miss() {
+        let t = TempStore::new("hit");
+        let cold = prepare_cached(tiny_config(19), Some(&t.store));
+        let counters = t.store.counters();
+        assert_eq!((counters.hits, counters.misses), (0, 1));
+        assert_eq!(t.store.entry_count(), 1);
+
+        let warm = prepare_cached(tiny_config(19), Some(&t.store));
+        let counters = t.store.counters();
+        assert_eq!((counters.hits, counters.misses), (1, 1));
+        assert_eq!(warm.graph.adjacency(), cold.graph.adjacency());
+        assert_eq!(warm.victims.len(), cold.victims.len());
+
+        // No store → plain prepare, no counters involved.
+        let plain = prepare_cached(tiny_config(19), None);
+        assert_eq!(plain.victims.len(), cold.victims.len());
+    }
+
+    #[test]
+    fn corrupted_entry_is_evicted_and_recomputed() {
+        let t = TempStore::new("corrupt");
+        let cold = prepare_cached(tiny_config(23), Some(&t.store));
+        let key = cache_key(&tiny_config(23));
+        // Truncate the committed entry to garbage (keep the envelope valid so
+        // the *payload* decoder is what trips).
+        let path = t.store.entry_path(&key);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..20]).unwrap();
+
+        let recovered = prepare_cached(tiny_config(23), Some(&t.store));
+        let counters = t.store.counters();
+        assert_eq!(counters.evictions, 1, "corrupt entry evicted");
+        assert_eq!(counters.misses, 2, "recomputed after eviction");
+        assert_eq!(recovered.graph.adjacency(), cold.graph.adjacency());
+        // The recomputed entry was re-persisted and now hits.
+        let warm = prepare_cached(tiny_config(23), Some(&t.store));
+        assert_eq!(t.store.counters().hits, 1);
+        assert_eq!(warm.split, cold.split);
+    }
+
+    #[test]
+    fn version_salt_bump_invalidates_without_evicting() {
+        let t = TempStore::new("salt");
+        prepare_cached_salted(tiny_config(29), Some(&t.store), "prepare-v1");
+        prepare_cached_salted(tiny_config(29), Some(&t.store), "prepare-v2");
+        let counters = t.store.counters();
+        assert_eq!(counters.hits, 0, "a new salt never hits old entries");
+        assert_eq!(counters.misses, 2);
+        assert_eq!(counters.evictions, 0, "old entries are orphaned, not destroyed");
+        assert_eq!(t.store.entry_count(), 2, "both salted entries coexist");
+        // Back on the old salt, the original entry still hits.
+        prepare_cached_salted(tiny_config(29), Some(&t.store), "prepare-v1");
+        assert_eq!(t.store.counters().hits, 1);
+    }
+}

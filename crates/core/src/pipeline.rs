@@ -320,6 +320,27 @@ pub struct Prepared {
 }
 
 impl Prepared {
+    /// Reassembles an experiment from persisted parts plus the configuration
+    /// that (by cache-key construction) produced them. Only the persistence
+    /// layer should need this; everything else goes through [`prepare`].
+    pub(crate) fn from_parts(
+        graph: Graph,
+        model: Gcn,
+        split: DataSplit,
+        victims: Vec<Victim>,
+        pg_explainer: Option<PgExplainer>,
+        config: PipelineConfig,
+    ) -> Prepared {
+        Prepared {
+            graph,
+            model,
+            split,
+            victims,
+            pg_explainer,
+            config,
+        }
+    }
+
     /// Read access to the configuration used to prepare this experiment.
     pub fn config(&self) -> &PipelineConfig {
         &self.config

@@ -16,4 +16,4 @@ pub mod pgexplainer;
 pub use explainer::{Explainer, Explanation};
 pub use gnnexplainer::{GnnExplainer, GnnExplainerConfig};
 pub use metrics::{detection_scores, mean_scores, DetectionScores};
-pub use pgexplainer::{PgExplainer, PgExplainerConfig};
+pub use pgexplainer::{PgExplainer, PgExplainerConfig, PgMlpParams};

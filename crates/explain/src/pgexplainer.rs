@@ -217,6 +217,12 @@ impl PgExplainer {
         &self.params
     }
 
+    /// Reassembles an explainer from a config and already-trained parameters
+    /// (the experiment cache restores persisted explainers through this).
+    pub fn from_parts(config: PgExplainerConfig, params: PgMlpParams) -> Self {
+        Self { config, params }
+    }
+
     /// Records the MLP parameters on a tape as constants.
     pub fn insert_params_frozen(&self, tape: &Tape) -> PgMlpVars {
         let p = &self.params;
