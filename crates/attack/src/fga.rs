@@ -8,10 +8,7 @@
 
 use geattack_graph::Perturbation;
 
-use crate::{
-    best_candidate_by_gradient, candidate_endpoints, targeted_loss_gradient, untargeted_loss_gradient, AttackContext,
-    TargetedAttack,
-};
+use crate::{best_candidate_by_gradient, candidate_endpoints, AttackContext, LossGradients, TargetedAttack};
 
 /// Untargeted fast-gradient attack.
 #[derive(Clone, Copy, Debug, Default)]
@@ -36,6 +33,9 @@ fn greedy_gradient_attack(
 ) -> Perturbation {
     let mut perturbation = Perturbation::new();
     let mut working = ctx.graph.clone();
+    // Features never change across insertions; the X·W₁ projection is shared by
+    // every per-insertion gradient call.
+    let gradients = LossGradients::new(ctx.model, ctx.graph.features());
 
     for _ in 0..ctx.budget {
         let mut candidates = candidate_endpoints(&working, ctx.target, exclude);
@@ -53,9 +53,9 @@ fn greedy_gradient_attack(
             break;
         }
         let grad = if targeted {
-            targeted_loss_gradient(ctx.model, &working, ctx.target, ctx.target_label)
+            gradients.targeted(&working, ctx.target, ctx.target_label)
         } else {
-            untargeted_loss_gradient(ctx.model, &working, ctx.target)
+            gradients.untargeted(&working, ctx.target)
         };
         let Some(best) = best_candidate_by_gradient(&grad, ctx.target, &candidates) else {
             break;

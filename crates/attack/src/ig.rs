@@ -10,9 +10,9 @@
 //! (the row-restricted variant of the original attack; see `DESIGN.md`).
 
 use geattack_graph::{Graph, Perturbation};
-use geattack_tensor::{grad::grad_values, nn, Matrix, Tape};
+use geattack_tensor::SparseMatrix;
 
-use crate::{candidate_endpoints, undirected_entry, AttackContext, TargetedAttack};
+use crate::{candidate_endpoints, undirected_entry, AttackContext, LossGradients, TargetGradient, TargetedAttack};
 
 /// Configuration of IG-Attack.
 #[derive(Clone, Debug)]
@@ -42,27 +42,77 @@ impl IgAttack {
 
     /// Integrated gradients of the targeted loss with respect to the adjacency
     /// matrix, along the path that switches the candidate edges `(target, v)` on.
-    pub fn integrated_gradients(&self, ctx: &AttackContext<'_>, graph: &Graph, candidates: &[usize]) -> Matrix {
+    ///
+    /// Each interpolation point is a **weighted** sparse adjacency (the clean
+    /// edges at `1.0` plus the candidate entries at `α`), so every one of the `m`
+    /// backward passes runs through the candidate-masked sparse gradient instead
+    /// of a dense `n×n` tape.
+    pub fn integrated_gradients(&self, ctx: &AttackContext<'_>, graph: &Graph, candidates: &[usize]) -> TargetGradient {
+        let gradients = LossGradients::new(ctx.model, graph.features());
+        self.integrated_gradients_with(&gradients, ctx, graph, candidates)
+    }
+
+    fn integrated_gradients_with(
+        &self,
+        gradients: &LossGradients<'_>,
+        ctx: &AttackContext<'_>,
+        graph: &Graph,
+        candidates: &[usize],
+    ) -> TargetGradient {
         let n = graph.num_nodes();
-        let mut accumulated = Matrix::zeros(n, n);
         let steps = self.config.steps.max(1);
+        let mut candidate_mask = vec![false; n];
+        for &v in candidates {
+            candidate_mask[v] = true;
+        }
+        let base = graph.to_csr();
+
+        let mut accumulated: Option<TargetGradient> = None;
         for k in 1..=steps {
             let alpha = k as f64 / steps as f64;
-            let mut interpolated = graph.adjacency().clone();
-            for &v in candidates {
-                interpolated[(ctx.target, v)] = alpha;
-                interpolated[(v, ctx.target)] = alpha;
-            }
-            let tape = Tape::new();
-            let a = tape.input(interpolated);
-            let x = tape.constant(graph.features().clone());
-            let params = ctx.model.insert_params_frozen(&tape);
-            let log_probs = ctx.model.log_probs_from_raw_adj(&tape, a, x, &params);
-            let loss = nn::node_class_nll(&tape, log_probs, ctx.target, ctx.target_label, ctx.model.num_classes());
-            let grad = grad_values(&tape, loss, &[a]).remove(0);
-            accumulated.add_assign(&grad);
+            // Clean rows keep weight 1.0; the candidate entries (target, v) and
+            // (v, target) are switched on at weight α (candidates are
+            // non-neighbors, so insertion never collides with an edge).
+            let rows: Vec<Vec<(usize, f64)>> = (0..n)
+                .map(|i| {
+                    let neighbors = base.neighbors(i);
+                    let mut row: Vec<(usize, f64)> = Vec::with_capacity(neighbors.len() + 1);
+                    if i == ctx.target {
+                        let mut cursor = 0usize;
+                        for (j, &is_candidate) in candidate_mask.iter().enumerate() {
+                            if cursor < neighbors.len() && neighbors[cursor] == j {
+                                row.push((j, 1.0));
+                                cursor += 1;
+                            } else if is_candidate {
+                                row.push((j, alpha));
+                            }
+                        }
+                    } else {
+                        let mut inserted = !candidate_mask[i];
+                        for &j in neighbors {
+                            if !inserted && j >= ctx.target {
+                                if j != ctx.target {
+                                    row.push((ctx.target, alpha));
+                                }
+                                inserted = true;
+                            }
+                            row.push((j, 1.0));
+                        }
+                        if !inserted {
+                            row.push((ctx.target, alpha));
+                        }
+                    }
+                    row
+                })
+                .collect();
+            let interpolated = SparseMatrix::from_rows(n, n, &rows);
+            let grad = gradients.at_raw(&interpolated, ctx.target, ctx.target_label, false);
+            accumulated = Some(match accumulated {
+                None => grad,
+                Some(acc) => acc.accumulated(&grad),
+            });
         }
-        accumulated.scale(1.0 / steps as f64)
+        accumulated.expect("at least one step").scaled(1.0 / steps as f64)
     }
 }
 
@@ -70,13 +120,14 @@ impl TargetedAttack for IgAttack {
     fn attack(&self, ctx: &AttackContext<'_>) -> Perturbation {
         let mut perturbation = Perturbation::new();
         let mut working = ctx.graph.clone();
+        let gradients = LossGradients::new(ctx.model, ctx.graph.features());
 
         for _ in 0..ctx.budget {
             let candidates = candidate_endpoints(&working, ctx.target, &[]);
             if candidates.is_empty() {
                 break;
             }
-            let ig = self.integrated_gradients(ctx, &working, &candidates);
+            let ig = self.integrated_gradients_with(&gradients, ctx, &working, &candidates);
             let best = candidates
                 .iter()
                 .copied()
@@ -175,8 +226,45 @@ mod tests {
         let candidates = candidate_endpoints(&graph, victim, &[]);
         let coarse = IgAttack::new(IgConfig { steps: 2 }).integrated_gradients(&ctx, &graph, &candidates);
         let fine = IgAttack::new(IgConfig { steps: 8 }).integrated_gradients(&ctx, &graph, &candidates);
-        assert_eq!(coarse.shape(), fine.shape());
+        assert_eq!(coarse.num_nodes(), fine.num_nodes());
         assert!(!coarse.has_non_finite());
         assert!(!fine.has_non_finite());
+    }
+
+    #[test]
+    fn sparse_interpolation_matches_dense_interpolation() {
+        // One IG step's interpolated adjacency gradient through the sparse core
+        // must match the dense tape on the same weighted matrix.
+        let (graph, model) = small_setup(45);
+        let (victim, target_label) = pick_victim(&graph, &model);
+        let ctx = AttackContext {
+            model: &model,
+            graph: &graph,
+            target: victim,
+            target_label,
+            budget: 1,
+        };
+        let candidates: Vec<usize> = candidate_endpoints(&graph, victim, &[]).into_iter().take(6).collect();
+        let sparse = IgAttack::new(IgConfig { steps: 1 }).integrated_gradients(&ctx, &graph, &candidates);
+
+        // Dense oracle: α = 1 interpolation point.
+        let mut interpolated = graph.adjacency().clone();
+        for &v in &candidates {
+            interpolated[(victim, v)] = 1.0;
+            interpolated[(v, victim)] = 1.0;
+        }
+        let dense =
+            crate::dense_adjacency_gradient(&model, &interpolated, graph.features(), victim, target_label, false);
+        for v in 0..graph.num_nodes() {
+            if v == victim {
+                continue;
+            }
+            let expected = dense[(victim, v)] + dense[(v, victim)];
+            assert!(
+                (sparse.undirected(v) - expected).abs() < 1e-8,
+                "IG sparse/dense mismatch at candidate {v}: {} vs {expected}",
+                sparse.undirected(v)
+            );
+        }
     }
 }

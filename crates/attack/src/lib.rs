@@ -19,7 +19,7 @@
 
 use geattack_gnn::Gcn;
 use geattack_graph::{Graph, Perturbation};
-use geattack_tensor::{grad::grad_values, nn, Matrix, Tape};
+use geattack_tensor::{grad::grad_full, grad::grad_values, nn, Matrix, SparseMatrix, Tape};
 
 pub mod fga;
 pub mod fga_te;
@@ -81,47 +81,296 @@ pub fn candidate_endpoints(graph: &Graph, target: usize, exclude: &[usize]) -> V
         .collect()
 }
 
-/// Gradient of the targeted attack loss
-/// `L_GNN = -log f(A, X)^{ŷ}_{target}` (Eq. 4) with respect to the raw adjacency
-/// matrix, evaluated at `graph`.
+/// The adjacency gradient a direct attack actually consumes: the target's row
+/// `∂L/∂A[target, ·]` and column `∂L/∂A[·, target]`, nothing else.
 ///
-/// Because the loss is to be **minimized** by edge insertions, candidates with the
-/// most negative gradient entries are the most attractive.
-pub fn targeted_loss_gradient(model: &Gcn, graph: &Graph, target: usize, target_label: usize) -> Matrix {
+/// Every attack in this crate (and GEAttack's outer loop) only ever reads the
+/// gradient at candidate endpoints of one target node, so materializing the full
+/// `n×n` gradient is pure waste. The sparse backward produces exactly these `2n`
+/// entries through a candidate-masked SDDMM at `O((nnz + n)·f)` instead of the
+/// dense `O(n²·f)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TargetGradient {
+    target: usize,
+    /// `∂L/∂A[target, v]` for every `v`.
+    row: Vec<f64>,
+    /// `∂L/∂A[v, target]` for every `v`.
+    col: Vec<f64>,
+}
+
+impl TargetGradient {
+    /// The target node this gradient slice belongs to.
+    pub fn target(&self) -> usize {
+        self.target
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.row.len()
+    }
+
+    /// Symmetrized score of inserting the undirected edge `(target, v)`:
+    /// `∂L/∂A[target, v] + ∂L/∂A[v, target]`.
+    pub fn undirected(&self, v: usize) -> f64 {
+        self.row[v] + self.col[v]
+    }
+
+    /// Extracts the target's row and column from a dense gradient matrix (the
+    /// dense-oracle path and tests).
+    pub fn from_dense(grad: &Matrix, target: usize) -> Self {
+        let n = grad.rows();
+        Self {
+            target,
+            row: grad.row(target).to_vec(),
+            col: (0..n).map(|v| grad[(v, target)]).collect(),
+        }
+    }
+
+    /// Element-wise sum with another slice of the same target (IG accumulation).
+    pub fn accumulated(&self, other: &TargetGradient) -> TargetGradient {
+        assert_eq!(self.target, other.target, "cannot accumulate different targets");
+        assert_eq!(self.row.len(), other.row.len());
+        TargetGradient {
+            target: self.target,
+            row: self.row.iter().zip(&other.row).map(|(a, b)| a + b).collect(),
+            col: self.col.iter().zip(&other.col).map(|(a, b)| a + b).collect(),
+        }
+    }
+
+    /// Every entry multiplied by `s` (IG averaging).
+    pub fn scaled(&self, s: f64) -> TargetGradient {
+        TargetGradient {
+            target: self.target,
+            row: self.row.iter().map(|v| v * s).collect(),
+            col: self.col.iter().map(|v| v * s).collect(),
+        }
+    }
+
+    /// `true` if any entry is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.row.iter().chain(&self.col).any(|v| !v.is_finite())
+    }
+}
+
+/// Dense-oracle gradient of a loss `±log f(A, X)^{class}_{target}` with respect
+/// to the **full** raw adjacency matrix, with the GCN normalization inside the
+/// tape. Kept (always compiled) as the reference the sparse path is tested
+/// against; `negate` selects the untargeted `+log p` variant.
+pub fn dense_adjacency_gradient(
+    model: &Gcn,
+    adjacency: &Matrix,
+    features: &Matrix,
+    target: usize,
+    class: usize,
+    negate: bool,
+) -> Matrix {
     let tape = Tape::new();
-    let a = tape.input(graph.adjacency().clone());
-    let x = tape.constant(graph.features().clone());
+    let a = tape.input(adjacency.clone());
+    let x = tape.constant(features.clone());
     let params = model.insert_params_frozen(&tape);
     let log_probs = model.log_probs_from_raw_adj(&tape, a, x, &params);
-    let loss = nn::node_class_nll(&tape, log_probs, target, target_label, model.num_classes());
+    let nll = nn::node_class_nll(&tape, log_probs, target, class, model.num_classes());
+    let loss = if negate { tape.mul_scalar(nll, -1.0) } else { nll };
     grad_values(&tape, loss, &[a]).remove(0)
+}
+
+/// Candidate-masked sparse gradient of `±log f(A, X)^{class}_{target}` with
+/// respect to the **raw** adjacency, returned as the target's row and column.
+///
+/// The forward pass runs on the SpMM core over the sparse normalized adjacency
+/// `Ã = D^{-1/2}(A + I)D^{-1/2}`; the backward requests `∂L/∂Ã` only at the
+/// stored entries plus the target's full row and column (the candidate
+/// endpoints), then applies the normalization chain rule in closed form:
+///
+/// ```text
+/// ∂L/∂a_pq = G̃_pq·s_p·s_q − (r_p + c_p) / (2·d_p)
+/// r_p = Σ_j G̃_pj·ã_pj ,  c_p = Σ_i G̃_ip·ã_ip ,  s_p = d_p^{-1/2}
+/// ```
+///
+/// where `G̃ = ∂L/∂Ã` and the `r`/`c` sums run over stored entries only (`ã` is
+/// zero elsewhere). This accounts exactly for the degree renormalization an edge
+/// insertion causes — the same quantity the dense tape computes by
+/// differentiating through `gcn_normalize` — at `O((nnz + n)·f)` cost.
+pub fn sparse_adjacency_gradient(
+    model: &Gcn,
+    raw: &SparseMatrix,
+    features: &Matrix,
+    target: usize,
+    class: usize,
+    negate: bool,
+) -> TargetGradient {
+    let xw1 = features.matmul(&model.params().w1);
+    sparse_adjacency_gradient_projected(model, raw, &xw1, target, class, negate)
+}
+
+/// [`sparse_adjacency_gradient`] with the adjacency-independent feature
+/// projection `X·W₁` supplied by the caller — greedy attacks recompute the
+/// gradient after every edge insertion, and the projection never changes.
+pub fn sparse_adjacency_gradient_projected(
+    model: &Gcn,
+    raw: &SparseMatrix,
+    xw1_value: &Matrix,
+    target: usize,
+    class: usize,
+    negate: bool,
+) -> TargetGradient {
+    let n = raw.rows();
+    let norm = geattack_graph::normalize_sparse(raw);
+
+    // Gradient positions: every stored entry of Ã (row-major, needed by the
+    // r/c sums), then the unstored entries of the target's row and column (the
+    // candidate endpoints).
+    let mut positions = norm.matrix.stored_positions();
+    let nnz = positions.len();
+    let target_row_stored: Vec<bool> = {
+        let mut stored = vec![false; n];
+        for &j in norm.matrix.row_indices(target) {
+            stored[j] = true;
+        }
+        stored
+    };
+    for (v, &stored) in target_row_stored.iter().enumerate() {
+        if !stored {
+            positions.push((target, v));
+            positions.push((v, target));
+        }
+    }
+
+    let tape = Tape::new();
+    let a = tape.sparse_input(norm.matrix.clone(), positions.clone());
+    let xw1 = tape.constant(xw1_value.clone());
+    let params = model.insert_params_frozen(&tape);
+    let log_probs = model.log_probs_sparse_projected(&tape, a, xw1, &params);
+    let nll = nn::node_class_nll(&tape, log_probs, target, class, model.num_classes());
+    let loss = if negate { tape.mul_scalar(nll, -1.0) } else { nll };
+    let (_, mut sparse_grads) = grad_full(&tape, loss, &[], &[a]);
+    let gt = sparse_grads.pop().expect("one sparse operand was requested");
+
+    // r_p / c_p over the stored entries (the first `nnz` positions, in the same
+    // row-major order the CSR iterates).
+    let mut r = vec![0.0; n];
+    let mut c = vec![0.0; n];
+    let mut idx = 0;
+    for (i, r_i) in r.iter_mut().enumerate() {
+        for (&j, &v) in norm.matrix.row_indices(i).iter().zip(norm.matrix.row_values(i)) {
+            let g = gt[idx];
+            idx += 1;
+            *r_i += g * v;
+            c[j] += g * v;
+        }
+    }
+    debug_assert_eq!(idx, nnz);
+
+    // G̃ on the target's full row and column (stored values from the first
+    // block, candidate values from the tail).
+    let mut row_gt = vec![0.0; n];
+    let mut col_gt = vec![0.0; n];
+    for (k, &(i, j)) in positions.iter().enumerate() {
+        if i == target {
+            row_gt[j] = gt[k];
+        }
+        if j == target {
+            col_gt[i] = gt[k];
+        }
+    }
+
+    let s = &norm.inv_sqrt;
+    let d = &norm.degrees;
+    let target_term = (r[target] + c[target]) / (2.0 * d[target]);
+    let mut row = vec![0.0; n];
+    let mut col = vec![0.0; n];
+    for v in 0..n {
+        if v == target {
+            continue;
+        }
+        row[v] = row_gt[v] * s[target] * s[v] - target_term;
+        col[v] = col_gt[v] * s[v] * s[target] - (r[v] + c[v]) / (2.0 * d[v]);
+    }
+    TargetGradient { target, row, col }
+}
+
+/// Re-usable state for repeated adjacency-gradient calls against one frozen
+/// model and one feature matrix.
+///
+/// A greedy attack recomputes the loss gradient after every edge insertion, but
+/// the feature projection `X·W₁` is independent of the adjacency — computing it
+/// once here and reusing it removes an `n·d·h` matmul per gradient call.
+/// Results are bit-identical to the one-shot [`targeted_loss_gradient`] /
+/// [`untargeted_loss_gradient`] helpers, which are themselves thin wrappers
+/// around this type.
+pub struct LossGradients<'a> {
+    model: &'a Gcn,
+    features: &'a Matrix,
+    xw1: Matrix,
+}
+
+impl<'a> LossGradients<'a> {
+    /// Prepares the reusable state (one `X·W₁` projection).
+    pub fn new(model: &'a Gcn, features: &'a Matrix) -> Self {
+        Self {
+            model,
+            features,
+            xw1: features.matmul(&model.params().w1),
+        }
+    }
+
+    /// Gradient of `±log f(A, X)^{class}_{target}` for an arbitrary weighted raw
+    /// adjacency, through the compiled-in compute core (sparse masked-SDDMM by
+    /// default, dense under the `dense-oracle` feature).
+    pub fn at_raw(&self, raw: &SparseMatrix, target: usize, class: usize, negate: bool) -> TargetGradient {
+        #[cfg(feature = "dense-oracle")]
+        {
+            let _ = &self.xw1;
+            let grad = dense_adjacency_gradient(self.model, &raw.to_dense(), self.features, target, class, negate);
+            TargetGradient::from_dense(&grad, target)
+        }
+        #[cfg(not(feature = "dense-oracle"))]
+        {
+            let _ = self.features;
+            sparse_adjacency_gradient_projected(self.model, raw, &self.xw1, target, class, negate)
+        }
+    }
+
+    /// Targeted attack-loss gradient (Eq. 4) at `graph`'s candidate endpoints.
+    pub fn targeted(&self, graph: &Graph, target: usize, target_label: usize) -> TargetGradient {
+        self.at_raw(&graph.to_csr().to_sparse(), target, target_label, false)
+    }
+
+    /// Untargeted attack-loss gradient at `graph`'s candidate endpoints.
+    pub fn untargeted(&self, graph: &Graph, target: usize) -> TargetGradient {
+        self.at_raw(&graph.to_csr().to_sparse(), target, graph.label(target), true)
+    }
+}
+
+/// Gradient of the targeted attack loss
+/// `L_GNN = -log f(A, X)^{ŷ}_{target}` (Eq. 4) with respect to the raw adjacency
+/// matrix at the target's candidate endpoints, evaluated at `graph`.
+///
+/// Because the loss is to be **minimized** by edge insertions, candidates with the
+/// most negative gradient entries are the most attractive. Loops that call this
+/// repeatedly for one model should hold a [`LossGradients`] instead.
+pub fn targeted_loss_gradient(model: &Gcn, graph: &Graph, target: usize, target_label: usize) -> TargetGradient {
+    LossGradients::new(model, graph.features()).targeted(graph, target, target_label)
 }
 
 /// Gradient of the *untargeted* attack loss `+log f(A, X)^{y_true}_{target}`
 /// (maximizing the cross-entropy of the true label) with respect to the raw
-/// adjacency matrix. Candidates with the most negative entries are most attractive.
-pub fn untargeted_loss_gradient(model: &Gcn, graph: &Graph, target: usize) -> Matrix {
-    let true_label = graph.label(target);
-    let tape = Tape::new();
-    let a = tape.input(graph.adjacency().clone());
-    let x = tape.constant(graph.features().clone());
-    let params = model.insert_params_frozen(&tape);
-    let log_probs = model.log_probs_from_raw_adj(&tape, a, x, &params);
-    // +log p(y_true): decreasing this is what the attacker wants.
-    let nll = nn::node_class_nll(&tape, log_probs, target, true_label, model.num_classes());
-    let loss = tape.mul_scalar(nll, -1.0);
-    grad_values(&tape, loss, &[a]).remove(0)
+/// adjacency matrix at the target's candidate endpoints. Candidates with the
+/// most negative entries are most attractive.
+pub fn untargeted_loss_gradient(model: &Gcn, graph: &Graph, target: usize) -> TargetGradient {
+    LossGradients::new(model, graph.features()).untargeted(graph, target)
 }
 
 /// Combined (symmetrized) gradient score of inserting the undirected edge
 /// `(target, v)`: the sum of the two directed entries.
-pub fn undirected_entry(grad: &Matrix, target: usize, v: usize) -> f64 {
-    grad[(target, v)] + grad[(v, target)]
+pub fn undirected_entry(grad: &TargetGradient, target: usize, v: usize) -> f64 {
+    debug_assert_eq!(target, grad.target(), "gradient slice belongs to a different target");
+    grad.undirected(v)
 }
 
 /// Picks the candidate with the minimum symmetrized gradient entry (the edge whose
 /// insertion most decreases the loss). Returns `None` if `candidates` is empty.
-pub fn best_candidate_by_gradient(grad: &Matrix, target: usize, candidates: &[usize]) -> Option<usize> {
+pub fn best_candidate_by_gradient(grad: &TargetGradient, target: usize, candidates: &[usize]) -> Option<usize> {
     candidates.iter().copied().min_by(|&a, &b| {
         undirected_entry(grad, target, a)
             .partial_cmp(&undirected_entry(grad, target, b))
@@ -200,6 +449,92 @@ mod tests {
             after > before,
             "best gradient edge did not raise target-label probability ({before} -> {after})"
         );
+    }
+
+    #[test]
+    fn sparse_gradient_matches_dense_oracle() {
+        // The candidate-masked sparse gradient must agree with the full dense
+        // tape (which differentiates through gcn_normalize) on every candidate
+        // endpoint, for both the targeted and untargeted losses.
+        let (graph, model) = small_setup(5);
+        let (victim, target_label) = pick_victim(&graph, &model);
+
+        let sparse = targeted_loss_gradient(&model, &graph, victim, target_label);
+        let dense = dense_adjacency_gradient(&model, graph.adjacency(), graph.features(), victim, target_label, false);
+        let max_abs = (0..graph.num_nodes())
+            .map(|v| dense[(victim, v)].abs())
+            .fold(0.0f64, f64::max)
+            .max(1e-12);
+        for v in 0..graph.num_nodes() {
+            if v == victim {
+                continue;
+            }
+            let expected = dense[(victim, v)] + dense[(v, victim)];
+            let got = sparse.undirected(v);
+            assert!(
+                (got - expected).abs() < 1e-8 * (1.0 + max_abs),
+                "targeted gradient mismatch at {v}: {got} vs {expected}"
+            );
+        }
+
+        let sparse = untargeted_loss_gradient(&model, &graph, victim);
+        let dense = dense_adjacency_gradient(
+            &model,
+            graph.adjacency(),
+            graph.features(),
+            victim,
+            graph.label(victim),
+            true,
+        );
+        for v in 0..graph.num_nodes() {
+            if v == victim {
+                continue;
+            }
+            let expected = dense[(victim, v)] + dense[(v, victim)];
+            assert!(
+                (sparse.undirected(v) - expected).abs() < 1e-8,
+                "untargeted gradient mismatch at {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_gradient_matches_finite_differences() {
+        // Directly pin the masked sparse gradient against central differences of
+        // the loss under symmetric edge-weight nudges — the same check gcn.rs
+        // runs for the dense adjacency gradient.
+        let (graph, model) = small_setup(6);
+        let (victim, target_label) = pick_victim(&graph, &model);
+        let sparse = targeted_loss_gradient(&model, &graph, victim, target_label);
+
+        let loss_at = |adj: &Matrix| -> f64 {
+            let tape = Tape::new();
+            let a = tape.input(adj.clone());
+            let x = tape.constant(graph.features().clone());
+            let params = model.insert_params_frozen(&tape);
+            let lp = model.log_probs_from_raw_adj(&tape, a, x, &params);
+            tape.value(nn::node_class_nll(&tape, lp, victim, target_label, model.num_classes()))
+                .scalar()
+        };
+
+        let eps = 1e-5;
+        let candidates: Vec<usize> = candidate_endpoints(&graph, victim, &[]).into_iter().take(4).collect();
+        for &v in &candidates {
+            // Symmetric nudge: the undirected score is the sum of the two
+            // directed entries, matching d/dα L(A + α(e_tv + e_vt)).
+            let mut plus = graph.adjacency().clone();
+            plus[(victim, v)] += eps;
+            plus[(v, victim)] += eps;
+            let mut minus = graph.adjacency().clone();
+            minus[(victim, v)] -= eps;
+            minus[(v, victim)] -= eps;
+            let numeric = (loss_at(&plus) - loss_at(&minus)) / (2.0 * eps);
+            assert!(
+                (sparse.undirected(v) - numeric).abs() < 1e-5,
+                "finite-difference mismatch at candidate {v}: {} vs {numeric}",
+                sparse.undirected(v)
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,59 @@
+//! `spmm_vs_dense`: the sparse compute core against its dense oracle.
+//!
+//! Two shapes at three dataset scales: the raw SpMM forward (normalized
+//! adjacency times the feature matrix) and one full GCN training epoch. The
+//! sparse and dense variants produce bit-identical values, so the delta is pure
+//! compute cost — O(nnz·f) against O(n²·f) per layer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use geattack_gnn::{train_dense_oracle, train_sparse, TrainConfig};
+use geattack_graph::datasets::{load, DatasetName, GeneratorConfig};
+use geattack_graph::{normalized_adjacency, normalized_adjacency_csr, stratified_split};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const SCALES: [f64; 3] = [0.1, 0.2, 0.4];
+
+fn bench_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmm_vs_dense_forward");
+    group.sample_size(10);
+    for scale in SCALES {
+        let graph = load(DatasetName::Cora, &GeneratorConfig::at_scale(scale, 0));
+        let dense = normalized_adjacency(&graph);
+        let sparse = normalized_adjacency_csr(&graph).matrix;
+        let features = graph.features().clone();
+        group.bench_with_input(BenchmarkId::new("dense", scale), &scale, |bencher, _| {
+            bencher.iter(|| std::hint::black_box(dense.matmul(&features)));
+        });
+        group.bench_with_input(BenchmarkId::new("sparse", scale), &scale, |bencher, _| {
+            bencher.iter(|| std::hint::black_box(sparse.spmm(&features)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_train_epoch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmm_vs_dense_train_epoch");
+    group.sample_size(10);
+    let config = TrainConfig {
+        epochs: 1,
+        patience: None,
+        ..Default::default()
+    };
+    for scale in SCALES {
+        let graph = load(DatasetName::Cora, &GeneratorConfig::at_scale(scale, 0));
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let split = stratified_split(graph.labels(), graph.num_classes(), 0.1, 0.1, &mut rng);
+        group.bench_with_input(BenchmarkId::new("dense", scale), &scale, |bencher, _| {
+            bencher.iter(|| std::hint::black_box(train_dense_oracle(&graph, &split, &config)));
+        });
+        group.bench_with_input(BenchmarkId::new("sparse", scale), &scale, |bencher, _| {
+            bencher.iter(|| std::hint::black_box(train_sparse(&graph, &split, &config)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward, bench_train_epoch);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Offline lifecycle management of a `Prepared`-experiment cache directory.
+//!
+//! ```text
+//! geattack-cache stats --cache-dir DIR
+//! geattack-cache gc    --cache-dir DIR --cache-budget-mb N
+//! ```
+//!
+//! `stats` prints the committed entry count and byte total; `gc` prunes the
+//! oldest-mtime entries until the directory fits the budget — the same
+//! LRU-by-mtime policy a sweep run applies online via `--cache-budget-mb`.
+//! Loads never refresh mtimes, so "least recently used" is concretely "least
+//! recently written"; a gc pass therefore always drops the stalest prepared
+//! experiments first.
+
+use geattack_cache::CacheStore;
+
+const USAGE: &str = "usage: geattack-cache <stats|gc> --cache-dir DIR [--cache-budget-mb N]";
+
+fn fail(message: &str) -> ! {
+    eprintln!("{message}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+struct Args {
+    command: String,
+    cache_dir: Option<String>,
+    cache_budget_mb: Option<u64>,
+}
+
+fn parse_args() -> Args {
+    let mut args = std::env::args().skip(1).peekable();
+    let mut parsed = Args {
+        command: String::new(),
+        cache_dir: None,
+        cache_budget_mb: None,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                std::process::exit(0);
+            }
+            "--cache-dir" => match args.next() {
+                Some(dir) if !dir.starts_with('-') => parsed.cache_dir = Some(dir),
+                _ => fail("--cache-dir expects a directory path"),
+            },
+            "--cache-budget-mb" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(mb) => parsed.cache_budget_mb = Some(mb),
+                None => fail("--cache-budget-mb expects an integer MiB value"),
+            },
+            other if other.starts_with('-') => fail(&format!("unknown option: {other}")),
+            other if parsed.command.is_empty() => parsed.command = other.to_string(),
+            other => fail(&format!("unexpected argument: {other}")),
+        }
+    }
+    if parsed.command.is_empty() {
+        fail("expected a subcommand (stats or gc)");
+    }
+    parsed
+}
+
+fn main() {
+    let args = parse_args();
+    let Some(dir) = args.cache_dir.clone() else {
+        fail("--cache-dir is required");
+    };
+    let store = CacheStore::open(&dir).unwrap_or_else(|e| fail(&e));
+
+    match args.command.as_str() {
+        "stats" => {
+            let entries = store.entry_count();
+            let bytes = store.total_bytes();
+            println!("cache {dir}: {entries} entries, {bytes} bytes ({:.1} MiB)", mib(bytes));
+        }
+        "gc" => {
+            let Some(mb) = args.cache_budget_mb else {
+                fail("gc requires --cache-budget-mb");
+            };
+            let stats = store.gc_to_budget(mb.saturating_mul(1024 * 1024));
+            println!(
+                "cache {dir}: examined {} entries, evicted {} ({:.1} MiB -> {:.1} MiB, budget {mb} MiB)",
+                stats.examined,
+                stats.evicted,
+                mib(stats.bytes_before),
+                mib(stats.bytes_after),
+            );
+        }
+        other => fail(&format!("unknown subcommand: {other}")),
+    }
+}
+
+fn mib(bytes: u64) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
+}

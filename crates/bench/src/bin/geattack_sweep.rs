@@ -20,6 +20,9 @@
 //! * `--cache-dir DIR` memoizes prepared experiments on disk: a warm re-run
 //!   decodes them instead of retraining and still writes a byte-identical
 //!   report. Hit/miss/evict counters land in the `.meta.json` sidecar.
+//! * `--cache-budget-mb N` keeps that directory under `N` MiB by pruning the
+//!   oldest-mtime entries after each write (`geattack-cache gc` runs the same
+//!   pruning offline).
 //! * `--dry-run` prints the enumerated cell plan (with shard assignments when
 //!   `--shard` is given) without running anything; `--list-families` prints
 //!   the scenario registry.
@@ -40,6 +43,10 @@ use geattack_scenarios::SweepSpec;
 fn apply_flag_overrides(spec: &mut SweepSpec, options: &Options) {
     if options.dataset.is_some() {
         eprintln!("--dataset does not apply to sweeps; name the families in the spec instead");
+        std::process::exit(2);
+    }
+    if options.cache_budget_mb.is_some() && options.cache_dir.is_none() {
+        eprintln!("--cache-budget-mb requires --cache-dir (there is no cache to bound otherwise)");
         std::process::exit(2);
     }
     if let Some(scale) = options.scale {
@@ -111,6 +118,7 @@ fn main() {
         serial: parsed.options.serial,
         shard: parsed.options.shard,
         cache_dir: parsed.options.cache_dir.clone().map(Into::into),
+        cache_budget_mb: parsed.options.cache_budget_mb,
     };
     let run = run_sweep_options(&spec, &options).unwrap_or_else(|e| {
         eprintln!("sweep failed: {e}");

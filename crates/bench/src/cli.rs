@@ -42,6 +42,10 @@ pub struct Options {
     pub shard: Option<Shard>,
     /// Memoize prepared experiments under this directory (`--cache-dir DIR`).
     pub cache_dir: Option<String>,
+    /// Size budget for the cache directory in MiB (`--cache-budget-mb N`):
+    /// after each write the oldest-mtime entries are pruned until the cache
+    /// fits.
+    pub cache_budget_mb: Option<u64>,
     /// Print the enumerated cell plan instead of running (`--dry-run`).
     pub dry_run: bool,
     /// Print the scenario family registry and exit (`--list-families`).
@@ -58,7 +62,7 @@ pub struct ParsedArgs {
 }
 
 const FLAG_USAGE: &str = "[--quick|--full] [--runs N] [--victims N] [--scale F] [--seed N] [--serial] [--dataset NAME]";
-const SWEEP_FLAG_USAGE: &str = "[--shard I/N] [--cache-dir DIR] [--dry-run] [--list-families]";
+const SWEEP_FLAG_USAGE: &str = "[--shard I/N] [--cache-dir DIR] [--cache-budget-mb N] [--dry-run] [--list-families]";
 
 impl Options {
     /// Parses options from `std::env::args()`, rejecting positional arguments.
@@ -178,7 +182,7 @@ fn parse(
                     None => fail(&format!("unknown dataset: {name}")),
                 }
             }
-            "--shard" | "--cache-dir" | "--dry-run" | "--list-families" if !allow_sweep_flags => {
+            "--shard" | "--cache-dir" | "--cache-budget-mb" | "--dry-run" | "--list-families" if !allow_sweep_flags => {
                 fail(&format!("{arg} is only supported by geattack-sweep"));
             }
             "--shard" => {
@@ -198,6 +202,7 @@ fn parse(
                 }
                 options.cache_dir = Some(dir);
             }
+            "--cache-budget-mb" => options.cache_budget_mb = Some(parse_next(&mut args, "--cache-budget-mb")),
             "--dry-run" => options.dry_run = true,
             "--list-families" => options.list_families = true,
             "--help" | "-h" => {

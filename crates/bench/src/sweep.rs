@@ -221,6 +221,9 @@ pub struct SweepOptions {
     pub shard: Option<Shard>,
     /// Directory of the on-disk `Prepared` cache; `None` disables caching.
     pub cache_dir: Option<PathBuf>,
+    /// Cache size budget in MiB: after each write the oldest-mtime entries are
+    /// pruned until the committed bytes fit (`None` = unbounded).
+    pub cache_budget_mb: Option<u64>,
 }
 
 /// The raw output of one shard's execution: everything [`merge_shards`] needs
@@ -377,7 +380,10 @@ pub fn run_sweep_options(spec: &SweepSpec, options: &SweepOptions) -> Result<Swe
     let shard = options.shard.unwrap_or(Shard::FULL);
     shard.validate()?;
     let cache = match &options.cache_dir {
-        Some(dir) => Some(CacheStore::open(dir.clone())?),
+        Some(dir) => Some(CacheStore::open_with_budget(
+            dir.clone(),
+            options.cache_budget_mb.map(|mb| mb.saturating_mul(1024 * 1024)),
+        )?),
         None => None,
     };
 
@@ -388,14 +394,28 @@ pub fn run_sweep_options(spec: &SweepSpec, options: &SweepOptions) -> Result<Swe
         .map(|(_, cell)| cell)
         .collect();
 
+    // Execute the most expensive cells first (estimated ≈ n²·epochs each) so
+    // the self-scheduling work queue never tails on the biggest cell, then
+    // re-sort the results back to grid order — the report stays byte-identical
+    // to an in-order run.
+    let exec_order = execution_order(&mine);
+    let ordered: Vec<PrepCell> = exec_order.iter().map(|&i| mine[i].clone()).collect();
+
     // One level of parallelism only (mirroring the multi-run experiment
     // runner): enough prepared cells to saturate the cores → fan out across
     // cells with serial victim loops; otherwise keep the cell loop serial and
     // let each cell's victim loop fan out.
-    let fan_out = cells_fan_out(options.serial, mine.len());
+    let fan_out = cells_fan_out(options.serial, ordered.len());
     let run_cell = |cell: &PrepCell| run_prep_cell(spec, cell, &attackers, !options.serial && !fan_out, cache.as_ref());
-    let nested: Vec<Vec<SweepCell>> = map_cells(fan_out, &mine, run_cell);
-    let cells: Vec<SweepCell> = nested.into_iter().flatten().collect();
+    let nested: Vec<Vec<SweepCell>> = map_cells(fan_out, &ordered, run_cell);
+    let mut by_grid: Vec<Option<Vec<SweepCell>>> = vec![None; mine.len()];
+    for (k, block) in nested.into_iter().enumerate() {
+        by_grid[exec_order[k]] = Some(block);
+    }
+    let cells: Vec<SweepCell> = by_grid
+        .into_iter()
+        .flat_map(|block| block.expect("every executed cell lands back in its grid slot"))
+        .collect();
 
     Ok(SweepRun {
         shard: ShardReport {
@@ -711,6 +731,32 @@ fn aggregate_cells(
     aggregates
 }
 
+/// Estimated preparation cost of one cell: `(reference_nodes·scale)² · epochs`.
+/// GCN training is the dominant cost and each of its epochs was `O(n²·f)` dense
+/// (now `O(nnz·f)` sparse, which still grows superlinearly in `n` through nnz
+/// and the `n×f` dense blocks), so `n²` keeps the *relative* order right — all
+/// this estimate is used for.
+fn estimated_cost(cell: &PrepCell) -> f64 {
+    let reference = geattack_scenarios::resolve(&cell.family)
+        .map(|family| family.reference_nodes())
+        .unwrap_or(500);
+    let n = (reference as f64 * cell.scale).max(1.0);
+    n * n * geattack_gnn::TrainConfig::default().epochs as f64
+}
+
+/// Execution order of the owned prep cells: estimated cost descending, ties in
+/// grid order (so equal-cost runs keep a stable, deterministic schedule).
+fn execution_order(cells: &[PrepCell]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..cells.len()).collect();
+    order.sort_by(|&a, &b| {
+        estimated_cost(&cells[b])
+            .partial_cmp(&estimated_cost(&cells[a]))
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    order
+}
+
 /// Whether `values` contains the same resolved kind twice.
 fn has_duplicates<T: PartialEq>(values: &[T]) -> bool {
     values.iter().enumerate().any(|(i, v)| values[..i].contains(v))
@@ -846,6 +892,37 @@ mod tests {
         assert!(md.contains("tree-cycles") && md.contains("RNA"), "{md}");
         let json = report.to_json();
         assert!(json.contains("\"aggregates\""));
+    }
+
+    #[test]
+    fn execution_order_puts_expensive_cells_first_and_keeps_reports_in_grid_order() {
+        let cell = |family: &str, scale: f64, seed: u64| PrepCell {
+            family: family.to_string(),
+            scale,
+            seed,
+            explainer: ExplainerKind::GnnExplainer,
+        };
+        // Grid order interleaves small and large cells; execution must be by
+        // estimated cost (≈ (reference_nodes·scale)²·epochs) descending.
+        let cells = vec![
+            cell("tree-cycles", 0.08, 0), // ≈871·0.08 =  70 nodes
+            cell("tree-cycles", 0.4, 0),  // ≈871·0.40 = 348 nodes
+            cell("cora", 0.08, 0),        // ≈2485·0.08 = 199 nodes
+            cell("tree-cycles", 0.08, 1), // same cost as cell 0
+        ];
+        let order = execution_order(&cells);
+        assert_eq!(order[0], 1, "the scaled-up tree-cycles cell runs first");
+        assert_eq!(order[1], 2, "the citation-scale cell runs second");
+        assert_eq!(order[2..], [0, 3], "equal-cost cells keep grid order");
+
+        // End-to-end: a two-scale sweep re-sorts results back to grid order, so
+        // the report enumerates scales exactly as the spec lists them.
+        let mut spec = tiny_spec();
+        spec.scales = vec![0.07, 0.12];
+        let report = run_sweep(&spec, true).expect("sweep runs");
+        assert_eq!(report.cells.len(), 2);
+        assert_eq!(report.cells[0].scale, 0.07, "grid order restored in the report");
+        assert_eq!(report.cells[1].scale, 0.12);
     }
 
     #[test]

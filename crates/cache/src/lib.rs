@@ -25,4 +25,4 @@ pub mod store;
 
 pub use codec::{Decoder, Encoder};
 pub use hash::{fnv1a128, KeyHasher};
-pub use store::{CacheCounters, CacheStore};
+pub use store::{CacheCounters, CacheStore, GcStats};

@@ -47,10 +47,27 @@ impl CacheCounters {
     }
 }
 
-/// A directory of atomically-written cache entries.
+/// Result of one garbage-collection pass ([`CacheStore::gc_to_budget`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GcStats {
+    /// Committed entries examined.
+    pub examined: usize,
+    /// Entries removed (oldest mtime first).
+    pub evicted: usize,
+    /// Total committed bytes before the pass.
+    pub bytes_before: u64,
+    /// Total committed bytes after the pass.
+    pub bytes_after: u64,
+}
+
+/// A directory of atomically-written cache entries, optionally kept under a
+/// size budget by LRU-by-mtime eviction (mtime is the entry's last write —
+/// loads do not refresh it, so "least recently used" degrades gracefully to
+/// "least recently written").
 #[derive(Debug)]
 pub struct CacheStore {
     dir: PathBuf,
+    budget_bytes: Option<u64>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -58,12 +75,19 @@ pub struct CacheStore {
 }
 
 impl CacheStore {
-    /// Opens (creating if needed) a cache directory.
+    /// Opens (creating if needed) a cache directory with no size budget.
     pub fn open(dir: impl Into<PathBuf>) -> Result<Self, String> {
+        Self::open_with_budget(dir, None)
+    }
+
+    /// Opens a cache directory that [`CacheStore::store`] keeps under
+    /// `budget_bytes` by evicting the oldest-mtime entries after each write.
+    pub fn open_with_budget(dir: impl Into<PathBuf>, budget_bytes: Option<u64>) -> Result<Self, String> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create cache dir {}: {e}", dir.display()))?;
         Ok(Self {
             dir,
+            budget_bytes,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -129,7 +153,65 @@ impl CacheStore {
         std::fs::rename(&tmp, &path).map_err(|e| {
             let _ = std::fs::remove_file(&tmp);
             format!("cannot publish {}: {e}", path.display())
-        })
+        })?;
+        if let Some(budget) = self.budget_bytes {
+            // Enforcement after publication: the just-written entry carries the
+            // newest mtime, so it is evicted last — only a budget smaller than
+            // a single entry removes what was just stored.
+            self.gc_to_budget(budget);
+        }
+        Ok(())
+    }
+
+    /// Committed entries as `(mtime, file name, bytes)`, sorted oldest-first
+    /// with ties broken by name so eviction order is deterministic even on
+    /// filesystems with coarse mtime granularity.
+    fn entries_by_age(&self) -> Vec<(std::time::SystemTime, String, u64)> {
+        let Ok(dir) = std::fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        let mut entries: Vec<(std::time::SystemTime, String, u64)> = dir
+            .flatten()
+            .filter(|e| e.path().extension().is_some_and(|ext| ext == ENTRY_EXT))
+            .filter_map(|e| {
+                let meta = e.metadata().ok()?;
+                let mtime = meta.modified().ok()?;
+                Some((mtime, e.file_name().to_string_lossy().into_owned(), meta.len()))
+            })
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        entries
+    }
+
+    /// Evicts the oldest-mtime entries until the committed bytes fit inside
+    /// `budget_bytes` (LRU-by-mtime pruning). Counts each removal as an
+    /// eviction. Usable directly (the `geattack-cache gc` subcommand) or
+    /// implicitly through a budgeted store's writes.
+    pub fn gc_to_budget(&self, budget_bytes: u64) -> GcStats {
+        let entries = self.entries_by_age();
+        let bytes_before: u64 = entries.iter().map(|&(_, _, len)| len).sum();
+        let mut stats = GcStats {
+            examined: entries.len(),
+            evicted: 0,
+            bytes_before,
+            bytes_after: bytes_before,
+        };
+        for (_, name, len) in entries {
+            if stats.bytes_after <= budget_bytes {
+                break;
+            }
+            if std::fs::remove_file(self.dir.join(&name)).is_ok() {
+                stats.bytes_after = stats.bytes_after.saturating_sub(len);
+                stats.evicted += 1;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        stats
+    }
+
+    /// Total committed bytes on disk (temp files excluded).
+    pub fn total_bytes(&self) -> u64 {
+        self.entries_by_age().iter().map(|&(_, _, len)| len).sum()
     }
 
     /// Removes an entry (corrupt or invalidated) and counts the eviction.
@@ -244,6 +326,52 @@ mod tests {
         std::fs::write(store.entry_path("bad3"), bytes).unwrap();
         assert!(store.load("bad3").is_none());
         assert_eq!(store.counters().evictions, 3);
+    }
+
+    #[test]
+    fn gc_to_budget_evicts_oldest_first() {
+        let t = TempStore::new("gc");
+        let store = &t.store;
+        // Keys chosen so the name tie-break matches write order even when the
+        // filesystem's mtime granularity makes all three mtimes equal.
+        store.store("aa", &[1u8; 100]).unwrap();
+        store.store("bb", &[2u8; 100]).unwrap();
+        store.store("cc", &[3u8; 100]).unwrap();
+        let per_entry = 108; // 100 payload + 8 envelope
+        assert_eq!(store.total_bytes(), 3 * per_entry);
+
+        // Budget for two entries: the oldest ("aa") goes.
+        let stats = store.gc_to_budget(2 * per_entry);
+        assert_eq!(stats.examined, 3);
+        assert_eq!(stats.evicted, 1);
+        assert_eq!(stats.bytes_before, 3 * per_entry);
+        assert_eq!(stats.bytes_after, 2 * per_entry);
+        assert!(store.load("aa").is_none());
+        assert!(store.load("bb").is_some());
+        assert!(store.load("cc").is_some());
+        assert_eq!(store.counters().evictions, 1);
+
+        // A generous budget is a no-op.
+        let stats = store.gc_to_budget(10_000);
+        assert_eq!(stats.evicted, 0);
+        assert_eq!(store.entry_count(), 2);
+    }
+
+    #[test]
+    fn budgeted_store_enforces_on_every_write() {
+        let dir = std::env::temp_dir().join(format!("geattack-cache-store-{}-budget", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Budget fits exactly two 108-byte entries.
+        let store = CacheStore::open_with_budget(&dir, Some(216)).expect("opens");
+        store.store("aa", &[0u8; 100]).unwrap();
+        store.store("bb", &[0u8; 100]).unwrap();
+        assert_eq!(store.entry_count(), 2, "within budget, nothing evicted");
+        store.store("cc", &[0u8; 100]).unwrap();
+        assert_eq!(store.entry_count(), 2, "third write evicts the oldest entry");
+        assert!(store.load("aa").is_none(), "the oldest entry was pruned");
+        assert!(store.load("cc").is_some(), "the just-written entry survives");
+        assert_eq!(store.counters().evictions, 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

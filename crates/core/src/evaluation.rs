@@ -48,8 +48,10 @@ pub fn evaluate_attack(
     let success_any = predicted != victim.true_label;
     let success_target = predicted == victim.target_label;
 
+    // The explainer explains the class the model predicts on the attacked
+    // graph — exactly `predicted`, so the forward pass is not repeated.
     let explanation = explainer
-        .explain(model, &attacked, victim.node)
+        .explain_class(model, &attacked, victim.node, predicted)
         .truncated(explanation_size);
     let detection = detection_scores(&explanation, perturbation.added(), detection_k);
 

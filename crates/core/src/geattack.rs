@@ -36,7 +36,7 @@
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use geattack_attack::{candidate_endpoints, targeted_loss_gradient, undirected_entry, AttackContext, TargetedAttack};
+use geattack_attack::{candidate_endpoints, undirected_entry, AttackContext, LossGradients, TargetedAttack};
 use geattack_explain::gnnexplainer::GnnExplainer;
 use geattack_explain::GnnExplainerConfig;
 use geattack_graph::{computation_subgraph, Graph, Perturbation};
@@ -62,6 +62,12 @@ pub struct GeAttackConfig {
     pub candidate_pool: usize,
     /// Standard deviation of the random mask initialization `M_A^0`.
     pub mask_init_std: f64,
+    /// Score shortlist candidates across threads through the rayon work queue
+    /// (within a single outer iteration). The reductions and the final argmin
+    /// stay serial, so parallel and serial selection are identical — pinned by
+    /// `parallel_and_serial_candidate_scoring_agree`. Ignored without the
+    /// `parallel` feature.
+    pub parallel_scoring: bool,
     /// GNNExplainer hyper-parameters mimicked by the inner loop (size/entropy
     /// regularizer coefficients).
     pub explainer: GnnExplainerConfig,
@@ -78,6 +84,7 @@ impl Default for GeAttackConfig {
             hops: 2,
             candidate_pool: 48,
             mask_init_std: 0.1,
+            parallel_scoring: true,
             explainer: GnnExplainerConfig::default(),
             seed: 0,
         }
@@ -124,9 +131,15 @@ impl GeAttack {
 
         // Inner loop (Algorithm 1 lines 5-8): T differentiable gradient steps of
         // the explainer objective. `grad` emits tape operations, so the final mask
-        // keeps its dependency on `a_sub`.
+        // keeps its dependency on `a_sub`. The frozen parameters and the
+        // mask-independent projection X·W₁ are shared across the steps (they do
+        // not depend on the mask, and X·W₁ does not depend on `a_sub` either, so
+        // the outer gradient is unchanged).
+        let params = model.insert_params_frozen(tape);
+        let xw1 = tape.matmul(x_sub, params.w1);
         for _ in 0..self.config.inner_steps {
-            let inner_loss = explainer.explainer_loss(tape, model, a_sub, x_sub, mask, target_local, target_label);
+            let inner_loss =
+                explainer.explainer_loss_projected(tape, model, a_sub, xw1, &params, mask, target_local, target_label);
             let step = grad(tape, inner_loss, &[mask])[0];
             mask = tape.sub(mask, tape.mul_scalar(step, self.config.inner_lr));
         }
@@ -144,6 +157,7 @@ impl GeAttack {
     /// are no candidates.
     fn select_edge(
         &self,
+        gradients: &LossGradients<'_>,
         ctx: &AttackContext<'_>,
         working: &Graph,
         b: &Matrix,
@@ -155,7 +169,7 @@ impl GeAttack {
         }
 
         // (1) Full-graph L_GNN gradient — the "graph attack" part (Section 4.1).
-        let g_attack = targeted_loss_gradient(ctx.model, working, ctx.target, ctx.target_label);
+        let g_attack = gradients.targeted(working, ctx.target, ctx.target_label);
 
         // (2) Shortlist the most promising candidates by that gradient.
         let mut ranked: Vec<usize> = candidates.clone();
@@ -187,11 +201,12 @@ impl GeAttack {
         let scaled = tape.mul_scalar(penalty, self.config.lambda);
         let g_penalty_sub = tape.value(grad(&tape, scaled, &[a_sub])[0]);
 
-        // (4) Combine the two components and greedily pick the candidate whose
-        // insertion most decreases the joint loss (the most negative symmetrized
-        // entry). Each component is normalized by its largest absolute value over
-        // the shortlist so that λ acts as a dimensionless trade-off (see the
-        // module-level calibration note).
+        // (4) Score every shortlist candidate: its attack-gradient entry and its
+        // explainer-penalty entry. This per-candidate map is the inner-attack
+        // parallelism axis — it fans out across the rayon work queue, while
+        // every reduction below (scales, strong-pool filter, argmin) stays
+        // serial over the order-preserved entries, so parallel and serial
+        // selection are identical.
         let tl = sub.target_local;
         let attack_entry = |v: usize| undirected_entry(&g_attack, ctx.target, v);
         let penalty_entry = |v: usize| {
@@ -199,13 +214,21 @@ impl GeAttack {
                 .map(|lv| g_penalty_sub[(tl, lv)] + g_penalty_sub[(lv, tl)])
                 .unwrap_or(0.0)
         };
-        let best_attack = shortlist.iter().map(|&v| attack_entry(v)).fold(f64::INFINITY, f64::min);
-        let attack_scale = shortlist
+        let scored: Vec<(usize, f64, f64)> =
+            self.score_candidates(&shortlist, |v| (v, attack_entry(v), penalty_entry(v)));
+
+        // (5) Combine the two components and greedily pick the candidate whose
+        // insertion most decreases the joint loss (the most negative symmetrized
+        // entry). Each component is normalized by its largest absolute value over
+        // the shortlist so that λ acts as a dimensionless trade-off (see the
+        // module-level calibration note).
+        let best_attack = scored.iter().map(|&(_, a, _)| a).fold(f64::INFINITY, f64::min);
+        let attack_scale = scored
             .iter()
-            .map(|&v| attack_entry(v).abs())
+            .map(|&(_, a, _)| a.abs())
             .fold(0.0f64, f64::max)
             .max(1e-12);
-        let penalty_scale = shortlist.iter().map(|&v| penalty_entry(v).abs()).fold(0.0f64, f64::max);
+        let penalty_scale = scored.iter().map(|&(_, _, p)| p.abs()).fold(0.0f64, f64::max);
         let penalty_weight = if penalty_scale > 1e-12 {
             self.config.lambda / (20.0 * penalty_scale)
         } else {
@@ -216,17 +239,32 @@ impl GeAttack {
         // of the best attack gradient, so moderate λ cannot select an edge that is
         // stealthy but useless for the attack (the paper's λ ≈ 20 operating point
         // keeps ASR-T at 100%).
-        let strong: Vec<usize> = shortlist
+        let strong: Vec<(usize, f64, f64)> = scored
             .iter()
             .copied()
-            .filter(|&v| best_attack < 0.0 && attack_entry(v) <= 0.2 * best_attack)
+            .filter(|&(_, a, _)| best_attack < 0.0 && a <= 0.2 * best_attack)
             .collect();
-        let pool = if strong.is_empty() { shortlist } else { strong };
+        let pool = if strong.is_empty() { scored } else { strong };
 
-        pool.into_iter().min_by(|&a, &bnd| {
-            let score = |v: usize| attack_entry(v) / attack_scale + penalty_weight * penalty_entry(v);
-            score(a).partial_cmp(&score(bnd)).unwrap_or(std::cmp::Ordering::Equal)
-        })
+        pool.into_iter()
+            .min_by(|&(_, a1, p1), &(_, a2, p2)| {
+                let s1 = a1 / attack_scale + penalty_weight * p1;
+                let s2 = a2 / attack_scale + penalty_weight * p2;
+                s1.partial_cmp(&s2).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(v, _, _)| v)
+    }
+
+    /// Maps `score` over the shortlist — across threads through the rayon work
+    /// queue when `parallel_scoring` is enabled, serially otherwise. Results
+    /// come back in shortlist order either way.
+    fn score_candidates<R: Send>(&self, shortlist: &[usize], score: impl Fn(usize) -> R + Sync) -> Vec<R> {
+        #[cfg(feature = "parallel")]
+        if self.config.parallel_scoring && shortlist.len() >= 2 {
+            use rayon::prelude::*;
+            return shortlist.par_iter().map(|&v| score(v)).collect();
+        }
+        shortlist.iter().map(|&v| score(v)).collect()
     }
 }
 
@@ -245,9 +283,10 @@ impl TargetedAttack for GeAttack {
             ChaCha8Rng::seed_from_u64(self.config.seed ^ (ctx.target as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let mut perturbation = Perturbation::new();
         let mut working = ctx.graph.clone();
+        let gradients = LossGradients::new(ctx.model, ctx.graph.features());
 
         for _ in 0..ctx.budget {
-            let Some(chosen) = self.select_edge(ctx, &working, &b, &mut rng) else {
+            let Some(chosen) = self.select_edge(&gradients, ctx, &working, &b, &mut rng) else {
                 break;
             };
             perturbation.add_edge(ctx.target, chosen);
@@ -366,6 +405,33 @@ mod tests {
         let ge = GeAttack::new(config).attack(&ctx);
         let fga = FgaT::default().attack(&ctx);
         assert_eq!(ge.added(), fga.added());
+    }
+
+    #[test]
+    fn parallel_and_serial_candidate_scoring_agree() {
+        // The per-candidate scoring fan-out must not change which edges are
+        // selected: the work queue preserves input order and all reductions are
+        // serial, so parallel == serial selection, pinned here.
+        let (graph, model) = small_setup(66);
+        let (victim, target_label) = pick_victim(&graph, &model);
+        let ctx = AttackContext {
+            model: &model,
+            graph: &graph,
+            target: victim,
+            target_label,
+            budget: 3,
+        };
+        let parallel = GeAttack::new(GeAttackConfig {
+            parallel_scoring: true,
+            ..quick_config()
+        })
+        .attack(&ctx);
+        let serial = GeAttack::new(GeAttackConfig {
+            parallel_scoring: false,
+            ..quick_config()
+        })
+        .attack(&ctx);
+        assert_eq!(parallel, serial, "candidate-scoring parallelism changed the selection");
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! `λ Σ σ(ω_{vj}(Â)) · B[v, j]` is therefore differentiable with respect to `Â`
 //! and the attack follows the same greedy outer loop as [`crate::geattack`].
 
-use geattack_attack::{candidate_endpoints, targeted_loss_gradient, undirected_entry, AttackContext, TargetedAttack};
+use geattack_attack::{candidate_endpoints, undirected_entry, AttackContext, LossGradients, TargetedAttack};
 use geattack_explain::pgexplainer::{PgExplainer, SubgraphEdges};
 use geattack_graph::{computation_subgraph, Graph, Perturbation};
 use geattack_tensor::{grad::grad, nn, Matrix, Tape};
@@ -122,13 +122,14 @@ impl TargetedAttack for PgGeAttack {
         });
         let mut perturbation = Perturbation::new();
         let mut working = ctx.graph.clone();
+        let gradients = LossGradients::new(ctx.model, ctx.graph.features());
 
         for _ in 0..ctx.budget {
             let candidates = candidate_endpoints(&working, ctx.target, &[]);
             if candidates.is_empty() {
                 break;
             }
-            let g_attack = targeted_loss_gradient(ctx.model, &working, ctx.target, ctx.target_label);
+            let g_attack = gradients.targeted(&working, ctx.target, ctx.target_label);
             let mut ranked = candidates.clone();
             ranked.sort_by(|&a, &bnd| {
                 undirected_entry(&g_attack, ctx.target, a)

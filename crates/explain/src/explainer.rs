@@ -91,6 +91,19 @@ pub trait Explainer {
     /// predicts for `target`.
     fn explain(&self, model: &Gcn, graph: &Graph, target: usize) -> Explanation;
 
+    /// [`Explainer::explain`] with the explained class already known.
+    ///
+    /// `explain` starts by predicting `target`'s class on `graph` — a full-graph
+    /// forward pass. Callers that just computed that prediction themselves (the
+    /// evaluation loop scores attack success from the same forward) pass it in
+    /// here and skip the duplicate. `explained_class` **must** equal the model's
+    /// prediction for `target` on `graph`; results are then identical to
+    /// [`Explainer::explain`].
+    fn explain_class(&self, model: &Gcn, graph: &Graph, target: usize, explained_class: usize) -> Explanation {
+        let _ = explained_class;
+        self.explain(model, graph, target)
+    }
+
     /// Human-readable name used in reports.
     fn name(&self) -> &'static str;
 }

@@ -87,8 +87,28 @@ impl GnnExplainer {
         explained_class: usize,
     ) -> Var {
         let params = model.insert_params_frozen(tape);
+        let xw1 = tape.matmul(x_sub, params.w1);
+        self.explainer_loss_projected(tape, model, a_sub, xw1, &params, mask, target_local, explained_class)
+    }
+
+    /// [`GnnExplainer::explainer_loss`] with the frozen parameters and the
+    /// mask-independent projection `X·W₁` supplied by the caller, so per-epoch
+    /// (and per-inner-step) loops pay only the mask-dependent work. Values and
+    /// mask/adjacency gradients are bit-identical to [`GnnExplainer::explainer_loss`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn explainer_loss_projected(
+        &self,
+        tape: &Tape,
+        model: &Gcn,
+        a_sub: Var,
+        xw1: Var,
+        params: &geattack_gnn::GcnParamVars,
+        mask: Var,
+        target_local: usize,
+        explained_class: usize,
+    ) -> Var {
         let masked = Self::masked_adjacency(tape, a_sub, mask);
-        let log_probs = model.log_probs_from_raw_adj(tape, masked, x_sub, &params);
+        let log_probs = model.log_probs_from_raw_adj_projected(tape, masked, xw1, params);
         let nll = nn::node_class_nll(tape, log_probs, target_local, explained_class, model.num_classes());
 
         // Regularizers operate only on entries corresponding to existing edges.
@@ -116,6 +136,10 @@ impl GnnExplainer {
 impl Explainer for GnnExplainer {
     fn explain(&self, model: &Gcn, graph: &Graph, target: usize) -> Explanation {
         let explained_class = model.predict_proba(graph).argmax_row(target);
+        self.explain_class(model, graph, target, explained_class)
+    }
+
+    fn explain_class(&self, model: &Gcn, graph: &Graph, target: usize, explained_class: usize) -> Explanation {
         let sub = computation_subgraph(graph, target, self.config.hops, &[]);
         let k = sub.num_nodes();
 
@@ -123,16 +147,23 @@ impl Explainer for GnnExplainer {
         let mut mask = init::normal(k, k, 0.0, self.config.mask_init_std, &mut rng);
         let mut optimizer = Adam::new(self.config.lr);
 
+        // The feature projection X·W₁ does not depend on the mask: compute it
+        // once and feed it into every epoch's tape as a constant (bit-identical
+        // to recomputing it, minus the per-epoch k·d·h matmul).
+        let xw1_value = sub.features.matmul(&model.params().w1);
+
         for _ in 0..self.config.epochs {
             let tape = Tape::new();
             let a_sub = tape.constant(sub.adjacency.clone());
-            let x_sub = tape.constant(sub.features.clone());
+            let xw1 = tape.constant(xw1_value.clone());
+            let params = model.insert_params_frozen(&tape);
             let m = tape.input(mask.clone());
-            let loss = self.explainer_loss(&tape, model, a_sub, x_sub, m, sub.target_local, explained_class);
+            let loss =
+                self.explainer_loss_projected(&tape, model, a_sub, xw1, &params, m, sub.target_local, explained_class);
             let grads = grad_values(&tape, loss, &[m]);
-            let mut params = vec![mask];
-            optimizer.step(&mut params, &grads);
-            mask = params.pop().unwrap();
+            let mut mask_params = vec![mask];
+            optimizer.step(&mut mask_params, &grads);
+            mask = mask_params.pop().unwrap();
         }
 
         let edges = mask_to_edge_weights(&sub.adjacency, &mask, |local| sub.to_global(local));

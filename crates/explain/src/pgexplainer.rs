@@ -267,26 +267,27 @@ impl PgExplainer {
         tape.mul(a_sub, sym)
     }
 
-    /// The PGExplainer training loss for one instance, given embeddings `z` for the
-    /// subgraph nodes.
+    /// The PGExplainer training loss for one instance, given embeddings `z` for
+    /// the subgraph nodes and the precomputed (epoch-invariant) feature
+    /// projection `X·W₁` of the subgraph.
     #[allow(clippy::too_many_arguments)]
-    fn instance_loss(
+    fn instance_loss_projected(
         &self,
         tape: &Tape,
         model: &Gcn,
         sub: &ComputationSubgraph,
         edges: &SubgraphEdges,
         z: Var,
+        xw1: Var,
         explained_class: usize,
         params: &PgMlpVars,
     ) -> Var {
         let logits = Self::edge_logits(tape, z, edges, sub.target_local, params);
         let gates = tape.sigmoid(logits);
         let a_sub = tape.constant(sub.adjacency.clone());
-        let x_sub = tape.constant(sub.features.clone());
         let masked = Self::masked_adjacency_from_gates(tape, a_sub, gates, edges);
         let gcn_params = model.insert_params_frozen(tape);
-        let log_probs = model.log_probs_from_raw_adj(tape, masked, x_sub, &gcn_params);
+        let log_probs = model.log_probs_from_raw_adj_projected(tape, masked, xw1, &gcn_params);
         let nll = nn::node_class_nll(tape, log_probs, sub.target_local, explained_class, model.num_classes());
 
         let size_reg = tape.mul_scalar(tape.sum_all(gates), self.config.size_coeff);
@@ -324,16 +325,42 @@ impl PgExplainer {
             params: params.clone(),
         };
 
-        for _ in 0..config.epochs {
-            for &node in &instances {
+        // Per-instance state that never changes across epochs — the computation
+        // subgraph, its edge list, the gathered embeddings, the explained class
+        // and the feature projection X·W₁ — is extracted once instead of being
+        // rebuilt `epochs` times (values are identical either way).
+        struct InstanceState {
+            sub: ComputationSubgraph,
+            edges: SubgraphEdges,
+            z_value: Matrix,
+            xw1_value: Matrix,
+            explained_class: usize,
+        }
+        let prepared: Vec<InstanceState> = instances
+            .iter()
+            .filter_map(|&node| {
                 let sub = computation_subgraph(graph, node, config.hops, &[]);
                 let edges = SubgraphEdges::from_adjacency(&sub.adjacency);
                 if edges.is_empty() {
-                    continue;
+                    return None;
                 }
-                let explained_class = predictions.argmax_row(node);
+                let z_value = embeddings.gather_rows(&sub.nodes);
+                let xw1_value = sub.features.matmul(&model.params().w1);
+                Some(InstanceState {
+                    sub,
+                    edges,
+                    z_value,
+                    xw1_value,
+                    explained_class: predictions.argmax_row(node),
+                })
+            })
+            .collect();
+
+        for _ in 0..config.epochs {
+            for instance in &prepared {
                 let tape = Tape::new();
-                let z = tape.constant(embeddings.gather_rows(&sub.nodes));
+                let z = tape.constant(instance.z_value.clone());
+                let xw1 = tape.constant(instance.xw1_value.clone());
                 let param_vars = PgMlpVars {
                     w_src: tape.input(params.w_src.clone()),
                     w_dst: tape.input(params.w_dst.clone()),
@@ -346,7 +373,16 @@ impl PgExplainer {
                     config: config.clone(),
                     params: params.clone(),
                 };
-                let loss = current.instance_loss(&tape, model, &sub, &edges, z, explained_class, &param_vars);
+                let loss = current.instance_loss_projected(
+                    &tape,
+                    model,
+                    &instance.sub,
+                    &instance.edges,
+                    z,
+                    xw1,
+                    instance.explained_class,
+                    &param_vars,
+                );
                 let grads = grad_values(&tape, loss, &param_vars.to_vec());
                 let mut flat = params.to_vec();
                 optimizer.step(&mut flat, &grads);
@@ -360,6 +396,10 @@ impl PgExplainer {
 impl Explainer for PgExplainer {
     fn explain(&self, model: &Gcn, graph: &Graph, target: usize) -> Explanation {
         let explained_class = model.predict_proba(graph).argmax_row(target);
+        self.explain_class(model, graph, target, explained_class)
+    }
+
+    fn explain_class(&self, model: &Gcn, graph: &Graph, target: usize, explained_class: usize) -> Explanation {
         let sub = computation_subgraph(graph, target, self.config.hops, &[]);
         let edges = SubgraphEdges::from_adjacency(&sub.adjacency);
         if edges.is_empty() {

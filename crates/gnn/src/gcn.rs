@@ -8,7 +8,7 @@
 use rand::Rng;
 
 use geattack_graph::Graph;
-use geattack_tensor::{init, nn, Matrix, Tape, Var};
+use geattack_tensor::{init, nn, Matrix, SparseVar, Tape, Var};
 
 /// Trainable parameters of a two-layer GCN.
 #[derive(Clone, Debug)]
@@ -178,17 +178,72 @@ impl Gcn {
     /// and performs the GCN normalization on the tape, so gradients with respect to
     /// raw edge insertions are available (used by FGA / IG-Attack / GEAttack).
     pub fn log_probs_from_raw_adj(&self, tape: &Tape, a_raw: Var, x: Var, params: &GcnParamVars) -> Var {
+        let xw1 = tape.matmul(x, params.w1);
+        self.log_probs_from_raw_adj_projected(tape, a_raw, xw1, params)
+    }
+
+    /// [`Gcn::log_probs_from_raw_adj`] with the first-layer feature projection
+    /// `X·W₁` already computed. The projection depends on neither the adjacency
+    /// nor any explainer mask, so optimization loops that rebuild the forward
+    /// pass every epoch (GNNExplainer, PGExplainer, GEAttack's inner steps)
+    /// hoist it out — the values (and the gradients with respect to the
+    /// adjacency or mask) are bit-identical, only the redundant `k·d·h` matmul
+    /// per epoch disappears.
+    pub fn log_probs_from_raw_adj_projected(&self, tape: &Tape, a_raw: Var, xw1: Var, params: &GcnParamVars) -> Var {
         let a_norm = nn::gcn_normalize(tape, a_raw);
-        self.log_probs(tape, a_norm, x, params)
+        let pre = tape.add(tape.matmul(a_norm, xw1), tape.row_broadcast(params.b1, a_norm.rows()));
+        let h = tape.relu(pre);
+        let h2 = tape.matmul(a_norm, tape.matmul(h, params.w2));
+        let logits = tape.add(h2, tape.row_broadcast(params.b2, h2.rows()));
+        nn::log_softmax_rows(tape, logits)
+    }
+
+    // ---- sparse forward paths ---------------------------------------------------
+    //
+    // The SpMM kernel replays the dense matmul's exact accumulation order, so the
+    // `_sparse` variants below produce bit-identical values to their dense
+    // counterparts while costing O(nnz·f) instead of O(n²·f) per layer.
+
+    /// [`Gcn::logits`] with the normalized adjacency as a sparse operand.
+    pub fn logits_sparse(&self, tape: &Tape, a_norm: SparseVar, x: Var, params: &GcnParamVars) -> Var {
+        let h = self.hidden_layer_sparse(tape, a_norm, x, params);
+        let h2 = tape.spmm(a_norm, tape.matmul(h, params.w2));
+        tape.add(h2, tape.row_broadcast(params.b2, h2.rows()))
+    }
+
+    /// [`Gcn::hidden_layer`] with the normalized adjacency as a sparse operand.
+    pub fn hidden_layer_sparse(&self, tape: &Tape, a_norm: SparseVar, x: Var, params: &GcnParamVars) -> Var {
+        let xw = tape.matmul(x, params.w1);
+        let axw = tape.spmm(a_norm, xw);
+        let pre = tape.add(axw, tape.row_broadcast(params.b1, axw.rows()));
+        tape.relu(pre)
+    }
+
+    /// [`Gcn::log_probs`] with the normalized adjacency as a sparse operand.
+    pub fn log_probs_sparse(&self, tape: &Tape, a_norm: SparseVar, x: Var, params: &GcnParamVars) -> Var {
+        let logits = self.logits_sparse(tape, a_norm, x, params);
+        nn::log_softmax_rows(tape, logits)
+    }
+
+    /// [`Gcn::log_probs_sparse`] with the feature projection `X·W₁` supplied by
+    /// the caller (it does not depend on the adjacency, so greedy attack loops
+    /// compute it once and reuse it across every gradient call). Bit-identical
+    /// to [`Gcn::log_probs_sparse`].
+    pub fn log_probs_sparse_projected(&self, tape: &Tape, a_norm: SparseVar, xw1: Var, params: &GcnParamVars) -> Var {
+        let axw = tape.spmm(a_norm, xw1);
+        let pre = tape.add(axw, tape.row_broadcast(params.b1, axw.rows()));
+        let h = tape.relu(pre);
+        let h2 = tape.spmm(a_norm, tape.matmul(h, params.w2));
+        let logits = tape.add(h2, tape.row_broadcast(params.b2, h2.rows()));
+        nn::log_softmax_rows(tape, logits)
     }
 
     /// Class probabilities for every node of a concrete graph (no gradients).
     pub fn predict_proba(&self, graph: &Graph) -> Matrix {
         let tape = Tape::new();
-        let a_norm = tape.constant(geattack_graph::normalized_adjacency(graph));
         let x = tape.constant(graph.features().clone());
         let params = self.insert_params_frozen(&tape);
-        let logits = self.logits(&tape, a_norm, x, &params);
+        let logits = self.graph_logits(&tape, graph, x, &params);
         let probs = nn::softmax_rows(&tape, logits);
         tape.value(probs)
     }
@@ -203,11 +258,40 @@ impl Gcn {
     /// build edge features).
     pub fn node_embeddings(&self, graph: &Graph) -> Matrix {
         let tape = Tape::new();
-        let a_norm = tape.constant(geattack_graph::normalized_adjacency(graph));
         let x = tape.constant(graph.features().clone());
         let params = self.insert_params_frozen(&tape);
-        let h = self.hidden_layer(&tape, a_norm, x, &params);
+        let h = self.graph_hidden(&tape, graph, x, &params);
         tape.value(h)
+    }
+
+    /// Full-graph logits through the compiled-in adjacency representation
+    /// (sparse by default, dense under the `dense-oracle` feature — the two are
+    /// bit-identical).
+    fn graph_logits(&self, tape: &Tape, graph: &Graph, x: Var, params: &GcnParamVars) -> Var {
+        #[cfg(feature = "dense-oracle")]
+        {
+            let a_norm = tape.constant(geattack_graph::normalized_adjacency(graph));
+            self.logits(tape, a_norm, x, params)
+        }
+        #[cfg(not(feature = "dense-oracle"))]
+        {
+            let a_norm = tape.sparse_constant(geattack_graph::normalized_adjacency_csr(graph).matrix);
+            self.logits_sparse(tape, a_norm, x, params)
+        }
+    }
+
+    /// Full-graph hidden layer through the compiled-in adjacency representation.
+    fn graph_hidden(&self, tape: &Tape, graph: &Graph, x: Var, params: &GcnParamVars) -> Var {
+        #[cfg(feature = "dense-oracle")]
+        {
+            let a_norm = tape.constant(geattack_graph::normalized_adjacency(graph));
+            self.hidden_layer(tape, a_norm, x, params)
+        }
+        #[cfg(not(feature = "dense-oracle"))]
+        {
+            let a_norm = tape.sparse_constant(geattack_graph::normalized_adjacency_csr(graph).matrix);
+            self.hidden_layer_sparse(tape, a_norm, x, params)
+        }
     }
 }
 
@@ -242,6 +326,33 @@ mod tests {
         }
         assert_eq!(gcn.predict_labels(&g).len(), 6);
         assert_eq!(gcn.node_embeddings(&g).shape(), (6, 8));
+    }
+
+    #[test]
+    fn sparse_prediction_is_bit_identical_to_dense() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let g = toy_graph();
+        let gcn = Gcn::new(4, 8, 2, &mut rng);
+
+        // Dense reference forward, built explicitly on the dense tape path.
+        let tape = Tape::new();
+        let a_norm = tape.constant(geattack_graph::normalized_adjacency(&g));
+        let x = tape.constant(g.features().clone());
+        let params = gcn.insert_params_frozen(&tape);
+        let dense_logits = tape.value(gcn.logits(&tape, a_norm, x, &params));
+        let dense_hidden = tape.value(gcn.hidden_layer(&tape, a_norm, x, &params));
+
+        // Sparse forward on the same parameters.
+        let tape = Tape::new();
+        let a_sparse = tape.sparse_constant(geattack_graph::normalized_adjacency_csr(&g).matrix);
+        let x = tape.constant(g.features().clone());
+        let params = gcn.insert_params_frozen(&tape);
+        let sparse_logits = tape.value(gcn.logits_sparse(&tape, a_sparse, x, &params));
+        let sparse_hidden = tape.value(gcn.hidden_layer_sparse(&tape, a_sparse, x, &params));
+
+        assert_eq!(sparse_logits.as_slice(), dense_logits.as_slice());
+        assert_eq!(sparse_hidden.as_slice(), dense_hidden.as_slice());
+        assert_eq!(gcn.node_embeddings(&g).as_slice(), dense_hidden.as_slice());
     }
 
     #[test]

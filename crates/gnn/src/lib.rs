@@ -13,4 +13,4 @@ pub mod train;
 pub use eval::{accuracy, node_predictions, predicted_class, NodePrediction};
 pub use gcn::{Gcn, GcnParamVars, GcnParams};
 pub use surrogate::{Surrogate, SurrogateConfig};
-pub use train::{train, EpochStats, TrainConfig, TrainedGcn};
+pub use train::{train, train_dense_oracle, train_sparse, EpochStats, TrainConfig, TrainedGcn};

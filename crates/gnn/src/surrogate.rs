@@ -9,7 +9,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use geattack_graph::{DataSplit, Graph};
-use geattack_tensor::{grad::grad_values, init, nn, Adam, Matrix, Optimizer, Tape};
+use geattack_tensor::{grad::grad_values, init, nn, Adam, Matrix, Optimizer, SparseMatrix, Tape};
 
 /// Hyper-parameters for surrogate training.
 #[derive(Clone, Debug)]
@@ -42,6 +42,13 @@ pub struct Surrogate {
     pub w: Matrix,
 }
 
+/// `Ã·(Ã·X)` for a raw 0/1 adjacency in CSR form — the surrogate's propagated
+/// features without ever materializing the dense two-hop matrix.
+fn two_hop_features(raw_adjacency: &SparseMatrix, features: &Matrix) -> Matrix {
+    let a_norm = geattack_graph::normalize_sparse(raw_adjacency).matrix;
+    a_norm.spmm(&a_norm.spmm(features))
+}
+
 impl Surrogate {
     /// Trains the surrogate on the labelled nodes of `split`.
     pub fn train(graph: &Graph, split: &DataSplit, config: &SurrogateConfig) -> Self {
@@ -50,9 +57,9 @@ impl Surrogate {
         let mut w = init::glorot_uniform(graph.num_features(), graph.num_classes(), &mut rng);
         let mut optimizer = Adam::new(config.lr).with_weight_decay(config.weight_decay);
 
-        let a_norm = geattack_graph::normalized_adjacency(graph);
-        let a2 = a_norm.matmul(&a_norm);
-        let a2x = a2.matmul(graph.features());
+        // Two-hop propagation as Ã·(Ã·X): two SpMMs at O(nnz·d) instead of the
+        // dense Ã² materialization at O(n·nnz + n²·d).
+        let a2x = two_hop_features(&graph.to_csr().to_sparse(), graph.features());
         let labels: Vec<usize> = split.train.iter().map(|&i| graph.label(i)).collect();
 
         for _ in 0..config.epochs {
@@ -70,11 +77,12 @@ impl Surrogate {
         Self { w }
     }
 
-    /// Surrogate logits `Ã² X W` for an arbitrary (possibly perturbed) adjacency.
+    /// Surrogate logits `Ã² X W` for an arbitrary (possibly perturbed) adjacency,
+    /// computed as `Ã·(Ã·(X W))` on the sparse core.
     pub fn logits(&self, adjacency: &Matrix, features: &Matrix) -> Matrix {
-        let a_norm = nn::gcn_normalize_matrix(adjacency);
-        let a2 = a_norm.matmul(&a_norm);
-        a2.matmul(&features.matmul(&self.w))
+        let a_norm = geattack_graph::normalize_sparse(&SparseMatrix::from_dense(adjacency)).matrix;
+        let xw = features.matmul(&self.w);
+        a_norm.spmm(&a_norm.spmm(&xw))
     }
 
     /// `X W` — precomputable part of the surrogate logits, useful when scoring many

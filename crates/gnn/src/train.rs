@@ -4,9 +4,9 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use geattack_graph::{DataSplit, Graph};
-use geattack_tensor::{grad::grad_values, nn, Adam, Matrix, Optimizer, Tape};
+use geattack_tensor::{grad::grad_values, nn, Adam, Matrix, Optimizer, SparseMatrix, Tape, Var};
 
-use crate::gcn::{Gcn, GcnParams};
+use crate::gcn::{Gcn, GcnParamVars, GcnParams};
 
 /// Hyper-parameters for GCN training (defaults follow the DeepRobust/Kipf setup
 /// the paper builds on: 16 hidden units, Adam with lr 0.01, weight decay 5e-4,
@@ -61,15 +61,63 @@ pub struct TrainedGcn {
     pub history: Vec<EpochStats>,
 }
 
+/// How the full-graph normalized adjacency enters the per-epoch tape. The two
+/// representations are bit-identical in every value they produce (the SpMM
+/// kernel replays the dense matmul's exact accumulation order), so the choice is
+/// purely a cost decision: O(nnz·f) against O(n²·f) per layer.
+enum AdjacencyRepr {
+    Sparse(SparseMatrix),
+    Dense(Matrix),
+}
+
+impl AdjacencyRepr {
+    fn log_probs(&self, tape: &Tape, model: &Gcn, x: Var, params: &GcnParamVars) -> Var {
+        match self {
+            AdjacencyRepr::Dense(m) => {
+                let a_norm = tape.constant(m.clone());
+                model.log_probs(tape, a_norm, x, params)
+            }
+            AdjacencyRepr::Sparse(s) => {
+                let a_norm = tape.sparse_constant(s.clone());
+                model.log_probs_sparse(tape, a_norm, x, params)
+            }
+        }
+    }
+}
+
 /// Trains a two-layer GCN on `graph` using the labelled nodes in `split.train`,
 /// early-stopping on `split.val`.
+///
+/// Training runs on the CSR SpMM core by default; the `dense-oracle` feature
+/// flips the default to the dense adjacency (results are bit-identical, see
+/// [`train_dense_oracle`]).
 pub fn train(graph: &Graph, split: &DataSplit, config: &TrainConfig) -> TrainedGcn {
+    #[cfg(feature = "dense-oracle")]
+    let repr = AdjacencyRepr::Dense(geattack_graph::normalized_adjacency(graph));
+    #[cfg(not(feature = "dense-oracle"))]
+    let repr = AdjacencyRepr::Sparse(geattack_graph::normalized_adjacency_csr(graph).matrix);
+    train_with_repr(graph, split, config, repr)
+}
+
+/// [`train`] forced onto the sparse path (equivalence tests).
+pub fn train_sparse(graph: &Graph, split: &DataSplit, config: &TrainConfig) -> TrainedGcn {
+    let repr = AdjacencyRepr::Sparse(geattack_graph::normalized_adjacency_csr(graph).matrix);
+    train_with_repr(graph, split, config, repr)
+}
+
+/// [`train`] forced onto the dense path — the oracle the sparse path is pinned
+/// against bit-for-bit.
+pub fn train_dense_oracle(graph: &Graph, split: &DataSplit, config: &TrainConfig) -> TrainedGcn {
+    let repr = AdjacencyRepr::Dense(geattack_graph::normalized_adjacency(graph));
+    train_with_repr(graph, split, config, repr)
+}
+
+fn train_with_repr(graph: &Graph, split: &DataSplit, config: &TrainConfig, repr: AdjacencyRepr) -> TrainedGcn {
     assert!(!split.train.is_empty(), "training split is empty");
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
     let mut model = Gcn::new(graph.num_features(), config.hidden, graph.num_classes(), &mut rng);
     let mut optimizer = Adam::new(config.lr).with_weight_decay(config.weight_decay);
 
-    let a_norm_value = geattack_graph::normalized_adjacency(graph);
     let x_value = graph.features().clone();
     let train_labels: Vec<usize> = split.train.iter().map(|&i| graph.label(i)).collect();
     let val_labels: Vec<usize> = split.val.iter().map(|&i| graph.label(i)).collect();
@@ -81,10 +129,9 @@ pub fn train(graph: &Graph, split: &DataSplit, config: &TrainConfig) -> TrainedG
 
     for epoch in 0..config.epochs {
         let tape = Tape::new();
-        let a_norm = tape.constant(a_norm_value.clone());
         let x = tape.constant(x_value.clone());
         let params = model.insert_params(&tape);
-        let log_probs = model.log_probs(&tape, a_norm, x, &params);
+        let log_probs = repr.log_probs(&tape, &model, x, &params);
         let train_loss = nn::masked_nll(&tape, log_probs, &split.train, &train_labels, graph.num_classes());
 
         let val_loss = if split.val.is_empty() {
@@ -188,6 +235,31 @@ mod tests {
             },
         );
         assert!(trained.history.len() < 500, "early stopping never triggered");
+    }
+
+    #[test]
+    fn sparse_training_is_bit_identical_to_dense_oracle() {
+        let cfg = GeneratorConfig::at_scale(0.06, 12);
+        let graph = load(DatasetName::Cora, &cfg);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let split = stratified_split(graph.labels(), graph.num_classes(), 0.1, 0.1, &mut rng);
+        let config = TrainConfig {
+            epochs: 25,
+            patience: Some(10),
+            ..Default::default()
+        };
+        let sparse = train_sparse(&graph, &split, &config);
+        let dense = train_dense_oracle(&graph, &split, &config);
+        // Identical epoch count (identical early-stopping decisions), identical
+        // loss curves and identical final parameters — to the bit.
+        assert_eq!(sparse.history.len(), dense.history.len());
+        for (a, b) in sparse.history.iter().zip(&dense.history) {
+            assert_eq!(a.train_loss.to_bits(), b.train_loss.to_bits());
+            assert_eq!(a.val_loss.to_bits(), b.val_loss.to_bits());
+        }
+        for (a, b) in sparse.model.params().to_vec().iter().zip(dense.model.params().to_vec()) {
+            assert!(a.approx_eq(&b, 0.0), "sparse and dense training diverged");
+        }
     }
 
     #[test]

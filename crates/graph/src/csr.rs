@@ -4,7 +4,7 @@
 //! with respect to every potential edge), but graph-traversal style preprocessing
 //! (connected components, k-hop neighbourhoods) is much cheaper on a CSR view.
 
-use geattack_tensor::Matrix;
+use geattack_tensor::{Matrix, SparseMatrix};
 
 /// Compressed sparse row representation of an unweighted, undirected graph.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -104,6 +104,17 @@ impl Csr {
             next += 1;
         }
         comp
+    }
+
+    /// The weighted-CSR view of this structure: every edge carries value `1.0`.
+    /// This is the bridge from the traversal-only CSR to the sparse compute core
+    /// (`geattack-tensor`'s SpMM/SDDMM kernels).
+    pub fn to_sparse(&self) -> SparseMatrix {
+        let n = self.num_nodes();
+        let rows: Vec<Vec<(usize, f64)>> = (0..n)
+            .map(|i| self.neighbors(i).iter().map(|&j| (j, 1.0)).collect())
+            .collect();
+        SparseMatrix::from_rows(n, n, &rows)
     }
 
     /// Nodes reachable from `seeds` within `k` hops (including the seeds),

@@ -326,6 +326,10 @@ impl GraphFamily for CitationFamily {
         }
     }
 
+    fn reference_nodes(&self) -> usize {
+        self.dataset.spec().nodes
+    }
+
     fn generate(&self, config: &FamilyConfig) -> Graph {
         generate(
             &self.dataset.spec(),

@@ -58,6 +58,16 @@ pub trait GraphFamily: Send + Sync {
     /// Generates the raw graph for `config`. Must be deterministic per config.
     fn generate(&self, config: &FamilyConfig) -> Graph;
 
+    /// Approximate node count of the generated graph at `scale = 1.0`.
+    ///
+    /// A **cost estimate** for schedulers (the sweep runner orders cells by
+    /// `(reference_nodes · scale)² · epochs` so the work queue starts the
+    /// biggest cells first), not a contract: LCC extraction and family-specific
+    /// structure shift the exact count.
+    fn reference_nodes(&self) -> usize {
+        500
+    }
+
     /// Generates the graph and keeps only its largest connected component,
     /// mirroring the preprocessing the paper applies to the citation datasets.
     fn load(&self, config: &FamilyConfig) -> Graph {

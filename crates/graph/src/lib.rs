@@ -25,6 +25,9 @@ pub use datasets::{CitationFamily, DatasetName, DatasetSpec, GeneratorConfig};
 pub use family::{FamilyConfig, GraphFamily};
 pub use graph::Graph;
 pub use perturb::Perturbation;
-pub use preprocess::{largest_connected_component, normalized_adjacency, GraphStats};
+pub use preprocess::{
+    largest_connected_component, normalize_sparse, normalized_adjacency, normalized_adjacency_csr, GraphStats,
+    SparseNormalized,
+};
 pub use split::{random_split, stratified_split, DataSplit};
 pub use subgraph::{computation_subgraph, ComputationSubgraph};

@@ -4,7 +4,7 @@
 //! connected component (LCC) of each dataset; `largest_connected_component`
 //! reproduces that step.
 
-use geattack_tensor::{nn, Matrix};
+use geattack_tensor::{nn, Matrix, SparseMatrix};
 
 use crate::graph::Graph;
 
@@ -33,6 +33,85 @@ pub fn largest_connected_component(graph: &Graph) -> (Graph, Vec<usize>) {
 /// adjacency matrix, as a concrete matrix.
 pub fn normalized_adjacency(graph: &Graph) -> Matrix {
     nn::gcn_normalize_matrix(graph.adjacency())
+}
+
+/// The sparse GCN-normalized adjacency plus the degree data the attacks'
+/// raw-adjacency gradient chain rule consumes.
+///
+/// The stored values of [`SparseNormalized::matrix`] are **bit-identical** to the
+/// corresponding entries of [`normalized_adjacency`]: degrees are accumulated in
+/// the same ascending-column order as the dense `row_sums` (skipped zeros do not
+/// change an `f64` sum), and each value is computed as the identical expression
+/// `â_ij · d_i^{-1/2} · d_j^{-1/2}`. This is what keeps the sparse forward pass a
+/// byte-exact replacement for the dense one.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SparseNormalized {
+    /// `Ã` in weighted CSR form (self loops included).
+    pub matrix: SparseMatrix,
+    /// `d_i = 1 + Σ_j a_ij` (degrees of `A + I`).
+    pub degrees: Vec<f64>,
+    /// `d_i^{-1/2}`, cached because both the values above and the backward chain
+    /// rule reuse it.
+    pub inv_sqrt: Vec<f64>,
+}
+
+/// GCN-normalizes an arbitrary weighted symmetric sparse adjacency (zero or
+/// stored diagonal; a stored diagonal entry has the implicit self loop added on
+/// top, mirroring the dense `A + I`).
+pub fn normalize_sparse(raw: &SparseMatrix) -> SparseNormalized {
+    assert_eq!(raw.rows(), raw.cols(), "normalize_sparse expects a square adjacency");
+    let n = raw.rows();
+
+    // Merge the self loop into each row at its sorted position, then accumulate
+    // the degree over the merged row in ascending column order (the dense
+    // row_sums order, minus bit-neutral zero terms).
+    let mut rows_hat: Vec<Vec<(usize, f64)>> = Vec::with_capacity(n);
+    let mut degrees = Vec::with_capacity(n);
+    for i in 0..n {
+        let indices = raw.row_indices(i);
+        let values = raw.row_values(i);
+        let mut row: Vec<(usize, f64)> = Vec::with_capacity(indices.len() + 1);
+        let mut inserted = false;
+        for (&j, &v) in indices.iter().zip(values) {
+            if !inserted && j >= i {
+                if j == i {
+                    row.push((i, v + 1.0));
+                } else {
+                    row.push((i, 1.0));
+                    row.push((j, v));
+                }
+                inserted = true;
+            } else {
+                row.push((j, v));
+            }
+        }
+        if !inserted {
+            row.push((i, 1.0));
+        }
+        let mut degree = 0.0;
+        for &(_, v) in &row {
+            degree += v;
+        }
+        degrees.push(degree);
+        rows_hat.push(row);
+    }
+    let inv_sqrt: Vec<f64> = degrees.iter().map(|d| 1.0 / d.sqrt()).collect();
+    let rows_norm: Vec<Vec<(usize, f64)>> = rows_hat
+        .iter()
+        .enumerate()
+        .map(|(i, row)| row.iter().map(|&(j, v)| (j, v * inv_sqrt[i] * inv_sqrt[j])).collect())
+        .collect();
+    SparseNormalized {
+        matrix: SparseMatrix::from_rows(n, n, &rows_norm),
+        degrees,
+        inv_sqrt,
+    }
+}
+
+/// Sparse counterpart of [`normalized_adjacency`]: `Ã` in CSR form with degree
+/// data, built through the traversal CSR.
+pub fn normalized_adjacency_csr(graph: &Graph) -> SparseNormalized {
+    normalize_sparse(&graph.to_csr().to_sparse())
 }
 
 /// Per-node degree vector.
@@ -124,5 +203,34 @@ mod tests {
     fn degrees_vector() {
         let g = two_components();
         assert_eq!(degrees(&g), vec![2, 2, 2, 1, 1]);
+    }
+
+    #[test]
+    fn sparse_normalization_is_bit_identical_to_dense() {
+        let g = two_components();
+        let dense = normalized_adjacency(&g);
+        let sparse = normalized_adjacency_csr(&g);
+        assert_eq!(sparse.matrix.rows(), 5);
+        // Every stored value matches the dense entry bit-for-bit, and the dense
+        // matrix has no non-zero outside the stored pattern.
+        let as_dense = sparse.matrix.to_dense();
+        assert_eq!(as_dense.as_slice(), dense.as_slice(), "bitwise-equal normalization");
+        // Degrees include the self loop.
+        assert_eq!(sparse.degrees, vec![3.0, 3.0, 3.0, 2.0, 2.0]);
+        for (d, s) in sparse.degrees.iter().zip(&sparse.inv_sqrt) {
+            assert_eq!(*s, 1.0 / d.sqrt());
+        }
+    }
+
+    #[test]
+    fn normalize_sparse_handles_weighted_and_diagonal_entries() {
+        // A weighted adjacency with an explicitly stored diagonal entry (the IG
+        // interpolation path produces weighted entries).
+        let raw = geattack_tensor::SparseMatrix::from_rows(2, 2, &[vec![(0, 0.5), (1, 0.25)], vec![(0, 0.25)]]);
+        let norm = normalize_sparse(&raw);
+        // Dense oracle on the same weighted matrix.
+        let dense = nn::gcn_normalize_matrix(&raw.to_dense());
+        assert_eq!(norm.matrix.to_dense().as_slice(), dense.as_slice());
+        assert_eq!(norm.degrees, vec![1.75, 1.25]);
     }
 }

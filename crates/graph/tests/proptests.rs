@@ -117,4 +117,28 @@ proptest! {
         let h = graph.edge_homophily();
         prop_assert!((0.0..=1.0).contains(&h));
     }
+
+    #[test]
+    fn sparse_normalization_is_bitwise_equal_to_dense_on_random_graphs(edges in edges_strategy()) {
+        let graph = graph_from_edges(&edges);
+        let dense = geattack_graph::normalized_adjacency(&graph);
+        let sparse = geattack_graph::normalized_adjacency_csr(&graph);
+        let densified = sparse.matrix.to_dense();
+        prop_assert_eq!(densified.as_slice(), dense.as_slice());
+        // The chain-rule inputs agree with the dense degree definition.
+        for i in 0..N {
+            let degree = 1.0 + graph.degree(i) as f64;
+            prop_assert_eq!(sparse.degrees[i].to_bits(), degree.to_bits());
+            prop_assert_eq!(sparse.inv_sqrt[i].to_bits(), (1.0 / degree.sqrt()).to_bits());
+        }
+    }
+
+    #[test]
+    fn csr_to_sparse_round_trips_the_adjacency(edges in edges_strategy()) {
+        let graph = graph_from_edges(&edges);
+        let sparse = graph.to_csr().to_sparse();
+        let densified = sparse.to_dense();
+        prop_assert_eq!(densified.as_slice(), graph.adjacency().as_slice());
+        prop_assert_eq!(sparse.nnz(), 2 * graph.num_edges());
+    }
 }

@@ -52,6 +52,10 @@ impl GraphFamily for BaShapes {
         "ba-shapes"
     }
 
+    fn reference_nodes(&self) -> usize {
+        self.base_nodes + self.motifs * 5
+    }
+
     fn generate(&self, config: &FamilyConfig) -> Graph {
         let mut rng = ChaCha8Rng::seed_from_u64(stream_seed(self.name(), config.seed));
         let n_base = ((self.base_nodes as f64 * config.scale).round() as usize).max(30);

@@ -64,6 +64,10 @@ impl GraphFamily for StochasticBlockModel {
         self.name
     }
 
+    fn reference_nodes(&self) -> usize {
+        self.nodes
+    }
+
     fn generate(&self, config: &FamilyConfig) -> Graph {
         let mut rng = ChaCha8Rng::seed_from_u64(stream_seed(self.name(), config.seed));
         let n = ((self.nodes as f64 * config.scale).round() as usize).max(60);

@@ -44,6 +44,10 @@ impl GraphFamily for TreeCycles {
         "tree-cycles"
     }
 
+    fn reference_nodes(&self) -> usize {
+        self.tree_nodes + self.cycles * self.cycle_len
+    }
+
     fn generate(&self, config: &FamilyConfig) -> Graph {
         let mut rng = ChaCha8Rng::seed_from_u64(stream_seed(self.name(), config.seed));
         let n_tree = ((self.tree_nodes as f64 * config.scale).round() as usize).max(31);

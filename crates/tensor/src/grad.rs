@@ -7,8 +7,11 @@
 //! what lets GEAttack differentiate through the explainer's inner gradient-descent
 //! updates (Eq. 6/8 of the paper).
 
+use std::collections::HashMap;
+
 use crate::matrix::Matrix;
-use crate::tape::{Op, Tape, Var};
+use crate::sparse::SparseMatrix;
+use crate::tape::{Op, SparseVar, Tape, Var};
 
 /// Computes `d output / d wrt[i]` for every requested variable.
 ///
@@ -21,6 +24,20 @@ use crate::tape::{Op, Tape, Var};
 /// # Panics
 /// Panics if `output` is not `1x1`.
 pub fn grad(tape: &Tape, output: Var, wrt: &[Var]) -> Vec<Var> {
+    grad_full(tape, output, wrt, &[]).0
+}
+
+/// [`grad`] extended with gradients for sparse operands.
+///
+/// For every requested [`SparseVar`] the second return value holds
+/// `∂ output / ∂ A[i, j]` at exactly the positions registered via
+/// [`Tape::sparse_input`], in registration order. These are concrete values, not
+/// tape nodes: the sparse gradients are produced by candidate-masked SDDMM and
+/// are consumed as final results (edge scores) by the attack loops, which do not
+/// differentiate through them again. The dense gradients remain fully
+/// differentiable tape expressions, including through spmm nodes (the
+/// dense-operand backward of an spmm is another spmm).
+pub fn grad_full(tape: &Tape, output: Var, wrt: &[Var], sparse_wrt: &[SparseVar]) -> (Vec<Var>, Vec<Vec<f64>>) {
     assert_eq!(output.shape(), (1, 1), "grad: output must be a 1x1 scalar");
 
     // Mark every ancestor of `output` so the backward sweep can skip unrelated nodes.
@@ -28,13 +45,21 @@ pub fn grad(tape: &Tape, output: Var, wrt: &[Var]) -> Vec<Var> {
     let mut stack = vec![output.id()];
     needed[output.id()] = true;
     while let Some(id) = stack.pop() {
-        for p in tape.parents_of(id) {
+        for &p in tape.parents_of(id).as_slice() {
             if !needed[p] {
                 needed[p] = true;
                 stack.push(p);
             }
         }
     }
+
+    // One accumulation buffer per requested sparse operand, aligned with its
+    // registered positions. Accumulation happens eagerly (values, not tape ops)
+    // in the deterministic reverse-node-id order of the sweep.
+    let mut sparse_accum: HashMap<usize, Vec<f64>> = sparse_wrt
+        .iter()
+        .map(|s| (s.id(), vec![0.0; tape.sparse_positions(*s).len()]))
+        .collect();
 
     let mut grads: Vec<Option<Var>> = vec![None; output.id() + 1];
     grads[output.id()] = Some(tape.constant(Matrix::ones(1, 1)));
@@ -46,12 +71,28 @@ pub fn grad(tape: &Tape, output: Var, wrt: &[Var]) -> Vec<Var> {
         let Some(g) = grads[id] else { continue };
         let op = tape.op_of(id);
         let parents = tape.parents_of(id);
-        for (slot, contribution) in vjp(tape, id, &op, &parents, g) {
+        let parents = parents.as_slice();
+        if let Op::Spmm { sparse } = op {
+            if let Some(buffer) = sparse_accum.get_mut(&sparse) {
+                let positions = tape.sparse_positions_by_id(sparse);
+                let g_val = tape.value_ref(g);
+                let b_val = tape.value_ref(tape.var_for(parents[0]));
+                for (slot, v) in SparseMatrix::sddmm(&positions, &g_val, &b_val).into_iter().enumerate() {
+                    buffer[slot] += v;
+                }
+            }
+        }
+        let (first, second) = vjp(tape, id, &op, parents, g);
+        if let Some((slot, contribution)) = first {
+            accumulate(tape, &mut grads, slot, contribution);
+        }
+        if let Some((slot, contribution)) = second {
             accumulate(tape, &mut grads, slot, contribution);
         }
     }
 
-    wrt.iter()
+    let dense = wrt
+        .iter()
         .map(|w| {
             if w.id() <= output.id() {
                 if let Some(g) = grads[w.id()] {
@@ -60,7 +101,12 @@ pub fn grad(tape: &Tape, output: Var, wrt: &[Var]) -> Vec<Var> {
             }
             tape.constant(Matrix::zeros(w.rows(), w.cols()))
         })
-        .collect()
+        .collect();
+    let sparse = sparse_wrt
+        .iter()
+        .map(|s| sparse_accum.remove(&s.id()).expect("buffer was created above"))
+        .collect();
+    (dense, sparse)
 }
 
 /// Convenience wrapper around [`grad`] returning concrete matrices instead of tape
@@ -77,41 +123,53 @@ fn accumulate(tape: &Tape, grads: &mut [Option<Var>], id: usize, contribution: V
     });
 }
 
+/// Up to two per-parent gradient contributions, inline (no heap allocation on
+/// the per-node backward path — every primitive has at most two parents).
+type Contribs = (Option<(usize, Var)>, Option<(usize, Var)>);
+
+fn one(slot: usize, v: Var) -> Contribs {
+    (Some((slot, v)), None)
+}
+
+fn two(a: (usize, Var), b: (usize, Var)) -> Contribs {
+    (Some(a), Some(b))
+}
+
 /// Vector-Jacobian products of a single node: for each parent, the gradient
 /// contribution flowing into it given the output gradient `g` of node `id`.
-fn vjp(tape: &Tape, id: usize, op: &Op, parents: &[usize], g: Var) -> Vec<(usize, Var)> {
+fn vjp(tape: &Tape, id: usize, op: &Op, parents: &[usize], g: Var) -> Contribs {
     let parent_var = |k: usize| tape.var_for(parents[k]);
     match op {
-        Op::Leaf => vec![],
-        Op::Add => vec![(parents[0], g), (parents[1], g)],
-        Op::Sub => vec![(parents[0], g), (parents[1], tape.neg(g))],
-        Op::Neg => vec![(parents[0], tape.neg(g))],
+        Op::Leaf => (None, None),
+        Op::Add => two((parents[0], g), (parents[1], g)),
+        Op::Sub => two((parents[0], g), (parents[1], tape.neg(g))),
+        Op::Neg => one(parents[0], tape.neg(g)),
         Op::Mul => {
             let a = parent_var(0);
             let b = parent_var(1);
-            vec![(parents[0], tape.mul(g, b)), (parents[1], tape.mul(g, a))]
+            two((parents[0], tape.mul(g, b)), (parents[1], tape.mul(g, a)))
         }
-        Op::AddScalar(_) => vec![(parents[0], g)],
-        Op::MulScalar(s) => vec![(parents[0], tape.mul_scalar(g, *s))],
+        Op::AddScalar(_) => one(parents[0], g),
+        Op::MulScalar(s) => one(parents[0], tape.mul_scalar(g, *s)),
         Op::PowScalar(p) => {
             let a = parent_var(0);
             let deriv = tape.mul_scalar(tape.pow_scalar(a, p - 1.0), *p);
-            vec![(parents[0], tape.mul(g, deriv))]
+            one(parents[0], tape.mul(g, deriv))
         }
         Op::MatMul => {
             let a = parent_var(0);
             let b = parent_var(1);
             let bt = tape.transpose(b);
             let at = tape.transpose(a);
-            vec![(parents[0], tape.matmul(g, bt)), (parents[1], tape.matmul(at, g))]
+            two((parents[0], tape.matmul(g, bt)), (parents[1], tape.matmul(at, g)))
         }
-        Op::Transpose => vec![(parents[0], tape.transpose(g))],
+        Op::Transpose => one(parents[0], tape.transpose(g)),
         Op::Sigmoid => {
             // dσ/dx = σ(x)(1 - σ(x)); reuse the node's own output value.
             let y = tape.var_for(id);
             let one_minus = tape.add_scalar(tape.mul_scalar(y, -1.0), 1.0);
             let deriv = tape.mul(y, one_minus);
-            vec![(parents[0], tape.mul(g, deriv))]
+            one(parents[0], tape.mul(g, deriv))
         }
         Op::Relu => {
             // The subgradient mask is treated as a constant: the second derivative
@@ -119,43 +177,50 @@ fn vjp(tape: &Tape, id: usize, op: &Op, parents: &[usize], g: Var) -> Vec<(usize
             // double-backward use case.
             let mask = tape.with_node(parents[0], |n| n.value.map(|x| if x > 0.0 { 1.0 } else { 0.0 }));
             let mask = tape.constant(mask);
-            vec![(parents[0], tape.mul(g, mask))]
+            one(parents[0], tape.mul(g, mask))
         }
         Op::Tanh => {
             let y = tape.var_for(id);
             let y2 = tape.mul(y, y);
             let deriv = tape.add_scalar(tape.mul_scalar(y2, -1.0), 1.0);
-            vec![(parents[0], tape.mul(g, deriv))]
+            one(parents[0], tape.mul(g, deriv))
         }
         Op::Exp => {
             let y = tape.var_for(id);
-            vec![(parents[0], tape.mul(g, y))]
+            one(parents[0], tape.mul(g, y))
         }
         Op::Ln => {
             let a = parent_var(0);
             let inv = tape.pow_scalar(a, -1.0);
-            vec![(parents[0], tape.mul(g, inv))]
+            one(parents[0], tape.mul(g, inv))
         }
         Op::SumAll => {
             let a = parent_var(0);
-            vec![(parents[0], tape.broadcast_scalar(g, a.rows(), a.cols()))]
+            one(parents[0], tape.broadcast_scalar(g, a.rows(), a.cols()))
         }
         Op::SumRows => {
             let a = parent_var(0);
-            vec![(parents[0], tape.col_broadcast(g, a.cols()))]
+            one(parents[0], tape.col_broadcast(g, a.cols()))
         }
         Op::SumCols => {
             let a = parent_var(0);
-            vec![(parents[0], tape.row_broadcast(g, a.rows()))]
+            one(parents[0], tape.row_broadcast(g, a.rows()))
         }
-        Op::BroadcastScalar { .. } => vec![(parents[0], tape.sum_all(g))],
-        Op::ColBroadcast { .. } => vec![(parents[0], tape.sum_rows(g))],
-        Op::RowBroadcast { .. } => vec![(parents[0], tape.sum_cols(g))],
+        Op::BroadcastScalar { .. } => one(parents[0], tape.sum_all(g)),
+        Op::ColBroadcast { .. } => one(parents[0], tape.sum_rows(g)),
+        Op::RowBroadcast { .. } => one(parents[0], tape.sum_cols(g)),
         Op::GatherRows { indices } => {
             let a = parent_var(0);
-            vec![(parents[0], tape.scatter_rows(g, indices, a.rows()))]
+            one(parents[0], tape.scatter_rows(g, indices, a.rows()))
         }
-        Op::ScatterRows { indices, .. } => vec![(parents[0], tape.gather_rows(g, indices))],
+        Op::ScatterRows { indices, .. } => one(parents[0], tape.gather_rows(g, indices)),
+        Op::Spmm { sparse } => {
+            // C = A · B with sparse A: ∂L/∂B = Aᵀ · g, emitted as another spmm so
+            // the dense gradient stays differentiable. The sparse operand's
+            // gradient is handled by the masked SDDMM in the sweep itself.
+            let at = tape.sparse_transpose_of(*sparse);
+            one(parents[0], tape.spmm(at, g))
+        }
     }
 }
 
@@ -361,5 +426,119 @@ mod tests {
         let tape = Tape::new();
         let x = tape.input(Matrix::ones(2, 2));
         let _ = grad(&tape, x, &[x]);
+    }
+
+    fn sparse_example() -> SparseMatrix {
+        SparseMatrix::from_rows(
+            3,
+            3,
+            &[vec![(0, 0.5), (2, 2.0)], vec![(1, -1.5)], vec![(0, 1.0), (1, 3.0)]],
+        )
+    }
+
+    #[test]
+    fn spmm_forward_bitwise_matches_dense() {
+        let tape = Tape::new();
+        let s = sparse_example();
+        let b0 = Matrix::from_fn(3, 2, |i, j| 0.3 * (i as f64) - 0.4 * (j as f64) + 0.1);
+        let a = tape.sparse_constant(s.clone());
+        let b = tape.input(b0.clone());
+        let c = tape.spmm(a, b);
+        let dense = s.to_dense().matmul(&b0);
+        assert_eq!(tape.value(c).as_slice(), dense.as_slice());
+    }
+
+    #[test]
+    fn spmm_dense_gradient_matches_dense_matmul_gradient() {
+        // d sum((A·B)²) / dB through the sparse path must equal the dense path.
+        let s = sparse_example();
+        let b0 = Matrix::from_fn(3, 2, |i, j| 0.2 * (i as f64 + 1.0) + 0.7 * (j as f64) - 0.3);
+
+        let tape = Tape::new();
+        let a = tape.sparse_constant(s.clone());
+        let b = tape.input(b0.clone());
+        let c = tape.spmm(a, b);
+        let loss = tape.sum_all(tape.mul(c, c));
+        let sparse_grad = tape.value(grad(&tape, loss, &[b])[0]);
+
+        let tape = Tape::new();
+        let a = tape.constant(s.to_dense());
+        let b = tape.input(b0);
+        let c = tape.matmul(a, b);
+        let loss = tape.sum_all(tape.mul(c, c));
+        let dense_grad = tape.value(grad(&tape, loss, &[b])[0]);
+
+        assert_eq!(sparse_grad.as_slice(), dense_grad.as_slice(), "bitwise-equal backward");
+    }
+
+    #[test]
+    fn masked_sparse_gradient_matches_dense_adjacency_gradient() {
+        // ∂ sum((A·B)²) / ∂A at requested positions — stored and unstored alike —
+        // must match the full dense gradient matrix.
+        let s = sparse_example();
+        let b0 = Matrix::from_fn(3, 2, |i, j| 0.9 - 0.35 * (i as f64) + 0.15 * (j as f64));
+        let positions = vec![(0, 0), (0, 1), (1, 2), (2, 1), (2, 2)];
+
+        let tape = Tape::new();
+        let a = tape.sparse_input(s.clone(), positions.clone());
+        let b = tape.constant(b0.clone());
+        let c = tape.spmm(a, b);
+        let loss = tape.sum_all(tape.mul(c, c));
+        let (_, sparse_grads) = grad_full(&tape, loss, &[], &[a]);
+
+        let tape = Tape::new();
+        let ad = tape.input(s.to_dense());
+        let b = tape.constant(b0);
+        let c = tape.matmul(ad, b);
+        let loss = tape.sum_all(tape.mul(c, c));
+        let dense_grad = tape.value(grad(&tape, loss, &[ad])[0]);
+
+        for (&(i, j), &v) in positions.iter().zip(&sparse_grads[0]) {
+            assert!(
+                (v - dense_grad[(i, j)]).abs() < 1e-12,
+                "masked gradient mismatch at ({i},{j}): {v} vs {}",
+                dense_grad[(i, j)]
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_gradient_accumulates_over_multiple_uses() {
+        // The same sparse operand feeding two spmm nodes (a two-layer GCN shape)
+        // accumulates both contributions.
+        let s = sparse_example();
+        let b0 = Matrix::from_fn(3, 2, |i, j| 0.25 * (i as f64) + 0.5 * (j as f64) + 0.1);
+        let positions = s.stored_positions();
+
+        let tape = Tape::new();
+        let a = tape.sparse_input(s.clone(), positions.clone());
+        let b = tape.constant(b0.clone());
+        let h = tape.spmm(a, b);
+        let c = tape.spmm(a, h);
+        let loss = tape.sum_all(c);
+        let (_, sparse_grads) = grad_full(&tape, loss, &[], &[a]);
+
+        let tape = Tape::new();
+        let ad = tape.input(s.to_dense());
+        let b = tape.constant(b0);
+        let h = tape.matmul(ad, b);
+        let c = tape.matmul(ad, h);
+        let loss = tape.sum_all(c);
+        let dense_grad = tape.value(grad(&tape, loss, &[ad])[0]);
+
+        for (&(i, j), &v) in positions.iter().zip(&sparse_grads[0]) {
+            assert!((v - dense_grad[(i, j)]).abs() < 1e-10, "mismatch at ({i},{j})");
+        }
+    }
+
+    #[test]
+    fn unused_sparse_operand_gets_zero_gradient() {
+        let tape = Tape::new();
+        let a = tape.sparse_input(sparse_example(), vec![(0, 0), (1, 1)]);
+        let x = tape.input(Matrix::ones(1, 1));
+        let loss = tape.sum_all(tape.mul(x, x));
+        let (dense, sparse) = grad_full(&tape, loss, &[x], &[a]);
+        assert_eq!(tape.value(dense[0]).scalar(), 2.0);
+        assert_eq!(sparse[0], vec![0.0, 0.0]);
     }
 }

@@ -27,9 +27,11 @@ pub mod init;
 pub mod matrix;
 pub mod nn;
 pub mod optim;
+pub mod sparse;
 pub mod tape;
 
-pub use grad::{grad, grad_values};
+pub use grad::{grad, grad_full, grad_values};
 pub use matrix::Matrix;
 pub use optim::{Adam, Optimizer, Sgd};
-pub use tape::{Tape, Var};
+pub use sparse::SparseMatrix;
+pub use tape::{SparseVar, Tape, Var};

@@ -7,9 +7,11 @@
 //! needs (the outer gradient w.r.t. the adjacency matrix flows through the inner
 //! explainer gradient-descent steps).
 
-use std::cell::{Ref, RefCell};
+use std::cell::{Cell, Ref, RefCell};
+use std::rc::Rc;
 
 use crate::matrix::Matrix;
+use crate::sparse::SparseMatrix;
 
 /// Handle to a value recorded on a [`Tape`].
 ///
@@ -46,6 +48,55 @@ impl Var {
     pub fn shape(&self) -> (usize, usize) {
         (self.rows, self.cols)
     }
+}
+
+/// Handle to a sparse matrix registered on a [`Tape`].
+///
+/// Sparse values live in their own arena next to the dense nodes: they only ever
+/// appear as the left operand of [`Tape::spmm`], and their gradients are read out
+/// as plain values at registered positions (see [`crate::grad::grad_full`]) rather
+/// than re-entering the tape as differentiable nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SparseVar {
+    pub(crate) id: usize,
+    pub(crate) rows: usize,
+    pub(crate) cols: usize,
+}
+
+impl SparseVar {
+    /// Sparse-node id within its tape.
+    #[inline]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Number of rows of the registered matrix.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns of the registered matrix.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` of the registered matrix.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+}
+
+pub(crate) struct SparseNode {
+    pub(crate) matrix: Rc<SparseMatrix>,
+    /// Positions at which `∂L/∂A` is requested (the candidate mask). Empty for
+    /// constants that are never differentiated against.
+    pub(crate) positions: Rc<Vec<(usize, usize)>>,
+    /// Lazily-created transpose node (the backward pass of [`Op::Spmm`] needs
+    /// `Aᵀ`, and the transpose of a transpose links back here).
+    transpose_id: Cell<Option<usize>>,
 }
 
 /// Primitive differentiable operations.
@@ -96,20 +147,52 @@ pub(crate) enum Op {
     RowBroadcast {
         rows: usize,
     },
-    /// Row selection (`indices.len() x cols`).
+    /// Row selection (`indices.len() x cols`). The indices are reference-counted
+    /// so cloning the op during the backward sweep never copies the index list.
     GatherRows {
-        indices: Vec<usize>,
+        indices: Rc<Vec<usize>>,
     },
     /// Row scattering into a `total_rows x cols` zero matrix.
     ScatterRows {
-        indices: Vec<usize>,
+        indices: Rc<Vec<usize>>,
         total_rows: usize,
     },
+    /// Sparse-times-dense product; `sparse` indexes the tape's sparse arena and
+    /// the single dense parent is the right operand.
+    Spmm {
+        sparse: usize,
+    },
+}
+
+/// The (at most two) parent node ids of an operation, stored inline: every
+/// primitive is unary or binary, so a heap-allocated list per node — cloned
+/// again on every backward visit — would be pure allocator churn on the hot
+/// explainer/attack loops, whose tapes hold thousands of tiny-matrix nodes.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct Parents {
+    ids: [usize; 2],
+    len: u8,
+}
+
+impl Parents {
+    pub(crate) const NONE: Parents = Parents { ids: [0, 0], len: 0 };
+
+    pub(crate) fn one(a: usize) -> Parents {
+        Parents { ids: [a, 0], len: 1 }
+    }
+
+    pub(crate) fn two(a: usize, b: usize) -> Parents {
+        Parents { ids: [a, b], len: 2 }
+    }
+
+    pub(crate) fn as_slice(&self) -> &[usize] {
+        &self.ids[..self.len as usize]
+    }
 }
 
 pub(crate) struct Node {
     pub(crate) op: Op,
-    pub(crate) parents: Vec<usize>,
+    pub(crate) parents: Parents,
     pub(crate) value: Matrix,
 }
 
@@ -121,6 +204,7 @@ pub(crate) struct Node {
 #[derive(Default)]
 pub struct Tape {
     nodes: RefCell<Vec<Node>>,
+    sparse_nodes: RefCell<Vec<SparseNode>>,
 }
 
 impl Tape {
@@ -128,6 +212,7 @@ impl Tape {
     pub fn new() -> Self {
         Self {
             nodes: RefCell::new(Vec::new()),
+            sparse_nodes: RefCell::new(Vec::new()),
         }
     }
 
@@ -144,14 +229,14 @@ impl Tape {
     /// Records a leaf holding `value` (an input the caller may later differentiate
     /// with respect to).
     pub fn input(&self, value: Matrix) -> Var {
-        self.push(Op::Leaf, vec![], value)
+        self.push(Op::Leaf, Parents::NONE, value)
     }
 
     /// Records a leaf holding `value`. Semantically identical to [`Tape::input`];
     /// the distinct name documents intent (constants are never differentiated
     /// against, though doing so simply yields zeros).
     pub fn constant(&self, value: Matrix) -> Var {
-        self.push(Op::Leaf, vec![], value)
+        self.push(Op::Leaf, Parents::NONE, value)
     }
 
     /// Convenience: records a `1x1` constant.
@@ -169,7 +254,7 @@ impl Tape {
         Ref::map(self.nodes.borrow(), |nodes| &nodes[v.id].value)
     }
 
-    pub(crate) fn push(&self, op: Op, parents: Vec<usize>, value: Matrix) -> Var {
+    pub(crate) fn push(&self, op: Op, parents: Parents, value: Matrix) -> Var {
         debug_assert!(!value.has_non_finite(), "tape op {op:?} produced a non-finite value");
         let rows = value.rows();
         let cols = value.cols();
@@ -183,8 +268,8 @@ impl Tape {
         f(&self.nodes.borrow()[id])
     }
 
-    pub(crate) fn parents_of(&self, id: usize) -> Vec<usize> {
-        self.nodes.borrow()[id].parents.clone()
+    pub(crate) fn parents_of(&self, id: usize) -> Parents {
+        self.nodes.borrow()[id].parents
     }
 
     pub(crate) fn op_of(&self, id: usize) -> Op {
@@ -199,6 +284,78 @@ impl Tape {
             rows: v.rows(),
             cols: v.cols(),
         }
+    }
+
+    // ---- sparse operands --------------------------------------------------------
+
+    /// Registers a sparse matrix as a constant operand (never differentiated
+    /// against; asking for its gradient yields zeros at zero positions).
+    pub fn sparse_constant(&self, matrix: SparseMatrix) -> SparseVar {
+        self.sparse_push(Rc::new(matrix), Rc::new(Vec::new()))
+    }
+
+    /// Registers a sparse matrix as an input whose gradient will be requested at
+    /// exactly `positions` (the candidate mask of the masked-SDDMM backward).
+    /// Positions outside the stored pattern are legal — the gradient of a matmul
+    /// with respect to a structurally-zero entry is still well defined.
+    pub fn sparse_input(&self, matrix: SparseMatrix, positions: Vec<(usize, usize)>) -> SparseVar {
+        for &(i, j) in &positions {
+            assert!(
+                i < matrix.rows() && j < matrix.cols(),
+                "gradient position ({i},{j}) out of range for {}x{}",
+                matrix.rows(),
+                matrix.cols()
+            );
+        }
+        self.sparse_push(Rc::new(matrix), Rc::new(positions))
+    }
+
+    fn sparse_push(&self, matrix: Rc<SparseMatrix>, positions: Rc<Vec<(usize, usize)>>) -> SparseVar {
+        let (rows, cols) = matrix.shape();
+        let mut nodes = self.sparse_nodes.borrow_mut();
+        let id = nodes.len();
+        nodes.push(SparseNode {
+            matrix,
+            positions,
+            transpose_id: Cell::new(None),
+        });
+        SparseVar { id, rows, cols }
+    }
+
+    /// The sparse matrix registered for `v` (cheap `Rc` clone).
+    pub fn sparse_value(&self, v: SparseVar) -> Rc<SparseMatrix> {
+        Rc::clone(&self.sparse_nodes.borrow()[v.id].matrix)
+    }
+
+    /// The gradient positions registered for `v` (cheap `Rc` clone).
+    pub fn sparse_positions(&self, v: SparseVar) -> Rc<Vec<(usize, usize)>> {
+        self.sparse_positions_by_id(v.id)
+    }
+
+    pub(crate) fn sparse_positions_by_id(&self, id: usize) -> Rc<Vec<(usize, usize)>> {
+        Rc::clone(&self.sparse_nodes.borrow()[id].positions)
+    }
+
+    /// The (lazily-created, cached) transpose of sparse node `id`, used by the
+    /// [`Op::Spmm`] backward rule. Transposing a transpose returns the original.
+    pub(crate) fn sparse_transpose_of(&self, id: usize) -> SparseVar {
+        {
+            let nodes = self.sparse_nodes.borrow();
+            if let Some(t) = nodes[id].transpose_id.get() {
+                let m = &nodes[t].matrix;
+                return SparseVar {
+                    id: t,
+                    rows: m.rows(),
+                    cols: m.cols(),
+                };
+            }
+        }
+        let transposed = self.sparse_nodes.borrow()[id].matrix.transpose();
+        let t = self.sparse_push(Rc::new(transposed), Rc::new(Vec::new()));
+        let nodes = self.sparse_nodes.borrow();
+        nodes[id].transpose_id.set(Some(t.id));
+        nodes[t.id].transpose_id.set(Some(id));
+        t
     }
 
     // ---- primitive operations -------------------------------------------------
@@ -220,7 +377,7 @@ impl Tape {
             let nodes = self.nodes.borrow();
             nodes[a.id].value.add(&nodes[b.id].value)
         };
-        self.push(Op::Add, vec![a.id, b.id], value)
+        self.push(Op::Add, Parents::two(a.id, b.id), value)
     }
 
     /// Element-wise difference `a - b`.
@@ -230,13 +387,13 @@ impl Tape {
             let nodes = self.nodes.borrow();
             nodes[a.id].value.sub(&nodes[b.id].value)
         };
-        self.push(Op::Sub, vec![a.id, b.id], value)
+        self.push(Op::Sub, Parents::two(a.id, b.id), value)
     }
 
     /// Element-wise negation `-a`.
     pub fn neg(&self, a: Var) -> Var {
         let value = self.nodes.borrow()[a.id].value.map(|x| -x);
-        self.push(Op::Neg, vec![a.id], value)
+        self.push(Op::Neg, Parents::one(a.id), value)
     }
 
     /// Element-wise (Hadamard) product `a ⊙ b`.
@@ -246,25 +403,25 @@ impl Tape {
             let nodes = self.nodes.borrow();
             nodes[a.id].value.hadamard(&nodes[b.id].value)
         };
-        self.push(Op::Mul, vec![a.id, b.id], value)
+        self.push(Op::Mul, Parents::two(a.id, b.id), value)
     }
 
     /// Adds the constant `s` to every element.
     pub fn add_scalar(&self, a: Var, s: f64) -> Var {
         let value = self.nodes.borrow()[a.id].value.map(|x| x + s);
-        self.push(Op::AddScalar(s), vec![a.id], value)
+        self.push(Op::AddScalar(s), Parents::one(a.id), value)
     }
 
     /// Multiplies every element by the constant `s`.
     pub fn mul_scalar(&self, a: Var, s: f64) -> Var {
         let value = self.nodes.borrow()[a.id].value.map(|x| x * s);
-        self.push(Op::MulScalar(s), vec![a.id], value)
+        self.push(Op::MulScalar(s), Parents::one(a.id), value)
     }
 
     /// Element-wise power `a^p` with constant exponent `p`.
     pub fn pow_scalar(&self, a: Var, p: f64) -> Var {
         let value = self.nodes.borrow()[a.id].value.map(|x| x.powf(p));
-        self.push(Op::PowScalar(p), vec![a.id], value)
+        self.push(Op::PowScalar(p), Parents::one(a.id), value)
     }
 
     /// Matrix product `a @ b`.
@@ -278,61 +435,80 @@ impl Tape {
             let nodes = self.nodes.borrow();
             nodes[a.id].value.matmul(&nodes[b.id].value)
         };
-        self.push(Op::MatMul, vec![a.id, b.id], value)
+        self.push(Op::MatMul, Parents::two(a.id, b.id), value)
+    }
+
+    /// Sparse-times-dense matrix product `a @ b` where `a` is a registered
+    /// [`SparseVar`]. The forward value is bit-identical to a dense `matmul` of
+    /// `a`'s dense form (same accumulation order, zero entries skipped); the
+    /// backward rule sends a dense gradient to `b` (via `aᵀ @ g`, itself an spmm)
+    /// and a candidate-masked SDDMM gradient to `a`'s registered positions.
+    pub fn spmm(&self, a: SparseVar, b: Var) -> Var {
+        assert_eq!(
+            a.cols, b.rows,
+            "spmm: inner dimensions differ ({} vs {})",
+            a.cols, b.rows
+        );
+        let value = {
+            let sparse = self.sparse_nodes.borrow();
+            let nodes = self.nodes.borrow();
+            sparse[a.id].matrix.spmm(&nodes[b.id].value)
+        };
+        self.push(Op::Spmm { sparse: a.id }, Parents::one(b.id), value)
     }
 
     /// Matrix transpose.
     pub fn transpose(&self, a: Var) -> Var {
         let value = self.nodes.borrow()[a.id].value.transpose();
-        self.push(Op::Transpose, vec![a.id], value)
+        self.push(Op::Transpose, Parents::one(a.id), value)
     }
 
     /// Element-wise logistic sigmoid.
     pub fn sigmoid(&self, a: Var) -> Var {
         let value = self.nodes.borrow()[a.id].value.map(|x| 1.0 / (1.0 + (-x).exp()));
-        self.push(Op::Sigmoid, vec![a.id], value)
+        self.push(Op::Sigmoid, Parents::one(a.id), value)
     }
 
     /// Element-wise ReLU.
     pub fn relu(&self, a: Var) -> Var {
         let value = self.nodes.borrow()[a.id].value.map(|x| x.max(0.0));
-        self.push(Op::Relu, vec![a.id], value)
+        self.push(Op::Relu, Parents::one(a.id), value)
     }
 
     /// Element-wise hyperbolic tangent.
     pub fn tanh(&self, a: Var) -> Var {
         let value = self.nodes.borrow()[a.id].value.map(f64::tanh);
-        self.push(Op::Tanh, vec![a.id], value)
+        self.push(Op::Tanh, Parents::one(a.id), value)
     }
 
     /// Element-wise exponential.
     pub fn exp(&self, a: Var) -> Var {
         let value = self.nodes.borrow()[a.id].value.map(f64::exp);
-        self.push(Op::Exp, vec![a.id], value)
+        self.push(Op::Exp, Parents::one(a.id), value)
     }
 
     /// Element-wise natural logarithm.
     pub fn ln(&self, a: Var) -> Var {
         let value = self.nodes.borrow()[a.id].value.map(f64::ln);
-        self.push(Op::Ln, vec![a.id], value)
+        self.push(Op::Ln, Parents::one(a.id), value)
     }
 
     /// Sum of all elements as a `1x1` matrix.
     pub fn sum_all(&self, a: Var) -> Var {
         let value = Matrix::from_vec(1, 1, vec![self.nodes.borrow()[a.id].value.sum()]);
-        self.push(Op::SumAll, vec![a.id], value)
+        self.push(Op::SumAll, Parents::one(a.id), value)
     }
 
     /// Per-row sums as an `n x 1` column vector.
     pub fn sum_rows(&self, a: Var) -> Var {
         let value = self.nodes.borrow()[a.id].value.row_sums();
-        self.push(Op::SumRows, vec![a.id], value)
+        self.push(Op::SumRows, Parents::one(a.id), value)
     }
 
     /// Per-column sums as a `1 x m` row vector.
     pub fn sum_cols(&self, a: Var) -> Var {
         let value = self.nodes.borrow()[a.id].value.col_sums();
-        self.push(Op::SumCols, vec![a.id], value)
+        self.push(Op::SumCols, Parents::one(a.id), value)
     }
 
     /// Broadcasts a `1x1` scalar to a `rows x cols` matrix.
@@ -341,7 +517,7 @@ impl Tape {
         let s = self.nodes.borrow()[a.id].value.scalar();
         self.push(
             Op::BroadcastScalar { rows, cols },
-            vec![a.id],
+            Parents::one(a.id),
             Matrix::full(rows, cols, s),
         )
     }
@@ -350,14 +526,14 @@ impl Tape {
     pub fn col_broadcast(&self, a: Var, cols: usize) -> Var {
         assert_eq!(a.cols, 1, "col_broadcast requires an n x 1 input");
         let value = self.nodes.borrow()[a.id].value.broadcast_col(cols);
-        self.push(Op::ColBroadcast { cols }, vec![a.id], value)
+        self.push(Op::ColBroadcast { cols }, Parents::one(a.id), value)
     }
 
     /// Broadcasts a `1 x m` row vector across `rows` rows.
     pub fn row_broadcast(&self, a: Var, rows: usize) -> Var {
         assert_eq!(a.rows, 1, "row_broadcast requires a 1 x m input");
         let value = self.nodes.borrow()[a.id].value.broadcast_row(rows);
-        self.push(Op::RowBroadcast { rows }, vec![a.id], value)
+        self.push(Op::RowBroadcast { rows }, Parents::one(a.id), value)
     }
 
     /// Selects rows `indices` of `a`.
@@ -365,9 +541,9 @@ impl Tape {
         let value = self.nodes.borrow()[a.id].value.gather_rows(indices);
         self.push(
             Op::GatherRows {
-                indices: indices.to_vec(),
+                indices: Rc::new(indices.to_vec()),
             },
-            vec![a.id],
+            Parents::one(a.id),
             value,
         )
     }
@@ -378,10 +554,10 @@ impl Tape {
         let value = self.nodes.borrow()[a.id].value.scatter_rows(indices, total_rows);
         self.push(
             Op::ScatterRows {
-                indices: indices.to_vec(),
+                indices: Rc::new(indices.to_vec()),
                 total_rows,
             },
-            vec![a.id],
+            Parents::one(a.id),
             value,
         )
     }

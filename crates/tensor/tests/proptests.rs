@@ -4,10 +4,25 @@
 
 use proptest::prelude::*;
 
-use geattack_tensor::{grad::grad, Matrix, Tape, Var};
+use geattack_tensor::{grad::grad, grad_full, Matrix, SparseMatrix, Tape, Var};
 
 fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
     proptest::collection::vec(-2.0f64..2.0, rows * cols).prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+/// Random sparse square matrices shaped like the workspace's adjacencies: a
+/// random undirected edge set with random weights (zero density included).
+fn sparse_adjacency_strategy(n: usize) -> impl Strategy<Value = SparseMatrix> {
+    proptest::collection::vec((0usize..n, 0usize..n, -2.0f64..2.0), 0..(n * 2)).prop_map(move |triplets| {
+        let mut dense = Matrix::zeros(n, n);
+        for (u, v, w) in triplets {
+            if u != v && w != 0.0 {
+                dense[(u, v)] = w;
+                dense[(v, u)] = w;
+            }
+        }
+        SparseMatrix::from_dense(&dense)
+    })
 }
 
 fn finite_diff(f: &dyn Fn(&Matrix) -> f64, x0: &Matrix, eps: f64) -> Matrix {
@@ -128,6 +143,78 @@ proptest! {
             let row_sum: f64 = s.row(i).iter().sum();
             prop_assert!((row_sum - 1.0).abs() < 1e-9);
             prop_assert!(s.row(i).iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn spmm_forward_is_bitwise_equal_to_dense_matmul(
+        a in sparse_adjacency_strategy(6),
+        b in matrix_strategy(6, 3),
+    ) {
+        // The sparse kernel must replay the dense zero-skipping matmul exactly —
+        // the property that makes the dense path a byte-exact oracle.
+        let tape = Tape::new();
+        let av = tape.sparse_constant(a.clone());
+        let bv = tape.input(b.clone());
+        let sparse = tape.value(tape.spmm(av, bv));
+        let dense = a.to_dense().matmul(&b);
+        prop_assert_eq!(sparse.as_slice(), dense.as_slice());
+    }
+
+    #[test]
+    fn spmm_dense_backward_is_bitwise_equal_to_dense_matmul_backward(
+        a in sparse_adjacency_strategy(5),
+        b in matrix_strategy(5, 2),
+    ) {
+        // ∂ sum((A·B)²)/∂B through the sparse op vs the dense op.
+        let tape = Tape::new();
+        let av = tape.sparse_constant(a.clone());
+        let bv = tape.input(b.clone());
+        let c = tape.spmm(av, bv);
+        let loss = tape.sum_all(tape.mul(c, c));
+        let sparse_grad = tape.value(grad(&tape, loss, &[bv])[0]);
+
+        let tape = Tape::new();
+        let ad = tape.constant(a.to_dense());
+        let bv = tape.input(b);
+        let c = tape.matmul(ad, bv);
+        let loss = tape.sum_all(tape.mul(c, c));
+        let dense_grad = tape.value(grad(&tape, loss, &[bv])[0]);
+        prop_assert_eq!(sparse_grad.as_slice(), dense_grad.as_slice());
+    }
+
+    #[test]
+    fn masked_sddmm_backward_matches_dense_adjacency_gradient(
+        a in sparse_adjacency_strategy(5),
+        b in matrix_strategy(5, 3),
+        extra in proptest::collection::vec((0usize..5, 0usize..5), 0..6),
+    ) {
+        // The candidate mask mixes stored entries with arbitrary (structurally
+        // zero) positions; both kinds must match the full dense gradient.
+        let mut positions = a.stored_positions();
+        positions.extend(extra.iter().copied().filter(|p| !a.is_stored(p.0, p.1)));
+        positions.sort_unstable();
+        positions.dedup();
+
+        let tape = Tape::new();
+        let av = tape.sparse_input(a.clone(), positions.clone());
+        let bv = tape.constant(b.clone());
+        let c = tape.spmm(av, bv);
+        let loss = tape.sum_all(tape.mul(c, c));
+        let (_, sparse_grads) = grad_full(&tape, loss, &[], &[av]);
+
+        let tape = Tape::new();
+        let ad = tape.input(a.to_dense());
+        let bv = tape.constant(b);
+        let c = tape.matmul(ad, bv);
+        let loss = tape.sum_all(tape.mul(c, c));
+        let dense = tape.value(grad(&tape, loss, &[ad])[0]);
+
+        for (&(i, j), &v) in positions.iter().zip(&sparse_grads[0]) {
+            prop_assert!(
+                (v - dense[(i, j)]).abs() < 1e-10,
+                "masked gradient mismatch at ({}, {}): {} vs {}", i, j, v, dense[(i, j)]
+            );
         }
     }
 

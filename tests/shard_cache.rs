@@ -42,6 +42,7 @@ fn sharded_execution_merges_into_the_unsharded_report() {
                 serial: true,
                 shard: Some(Shard { index, count: 2 }),
                 cache_dir: None,
+                cache_budget_mb: None,
             },
         )
         .expect("shard runs")
@@ -71,6 +72,7 @@ fn cached_rerun_is_byte_identical_and_skips_all_preparation() {
         serial: true,
         shard: None,
         cache_dir: Some(dir.clone()),
+        cache_budget_mb: None,
     };
 
     let cold = run_sweep_options(&spec, &options).expect("cold run");
@@ -111,6 +113,7 @@ fn shards_share_a_cache_and_stay_deterministic() {
                 serial: true,
                 shard: Some(Shard { index, count: 2 }),
                 cache_dir: Some(dir.clone()),
+                cache_budget_mb: None,
             },
         )
         .expect("shard runs")
