@@ -14,7 +14,7 @@
 
 use geattack_bench::cli::paths_only;
 use geattack_bench::runner::write_json;
-use geattack_bench::sweep::{merge_shards, ShardReport};
+use geattack_core::sweep::{merge_shards, ShardReport};
 
 fn main() {
     let paths = paths_only("geattack-merge SHARD_REPORT.json [SHARD_REPORT.json ...]");

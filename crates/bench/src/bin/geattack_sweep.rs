@@ -6,10 +6,12 @@
 //!     [--serial] [--shard I/N] [--cache-dir DIR] [--dry-run] [--list-families]
 //! ```
 //!
-//! One experiment is prepared per (family, scale, seed, explainer) cell and
-//! shared across all attackers and budgets; cells run in parallel unless
-//! `--serial` is passed. The aggregated report is deterministic: the same spec
-//! produces byte-identical JSON whether it runs serially or in parallel.
+//! This binary is a thin client of [`geattack_core::engine::Engine`]: it
+//! parses the spec, submits one sweep session, prints progress from the
+//! session's [`CellEvent`] stream, and writes the same artifacts as ever —
+//! `results/sweep_<name>.json` (or the `.shard<I>of<N>.json` partial) plus the
+//! `.meta.json` sidecar. The engine owns the cache, the cost-ordered schedule
+//! and the shard slicing; reports are byte-identical to pre-engine runs.
 //!
 //! Distribution flags:
 //!
@@ -35,7 +37,7 @@
 
 use geattack_bench::cli::Options;
 use geattack_bench::runner::write_json;
-use geattack_bench::sweep::{merge_shards, plan_lines, run_sweep_options, SweepOptions};
+use geattack_core::engine::{CellEvent, Engine};
 use geattack_scenarios::SweepSpec;
 
 /// Applies the shared CLI flags to the parsed spec (documented in the module
@@ -92,15 +94,29 @@ fn main() {
         std::process::exit(2);
     });
 
+    let mut engine = Engine::new().serial(parsed.options.serial);
+
     if parsed.options.dry_run {
-        let lines = plan_lines(&spec, parsed.options.shard.as_ref()).unwrap_or_else(|e| {
-            eprintln!("{spec_path}: {e}");
-            std::process::exit(2);
-        });
+        // Plans only need the registries — never touch (or create) the cache.
+        let lines = engine
+            .plan_lines(&spec, parsed.options.shard.as_ref())
+            .unwrap_or_else(|e| {
+                eprintln!("{spec_path}: {e}");
+                std::process::exit(2);
+            });
         for line in lines {
             println!("{line}");
         }
         return;
+    }
+
+    if let Some(dir) = &parsed.options.cache_dir {
+        engine = engine
+            .with_cache(dir.clone().into(), parsed.options.cache_budget_mb)
+            .unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            });
     }
 
     eprintln!(
@@ -114,13 +130,35 @@ fn main() {
         }
     );
 
-    let options = SweepOptions {
-        serial: parsed.options.serial,
-        shard: parsed.options.shard,
-        cache_dir: parsed.options.cache_dir.clone().map(Into::into),
-        cache_budget_mb: parsed.options.cache_budget_mb,
-    };
-    let run = run_sweep_options(&spec, &options).unwrap_or_else(|e| {
+    let mut session = engine
+        .submit_shard(spec.clone(), parsed.options.shard)
+        .unwrap_or_else(|e| {
+            eprintln!("sweep failed: {e}");
+            std::process::exit(2);
+        });
+    let plan = session.plan().to_vec();
+    for event in session.by_ref() {
+        match event {
+            CellEvent::Planned { .. } | CellEvent::Started { .. } => {}
+            CellEvent::Finished { position, cells } => {
+                let cell = plan.iter().find(|c| c.position == position);
+                let (nodes, victims) = cells.first().map(|c| (c.nodes, c.victims)).unwrap_or((0, 0));
+                if let Some(cell) = cell {
+                    eprintln!(
+                        "[{} scale {} seed {} {}] prepared: {nodes} nodes, {victims} victims",
+                        cell.family, cell.scale, cell.seed, cell.explainer
+                    );
+                }
+                if victims == 0 {
+                    eprintln!("  (no victims survived the FGA pre-pass; this seed is excluded from the aggregates)");
+                }
+            }
+            CellEvent::Failed { position, error } => {
+                eprintln!("[cell {position}] failed: {error}");
+            }
+        }
+    }
+    let run = session.wait().unwrap_or_else(|e| {
         eprintln!("sweep failed: {e}");
         std::process::exit(2);
     });
@@ -149,7 +187,7 @@ fn main() {
             name
         }
         None => {
-            let report = merge_shards(std::slice::from_ref(&run.shard)).unwrap_or_else(|e| {
+            let report = engine.merge(std::slice::from_ref(&run.shard)).unwrap_or_else(|e| {
                 eprintln!("sweep failed: {e}");
                 std::process::exit(2);
             });

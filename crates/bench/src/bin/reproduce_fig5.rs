@@ -33,9 +33,15 @@ fn main() {
         for (si, &l) in sizes.iter().enumerate() {
             let mut config = base.clone();
             config.explanation_size = l;
-            let prepared = prepare(config);
+            let prepared = prepare(config).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            });
             let attacker = prepared.attacker(AttackerKind::GeAttack);
-            let inspector = prepared.inspector();
+            let inspector = prepared.inspector().unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            });
             let outcomes = run_attacker(&prepared, attacker.as_ref(), inspector.as_ref());
             summaries[si].push(summarize_run("GEAttack", &outcomes));
             eprintln!("L = {l}, run {run} done");

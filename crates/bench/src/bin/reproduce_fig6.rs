@@ -28,9 +28,15 @@ fn main() {
             for (ti, &t) in iterations.iter().enumerate() {
                 let mut config = base.clone();
                 config.geattack.inner_steps = t;
-                let prepared = prepare(config);
+                let prepared = prepare(config).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                });
                 let attacker = prepared.attacker(AttackerKind::GeAttack);
-                let inspector = prepared.inspector();
+                let inspector = prepared.inspector().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                });
                 let outcomes = run_attacker(&prepared, attacker.as_ref(), inspector.as_ref());
                 summaries[ti].push(summarize_run("GEAttack", &outcomes));
                 eprintln!("[{}] T = {t}, run {run} done", dataset.as_str());

@@ -11,8 +11,8 @@
 //! [`Options::parse_sweep`] and rejected — with a pointed message, not a
 //! generic "unknown option" — everywhere else.
 
-use crate::sweep::Shard;
 use geattack_core::pipeline::{GraphSource, PipelineConfig};
+use geattack_core::sweep::Shard;
 use geattack_graph::datasets::{DatasetName, GeneratorConfig};
 
 /// Command-line options shared by all reproduction binaries and the sweep
@@ -189,7 +189,7 @@ fn parse(
                 let value: String = parse_next(&mut args, "--shard");
                 match Shard::parse(&value) {
                     Ok(shard) => options.shard = Some(shard),
-                    Err(e) => fail(&e),
+                    Err(e) => fail(&e.to_string()),
                 }
             }
             "--cache-dir" => {

@@ -2,13 +2,17 @@
 //!
 //! Criterion micro-benchmarks (under `benches/`), the `reproduce_*` binaries
 //! (under `src/bin/`) that regenerate every table and figure of the paper's
-//! evaluation, and the `geattack-sweep` binary that executes declarative
-//! scenario sweeps. Shared pieces:
+//! evaluation, and the clients of the `geattack_core` experiment engine: the
+//! `geattack-sweep` runner, the `geattack-merge` shard combiner and the
+//! `geattack-serve` daemon. Shared pieces:
 //!
 //! * [`cli`] — the one command-line parser every binary uses;
 //! * [`runner`] — experiment-running logic for the paper reproductions;
-//! * [`sweep`] — the scenario-sweep executor and its aggregated report.
+//! * [`serve`] — the NDJSON sweep-serving protocol (daemon loop + client).
+//!
+//! The sweep executor itself lives in `geattack_core::{engine, sweep}`; the
+//! binaries here are thin clients of that engine.
 
 pub mod cli;
 pub mod runner;
-pub mod sweep;
+pub mod serve;

@@ -75,7 +75,10 @@ pub fn table_block(
         let mut config = options.pipeline(dataset, run);
         config.explainer = explainer;
         config.parallel = config.parallel && !fan_out;
-        let prepared = prepare(config);
+        let prepared = prepare(config).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
         eprintln!(
             "[{}] run {run}: {} nodes, {} victims",
             dataset.as_str(),
@@ -91,7 +94,10 @@ pub fn table_block(
                 .iter()
                 .map(|&kind| {
                     let attacker = prepared.attacker(kind);
-                    let inspector = prepared.inspector();
+                    let inspector = prepared.inspector().unwrap_or_else(|e| {
+                        eprintln!("{e}");
+                        std::process::exit(2);
+                    });
                     let outcomes = run_attacker(&prepared, attacker.as_ref(), inspector.as_ref());
                     eprintln!("  [{}] run {run}: {} done", dataset.as_str(), kind.name());
                     summarize_run(kind.name(), &outcomes)
@@ -140,7 +146,10 @@ pub fn degree_sweep(
         let mut config = options.pipeline(dataset, run);
         config.explainer = explainer;
         config.parallel = config.parallel && !fan_out;
-        let prepared = prepare(config);
+        let prepared = prepare(config).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
         let preds = prepared.model.predict_labels(&prepared.graph);
         let mut row: Vec<Option<RunSummary>> = Vec::with_capacity(degrees.len());
         for &degree in degrees.iter() {
@@ -161,7 +170,10 @@ pub fn degree_sweep(
             }
             let scoped = prepared.with_victims(victims);
             let attacker = prepared.attacker(attacker_kind);
-            let inspector = prepared.inspector();
+            let inspector = prepared.inspector().unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            });
             let outcomes = run_attacker(&scoped, attacker.as_ref(), inspector.as_ref());
             row.push(Some(summarize_run(attacker_kind.name(), &outcomes)));
         }
@@ -201,7 +213,10 @@ pub fn lambda_sweep(options: &Options, dataset: DatasetName, lambdas: &[f64]) ->
     let prepared_runs: Vec<_> = map_runs(fan_out, &runs, |run| {
         let mut config = options.pipeline(dataset, run);
         config.parallel = config.parallel && !fan_out;
-        prepare(config)
+        prepare(config).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        })
     });
     for &lambda in lambdas {
         let summaries: Vec<RunSummary> = map_runs(fan_out, &runs, |run| {
@@ -213,7 +228,10 @@ pub fn lambda_sweep(options: &Options, dataset: DatasetName, lambdas: &[f64]) ->
                 lambda,
                 ..prepared.config().geattack.clone()
             });
-            let inspector = prepared.inspector();
+            let inspector = prepared.inspector().unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            });
             let outcomes = run_attacker(prepared, &attacker, inspector.as_ref());
             Some(summarize_run("GEAttack", &outcomes))
         })

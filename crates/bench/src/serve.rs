@@ -1,0 +1,299 @@
+//! The `geattack-serve` wire protocol: sweep specs in, NDJSON cell events out.
+//!
+//! The daemon side ([`serve`]) accepts TCP connections and reads one JSON
+//! sweep spec per line (NDJSON framing — multi-line spec files must be
+//! compacted to a single line, e.g. `jq -c . spec.json`). Each request is
+//! submitted to one shared [`Engine`], so every request of the daemon's
+//! lifetime shares one prepared-experiment cache; the session's events stream
+//! back as NDJSON while cells complete:
+//!
+//! ```text
+//! {"event":"planned","position":0,"family":"ba-shapes","scale":0.08,"seed":0,"explainer":"GNNExplainer"}
+//! {"event":"started","position":0}
+//! {"event":"cell","position":0,"cells":[{...SweepCell...}, ...]}
+//! {"event":"failed","position":3,"error":"..."}           (remaining cells still run)
+//! {"event":"done","sweep":"quick","report":{...SweepReport...},"cache":{"hits":4,...}}
+//! {"event":"error","error":"..."}                         (request-level failure)
+//! ```
+//!
+//! A `failed` cell does not abort the session — the engine keeps executing and
+//! streaming the remaining cells — but a request with any failed cell cannot
+//! assemble a complete report, so it terminates with an `error` event (listing
+//! every failed position) instead of `done`. The `cache` counters of the
+//! `done` event are per-request deltas, not daemon-lifetime totals.
+//!
+//! The `done` event embeds the full assembled [`SweepReport`] as a JSON value.
+//! Because the workspace's JSON codec round-trips every number exactly and
+//! preserves object field order, pretty-printing that value reproduces the
+//! `results/sweep_<name>.json` artifact of a `geattack-sweep` run of the same
+//! spec **byte for byte** — the serve round-trip test and the CI `serve-smoke`
+//! job both pin this.
+//!
+//! The client side ([`submit`]) connects (with retries, so scripts can start
+//! the daemon concurrently), sends one spec, surfaces progress lines and
+//! returns the reassembled pretty report.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+use serde::Value;
+
+use geattack_core::engine::{CellEvent, Engine};
+use geattack_core::sweep::PlannedCell;
+use geattack_scenarios::SweepSpec;
+
+/// Serializes one protocol event as a compact single line.
+fn line(value: &Value) -> String {
+    serde_json::to_string(value).expect("protocol events always serialize")
+}
+
+fn object(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn event_value(event: &CellEvent) -> Value {
+    match event {
+        CellEvent::Planned { cell } => planned_value(cell),
+        CellEvent::Started { position } => object(vec![
+            ("event", Value::String("started".into())),
+            ("position", Value::Number(*position as f64)),
+        ]),
+        CellEvent::Finished { position, cells } => object(vec![
+            ("event", Value::String("cell".into())),
+            ("position", Value::Number(*position as f64)),
+            ("cells", serde_json::to_value(cells)),
+        ]),
+        CellEvent::Failed { position, error } => object(vec![
+            ("event", Value::String("failed".into())),
+            ("position", Value::Number(*position as f64)),
+            ("error", Value::String(error.clone())),
+        ]),
+    }
+}
+
+fn planned_value(cell: &PlannedCell) -> Value {
+    object(vec![
+        ("event", Value::String("planned".into())),
+        ("position", Value::Number(cell.position as f64)),
+        ("family", Value::String(cell.family.clone())),
+        ("scale", Value::Number(cell.scale)),
+        ("seed", Value::Number(cell.seed as f64)),
+        ("explainer", Value::String(cell.explainer.clone())),
+    ])
+}
+
+fn error_value(message: &str) -> Value {
+    object(vec![
+        ("event", Value::String("error".into())),
+        ("error", Value::String(message.to_string())),
+    ])
+}
+
+/// Runs one sweep request through the engine and streams its events to `out`.
+/// Request-level failures (bad spec, failed cells) end in an `error` event;
+/// transport failures propagate as `io::Error` and end the connection.
+pub fn stream_sweep(engine: &Engine, spec: SweepSpec, out: &mut impl Write) -> std::io::Result<()> {
+    // The engine's counters accumulate over its lifetime; the `done` event
+    // reports this request's delta.
+    let counters_before = engine.cache_counters();
+    let mut session = match engine.submit(spec) {
+        Ok(session) => session,
+        Err(e) => {
+            writeln!(out, "{}", line(&error_value(&e.to_string())))?;
+            return out.flush();
+        }
+    };
+    for event in session.by_ref() {
+        writeln!(out, "{}", line(&event_value(&event)))?;
+        out.flush()?;
+    }
+    match session.wait().and_then(|run| {
+        engine
+            .merge(std::slice::from_ref(&run.shard))
+            .map(|report| (run, report))
+    }) {
+        Ok((_run, report)) => {
+            let cache = match (counters_before, engine.cache_counters()) {
+                (Some(before), Some(after)) => object(vec![
+                    ("hits", Value::Number(after.hits.saturating_sub(before.hits) as f64)),
+                    (
+                        "misses",
+                        Value::Number(after.misses.saturating_sub(before.misses) as f64),
+                    ),
+                    (
+                        "evictions",
+                        Value::Number(after.evictions.saturating_sub(before.evictions) as f64),
+                    ),
+                ]),
+                _ => Value::Null,
+            };
+            let done = object(vec![
+                ("event", Value::String("done".into())),
+                ("sweep", Value::String(report.sweep.clone())),
+                ("report", serde_json::to_value(&report)),
+                ("cache", cache),
+            ]);
+            writeln!(out, "{}", line(&done))?;
+        }
+        Err(e) => {
+            writeln!(out, "{}", line(&error_value(&e.to_string())))?;
+        }
+    }
+    out.flush()
+}
+
+/// Handles one connection: one request per line until the peer closes.
+/// Increments `served` through the reference as each successfully-parsed
+/// request completes — even when the connection later errors — so the
+/// daemon's `--max-requests` accounting never loses executed requests.
+fn handle_connection(
+    stream: TcpStream,
+    engine: &Engine,
+    served: &mut usize,
+    max_requests: Option<usize>,
+) -> std::io::Result<()> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    for request in reader.lines() {
+        let request = request?;
+        if request.trim().is_empty() {
+            continue;
+        }
+        match SweepSpec::from_json(&request) {
+            Err(e) => {
+                let err = geattack_core::GeError::Protocol(e);
+                writeln!(writer, "{}", line(&error_value(&err.to_string())))?;
+                writer.flush()?;
+            }
+            Ok(spec) => {
+                *served += 1;
+                stream_sweep(engine, spec, &mut writer)?;
+                if max_requests.is_some_and(|max| *served >= max) {
+                    break;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The daemon loop: accepts connections serially and serves line-delimited
+/// sweep requests against one shared engine (and therefore one shared
+/// prepared-experiment cache). Stops after `max_requests` successfully-parsed
+/// requests when given (the CI smoke test uses this for a clean exit);
+/// otherwise loops until the process is killed. Per-connection I/O errors end
+/// that connection, not the daemon.
+pub fn serve(listener: TcpListener, engine: &Engine, max_requests: Option<usize>) -> std::io::Result<usize> {
+    let mut served = 0usize;
+    for stream in listener.incoming() {
+        if max_requests.is_some_and(|max| served >= max) {
+            break;
+        }
+        match stream {
+            Err(e) => return Err(e),
+            Ok(stream) => {
+                if let Err(e) = handle_connection(stream, engine, &mut served, max_requests) {
+                    eprintln!("serve: connection ended: {e}");
+                }
+            }
+        }
+        if max_requests.is_some_and(|max| served >= max) {
+            break;
+        }
+    }
+    Ok(served)
+}
+
+/// What a successful [`submit`] brings back. A request with any failed cell
+/// never reaches `done` (the server terminates it with an `error` event), so
+/// a returned outcome always carries a complete report.
+#[derive(Clone, Debug)]
+pub struct SubmitOutcome {
+    /// Sweep name from the `done` event.
+    pub sweep: String,
+    /// The assembled report, pretty-printed — byte-identical to the
+    /// `results/sweep_<name>.json` a `geattack-sweep` run of the same spec
+    /// writes.
+    pub report_pretty: String,
+    /// This request's cache-counter delta on the daemon (`Value::Null` when
+    /// the daemon runs uncached).
+    pub cache: Value,
+}
+
+/// Connects to the daemon, retrying until `timeout` elapses (so a script can
+/// launch daemon and client together).
+pub fn connect_retry(addr: &str, timeout: Duration) -> Result<TcpStream, String> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) if Instant::now() >= deadline => {
+                return Err(format!("cannot connect to {addr}: {e}"));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(100)),
+        }
+    }
+}
+
+/// Submits one sweep spec (JSON text, any layout — it is compacted to one
+/// line) and consumes the event stream until `done`/`error`. `progress` is
+/// called with one human-readable line per streamed event.
+pub fn submit(
+    addr: &str,
+    spec_text: &str,
+    timeout: Duration,
+    mut progress: impl FnMut(String),
+) -> Result<SubmitOutcome, String> {
+    let spec_value: Value = serde_json::from_str(spec_text).map_err(|e| format!("invalid spec JSON: {e}"))?;
+    let request = serde_json::to_string(&spec_value).map_err(|e| e.to_string())?;
+
+    let stream = connect_retry(addr, timeout)?;
+    let mut writer = BufWriter::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let reader = BufReader::new(stream);
+    writeln!(writer, "{request}").map_err(|e| format!("cannot send request: {e}"))?;
+    writer.flush().map_err(|e| format!("cannot send request: {e}"))?;
+
+    for response in reader.lines() {
+        let response = response.map_err(|e| format!("connection lost: {e}"))?;
+        let value: Value = serde_json::from_str(&response).map_err(|e| format!("malformed event: {e}"))?;
+        let event = match value.get_field("event") {
+            Ok(Value::String(event)) => event.clone(),
+            _ => return Err(format!("event line without an `event` field: {response}")),
+        };
+        let position = || match value.get_field("position") {
+            Ok(Value::Number(p)) => *p as usize,
+            _ => usize::MAX,
+        };
+        match event.as_str() {
+            "planned" => {}
+            "started" => progress(format!("cell {} started", position())),
+            "cell" => progress(format!("cell {} finished", position())),
+            "failed" => progress(format!("cell {} FAILED", position())),
+            "error" => {
+                let message = match value.get_field("error") {
+                    Ok(Value::String(m)) => m.clone(),
+                    _ => "unspecified server error".to_string(),
+                };
+                return Err(message);
+            }
+            "done" => {
+                let report = value
+                    .get_field("report")
+                    .map_err(|_| "done event without a report".to_string())?;
+                let sweep = match value.get_field("sweep") {
+                    Ok(Value::String(s)) => s.clone(),
+                    _ => String::new(),
+                };
+                let cache = value.get_field("cache").ok().cloned().unwrap_or(Value::Null);
+                return Ok(SubmitOutcome {
+                    sweep,
+                    report_pretty: serde_json::to_string_pretty(report).map_err(|e| e.to_string())?,
+                    cache,
+                });
+            }
+            other => return Err(format!("unknown event `{other}`")),
+        }
+    }
+    Err("connection closed before a `done` event".to_string())
+}

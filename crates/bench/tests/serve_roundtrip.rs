@@ -1,0 +1,102 @@
+//! Round-trip test of the serve protocol: a spec submitted over TCP must come
+//! back as an NDJSON event stream whose assembled report is **byte-identical**
+//! to what a `geattack-sweep` run of the same spec writes — cold and warm,
+//! with the daemon's shared cache hitting on the second request.
+
+use std::net::TcpListener;
+use std::time::Duration;
+
+use geattack_bench::serve::{serve, submit};
+use geattack_core::engine::Engine;
+use geattack_scenarios::SweepSpec;
+use serde::Value;
+
+/// The wire spec: tiny but real (one GCN training, two attackers).
+const SPEC: &str = r#"{
+    "name": "serve-rt",
+    "families": ["tree-cycles"],
+    "scales": [0.07],
+    "seeds": [0],
+    "attackers": ["fga-t", "rna"],
+    "victims": 3
+}"#;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("geattack-serve-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn served_reports_are_byte_identical_to_cli_sweeps_and_share_the_cache() {
+    let spec = SweepSpec::from_json(SPEC).expect("spec parses");
+
+    // What `geattack-sweep` would write for this spec.
+    let reference = Engine::new()
+        .serial(true)
+        .run_report(&spec)
+        .expect("reference sweep runs")
+        .to_json();
+
+    // An in-process daemon on an ephemeral port, with a shared cache, serving
+    // exactly two requests then exiting.
+    let cache_dir = temp_dir("cache");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral port binds");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let engine = Engine::new()
+        .serial(true)
+        .with_cache(cache_dir.clone(), None)
+        .expect("cache opens");
+    let daemon = std::thread::spawn(move || serve(listener, &engine, Some(2)));
+
+    // Cold request: the daemon prepares and caches the experiment.
+    let cold = submit(&addr, SPEC, Duration::from_secs(10), |_| {}).expect("cold submit succeeds");
+    assert_eq!(cold.sweep, "serve-rt");
+    assert_eq!(
+        cold.report_pretty, reference,
+        "NDJSON-assembled report must be byte-identical to the CLI artifact"
+    );
+
+    // Warm request over a fresh connection: same bytes, served from cache.
+    let warm = submit(&addr, SPEC, Duration::from_secs(10), |_| {}).expect("warm submit succeeds");
+    assert_eq!(
+        warm.report_pretty, reference,
+        "warm-cache round-trip stays byte-identical"
+    );
+    match &warm.cache {
+        Value::Object(_) => {
+            let hits = match warm.cache.get_field("hits") {
+                Ok(Value::Number(h)) => *h as u64,
+                other => panic!("cache counters missing hits: {other:?}"),
+            };
+            assert!(hits >= 1, "the second request must hit the shared cache");
+        }
+        other => panic!("daemon ran with a cache but reported {other:?}"),
+    }
+
+    let served = daemon.join().expect("daemon thread").expect("daemon exits cleanly");
+    assert_eq!(served, 2);
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+#[test]
+fn request_level_errors_come_back_as_error_events_and_the_daemon_survives() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral port binds");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let engine = Engine::new().serial(true);
+    let daemon = std::thread::spawn(move || serve(listener, &engine, Some(1)));
+
+    // An invalid spec (unknown family) must produce a protocol-level error…
+    let bad = r#"{ "name": "bad", "families": ["petersen"], "attackers": ["rna"] }"#;
+    let err = submit(&addr, bad, Duration::from_secs(10), |_| {}).unwrap_err();
+    assert!(err.contains("unknown graph family"), "{err}");
+
+    // …while the daemon keeps serving: the next (valid) request completes.
+    let mut spec = SweepSpec::from_json(SPEC).expect("spec parses");
+    spec.name = "serve-recovers".to_string();
+    let good = serde_json::to_string_pretty(&spec).expect("serializes");
+    let outcome = submit(&addr, &good, Duration::from_secs(10), |_| {}).expect("valid submit succeeds");
+    assert_eq!(outcome.sweep, "serve-recovers");
+
+    daemon.join().expect("daemon thread").expect("daemon exits cleanly");
+}

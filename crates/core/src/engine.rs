@@ -1,0 +1,607 @@
+//! The experiment engine: registry-driven, result-typed sweep execution with
+//! a streaming session API.
+//!
+//! An [`Engine`] owns everything a long-lived host needs to execute sweep
+//! specs repeatedly: the attacker/explainer [registries](crate::registry), an
+//! optional shared [`CacheStore`] of prepared experiments, and the scheduling
+//! policy (cost-ordered execution, shard slicing) that the `geattack-sweep`
+//! binary used to hand-roll. Submitting a spec returns a [`SweepHandle`] — a
+//! live session that streams [`CellEvent`]s as prepared cells complete, in
+//! completion order, while the final [`SweepRun`] re-sorts every result back
+//! to deterministic grid order so reports stay byte-identical run to run, in
+//! parallel or serial, cold or warm, sharded or not.
+//!
+//! ```no_run
+//! use geattack_core::engine::{CellEvent, Engine};
+//! use geattack_scenarios::SweepSpec;
+//!
+//! let engine = Engine::new();
+//! let spec = SweepSpec::new("demo", vec!["ba-shapes".into()], vec!["fga-t".into()]);
+//! let mut session = engine.submit(spec).unwrap();
+//! for event in session.by_ref() {
+//!     if let CellEvent::Finished { position, cells } = event {
+//!         println!("cell {position}: {} results", cells.len());
+//!     }
+//! }
+//! let run = session.wait().unwrap(); // cells in grid order
+//! # let _ = run;
+//! ```
+//!
+//! Failures are per-cell: a cell whose preparation or attacker construction
+//! fails surfaces as [`CellEvent::Failed`] and the session keeps executing
+//! the remaining cells; [`SweepHandle::wait`] then returns
+//! [`GeError::CellsFailed`] listing every failed position.
+
+use std::path::PathBuf;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use geattack_cache::{CacheCounters, CacheStore};
+use geattack_graph::datasets::GeneratorConfig;
+use geattack_scenarios::{ScenarioSpec, SweepSpec};
+
+use crate::error::{CellFailure, GeError, Result};
+use crate::evaluation::summarize_run;
+use crate::persist::prepare_cached;
+use crate::pipeline::{run_attacker_with_budget, BudgetRule, GraphSource, PipelineConfig};
+use crate::registry::{AttackerPlugin, AttackerRegistry, ExplainerPlugin, ExplainerRegistry};
+use crate::sweep::{
+    execution_order, expand_prep_cells, merge_shards_with, plan_lines_with, resolve_axes, PlannedCell, Shard,
+    ShardReport, SweepCell, SweepReport, SweepRun,
+};
+
+/// One progress notification of a running sweep session.
+///
+/// Events arrive in *completion* order (the engine schedules the most
+/// expensive cells first); `position` is always the deterministic grid
+/// position, which is also what the final report is sorted by.
+#[derive(Clone, Debug)]
+pub enum CellEvent {
+    /// Emitted once per owned prepared cell when the session starts, in grid
+    /// order: the full execution plan.
+    Planned {
+        /// The planned preparation unit.
+        cell: PlannedCell,
+    },
+    /// A prepared cell began executing (preparation + all its attack runs).
+    Started {
+        /// Grid position of the cell.
+        position: usize,
+    },
+    /// A prepared cell finished: one result per (attacker x budget).
+    Finished {
+        /// Grid position of the cell.
+        position: usize,
+        /// The cell's results, in (attacker, budget) axis order.
+        cells: Vec<SweepCell>,
+    },
+    /// A prepared cell failed. The session continues with the remaining cells.
+    Failed {
+        /// Grid position of the cell.
+        position: usize,
+        /// Rendered error.
+        error: String,
+    },
+}
+
+/// A live sweep session: an event stream plus the means to wait for the
+/// assembled result. Iterate it (`for event in session.by_ref()`) to consume
+/// events as cells complete, then call [`SweepHandle::wait`] for the final
+/// [`SweepRun`]; calling `wait` without iterating first simply drains the
+/// stream.
+#[derive(Debug)]
+pub struct SweepHandle {
+    plan: Vec<PlannedCell>,
+    events: Receiver<CellEvent>,
+    worker: Option<JoinHandle<Result<SweepRun>>>,
+}
+
+impl SweepHandle {
+    /// The owned prepared cells of this session, in grid order.
+    pub fn plan(&self) -> &[PlannedCell] {
+        &self.plan
+    }
+
+    /// Blocks for the next event; `None` once the session has emitted its
+    /// last event.
+    pub fn next_event(&mut self) -> Option<CellEvent> {
+        self.events.recv().ok()
+    }
+
+    /// Drains any remaining events, joins the session and returns the
+    /// assembled run (cells re-sorted to grid order). Errors with
+    /// [`GeError::CellsFailed`] when any cell failed.
+    pub fn wait(mut self) -> Result<SweepRun> {
+        while self.next_event().is_some() {}
+        let worker = self.worker.take().expect("wait consumes the handle");
+        worker
+            .join()
+            .map_err(|_| GeError::Prepare("sweep session worker panicked".to_string()))?
+    }
+}
+
+impl Iterator for SweepHandle {
+    type Item = CellEvent;
+
+    fn next(&mut self) -> Option<CellEvent> {
+        self.next_event()
+    }
+}
+
+/// Everything one session's worker needs, detached from the engine so the
+/// engine itself stays borrow-free while sessions run.
+struct SessionContext {
+    spec: SweepSpec,
+    shard: Shard,
+    owned: Vec<PlannedCell>,
+    attackers: Vec<Arc<dyn AttackerPlugin>>,
+    explainers: Vec<Arc<dyn ExplainerPlugin>>,
+    cache: Option<Arc<CacheStore>>,
+    serial: bool,
+}
+
+/// The registry-driven, result-typed experiment core.
+///
+/// Construction is cheap; the expensive state (the prepared-experiment cache)
+/// is shared across every session the engine runs, which is what lets the
+/// `geattack-serve` daemon reuse preparations across requests.
+#[derive(Clone)]
+pub struct Engine {
+    attackers: AttackerRegistry,
+    explainers: ExplainerRegistry,
+    cache: Option<Arc<CacheStore>>,
+    serial: bool,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// An engine with the paper's builtin attacker/explainer registrations,
+    /// no cache, parallel execution.
+    pub fn new() -> Self {
+        Engine {
+            attackers: AttackerRegistry::builtin(),
+            explainers: ExplainerRegistry::builtin(),
+            cache: None,
+            serial: false,
+        }
+    }
+
+    /// Forces single-threaded execution (results are identical either way).
+    pub fn serial(mut self, serial: bool) -> Self {
+        self.serial = serial;
+        self
+    }
+
+    /// Attaches an on-disk prepared-experiment cache, optionally bounded to
+    /// `budget_mb` MiB (oldest-mtime entries are pruned after each write).
+    pub fn with_cache(mut self, dir: PathBuf, budget_mb: Option<u64>) -> Result<Self> {
+        let store = CacheStore::open_with_budget(dir, budget_mb.map(|mb| mb.saturating_mul(1024 * 1024)))
+            .map_err(GeError::Cache)?;
+        self.cache = Some(Arc::new(store));
+        Ok(self)
+    }
+
+    /// Registers a custom attacker (rejecting name collisions).
+    pub fn register_attacker(&mut self, plugin: Arc<dyn AttackerPlugin>) -> Result<()> {
+        self.attackers.register(plugin)
+    }
+
+    /// Registers a custom explainer (rejecting name collisions).
+    pub fn register_explainer(&mut self, plugin: Arc<dyn ExplainerPlugin>) -> Result<()> {
+        self.explainers.register(plugin)
+    }
+
+    /// Display names of every registered attacker.
+    pub fn attacker_names(&self) -> Vec<String> {
+        self.attackers.names()
+    }
+
+    /// Display names of every registered explainer.
+    pub fn explainer_names(&self) -> Vec<String> {
+        self.explainers.names()
+    }
+
+    /// Counters of the shared cache, when one is attached. Counters accumulate
+    /// over every session this engine ran.
+    pub fn cache_counters(&self) -> Option<CacheCounters> {
+        self.cache.as_ref().map(|c| c.counters())
+    }
+
+    /// The prepared cells a (possibly sharded) session over `spec` would own,
+    /// in grid order, without executing anything.
+    pub fn plan(&self, spec: &SweepSpec, shard: Option<Shard>) -> Result<Vec<PlannedCell>> {
+        spec.validate().map_err(GeError::InvalidSpec)?;
+        let shard = shard.unwrap_or(Shard::FULL);
+        shard.validate()?;
+        let axes = resolve_axes(spec, &self.attackers, &self.explainers)?;
+        Ok(expand_prep_cells(spec, &axes.explainers)
+            .into_iter()
+            .filter(|cell| shard.owns(cell.position))
+            .collect())
+    }
+
+    /// Renders the enumerated `--dry-run` cell plan against this engine's
+    /// registries.
+    pub fn plan_lines(&self, spec: &SweepSpec, shard: Option<&Shard>) -> Result<Vec<String>> {
+        plan_lines_with(spec, shard, &self.attackers, &self.explainers)
+    }
+
+    /// Merges a complete shard-report set against this engine's registries
+    /// (identical to [`crate::sweep::merge_shards`] for builtin-only engines).
+    pub fn merge(&self, shards: &[ShardReport]) -> Result<SweepReport> {
+        merge_shards_with(shards, &self.attackers, &self.explainers)
+    }
+
+    /// Submits a whole-grid sweep session. See [`Engine::submit_shard`].
+    pub fn submit(&self, spec: SweepSpec) -> Result<SweepHandle> {
+        self.submit_shard(spec, None)
+    }
+
+    /// Validates the spec, resolves its axes against the registries and
+    /// starts executing the owned slice of the grid on a background session.
+    /// Returns immediately with the streaming [`SweepHandle`]; all validation
+    /// errors surface here, before anything runs.
+    pub fn submit_shard(&self, spec: SweepSpec, shard: Option<Shard>) -> Result<SweepHandle> {
+        spec.validate().map_err(GeError::InvalidSpec)?;
+        let shard = shard.unwrap_or(Shard::FULL);
+        shard.validate()?;
+        let axes = resolve_axes(&spec, &self.attackers, &self.explainers)?;
+        let owned: Vec<PlannedCell> = expand_prep_cells(&spec, &axes.explainers)
+            .into_iter()
+            .filter(|cell| shard.owns(cell.position))
+            .collect();
+
+        let (sender, events) = std::sync::mpsc::channel();
+        let context = SessionContext {
+            spec,
+            shard,
+            owned: owned.clone(),
+            attackers: axes.attacker_plugins,
+            explainers: axes.explainer_plugins,
+            cache: self.cache.clone(),
+            serial: self.serial,
+        };
+        let worker = std::thread::spawn(move || session_worker(context, sender));
+        Ok(SweepHandle {
+            plan: owned,
+            events,
+            worker: Some(worker),
+        })
+    }
+
+    /// Submits a session and waits for it: the blocking convenience the CLI
+    /// uses when nobody consumes the event stream.
+    pub fn run(&self, spec: &SweepSpec, shard: Option<Shard>) -> Result<SweepRun> {
+        self.submit_shard(spec.clone(), shard)?.wait()
+    }
+
+    /// Runs a whole-grid sweep and merges its single shard into the full
+    /// report — the one-call replacement for the old `run_sweep` free
+    /// function.
+    pub fn run_report(&self, spec: &SweepSpec) -> Result<SweepReport> {
+        let run = self.run(spec, None)?;
+        self.merge(std::slice::from_ref(&run.shard))
+    }
+}
+
+/// The session body: emits the plan, executes owned cells most-expensive
+/// first (fanning out across threads unless serial), streams per-cell events,
+/// and reassembles everything into grid order.
+fn session_worker(context: SessionContext, sender: Sender<CellEvent>) -> Result<SweepRun> {
+    for cell in &context.owned {
+        let _ = sender.send(CellEvent::Planned { cell: cell.clone() });
+    }
+
+    // Execute the most expensive cells first (estimated ≈ n²·epochs each) so
+    // the self-scheduling work queue never tails on the biggest cell, then
+    // re-sort the results back to grid order — the report stays byte-identical
+    // to an in-order run.
+    let exec_order = execution_order(&context.owned);
+    let ordered: Vec<&PlannedCell> = exec_order.iter().map(|&i| &context.owned[i]).collect();
+
+    // One level of parallelism only (mirroring the multi-run experiment
+    // runner): enough prepared cells to saturate the cores → fan out across
+    // cells with serial victim loops; otherwise keep the cell loop serial and
+    // let each cell's victim loop fan out.
+    let fan_out = cells_fan_out(context.serial, ordered.len());
+    let victim_parallel = !context.serial && !fan_out;
+    let sender = Mutex::new(sender);
+    let run_cell = |cell: &&PlannedCell| {
+        let position = cell.position;
+        let _ = sender.lock().map(|s| s.send(CellEvent::Started { position }));
+        let result = run_prep_cell(&context, cell, victim_parallel);
+        let event = match &result {
+            Ok(cells) => CellEvent::Finished {
+                position,
+                cells: cells.clone(),
+            },
+            Err(e) => CellEvent::Failed {
+                position,
+                error: e.to_string(),
+            },
+        };
+        let _ = sender.lock().map(|s| s.send(event));
+        result
+    };
+    let executed: Vec<Result<Vec<SweepCell>>> = map_cells(fan_out, &ordered, run_cell);
+
+    // Land every block back in its grid slot, collecting failures.
+    let mut by_grid: Vec<Option<Result<Vec<SweepCell>>>> = (0..context.owned.len()).map(|_| None).collect();
+    for (k, block) in executed.into_iter().enumerate() {
+        by_grid[exec_order[k]] = Some(block);
+    }
+    let mut cells = Vec::new();
+    let mut failures = Vec::new();
+    for (slot, block) in by_grid.into_iter().enumerate() {
+        match block.expect("every executed cell lands back in its grid slot") {
+            Ok(block) => cells.extend(block),
+            Err(e) => failures.push(CellFailure {
+                position: context.owned[slot].position,
+                error: e.to_string(),
+            }),
+        }
+    }
+    if !failures.is_empty() {
+        return Err(GeError::CellsFailed(failures));
+    }
+
+    Ok(SweepRun {
+        shard: ShardReport {
+            sweep: context.spec.name.clone(),
+            spec_hash: context.spec.content_hash(),
+            shard_index: context.shard.index,
+            shard_count: context.shard.count,
+            spec: context.spec.clone(),
+            cells,
+        },
+        cache: context.cache.as_ref().map(|c| c.counters()),
+        prepared_cells: context.owned.len(),
+    })
+}
+
+/// Prepares one (family, scale, seed, explainer) experiment — through the
+/// engine's cache when one is attached — and attacks it with every attacker
+/// and budget of the grid.
+fn run_prep_cell(context: &SessionContext, cell: &PlannedCell, victim_parallel: bool) -> Result<Vec<SweepCell>> {
+    let spec = &context.spec;
+    let explainer = context
+        .explainers
+        .iter()
+        .find(|p| p.name() == cell.explainer)
+        .expect("planned cells only reference resolved explainers");
+    let source = GraphSource::Scenario(ScenarioSpec::named(cell.family.clone()));
+    let mut config = if spec.quick {
+        PipelineConfig::quick_source(source, cell.seed)
+    } else {
+        PipelineConfig::paper_scale_source(source, cell.seed)
+    };
+    config.generator = GeneratorConfig::at_scale(cell.scale, cell.seed);
+    config.set_victim_count(spec.victims);
+    config.explainer = explainer.prepare_kind();
+    config.parallel = victim_parallel;
+    let prepared = prepare_cached(config, context.cache.as_deref())?;
+
+    let inspector = explainer.inspector(&prepared)?;
+    let mut out = Vec::with_capacity(context.attackers.len() * spec.budgets.len());
+    for plugin in &context.attackers {
+        let attacker = plugin.build(&prepared)?;
+        for &budget in &spec.budgets {
+            let outcomes = run_attacker_with_budget(
+                &prepared,
+                attacker.as_ref(),
+                inspector.as_ref(),
+                BudgetRule::from(budget),
+            );
+            let summary = summarize_run(plugin.name(), &outcomes);
+            out.push(SweepCell {
+                family: cell.family.clone(),
+                scale: cell.scale,
+                seed: cell.seed,
+                explainer: cell.explainer.clone(),
+                attacker: plugin.name().to_string(),
+                budget: budget.label(),
+                nodes: prepared.graph.num_nodes(),
+                edges: prepared.graph.num_edges(),
+                victims: summary.victims,
+                asr: summary.asr,
+                asr_t: summary.asr_t,
+                precision: summary.precision,
+                recall: summary.recall,
+                f1: summary.f1,
+                ndcg: summary.ndcg,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Whether the prepared-cell loop should fan out across threads (see
+/// [`session_worker`]).
+fn cells_fan_out(serial: bool, cells: usize) -> bool {
+    #[cfg(feature = "parallel")]
+    {
+        !serial && cells > 1 && cells >= rayon::current_num_threads()
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        let _ = (serial, cells);
+        false
+    }
+}
+
+/// Maps `f` over the prepared cells — across threads when `fan_out` is set,
+/// serially otherwise. Results come back in cell order either way.
+fn map_cells<T: Sync, R: Send>(fan_out: bool, cells: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    #[cfg(feature = "parallel")]
+    if fan_out {
+        use rayon::prelude::*;
+        return cells.par_iter().map(&f).collect();
+    }
+    let _ = fan_out;
+    cells.iter().map(f).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{AttackerKind, Prepared};
+    use crate::registry::AttackerPlugin;
+    use geattack_attack::TargetedAttack;
+
+    fn tiny_spec() -> SweepSpec {
+        let mut spec = SweepSpec::new("engine-unit", vec!["tree-cycles".to_string()], vec!["rna".to_string()]);
+        spec.scales = vec![0.07];
+        spec.seeds = vec![0, 1];
+        spec.victims = 3;
+        spec
+    }
+
+    #[test]
+    fn event_stream_covers_every_cell_and_report_stays_grid_ordered() {
+        let engine = Engine::new().serial(true);
+        // Two scales with different costs: the cost-ordered schedule executes
+        // grid position 1 (scale 0.12) before position 0, so completion order
+        // provably differs from grid order.
+        let mut spec = tiny_spec();
+        spec.seeds = vec![0];
+        spec.scales = vec![0.07, 0.12];
+        let mut session = engine.submit(spec.clone()).expect("submits");
+        assert_eq!(session.plan().len(), 2);
+
+        let mut planned = Vec::new();
+        let mut started = Vec::new();
+        let mut finished = Vec::new();
+        for event in session.by_ref() {
+            match event {
+                CellEvent::Planned { cell } => planned.push(cell.position),
+                CellEvent::Started { position } => {
+                    assert!(!finished.contains(&position), "started after finishing");
+                    started.push(position);
+                }
+                CellEvent::Finished { position, cells } => {
+                    assert!(started.contains(&position), "finished without starting");
+                    assert_eq!(cells.len(), 1, "one attacker x one budget");
+                    finished.push(position);
+                }
+                CellEvent::Failed { position, error } => {
+                    unreachable!("cell {position} failed: {error}")
+                }
+            }
+        }
+        assert_eq!(planned, vec![0, 1], "plan arrives first, in grid order");
+        assert_eq!(started.len(), 2);
+        assert_eq!(
+            finished,
+            vec![1, 0],
+            "events stream in completion order: the expensive cell first"
+        );
+
+        let run = session.wait().expect("session succeeds");
+        assert_eq!(run.prepared_cells, 2);
+        let scales: Vec<f64> = run.shard.cells.iter().map(|c| c.scale).collect();
+        assert_eq!(scales, vec![0.07, 0.12], "results re-sorted to grid order");
+
+        // The streamed session produces the exact bytes of a blocking run.
+        let direct = engine.run_report(&spec).expect("runs");
+        let merged = engine.merge(std::slice::from_ref(&run.shard)).expect("merges");
+        assert_eq!(merged.to_json(), direct.to_json());
+    }
+
+    /// An attacker whose construction fails on seed 1, to fabricate a
+    /// per-cell failure without touching any real attack code.
+    struct FailsOnSeedOne;
+
+    impl AttackerPlugin for FailsOnSeedOne {
+        fn name(&self) -> &str {
+            "Flaky"
+        }
+
+        fn build(&self, prepared: &Prepared) -> Result<Box<dyn TargetedAttack + Sync>> {
+            if prepared.config().generator.seed == 1 {
+                Err(GeError::Prepare("flaky attacker refuses seed 1".to_string()))
+            } else {
+                Ok(prepared.attacker(AttackerKind::Rna))
+            }
+        }
+    }
+
+    #[test]
+    fn failed_cells_stream_as_events_without_aborting_the_session() {
+        let mut engine = Engine::new().serial(true);
+        engine.register_attacker(Arc::new(FailsOnSeedOne)).unwrap();
+        let mut spec = tiny_spec();
+        spec.attackers = vec!["flaky".to_string()];
+
+        let mut session = engine.submit(spec).expect("submits");
+        let mut finished = Vec::new();
+        let mut failed = Vec::new();
+        for event in session.by_ref() {
+            match event {
+                CellEvent::Finished { position, .. } => finished.push(position),
+                CellEvent::Failed { position, error } => {
+                    assert!(error.contains("refuses seed 1"), "{error}");
+                    failed.push(position);
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(finished, vec![0], "the healthy cell still completes");
+        assert_eq!(failed, vec![1], "the failing cell surfaces as an event");
+
+        let err = session.wait().unwrap_err();
+        match &err {
+            GeError::CellsFailed(failures) => {
+                assert_eq!(failures.len(), 1);
+                assert_eq!(failures[0].position, 1);
+            }
+            other => panic!("expected CellsFailed, got {other:?}"),
+        }
+        assert!(err.to_string().contains("refuses seed 1"), "{err}");
+    }
+
+    #[test]
+    fn custom_attackers_run_under_their_registered_name() {
+        struct Shadow;
+        impl AttackerPlugin for Shadow {
+            fn name(&self) -> &str {
+                "Shadow-RNA"
+            }
+            fn build(&self, prepared: &Prepared) -> Result<Box<dyn TargetedAttack + Sync>> {
+                Ok(prepared.attacker(AttackerKind::Rna))
+            }
+        }
+        let mut engine = Engine::new().serial(true);
+        engine.register_attacker(Arc::new(Shadow)).unwrap();
+        let mut spec = tiny_spec();
+        spec.seeds = vec![0];
+        spec.attackers = vec!["shadow-rna".to_string()];
+        let report = engine.run_report(&spec).expect("runs");
+        assert_eq!(report.cells.len(), 1);
+        assert_eq!(report.cells[0].attacker, "Shadow-RNA");
+        // The builtin registry knows nothing about it: the standalone
+        // merge_shards (builtin-only) must reject this report's axes.
+        let run = engine.run(&spec, None).expect("runs");
+        let err = crate::sweep::merge_shards(std::slice::from_ref(&run.shard)).unwrap_err();
+        assert!(err.to_string().contains("unknown attacker"), "{err}");
+    }
+
+    #[test]
+    fn submit_rejects_bad_specs_and_shards_before_running() {
+        let engine = Engine::new();
+        let mut spec = tiny_spec();
+        spec.scales = vec![7.0];
+        assert!(matches!(engine.submit(spec).unwrap_err(), GeError::InvalidSpec(_)));
+
+        let spec = tiny_spec();
+        let err = engine
+            .submit_shard(spec, Some(Shard { index: 5, count: 2 }))
+            .unwrap_err();
+        assert!(matches!(err, GeError::Shard(_)));
+    }
+}

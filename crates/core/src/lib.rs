@@ -13,6 +13,14 @@
 //! * [`evaluation`] — ASR / ASR-T and detection aggregation (mean ± std).
 //! * [`report`] — markdown tables and figure series matching the paper's format.
 //!
+//! * [`engine`] — the registry-driven experiment [`engine::Engine`]: streaming
+//!   sweep sessions, shard slicing, cost-ordered scheduling, shared caching.
+//! * [`registry`] — open attacker/explainer registries (the paper's kinds are
+//!   the builtin registrations).
+//! * [`sweep`] — sweep grids, shard reports and strict merge reassembly.
+//! * [`error`] — the [`error::GeError`] every user-input path returns instead
+//!   of panicking.
+//!
 //! ## Quickstart
 //!
 //! ```no_run
@@ -20,20 +28,26 @@
 //! use geattack_core::evaluation::summarize_run;
 //! use geattack_graph::DatasetName;
 //!
-//! let prepared = prepare(PipelineConfig::quick(DatasetName::Cora, 0));
-//! let outcomes = run_attacker_kind(&prepared, AttackerKind::GeAttack);
+//! let prepared = prepare(PipelineConfig::quick(DatasetName::Cora, 0)).unwrap();
+//! let outcomes = run_attacker_kind(&prepared, AttackerKind::GeAttack).unwrap();
 //! let summary = summarize_run("GEAttack", &outcomes);
 //! println!("ASR-T = {:.1}%, F1@15 = {:.1}%", summary.asr_t * 100.0, summary.f1 * 100.0);
 //! ```
 
+pub mod engine;
+pub mod error;
 pub mod evaluation;
 pub mod geattack;
 pub mod persist;
 pub mod pg_geattack;
 pub mod pipeline;
+pub mod registry;
 pub mod report;
+pub mod sweep;
 pub mod targets;
 
+pub use engine::{CellEvent, Engine, SweepHandle};
+pub use error::{CellFailure, GeError};
 pub use evaluation::{aggregate_runs, summarize_run, AggregatedSummary, AttackOutcome, MeanStd, RunSummary};
 pub use geattack::{GeAttack, GeAttackConfig};
 pub use persist::{cache_key, prepare_cached, CODE_VERSION_SALT};
@@ -42,5 +56,7 @@ pub use pipeline::{
     prepare, run_attacker, run_attacker_kind, run_attacker_with_budget, AttackerKind, BudgetRule, ExplainerKind,
     GraphSource, PipelineConfig, Prepared,
 };
+pub use registry::{AttackerPlugin, AttackerRegistry, ExplainerPlugin, ExplainerRegistry};
 pub use report::{format_percent, Figure, Series, TableBlock};
+pub use sweep::{merge_shards, PlannedCell, Shard, ShardReport, SweepAggregate, SweepCell, SweepReport, SweepRun};
 pub use targets::{assign_target_labels, select_victims, victims_with_degree, Victim, VictimSelectionConfig};

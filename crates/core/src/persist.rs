@@ -28,6 +28,7 @@ use geattack_gnn::{Gcn, GcnParams};
 use geattack_graph::{DataSplit, Graph};
 use geattack_tensor::Matrix;
 
+use crate::error::{GeError, Result};
 use crate::pipeline::{prepare, ExplainerKind, GraphSource, PipelineConfig, Prepared};
 use crate::targets::Victim;
 
@@ -103,15 +104,15 @@ fn put_matrix(enc: &mut Encoder, m: &Matrix) {
     enc.put_f64_slice(m.as_slice());
 }
 
-fn get_matrix(dec: &mut Decoder) -> Result<Matrix, String> {
-    let rows = dec.get_usize()?;
-    let cols = dec.get_usize()?;
-    let data = dec.get_f64_vec()?;
+fn get_matrix(dec: &mut Decoder) -> Result<Matrix> {
+    let rows = dec.get_usize().map_err(GeError::Cache)?;
+    let cols = dec.get_usize().map_err(GeError::Cache)?;
+    let data = dec.get_f64_vec().map_err(GeError::Cache)?;
     if rows.checked_mul(cols) != Some(data.len()) {
-        return Err(format!(
+        return Err(GeError::Cache(format!(
             "matrix shape {rows}x{cols} does not match {} values",
             data.len()
-        ));
+        )));
     }
     Ok(Matrix::from_vec(rows, cols, data))
 }
@@ -168,26 +169,28 @@ pub fn encode_prepared(prepared: &Prepared) -> Vec<u8> {
 /// Rebuilds a [`Prepared`] from an encoded payload and the config that
 /// produced it. Every structural invariant is re-checked with `Err` (never a
 /// panic), so arbitrary corruption degrades into a cache miss.
-pub fn decode_prepared(payload: &[u8], config: PipelineConfig) -> Result<Prepared, String> {
+pub fn decode_prepared(payload: &[u8], config: PipelineConfig) -> Result<Prepared> {
     let mut dec = Decoder::new(payload);
-    let version = dec.get_u32()?;
+    let version = dec.get_u32().map_err(GeError::Cache)?;
     if version != PAYLOAD_VERSION {
-        return Err(format!("payload version {version}, expected {PAYLOAD_VERSION}"));
+        return Err(GeError::Cache(format!(
+            "payload version {version}, expected {PAYLOAD_VERSION}"
+        )));
     }
 
-    let n = dec.get_usize()?;
-    let n_classes = dec.get_usize()?;
-    let labels = dec.get_usize_vec()?;
+    let n = dec.get_usize().map_err(GeError::Cache)?;
+    let n_classes = dec.get_usize().map_err(GeError::Cache)?;
+    let labels = dec.get_usize_vec().map_err(GeError::Cache)?;
     if labels.len() != n || n_classes == 0 || labels.iter().any(|&l| l >= n_classes) {
-        return Err("corrupt graph labels".to_string());
+        return Err(GeError::Cache("corrupt graph labels".to_string()));
     }
     let features = get_matrix(&mut dec)?;
     if features.rows() != n {
-        return Err("corrupt feature matrix".to_string());
+        return Err(GeError::Cache("corrupt feature matrix".to_string()));
     }
-    let bits = dec.get_bits()?;
+    let bits = dec.get_bits().map_err(GeError::Cache)?;
     if bits.len() != n * n {
-        return Err("corrupt adjacency bit set".to_string());
+        return Err(GeError::Cache("corrupt adjacency bit set".to_string()));
     }
     let mut adj = Matrix::zeros(n, n);
     for i in 0..n {
@@ -199,11 +202,11 @@ pub fn decode_prepared(payload: &[u8], config: PipelineConfig) -> Result<Prepare
     }
     for i in 0..n {
         if adj[(i, i)] != 0.0 {
-            return Err("corrupt adjacency: self loop".to_string());
+            return Err(GeError::Cache("corrupt adjacency: self loop".to_string()));
         }
         for j in (i + 1)..n {
             if adj[(i, j)] != adj[(j, i)] {
-                return Err("corrupt adjacency: asymmetric".to_string());
+                return Err(GeError::Cache("corrupt adjacency: asymmetric".to_string()));
             }
         }
     }
@@ -226,38 +229,38 @@ pub fn decode_prepared(payload: &[u8], config: PipelineConfig) -> Result<Prepare
         && b2.rows() == 1
         && b2.cols() == n_classes;
     if !shapes_ok {
-        return Err("corrupt GCN parameters".to_string());
+        return Err(GeError::Cache("corrupt GCN parameters".to_string()));
     }
     let model = Gcn::from_params(GcnParams::from_vec(params));
 
     let split = DataSplit {
-        train: dec.get_usize_vec()?,
-        val: dec.get_usize_vec()?,
-        test: dec.get_usize_vec()?,
+        train: dec.get_usize_vec().map_err(GeError::Cache)?,
+        val: dec.get_usize_vec().map_err(GeError::Cache)?,
+        test: dec.get_usize_vec().map_err(GeError::Cache)?,
     };
     if !split.is_partition_of(n) {
-        return Err("corrupt data split".to_string());
+        return Err(GeError::Cache("corrupt data split".to_string()));
     }
 
-    let victim_count = dec.get_usize()?;
+    let victim_count = dec.get_usize().map_err(GeError::Cache)?;
     if victim_count > n {
-        return Err("corrupt victim count".to_string());
+        return Err(GeError::Cache("corrupt victim count".to_string()));
     }
     let mut victims = Vec::with_capacity(victim_count);
     for _ in 0..victim_count {
         let victim = Victim {
-            node: dec.get_usize()?,
-            true_label: dec.get_usize()?,
-            target_label: dec.get_usize()?,
-            degree: dec.get_usize()?,
+            node: dec.get_usize().map_err(GeError::Cache)?,
+            true_label: dec.get_usize().map_err(GeError::Cache)?,
+            target_label: dec.get_usize().map_err(GeError::Cache)?,
+            degree: dec.get_usize().map_err(GeError::Cache)?,
         };
         if victim.node >= n || victim.true_label >= n_classes || victim.target_label >= n_classes {
-            return Err("corrupt victim record".to_string());
+            return Err(GeError::Cache("corrupt victim record".to_string()));
         }
         victims.push(victim);
     }
 
-    let pg_explainer = if dec.get_bool()? {
+    let pg_explainer = if dec.get_bool().map_err(GeError::Cache)? {
         let mut ms = Vec::with_capacity(6);
         for _ in 0..6 {
             ms.push(get_matrix(&mut dec)?);
@@ -279,7 +282,7 @@ pub fn decode_prepared(payload: &[u8], config: PipelineConfig) -> Result<Prepare
             && b2.rows() == 1
             && b2.cols() == 1;
         if !mlp_ok {
-            return Err("corrupt PGExplainer parameters".to_string());
+            return Err(GeError::Cache("corrupt PGExplainer parameters".to_string()));
         }
         Some(PgExplainer::from_parts(
             config.pgexplainer.clone(),
@@ -296,9 +299,11 @@ pub fn decode_prepared(payload: &[u8], config: PipelineConfig) -> Result<Prepare
         None
     };
     if (config.explainer == ExplainerKind::PgExplainer) != pg_explainer.is_some() {
-        return Err("cached explainer state does not match the requested inspector".to_string());
+        return Err(GeError::Cache(
+            "cached explainer state does not match the requested inspector".to_string(),
+        ));
     }
-    dec.finish()?;
+    dec.finish().map_err(GeError::Cache)?;
 
     Ok(Prepared::from_parts(graph, model, split, victims, pg_explainer, config))
 }
@@ -307,12 +312,12 @@ pub fn decode_prepared(payload: &[u8], config: PipelineConfig) -> Result<Prepare
 /// decoded instead of retrained; on a miss (or after evicting a corrupt
 /// entry) it is computed and persisted. Without a store this is exactly
 /// [`prepare`].
-pub fn prepare_cached(config: PipelineConfig, cache: Option<&CacheStore>) -> Prepared {
+pub fn prepare_cached(config: PipelineConfig, cache: Option<&CacheStore>) -> Result<Prepared> {
     prepare_cached_salted(config, cache, CODE_VERSION_SALT)
 }
 
 /// [`prepare_cached`] under an explicit code-version salt.
-pub fn prepare_cached_salted(config: PipelineConfig, cache: Option<&CacheStore>, salt: &str) -> Prepared {
+pub fn prepare_cached_salted(config: PipelineConfig, cache: Option<&CacheStore>, salt: &str) -> Result<Prepared> {
     let Some(store) = cache else {
         return prepare(config);
     };
@@ -321,7 +326,7 @@ pub fn prepare_cached_salted(config: PipelineConfig, cache: Option<&CacheStore>,
         match decode_prepared(&payload, config.clone()) {
             Ok(prepared) => {
                 store.record_hit();
-                return prepared;
+                return Ok(prepared);
             }
             Err(e) => {
                 eprintln!("cache: evicting corrupt entry {key}: {e}");
@@ -330,11 +335,11 @@ pub fn prepare_cached_salted(config: PipelineConfig, cache: Option<&CacheStore>,
         }
     }
     store.record_miss();
-    let prepared = prepare(config);
+    let prepared = prepare(config)?;
     if let Err(e) = store.store(&key, &encode_prepared(&prepared)) {
         eprintln!("cache: warning: could not persist entry {key}: {e}");
     }
-    prepared
+    Ok(prepared)
 }
 
 #[cfg(test)]
@@ -415,7 +420,7 @@ mod tests {
 
     #[test]
     fn encode_decode_round_trips_the_experiment_exactly() {
-        let prepared = prepare(tiny_config(11));
+        let prepared = prepare(tiny_config(11)).unwrap();
         let payload = encode_prepared(&prepared);
         let decoded = decode_prepared(&payload, tiny_config(11)).expect("payload decodes");
 
@@ -432,8 +437,8 @@ mod tests {
         }
         // The decisive equivalence: attacking the decoded experiment produces
         // bit-identical outcomes to attacking the original.
-        let fresh = run_attacker_kind(&prepared, AttackerKind::FgaT);
-        let cached = run_attacker_kind(&decoded, AttackerKind::FgaT);
+        let fresh = run_attacker_kind(&prepared, AttackerKind::FgaT).unwrap();
+        let cached = run_attacker_kind(&decoded, AttackerKind::FgaT).unwrap();
         let a = summarize_run("FGA-T", &fresh);
         let b = summarize_run("FGA-T", &cached);
         assert_eq!(a.asr_t.to_bits(), b.asr_t.to_bits());
@@ -447,7 +452,7 @@ mod tests {
         config.explainer = ExplainerKind::PgExplainer;
         config.pgexplainer.epochs = 1;
         config.pgexplainer.training_instances = 4;
-        let prepared = prepare(config.clone());
+        let prepared = prepare(config.clone()).unwrap();
         let decoded = decode_prepared(&encode_prepared(&prepared), config.clone()).expect("decodes");
         let original = prepared.pg_explainer.as_ref().expect("trained");
         let restored = decoded.pg_explainer.as_ref().expect("restored");
@@ -455,14 +460,17 @@ mod tests {
         assert_eq!(restored.params().b1, original.params().b1);
 
         // A payload without PGExplainer state must not satisfy a PG config.
-        let gnn_payload = encode_prepared(&prepare(tiny_config(13)));
+        let gnn_payload = encode_prepared(&prepare(tiny_config(13)).unwrap());
         let err = decode_prepared(&gnn_payload, config).map(|_| ()).unwrap_err();
-        assert!(err.contains("does not match the requested inspector"), "{err}");
+        assert!(
+            err.to_string().contains("does not match the requested inspector"),
+            "{err}"
+        );
     }
 
     #[test]
     fn corrupt_payloads_error_instead_of_panicking() {
-        let prepared = prepare(tiny_config(17));
+        let prepared = prepare(tiny_config(17)).unwrap();
         let payload = encode_prepared(&prepared);
         assert!(decode_prepared(&payload[..payload.len() / 2], tiny_config(17)).is_err());
         assert!(decode_prepared(&[], tiny_config(17)).is_err());
@@ -477,7 +485,7 @@ mod tests {
         // A transposed weight matrix survives get_matrix's rows*cols check
         // (same element count) — only the cross-matrix shape validation can
         // catch it, turning a would-be forward-pass panic into a cache miss.
-        let prepared = prepare(tiny_config(31));
+        let prepared = prepare(tiny_config(31)).unwrap();
         let p = prepared.model.params();
         let transposed = Matrix::from_vec(p.w2.cols(), p.w2.rows(), p.w2.as_slice().to_vec());
         let bad_model = Gcn::from_params(GcnParams {
@@ -487,7 +495,7 @@ mod tests {
             b2: p.b2.clone(),
         });
         let tampered = Prepared::from_parts(
-            prepared.graph.clone(),
+            prepared.graph.as_ref().clone(),
             bad_model,
             prepared.split.clone(),
             prepared.victims.clone(),
@@ -497,15 +505,15 @@ mod tests {
         let err = decode_prepared(&encode_prepared(&tampered), tiny_config(31))
             .map(|_| ())
             .unwrap_err();
-        assert!(err.contains("corrupt GCN parameters"), "{err}");
+        assert!(err.to_string().contains("corrupt GCN parameters"), "{err}");
 
         // Same trap for the PGExplainer MLP output layer (h x 1 -> 1 x h).
         let mut config = tiny_config(31);
         config.explainer = ExplainerKind::PgExplainer;
         config.pgexplainer.epochs = 1;
         config.pgexplainer.training_instances = 4;
-        let prepared = prepare(config.clone());
-        let pg = prepared.pg_explainer.clone().expect("trained");
+        let prepared = prepare(config.clone()).unwrap();
+        let pg = prepared.pg_explainer.clone().unwrap();
         let mlp = pg.params();
         let bad_pg = PgExplainer::from_parts(
             config.pgexplainer.clone(),
@@ -519,8 +527,8 @@ mod tests {
             },
         );
         let tampered = Prepared::from_parts(
-            prepared.graph.clone(),
-            prepared.model.clone(),
+            prepared.graph.as_ref().clone(),
+            prepared.model.as_ref().clone(),
             prepared.split.clone(),
             prepared.victims.clone(),
             Some(bad_pg),
@@ -529,32 +537,32 @@ mod tests {
         let err = decode_prepared(&encode_prepared(&tampered), config)
             .map(|_| ())
             .unwrap_err();
-        assert!(err.contains("corrupt PGExplainer parameters"), "{err}");
+        assert!(err.to_string().contains("corrupt PGExplainer parameters"), "{err}");
     }
 
     #[test]
     fn prepare_cached_hits_after_a_cold_miss() {
         let t = TempStore::new("hit");
-        let cold = prepare_cached(tiny_config(19), Some(&t.store));
+        let cold = prepare_cached(tiny_config(19), Some(&t.store)).unwrap();
         let counters = t.store.counters();
         assert_eq!((counters.hits, counters.misses), (0, 1));
         assert_eq!(t.store.entry_count(), 1);
 
-        let warm = prepare_cached(tiny_config(19), Some(&t.store));
+        let warm = prepare_cached(tiny_config(19), Some(&t.store)).unwrap();
         let counters = t.store.counters();
         assert_eq!((counters.hits, counters.misses), (1, 1));
         assert_eq!(warm.graph.adjacency(), cold.graph.adjacency());
         assert_eq!(warm.victims.len(), cold.victims.len());
 
         // No store → plain prepare, no counters involved.
-        let plain = prepare_cached(tiny_config(19), None);
+        let plain = prepare_cached(tiny_config(19), None).unwrap();
         assert_eq!(plain.victims.len(), cold.victims.len());
     }
 
     #[test]
     fn corrupted_entry_is_evicted_and_recomputed() {
         let t = TempStore::new("corrupt");
-        let cold = prepare_cached(tiny_config(23), Some(&t.store));
+        let cold = prepare_cached(tiny_config(23), Some(&t.store)).unwrap();
         let key = cache_key(&tiny_config(23));
         // Truncate the committed entry to garbage (keep the envelope valid so
         // the *payload* decoder is what trips).
@@ -562,13 +570,13 @@ mod tests {
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..20]).unwrap();
 
-        let recovered = prepare_cached(tiny_config(23), Some(&t.store));
+        let recovered = prepare_cached(tiny_config(23), Some(&t.store)).unwrap();
         let counters = t.store.counters();
         assert_eq!(counters.evictions, 1, "corrupt entry evicted");
         assert_eq!(counters.misses, 2, "recomputed after eviction");
         assert_eq!(recovered.graph.adjacency(), cold.graph.adjacency());
         // The recomputed entry was re-persisted and now hits.
-        let warm = prepare_cached(tiny_config(23), Some(&t.store));
+        let warm = prepare_cached(tiny_config(23), Some(&t.store)).unwrap();
         assert_eq!(t.store.counters().hits, 1);
         assert_eq!(warm.split, cold.split);
     }
@@ -576,15 +584,15 @@ mod tests {
     #[test]
     fn version_salt_bump_invalidates_without_evicting() {
         let t = TempStore::new("salt");
-        prepare_cached_salted(tiny_config(29), Some(&t.store), "prepare-v1");
-        prepare_cached_salted(tiny_config(29), Some(&t.store), "prepare-v2");
+        prepare_cached_salted(tiny_config(29), Some(&t.store), "prepare-v1").unwrap();
+        prepare_cached_salted(tiny_config(29), Some(&t.store), "prepare-v2").unwrap();
         let counters = t.store.counters();
         assert_eq!(counters.hits, 0, "a new salt never hits old entries");
         assert_eq!(counters.misses, 2);
         assert_eq!(counters.evictions, 0, "old entries are orphaned, not destroyed");
         assert_eq!(t.store.entry_count(), 2, "both salted entries coexist");
         // Back on the old salt, the original entry still hits.
-        prepare_cached_salted(tiny_config(29), Some(&t.store), "prepare-v1");
+        prepare_cached_salted(tiny_config(29), Some(&t.store), "prepare-v1").unwrap();
         assert_eq!(t.store.counters().hits, 1);
     }
 }

@@ -12,6 +12,8 @@
 //! datasets or any named [`geattack_scenarios`] family, so the same pipeline
 //! drives both the reproduction binaries and the scenario sweep runner.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use geattack_attack::{AttackContext, Fga, FgaT, FgaTE, FgaTEConfig, IgAttack, Nettack, RandomAttack, TargetedAttack};
@@ -21,6 +23,7 @@ use geattack_graph::datasets::{load, DatasetName, GeneratorConfig};
 use geattack_graph::{stratified_split, DataSplit, Graph};
 use geattack_scenarios::{BudgetSpec, ScenarioSpec};
 
+use crate::error::{GeError, Result};
 use crate::evaluation::{evaluate_attack, AttackOutcome};
 use crate::geattack::{GeAttack, GeAttackConfig};
 use crate::pg_geattack::{PgGeAttack, PgGeAttackConfig};
@@ -70,19 +73,24 @@ impl AttackerKind {
         }
     }
 
-    /// Parses a case-insensitive attacker name.
-    pub fn parse(s: &str) -> Option<Self> {
-        let lowered = s.to_ascii_lowercase();
-        match lowered.as_str() {
-            "fga" => Some(AttackerKind::Fga),
-            "rna" | "random" => Some(AttackerKind::Rna),
-            "fga-t" | "fgat" => Some(AttackerKind::FgaT),
-            "nettack" => Some(AttackerKind::Nettack),
-            "ig-attack" | "ig" => Some(AttackerKind::IgAttack),
-            "fga-t&e" | "fgate" => Some(AttackerKind::FgaTE),
-            "geattack" => Some(AttackerKind::GeAttack),
-            _ => None,
+    /// The case-insensitive names this attacker answers to in specs and on the
+    /// command line. These are the builtin registry's lookup keys.
+    pub fn aliases(&self) -> &'static [&'static str] {
+        match self {
+            AttackerKind::Fga => &["fga"],
+            AttackerKind::Rna => &["rna", "random"],
+            AttackerKind::FgaT => &["fga-t", "fgat"],
+            AttackerKind::Nettack => &["nettack"],
+            AttackerKind::IgAttack => &["ig-attack", "ig"],
+            AttackerKind::FgaTE => &["fga-t&e", "fgate"],
+            AttackerKind::GeAttack => &["geattack"],
         }
+    }
+
+    /// Parses a case-insensitive attacker name by looking it up in the builtin
+    /// attacker registry (see [`crate::registry`]).
+    pub fn parse(s: &str) -> Option<Self> {
+        crate::registry::builtin_attacker_kind(s)
     }
 }
 
@@ -96,6 +104,9 @@ pub enum ExplainerKind {
 }
 
 impl ExplainerKind {
+    /// Both builtin explainers, in the paper's presentation order.
+    pub const ALL: [ExplainerKind; 2] = [ExplainerKind::GnnExplainer, ExplainerKind::PgExplainer];
+
     /// Display name used in reports.
     pub fn name(&self) -> &'static str {
         match self {
@@ -104,13 +115,19 @@ impl ExplainerKind {
         }
     }
 
-    /// Parses a case-insensitive explainer name.
-    pub fn parse(s: &str) -> Option<Self> {
-        match s.trim().to_ascii_lowercase().as_str() {
-            "gnnexplainer" | "gnn-explainer" | "gnn" => Some(ExplainerKind::GnnExplainer),
-            "pgexplainer" | "pg-explainer" | "pg" => Some(ExplainerKind::PgExplainer),
-            _ => None,
+    /// The case-insensitive names this explainer answers to in specs and on
+    /// the command line. These are the builtin registry's lookup keys.
+    pub fn aliases(&self) -> &'static [&'static str] {
+        match self {
+            ExplainerKind::GnnExplainer => &["gnnexplainer", "gnn-explainer", "gnn"],
+            ExplainerKind::PgExplainer => &["pgexplainer", "pg-explainer", "pg"],
         }
+    }
+
+    /// Parses a case-insensitive explainer name by looking it up in the
+    /// builtin explainer registry (see [`crate::registry`]).
+    pub fn parse(s: &str) -> Option<Self> {
+        crate::registry::builtin_explainer_kind(s)
     }
 }
 
@@ -145,25 +162,20 @@ impl GraphSource {
     }
 
     /// Checks the source is resolvable without generating anything.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<()> {
         match self {
             GraphSource::Dataset(_) => Ok(()),
-            GraphSource::Scenario(spec) => spec.validate(),
+            GraphSource::Scenario(spec) => spec.validate().map_err(GeError::GraphSource),
         }
     }
 
     /// Generates the graph (largest connected component). Scenario sources
     /// inherit scale and seed from `generator` unless the spec overrides them.
-    ///
-    /// # Panics
-    /// Panics on an unknown scenario family; call [`GraphSource::validate`]
-    /// first when the name comes from user input.
-    pub fn load(&self, generator: &GeneratorConfig) -> Graph {
+    /// Unknown scenario families come back as [`GeError::GraphSource`].
+    pub fn load(&self, generator: &GeneratorConfig) -> Result<Graph> {
         match self {
-            GraphSource::Dataset(dataset) => load(*dataset, generator),
-            GraphSource::Scenario(spec) => spec
-                .load(generator.scale, generator.seed)
-                .unwrap_or_else(|e| panic!("cannot load scenario graph: {e}")),
+            GraphSource::Dataset(dataset) => Ok(load(*dataset, generator)),
+            GraphSource::Scenario(spec) => spec.load(generator.scale, generator.seed).map_err(GeError::GraphSource),
         }
     }
 }
@@ -305,17 +317,23 @@ impl PipelineConfig {
 /// The shared state of one experiment run: the data, the trained victim model, the
 /// split, the victims with their target labels, and (when PGExplainer is the
 /// inspector) the trained PGExplainer.
+///
+/// The heavy, immutable parts — the graph (dense adjacency), the trained model
+/// and the trained PGExplainer — live behind [`Arc`], so re-scoping an
+/// experiment to a different victim set ([`Prepared::with_victims`], used by
+/// the degree-bucket figures and the sweep fan-out) shares them instead of
+/// deep-copying an `n×n` matrix per bucket.
 pub struct Prepared {
-    /// The clean graph.
-    pub graph: Graph,
-    /// The trained (frozen) GCN under attack.
-    pub model: Gcn,
+    /// The clean graph (shared, immutable).
+    pub graph: Arc<Graph>,
+    /// The trained (frozen) GCN under attack (shared, immutable).
+    pub model: Arc<Gcn>,
     /// Train/val/test node split.
     pub split: DataSplit,
     /// Victims with assigned target labels.
     pub victims: Vec<Victim>,
-    /// The trained PGExplainer, if the experiment uses one.
-    pub pg_explainer: Option<PgExplainer>,
+    /// The trained PGExplainer, if the experiment uses one (shared, immutable).
+    pub pg_explainer: Option<Arc<PgExplainer>>,
     config: PipelineConfig,
 }
 
@@ -332,11 +350,11 @@ impl Prepared {
         config: PipelineConfig,
     ) -> Prepared {
         Prepared {
-            graph,
-            model,
+            graph: Arc::new(graph),
+            model: Arc::new(model),
             split,
             victims,
-            pg_explainer,
+            pg_explainer: pg_explainer.map(Arc::new),
             config,
         }
     }
@@ -351,12 +369,13 @@ impl Prepared {
         self.config.source.label()
     }
 
-    /// Clones the experiment with a different victim set (used by the degree
-    /// buckets of Figures 2/3/7 and the parameter sweeps).
+    /// Re-scopes the experiment to a different victim set (used by the degree
+    /// buckets of Figures 2/3/7 and the parameter sweeps). The graph, model
+    /// and explainer state are shared, not copied.
     pub fn with_victims(&self, victims: Vec<Victim>) -> Prepared {
         Prepared {
-            graph: self.graph.clone(),
-            model: self.model.clone(),
+            graph: Arc::clone(&self.graph),
+            model: Arc::clone(&self.model),
             split: self.split.clone(),
             victims,
             pg_explainer: self.pg_explainer.clone(),
@@ -364,15 +383,18 @@ impl Prepared {
         }
     }
 
-    /// Builds the inspector explainer configured for this experiment.
-    pub fn inspector(&self) -> Box<dyn Explainer + Sync> {
+    /// Builds the inspector explainer configured for this experiment. Errors
+    /// when the configuration requests a PGExplainer inspection but no trained
+    /// PGExplainer state is present (a hand-assembled or corrupted `Prepared`).
+    pub fn inspector(&self) -> Result<Box<dyn Explainer + Sync>> {
         match self.config.explainer {
-            ExplainerKind::GnnExplainer => Box::new(GnnExplainer::new(self.config.gnnexplainer.clone())),
-            ExplainerKind::PgExplainer => Box::new(
-                self.pg_explainer
-                    .clone()
-                    .expect("PGExplainer inspector requested but not trained"),
-            ),
+            ExplainerKind::GnnExplainer => Ok(Box::new(GnnExplainer::new(self.config.gnnexplainer.clone()))),
+            ExplainerKind::PgExplainer => match &self.pg_explainer {
+                Some(pg) => Ok(Box::new(Arc::clone(pg))),
+                None => Err(GeError::Prepare(
+                    "PGExplainer inspector requested but not trained".to_string(),
+                )),
+            },
         }
     }
 
@@ -390,7 +412,7 @@ impl Prepared {
             })),
             AttackerKind::GeAttack => match (&self.config.explainer, &self.pg_explainer) {
                 (ExplainerKind::PgExplainer, Some(pg)) => {
-                    Box::new(PgGeAttack::new(pg.clone(), self.config.pg_geattack.clone()))
+                    Box::new(PgGeAttack::new(pg.as_ref().clone(), self.config.pg_geattack.clone()))
                 }
                 _ => Box::new(GeAttack::new(self.config.geattack.clone())),
             },
@@ -400,8 +422,9 @@ impl Prepared {
 
 /// Prepares an experiment: generate the dataset, train the GCN, select victims and
 /// assign their target labels (and train PGExplainer if it is the inspector).
-pub fn prepare(config: PipelineConfig) -> Prepared {
-    let graph = config.source.load(&config.generator);
+/// Fails (instead of panicking) when the graph source cannot be loaded.
+pub fn prepare(config: PipelineConfig) -> Result<Prepared> {
+    let graph = config.source.load(&config.generator)?;
     use rand::SeedableRng as _;
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(config.generator.seed);
     let split = stratified_split(graph.labels(), graph.num_classes(), 0.1, 0.1, &mut rng);
@@ -421,14 +444,7 @@ pub fn prepare(config: PipelineConfig) -> Prepared {
         ExplainerKind::GnnExplainer => None,
     };
 
-    Prepared {
-        graph,
-        model,
-        split,
-        victims,
-        pg_explainer,
-        config,
-    }
+    Ok(Prepared::from_parts(graph, model, split, victims, pg_explainer, config))
 }
 
 /// Runs one attacker over all prepared victims and returns per-victim outcomes.
@@ -484,10 +500,10 @@ pub fn run_attacker_with_budget(
 }
 
 /// Runs one attacker kind end-to-end on an already-prepared experiment.
-pub fn run_attacker_kind(prepared: &Prepared, kind: AttackerKind) -> Vec<AttackOutcome> {
+pub fn run_attacker_kind(prepared: &Prepared, kind: AttackerKind) -> Result<Vec<AttackOutcome>> {
     let attacker = prepared.attacker(kind);
-    let inspector = prepared.inspector();
-    run_attacker(prepared, attacker.as_ref(), inspector.as_ref())
+    let inspector = prepared.inspector()?;
+    Ok(run_attacker(prepared, attacker.as_ref(), inspector.as_ref()))
 }
 
 #[cfg(test)]
@@ -509,7 +525,7 @@ mod tests {
 
     #[test]
     fn prepare_produces_victims_with_targets() {
-        let prepared = prepare(tiny_config(91));
+        let prepared = prepare(tiny_config(91)).unwrap();
         assert!(!prepared.victims.is_empty());
         for v in &prepared.victims {
             assert_ne!(v.true_label, v.target_label);
@@ -520,8 +536,8 @@ mod tests {
 
     #[test]
     fn fga_t_summary_has_high_asr_t() {
-        let prepared = prepare(tiny_config(92));
-        let outcomes = run_attacker_kind(&prepared, AttackerKind::FgaT);
+        let prepared = prepare(tiny_config(92)).unwrap();
+        let outcomes = run_attacker_kind(&prepared, AttackerKind::FgaT).unwrap();
         assert_eq!(outcomes.len(), prepared.victims.len());
         let summary = summarize_run("FGA-T", &outcomes);
         assert!(summary.asr_t >= 0.5, "FGA-T ASR-T unexpectedly low: {}", summary.asr_t);
@@ -544,11 +560,11 @@ mod tests {
         let prepared_serial = {
             let mut c = config.clone();
             c.parallel = false;
-            prepare(c)
+            prepare(c).unwrap()
         };
-        let prepared_parallel = prepare(config);
-        let serial = run_attacker_kind(&prepared_serial, AttackerKind::FgaT);
-        let parallel = run_attacker_kind(&prepared_parallel, AttackerKind::FgaT);
+        let prepared_parallel = prepare(config).unwrap();
+        let serial = run_attacker_kind(&prepared_serial, AttackerKind::FgaT).unwrap();
+        let parallel = run_attacker_kind(&prepared_parallel, AttackerKind::FgaT).unwrap();
         assert_eq!(serial.len(), parallel.len());
         for (a, b) in serial.iter().zip(parallel.iter()) {
             assert_eq!(a.node, b.node);
@@ -563,12 +579,12 @@ mod tests {
             GraphSource::parse("cora"),
             Some(GraphSource::Dataset(DatasetName::Cora))
         );
-        let scenario = GraphSource::parse("Tree_Cycles").expect("scenario families parse");
+        let scenario = GraphSource::parse("Tree_Cycles").unwrap();
         assert_eq!(scenario.label(), "tree-cycles");
         assert!(scenario.validate().is_ok());
         assert_eq!(GraphSource::parse("no-such-graph"), None);
 
-        let graph = scenario.load(&GeneratorConfig::at_scale(0.08, 1));
+        let graph = scenario.load(&GeneratorConfig::at_scale(0.08, 1)).unwrap();
         assert!(graph.num_nodes() >= 30);
         let comps = graph.to_csr().connected_components();
         assert!(comps.iter().all(|&c| c == comps[0]), "source load applies LCC");
@@ -582,18 +598,18 @@ mod tests {
         config.victims.top_margin = 1;
         config.victims.bottom_margin = 1;
         config.gnnexplainer.epochs = 10;
-        let prepared = prepare(config);
+        let prepared = prepare(config).unwrap();
         assert_eq!(prepared.source_label(), "ba-shapes");
         assert!(!prepared.victims.is_empty(), "BA-Shapes must yield attackable victims");
-        let outcomes = run_attacker_kind(&prepared, AttackerKind::FgaT);
+        let outcomes = run_attacker_kind(&prepared, AttackerKind::FgaT).unwrap();
         assert_eq!(outcomes.len(), prepared.victims.len());
     }
 
     #[test]
     fn budget_rules_bound_perturbation_sizes() {
-        let prepared = prepare(tiny_config(95));
+        let prepared = prepare(tiny_config(95)).unwrap();
         let attacker = prepared.attacker(AttackerKind::FgaT);
-        let inspector = prepared.inspector();
+        let inspector = prepared.inspector().unwrap();
         let fixed = run_attacker_with_budget(&prepared, attacker.as_ref(), inspector.as_ref(), BudgetRule::Fixed(1));
         assert!(fixed.iter().all(|o| o.perturbation_size <= 1), "fixed budget of 1 edge");
         let degree = run_attacker_with_budget(&prepared, attacker.as_ref(), inspector.as_ref(), BudgetRule::Degree);
@@ -626,9 +642,9 @@ mod tests {
         config.victims.count = 3;
         config.pgexplainer.epochs = 1;
         config.pgexplainer.training_instances = 4;
-        let prepared = prepare(config);
+        let prepared = prepare(config).unwrap();
         assert!(prepared.pg_explainer.is_some());
-        let outcomes = run_attacker_kind(&prepared, AttackerKind::GeAttack);
+        let outcomes = run_attacker_kind(&prepared, AttackerKind::GeAttack).unwrap();
         assert_eq!(outcomes.len(), prepared.victims.len());
     }
 }

@@ -1,0 +1,343 @@
+//! Open, name-keyed registries for attackers and explainers.
+//!
+//! The paper compares a fixed set of attackers (Tables 1–2) against two
+//! explainers, and the original pipeline hard-coded both sets as closed enums.
+//! Related work (*Explainable Graph Neural Networks Under Fire*, *Graph Neural
+//! Network Explanations are Fragile*) makes clear the joint-attack evaluation
+//! extends to many more attacker/explainer pairings, so the engine resolves
+//! both axes through registries instead — mirroring the scenario-family
+//! registry of `geattack-scenarios`.
+//!
+//! A registry maps case-insensitive names to trait-object factories:
+//! [`AttackerPlugin`] builds a [`TargetedAttack`] from a [`Prepared`]
+//! experiment, [`ExplainerPlugin`] builds the inspector [`Explainer`]. The
+//! paper's [`AttackerKind`] / [`ExplainerKind`] enums remain as the builtin
+//! registrations (their `parse` methods are lookups into the builtin
+//! registries), and [`crate::engine::Engine`] carries its own registry pair so
+//! custom attackers and explainers can be registered per engine without
+//! touching any enum.
+
+use std::sync::{Arc, OnceLock};
+
+use geattack_attack::TargetedAttack;
+use geattack_explain::{Explainer, GnnExplainer};
+
+use crate::error::{GeError, Result};
+use crate::pipeline::{AttackerKind, ExplainerKind, Prepared};
+
+/// A named factory of attackers. `build` runs once per (prepared cell,
+/// attacker) — per-victim cost lives inside the returned [`TargetedAttack`].
+pub trait AttackerPlugin: Send + Sync {
+    /// Display name used in reports and result cells (e.g. `"FGA-T&E"`).
+    fn name(&self) -> &str;
+
+    /// Case-insensitive lookup keys this plugin answers to (the display name
+    /// is always accepted too).
+    fn aliases(&self) -> Vec<String> {
+        Vec::new()
+    }
+
+    /// The builtin kind behind this plugin, if any ([`AttackerKind::parse`]
+    /// uses this to keep resolving through the registry).
+    fn builtin_kind(&self) -> Option<AttackerKind> {
+        None
+    }
+
+    /// Builds an attacker instance for one prepared experiment.
+    fn build(&self, prepared: &Prepared) -> Result<Box<dyn TargetedAttack + Sync>>;
+}
+
+/// A named factory of inspector explainers.
+pub trait ExplainerPlugin: Send + Sync {
+    /// Display name used in reports and result cells (e.g. `"PGExplainer"`).
+    fn name(&self) -> &str;
+
+    /// Case-insensitive lookup keys this plugin answers to (the display name
+    /// is always accepted too).
+    fn aliases(&self) -> Vec<String> {
+        Vec::new()
+    }
+
+    /// The builtin kind behind this plugin, if any ([`ExplainerKind::parse`]
+    /// uses this to keep resolving through the registry).
+    fn builtin_kind(&self) -> Option<ExplainerKind> {
+        None
+    }
+
+    /// Which builtin preparation behaviour cells inspected by this explainer
+    /// need: [`ExplainerKind::PgExplainer`] trains a PGExplainer during
+    /// preparation (and keys the cache accordingly); everything else prepares
+    /// like GNNExplainer (no extra trained state). Custom explainers that only
+    /// need the graph and the trained model keep the default.
+    fn prepare_kind(&self) -> ExplainerKind {
+        ExplainerKind::GnnExplainer
+    }
+
+    /// Builds the inspector for one prepared experiment.
+    fn inspector(&self, prepared: &Prepared) -> Result<Box<dyn Explainer + Sync>>;
+}
+
+/// The builtin attacker registration: a thin adapter over [`AttackerKind`].
+struct BuiltinAttacker(AttackerKind);
+
+impl AttackerPlugin for BuiltinAttacker {
+    fn name(&self) -> &str {
+        self.0.name()
+    }
+
+    fn aliases(&self) -> Vec<String> {
+        self.0.aliases().iter().map(|a| a.to_string()).collect()
+    }
+
+    fn builtin_kind(&self) -> Option<AttackerKind> {
+        Some(self.0)
+    }
+
+    fn build(&self, prepared: &Prepared) -> Result<Box<dyn TargetedAttack + Sync>> {
+        Ok(prepared.attacker(self.0))
+    }
+}
+
+/// The builtin explainer registration: a thin adapter over [`ExplainerKind`].
+struct BuiltinExplainer(ExplainerKind);
+
+impl ExplainerPlugin for BuiltinExplainer {
+    fn name(&self) -> &str {
+        self.0.name()
+    }
+
+    fn aliases(&self) -> Vec<String> {
+        self.0.aliases().iter().map(|a| a.to_string()).collect()
+    }
+
+    fn builtin_kind(&self) -> Option<ExplainerKind> {
+        Some(self.0)
+    }
+
+    fn prepare_kind(&self) -> ExplainerKind {
+        self.0
+    }
+
+    fn inspector(&self, prepared: &Prepared) -> Result<Box<dyn Explainer + Sync>> {
+        // `prepare_kind` routed preparation through the matching builtin path,
+        // so the prepared state fits this inspector; a mismatch (PG requested
+        // on GNN-prepared state) surfaces as a `Prepare` error, not a panic.
+        match self.0 {
+            ExplainerKind::GnnExplainer => Ok(Box::new(GnnExplainer::new(prepared.config().gnnexplainer.clone()))),
+            ExplainerKind::PgExplainer => match &prepared.pg_explainer {
+                Some(pg) => Ok(Box::new(Arc::clone(pg))),
+                None => Err(GeError::Prepare(
+                    "PGExplainer inspector requested but the prepared state has no trained PGExplainer".to_string(),
+                )),
+            },
+        }
+    }
+}
+
+/// Canonical registry key: trimmed, lower-case.
+fn key(name: &str) -> String {
+    name.trim().to_ascii_lowercase()
+}
+
+macro_rules! registry {
+    ($name:ident, $plugin:ident, $kind_label:literal) => {
+        /// A name-keyed, case-insensitive collection of plugins. Cheap to
+        /// clone (entries are shared `Arc`s), so an engine session can carry
+        /// its own snapshot across threads.
+        #[derive(Clone)]
+        pub struct $name {
+            entries: Vec<Arc<dyn $plugin>>,
+        }
+
+        impl $name {
+            /// An empty registry (no names resolve).
+            pub fn empty() -> Self {
+                Self { entries: Vec::new() }
+            }
+
+            /// Registered display names, in registration order.
+            pub fn names(&self) -> Vec<String> {
+                self.entries.iter().map(|p| p.name().to_string()).collect()
+            }
+
+            /// Registers a plugin, rejecting any name or alias that collides
+            /// with an existing registration (case-insensitively).
+            pub fn register(&mut self, plugin: Arc<dyn $plugin>) -> Result<()> {
+                let mut keys = vec![key(plugin.name())];
+                keys.extend(plugin.aliases().iter().map(|a| key(a)));
+                for existing in &self.entries {
+                    let taken = std::iter::once(existing.name().to_string())
+                        .chain(existing.aliases())
+                        .map(|k| key(&k))
+                        .collect::<Vec<_>>();
+                    if let Some(collision) = keys.iter().find(|k| taken.contains(k)) {
+                        return Err(GeError::Registry(format!(
+                            "{} name `{collision}` is already registered (by `{}`)",
+                            $kind_label,
+                            existing.name()
+                        )));
+                    }
+                }
+                self.entries.push(plugin);
+                Ok(())
+            }
+
+            /// Resolves a case-insensitive name or alias to its plugin.
+            pub fn resolve(&self, name: &str) -> Result<Arc<dyn $plugin>> {
+                let wanted = key(name);
+                self.entries
+                    .iter()
+                    .find(|p| key(p.name()) == wanted || p.aliases().iter().any(|a| key(a) == wanted))
+                    .cloned()
+                    .ok_or_else(|| GeError::unknown($kind_label, name, self.names()))
+            }
+
+            /// Whether a name resolves.
+            pub fn is_known(&self, name: &str) -> bool {
+                self.resolve(name).is_ok()
+            }
+        }
+    };
+}
+
+registry!(AttackerRegistry, AttackerPlugin, "attacker");
+registry!(ExplainerRegistry, ExplainerPlugin, "explainer");
+
+impl AttackerRegistry {
+    /// The paper's seven attackers (Tables 1–2), in column order.
+    pub fn builtin() -> Self {
+        let mut registry = Self::empty();
+        for kind in AttackerKind::ALL {
+            registry
+                .register(Arc::new(BuiltinAttacker(kind)))
+                .unwrap_or_else(|_| unreachable!("builtin attacker names are distinct"));
+        }
+        registry
+    }
+}
+
+impl ExplainerRegistry {
+    /// The paper's two inspector explainers.
+    pub fn builtin() -> Self {
+        let mut registry = Self::empty();
+        for kind in ExplainerKind::ALL {
+            registry
+                .register(Arc::new(BuiltinExplainer(kind)))
+                .unwrap_or_else(|_| unreachable!("builtin explainer names are distinct"));
+        }
+        registry
+    }
+}
+
+/// Process-wide builtin registries, built once (the enums' `parse` methods and
+/// the standalone `merge_shards` resolve against these).
+fn builtins() -> &'static (AttackerRegistry, ExplainerRegistry) {
+    static BUILTINS: OnceLock<(AttackerRegistry, ExplainerRegistry)> = OnceLock::new();
+    BUILTINS.get_or_init(|| (AttackerRegistry::builtin(), ExplainerRegistry::builtin()))
+}
+
+/// Registry lookup behind [`AttackerKind::parse`].
+pub(crate) fn builtin_attacker_kind(name: &str) -> Option<AttackerKind> {
+    builtins().0.resolve(name).ok().and_then(|p| p.builtin_kind())
+}
+
+/// Registry lookup behind [`ExplainerKind::parse`].
+pub(crate) fn builtin_explainer_kind(name: &str) -> Option<ExplainerKind> {
+    builtins().1.resolve(name).ok().and_then(|p| p.builtin_kind())
+}
+
+/// The builtin attacker registry (shared, process-wide).
+pub fn builtin_attackers() -> &'static AttackerRegistry {
+    &builtins().0
+}
+
+/// The builtin explainer registry (shared, process-wide).
+pub fn builtin_explainers() -> &'static ExplainerRegistry {
+    &builtins().1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Custom;
+
+    impl AttackerPlugin for Custom {
+        fn name(&self) -> &str {
+            "Chaos"
+        }
+
+        fn aliases(&self) -> Vec<String> {
+            vec!["chaos-monkey".to_string()]
+        }
+
+        fn build(&self, prepared: &Prepared) -> Result<Box<dyn TargetedAttack + Sync>> {
+            Ok(prepared.attacker(AttackerKind::Rna))
+        }
+    }
+
+    #[test]
+    fn builtin_registries_resolve_every_kind_and_alias() {
+        let attackers = AttackerRegistry::builtin();
+        for kind in AttackerKind::ALL {
+            assert!(attackers.is_known(kind.name()), "{} must resolve", kind.name());
+            for alias in kind.aliases() {
+                let plugin = attackers.resolve(alias).unwrap();
+                assert_eq!(plugin.builtin_kind(), Some(kind));
+            }
+        }
+        let explainers = ExplainerRegistry::builtin();
+        for kind in ExplainerKind::ALL {
+            let plugin = explainers.resolve(kind.name()).unwrap();
+            assert_eq!(plugin.builtin_kind(), Some(kind));
+            assert_eq!(plugin.prepare_kind(), kind);
+        }
+    }
+
+    #[test]
+    fn unknown_names_error_with_the_known_list() {
+        let err = match AttackerRegistry::builtin().resolve("metattack") {
+            Err(e) => e,
+            Ok(_) => panic!("metattack must not resolve"),
+        };
+        let text = err.to_string();
+        assert!(text.contains("unknown attacker `metattack`"), "{text}");
+        assert!(text.contains("GEAttack"), "{text}");
+    }
+
+    #[test]
+    fn custom_plugins_register_and_collisions_are_rejected() {
+        let mut registry = AttackerRegistry::builtin();
+        registry.register(Arc::new(Custom)).unwrap();
+        assert!(registry.is_known("CHAOS"));
+        assert!(registry.is_known("chaos-monkey"));
+        assert_eq!(registry.resolve("chaos").unwrap().name(), "Chaos");
+
+        // Registering the same name (or an alias colliding with a builtin)
+        // again must fail loudly.
+        let err = registry.register(Arc::new(Custom)).unwrap_err();
+        assert!(err.to_string().contains("already registered"), "{err}");
+
+        struct Alias;
+        impl AttackerPlugin for Alias {
+            fn name(&self) -> &str {
+                "Different"
+            }
+            fn aliases(&self) -> Vec<String> {
+                vec!["fga".to_string()]
+            }
+            fn build(&self, prepared: &Prepared) -> Result<Box<dyn TargetedAttack + Sync>> {
+                Ok(prepared.attacker(AttackerKind::Fga))
+            }
+        }
+        let err = registry.register(Arc::new(Alias)).unwrap_err();
+        assert!(err.to_string().contains("`fga`"), "{err}");
+    }
+
+    #[test]
+    fn parse_goes_through_the_registry() {
+        assert_eq!(AttackerKind::parse("FGA-T&E"), Some(AttackerKind::FgaTE));
+        assert_eq!(ExplainerKind::parse("pg"), Some(ExplainerKind::PgExplainer));
+        assert_eq!(AttackerKind::parse("nope"), None);
+    }
+}

@@ -1,14 +1,15 @@
-//! Executor of declarative scenario sweeps (`geattack-sweep`), including the
-//! distribution layer: deterministic sharding and on-disk experiment caching.
+//! Sweep grids, shard bookkeeping and report assembly — the declarative side
+//! of the experiment engine.
 //!
 //! A [`SweepSpec`] describes a grid of `{family x scale x seed x attacker x
-//! explainer x budget}` cells. The executor expands the grid in a fixed
-//! deterministic order, prepares **one** experiment per (family, scale, seed,
-//! explainer) cell — dataset generation, GCN training, victim selection and
-//! (when PGExplainer inspects) explainer training — and reuses it across every
-//! attacker and budget of that cell. Prepared cells fan out across threads via
-//! the `parallel` feature; because every pipeline stage is seed-deterministic,
-//! a parallel sweep produces a byte-identical report to a serial one.
+//! explainer x budget}` cells. This module owns everything about that grid
+//! that does *not* execute experiments: the deterministic expansion into
+//! [`PlannedCell`]s, the [`Shard`] arithmetic partitioning it, the
+//! [`SweepCell`]/[`SweepReport`] result types, strict [`merge_shards`]
+//! reassembly and the `--dry-run` plan renderer. Execution lives in
+//! [`crate::engine`]: [`crate::engine::Engine::submit`] turns a spec into a
+//! streaming session whose final [`SweepRun`] carries a [`ShardReport`] of
+//! exactly these cells.
 //!
 //! **Sharding.** Every run is a [`Shard`] of the grid — the default is the
 //! trivial shard `0/1`. Prepared cell `p` (in deterministic grid order)
@@ -18,26 +19,15 @@
 //! non-overlapping, same-spec set of shard reports and reassembles the exact
 //! [`SweepReport`] an unsharded run produces — byte-identical, because the
 //! unsharded path itself goes through the same merge of its single shard.
-//!
-//! **Caching.** With a cache directory set, each cell's preparation goes
-//! through [`geattack_core::persist::prepare_cached`]: a warm sweep decodes
-//! every prepared experiment from disk instead of retraining and still writes
-//! a byte-identical report; hit/miss/evict counters come back in [`SweepRun`]
-//! for the metadata sidecar.
-
-use std::path::PathBuf;
 
 use serde::{Deserialize, Serialize};
 
-use geattack_cache::{CacheCounters, CacheStore};
-use geattack_core::evaluation::{summarize_run, MeanStd};
-use geattack_core::persist::prepare_cached;
-use geattack_core::pipeline::{
-    run_attacker_with_budget, AttackerKind, BudgetRule, ExplainerKind, GraphSource, PipelineConfig,
-};
-use geattack_core::report::to_json;
-use geattack_graph::datasets::GeneratorConfig;
-use geattack_scenarios::{ScenarioSpec, SweepSpec};
+use geattack_scenarios::SweepSpec;
+
+use crate::error::{GeError, Result};
+use crate::evaluation::MeanStd;
+use crate::registry::{builtin_attackers, builtin_explainers, AttackerRegistry, ExplainerRegistry};
+use crate::report::to_json;
 
 /// One fully-specified grid cell's results.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -170,14 +160,14 @@ impl Shard {
 
     /// Parses the `I/N` form of `--shard` (zero-based: `0/2` and `1/2` are
     /// the two halves of a two-way split).
-    pub fn parse(s: &str) -> Result<Self, String> {
+    pub fn parse(s: &str) -> Result<Self> {
         let (index, count) = s
             .split_once('/')
-            .ok_or_else(|| format!("shard must look like I/N (zero-based), got `{s}`"))?;
+            .ok_or_else(|| GeError::Shard(format!("shard must look like I/N (zero-based), got `{s}`")))?;
         let parse = |part: &str, what: &str| {
             part.trim()
                 .parse::<usize>()
-                .map_err(|_| format!("shard {what} must be an integer, got `{part}`"))
+                .map_err(|_| GeError::Shard(format!("shard {what} must be an integer, got `{part}`")))
         };
         let shard = Shard {
             index: parse(index, "index")?,
@@ -188,15 +178,15 @@ impl Shard {
     }
 
     /// Checks the index addresses one of `count` shards.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<()> {
         if self.count == 0 {
-            return Err("shard count must be at least 1".to_string());
+            return Err(GeError::Shard("shard count must be at least 1".to_string()));
         }
         if self.index >= self.count {
-            return Err(format!(
+            return Err(GeError::Shard(format!(
                 "shard index {} out of range for {} shards (indices are zero-based)",
                 self.index, self.count
-            ));
+            )));
         }
         Ok(())
     }
@@ -210,20 +200,6 @@ impl Shard {
     pub fn label(&self) -> String {
         format!("{}/{}", self.index, self.count)
     }
-}
-
-/// Execution knobs of one sweep run.
-#[derive(Clone, Debug, Default)]
-pub struct SweepOptions {
-    /// Force single-threaded execution (results are identical either way).
-    pub serial: bool,
-    /// Slice of the grid to run; `None` means the whole grid.
-    pub shard: Option<Shard>,
-    /// Directory of the on-disk `Prepared` cache; `None` disables caching.
-    pub cache_dir: Option<PathBuf>,
-    /// Cache size budget in MiB: after each write the oldest-mtime entries are
-    /// pruned until the committed bytes fit (`None` = unbounded).
-    pub cache_budget_mb: Option<u64>,
 }
 
 /// The raw output of one shard's execution: everything [`merge_shards`] needs
@@ -251,8 +227,8 @@ impl ShardReport {
     }
 
     /// Parses a shard report from JSON text.
-    pub fn from_json(text: &str) -> Result<Self, String> {
-        serde_json::from_str(text).map_err(|e| format!("invalid shard report: {e}"))
+    pub fn from_json(text: &str) -> Result<Self> {
+        serde_json::from_str(text).map_err(|e| GeError::Shard(format!("invalid shard report: {e}")))
     }
 }
 
@@ -263,7 +239,7 @@ pub struct SweepRun {
     /// The cells this run produced, as a shard report (`0/1` when unsharded).
     pub shard: ShardReport,
     /// Cache counters, when a cache directory was in use.
-    pub cache: Option<CacheCounters>,
+    pub cache: Option<geattack_cache::CacheCounters>,
     /// Number of experiments this run prepared (== cache hits + misses when
     /// caching).
     pub prepared_cells: usize,
@@ -301,56 +277,87 @@ impl SweepRun {
     }
 }
 
-/// One (family, scale, seed, explainer) preparation unit of the grid.
-#[derive(Clone, Debug)]
-struct PrepCell {
-    family: String,
-    scale: f64,
-    seed: u64,
-    explainer: ExplainerKind,
+/// One (family, scale, seed, explainer) preparation unit of the grid, at its
+/// deterministic grid position. This is both the scheduler's work unit and
+/// the `Planned` payload of the engine's event stream.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlannedCell {
+    /// Deterministic grid position (shard assignment is `position % N`).
+    pub position: usize,
+    /// Graph family (canonical registry name).
+    pub family: String,
+    /// Dataset scale of this cell.
+    pub scale: f64,
+    /// Seed of this cell.
+    pub seed: u64,
+    /// Inspector explainer display name.
+    pub explainer: String,
 }
 
-/// Resolves the spec's attacker/explainer name axes against the pipeline,
-/// rejecting unknown names and alias duplicates.
-fn resolve_axes(spec: &SweepSpec) -> Result<(Vec<AttackerKind>, Vec<ExplainerKind>), String> {
-    let attackers: Vec<AttackerKind> = spec
+/// The spec's attacker/explainer axes resolved against a registry pair: the
+/// plugins themselves plus their display names, both in axis order.
+pub(crate) struct ResolvedAxes {
+    pub attackers: Vec<String>,
+    pub explainers: Vec<String>,
+    pub attacker_plugins: Vec<std::sync::Arc<dyn crate::registry::AttackerPlugin>>,
+    pub explainer_plugins: Vec<std::sync::Arc<dyn crate::registry::ExplainerPlugin>>,
+}
+
+/// Resolves the spec's attacker/explainer name axes against a registry pair
+/// (one lookup per name), rejecting unknown names and alias duplicates.
+pub(crate) fn resolve_axes(
+    spec: &SweepSpec,
+    attackers: &AttackerRegistry,
+    explainers: &ExplainerRegistry,
+) -> Result<ResolvedAxes> {
+    let attacker_plugins: Vec<_> = spec
         .attackers
         .iter()
-        .map(|name| AttackerKind::parse(name).ok_or_else(|| format!("unknown attacker `{name}`")))
-        .collect::<Result<_, _>>()?;
-    let explainers: Vec<ExplainerKind> = spec
+        .map(|name| attackers.resolve(name))
+        .collect::<Result<_>>()?;
+    let explainer_plugins: Vec<_> = spec
         .explainers
         .iter()
-        .map(|name| ExplainerKind::parse(name).ok_or_else(|| format!("unknown explainer `{name}`")))
-        .collect::<Result<_, _>>()?;
+        .map(|name| explainers.resolve(name))
+        .collect::<Result<_>>()?;
+    let attacker_names: Vec<String> = attacker_plugins.iter().map(|p| p.name().to_string()).collect();
+    let explainer_names: Vec<String> = explainer_plugins.iter().map(|p| p.name().to_string()).collect();
     // Spec validation rejects literal duplicates, but aliases ("fga-t" and
     // "fgat") only collide after resolution — duplicate kinds would run (and
     // aggregate) the same cells twice.
     for (axis, duplicated) in [
-        ("attackers", has_duplicates(&attackers)),
-        ("explainers", has_duplicates(&explainers)),
+        ("attackers", has_duplicates(&attacker_names)),
+        ("explainers", has_duplicates(&explainer_names)),
     ] {
         if duplicated {
-            return Err(format!("sweep axis `{axis}` lists the same {axis} under two aliases"));
+            return Err(GeError::InvalidSpec(format!(
+                "sweep axis `{axis}` lists the same {axis} under two aliases"
+            )));
         }
     }
-    Ok((attackers, explainers))
+    Ok(ResolvedAxes {
+        attackers: attacker_names,
+        explainers: explainer_names,
+        attacker_plugins,
+        explainer_plugins,
+    })
 }
 
 /// Expands the preparation grid in deterministic order: family, scale, seed,
 /// explainer (innermost). Shard assignment and merge reassembly both index
 /// into this order, so it must never change silently.
-fn expand_prep_cells(spec: &SweepSpec, explainers: &[ExplainerKind]) -> Vec<PrepCell> {
+pub(crate) fn expand_prep_cells(spec: &SweepSpec, explainers: &[String]) -> Vec<PlannedCell> {
     let mut prep_cells = Vec::with_capacity(spec.prepared_cells());
     for family in &spec.families {
         for &scale in &spec.scales {
             for &seed in &spec.seeds {
-                for &explainer in explainers {
-                    prep_cells.push(PrepCell {
+                for explainer in explainers {
+                    prep_cells.push(PlannedCell {
+                        position: prep_cells.len(),
                         family: geattack_scenarios::canonical(family),
                         scale,
                         seed,
-                        explainer,
+                        explainer: explainer.clone(),
                     });
                 }
             }
@@ -359,79 +366,15 @@ fn expand_prep_cells(spec: &SweepSpec, explainers: &[ExplainerKind]) -> Vec<Prep
     prep_cells
 }
 
-/// Runs a validated sweep spec over the whole grid. `serial` forces
-/// single-threaded execution; the result is identical either way.
-pub fn run_sweep(spec: &SweepSpec, serial: bool) -> Result<SweepReport, String> {
-    let run = run_sweep_options(
-        spec,
-        &SweepOptions {
-            serial,
-            ..Default::default()
-        },
-    )?;
-    merge_shards(std::slice::from_ref(&run.shard))
+/// Combines a complete set of shard reports into the full [`SweepReport`],
+/// resolving attacker/explainer names against the builtin registries. An
+/// engine with custom registrations merges through
+/// [`crate::engine::Engine::merge`] instead.
+pub fn merge_shards(shards: &[ShardReport]) -> Result<SweepReport> {
+    merge_shards_with(shards, builtin_attackers(), builtin_explainers())
 }
 
-/// Runs one shard of a sweep (the whole grid when `options.shard` is `None`),
-/// optionally memoizing prepared experiments in an on-disk cache.
-pub fn run_sweep_options(spec: &SweepSpec, options: &SweepOptions) -> Result<SweepRun, String> {
-    spec.validate()?;
-    let (attackers, explainers) = resolve_axes(spec)?;
-    let shard = options.shard.unwrap_or(Shard::FULL);
-    shard.validate()?;
-    let cache = match &options.cache_dir {
-        Some(dir) => Some(CacheStore::open_with_budget(
-            dir.clone(),
-            options.cache_budget_mb.map(|mb| mb.saturating_mul(1024 * 1024)),
-        )?),
-        None => None,
-    };
-
-    let mine: Vec<PrepCell> = expand_prep_cells(spec, &explainers)
-        .into_iter()
-        .enumerate()
-        .filter(|(p, _)| shard.owns(*p))
-        .map(|(_, cell)| cell)
-        .collect();
-
-    // Execute the most expensive cells first (estimated ≈ n²·epochs each) so
-    // the self-scheduling work queue never tails on the biggest cell, then
-    // re-sort the results back to grid order — the report stays byte-identical
-    // to an in-order run.
-    let exec_order = execution_order(&mine);
-    let ordered: Vec<PrepCell> = exec_order.iter().map(|&i| mine[i].clone()).collect();
-
-    // One level of parallelism only (mirroring the multi-run experiment
-    // runner): enough prepared cells to saturate the cores → fan out across
-    // cells with serial victim loops; otherwise keep the cell loop serial and
-    // let each cell's victim loop fan out.
-    let fan_out = cells_fan_out(options.serial, ordered.len());
-    let run_cell = |cell: &PrepCell| run_prep_cell(spec, cell, &attackers, !options.serial && !fan_out, cache.as_ref());
-    let nested: Vec<Vec<SweepCell>> = map_cells(fan_out, &ordered, run_cell);
-    let mut by_grid: Vec<Option<Vec<SweepCell>>> = vec![None; mine.len()];
-    for (k, block) in nested.into_iter().enumerate() {
-        by_grid[exec_order[k]] = Some(block);
-    }
-    let cells: Vec<SweepCell> = by_grid
-        .into_iter()
-        .flat_map(|block| block.expect("every executed cell lands back in its grid slot"))
-        .collect();
-
-    Ok(SweepRun {
-        shard: ShardReport {
-            sweep: spec.name.clone(),
-            spec_hash: spec.content_hash(),
-            shard_index: shard.index,
-            shard_count: shard.count,
-            spec: spec.clone(),
-            cells,
-        },
-        cache: cache.as_ref().map(|c| c.counters()),
-        prepared_cells: mine.len(),
-    })
-}
-
-/// Combines a complete set of shard reports into the full [`SweepReport`].
+/// [`merge_shards`] against an explicit registry pair.
 ///
 /// Validation is strict, because a silently-wrong merge poisons every
 /// downstream aggregate: the shards must share one sweep (same spec content
@@ -441,33 +384,39 @@ pub fn run_sweep_options(spec: &SweepSpec, options: &SweepOptions) -> Result<Swe
 /// grid order and re-aggregated, so merging the single `0/1` shard of an
 /// unsharded run reproduces that run's report byte-for-byte — the unsharded
 /// path itself goes through this function.
-pub fn merge_shards(shards: &[ShardReport]) -> Result<SweepReport, String> {
-    let first = shards.first().ok_or("cannot merge zero shard reports")?;
+pub(crate) fn merge_shards_with(
+    shards: &[ShardReport],
+    attackers: &AttackerRegistry,
+    explainers: &ExplainerRegistry,
+) -> Result<SweepReport> {
+    let first = shards
+        .first()
+        .ok_or_else(|| GeError::Shard("cannot merge zero shard reports".to_string()))?;
     let count = first.shard_count;
     for shard in shards {
         if shard.spec_hash != shard.spec.content_hash() {
-            return Err(format!(
+            return Err(GeError::Shard(format!(
                 "shard {}/{} embeds a spec that does not match its spec hash (corrupt or tampered report)",
                 shard.shard_index, shard.shard_count
-            ));
+            )));
         }
         if shard.spec_hash != first.spec_hash || shard.sweep != first.sweep {
-            return Err(format!(
+            return Err(GeError::Shard(format!(
                 "shard {}/{} belongs to a different sweep (spec hash {} != {})",
                 shard.shard_index, shard.shard_count, shard.spec_hash, first.spec_hash
-            ));
+            )));
         }
         if shard.shard_count != count {
-            return Err(format!(
+            return Err(GeError::Shard(format!(
                 "inconsistent shard counts: {} and {}",
                 shard.shard_count, count
-            ));
+            )));
         }
         if shard.shard_index >= count {
-            return Err(format!(
+            return Err(GeError::Shard(format!(
                 "shard index {} out of range for {count} shards",
                 shard.shard_index
-            ));
+            )));
         }
     }
     // Completeness needs one report per index, so a declared count beyond the
@@ -475,54 +424,51 @@ pub fn merge_shards(shards: &[ShardReport]) -> Result<SweepReport, String> {
     // count-sized allocation so a corrupt report claiming 10^18 shards fails
     // cleanly instead of aborting on OOM.
     if count > shards.len() {
-        return Err(format!(
+        return Err(GeError::Shard(format!(
             "missing shard reports: {count} shards declared, got {}",
             shards.len()
-        ));
+        )));
     }
     let mut by_index: Vec<Option<&ShardReport>> = vec![None; count];
     for shard in shards {
         if by_index[shard.shard_index].is_some() {
-            return Err(format!(
+            return Err(GeError::Shard(format!(
                 "overlapping shards: shard {}/{count} appears more than once",
                 shard.shard_index
-            ));
+            )));
         }
         by_index[shard.shard_index] = Some(shard);
     }
     if let Some(missing) = by_index.iter().position(|s| s.is_none()) {
-        return Err(format!("missing shard {missing}/{count}"));
+        return Err(GeError::Shard(format!("missing shard {missing}/{count}")));
     }
 
     let spec = &first.spec;
-    spec.validate()?;
-    let (attackers, explainers) = resolve_axes(spec)?;
-    let prep_cells = expand_prep_cells(spec, &explainers);
+    spec.validate().map_err(GeError::InvalidSpec)?;
+    let axes = resolve_axes(spec, attackers, explainers)?;
+    let prep_cells = expand_prep_cells(spec, &axes.explainers);
     let block = spec.attackers.len() * spec.budgets.len();
 
     // Each shard must carry exactly the cells its slice of the prep grid
     // predicts: one block of (attacker x budget) cells per owned prep cell.
     for (index, shard) in by_index.iter().enumerate() {
         let shard = shard.expect("completeness checked above");
-        let owned = prep_cells
-            .iter()
-            .enumerate()
-            .filter(|(p, _)| p % count == index)
-            .count();
+        let owned = prep_cells.iter().filter(|cell| cell.position % count == index).count();
         if shard.cells.len() != owned * block {
-            return Err(format!(
+            return Err(GeError::Shard(format!(
                 "shard {index}/{count} carries {} cells, expected {} ({} prepared cells x {block})",
                 shard.cells.len(),
                 owned * block,
                 owned
-            ));
+            )));
         }
     }
 
     // Reassemble in grid order: prep cell p's block comes from shard p % N.
     let mut cursors = vec![0usize; count];
     let mut cells = Vec::with_capacity(prep_cells.len() * block);
-    for (p, prep) in prep_cells.iter().enumerate() {
+    for prep in &prep_cells {
+        let p = prep.position;
         let shard = by_index[p % count].expect("completeness checked above");
         let start = cursors[p % count];
         cursors[p % count] += block;
@@ -530,26 +476,26 @@ pub fn merge_shards(shards: &[ShardReport]) -> Result<SweepReport, String> {
             let matches = cell.family == prep.family
                 && cell.scale.to_bits() == prep.scale.to_bits()
                 && cell.seed == prep.seed
-                && cell.explainer == prep.explainer.name();
+                && cell.explainer == prep.explainer;
             if !matches {
-                return Err(format!(
+                return Err(GeError::Shard(format!(
                     "shard {}/{count} cell mismatch at grid position {p}: expected ({}, scale {}, seed {}, {}), found ({}, scale {}, seed {}, {})",
                     p % count,
                     prep.family,
                     prep.scale,
                     prep.seed,
-                    prep.explainer.name(),
+                    prep.explainer,
                     cell.family,
                     cell.scale,
                     cell.seed,
                     cell.explainer,
-                ));
+                )));
             }
             cells.push(cell.clone());
         }
     }
 
-    let aggregates = aggregate_cells(spec, &explainers, &attackers, &cells);
+    let aggregates = aggregate_cells(spec, &axes.explainers, &axes.attackers, &cells);
     Ok(SweepReport {
         sweep: spec.name.clone(),
         spec: spec.clone(),
@@ -559,15 +505,21 @@ pub fn merge_shards(shards: &[ShardReport]) -> Result<SweepReport, String> {
 }
 
 /// Renders the enumerated cell plan (`--dry-run`): one line per prepared cell
-/// with its shard assignment, without running anything.
-pub fn plan_lines(spec: &SweepSpec, shard: Option<&Shard>) -> Result<Vec<String>, String> {
-    spec.validate()?;
-    let (attackers, explainers) = resolve_axes(spec)?;
+/// with its shard assignment, without running anything. Resolution goes
+/// through the given registries (the engine passes its own).
+pub(crate) fn plan_lines_with(
+    spec: &SweepSpec,
+    shard: Option<&Shard>,
+    attackers: &AttackerRegistry,
+    explainers: &ExplainerRegistry,
+) -> Result<Vec<String>> {
+    spec.validate().map_err(GeError::InvalidSpec)?;
+    let axes = resolve_axes(spec, attackers, explainers)?;
     if let Some(shard) = shard {
         shard.validate()?;
     }
-    let prep_cells = expand_prep_cells(spec, &explainers);
-    let block = attackers.len() * spec.budgets.len();
+    let prep_cells = expand_prep_cells(spec, &axes.explainers);
+    let block = axes.attackers.len() * spec.budgets.len();
     let mut lines = vec![format!(
         "sweep `{}`: {} prepared cells x {} (attacker x budget) = {} result cells",
         spec.name,
@@ -575,13 +527,11 @@ pub fn plan_lines(spec: &SweepSpec, shard: Option<&Shard>) -> Result<Vec<String>
         block,
         prep_cells.len() * block
     )];
-    for (p, cell) in prep_cells.iter().enumerate() {
+    for cell in &prep_cells {
+        let p = cell.position;
         let mut line = format!(
             "[{p:>3}] {} scale={} seed={} {}",
-            cell.family,
-            cell.scale,
-            cell.seed,
-            cell.explainer.name()
+            cell.family, cell.scale, cell.seed, cell.explainer
         );
         if let Some(shard) = shard {
             let owner = p % shard.count;
@@ -594,7 +544,7 @@ pub fn plan_lines(spec: &SweepSpec, shard: Option<&Shard>) -> Result<Vec<String>
         lines.push(line);
     }
     if let Some(shard) = shard {
-        let owned = (0..prep_cells.len()).filter(|&p| shard.owns(p)).count();
+        let owned = prep_cells.iter().filter(|c| shard.owns(c.position)).count();
         lines.push(format!(
             "shard {} runs {owned} of {} prepared cells ({} result cells)",
             shard.label(),
@@ -605,87 +555,19 @@ pub fn plan_lines(spec: &SweepSpec, shard: Option<&Shard>) -> Result<Vec<String>
     Ok(lines)
 }
 
-/// Prepares one (family, scale, seed, explainer) experiment — through the
-/// cache when one is given — and attacks it with every attacker and budget of
-/// the grid.
-fn run_prep_cell(
-    spec: &SweepSpec,
-    cell: &PrepCell,
-    attackers: &[AttackerKind],
-    victim_parallel: bool,
-    cache: Option<&CacheStore>,
-) -> Vec<SweepCell> {
-    let source = GraphSource::Scenario(ScenarioSpec::named(cell.family.clone()));
-    let mut config = if spec.quick {
-        PipelineConfig::quick_source(source, cell.seed)
-    } else {
-        PipelineConfig::paper_scale_source(source, cell.seed)
-    };
-    config.generator = GeneratorConfig::at_scale(cell.scale, cell.seed);
-    config.set_victim_count(spec.victims);
-    config.explainer = cell.explainer;
-    config.parallel = victim_parallel;
-    let prepared = prepare_cached(config, cache);
-    eprintln!(
-        "[{} scale {} seed {} {}] prepared: {} nodes, {} victims",
-        cell.family,
-        cell.scale,
-        cell.seed,
-        cell.explainer.name(),
-        prepared.graph.num_nodes(),
-        prepared.victims.len()
-    );
-    if prepared.victims.is_empty() {
-        eprintln!("  (no victims survived the FGA pre-pass; this seed is excluded from the aggregates)");
-    }
-
-    let inspector = prepared.inspector();
-    let mut out = Vec::with_capacity(attackers.len() * spec.budgets.len());
-    for &kind in attackers {
-        let attacker = prepared.attacker(kind);
-        for &budget in &spec.budgets {
-            let outcomes = run_attacker_with_budget(
-                &prepared,
-                attacker.as_ref(),
-                inspector.as_ref(),
-                BudgetRule::from(budget),
-            );
-            let summary = summarize_run(kind.name(), &outcomes);
-            out.push(SweepCell {
-                family: cell.family.clone(),
-                scale: cell.scale,
-                seed: cell.seed,
-                explainer: cell.explainer.name().to_string(),
-                attacker: kind.name().to_string(),
-                budget: budget.label(),
-                nodes: prepared.graph.num_nodes(),
-                edges: prepared.graph.num_edges(),
-                victims: summary.victims,
-                asr: summary.asr,
-                asr_t: summary.asr_t,
-                precision: summary.precision,
-                recall: summary.recall,
-                f1: summary.f1,
-                ndcg: summary.ndcg,
-            });
-        }
-    }
-    out
-}
-
 /// Groups the raw cells over seeds, in deterministic grid order.
-fn aggregate_cells(
+pub(crate) fn aggregate_cells(
     spec: &SweepSpec,
-    explainers: &[ExplainerKind],
-    attackers: &[AttackerKind],
+    explainers: &[String],
+    attackers: &[String],
     cells: &[SweepCell],
 ) -> Vec<SweepAggregate> {
     let mut aggregates = Vec::new();
     for family in &spec.families {
         let family = geattack_scenarios::canonical(family);
         for &scale in &spec.scales {
-            for &explainer in explainers {
-                for &attacker in attackers {
+            for explainer in explainers {
+                for attacker in attackers {
                     for &budget in &spec.budgets {
                         // Cells whose victim selection came up empty carry
                         // artificial all-zero scores; they stay in the raw
@@ -698,8 +580,8 @@ fn aggregate_cells(
                                 c.victims > 0
                                     && c.family == family
                                     && c.scale == scale
-                                    && c.explainer == explainer.name()
-                                    && c.attacker == attacker.name()
+                                    && &c.explainer == explainer
+                                    && &c.attacker == attacker
                                     && c.budget == budget.label()
                             })
                             .collect();
@@ -711,8 +593,8 @@ fn aggregate_cells(
                         aggregates.push(SweepAggregate {
                             family: family.clone(),
                             scale,
-                            explainer: explainer.name().to_string(),
-                            attacker: attacker.name().to_string(),
+                            explainer: explainer.clone(),
+                            attacker: attacker.clone(),
                             budget: budget.label(),
                             seeds: group.len(),
                             victims: group.iter().map(|c| c.victims).sum(),
@@ -736,7 +618,7 @@ fn aggregate_cells(
 /// (now `O(nnz·f)` sparse, which still grows superlinearly in `n` through nnz
 /// and the `n×f` dense blocks), so `n²` keeps the *relative* order right — all
 /// this estimate is used for.
-fn estimated_cost(cell: &PrepCell) -> f64 {
+pub(crate) fn estimated_cost(cell: &PlannedCell) -> f64 {
     let reference = geattack_scenarios::resolve(&cell.family)
         .map(|family| family.reference_nodes())
         .unwrap_or(500);
@@ -746,7 +628,7 @@ fn estimated_cost(cell: &PrepCell) -> f64 {
 
 /// Execution order of the owned prep cells: estimated cost descending, ties in
 /// grid order (so equal-cost runs keep a stable, deterministic schedule).
-fn execution_order(cells: &[PrepCell]) -> Vec<usize> {
+pub(crate) fn execution_order(cells: &[PlannedCell]) -> Vec<usize> {
     let mut order: Vec<usize> = (0..cells.len()).collect();
     order.sort_by(|&a, &b| {
         estimated_cost(&cells[b])
@@ -762,38 +644,15 @@ fn has_duplicates<T: PartialEq>(values: &[T]) -> bool {
     values.iter().enumerate().any(|(i, v)| values[..i].contains(v))
 }
 
-/// Whether the prepared-cell loop should fan out across threads (see
-/// [`run_sweep_options`]).
-fn cells_fan_out(serial: bool, cells: usize) -> bool {
-    #[cfg(feature = "parallel")]
-    {
-        !serial && cells > 1 && cells >= rayon::current_num_threads()
-    }
-    #[cfg(not(feature = "parallel"))]
-    {
-        let _ = (serial, cells);
-        false
-    }
-}
-
-/// Maps `f` over the prepared cells — across threads when `fan_out` is set,
-/// serially otherwise. Results come back in cell order either way.
-fn map_cells<R: Send>(fan_out: bool, cells: &[PrepCell], f: impl Fn(&PrepCell) -> R + Sync) -> Vec<R> {
-    #[cfg(feature = "parallel")]
-    if fan_out {
-        use rayon::prelude::*;
-        return cells.par_iter().map(&f).collect();
-    }
-    let _ = fan_out;
-    cells.iter().map(f).collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::Engine;
+    use crate::pipeline::ExplainerKind;
+    use geattack_cache::CacheCounters;
     use geattack_scenarios::BudgetSpec;
 
-    fn tiny_spec() -> SweepSpec {
+    pub(crate) fn tiny_spec() -> SweepSpec {
         let mut spec = SweepSpec::new("unit", vec!["tree-cycles".to_string()], vec!["rna".to_string()]);
         spec.scales = vec![0.07];
         spec.seeds = vec![0];
@@ -841,14 +700,20 @@ mod tests {
         }
     }
 
+    fn run_sweep(spec: &SweepSpec, serial: bool) -> Result<SweepReport> {
+        Engine::new().serial(serial).run_report(spec)
+    }
+
     #[test]
     fn unknown_attacker_and_explainer_are_rejected_before_running() {
         let mut spec = tiny_spec();
         spec.attackers = vec!["metattack".to_string()];
-        assert!(run_sweep(&spec, true).unwrap_err().contains("unknown attacker"));
+        let err = run_sweep(&spec, true).unwrap_err().to_string();
+        assert!(err.contains("unknown attacker"), "{err}");
         let mut spec = tiny_spec();
         spec.explainers = vec!["shap".to_string()];
-        assert!(run_sweep(&spec, true).unwrap_err().contains("unknown explainer"));
+        let err = run_sweep(&spec, true).unwrap_err().to_string();
+        assert!(err.contains("unknown explainer"), "{err}");
     }
 
     #[test]
@@ -856,7 +721,7 @@ mod tests {
         let spec = two_seed_spec();
         // Seed 1 found no victims; its all-zero scores must not drag the mean.
         let cells = vec![fabricated_cell(0, 3, 1.0), fabricated_cell(1, 0, 0.0)];
-        let aggregates = aggregate_cells(&spec, &[ExplainerKind::GnnExplainer], &[AttackerKind::Rna], &cells);
+        let aggregates = aggregate_cells(&spec, &["GNNExplainer".to_string()], &["RNA".to_string()], &cells);
         assert_eq!(aggregates.len(), 1);
         assert_eq!(aggregates[0].seeds, 1, "only the seed with victims counts");
         assert_eq!(aggregates[0].victims, 3);
@@ -870,11 +735,11 @@ mod tests {
         // resolve to the same attacker kind.
         let mut spec = tiny_spec();
         spec.attackers = vec!["fga-t".to_string(), "fgat".to_string()];
-        let err = run_sweep(&spec, true).unwrap_err();
+        let err = run_sweep(&spec, true).unwrap_err().to_string();
         assert!(err.contains("two aliases"), "{err}");
         let mut spec = tiny_spec();
         spec.explainers = vec!["gnnexplainer".to_string(), "gnn".to_string()];
-        let err = run_sweep(&spec, true).unwrap_err();
+        let err = run_sweep(&spec, true).unwrap_err().to_string();
         assert!(err.contains("two aliases"), "{err}");
     }
 
@@ -896,19 +761,20 @@ mod tests {
 
     #[test]
     fn execution_order_puts_expensive_cells_first_and_keeps_reports_in_grid_order() {
-        let cell = |family: &str, scale: f64, seed: u64| PrepCell {
+        let cell = |position: usize, family: &str, scale: f64, seed: u64| PlannedCell {
+            position,
             family: family.to_string(),
             scale,
             seed,
-            explainer: ExplainerKind::GnnExplainer,
+            explainer: ExplainerKind::GnnExplainer.name().to_string(),
         };
         // Grid order interleaves small and large cells; execution must be by
         // estimated cost (≈ (reference_nodes·scale)²·epochs) descending.
         let cells = vec![
-            cell("tree-cycles", 0.08, 0), // ≈871·0.08 =  70 nodes
-            cell("tree-cycles", 0.4, 0),  // ≈871·0.40 = 348 nodes
-            cell("cora", 0.08, 0),        // ≈2485·0.08 = 199 nodes
-            cell("tree-cycles", 0.08, 1), // same cost as cell 0
+            cell(0, "tree-cycles", 0.08, 0), // ≈871·0.08 =  70 nodes
+            cell(1, "tree-cycles", 0.4, 0),  // ≈871·0.40 = 348 nodes
+            cell(2, "cora", 0.08, 0),        // ≈2485·0.08 = 199 nodes
+            cell(3, "tree-cycles", 0.08, 1), // same cost as cell 0
         ];
         let order = execution_order(&cells);
         assert_eq!(order[0], 1, "the scaled-up tree-cycles cell runs first");
@@ -930,10 +796,10 @@ mod tests {
         assert_eq!(Shard::parse("0/2").unwrap(), Shard { index: 0, count: 2 });
         assert_eq!(Shard::parse("1/2").unwrap(), Shard { index: 1, count: 2 });
         assert_eq!(Shard::parse("0/1").unwrap(), Shard::FULL);
-        assert!(Shard::parse("2").unwrap_err().contains("I/N"));
-        assert!(Shard::parse("a/b").unwrap_err().contains("integer"));
-        assert!(Shard::parse("0/0").unwrap_err().contains("at least 1"));
-        assert!(Shard::parse("2/2").unwrap_err().contains("zero-based"));
+        assert!(Shard::parse("2").unwrap_err().to_string().contains("I/N"));
+        assert!(Shard::parse("a/b").unwrap_err().to_string().contains("integer"));
+        assert!(Shard::parse("0/0").unwrap_err().to_string().contains("at least 1"));
+        assert!(Shard::parse("2/2").unwrap_err().to_string().contains("zero-based"));
         assert!(Shard { index: 3, count: 2 }.validate().is_err());
         assert_eq!(Shard { index: 1, count: 3 }.label(), "1/3");
     }
@@ -954,19 +820,19 @@ mod tests {
     #[test]
     fn merge_rejects_overlapping_shards() {
         let a = fabricated_shard(0, 2, vec![fabricated_cell(0, 3, 1.0)]);
-        let err = merge_shards(&[a.clone(), a]).unwrap_err();
+        let err = merge_shards(&[a.clone(), a]).unwrap_err().to_string();
         assert!(err.contains("overlapping"), "{err}");
     }
 
     #[test]
     fn merge_detects_missing_shards() {
         let a = fabricated_shard(0, 2, vec![fabricated_cell(0, 3, 1.0)]);
-        let err = merge_shards(&[a]).unwrap_err();
+        let err = merge_shards(&[a]).unwrap_err().to_string();
         assert!(err.contains("missing shard"), "{err}");
-        assert!(merge_shards(&[]).unwrap_err().contains("zero shard"));
+        assert!(merge_shards(&[]).unwrap_err().to_string().contains("zero shard"));
         // An absurd declared count must error before allocating count slots.
         let huge = fabricated_shard(0, usize::MAX / 2, vec![fabricated_cell(0, 3, 1.0)]);
-        let err = merge_shards(&[huge]).unwrap_err();
+        let err = merge_shards(&[huge]).unwrap_err().to_string();
         assert!(err.contains("missing shard reports"), "{err}");
     }
 
@@ -978,13 +844,13 @@ mod tests {
         // own spec) but not mergeable with `a`.
         b.spec.victims += 1;
         b.spec_hash = b.spec.content_hash();
-        let err = merge_shards(&[a.clone(), b]).unwrap_err();
+        let err = merge_shards(&[a.clone(), b]).unwrap_err().to_string();
         assert!(err.contains("different sweep"), "{err}");
 
         // A tampered shard whose embedded spec no longer matches its hash.
         let mut tampered = fabricated_shard(1, 2, vec![fabricated_cell(1, 3, 0.5)]);
         tampered.spec_hash = "0".repeat(32);
-        let err = merge_shards(&[a, tampered]).unwrap_err();
+        let err = merge_shards(&[a, tampered]).unwrap_err().to_string();
         assert!(err.contains("does not match its spec hash"), "{err}");
     }
 
@@ -994,16 +860,17 @@ mod tests {
         let b = fabricated_shard(1, 3, vec![fabricated_cell(1, 3, 0.5)]);
         assert!(merge_shards(&[a.clone(), b])
             .unwrap_err()
+            .to_string()
             .contains("inconsistent shard counts"));
 
         // Shard 1 claims both prep cells' results: wrong cell count.
         let overfull = fabricated_shard(1, 2, vec![fabricated_cell(0, 3, 1.0), fabricated_cell(1, 3, 0.5)]);
-        let err = merge_shards(&[a.clone(), overfull]).unwrap_err();
+        let err = merge_shards(&[a.clone(), overfull]).unwrap_err().to_string();
         assert!(err.contains("expected 1"), "{err}");
 
         // Right count, wrong identity: shard 1 carries seed 0's cell.
         let misplaced = fabricated_shard(1, 2, vec![fabricated_cell(0, 3, 0.5)]);
-        let err = merge_shards(&[a, misplaced]).unwrap_err();
+        let err = merge_shards(&[a, misplaced]).unwrap_err().to_string();
         assert!(err.contains("cell mismatch"), "{err}");
     }
 
@@ -1035,14 +902,7 @@ mod tests {
     #[test]
     fn merging_the_single_full_shard_reproduces_the_report() {
         let spec = tiny_spec();
-        let run = run_sweep_options(
-            &spec,
-            &SweepOptions {
-                serial: true,
-                ..Default::default()
-            },
-        )
-        .expect("runs");
+        let run = Engine::new().serial(true).run(&spec, None).expect("runs");
         assert_eq!(run.prepared_cells, 1);
         assert!(run.cache.is_none());
         let merged = merge_shards(std::slice::from_ref(&run.shard)).expect("merges");
@@ -1064,15 +924,16 @@ mod tests {
 
     #[test]
     fn plan_lines_enumerate_cells_and_shard_assignments() {
+        let engine = Engine::new();
         let spec = two_seed_spec();
-        let lines = plan_lines(&spec, None).expect("plans");
+        let lines = engine.plan_lines(&spec, None).expect("plans");
         assert_eq!(lines.len(), 3, "header + one line per prep cell");
         assert!(lines[0].contains("2 prepared cells"), "{}", lines[0]);
         assert!(lines[1].contains("tree-cycles") && lines[1].contains("seed=0"));
         assert!(!lines[1].contains("shard"), "no shard column without --shard");
 
         let shard = Shard { index: 1, count: 2 };
-        let lines = plan_lines(&spec, Some(&shard)).expect("plans");
+        let lines = engine.plan_lines(&spec, Some(&shard)).expect("plans");
         assert_eq!(lines.len(), 4, "header + cells + shard summary");
         assert!(lines[1].contains("shard 0/2 (skip)"), "{}", lines[1]);
         assert!(lines[2].contains("shard 1/2 (run)"), "{}", lines[2]);
@@ -1080,7 +941,7 @@ mod tests {
 
         let mut bad = spec;
         bad.attackers = vec!["metattack".to_string()];
-        assert!(plan_lines(&bad, None).is_err());
+        assert!(engine.plan_lines(&bad, None).is_err());
     }
 
     #[test]

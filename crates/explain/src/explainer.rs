@@ -108,6 +108,22 @@ pub trait Explainer {
     fn name(&self) -> &'static str;
 }
 
+/// Shared explainer state (e.g. one trained PGExplainer inspected from many
+/// threads or sessions) is itself an explainer.
+impl<T: Explainer + ?Sized> Explainer for std::sync::Arc<T> {
+    fn explain(&self, model: &Gcn, graph: &Graph, target: usize) -> Explanation {
+        (**self).explain(model, graph, target)
+    }
+
+    fn explain_class(&self, model: &Gcn, graph: &Graph, target: usize, explained_class: usize) -> Explanation {
+        (**self).explain_class(model, graph, target, explained_class)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

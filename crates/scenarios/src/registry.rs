@@ -8,14 +8,16 @@
 
 use geattack_graph::{CitationFamily, DatasetName, GraphFamily};
 
-use crate::families::{BaShapes, StochasticBlockModel, TreeCycles, WattsStrogatz};
+use crate::families::{BaShapes, KRegular, PowerlawCluster, StochasticBlockModel, TreeCycles, WattsStrogatz};
 
 /// Registry keys of every built-in family, in presentation order.
-pub const FAMILY_NAMES: [&str; 8] = [
+pub const FAMILY_NAMES: [&str; 10] = [
     "ba-shapes",
+    "powerlaw-cluster",
     "sbm",
     "sbm-het",
     "watts-strogatz",
+    "k-regular",
     "tree-cycles",
     "citeseer",
     "cora",
@@ -26,9 +28,11 @@ pub const FAMILY_NAMES: [&str; 8] = [
 pub fn resolve(name: &str) -> Option<Box<dyn GraphFamily>> {
     match canonical(name).as_str() {
         "ba-shapes" => Some(Box::new(BaShapes::default())),
+        "powerlaw-cluster" => Some(Box::new(PowerlawCluster::default())),
         "sbm" => Some(Box::new(StochasticBlockModel::homophilous())),
         "sbm-het" => Some(Box::new(StochasticBlockModel::heterophilous())),
         "watts-strogatz" => Some(Box::new(WattsStrogatz::default())),
+        "k-regular" => Some(Box::new(KRegular::default())),
         "tree-cycles" => Some(Box::new(TreeCycles::default())),
         "citeseer" => Some(Box::new(CitationFamily::new(DatasetName::Citeseer))),
         "cora" => Some(Box::new(CitationFamily::new(DatasetName::Cora))),

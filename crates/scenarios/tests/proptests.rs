@@ -7,9 +7,17 @@ use proptest::prelude::*;
 use geattack_graph::{FamilyConfig, GraphFamily};
 use geattack_scenarios::{registry, StochasticBlockModel};
 
-/// The four new synthetic families (the citation adapters are covered by the
+/// The synthetic families (the citation adapters are covered by the
 /// `geattack-graph` unit tests).
-const SYNTHETIC: [&str; 5] = ["ba-shapes", "sbm", "sbm-het", "watts-strogatz", "tree-cycles"];
+const SYNTHETIC: [&str; 7] = [
+    "ba-shapes",
+    "powerlaw-cluster",
+    "sbm",
+    "sbm-het",
+    "watts-strogatz",
+    "k-regular",
+    "tree-cycles",
+];
 
 fn family(name: &str) -> Box<dyn GraphFamily> {
     registry::resolve(name).unwrap_or_else(|| panic!("{name} must resolve"))
@@ -102,7 +110,62 @@ proptest! {
             tc_avg < 3.5,
             "tree-cycles: average degree {tc_avg:.2} too high for a tree with motifs"
         );
+
+        // Powerlaw-cluster keeps BA's hubs while the triad steps add the
+        // triangles preferential attachment alone lacks: ablating the triad
+        // probability to zero must collapse the triangle count.
+        let pc = family("powerlaw-cluster").generate(&FamilyConfig::new(0.3, seed));
+        let (pc_avg, pc_max) = degree_stats(&pc);
+        prop_assert!(
+            pc_max as f64 > 3.0 * pc_avg,
+            "powerlaw-cluster: expected hubs (max {pc_max} vs avg {pc_avg:.2})"
+        );
+        let no_triads = geattack_scenarios::PowerlawCluster {
+            triad: 0.0,
+            ..Default::default()
+        }
+        .generate(&FamilyConfig::new(0.3, seed));
+        // Preferential attachment alone already closes some triangles through
+        // the hubs, so the bar is a robust 1.5x, not a fixed count.
+        prop_assert!(
+            2 * triangle_count(&pc) > 3 * triangle_count(&no_triads).max(1),
+            "triad formation must drive the clustering ({} vs {} triangles without triads)",
+            triangle_count(&pc),
+            triangle_count(&no_triads)
+        );
+
+        // k-regular is the hub-free extreme: every degree is k (= 4), up to
+        // the rare coincident edge of the superimposed random cycles.
+        let kr = family("k-regular").generate(&FamilyConfig::new(0.3, seed));
+        let n = kr.num_nodes();
+        let degrees: Vec<usize> = (0..n).map(|i| kr.degree(i)).collect();
+        prop_assert!(degrees.iter().all(|&d| d <= 4), "k-regular: degree above k");
+        let exactly_k = degrees.iter().filter(|&&d| d == 4).count();
+        prop_assert!(
+            exactly_k * 10 >= n * 9,
+            "k-regular: only {exactly_k}/{n} nodes reached degree k"
+        );
     }
+}
+
+/// Number of triangles (each counted once) in the graph.
+fn triangle_count(graph: &geattack_graph::Graph) -> usize {
+    let n = graph.num_nodes();
+    let adj = graph.adjacency();
+    let mut count = 0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if adj[(i, j)] < 0.5 {
+                continue;
+            }
+            for k in (j + 1)..n {
+                if adj[(i, k)] > 0.5 && adj[(j, k)] > 0.5 {
+                    count += 1;
+                }
+            }
+        }
+    }
+    count
 }
 
 #[test]

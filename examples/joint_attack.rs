@@ -12,7 +12,7 @@ use geattack_graph::DatasetName;
 fn main() {
     let mut config = PipelineConfig::quick(DatasetName::Citeseer, 3);
     config.victims.count = 12;
-    let prepared = prepare(config);
+    let prepared = prepare(config).expect("example config is valid");
     println!(
         "dataset: CITESEER-like synthetic graph with {} nodes / {} edges, {} victims\n",
         prepared.graph.num_nodes(),
@@ -30,7 +30,7 @@ fn main() {
         AttackerKind::Nettack,
         AttackerKind::GeAttack,
     ] {
-        let outcomes = run_attacker_kind(&prepared, kind);
+        let outcomes = run_attacker_kind(&prepared, kind).expect("inspector available");
         let s = summarize_run(kind.name(), &outcomes);
         println!(
             "{:<10} {:>5.1}% {:>5.1}% {:>9.1}% {:>7.1}% {:>5.1}% {:>5.1}%",

@@ -17,9 +17,9 @@ fn main() {
         let mut config = PipelineConfig::quick(DatasetName::Cora, 5);
         config.victims.count = 8;
         config.geattack.lambda = lambda;
-        let prepared = prepare(config);
+        let prepared = prepare(config).expect("example config is valid");
         let attacker = prepared.attacker(AttackerKind::GeAttack);
-        let inspector = prepared.inspector();
+        let inspector = prepared.inspector().expect("inspector available");
         let outcomes = run_attacker(&prepared, attacker.as_ref(), inspector.as_ref());
         let s = summarize_run("GEAttack", &outcomes);
         println!(

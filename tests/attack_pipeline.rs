@@ -9,7 +9,7 @@ use geattack_integration_tests::tiny_prepared;
 fn every_attacker_respects_the_protocol() {
     let prepared = tiny_prepared(DatasetName::Cora, 3);
     for kind in AttackerKind::ALL {
-        let outcomes = run_attacker_kind(&prepared, kind);
+        let outcomes = run_attacker_kind(&prepared, kind).unwrap();
         assert_eq!(outcomes.len(), prepared.victims.len(), "{}: outcome count", kind.name());
         for (victim, outcome) in prepared.victims.iter().zip(&outcomes) {
             assert_eq!(victim.node, outcome.node);
@@ -28,9 +28,12 @@ fn every_attacker_respects_the_protocol() {
 #[test]
 fn gradient_attacks_beat_random_attack() {
     let prepared = tiny_prepared(DatasetName::Citeseer, 4);
-    let rna = summarize_run("RNA", &run_attacker_kind(&prepared, AttackerKind::Rna));
-    let fga_t = summarize_run("FGA-T", &run_attacker_kind(&prepared, AttackerKind::FgaT));
-    let ge = summarize_run("GEAttack", &run_attacker_kind(&prepared, AttackerKind::GeAttack));
+    let rna = summarize_run("RNA", &run_attacker_kind(&prepared, AttackerKind::Rna).unwrap());
+    let fga_t = summarize_run("FGA-T", &run_attacker_kind(&prepared, AttackerKind::FgaT).unwrap());
+    let ge = summarize_run(
+        "GEAttack",
+        &run_attacker_kind(&prepared, AttackerKind::GeAttack).unwrap(),
+    );
 
     // The paper's Table 1 ordering: optimized attacks reach (near-)perfect ASR-T,
     // the random baseline does not.
@@ -52,7 +55,7 @@ fn gradient_attacks_beat_random_attack() {
 #[test]
 fn untargeted_fga_has_asr_but_not_necessarily_asr_t() {
     let prepared = tiny_prepared(DatasetName::Cora, 5);
-    let fga = summarize_run("FGA", &run_attacker_kind(&prepared, AttackerKind::Fga));
+    let fga = summarize_run("FGA", &run_attacker_kind(&prepared, AttackerKind::Fga).unwrap());
     assert!(fga.asr >= fga.asr_t, "ASR must always dominate ASR-T");
     assert!(fga.asr > 0.0, "untargeted FGA flipped nothing at all");
 }

@@ -26,7 +26,7 @@ fn full_pipeline_produces_sane_results() {
     }
 
     // GEAttack succeeds on most victims and its outcomes are well-formed.
-    let outcomes = run_attacker_kind(&prepared, AttackerKind::GeAttack);
+    let outcomes = run_attacker_kind(&prepared, AttackerKind::GeAttack).unwrap();
     assert_eq!(outcomes.len(), prepared.victims.len());
     let summary = summarize_run("GEAttack", &outcomes);
     assert!(
@@ -66,9 +66,12 @@ fn geattack_is_no_easier_to_detect_than_fga_t() {
         config.victims.count = 12;
         config.victims.top_margin = 4;
         config.victims.bottom_margin = 4;
-        let prepared = prepare(config);
-        let fga = summarize_run("FGA-T", &run_attacker_kind(&prepared, AttackerKind::FgaT));
-        let ge = summarize_run("GEAttack", &run_attacker_kind(&prepared, AttackerKind::GeAttack));
+        let prepared = prepare(config).unwrap();
+        let fga = summarize_run("FGA-T", &run_attacker_kind(&prepared, AttackerKind::FgaT).unwrap());
+        let ge = summarize_run(
+            "GEAttack",
+            &run_attacker_kind(&prepared, AttackerKind::GeAttack).unwrap(),
+        );
         fga_asr += fga.asr / seeds.len() as f64;
         fga_ndcg += fga.ndcg / seeds.len() as f64;
         ge_asr += ge.asr / seeds.len() as f64;

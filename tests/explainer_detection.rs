@@ -35,8 +35,8 @@ fn pgexplainer_pipeline_produces_valid_detection_scores() {
     let mut config = tiny_config(DatasetName::Citeseer, 7);
     config.explainer = ExplainerKind::PgExplainer;
     config.victims.count = 4;
-    let prepared = geattack_core::pipeline::prepare(config);
-    let inspector = prepared.inspector();
+    let prepared = geattack_core::pipeline::prepare(config).unwrap();
+    let inspector = prepared.inspector().unwrap();
     let victim = prepared.victims[0];
     let ctx = AttackContext::with_degree_budget(&prepared.model, &prepared.graph, victim.node, victim.target_label);
     let perturbation = FgaT::default().attack(&ctx);

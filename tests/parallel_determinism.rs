@@ -16,12 +16,12 @@ fn outcomes_with_parallel(parallel: bool, kind: AttackerKind, seed: u64) -> Vec<
     let mut config = tiny_config(DatasetName::Cora, seed);
     config.victims.count = 6;
     config.parallel = parallel;
-    let prepared = prepare(config);
+    let prepared = prepare(config).unwrap();
     assert!(
         prepared.victims.len() >= 2,
         "need at least two victims to exercise the parallel path"
     );
-    run_attacker_kind(&prepared, kind)
+    run_attacker_kind(&prepared, kind).unwrap()
 }
 
 fn assert_identical(serial: &[AttackOutcome], parallel: &[AttackOutcome], kind: AttackerKind) {

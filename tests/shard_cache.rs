@@ -4,8 +4,31 @@
 //! experiment preparation (GCN training) — the two properties the CI
 //! `shard-equivalence` and `cache-roundtrip` jobs `cmp` at the binary level.
 
-use geattack_bench::sweep::{merge_shards, run_sweep, run_sweep_options, Shard, SweepOptions};
+use geattack_core::engine::Engine;
+use geattack_core::sweep::{merge_shards, Shard, SweepReport, SweepRun};
+use geattack_core::GeError;
 use geattack_scenarios::SweepSpec;
+
+/// Runs a whole-grid sweep through a fresh engine, as `geattack-sweep` does.
+fn run_sweep(spec: &SweepSpec, serial: bool) -> Result<SweepReport, GeError> {
+    Engine::new().serial(serial).run_report(spec)
+}
+
+/// One engine run with optional shard slice and cache directory — the
+/// `geattack-sweep` flag combinations, expressed against the engine API. A
+/// fresh engine per call keeps the cache counters per-run, like one CLI
+/// invocation.
+fn run_with(
+    spec: &SweepSpec,
+    shard: Option<Shard>,
+    cache_dir: Option<std::path::PathBuf>,
+) -> Result<SweepRun, GeError> {
+    let mut engine = Engine::new().serial(true);
+    if let Some(dir) = cache_dir {
+        engine = engine.with_cache(dir, None)?;
+    }
+    engine.run(spec, shard)
+}
 
 /// A two-prep-cell grid (1 family x 2 seeds) that is cheap but real: every
 /// cell trains a GCN and runs two attackers.
@@ -35,18 +58,7 @@ fn sharded_execution_merges_into_the_unsharded_report() {
     let spec = small_spec();
     let unsharded = run_sweep(&spec, true).expect("unsharded run");
 
-    let run_shard = |index: usize| {
-        run_sweep_options(
-            &spec,
-            &SweepOptions {
-                serial: true,
-                shard: Some(Shard { index, count: 2 }),
-                cache_dir: None,
-                cache_budget_mb: None,
-            },
-        )
-        .expect("shard runs")
-    };
+    let run_shard = |index: usize| run_with(&spec, Some(Shard { index, count: 2 }), None).expect("shard runs");
     let s0 = run_shard(0);
     let s1 = run_shard(1);
     assert_eq!(s0.prepared_cells, 1, "each shard owns one of the two prep cells");
@@ -68,19 +80,12 @@ fn sharded_execution_merges_into_the_unsharded_report() {
 fn cached_rerun_is_byte_identical_and_skips_all_preparation() {
     let spec = small_spec();
     let dir = temp_cache("cache");
-    let options = SweepOptions {
-        serial: true,
-        shard: None,
-        cache_dir: Some(dir.clone()),
-        cache_budget_mb: None,
-    };
-
-    let cold = run_sweep_options(&spec, &options).expect("cold run");
+    let cold = run_with(&spec, None, Some(dir.clone())).expect("cold run");
     let cold_counters = cold.cache.expect("caching was on");
     assert_eq!(cold_counters.misses, cold.prepared_cells as u64);
     assert_eq!(cold_counters.hits, 0);
 
-    let warm = run_sweep_options(&spec, &options).expect("warm run");
+    let warm = run_with(&spec, None, Some(dir.clone())).expect("warm run");
     let warm_counters = warm.cache.expect("caching was on");
     assert_eq!(
         warm_counters.hits, warm.prepared_cells as u64,
@@ -106,18 +111,8 @@ fn cached_rerun_is_byte_identical_and_skips_all_preparation() {
 fn shards_share_a_cache_and_stay_deterministic() {
     let spec = small_spec();
     let dir = temp_cache("shard-cache");
-    let run_shard = |index: usize| {
-        run_sweep_options(
-            &spec,
-            &SweepOptions {
-                serial: true,
-                shard: Some(Shard { index, count: 2 }),
-                cache_dir: Some(dir.clone()),
-                cache_budget_mb: None,
-            },
-        )
-        .expect("shard runs")
-    };
+    let run_shard =
+        |index: usize| run_with(&spec, Some(Shard { index, count: 2 }), Some(dir.clone())).expect("shard runs");
     // Cold: each shard populates its own slice of the shared cache.
     let cold0 = run_shard(0);
     let cold1 = run_shard(1);

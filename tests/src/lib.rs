@@ -25,7 +25,7 @@ pub fn tiny_config(dataset: DatasetName, seed: u64) -> PipelineConfig {
 
 /// Prepares a tiny experiment (synthetic dataset, trained GCN, victims).
 pub fn tiny_prepared(dataset: DatasetName, seed: u64) -> Prepared {
-    prepare(tiny_config(dataset, seed))
+    prepare(tiny_config(dataset, seed)).expect("tiny config always prepares")
 }
 
 /// A deterministic RNG for tests that need one.

@@ -2,8 +2,14 @@
 //! multi-attacker, multi-seed grid must execute deterministically (parallel ==
 //! serial, byte-identical JSON) and produce the documented report schema.
 
-use geattack_bench::sweep::{run_sweep, SweepReport};
+use geattack_core::engine::Engine;
+use geattack_core::sweep::SweepReport;
 use geattack_scenarios::SweepSpec;
+
+/// Runs a whole-grid sweep through a fresh engine, as `geattack-sweep` does.
+fn run_sweep(spec: &SweepSpec, serial: bool) -> Result<SweepReport, geattack_core::GeError> {
+    Engine::new().serial(serial).run_report(spec)
+}
 
 /// The acceptance grid: 2 families x 2 attackers x 2 seeds, quick scale.
 fn quick_spec() -> SweepSpec {
