@@ -65,7 +65,7 @@ impl IgAttack {
         for &v in candidates {
             candidate_mask[v] = true;
         }
-        let base = graph.to_csr();
+        let base = graph.csr();
 
         let mut accumulated: Option<TargetGradient> = None;
         for k in 1..=steps {
@@ -248,7 +248,7 @@ mod tests {
         let sparse = IgAttack::new(IgConfig { steps: 1 }).integrated_gradients(&ctx, &graph, &candidates);
 
         // Dense oracle: α = 1 interpolation point.
-        let mut interpolated = graph.adjacency().clone();
+        let mut interpolated = graph.to_dense();
         for &v in &candidates {
             interpolated[(victim, v)] = 1.0;
             interpolated[(v, victim)] = 1.0;

@@ -333,12 +333,12 @@ impl<'a> LossGradients<'a> {
 
     /// Targeted attack-loss gradient (Eq. 4) at `graph`'s candidate endpoints.
     pub fn targeted(&self, graph: &Graph, target: usize, target_label: usize) -> TargetGradient {
-        self.at_raw(&graph.to_csr().to_sparse(), target, target_label, false)
+        self.at_raw(&graph.csr().to_sparse(), target, target_label, false)
     }
 
     /// Untargeted attack-loss gradient at `graph`'s candidate endpoints.
     pub fn untargeted(&self, graph: &Graph, target: usize) -> TargetGradient {
-        self.at_raw(&graph.to_csr().to_sparse(), target, graph.label(target), true)
+        self.at_raw(&graph.csr().to_sparse(), target, graph.label(target), true)
     }
 }
 
@@ -422,7 +422,7 @@ mod tests {
         let target = 0;
         let cands = candidate_endpoints(&graph, target, &[]);
         assert!(!cands.contains(&target));
-        for v in graph.neighbors(target) {
+        for &v in graph.neighbors(target) {
             assert!(!cands.contains(&v));
         }
         let excluded = cands[0];
@@ -460,7 +460,7 @@ mod tests {
         let (victim, target_label) = pick_victim(&graph, &model);
 
         let sparse = targeted_loss_gradient(&model, &graph, victim, target_label);
-        let dense = dense_adjacency_gradient(&model, graph.adjacency(), graph.features(), victim, target_label, false);
+        let dense = dense_adjacency_gradient(&model, &graph.to_dense(), graph.features(), victim, target_label, false);
         let max_abs = (0..graph.num_nodes())
             .map(|v| dense[(victim, v)].abs())
             .fold(0.0f64, f64::max)
@@ -480,7 +480,7 @@ mod tests {
         let sparse = untargeted_loss_gradient(&model, &graph, victim);
         let dense = dense_adjacency_gradient(
             &model,
-            graph.adjacency(),
+            &graph.to_dense(),
             graph.features(),
             victim,
             graph.label(victim),
@@ -518,14 +518,15 @@ mod tests {
         };
 
         let eps = 1e-5;
+        let dense_adj = graph.to_dense();
         let candidates: Vec<usize> = candidate_endpoints(&graph, victim, &[]).into_iter().take(4).collect();
         for &v in &candidates {
             // Symmetric nudge: the undirected score is the sum of the two
             // directed entries, matching d/dα L(A + α(e_tv + e_vt)).
-            let mut plus = graph.adjacency().clone();
+            let mut plus = dense_adj.clone();
             plus[(victim, v)] += eps;
             plus[(v, victim)] += eps;
-            let mut minus = graph.adjacency().clone();
+            let mut minus = dense_adj.clone();
             minus[(victim, v)] -= eps;
             minus[(v, victim)] -= eps;
             let numeric = (loss_at(&plus) - loss_at(&minus)) / (2.0 * eps);

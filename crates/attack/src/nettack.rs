@@ -151,7 +151,6 @@ impl<'a> SurrogateScorer<'a> {
         let degrees: Vec<f64> = (0..n).map(|i| 1.0 + graph.degree(i) as f64).collect();
         let c = xw.cols();
         let mut r = Matrix::zeros(n, c);
-        let adj = graph.adjacency();
         for k in 0..n {
             let row = r.row_mut(k);
             // Self loop.
@@ -159,12 +158,12 @@ impl<'a> SurrogateScorer<'a> {
             for (col, val) in row.iter_mut().enumerate() {
                 *val += w_self * xw[(k, col)];
             }
-            for j in 0..n {
-                if adj[(k, j)] > 0.5 {
-                    let w = 1.0 / (degrees[k] * degrees[j]).sqrt();
-                    for col in 0..c {
-                        row[col] += w * xw[(j, col)];
-                    }
+            // Neighbors in ascending order — the same accumulation order as the
+            // old dense row scan, so the sums are bit-identical.
+            for &j in graph.neighbors(k) {
+                let w = 1.0 / (degrees[k] * degrees[j]).sqrt();
+                for col in 0..c {
+                    row[col] += w * xw[(j, col)];
                 }
             }
         }
@@ -175,8 +174,6 @@ impl<'a> SurrogateScorer<'a> {
     /// edge `(t, v)` (used for the two rows whose own degree changes).
     fn row_recomputed(&self, k: usize, t: usize, v: usize, dt_new: f64, dv_new: f64) -> Vec<f64> {
         let c = self.xw.cols();
-        let n = self.graph.num_nodes();
-        let adj = self.graph.adjacency();
         let deg_new = |i: usize| -> f64 {
             if i == t {
                 dt_new
@@ -192,14 +189,35 @@ impl<'a> SurrogateScorer<'a> {
         for (col, o) in out.iter_mut().enumerate() {
             *o += self.xw[(k, col)] / dk;
         }
-        for j in 0..n {
-            let connected = adj[(k, j)] > 0.5 || (k == t && j == v) || (k == v && j == t);
-            if connected && j != k {
-                let w = 1.0 / (dk * deg_new(j)).sqrt();
-                for (col, o) in out.iter_mut().enumerate() {
-                    *o += w * self.xw[(j, col)];
+        // Walk the neighbor list with the candidate edge's other endpoint merged
+        // in at its sorted position, keeping the ascending-j accumulation order
+        // of the old dense scan (the candidate edge is new, so `extra` is never
+        // already a neighbor).
+        let extra = if k == t {
+            Some(v)
+        } else if k == v {
+            Some(t)
+        } else {
+            None
+        };
+        let accumulate = |j: usize, out: &mut [f64]| {
+            let w = 1.0 / (dk * deg_new(j)).sqrt();
+            for (col, o) in out.iter_mut().enumerate() {
+                *o += w * self.xw[(j, col)];
+            }
+        };
+        let mut extra_pending = extra;
+        for &j in self.graph.neighbors(k) {
+            if let Some(e) = extra_pending {
+                if e < j {
+                    accumulate(e, &mut out);
+                    extra_pending = None;
                 }
             }
+            accumulate(j, &mut out);
+        }
+        if let Some(e) = extra_pending {
+            accumulate(e, &mut out);
         }
         out
     }
@@ -210,7 +228,6 @@ impl<'a> SurrogateScorer<'a> {
         let c = self.xw.cols();
         let dt_new = self.degrees[t] + 1.0;
         let dv_new = self.degrees[v] + 1.0;
-        let adj = self.graph.adjacency();
 
         let row_t = self.row_recomputed(t, t, v, dt_new, dv_new);
         let row_v = self.row_recomputed(v, t, v, dt_new, dv_new);
@@ -230,18 +247,20 @@ impl<'a> SurrogateScorer<'a> {
         // the columns t and v because d_t and d_v changed.
         let corr_t = 1.0 / dt_new.sqrt() - 1.0 / self.degrees[t].sqrt();
         let corr_v = 1.0 / dv_new.sqrt() - 1.0 / self.degrees[v].sqrt();
-        for k in self.graph.neighbors(t) {
+        for &k in self.graph.neighbors(t) {
             if k == v {
                 continue;
             }
             let dk = self.degrees[k];
             let w_tk = 1.0 / (dt_new * dk).sqrt();
+            let k_adj_t = self.graph.has_edge(k, t);
+            let k_adj_v = self.graph.has_edge(k, v);
             for (col, zc) in z.iter_mut().enumerate() {
                 let mut row_k = self.r[(k, col)];
-                if adj[(k, t)] > 0.5 {
+                if k_adj_t {
                     row_k += corr_t / dk.sqrt() * self.xw[(t, col)];
                 }
-                if adj[(k, v)] > 0.5 {
+                if k_adj_v {
                     row_k += corr_v / dk.sqrt() * self.xw[(v, col)];
                 }
                 *zc += w_tk * row_k;
@@ -329,7 +348,7 @@ mod tests {
             // Naive: rebuild the graph with the edge and recompute Ã² X W fully.
             let mut g2 = graph.clone();
             g2.add_edge(target, v);
-            let a_norm = gcn_normalize_matrix(g2.adjacency());
+            let a_norm = gcn_normalize_matrix(&g2.to_dense());
             let naive = a_norm.matmul(&a_norm.matmul(&xw));
             for c in 0..xw.cols() {
                 assert!(

@@ -5,7 +5,8 @@
 //! geattack-cache gc    --cache-dir DIR --cache-budget-mb N
 //! ```
 //!
-//! `stats` prints the committed entry count and byte total; `gc` prunes the
+//! `stats` prints the committed entry count and byte total plus the encoded
+//! size of every entry (name-sorted, so diffs are stable); `gc` prunes the
 //! oldest-mtime entries until the directory fits the budget — the same
 //! LRU-by-mtime policy a sweep run applies online via `--cache-budget-mb`.
 //! Loads never refresh mtimes, so "least recently used" is concretely "least
@@ -69,9 +70,16 @@ fn main() {
 
     match args.command.as_str() {
         "stats" => {
-            let entries = store.entry_count();
-            let bytes = store.total_bytes();
-            println!("cache {dir}: {entries} entries, {bytes} bytes ({:.1} MiB)", mib(bytes));
+            let entries = store.entry_sizes();
+            let bytes: u64 = entries.iter().map(|&(_, len)| len).sum();
+            println!(
+                "cache {dir}: {} entries, {bytes} bytes ({:.1} MiB)",
+                entries.len(),
+                mib(bytes)
+            );
+            for (name, len) in entries {
+                println!("  {len:>12} B  {name}");
+            }
         }
         "gc" => {
             let Some(mb) = args.cache_budget_mb else {

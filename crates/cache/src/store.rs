@@ -214,6 +214,18 @@ impl CacheStore {
         self.entries_by_age().iter().map(|&(_, _, len)| len).sum()
     }
 
+    /// Committed entries as `(file name, encoded bytes on disk)`, sorted by
+    /// name so listings are stable across filesystems and runs.
+    pub fn entry_sizes(&self) -> Vec<(String, u64)> {
+        let mut entries: Vec<(String, u64)> = self
+            .entries_by_age()
+            .into_iter()
+            .map(|(_, name, len)| (name, len))
+            .collect();
+        entries.sort();
+        entries
+    }
+
     /// Removes an entry (corrupt or invalidated) and counts the eviction.
     pub fn evict(&self, key: &str) {
         let _ = std::fs::remove_file(self.entry_path(key));
@@ -296,6 +308,20 @@ mod tests {
                 evictions: 0
             }
         );
+    }
+
+    #[test]
+    fn entry_sizes_report_encoded_bytes_per_entry() {
+        let t = TempStore::new("sizes");
+        t.store.store("bb", b"four").unwrap();
+        t.store.store("aa", b"a longer payload").unwrap();
+        let sizes = t.store.entry_sizes();
+        assert_eq!(sizes.len(), 2);
+        // Name-sorted, and each size is the on-disk envelope (header + payload).
+        assert!(sizes[0].0.starts_with("aa"), "sorted by name: {sizes:?}");
+        assert!(sizes[1].0.starts_with("bb"));
+        assert!(sizes[0].1 > sizes[1].1, "larger payload encodes larger: {sizes:?}");
+        assert_eq!(sizes.iter().map(|&(_, len)| len).sum::<u64>(), t.store.total_bytes());
     }
 
     #[test]

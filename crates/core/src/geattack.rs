@@ -160,7 +160,7 @@ impl GeAttack {
         gradients: &LossGradients<'_>,
         ctx: &AttackContext<'_>,
         working: &Graph,
-        b: &Matrix,
+        added: &std::collections::HashSet<usize>,
         rng: &mut impl rand::Rng,
     ) -> Option<usize> {
         let candidates = candidate_endpoints(working, ctx.target, &[]);
@@ -183,10 +183,21 @@ impl GeAttack {
         // (3) Explainer term on the computation subgraph augmented with the
         // shortlist, differentiated with respect to the (sub)adjacency.
         let sub = computation_subgraph(working, ctx.target, self.config.hops, &shortlist);
-        let b_row = Matrix::from_fn(1, sub.num_nodes(), |_, j| b[(ctx.target, sub.to_global(j))]);
+        // B[target, j] = 0 iff j is the target itself, a clean-graph neighbor, or
+        // an endpoint inserted by an earlier outer iteration (Algorithm 1 line
+        // 10) — the same values the dense `B = 11ᵀ − I − A` bookkeeping produced,
+        // without ever materializing an n×n matrix.
+        let b_row = Matrix::from_fn(1, sub.num_nodes(), |_, j| {
+            let g = sub.to_global(j);
+            if g == ctx.target || ctx.graph.has_edge(ctx.target, g) || added.contains(&g) {
+                0.0
+            } else {
+                1.0
+            }
+        });
 
         let tape = Tape::new();
-        let a_sub = tape.input(sub.adjacency.clone());
+        let a_sub = tape.input(sub.dense_adjacency());
         let x_sub = tape.constant(sub.features.clone());
         let penalty = self.explainer_penalty(
             &tape,
@@ -270,15 +281,10 @@ impl GeAttack {
 
 impl TargetedAttack for GeAttack {
     fn attack(&self, ctx: &AttackContext<'_>) -> Perturbation {
-        let n = ctx.graph.num_nodes();
-        // B = 11ᵀ − I − A (Algorithm 1, line 3).
-        let mut b = Matrix::from_fn(n, n, |i, j| {
-            if i == j || ctx.graph.adjacency()[(i, j)] > 0.5 {
-                0.0
-            } else {
-                1.0
-            }
-        });
+        // B = 11ᵀ − I − A (Algorithm 1, line 3), tracked implicitly: the clean
+        // graph answers has_edge queries and `added` records the endpoints whose
+        // B entries were zeroed by line 10.
+        let mut added = std::collections::HashSet::new();
         let mut rng =
             ChaCha8Rng::seed_from_u64(self.config.seed ^ (ctx.target as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let mut perturbation = Perturbation::new();
@@ -286,14 +292,13 @@ impl TargetedAttack for GeAttack {
         let gradients = LossGradients::new(ctx.model, ctx.graph.features());
 
         for _ in 0..ctx.budget {
-            let Some(chosen) = self.select_edge(&gradients, ctx, &working, &b, &mut rng) else {
+            let Some(chosen) = self.select_edge(&gradients, ctx, &working, &added, &mut rng) else {
                 break;
             };
             perturbation.add_edge(ctx.target, chosen);
             working.add_edge(ctx.target, chosen);
             // Algorithm 1 line 10: Â[i,j] = 1 and B[i,j] = 0.
-            b[(ctx.target, chosen)] = 0.0;
-            b[(chosen, ctx.target)] = 0.0;
+            added.insert(chosen);
         }
         perturbation
     }

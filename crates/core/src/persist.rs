@@ -35,10 +35,12 @@ use crate::targets::Victim;
 /// Version salt folded into every cache key. Bump on any change to the
 /// preparation pipeline's semantics (generators, training, victim selection,
 /// PGExplainer training): old entries become unreachable instead of stale.
-pub const CODE_VERSION_SALT: &str = "prepare-v1";
+pub const CODE_VERSION_SALT: &str = "prepare-v2";
 
 /// Version of the encoded payload layout, checked before decoding.
-const PAYLOAD_VERSION: u32 = 1;
+/// v2: adjacency as a count-prefixed sorted `u < v` edge list (O(|E|)) instead
+/// of the dense n²-bit pack.
+const PAYLOAD_VERSION: u32 = 2;
 
 /// Content-hash key of the experiment `config` prepares, under the compiled-in
 /// [`CODE_VERSION_SALT`].
@@ -123,17 +125,21 @@ pub fn encode_prepared(prepared: &Prepared) -> Vec<u8> {
     let mut enc = Encoder::new();
     enc.put_u32(PAYLOAD_VERSION);
 
-    // Graph: labels, features and the 0/1 adjacency bit-packed (64x smaller
-    // than its dense f64 form — the single largest part of the payload).
+    // Graph: labels, features and the adjacency as a count-prefixed sorted
+    // `u < v` edge list straight off the CSR — O(|E|) in the sparse regime
+    // where the old n²-bit pack was the payload's quadratic term.
     let graph = &prepared.graph;
     let n = graph.num_nodes();
     enc.put_usize(n);
     enc.put_usize(graph.num_classes());
     enc.put_usize_slice(graph.labels());
     put_matrix(&mut enc, graph.features());
-    let adj = graph.adjacency();
-    let bits: Vec<bool> = (0..n * n).map(|i| adj.as_slice()[i] > 0.5).collect();
-    enc.put_bits(&bits);
+    let edges = graph.edges();
+    enc.put_usize(edges.len());
+    for &(u, v) in &edges {
+        enc.put_usize(u);
+        enc.put_usize(v);
+    }
 
     // Model: the four GCN parameter matrices (dims are embedded per matrix).
     for m in prepared.model.params().to_vec() {
@@ -188,29 +194,28 @@ pub fn decode_prepared(payload: &[u8], config: PipelineConfig) -> Result<Prepare
     if features.rows() != n {
         return Err(GeError::Cache("corrupt feature matrix".to_string()));
     }
-    let bits = dec.get_bits().map_err(GeError::Cache)?;
-    if bits.len() != n * n {
-        return Err(GeError::Cache("corrupt adjacency bit set".to_string()));
+    let edge_count = dec.get_usize().map_err(GeError::Cache)?;
+    if n > 0 && edge_count > n * (n - 1) / 2 {
+        return Err(GeError::Cache("corrupt edge count".to_string()));
     }
-    let mut adj = Matrix::zeros(n, n);
-    for i in 0..n {
-        for j in 0..n {
-            if bits[i * n + j] {
-                adj[(i, j)] = 1.0;
-            }
+    let mut edges = Vec::with_capacity(edge_count);
+    let mut prev = None;
+    for _ in 0..edge_count {
+        let u = dec.get_usize().map_err(GeError::Cache)?;
+        let v = dec.get_usize().map_err(GeError::Cache)?;
+        // The encoder emits strictly ascending `u < v` pairs; anything else is
+        // corruption and must degrade into a cache miss, not a panic inside
+        // graph construction.
+        if u >= v || v >= n {
+            return Err(GeError::Cache("corrupt edge list entry".to_string()));
         }
+        if prev.is_some() && Some((u, v)) <= prev {
+            return Err(GeError::Cache("corrupt edge list order".to_string()));
+        }
+        prev = Some((u, v));
+        edges.push((u, v));
     }
-    for i in 0..n {
-        if adj[(i, i)] != 0.0 {
-            return Err(GeError::Cache("corrupt adjacency: self loop".to_string()));
-        }
-        for j in (i + 1)..n {
-            if adj[(i, j)] != adj[(j, i)] {
-                return Err(GeError::Cache("corrupt adjacency: asymmetric".to_string()));
-            }
-        }
-    }
-    let graph = Graph::new(adj, features, labels, n_classes);
+    let graph = Graph::from_edges(n, &edges, features, labels, n_classes);
 
     let mut params = Vec::with_capacity(4);
     for _ in 0..4 {
@@ -412,8 +417,8 @@ mod tests {
         );
 
         assert_ne!(
-            cache_key_salted(&tiny_config(7), "prepare-v1"),
             cache_key_salted(&tiny_config(7), "prepare-v2"),
+            cache_key_salted(&tiny_config(7), "prepare-v3"),
             "bumping the version salt invalidates every key"
         );
     }
@@ -424,7 +429,7 @@ mod tests {
         let payload = encode_prepared(&prepared);
         let decoded = decode_prepared(&payload, tiny_config(11)).expect("payload decodes");
 
-        assert_eq!(decoded.graph.adjacency(), prepared.graph.adjacency());
+        assert_eq!(decoded.graph.edges(), prepared.graph.edges());
         assert_eq!(decoded.graph.features(), prepared.graph.features());
         assert_eq!(decoded.graph.labels(), prepared.graph.labels());
         assert_eq!(decoded.split, prepared.split);
@@ -478,6 +483,22 @@ mod tests {
         // Flip a label byte near the front (inside the label vector).
         flipped[30] ^= 0xff;
         assert!(decode_prepared(&flipped, tiny_config(17)).is_err());
+    }
+
+    #[test]
+    fn byte_flips_anywhere_never_panic_the_decoder() {
+        // Corruption-recovery property of the edge-list codec: flipping a byte
+        // at any position — version, counts, edge entries, matrices — must
+        // yield either a clean `Err` (a cache miss) or a structurally valid
+        // decode, never a panic. Positions are strided to keep the sweep fast.
+        let prepared = prepare(tiny_config(37)).unwrap();
+        let payload = encode_prepared(&prepared);
+        for pos in (0..payload.len()).step_by(97) {
+            let mut flipped = payload.clone();
+            flipped[pos] ^= 0xff;
+            let result = std::panic::catch_unwind(|| decode_prepared(&flipped, tiny_config(37)).map(|_| ()));
+            assert!(result.is_ok(), "decoder panicked on byte flip at {pos}");
+        }
     }
 
     #[test]
@@ -551,7 +572,7 @@ mod tests {
         let warm = prepare_cached(tiny_config(19), Some(&t.store)).unwrap();
         let counters = t.store.counters();
         assert_eq!((counters.hits, counters.misses), (1, 1));
-        assert_eq!(warm.graph.adjacency(), cold.graph.adjacency());
+        assert_eq!(warm.graph.edges(), cold.graph.edges());
         assert_eq!(warm.victims.len(), cold.victims.len());
 
         // No store → plain prepare, no counters involved.
@@ -574,7 +595,7 @@ mod tests {
         let counters = t.store.counters();
         assert_eq!(counters.evictions, 1, "corrupt entry evicted");
         assert_eq!(counters.misses, 2, "recomputed after eviction");
-        assert_eq!(recovered.graph.adjacency(), cold.graph.adjacency());
+        assert_eq!(recovered.graph.edges(), cold.graph.edges());
         // The recomputed entry was re-persisted and now hits.
         let warm = prepare_cached(tiny_config(23), Some(&t.store)).unwrap();
         assert_eq!(t.store.counters().hits, 1);
@@ -584,15 +605,15 @@ mod tests {
     #[test]
     fn version_salt_bump_invalidates_without_evicting() {
         let t = TempStore::new("salt");
-        prepare_cached_salted(tiny_config(29), Some(&t.store), "prepare-v1").unwrap();
         prepare_cached_salted(tiny_config(29), Some(&t.store), "prepare-v2").unwrap();
+        prepare_cached_salted(tiny_config(29), Some(&t.store), "prepare-v3").unwrap();
         let counters = t.store.counters();
         assert_eq!(counters.hits, 0, "a new salt never hits old entries");
         assert_eq!(counters.misses, 2);
         assert_eq!(counters.evictions, 0, "old entries are orphaned, not destroyed");
         assert_eq!(t.store.entry_count(), 2, "both salted entries coexist");
         // Back on the old salt, the original entry still hits.
-        prepare_cached_salted(tiny_config(29), Some(&t.store), "prepare-v1").unwrap();
+        prepare_cached_salted(tiny_config(29), Some(&t.store), "prepare-v2").unwrap();
         assert_eq!(t.store.counters().hits, 1);
     }
 }

@@ -59,7 +59,8 @@ impl PgGeAttack {
         working: &Graph,
         target: usize,
         shortlist: &[usize],
-        b: &Matrix,
+        clean: &Graph,
+        zeroed: &std::collections::HashSet<usize>,
     ) -> (Matrix, geattack_graph::ComputationSubgraph) {
         let sub = computation_subgraph(working, target, self.config.hops, shortlist);
         let tl = sub.target_local;
@@ -67,10 +68,13 @@ impl PgGeAttack {
 
         // Penalty edges: the target paired with every subgraph node that is not a
         // clean-graph neighbor (B = 1), i.e. candidate and already-added
-        // adversarial endpoints.
+        // adversarial endpoints. `B = 11ᵀ − I − A` is tracked implicitly: an
+        // entry is zero iff it is the diagonal, a clean edge, or was zeroed by
+        // an earlier outer iteration.
         let mut penalty_edges = Vec::new();
         for j in 0..k {
-            if j != tl && b[(target, sub.to_global(j))] > 0.5 {
+            let g = sub.to_global(j);
+            if j != tl && !clean.has_edge(target, g) && !zeroed.contains(&g) {
                 let (u, v) = if tl < j { (tl, j) } else { (j, tl) };
                 penalty_edges.push((u, v));
             }
@@ -95,7 +99,7 @@ impl PgGeAttack {
         };
 
         let tape = Tape::new();
-        let a_sub = tape.input(sub.adjacency.clone());
+        let a_sub = tape.input(sub.dense_adjacency());
         let x_sub = tape.constant(sub.features.clone());
         let gcn_params = model.insert_params_frozen(&tape);
         // Embeddings as a function of the (sub)adjacency, so ∂gate/∂Â is non-zero.
@@ -112,14 +116,7 @@ impl PgGeAttack {
 
 impl TargetedAttack for PgGeAttack {
     fn attack(&self, ctx: &AttackContext<'_>) -> Perturbation {
-        let n = ctx.graph.num_nodes();
-        let mut b = Matrix::from_fn(n, n, |i, j| {
-            if i == j || ctx.graph.adjacency()[(i, j)] > 0.5 {
-                0.0
-            } else {
-                1.0
-            }
-        });
+        let mut zeroed = std::collections::HashSet::new();
         let mut perturbation = Perturbation::new();
         let mut working = ctx.graph.clone();
         let gradients = LossGradients::new(ctx.model, ctx.graph.features());
@@ -138,7 +135,8 @@ impl TargetedAttack for PgGeAttack {
             });
             let shortlist: Vec<usize> = ranked.into_iter().take(self.config.candidate_pool.max(1)).collect();
 
-            let (g_penalty, sub) = self.penalty_gradient(ctx.model, &working, ctx.target, &shortlist, &b);
+            let (g_penalty, sub) =
+                self.penalty_gradient(ctx.model, &working, ctx.target, &shortlist, ctx.graph, &zeroed);
             let tl = sub.target_local;
             // Normalize both gradient components (see geattack.rs for the rationale).
             let attack_entry = |v: usize| undirected_entry(&g_attack, ctx.target, v);
@@ -168,8 +166,7 @@ impl TargetedAttack for PgGeAttack {
 
             perturbation.add_edge(ctx.target, chosen);
             working.add_edge(ctx.target, chosen);
-            b[(ctx.target, chosen)] = 0.0;
-            b[(chosen, ctx.target)] = 0.0;
+            zeroed.insert(chosen);
         }
         perturbation
     }
@@ -256,15 +253,9 @@ mod tests {
                 ..Default::default()
             },
         );
-        let b = Matrix::from_fn(graph.num_nodes(), graph.num_nodes(), |i, j| {
-            if i == j || graph.adjacency()[(i, j)] > 0.5 {
-                0.0
-            } else {
-                1.0
-            }
-        });
         let shortlist: Vec<usize> = candidate_endpoints(&graph, victim, &[]).into_iter().take(8).collect();
-        let (g, sub) = attack.penalty_gradient(&model, &graph, victim, &shortlist, &b);
+        let zeroed = std::collections::HashSet::new();
+        let (g, sub) = attack.penalty_gradient(&model, &graph, victim, &shortlist, &graph, &zeroed);
         assert_eq!(g.shape(), (sub.num_nodes(), sub.num_nodes()));
         assert!(!g.has_non_finite());
         // Some candidate entry must receive gradient signal from the explainer.

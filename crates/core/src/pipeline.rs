@@ -586,7 +586,7 @@ mod tests {
 
         let graph = scenario.load(&GeneratorConfig::at_scale(0.08, 1)).unwrap();
         assert!(graph.num_nodes() >= 30);
-        let comps = graph.to_csr().connected_components();
+        let comps = graph.csr().connected_components();
         assert!(comps.iter().all(|&c| c == comps[0]), "source load applies LCC");
     }
 

@@ -192,6 +192,36 @@ impl SubgraphEdges {
         }
     }
 
+    /// Extracts the edge list and incidence matrices straight from a
+    /// computation subgraph's CSR — same edges in the same `(i, j)` `i < j`
+    /// row-major order as [`SubgraphEdges::from_adjacency`] on the dense
+    /// adjacency, without materializing the `k×k` matrix.
+    pub fn from_subgraph(sub: &ComputationSubgraph) -> Self {
+        let k = sub.num_nodes();
+        let mut edges = Vec::with_capacity(sub.num_edges());
+        for i in 0..k {
+            for &j in sub.csr.neighbors(i) {
+                if i < j {
+                    edges.push((i, j));
+                }
+            }
+        }
+        let m = edges.len();
+        let mut src_incidence = Matrix::zeros(m, k);
+        let mut dst_incidence = Matrix::zeros(m, k);
+        for (e, &(u, v)) in edges.iter().enumerate() {
+            src_incidence[(e, u)] = 1.0;
+            dst_incidence[(e, v)] = 1.0;
+        }
+        Self {
+            src_indices: edges.iter().map(|&(u, _)| u).collect(),
+            dst_indices: edges.iter().map(|&(_, v)| v).collect(),
+            edges,
+            src_incidence,
+            dst_incidence,
+        }
+    }
+
     /// Number of edges.
     pub fn len(&self) -> usize {
         self.edges.len()
@@ -284,7 +314,7 @@ impl PgExplainer {
     ) -> Var {
         let logits = Self::edge_logits(tape, z, edges, sub.target_local, params);
         let gates = tape.sigmoid(logits);
-        let a_sub = tape.constant(sub.adjacency.clone());
+        let a_sub = tape.constant(sub.dense_adjacency());
         let masked = Self::masked_adjacency_from_gates(tape, a_sub, gates, edges);
         let gcn_params = model.insert_params_frozen(tape);
         let log_probs = model.log_probs_from_raw_adj_projected(tape, masked, xw1, &gcn_params);
@@ -340,7 +370,7 @@ impl PgExplainer {
             .iter()
             .filter_map(|&node| {
                 let sub = computation_subgraph(graph, node, config.hops, &[]);
-                let edges = SubgraphEdges::from_adjacency(&sub.adjacency);
+                let edges = SubgraphEdges::from_subgraph(&sub);
                 if edges.is_empty() {
                     return None;
                 }
@@ -401,7 +431,7 @@ impl Explainer for PgExplainer {
 
     fn explain_class(&self, model: &Gcn, graph: &Graph, target: usize, explained_class: usize) -> Explanation {
         let sub = computation_subgraph(graph, target, self.config.hops, &[]);
-        let edges = SubgraphEdges::from_adjacency(&sub.adjacency);
+        let edges = SubgraphEdges::from_subgraph(&sub);
         if edges.is_empty() {
             return Explanation::from_edge_weights(target, explained_class, vec![]);
         }
@@ -491,7 +521,7 @@ mod tests {
         for &(_, _, w) in &explanation.ranked_edges {
             assert!((0.0..=1.0).contains(&w));
         }
-        for v in graph.neighbors(target) {
+        for &v in graph.neighbors(target) {
             assert!(explanation.rank_of(target, v).is_some());
         }
     }

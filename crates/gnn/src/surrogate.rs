@@ -59,7 +59,7 @@ impl Surrogate {
 
         // Two-hop propagation as Ã·(Ã·X): two SpMMs at O(nnz·d) instead of the
         // dense Ã² materialization at O(n·nnz + n²·d).
-        let a2x = two_hop_features(&graph.to_csr().to_sparse(), graph.features());
+        let a2x = two_hop_features(&graph.csr().to_sparse(), graph.features());
         let labels: Vec<usize> = split.train.iter().map(|&i| graph.label(i)).collect();
 
         for _ in 0..config.epochs {
@@ -77,10 +77,10 @@ impl Surrogate {
         Self { w }
     }
 
-    /// Surrogate logits `Ã² X W` for an arbitrary (possibly perturbed) adjacency,
-    /// computed as `Ã·(Ã·(X W))` on the sparse core.
-    pub fn logits(&self, adjacency: &Matrix, features: &Matrix) -> Matrix {
-        let a_norm = geattack_graph::normalize_sparse(&SparseMatrix::from_dense(adjacency)).matrix;
+    /// Surrogate logits `Ã² X W` for an arbitrary (possibly perturbed) raw
+    /// sparse adjacency, computed as `Ã·(Ã·(X W))` on the sparse core.
+    pub fn logits(&self, raw_adjacency: &SparseMatrix, features: &Matrix) -> Matrix {
+        let a_norm = geattack_graph::normalize_sparse(raw_adjacency).matrix;
         let xw = features.matmul(&self.w);
         a_norm.spmm(&a_norm.spmm(&xw))
     }
@@ -97,7 +97,7 @@ impl Surrogate {
         if nodes.is_empty() {
             return 0.0;
         }
-        let logits = self.logits(graph.adjacency(), graph.features());
+        let logits = self.logits(&graph.csr().to_sparse(), graph.features());
         let correct = nodes
             .iter()
             .filter(|&&i| logits.argmax_row(i) == graph.label(i))
@@ -137,7 +137,7 @@ mod tests {
         let a = Surrogate::train(&graph, &split, &config);
         let b = Surrogate::train(&graph, &split, &config);
         assert!(a.w.approx_eq(&b.w, 0.0), "surrogate training must be deterministic");
-        let logits = a.logits(graph.adjacency(), graph.features());
+        let logits = a.logits(&graph.csr().to_sparse(), graph.features());
         assert_eq!(logits.shape(), (graph.num_nodes(), graph.num_classes()));
     }
 
@@ -155,14 +155,14 @@ mod tests {
                 ..Default::default()
             },
         );
-        let base = surrogate.logits(graph.adjacency(), graph.features());
+        let base = surrogate.logits(&graph.csr().to_sparse(), graph.features());
         // Add an edge incident to node 0 and confirm its logits move.
         let mut perturbed = graph.clone();
         let other = (0..graph.num_nodes())
             .find(|&j| j != 0 && !graph.has_edge(0, j))
             .unwrap();
         perturbed.add_edge(0, other);
-        let after = surrogate.logits(perturbed.adjacency(), perturbed.features());
+        let after = surrogate.logits(&perturbed.csr().to_sparse(), perturbed.features());
         let delta: f64 = base.row(0).iter().zip(after.row(0)).map(|(a, b)| (a - b).abs()).sum();
         assert!(delta > 1e-9, "surrogate logits must respond to adjacency edits");
     }

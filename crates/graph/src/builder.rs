@@ -1,0 +1,109 @@
+//! Incremental edge-list builder for graph generators.
+//!
+//! Every synthetic generator (the citation stand-ins and the scenario families)
+//! grows a graph edge by edge, interleaving RNG draws with adjacency membership
+//! queries. Before the CSR-native refactor they did this on a dense `n x n`
+//! matrix — `O(n²)` memory, which caps generation around a few thousand nodes.
+//! [`GraphBuilder`] provides the same query surface (membership, degree,
+//! ascending neighbor lists) on sorted per-node neighbor vectors, so the
+//! generators produce *identical* graphs for identical RNG streams while
+//! scaling to hundreds of thousands of nodes.
+
+use crate::csr::Csr;
+
+/// Adjacency-only graph under construction: sorted neighbor vectors plus a
+/// degree cache.
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    neighbors: Vec<Vec<usize>>,
+    num_edges: usize,
+}
+
+impl GraphBuilder {
+    /// An empty graph on `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Self {
+            neighbors: vec![Vec::new(); n],
+            num_edges: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Number of undirected edges added so far.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Returns `true` if the undirected edge `(u, v)` is present.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.neighbors[u].binary_search(&v).is_ok()
+    }
+
+    /// Degree of `u`.
+    pub fn degree(&self, u: usize) -> usize {
+        self.neighbors[u].len()
+    }
+
+    /// Neighbors of `u` in ascending order.
+    pub fn neighbors(&self, u: usize) -> &[usize] {
+        &self.neighbors[u]
+    }
+
+    /// Adds the undirected edge `(u, v)`. Self loops and duplicates are ignored
+    /// (returning `false`), matching the dense generators' `adj[(u,v)] < 0.5`
+    /// guard semantics.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> bool {
+        if u == v {
+            return false;
+        }
+        let Err(pos_u) = self.neighbors[u].binary_search(&v) else {
+            return false;
+        };
+        self.neighbors[u].insert(pos_u, v);
+        let pos_v = self.neighbors[v]
+            .binary_search(&u)
+            .expect_err("builder adjacency out of sync");
+        self.neighbors[v].insert(pos_v, u);
+        self.num_edges += 1;
+        true
+    }
+
+    /// Finishes construction, producing the CSR adjacency directly (no edge-list
+    /// round trip — the neighbor vectors are already sorted and deduplicated).
+    pub fn into_csr(self) -> Csr {
+        let mut indptr = Vec::with_capacity(self.neighbors.len() + 1);
+        let mut indices = Vec::with_capacity(2 * self.num_edges);
+        indptr.push(0);
+        for set in &self.neighbors {
+            indices.extend_from_slice(set);
+            indptr.push(indices.len());
+        }
+        Csr::from_parts(indptr, indices)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_matches_from_edges() {
+        let mut b = GraphBuilder::new(5);
+        assert!(b.add_edge(0, 1));
+        assert!(b.add_edge(3, 1));
+        assert!(!b.add_edge(1, 0), "duplicate ignored");
+        assert!(!b.add_edge(2, 2), "self loop ignored");
+        assert!(b.add_edge(4, 3));
+        assert_eq!(b.num_edges(), 3);
+        assert_eq!(b.degree(1), 2);
+        assert_eq!(b.neighbors(1), &[0, 3]);
+        assert!(b.has_edge(3, 4));
+        assert!(!b.has_edge(0, 4));
+        let csr = b.into_csr();
+        assert_eq!(csr, Csr::from_edges(5, &[(0, 1), (1, 3), (3, 4)]));
+    }
+}

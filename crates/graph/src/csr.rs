@@ -1,8 +1,11 @@
 //! Compressed sparse row adjacency storage.
 //!
-//! The attacks and the GCN operate on a dense adjacency matrix (they need gradients
-//! with respect to every potential edge), but graph-traversal style preprocessing
-//! (connected components, k-hop neighbourhoods) is much cheaper on a CSR view.
+//! Since the CSR-native refactor this is the *primary* adjacency representation:
+//! [`crate::graph::Graph`] owns a `Csr` and the sparse compute core consumes it
+//! through [`Csr::to_sparse`]. Graph-traversal preprocessing (connected
+//! components, k-hop neighbourhoods) runs directly on the structure, and the
+//! attack loops edit it in place through [`Csr::insert_edge`] /
+//! [`Csr::remove_edge`] instead of round-tripping through a dense matrix.
 
 use geattack_tensor::{Matrix, SparseMatrix};
 
@@ -39,6 +42,25 @@ impl Csr {
             indptr.push(indices.len());
         }
         Self { indptr, indices }
+    }
+
+    /// Builds a CSR structure directly from its index arrays. The caller must
+    /// supply a valid symmetric structure: per-node neighbor runs sorted
+    /// ascending with no duplicates or self loops (checked in debug builds).
+    pub(crate) fn from_parts(indptr: Vec<usize>, indices: Vec<usize>) -> Self {
+        debug_assert!(!indptr.is_empty() && indptr[0] == 0);
+        debug_assert_eq!(*indptr.last().unwrap(), indices.len());
+        let csr = Self { indptr, indices };
+        #[cfg(debug_assertions)]
+        for u in 0..csr.num_nodes() {
+            let row = csr.neighbors(u);
+            debug_assert!(row.windows(2).all(|w| w[0] < w[1]), "row {u} not strictly ascending");
+            debug_assert!(row.binary_search(&u).is_err(), "self loop on {u}");
+            for &v in row {
+                debug_assert!(csr.neighbors(v).binary_search(&u).is_ok(), "asymmetric at ({u},{v})");
+            }
+        }
+        csr
     }
 
     /// Builds a CSR structure from a dense, symmetric 0/1 adjacency matrix.
@@ -79,6 +101,104 @@ impl Csr {
     /// Returns `true` if `u` and `v` are adjacent.
     pub fn has_edge(&self, u: usize, v: usize) -> bool {
         self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// All undirected edges as `(u, v)` pairs with `u < v`, in ascending order.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::with_capacity(self.num_edges());
+        for u in 0..self.num_nodes() {
+            let from = self.indptr[u] + self.neighbors(u).partition_point(|&v| v <= u);
+            for &v in &self.indices[from..self.indptr[u + 1]] {
+                out.push((u, v));
+            }
+        }
+        out
+    }
+
+    /// Inserts the undirected edge `(u, v)` by patching the index arrays in
+    /// place (no rebuild). Returns `false` if the edge already exists or
+    /// `u == v`. Cost is `O(nnz)` worst case for the two `Vec` insertions —
+    /// far below the `O(n²)` of a dense round-trip.
+    pub fn insert_edge(&mut self, u: usize, v: usize) -> bool {
+        let n = self.num_nodes();
+        assert!(u < n && v < n, "edge ({u},{v}) out of bounds for {n} nodes");
+        if u == v {
+            return false;
+        }
+        let Err(pos_u) = self.neighbors(u).binary_search(&v) else {
+            return false;
+        };
+        let pos_v = self
+            .neighbors(v)
+            .binary_search(&u)
+            .expect_err("adjacency must be symmetric");
+        let at_u = self.indptr[u] + pos_u;
+        let at_v = self.indptr[v] + pos_v;
+        // Insert at the larger absolute offset first so the smaller one stays
+        // valid. The offsets tie when every row between u and v is empty (end
+        // of the earlier row == start of the later row); the later row's entry
+        // must then go in first so it ends up to the right of the earlier row's.
+        if (at_u, u) > (at_v, v) {
+            self.indices.insert(at_u, v);
+            self.indices.insert(at_v, u);
+        } else {
+            self.indices.insert(at_v, u);
+            self.indices.insert(at_u, v);
+        }
+        let (lo, hi) = (u.min(v), u.max(v));
+        for p in &mut self.indptr[(lo + 1)..=hi] {
+            *p += 1;
+        }
+        for p in &mut self.indptr[(hi + 1)..] {
+            *p += 2;
+        }
+        true
+    }
+
+    /// Removes the undirected edge `(u, v)` by patching the index arrays in
+    /// place. Returns `false` if the edge does not exist.
+    pub fn remove_edge(&mut self, u: usize, v: usize) -> bool {
+        if u == v {
+            return false;
+        }
+        let Ok(pos_u) = self.neighbors(u).binary_search(&v) else {
+            return false;
+        };
+        let pos_v = self
+            .neighbors(v)
+            .binary_search(&u)
+            .expect("adjacency must be symmetric");
+        let at_u = self.indptr[u] + pos_u;
+        let at_v = self.indptr[v] + pos_v;
+        // Remove at the larger absolute offset first so the smaller one stays valid.
+        if at_u >= at_v {
+            self.indices.remove(at_u);
+            self.indices.remove(at_v);
+        } else {
+            self.indices.remove(at_v);
+            self.indices.remove(at_u);
+        }
+        let (lo, hi) = (u.min(v), u.max(v));
+        for p in &mut self.indptr[(lo + 1)..=hi] {
+            *p -= 1;
+        }
+        for p in &mut self.indptr[(hi + 1)..] {
+            *p -= 2;
+        }
+        true
+    }
+
+    /// Materializes the dense 0/1 adjacency matrix (tests and the
+    /// `dense-oracle` escape hatch only — `O(n²)` memory).
+    pub fn to_dense(&self) -> Matrix {
+        let n = self.num_nodes();
+        let mut adj = Matrix::zeros(n, n);
+        for u in 0..n {
+            for &v in self.neighbors(u) {
+                adj[(u, v)] = 1.0;
+            }
+        }
+        adj
     }
 
     /// Connected components as a label per node (labels are 0..num_components).
@@ -196,6 +316,25 @@ mod tests {
         assert_eq!(comp[3], comp[4]);
         assert_ne!(comp[0], comp[3]);
         assert_ne!(comp[2], comp[0]);
+    }
+
+    #[test]
+    fn incremental_edits_match_rebuild() {
+        let mut csr = path_graph(5);
+        assert!(csr.insert_edge(0, 4));
+        assert!(!csr.insert_edge(4, 0), "duplicate insert rejected");
+        assert!(!csr.insert_edge(2, 2), "self loop rejected");
+        assert!(csr.remove_edge(1, 2));
+        assert!(!csr.remove_edge(1, 2), "absent edge rejected");
+        let rebuilt = Csr::from_edges(5, &[(0, 1), (2, 3), (3, 4), (0, 4)]);
+        assert_eq!(csr, rebuilt);
+        assert_eq!(csr.edges(), vec![(0, 1), (0, 4), (2, 3), (3, 4)]);
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let csr = Csr::from_edges(4, &[(0, 1), (1, 3), (2, 3)]);
+        assert_eq!(Csr::from_dense(&csr.to_dense()), csr);
     }
 
     #[test]

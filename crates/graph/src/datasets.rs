@@ -26,6 +26,7 @@ use serde::{Deserialize, Serialize};
 
 use geattack_tensor::Matrix;
 
+use crate::builder::GraphBuilder;
 use crate::family::{stream_seed, topic_features, FamilyConfig, GraphFamily};
 use crate::graph::Graph;
 use crate::preprocess::largest_connected_component;
@@ -184,24 +185,23 @@ pub fn generate(spec: &DatasetSpec, config: &GeneratorConfig) -> Graph {
     let mut labels: Vec<usize> = (0..n).map(|i| i % classes).collect();
     labels.shuffle(&mut rng);
 
-    let adj = generate_edges(n, target_edges, &labels, spec.homophily, &mut rng);
+    let builder = generate_edges(n, target_edges, &labels, spec.homophily, &mut rng);
     let features = generate_features(n, d, classes, &labels, config, &mut rng);
 
-    Graph::new(adj, features, labels, classes)
+    Graph::from_csr(builder.into_csr(), features, labels, classes)
 }
 
 /// Degree-corrected planted-partition edges: nodes are processed in random order
 /// and attach preferentially to already-popular nodes; the partner's class is the
 /// node's own class with probability `homophily`.
-fn generate_edges(n: usize, target_edges: usize, labels: &[usize], homophily: f64, rng: &mut impl Rng) -> Matrix {
+fn generate_edges(n: usize, target_edges: usize, labels: &[usize], homophily: f64, rng: &mut impl Rng) -> GraphBuilder {
     let classes = labels.iter().copied().max().unwrap_or(0) + 1;
     let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); classes];
     for (i, &c) in labels.iter().enumerate() {
         by_class[c].push(i);
     }
 
-    let mut adj = Matrix::zeros(n, n);
-    let mut degree = vec![0usize; n];
+    let mut adj = GraphBuilder::new(n);
     let mut edges = 0usize;
 
     let mut order: Vec<usize> = (0..n).collect();
@@ -214,8 +214,8 @@ fn generate_edges(n: usize, target_edges: usize, labels: &[usize], homophily: f6
         let u = order[w];
         let placed = &order[..w];
         let same_class = rng.gen::<f64>() < homophily;
-        let v = pick_partner(placed, labels, labels[u], same_class, &degree, rng);
-        if add_edge(&mut adj, &mut degree, u, v) {
+        let v = pick_partner(placed, labels, labels[u], same_class, &adj, rng);
+        if adj.add_edge(u, v) {
             edges += 1;
         }
     }
@@ -236,8 +236,8 @@ fn generate_edges(n: usize, target_edges: usize, labels: &[usize], homophily: f6
         if pool.len() < 2 {
             continue;
         }
-        let v = pick_partner(pool, labels, labels[u], same_class, &degree, rng);
-        if add_edge(&mut adj, &mut degree, u, v) {
+        let v = pick_partner(pool, labels, labels[u], same_class, &adj, rng);
+        if adj.add_edge(u, v) {
             edges += 1;
         }
     }
@@ -252,7 +252,7 @@ fn pick_partner(
     labels: &[usize],
     class: usize,
     same_class: bool,
-    degree: &[usize],
+    adj: &GraphBuilder,
     rng: &mut impl Rng,
 ) -> usize {
     let matching: Vec<usize> = if same_class {
@@ -264,22 +264,11 @@ fn pick_partner(
     let mut best = candidates[rng.gen_range(0..candidates.len())];
     for _ in 0..2 {
         let cand = candidates[rng.gen_range(0..candidates.len())];
-        if degree[cand] > degree[best] {
+        if adj.degree(cand) > adj.degree(best) {
             best = cand;
         }
     }
     best
-}
-
-fn add_edge(adj: &mut Matrix, degree: &mut [usize], u: usize, v: usize) -> bool {
-    if u == v || adj[(u, v)] > 0.5 {
-        return false;
-    }
-    adj[(u, v)] = 1.0;
-    adj[(v, u)] = 1.0;
-    degree[u] += 1;
-    degree[v] += 1;
-    true
 }
 
 /// Sparse bag-of-words features: the vocabulary is partitioned into per-class
@@ -420,7 +409,7 @@ mod tests {
     fn load_returns_connected_graph() {
         let cfg = GeneratorConfig::at_scale(0.12, 5);
         let g = load(DatasetName::Cora, &cfg);
-        let comps = g.to_csr().connected_components();
+        let comps = g.csr().connected_components();
         assert!(comps.iter().all(|&c| c == comps[0]), "LCC must be connected");
         assert!(g.num_nodes() > 100);
     }
@@ -431,7 +420,7 @@ mod tests {
         let a = generate(&DatasetName::Citeseer.spec(), &cfg);
         let b = generate(&DatasetName::Citeseer.spec(), &cfg);
         assert_eq!(a.num_edges(), b.num_edges());
-        assert!(a.adjacency().approx_eq(b.adjacency(), 0.0));
+        assert_eq!(a.csr(), b.csr());
         assert!(a.features().approx_eq(b.features(), 0.0));
     }
 
@@ -442,7 +431,7 @@ mod tests {
         assert_eq!(family.dataset(), DatasetName::Cora);
         let via_family = family.generate(&FamilyConfig::new(0.1, 42));
         let direct = generate(&DatasetName::Cora.spec(), &GeneratorConfig::at_scale(0.1, 42));
-        assert!(via_family.adjacency().approx_eq(direct.adjacency(), 0.0));
+        assert_eq!(via_family.csr(), direct.csr());
         assert!(via_family.features().approx_eq(direct.features(), 0.0));
         assert_eq!(via_family.labels(), direct.labels());
         // The default `load` applies the same LCC preprocessing as `datasets::load`.

@@ -1,25 +1,35 @@
 //! The central attributed-graph type used across the workspace.
 
+use std::collections::HashSet;
+
 use geattack_tensor::Matrix;
 
 use crate::csr::Csr;
 
 /// An undirected attributed graph `G = (A, X, y)`.
 ///
-/// The adjacency matrix is stored densely because every attack in the paper needs
-/// gradients (or scores) for *potential* edges, i.e. for the dense complement of
-/// the edge set. Node features are a dense `n x d` matrix and every node carries a
-/// class label in `0..n_classes`.
+/// The adjacency lives as CSR ([`Csr`]) plus a canonical edge-set hash index
+/// for `O(1)` membership tests — the sparse compute core and the traversal
+/// preprocessing both consume the CSR directly, so nothing `O(n²)` is stored.
+/// Node features are a dense `n x d` matrix and every node carries a class
+/// label in `0..n_classes`. [`Graph::to_dense`] materializes the dense
+/// adjacency for the `dense-oracle` feature and for tests.
 #[derive(Clone, Debug)]
 pub struct Graph {
-    adj: Matrix,
+    csr: Csr,
+    edge_set: HashSet<(usize, usize)>,
     features: Matrix,
     labels: Vec<usize>,
     n_classes: usize,
 }
 
+fn canonical_edge(u: usize, v: usize) -> (usize, usize) {
+    (u.min(v), u.max(v))
+}
+
 impl Graph {
-    /// Creates a graph from its parts.
+    /// Creates a graph from a dense adjacency matrix (tests and small fixtures;
+    /// the generators use [`Graph::from_edges`]).
     ///
     /// # Panics
     /// Panics if the adjacency matrix is not square/symmetric/0-1, if the feature
@@ -27,12 +37,6 @@ impl Graph {
     pub fn new(adj: Matrix, features: Matrix, labels: Vec<usize>, n_classes: usize) -> Self {
         let n = adj.rows();
         assert_eq!(adj.cols(), n, "adjacency matrix must be square");
-        assert_eq!(features.rows(), n, "feature rows must match node count");
-        assert_eq!(labels.len(), n, "label count must match node count");
-        assert!(n_classes > 0, "need at least one class");
-        for (i, &l) in labels.iter().enumerate() {
-            assert!(l < n_classes, "label {l} of node {i} out of range");
-        }
         for i in 0..n {
             assert_eq!(adj[(i, i)], 0.0, "self loop on node {i}; strip self loops first");
             for j in 0..n {
@@ -41,8 +45,42 @@ impl Graph {
                 assert_eq!(v, adj[(j, i)], "adjacency must be symmetric at ({i},{j})");
             }
         }
+        Self::from_csr(Csr::from_dense(&adj), features, labels, n_classes)
+    }
+
+    /// Creates a graph from an undirected edge list over `n` nodes. Each
+    /// `(u, v)` pair is inserted in both directions; duplicates and self loops
+    /// are ignored (matching [`Csr::from_edges`]).
+    ///
+    /// # Panics
+    /// Panics on out-of-bounds edges, mismatched feature/label counts, or
+    /// out-of-range labels.
+    pub fn from_edges(
+        n: usize,
+        edges: &[(usize, usize)],
+        features: Matrix,
+        labels: Vec<usize>,
+        n_classes: usize,
+    ) -> Self {
+        Self::from_csr(Csr::from_edges(n, edges), features, labels, n_classes)
+    }
+
+    /// Creates a graph directly from a CSR adjacency.
+    ///
+    /// # Panics
+    /// Panics on mismatched feature/label counts or out-of-range labels.
+    pub fn from_csr(csr: Csr, features: Matrix, labels: Vec<usize>, n_classes: usize) -> Self {
+        let n = csr.num_nodes();
+        assert_eq!(features.rows(), n, "feature rows must match node count");
+        assert_eq!(labels.len(), n, "label count must match node count");
+        assert!(n_classes > 0, "need at least one class");
+        for (i, &l) in labels.iter().enumerate() {
+            assert!(l < n_classes, "label {l} of node {i} out of range");
+        }
+        let edge_set: HashSet<(usize, usize)> = csr.edges().into_iter().collect();
         Self {
-            adj,
+            csr,
+            edge_set,
             features,
             labels,
             n_classes,
@@ -51,12 +89,12 @@ impl Graph {
 
     /// Number of nodes.
     pub fn num_nodes(&self) -> usize {
-        self.adj.rows()
+        self.csr.num_nodes()
     }
 
     /// Number of undirected edges.
     pub fn num_edges(&self) -> usize {
-        (self.adj.sum() / 2.0).round() as usize
+        self.csr.num_edges()
     }
 
     /// Feature dimensionality.
@@ -69,9 +107,15 @@ impl Graph {
         self.n_classes
     }
 
-    /// Dense adjacency matrix.
-    pub fn adjacency(&self) -> &Matrix {
-        &self.adj
+    /// The CSR adjacency (a borrow — the graph owns exactly one copy).
+    pub fn csr(&self) -> &Csr {
+        &self.csr
+    }
+
+    /// Materializes the dense adjacency matrix. `O(n²)` — escape hatch for the
+    /// `dense-oracle` feature and for tests, never on a hot path.
+    pub fn to_dense(&self) -> Matrix {
+        self.csr.to_dense()
     }
 
     /// Node feature matrix (`n x d`).
@@ -91,58 +135,46 @@ impl Graph {
 
     /// Degree of `node` (number of incident edges).
     pub fn degree(&self, node: usize) -> usize {
-        self.adj.row(node).iter().filter(|&&v| v > 0.5).count()
+        self.csr.degree(node)
     }
 
     /// Neighbors of `node` in ascending order.
-    pub fn neighbors(&self, node: usize) -> Vec<usize> {
-        self.adj
-            .row(node)
-            .iter()
-            .enumerate()
-            .filter(|(_, &v)| v > 0.5)
-            .map(|(j, _)| j)
-            .collect()
+    pub fn neighbors(&self, node: usize) -> &[usize] {
+        self.csr.neighbors(node)
     }
 
-    /// Returns `true` if `(u, v)` is an edge.
+    /// Returns `true` if `(u, v)` is an edge (`O(1)` via the edge-set index).
     pub fn has_edge(&self, u: usize, v: usize) -> bool {
-        self.adj[(u, v)] > 0.5
+        self.edge_set.contains(&canonical_edge(u, v))
     }
 
-    /// Adds the undirected edge `(u, v)`. Returns `false` if it already existed or
-    /// `u == v`.
+    /// Adds the undirected edge `(u, v)`, patching the CSR in place. Returns
+    /// `false` if it already existed or `u == v`.
     pub fn add_edge(&mut self, u: usize, v: usize) -> bool {
         if u == v || self.has_edge(u, v) {
             return false;
         }
-        self.adj[(u, v)] = 1.0;
-        self.adj[(v, u)] = 1.0;
+        let inserted = self.csr.insert_edge(u, v);
+        debug_assert!(inserted, "edge set and CSR out of sync at ({u},{v})");
+        self.edge_set.insert(canonical_edge(u, v));
         true
     }
 
-    /// Removes the undirected edge `(u, v)`. Returns `false` if it did not exist.
+    /// Removes the undirected edge `(u, v)`, patching the CSR in place.
+    /// Returns `false` if it did not exist.
     pub fn remove_edge(&mut self, u: usize, v: usize) -> bool {
         if !self.has_edge(u, v) {
             return false;
         }
-        self.adj[(u, v)] = 0.0;
-        self.adj[(v, u)] = 0.0;
+        let removed = self.csr.remove_edge(u, v);
+        debug_assert!(removed, "edge set and CSR out of sync at ({u},{v})");
+        self.edge_set.remove(&canonical_edge(u, v));
         true
     }
 
-    /// All undirected edges as `(u, v)` with `u < v`.
+    /// All undirected edges as `(u, v)` with `u < v`, in ascending order.
     pub fn edges(&self) -> Vec<(usize, usize)> {
-        let n = self.num_nodes();
-        let mut out = Vec::with_capacity(self.num_edges());
-        for u in 0..n {
-            for v in (u + 1)..n {
-                if self.has_edge(u, v) {
-                    out.push((u, v));
-                }
-            }
-        }
-        out
+        self.csr.edges()
     }
 
     /// All nodes with the given label.
@@ -153,11 +185,6 @@ impl Graph {
             .filter(|(_, &l)| l == label)
             .map(|(i, _)| i)
             .collect()
-    }
-
-    /// CSR view of the current adjacency (rebuilt on demand).
-    pub fn to_csr(&self) -> Csr {
-        Csr::from_dense(&self.adj)
     }
 
     /// Fraction of edges whose endpoints share a label (edge homophily).
@@ -177,23 +204,26 @@ impl Graph {
 
     /// Builds a new graph keeping only `nodes` (in the given order), remapping
     /// edges, features and labels. Returns the new graph; the mapping from old to
-    /// new ids is simply `nodes[i] -> i`.
+    /// new ids is simply `nodes[i] -> i`. Runs in `O(Σ degree)` over the kept
+    /// nodes — no dense materialization.
     pub fn induced_subgraph(&self, nodes: &[usize]) -> Graph {
         let k = nodes.len();
-        let mut adj = Matrix::zeros(k, k);
+        let mut to_local = vec![usize::MAX; self.num_nodes()];
         for (a, &u) in nodes.iter().enumerate() {
-            for (b, &v) in nodes.iter().enumerate() {
-                adj[(a, b)] = self.adj[(u, v)];
+            to_local[u] = a;
+        }
+        let mut edges = Vec::new();
+        for (a, &u) in nodes.iter().enumerate() {
+            for &v in self.csr.neighbors(u) {
+                let b = to_local[v];
+                if b != usize::MAX && a < b {
+                    edges.push((a, b));
+                }
             }
         }
         let features = self.features.gather_rows(nodes);
         let labels = nodes.iter().map(|&u| self.labels[u]).collect();
-        Graph {
-            adj,
-            features,
-            labels,
-            n_classes: self.n_classes,
-        }
+        Graph::from_edges(k, &edges, features, labels, self.n_classes)
     }
 }
 
@@ -220,7 +250,22 @@ mod tests {
         assert_eq!(g.num_classes(), 2);
         assert_eq!(g.degree(0), 2);
         assert_eq!(g.degree(3), 0);
-        assert_eq!(g.neighbors(1), vec![0, 2]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn from_edges_matches_dense_construction() {
+        let dense = triangle_plus_isolated();
+        let sparse = Graph::from_edges(
+            4,
+            &[(0, 1), (1, 2), (0, 2), (2, 1)],
+            Matrix::from_fn(4, 3, |i, j| (i * 3 + j) as f64),
+            vec![0, 0, 1, 1],
+            2,
+        );
+        assert_eq!(sparse.csr(), dense.csr());
+        assert_eq!(sparse.edges(), dense.edges());
+        assert!(sparse.to_dense().approx_eq(&dense.to_dense(), 0.0));
     }
 
     #[test]
@@ -233,6 +278,23 @@ mod tests {
         assert!(g.remove_edge(3, 0));
         assert!(!g.has_edge(0, 3));
         assert!(!g.remove_edge(0, 3));
+    }
+
+    #[test]
+    fn incremental_edits_match_rebuilt_graph() {
+        let mut g = triangle_plus_isolated();
+        g.add_edge(1, 3);
+        g.remove_edge(0, 2);
+        let rebuilt = Graph::from_edges(
+            4,
+            &[(0, 1), (1, 2), (1, 3)],
+            g.features().clone(),
+            g.labels().to_vec(),
+            2,
+        );
+        assert_eq!(g.csr(), rebuilt.csr());
+        assert_eq!(g.edges(), rebuilt.edges());
+        assert_eq!(g.degree(1), 3);
     }
 
     #[test]

@@ -3,14 +3,18 @@
 //! Graph data structures, preprocessing and synthetic benchmark datasets for the
 //! GEAttack reproduction.
 //!
-//! The central type is [`graph::Graph`]: a dense-adjacency attributed graph
-//! `G = (A, X, y)`. Supporting modules provide CSR traversal ([`csr`]), largest
-//! connected-component extraction and GCN normalization ([`preprocess`]),
-//! computation-subgraph extraction for explainers ([`subgraph`]), node splits
-//! ([`split`]), the pluggable [`family::GraphFamily`] generator trait,
-//! synthetic CITESEER/CORA/ACM-like datasets ([`datasets`]) and adversarial
-//! perturbation bookkeeping ([`perturb`]).
+//! The central type is [`graph::Graph`]: a CSR-native attributed graph
+//! `G = (A, X, y)` whose adjacency is stored sparse end to end (a dense matrix
+//! is only materialized through the [`graph::Graph::to_dense`] escape hatch).
+//! Supporting modules provide the CSR structure itself ([`csr`]), the
+//! incremental generator builder ([`builder`]), largest connected-component
+//! extraction and GCN normalization ([`preprocess`]), computation-subgraph
+//! extraction for explainers ([`subgraph`]), node splits ([`split`]), the
+//! pluggable [`family::GraphFamily`] generator trait, synthetic
+//! CITESEER/CORA/ACM-like datasets ([`datasets`]) and adversarial perturbation
+//! bookkeeping ([`perturb`]).
 
+pub mod builder;
 pub mod csr;
 pub mod datasets;
 pub mod family;
@@ -20,6 +24,7 @@ pub mod preprocess;
 pub mod split;
 pub mod subgraph;
 
+pub use builder::GraphBuilder;
 pub use csr::Csr;
 pub use datasets::{CitationFamily, DatasetName, DatasetSpec, GeneratorConfig};
 pub use family::{FamilyConfig, GraphFamily};

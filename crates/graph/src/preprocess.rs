@@ -15,8 +15,7 @@ use crate::graph::Graph;
 /// components are broken in favour of the component containing the smallest node
 /// id, which makes the operation deterministic.
 pub fn largest_connected_component(graph: &Graph) -> (Graph, Vec<usize>) {
-    let csr = graph.to_csr();
-    let comps = csr.connected_components();
+    let comps = graph.csr().connected_components();
     let n_comp = comps.iter().copied().max().map_or(0, |m| m + 1);
     let mut sizes = vec![0usize; n_comp];
     for &c in &comps {
@@ -30,9 +29,10 @@ pub fn largest_connected_component(graph: &Graph) -> (Graph, Vec<usize>) {
 }
 
 /// Symmetric GCN normalization `Ã = D^{-1/2}(A + I)D^{-1/2}` of a graph's
-/// adjacency matrix, as a concrete matrix.
+/// adjacency matrix, as a concrete dense matrix (`O(n²)` — the `dense-oracle`
+/// path; the sparse pipeline uses [`normalized_adjacency_csr`]).
 pub fn normalized_adjacency(graph: &Graph) -> Matrix {
-    nn::gcn_normalize_matrix(graph.adjacency())
+    nn::gcn_normalize_matrix(&graph.to_dense())
 }
 
 /// The sparse GCN-normalized adjacency plus the degree data the attacks'
@@ -111,7 +111,7 @@ pub fn normalize_sparse(raw: &SparseMatrix) -> SparseNormalized {
 /// Sparse counterpart of [`normalized_adjacency`]: `Ã` in CSR form with degree
 /// data, built through the traversal CSR.
 pub fn normalized_adjacency_csr(graph: &Graph) -> SparseNormalized {
-    normalize_sparse(&graph.to_csr().to_sparse())
+    normalize_sparse(&graph.csr().to_sparse())
 }
 
 /// Per-node degree vector.

@@ -3,25 +3,33 @@
 //! For an `L`-layer GCN the prediction of a node only depends on its `L`-hop
 //! neighbourhood. GNNExplainer (and therefore GEAttack's inner loop) follows the
 //! reference implementation and optimizes the edge mask on this *computation
-//! subgraph* rather than the full graph, which keeps dense mask optimization cheap
+//! subgraph* rather than the full graph, which keeps mask optimization cheap
 //! without changing the result.
 
 use std::collections::HashMap;
 
 use geattack_tensor::Matrix;
 
+use crate::csr::Csr;
 use crate::graph::Graph;
 
 /// A node-induced subgraph with bookkeeping to translate between local and global
 /// node ids.
+///
+/// The local adjacency is stored as CSR; callers that need the dense `k x k`
+/// matrix (the dense-compat explainer path and small fixtures) materialize it
+/// once via [`ComputationSubgraph::dense_adjacency`]. At 100k-node scales the
+/// 2-hop neighbourhood of a hub can span tens of thousands of nodes, where the
+/// dense matrix would be multi-gigabyte — the CSR stays proportional to the
+/// local edge count.
 #[derive(Clone, Debug)]
 pub struct ComputationSubgraph {
     /// Original (global) node id of every local node, ascending.
     pub nodes: Vec<usize>,
     /// Map from global node id to local index.
     pub global_to_local: HashMap<usize, usize>,
-    /// Local dense adjacency (`k x k`).
-    pub adjacency: Matrix,
+    /// Local adjacency in CSR form (`k` nodes).
+    pub csr: Csr,
     /// Local feature matrix (`k x d`).
     pub features: Matrix,
     /// Local index of the target node the subgraph was built around.
@@ -32,6 +40,18 @@ impl ComputationSubgraph {
     /// Number of nodes in the subgraph.
     pub fn num_nodes(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Number of undirected edges in the subgraph.
+    pub fn num_edges(&self) -> usize {
+        self.csr.num_edges()
+    }
+
+    /// Materializes the local dense adjacency (`k x k`). `O(k²)` — hoist the
+    /// call outside optimization loops, and avoid it entirely on huge
+    /// neighbourhoods (use [`ComputationSubgraph::csr`] instead).
+    pub fn dense_adjacency(&self) -> Matrix {
+        self.csr.to_dense()
     }
 
     /// Translates a local node index back to the global id.
@@ -55,7 +75,7 @@ impl ComputationSubgraph {
 /// node set so their rows/columns exist in the local adjacency.
 pub fn computation_subgraph(graph: &Graph, target: usize, hops: usize, extra_nodes: &[usize]) -> ComputationSubgraph {
     assert!(target < graph.num_nodes(), "target {target} out of bounds");
-    let csr = graph.to_csr();
+    let csr = graph.csr();
     let mut nodes = csr.k_hop_nodes(&[target], hops);
     for &e in extra_nodes {
         assert!(e < graph.num_nodes(), "extra node {e} out of bounds");
@@ -68,19 +88,23 @@ pub fn computation_subgraph(graph: &Graph, target: usize, hops: usize, extra_nod
 
     let global_to_local: HashMap<usize, usize> = nodes.iter().enumerate().map(|(l, &g)| (g, l)).collect();
     let k = nodes.len();
-    let adj = graph.adjacency();
-    let mut local_adj = Matrix::zeros(k, k);
+    let mut local_edges = Vec::new();
     for (a, &u) in nodes.iter().enumerate() {
-        for (b, &v) in nodes.iter().enumerate() {
-            local_adj[(a, b)] = adj[(u, v)];
+        for &v in csr.neighbors(u) {
+            if let Some(&b) = global_to_local.get(&v) {
+                if a < b {
+                    local_edges.push((a, b));
+                }
+            }
         }
     }
+    let local_csr = Csr::from_edges(k, &local_edges);
     let features = graph.features().gather_rows(&nodes);
     let target_local = global_to_local[&target];
     ComputationSubgraph {
         nodes,
         global_to_local,
-        adjacency: local_adj,
+        csr: local_csr,
         features,
         target_local,
     }
@@ -107,8 +131,11 @@ mod tests {
         assert_eq!(sub.nodes, vec![1, 2, 3, 4, 5]);
         assert_eq!(sub.num_nodes(), 5);
         assert_eq!(sub.target_local, 2);
-        assert_eq!(sub.adjacency[(0, 1)], 1.0);
-        assert_eq!(sub.adjacency[(0, 2)], 0.0);
+        let adj = sub.dense_adjacency();
+        assert_eq!(adj[(0, 1)], 1.0);
+        assert_eq!(adj[(0, 2)], 0.0);
+        assert!(sub.csr.has_edge(0, 1));
+        assert!(!sub.csr.has_edge(0, 2));
         assert_eq!(sub.features.row(0), g.features().row(1));
     }
 
@@ -120,7 +147,8 @@ mod tests {
         assert_eq!(sub.to_local(6), Some(2));
         assert_eq!(sub.to_global(2), 6);
         // 6 is not connected to anything inside the subgraph.
-        assert_eq!(sub.adjacency.row(2), &[0.0, 0.0, 0.0]);
+        assert_eq!(sub.csr.degree(2), 0);
+        assert_eq!(sub.dense_adjacency().row(2), &[0.0, 0.0, 0.0]);
     }
 
     #[test]

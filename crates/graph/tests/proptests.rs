@@ -52,11 +52,41 @@ proptest! {
     #[test]
     fn graph_and_csr_agree(edges in edges_strategy()) {
         let graph = graph_from_edges(&edges);
-        let csr = graph.to_csr();
+        let csr = graph.csr();
         prop_assert_eq!(graph.num_edges(), csr.num_edges());
         for i in 0..N {
             prop_assert_eq!(graph.degree(i), csr.degree(i));
-            prop_assert_eq!(graph.neighbors(i), csr.neighbors(i).to_vec());
+            prop_assert_eq!(graph.neighbors(i), csr.neighbors(i));
+        }
+    }
+
+    #[test]
+    fn incremental_graph_edits_match_rebuild(
+        edges in edges_strategy(),
+        edits in proptest::collection::vec((0usize..N, 0usize..N, 0usize..2), 0..30),
+    ) {
+        // Random interleaved insert/remove sequence: the incrementally patched
+        // CSR must equal the CSR rebuilt from the surviving edge set.
+        let mut graph = graph_from_edges(&edges);
+        let mut reference: std::collections::BTreeSet<(usize, usize)> =
+            graph.edges().into_iter().collect();
+        for (u, v, op) in edits {
+            let key = (u.min(v), u.max(v));
+            if op == 1 {
+                let changed = graph.add_edge(u, v);
+                prop_assert_eq!(changed, u != v && !reference.contains(&key));
+                if changed { reference.insert(key); }
+            } else {
+                let changed = graph.remove_edge(u, v);
+                prop_assert_eq!(changed, reference.remove(&key));
+            }
+        }
+        let survivors: Vec<(usize, usize)> = reference.iter().copied().collect();
+        let rebuilt = Csr::from_edges(N, &survivors);
+        prop_assert_eq!(graph.csr(), &rebuilt);
+        prop_assert_eq!(graph.edges(), survivors);
+        for i in 0..N {
+            prop_assert_eq!(graph.degree(i), rebuilt.degree(i));
         }
     }
 
@@ -67,7 +97,7 @@ proptest! {
         prop_assert!(lcc.num_nodes() <= graph.num_nodes());
         prop_assert_eq!(lcc.num_nodes(), nodes.len());
         if lcc.num_nodes() > 0 {
-            let comps = lcc.to_csr().connected_components();
+            let comps = lcc.csr().connected_components();
             prop_assert!(comps.iter().all(|&c| c == comps[0]), "LCC is not connected");
         }
     }
@@ -77,16 +107,19 @@ proptest! {
         let graph = graph_from_edges(&edges);
         let sub = computation_subgraph(&graph, target, 2, &[]);
         prop_assert_eq!(sub.to_global(sub.target_local), target);
-        // Every edge of the local adjacency must exist in the full graph.
+        // Every edge of the local adjacency must exist in the full graph, and
+        // the dense materialization agrees with the CSR.
+        let local_dense = sub.dense_adjacency();
         for a in 0..sub.num_nodes() {
             for b in 0..sub.num_nodes() {
-                if sub.adjacency[(a, b)] > 0.5 {
+                prop_assert_eq!(local_dense[(a, b)] > 0.5, sub.csr.has_edge(a, b));
+                if sub.csr.has_edge(a, b) {
                     prop_assert!(graph.has_edge(sub.to_global(a), sub.to_global(b)));
                 }
             }
         }
         // Every direct neighbor of the target must be present.
-        for v in graph.neighbors(target) {
+        for &v in graph.neighbors(target) {
             prop_assert!(sub.to_local(v).is_some());
         }
     }
@@ -136,9 +169,10 @@ proptest! {
     #[test]
     fn csr_to_sparse_round_trips_the_adjacency(edges in edges_strategy()) {
         let graph = graph_from_edges(&edges);
-        let sparse = graph.to_csr().to_sparse();
+        let sparse = graph.csr().to_sparse();
         let densified = sparse.to_dense();
-        prop_assert_eq!(densified.as_slice(), graph.adjacency().as_slice());
+        let dense = graph.to_dense();
+        prop_assert_eq!(densified.as_slice(), dense.as_slice());
         prop_assert_eq!(sparse.nnz(), 2 * graph.num_edges());
     }
 }

@@ -12,10 +12,9 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use geattack_graph::family::{stream_seed, topic_features, FamilyConfig, GraphFamily};
-use geattack_graph::Graph;
-use geattack_tensor::Matrix;
+use geattack_graph::{Graph, GraphBuilder};
 
-use super::feature_dim;
+use super::{feature_dim, DegreeTree};
 
 /// Number of classes: base node plus the three house roles.
 const CLASSES: usize = 4;
@@ -62,45 +61,36 @@ impl GraphFamily for BaShapes {
         let motifs = ((self.motifs as f64 * config.scale).round() as usize).max(4);
         let n = n_base + 5 * motifs;
 
-        let mut adj = Matrix::zeros(n, n);
-        let mut degree = vec![0usize; n];
-        let add = |adj: &mut Matrix, degree: &mut Vec<usize>, u: usize, v: usize| {
-            if u != v && adj[(u, v)] < 0.5 {
-                adj[(u, v)] = 1.0;
-                adj[(v, u)] = 1.0;
-                degree[u] += 1;
-                degree[v] += 1;
+        let mut builder = GraphBuilder::new(n);
+        let mut degree = DegreeTree::new(n);
+        let add = |builder: &mut GraphBuilder, degree: &mut DegreeTree, u: usize, v: usize| {
+            if builder.add_edge(u, v) {
+                degree.add(u, 1);
+                degree.add(v, 1);
             }
         };
 
         // Preferential-attachment base: seed clique of m+1 nodes, then each new
         // node attaches to `m` distinct existing nodes sampled proportionally to
-        // their current degree (roulette over the cumulative degree sum).
+        // their current degree (Fenwick roulette over the cumulative degree sum).
         let m = self.attach_edges.max(1).min(n_base - 1);
         for u in 0..=m {
             for v in 0..u {
-                add(&mut adj, &mut degree, u, v);
+                add(&mut builder, &mut degree, u, v);
             }
         }
         for u in (m + 1)..n_base {
             let mut chosen: Vec<usize> = Vec::with_capacity(m);
             while chosen.len() < m {
-                let total: usize = degree[..u].iter().sum();
-                let mut ticket = rng.gen_range(0..total.max(1));
-                let mut pick = 0;
-                for (v, &d) in degree[..u].iter().enumerate() {
-                    if ticket < d {
-                        pick = v;
-                        break;
-                    }
-                    ticket -= d;
-                }
+                let total = degree.prefix(u);
+                let ticket = rng.gen_range(0..total.max(1));
+                let pick = if total == 0 { 0 } else { degree.pick(ticket) };
                 if !chosen.contains(&pick) {
                     chosen.push(pick);
                 }
             }
             for v in chosen {
-                add(&mut adj, &mut degree, u, v);
+                add(&mut builder, &mut degree, u, v);
             }
         }
 
@@ -110,17 +100,17 @@ impl GraphFamily for BaShapes {
         for k in 0..motifs {
             let offset = n_base + 5 * k;
             for &(a, b) in &HOUSE_EDGES {
-                add(&mut adj, &mut degree, offset + a, offset + b);
+                add(&mut builder, &mut degree, offset + a, offset + b);
             }
             for (i, &role) in HOUSE_LABELS.iter().enumerate() {
                 labels[offset + i] = role;
             }
             let anchor = rng.gen_range(0..n_base);
-            add(&mut adj, &mut degree, offset + 3, anchor);
+            add(&mut builder, &mut degree, offset + 3, anchor);
         }
 
         let d = feature_dim(config.scale);
         let features = topic_features(n, d, CLASSES, &labels, 16, 0.85, &mut rng);
-        Graph::new(adj, features, labels, CLASSES)
+        Graph::from_csr(builder.into_csr(), features, labels, CLASSES)
     }
 }

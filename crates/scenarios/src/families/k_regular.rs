@@ -17,8 +17,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use geattack_graph::family::{stream_seed, topic_features, FamilyConfig, GraphFamily};
-use geattack_graph::Graph;
-use geattack_tensor::Matrix;
+use geattack_graph::{Graph, GraphBuilder};
 
 use super::feature_dim;
 
@@ -59,14 +58,10 @@ impl GraphFamily for KRegular {
         let n = ((self.nodes as f64 * config.scale).round() as usize).max(60);
         let cycles = (self.k / 2).max(1);
 
-        let mut adj = Matrix::zeros(n, n);
-        let add_cycle = |adj: &mut Matrix, order: &[usize]| {
+        let mut builder = GraphBuilder::new(n);
+        let add_cycle = |builder: &mut GraphBuilder, order: &[usize]| {
             for i in 0..order.len() {
-                let (u, v) = (order[i], order[(i + 1) % order.len()]);
-                if u != v {
-                    adj[(u, v)] = 1.0;
-                    adj[(v, u)] = 1.0;
-                }
+                builder.add_edge(order[i], order[(i + 1) % order.len()]);
             }
         };
 
@@ -76,19 +71,19 @@ impl GraphFamily for KRegular {
         // edges (rare for n ≥ 60) just lower two degrees by one, so the graph
         // is `k`-regular up to a handful of `k-1` nodes.
         let identity: Vec<usize> = (0..n).collect();
-        add_cycle(&mut adj, &identity);
+        add_cycle(&mut builder, &identity);
         for _ in 1..cycles {
             let mut order = identity.clone();
             for i in (1..n).rev() {
                 let j = rng.gen_range(0..i + 1);
                 order.swap(i, j);
             }
-            add_cycle(&mut adj, &order);
+            add_cycle(&mut builder, &order);
         }
 
         let labels: Vec<usize> = (0..n).map(|i| (i * self.classes) / n).collect();
         let d = feature_dim(config.scale);
         let features = topic_features(n, d, self.classes, &labels, 18, 0.85, &mut rng);
-        Graph::new(adj, features, labels, self.classes)
+        Graph::from_csr(builder.into_csr(), features, labels, self.classes)
     }
 }

@@ -14,16 +14,20 @@
 //! Labels are assigned by attachment wave (contiguous growth phases), so early
 //! high-degree nodes and late low-degree nodes carry different classes while
 //! features stay class-correlated through [`topic_features`].
+//!
+//! Generation is CSR-native: a [`GraphBuilder`] plus a [`DegreeTree`] replace
+//! the old dense matrix and linear roulette scan, so the `huge` preset grows
+//! 100k-node graphs in `O(n·m·log n)` time and `O(E)` memory while every
+//! existing preset stays byte-identical (same RNG stream, same picks).
 
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use geattack_graph::family::{stream_seed, topic_features, FamilyConfig, GraphFamily};
-use geattack_graph::Graph;
-use geattack_tensor::Matrix;
+use geattack_graph::{Graph, GraphBuilder};
 
-use super::feature_dim;
+use super::{feature_dim, DegreeTree};
 
 /// Holme–Kim generator. Reference scale: 500 nodes, 2 attachment edges per new
 /// node, 60% triad-formation probability, 4 growth-wave classes.
@@ -37,6 +41,9 @@ pub struct PowerlawCluster {
     pub triad: f64,
     /// Number of growth-wave classes.
     pub classes: usize,
+    /// Registry name (the registry also exposes the 100k-node `huge` preset as
+    /// a distinct family).
+    pub name: &'static str,
 }
 
 impl Default for PowerlawCluster {
@@ -46,13 +53,28 @@ impl Default for PowerlawCluster {
             attach_edges: 2,
             triad: 0.6,
             classes: 4,
+            name: "powerlaw-cluster",
+        }
+    }
+}
+
+impl PowerlawCluster {
+    /// The 100k-node preset, registered as `powerlaw-cluster-huge`. Same shape
+    /// parameters as the default family — only the reference node count grows,
+    /// exercising the sparse end-to-end path at a scale the dense core could
+    /// never hold in memory.
+    pub fn huge() -> Self {
+        Self {
+            nodes: 100_000,
+            name: "powerlaw-cluster-huge",
+            ..Self::default()
         }
     }
 }
 
 impl GraphFamily for PowerlawCluster {
     fn name(&self) -> &'static str {
-        "powerlaw-cluster"
+        self.name
     }
 
     fn reference_nodes(&self) -> usize {
@@ -64,14 +86,12 @@ impl GraphFamily for PowerlawCluster {
         let n = ((self.nodes as f64 * config.scale).round() as usize).max(60);
         let m = self.attach_edges.max(1).min(n - 1);
 
-        let mut adj = Matrix::zeros(n, n);
-        let mut degree = vec![0usize; n];
-        let add = |adj: &mut Matrix, degree: &mut Vec<usize>, u: usize, v: usize| -> bool {
-            if u != v && adj[(u, v)] < 0.5 {
-                adj[(u, v)] = 1.0;
-                adj[(v, u)] = 1.0;
-                degree[u] += 1;
-                degree[v] += 1;
+        let mut builder = GraphBuilder::new(n);
+        let mut degree = DegreeTree::new(n);
+        let add = |builder: &mut GraphBuilder, degree: &mut DegreeTree, u: usize, v: usize| -> bool {
+            if builder.add_edge(u, v) {
+                degree.add(u, 1);
+                degree.add(v, 1);
                 return true;
             }
             false
@@ -80,7 +100,7 @@ impl GraphFamily for PowerlawCluster {
         // Seed clique of m+1 nodes, as in the BA base.
         for u in 0..=m {
             for v in 0..u {
-                add(&mut adj, &mut degree, u, v);
+                add(&mut builder, &mut degree, u, v);
             }
         }
 
@@ -90,16 +110,14 @@ impl GraphFamily for PowerlawCluster {
         // attachment target (falling back to preferential attachment when
         // every such neighbour is already linked).
         for u in (m + 1)..n {
-            let preferential = |rng: &mut ChaCha8Rng, degree: &[usize], u: usize| -> usize {
-                let total: usize = degree[..u].iter().sum();
-                let mut ticket = rng.gen_range(0..total.max(1));
-                for (v, &d) in degree[..u].iter().enumerate() {
-                    if ticket < d {
-                        return v;
-                    }
-                    ticket -= d;
+            let preferential = |rng: &mut ChaCha8Rng, degree: &DegreeTree, u: usize| -> usize {
+                let total = degree.prefix(u);
+                let ticket = rng.gen_range(0..total.max(1));
+                if total == 0 {
+                    0
+                } else {
+                    degree.pick(ticket)
                 }
-                0
             };
             let mut last_target: Option<usize> = None;
             let mut attached = 0usize;
@@ -109,9 +127,15 @@ impl GraphFamily for PowerlawCluster {
                 let target = match last_target {
                     Some(anchor) if rng.gen::<f64>() < self.triad => {
                         // Triad formation: a uniformly random neighbour of the
-                        // anchor that `u` is not yet linked to.
-                        let candidates: Vec<usize> = (0..u)
-                            .filter(|&w| adj[(anchor, w)] > 0.5 && w != u && adj[(u, w)] < 0.5)
+                        // anchor that `u` is not yet linked to. Only nodes below
+                        // `u` exist yet, so the anchor's ascending neighbour
+                        // slice filtered to `w < u` enumerates exactly the old
+                        // dense scan's candidate list, in the same order.
+                        let candidates: Vec<usize> = builder
+                            .neighbors(anchor)
+                            .iter()
+                            .copied()
+                            .filter(|&w| w < u && !builder.has_edge(u, w))
                             .collect();
                         if candidates.is_empty() {
                             preferential(&mut rng, &degree, u)
@@ -121,7 +145,7 @@ impl GraphFamily for PowerlawCluster {
                     }
                     _ => preferential(&mut rng, &degree, u),
                 };
-                if add(&mut adj, &mut degree, u, target) {
+                if add(&mut builder, &mut degree, u, target) {
                     attached += 1;
                     last_target = Some(target);
                 }
@@ -132,6 +156,6 @@ impl GraphFamily for PowerlawCluster {
         let labels: Vec<usize> = (0..n).map(|i| (i * self.classes) / n).collect();
         let d = feature_dim(config.scale);
         let features = topic_features(n, d, self.classes, &labels, 16, 0.85, &mut rng);
-        Graph::new(adj, features, labels, self.classes)
+        Graph::from_csr(builder.into_csr(), features, labels, self.classes)
     }
 }

@@ -14,7 +14,6 @@ use rand_chacha::ChaCha8Rng;
 
 use geattack_graph::family::{stream_seed, topic_features, FamilyConfig, GraphFamily};
 use geattack_graph::Graph;
-use geattack_tensor::Matrix;
 
 use super::feature_dim;
 
@@ -79,19 +78,20 @@ impl GraphFamily for StochasticBlockModel {
         let p_in = (self.homophily * self.avg_degree * k as f64 / n as f64).min(1.0);
         let p_out = ((1.0 - self.homophily) * self.avg_degree * k as f64 / ((k - 1) as f64 * n as f64)).min(1.0);
 
-        let mut adj = Matrix::zeros(n, n);
+        // The Bernoulli draw per pair is the family's RNG contract, so the loop
+        // stays O(n²) time — but the edges collect straight into a sparse list.
+        let mut edges = Vec::new();
         for u in 0..n {
             for v in (u + 1)..n {
                 let p = if labels[u] == labels[v] { p_in } else { p_out };
                 if rng.gen::<f64>() < p {
-                    adj[(u, v)] = 1.0;
-                    adj[(v, u)] = 1.0;
+                    edges.push((u, v));
                 }
             }
         }
 
         let d = feature_dim(config.scale);
         let features = topic_features(n, d, k, &labels, 18, 0.85, &mut rng);
-        Graph::new(adj, features, labels, k)
+        Graph::from_edges(n, &edges, features, labels, k)
     }
 }

@@ -12,8 +12,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use geattack_graph::family::{stream_seed, topic_features, FamilyConfig, GraphFamily};
-use geattack_graph::Graph;
-use geattack_tensor::Matrix;
+use geattack_graph::{Graph, GraphBuilder};
 
 use super::feature_dim;
 
@@ -55,15 +54,11 @@ impl GraphFamily for TreeCycles {
         let len = self.cycle_len.max(3);
         let n = n_tree + cycles * len;
 
-        let mut adj = Matrix::zeros(n, n);
-        let add = |adj: &mut Matrix, u: usize, v: usize| {
-            adj[(u, v)] = 1.0;
-            adj[(v, u)] = 1.0;
-        };
+        let mut builder = GraphBuilder::new(n);
 
         // Complete binary tree on nodes 0..n_tree: node i's parent is (i-1)/2.
         for u in 1..n_tree {
-            add(&mut adj, u, (u - 1) / 2);
+            builder.add_edge(u, (u - 1) / 2);
         }
 
         // Cycles: `len` fresh nodes wired as a ring, anchored to a random tree
@@ -71,16 +66,16 @@ impl GraphFamily for TreeCycles {
         for k in 0..cycles {
             let offset = n_tree + k * len;
             for i in 0..len {
-                add(&mut adj, offset + i, offset + (i + 1) % len);
+                builder.add_edge(offset + i, offset + (i + 1) % len);
             }
             let anchor = rng.gen_range(0..n_tree);
-            add(&mut adj, offset, anchor);
+            builder.add_edge(offset, anchor);
         }
 
         // Binary structural labels: tree vs. cycle membership.
         let labels: Vec<usize> = (0..n).map(|i| usize::from(i >= n_tree)).collect();
         let d = feature_dim(config.scale);
         let features = topic_features(n, d, 2, &labels, 14, 0.85, &mut rng);
-        Graph::new(adj, features, labels, 2)
+        Graph::from_csr(builder.into_csr(), features, labels, 2)
     }
 }

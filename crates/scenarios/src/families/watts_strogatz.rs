@@ -14,8 +14,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use geattack_graph::family::{stream_seed, topic_features, FamilyConfig, GraphFamily};
-use geattack_graph::Graph;
-use geattack_tensor::Matrix;
+use geattack_graph::{Graph, GraphBuilder};
 
 use super::feature_dim;
 
@@ -58,7 +57,7 @@ impl GraphFamily for WattsStrogatz {
         let n = ((self.nodes as f64 * config.scale).round() as usize).max(60);
         let half_k = (self.lattice_k / 2).max(1);
 
-        let mut adj = Matrix::zeros(n, n);
+        let mut builder = GraphBuilder::new(n);
         for u in 0..n {
             for j in 1..=half_k {
                 let v = (u + j) % n;
@@ -69,10 +68,7 @@ impl GraphFamily for WattsStrogatz {
                 } else {
                     v
                 };
-                if target != u && adj[(u, target)] < 0.5 {
-                    adj[(u, target)] = 1.0;
-                    adj[(target, u)] = 1.0;
-                }
+                builder.add_edge(u, target);
             }
         }
 
@@ -81,6 +77,6 @@ impl GraphFamily for WattsStrogatz {
         let labels: Vec<usize> = (0..n).map(|i| (i * self.classes) / n).collect();
         let d = feature_dim(config.scale);
         let features = topic_features(n, d, self.classes, &labels, 18, 0.85, &mut rng);
-        Graph::new(adj, features, labels, self.classes)
+        Graph::from_csr(builder.into_csr(), features, labels, self.classes)
     }
 }

@@ -11,9 +11,10 @@ use geattack_graph::{CitationFamily, DatasetName, GraphFamily};
 use crate::families::{BaShapes, KRegular, PowerlawCluster, StochasticBlockModel, TreeCycles, WattsStrogatz};
 
 /// Registry keys of every built-in family, in presentation order.
-pub const FAMILY_NAMES: [&str; 10] = [
+pub const FAMILY_NAMES: [&str; 11] = [
     "ba-shapes",
     "powerlaw-cluster",
+    "powerlaw-cluster-huge",
     "sbm",
     "sbm-het",
     "watts-strogatz",
@@ -29,6 +30,7 @@ pub fn resolve(name: &str) -> Option<Box<dyn GraphFamily>> {
     match canonical(name).as_str() {
         "ba-shapes" => Some(Box::new(BaShapes::default())),
         "powerlaw-cluster" => Some(Box::new(PowerlawCluster::default())),
+        "powerlaw-cluster-huge" => Some(Box::new(PowerlawCluster::huge())),
         "sbm" => Some(Box::new(StochasticBlockModel::homophilous())),
         "sbm-het" => Some(Box::new(StochasticBlockModel::heterophilous())),
         "watts-strogatz" => Some(Box::new(WattsStrogatz::default())),

@@ -40,7 +40,7 @@ proptest! {
         let config = FamilyConfig::new(0.1, seed);
         let a = family(name).generate(&config);
         let b = family(name).generate(&config);
-        prop_assert!(a.adjacency().approx_eq(b.adjacency(), 0.0), "{name}: adjacency differs");
+        prop_assert!(a.csr() == b.csr(), "{name}: adjacency differs");
         prop_assert!(a.features().approx_eq(b.features(), 0.0), "{name}: features differ");
         prop_assert_eq!(a.labels(), b.labels(), "{name}: labels differ");
     }
@@ -51,7 +51,7 @@ proptest! {
         let a = family(name).generate(&FamilyConfig::new(0.12, seed));
         let b = family(name).generate(&FamilyConfig::new(0.12, seed + 1));
         prop_assert!(
-            !a.adjacency().approx_eq(b.adjacency(), 0.0) || !a.features().approx_eq(b.features(), 0.0),
+            a.csr() != b.csr() || !a.features().approx_eq(b.features(), 0.0),
             "{}: seeds {} and {} produced identical graphs",
             name, seed, seed + 1
         );
@@ -61,7 +61,7 @@ proptest! {
     fn load_returns_a_connected_graph(seed in 0u64..200, idx in 0usize..SYNTHETIC.len()) {
         let name = SYNTHETIC[idx];
         let graph = family(name).load(&FamilyConfig::new(0.1, seed));
-        let comps = graph.to_csr().connected_components();
+        let comps = graph.csr().connected_components();
         prop_assert!(comps.iter().all(|&c| c == comps[0]), "{name}: LCC must be one component");
         prop_assert!(graph.num_nodes() >= 30, "{name}: LCC too small ({} nodes)", graph.num_nodes());
         // Every class must survive preprocessing so stratified splits work.
@@ -148,19 +148,23 @@ proptest! {
     }
 }
 
-/// Number of triangles (each counted once) in the graph.
+/// Number of triangles (each counted once) in the graph: for every edge
+/// `(i, j)` with `i < j`, count the common neighbors above `j` by merging the
+/// two ascending CSR neighbor lists.
 fn triangle_count(graph: &geattack_graph::Graph) -> usize {
-    let n = graph.num_nodes();
-    let adj = graph.adjacency();
     let mut count = 0;
-    for i in 0..n {
-        for j in (i + 1)..n {
-            if adj[(i, j)] < 0.5 {
-                continue;
-            }
-            for k in (j + 1)..n {
-                if adj[(i, k)] > 0.5 && adj[(j, k)] > 0.5 {
-                    count += 1;
+    for (i, j) in graph.edges() {
+        let (mut a, mut b) = (graph.neighbors(i), graph.neighbors(j));
+        while let (Some(&x), Some(&y)) = (a.first(), b.first()) {
+            match x.cmp(&y) {
+                std::cmp::Ordering::Less => a = &a[1..],
+                std::cmp::Ordering::Greater => b = &b[1..],
+                std::cmp::Ordering::Equal => {
+                    if x > j {
+                        count += 1;
+                    }
+                    a = &a[1..];
+                    b = &b[1..];
                 }
             }
         }
