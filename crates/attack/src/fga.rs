@@ -68,6 +68,7 @@ fn greedy_gradient_attack(
 
 impl TargetedAttack for Fga {
     fn attack(&self, ctx: &AttackContext<'_>) -> Perturbation {
+        let _span = geattack_telemetry::span(geattack_telemetry::Level::Detail, "attack.fga");
         greedy_gradient_attack(ctx, &[], false, false)
     }
 
@@ -78,6 +79,7 @@ impl TargetedAttack for Fga {
 
 impl TargetedAttack for FgaT {
     fn attack(&self, ctx: &AttackContext<'_>) -> Perturbation {
+        let _span = geattack_telemetry::span(geattack_telemetry::Level::Detail, "attack.fga-t");
         greedy_gradient_attack(ctx, &[], true, self.restrict_to_target_label)
     }
 

@@ -64,6 +64,7 @@ impl FgaTE {
 
 impl TargetedAttack for FgaTE {
     fn attack(&self, ctx: &AttackContext<'_>) -> Perturbation {
+        let _span = geattack_telemetry::span(geattack_telemetry::Level::Detail, "attack.fga-te");
         let exclude = self.excluded_endpoints(ctx);
         FgaT::default().attack_excluding(ctx, &exclude)
     }

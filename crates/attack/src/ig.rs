@@ -118,6 +118,7 @@ impl IgAttack {
 
 impl TargetedAttack for IgAttack {
     fn attack(&self, ctx: &AttackContext<'_>) -> Perturbation {
+        let _span = geattack_telemetry::span(geattack_telemetry::Level::Detail, "attack.ig");
         let mut perturbation = Perturbation::new();
         let mut working = ctx.graph.clone();
         let gradients = LossGradients::new(ctx.model, ctx.graph.features());

@@ -57,6 +57,7 @@ impl Nettack {
 
 impl TargetedAttack for Nettack {
     fn attack(&self, ctx: &AttackContext<'_>) -> Perturbation {
+        let _span = geattack_telemetry::span(geattack_telemetry::Level::Detail, "attack.nettack");
         // Linearized surrogate weights W = W1 W2 (bias terms are irrelevant for the
         // argmax-margin score).
         let w = ctx.model.params().w1.matmul(&ctx.model.params().w2);

@@ -30,6 +30,7 @@ impl RandomAttack {
 
 impl TargetedAttack for RandomAttack {
     fn attack(&self, ctx: &AttackContext<'_>) -> Perturbation {
+        let _span = geattack_telemetry::span(geattack_telemetry::Level::Detail, "attack.rna");
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ (ctx.target as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let mut perturbation = Perturbation::new();
 

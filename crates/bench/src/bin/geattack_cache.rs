@@ -1,12 +1,15 @@
 //! Offline lifecycle management of a `Prepared`-experiment cache directory.
 //!
 //! ```text
-//! geattack-cache stats --cache-dir DIR
+//! geattack-cache stats --cache-dir DIR [--json]
 //! geattack-cache gc    --cache-dir DIR --cache-budget-mb N
 //! ```
 //!
 //! `stats` prints the committed entry count and byte total plus the encoded
-//! size of every entry (name-sorted, so diffs are stable); `gc` prunes the
+//! size of every entry (name-sorted, so diffs are stable); `--json` emits the
+//! same data as one machine-readable JSON object (entry count, byte total,
+//! the store's `cache.*` metric counters and per-entry sizes) for scripted
+//! consumers. `gc` prunes the
 //! oldest-mtime entries until the directory fits the budget — the same
 //! LRU-by-mtime policy a sweep run applies online via `--cache-budget-mb`.
 //! Loads never refresh mtimes, so "least recently used" is concretely "least
@@ -14,8 +17,9 @@
 //! experiments first.
 
 use geattack_cache::CacheStore;
+use serde::Value;
 
-const USAGE: &str = "usage: geattack-cache <stats|gc> --cache-dir DIR [--cache-budget-mb N]";
+const USAGE: &str = "usage: geattack-cache <stats|gc> --cache-dir DIR [--json] [--cache-budget-mb N]";
 
 fn fail(message: &str) -> ! {
     eprintln!("{message}");
@@ -27,6 +31,7 @@ struct Args {
     command: String,
     cache_dir: Option<String>,
     cache_budget_mb: Option<u64>,
+    json: bool,
 }
 
 fn parse_args() -> Args {
@@ -35,6 +40,7 @@ fn parse_args() -> Args {
         command: String::new(),
         cache_dir: None,
         cache_budget_mb: None,
+        json: false,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -50,6 +56,7 @@ fn parse_args() -> Args {
                 Some(mb) => parsed.cache_budget_mb = Some(mb),
                 None => fail("--cache-budget-mb expects an integer MiB value"),
             },
+            "--json" => parsed.json = true,
             other if other.starts_with('-') => fail(&format!("unknown option: {other}")),
             other if parsed.command.is_empty() => parsed.command = other.to_string(),
             other => fail(&format!("unexpected argument: {other}")),
@@ -72,13 +79,17 @@ fn main() {
         "stats" => {
             let entries = store.entry_sizes();
             let bytes: u64 = entries.iter().map(|&(_, len)| len).sum();
-            println!(
-                "cache {dir}: {} entries, {bytes} bytes ({:.1} MiB)",
-                entries.len(),
-                mib(bytes)
-            );
-            for (name, len) in entries {
-                println!("  {len:>12} B  {name}");
+            if args.json {
+                println!("{}", stats_json(&dir, &store, &entries, bytes));
+            } else {
+                println!(
+                    "cache {dir}: {} entries, {bytes} bytes ({:.1} MiB)",
+                    entries.len(),
+                    mib(bytes)
+                );
+                for (name, len) in entries {
+                    println!("  {len:>12} B  {name}");
+                }
             }
         }
         "gc" => {
@@ -100,4 +111,36 @@ fn main() {
 
 fn mib(bytes: u64) -> f64 {
     bytes as f64 / (1024.0 * 1024.0)
+}
+
+/// The `stats --json` document: one object with the directory, totals, the
+/// store's metric counters (name-sorted) and per-entry encoded sizes.
+fn stats_json(dir: &str, store: &CacheStore, entries: &[(String, u64)], bytes: u64) -> String {
+    let object = |fields: Vec<(&str, Value)>| -> Value {
+        Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    };
+    let counters = store
+        .metrics()
+        .snapshot()
+        .counters
+        .into_iter()
+        .map(|(name, value)| (name, Value::Number(value as f64)))
+        .collect();
+    let sizes = entries
+        .iter()
+        .map(|(name, len)| {
+            object(vec![
+                ("name", Value::String(name.clone())),
+                ("bytes", Value::Number(*len as f64)),
+            ])
+        })
+        .collect();
+    let doc = object(vec![
+        ("dir", Value::String(dir.to_string())),
+        ("entries", Value::Number(entries.len() as f64)),
+        ("bytes", Value::Number(bytes as f64)),
+        ("counters", Value::Object(counters)),
+        ("entry_sizes", Value::Array(sizes)),
+    ]);
+    serde_json::to_string_pretty(&doc).expect("stats document always serializes")
 }

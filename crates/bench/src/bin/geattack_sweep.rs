@@ -25,6 +25,9 @@
 //! * `--cache-budget-mb N` keeps that directory under `N` MiB by pruning the
 //!   oldest-mtime entries after each write (`geattack-cache gc` runs the same
 //!   pruning offline).
+//! * `--telemetry PATH` writes an NDJSON span trace of the run (one line per
+//!   closed cell/phase-level span: preparation, each attacker x budget run,
+//!   cache and codec activity). Tracing never changes the report bytes.
 //! * `--dry-run` prints the enumerated cell plan (with shard assignments when
 //!   `--shard` is given) without running anything; `--list-families` prints
 //!   the scenario registry.
@@ -119,6 +122,14 @@ fn main() {
             });
     }
 
+    if let Some(path) = &parsed.options.telemetry {
+        let recorder = geattack_telemetry::NdjsonRecorder::create(path).unwrap_or_else(|e| {
+            eprintln!("cannot open telemetry trace {path}: {e}");
+            std::process::exit(2);
+        });
+        geattack_telemetry::install(std::sync::Arc::new(recorder));
+    }
+
     eprintln!(
         "sweep `{}`: {} prepared cells, {} result cells{}",
         spec.name,
@@ -140,7 +151,7 @@ fn main() {
     for event in session.by_ref() {
         match event {
             CellEvent::Planned { .. } | CellEvent::Started { .. } => {}
-            CellEvent::Finished { position, cells } => {
+            CellEvent::Finished { position, cells, .. } => {
                 let cell = plan.iter().find(|c| c.position == position);
                 let (nodes, victims) = cells.first().map(|c| (c.nodes, c.victims)).unwrap_or((0, 0));
                 if let Some(cell) = cell {
@@ -200,4 +211,8 @@ fn main() {
     };
     let meta_path = write_json(&format!("{artifact}.meta"), &run.meta_json());
     eprintln!("(metadata written to {})", meta_path.display());
+    if let Some(path) = &parsed.options.telemetry {
+        geattack_telemetry::flush();
+        eprintln!("(telemetry trace written to {path})");
+    }
 }

@@ -46,6 +46,9 @@ pub struct Options {
     /// after each write the oldest-mtime entries are pruned until the cache
     /// fits.
     pub cache_budget_mb: Option<u64>,
+    /// Write an NDJSON span trace to this path (`--telemetry PATH`): one line
+    /// per closed cell/phase-level span. Never affects the report bytes.
+    pub telemetry: Option<String>,
     /// Print the enumerated cell plan instead of running (`--dry-run`).
     pub dry_run: bool,
     /// Print the scenario family registry and exit (`--list-families`).
@@ -62,7 +65,8 @@ pub struct ParsedArgs {
 }
 
 const FLAG_USAGE: &str = "[--quick|--full] [--runs N] [--victims N] [--scale F] [--seed N] [--serial] [--dataset NAME]";
-const SWEEP_FLAG_USAGE: &str = "[--shard I/N] [--cache-dir DIR] [--cache-budget-mb N] [--dry-run] [--list-families]";
+const SWEEP_FLAG_USAGE: &str =
+    "[--shard I/N] [--cache-dir DIR] [--cache-budget-mb N] [--telemetry PATH] [--dry-run] [--list-families]";
 
 impl Options {
     /// Parses options from `std::env::args()`, rejecting positional arguments.
@@ -182,7 +186,9 @@ fn parse(
                     None => fail(&format!("unknown dataset: {name}")),
                 }
             }
-            "--shard" | "--cache-dir" | "--cache-budget-mb" | "--dry-run" | "--list-families" if !allow_sweep_flags => {
+            "--shard" | "--cache-dir" | "--cache-budget-mb" | "--telemetry" | "--dry-run" | "--list-families"
+                if !allow_sweep_flags =>
+            {
                 fail(&format!("{arg} is only supported by geattack-sweep"));
             }
             "--shard" => {
@@ -203,6 +209,13 @@ fn parse(
                 options.cache_dir = Some(dir);
             }
             "--cache-budget-mb" => options.cache_budget_mb = Some(parse_next(&mut args, "--cache-budget-mb")),
+            "--telemetry" => {
+                let path: String = parse_next(&mut args, "--telemetry");
+                if path.starts_with('-') {
+                    fail(&format!("--telemetry expects a file path, got flag-like `{path}`"));
+                }
+                options.telemetry = Some(path);
+            }
             "--dry-run" => options.dry_run = true,
             "--list-families" => options.list_families = true,
             "--help" | "-h" => {

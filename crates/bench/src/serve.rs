@@ -10,10 +10,10 @@
 //! ```text
 //! {"event":"planned","position":0,"family":"ba-shapes","scale":0.08,"seed":0,"explainer":"GNNExplainer"}
 //! {"event":"started","position":0}
-//! {"event":"cell","position":0,"cells":[{...SweepCell...}, ...]}
-//! {"event":"failed","position":3,"error":"..."}           (remaining cells still run)
-//! {"event":"done","sweep":"quick","report":{...SweepReport...},"cache":{"hits":4,...}}
-//! {"event":"error","error":"..."}                         (request-level failure)
+//! {"event":"cell","position":0,"cells":[{...SweepCell...}, ...],"timing_ms":{"prepare":...,"total":...}}
+//! {"event":"failed","position":3,"kind":"prepare","error":"..."}   (remaining cells still run)
+//! {"event":"done","sweep":"quick","report":{...},"cache":{"hits":4,...},"telemetry":{...}}
+//! {"event":"error","error":"..."}                                  (request-level failure)
 //! ```
 //!
 //! A `failed` cell does not abort the session — the engine keeps executing and
@@ -21,6 +21,18 @@
 //! assemble a complete report, so it terminates with an `error` event (listing
 //! every failed position) instead of `done`. The `cache` counters of the
 //! `done` event are per-request deltas, not daemon-lifetime totals.
+//!
+//! Besides sweep specs, a request line may be a control request:
+//!
+//! ```text
+//! {"request":"health"} → {"event":"health","status":"ok","uptime_ms":...}
+//! {"request":"stats"}  → {"event":"stats","uptime_ms":...,"requests":{...},"cache":{...},"cells":{...},"latency_ms":{...}}
+//! ```
+//!
+//! `stats` exports the daemon-lifetime view: requests served/failed, the
+//! shared cache's counters with a live hit rate (plus encode/decode byte
+//! totals), the engine's cell counters and its per-cell / per-phase latency
+//! histograms as `{count,p50,p95,p99,max}` summaries.
 //!
 //! The `done` event embeds the full assembled [`SweepReport`] as a JSON value.
 //! Because the workspace's JSON codec round-trips every number exactly and
@@ -59,15 +71,30 @@ fn event_value(event: &CellEvent) -> Value {
             ("event", Value::String("started".into())),
             ("position", Value::Number(*position as f64)),
         ]),
-        CellEvent::Finished { position, cells } => object(vec![
+        CellEvent::Finished {
+            position,
+            cells,
+            timing,
+        } => object(vec![
             ("event", Value::String("cell".into())),
             ("position", Value::Number(*position as f64)),
             ("cells", serde_json::to_value(cells)),
+            (
+                "timing_ms",
+                object(vec![
+                    ("prepare", Value::Number(timing.prepare_ms)),
+                    ("attack", Value::Number(timing.attack_ms)),
+                    ("explain", Value::Number(timing.explain_ms)),
+                    ("detect", Value::Number(timing.detect_ms)),
+                    ("total", Value::Number(timing.total_ms)),
+                ]),
+            ),
         ]),
         CellEvent::Failed { position, error } => object(vec![
             ("event", Value::String("failed".into())),
             ("position", Value::Number(*position as f64)),
-            ("error", Value::String(error.clone())),
+            ("kind", Value::String(error.kind().to_string())),
+            ("error", Value::String(error.to_string())),
         ]),
     }
 }
@@ -90,10 +117,133 @@ fn error_value(message: &str) -> Value {
     ])
 }
 
+/// Milliseconds latency distribution as the protocol's `{count,p50,p95,p99,max}`
+/// object.
+fn latency_value(latency: &geattack_core::LatencySummary) -> Value {
+    object(vec![
+        ("count", Value::Number(latency.count as f64)),
+        ("p50", Value::Number(latency.p50)),
+        ("p95", Value::Number(latency.p95)),
+        ("p99", Value::Number(latency.p99)),
+        ("max", Value::Number(latency.max)),
+    ])
+}
+
+/// Same summary shape, straight from a histogram snapshot.
+fn histogram_value(snap: &geattack_telemetry::HistogramSnapshot) -> Value {
+    object(vec![
+        ("count", Value::Number(snap.count as f64)),
+        ("p50", Value::Number(snap.p50)),
+        ("p95", Value::Number(snap.p95)),
+        ("p99", Value::Number(snap.p99)),
+        ("max", Value::Number(snap.max)),
+    ])
+}
+
+/// Daemon-lifetime observability state behind the `stats`/`health` requests.
+#[derive(Debug)]
+pub struct ServeState {
+    started: Instant,
+    requests_served: u64,
+    requests_failed: u64,
+}
+
+impl ServeState {
+    /// Fresh state; the daemon's uptime starts now.
+    pub fn new() -> Self {
+        ServeState {
+            started: Instant::now(),
+            requests_served: 0,
+            requests_failed: 0,
+        }
+    }
+}
+
+impl Default for ServeState {
+    fn default() -> Self {
+        ServeState::new()
+    }
+}
+
+/// The `health` response: liveness plus uptime.
+fn health_value(state: &ServeState) -> Value {
+    object(vec![
+        ("event", Value::String("health".into())),
+        ("status", Value::String("ok".into())),
+        ("uptime_ms", Value::Number(state.started.elapsed().as_secs_f64() * 1e3)),
+    ])
+}
+
+/// The `stats` response: daemon-lifetime request counters, the shared cache's
+/// live counters and hit rate, the engine's cell counters and its latency
+/// histograms summarized to percentiles.
+fn stats_value(engine: &Engine, state: &ServeState) -> Value {
+    let cache = match engine.cache_metrics() {
+        None => Value::Null,
+        Some(snapshot) => {
+            let count = |name: &str| snapshot.counters.iter().find(|(n, _)| n == name).map_or(0, |&(_, v)| v);
+            let (hits, misses) = (count("cache.hits"), count("cache.misses"));
+            let lookups = hits + misses;
+            let hit_rate = if lookups == 0 {
+                0.0
+            } else {
+                hits as f64 / lookups as f64
+            };
+            object(vec![
+                ("hits", Value::Number(hits as f64)),
+                ("misses", Value::Number(misses as f64)),
+                ("evictions", Value::Number(count("cache.evictions") as f64)),
+                ("hit_rate", Value::Number(hit_rate)),
+                ("bytes_read", Value::Number(count("cache.bytes_read") as f64)),
+                ("bytes_written", Value::Number(count("cache.bytes_written") as f64)),
+                ("bytes_encoded", Value::Number(count("persist.bytes_encoded") as f64)),
+                ("bytes_decoded", Value::Number(count("persist.bytes_decoded") as f64)),
+            ])
+        }
+    };
+    let metrics = engine.metrics();
+    let cells = object(vec![
+        ("planned", Value::Number(metrics.counter_value("cells.planned") as f64)),
+        ("started", Value::Number(metrics.counter_value("cells.started") as f64)),
+        (
+            "finished",
+            Value::Number(metrics.counter_value("cells.finished") as f64),
+        ),
+        ("failed", Value::Number(metrics.counter_value("cells.failed") as f64)),
+    ]);
+    let latency = object(
+        [
+            ("cell_total", "cell.total_ms"),
+            ("prepare", "phase.prepare_ms"),
+            ("attack", "phase.attack_ms"),
+            ("explain", "phase.explain_ms"),
+            ("detect", "phase.detect_ms"),
+        ]
+        .into_iter()
+        .map(|(label, name)| (label, histogram_value(&metrics.histogram(name).snapshot())))
+        .collect(),
+    );
+    object(vec![
+        ("event", Value::String("stats".into())),
+        ("uptime_ms", Value::Number(state.started.elapsed().as_secs_f64() * 1e3)),
+        (
+            "requests",
+            object(vec![
+                ("served", Value::Number(state.requests_served as f64)),
+                ("failed", Value::Number(state.requests_failed as f64)),
+            ]),
+        ),
+        ("cache", cache),
+        ("cells", cells),
+        ("latency_ms", latency),
+    ])
+}
+
 /// Runs one sweep request through the engine and streams its events to `out`.
 /// Request-level failures (bad spec, failed cells) end in an `error` event;
 /// transport failures propagate as `io::Error` and end the connection.
-pub fn stream_sweep(engine: &Engine, spec: SweepSpec, out: &mut impl Write) -> std::io::Result<()> {
+/// Returns whether the request reached `done`.
+pub fn stream_sweep(engine: &Engine, spec: SweepSpec, out: &mut impl Write) -> std::io::Result<bool> {
     // The engine's counters accumulate over its lifetime; the `done` event
     // reports this request's delta.
     let counters_before = engine.cache_counters();
@@ -101,19 +251,21 @@ pub fn stream_sweep(engine: &Engine, spec: SweepSpec, out: &mut impl Write) -> s
         Ok(session) => session,
         Err(e) => {
             writeln!(out, "{}", line(&error_value(&e.to_string())))?;
-            return out.flush();
+            out.flush()?;
+            return Ok(false);
         }
     };
     for event in session.by_ref() {
         writeln!(out, "{}", line(&event_value(&event)))?;
         out.flush()?;
     }
+    let mut reached_done = false;
     match session.wait().and_then(|run| {
         engine
             .merge(std::slice::from_ref(&run.shard))
             .map(|report| (run, report))
     }) {
-        Ok((_run, report)) => {
+        Ok((run, report)) => {
             let cache = match (counters_before, engine.cache_counters()) {
                 (Some(before), Some(after)) => object(vec![
                     ("hits", Value::Number(after.hits.saturating_sub(before.hits) as f64)),
@@ -128,28 +280,60 @@ pub fn stream_sweep(engine: &Engine, spec: SweepSpec, out: &mut impl Write) -> s
                 ]),
                 _ => Value::Null,
             };
+            let t = &run.telemetry;
+            let telemetry = object(vec![
+                ("planned_cells", Value::Number(t.planned_cells as f64)),
+                ("finished_cells", Value::Number(t.finished_cells as f64)),
+                ("failed_cells", Value::Number(t.failed_cells as f64)),
+                (
+                    "phase_totals_ms",
+                    object(vec![
+                        ("prepare", Value::Number(t.phase_totals.prepare_ms)),
+                        ("attack", Value::Number(t.phase_totals.attack_ms)),
+                        ("explain", Value::Number(t.phase_totals.explain_ms)),
+                        ("detect", Value::Number(t.phase_totals.detect_ms)),
+                        ("total", Value::Number(t.phase_totals.total_ms)),
+                    ]),
+                ),
+                ("cell_latency_ms", latency_value(&t.cell_latency)),
+            ]);
             let done = object(vec![
                 ("event", Value::String("done".into())),
                 ("sweep", Value::String(report.sweep.clone())),
                 ("report", serde_json::to_value(&report)),
                 ("cache", cache),
+                ("telemetry", telemetry),
             ]);
             writeln!(out, "{}", line(&done))?;
+            reached_done = true;
         }
         Err(e) => {
             writeln!(out, "{}", line(&error_value(&e.to_string())))?;
         }
     }
-    out.flush()
+    out.flush()?;
+    Ok(reached_done)
+}
+
+/// The kind of control request a line carries, when it is one.
+fn control_request(request: &str) -> Option<String> {
+    let value: Value = serde_json::from_str(request).ok()?;
+    match value.get_field("request") {
+        Ok(Value::String(kind)) => Some(kind.clone()),
+        _ => None,
+    }
 }
 
 /// Handles one connection: one request per line until the peer closes.
 /// Increments `served` through the reference as each successfully-parsed
-/// request completes — even when the connection later errors — so the
+/// sweep request completes — even when the connection later errors — so the
 /// daemon's `--max-requests` accounting never loses executed requests.
+/// Control requests (`stats`, `health`) answer inline and never count toward
+/// `--max-requests`.
 fn handle_connection(
     stream: TcpStream,
     engine: &Engine,
+    state: &mut ServeState,
     served: &mut usize,
     max_requests: Option<usize>,
 ) -> std::io::Result<()> {
@@ -160,15 +344,33 @@ fn handle_connection(
         if request.trim().is_empty() {
             continue;
         }
+        if let Some(kind) = control_request(&request) {
+            let response = match kind.as_str() {
+                "health" => health_value(state),
+                "stats" => stats_value(engine, state),
+                other => error_value(
+                    &geattack_core::GeError::Protocol(format!("unknown request `{other}` (known: health, stats)"))
+                        .to_string(),
+                ),
+            };
+            writeln!(writer, "{}", line(&response))?;
+            writer.flush()?;
+            continue;
+        }
         match SweepSpec::from_json(&request) {
             Err(e) => {
+                state.requests_failed += 1;
                 let err = geattack_core::GeError::Protocol(e);
                 writeln!(writer, "{}", line(&error_value(&err.to_string())))?;
                 writer.flush()?;
             }
             Ok(spec) => {
                 *served += 1;
-                stream_sweep(engine, spec, &mut writer)?;
+                if stream_sweep(engine, spec, &mut writer)? {
+                    state.requests_served += 1;
+                } else {
+                    state.requests_failed += 1;
+                }
                 if max_requests.is_some_and(|max| *served >= max) {
                     break;
                 }
@@ -185,6 +387,7 @@ fn handle_connection(
 /// otherwise loops until the process is killed. Per-connection I/O errors end
 /// that connection, not the daemon.
 pub fn serve(listener: TcpListener, engine: &Engine, max_requests: Option<usize>) -> std::io::Result<usize> {
+    let mut state = ServeState::new();
     let mut served = 0usize;
     for stream in listener.incoming() {
         if max_requests.is_some_and(|max| served >= max) {
@@ -193,7 +396,7 @@ pub fn serve(listener: TcpListener, engine: &Engine, max_requests: Option<usize>
         match stream {
             Err(e) => return Err(e),
             Ok(stream) => {
-                if let Err(e) = handle_connection(stream, engine, &mut served, max_requests) {
+                if let Err(e) = handle_connection(stream, engine, &mut state, &mut served, max_requests) {
                     eprintln!("serve: connection ended: {e}");
                 }
             }

@@ -100,3 +100,68 @@ fn request_level_errors_come_back_as_error_events_and_the_daemon_survives() {
 
     daemon.join().expect("daemon thread").expect("daemon exits cleanly");
 }
+
+/// Sends raw NDJSON lines over one connection and returns one parsed response
+/// per request line.
+fn raw_request(addr: &str, lines: &[&str]) -> Vec<Value> {
+    use std::io::{BufRead, BufReader, Write};
+    let stream = geattack_bench::serve::connect_retry(addr, Duration::from_secs(10)).expect("connects");
+    let mut writer = std::io::BufWriter::new(stream.try_clone().expect("clone"));
+    let mut reader = BufReader::new(stream);
+    let mut responses = Vec::new();
+    for line in lines {
+        writeln!(writer, "{line}").expect("sends");
+        writer.flush().expect("flushes");
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("reads");
+        responses.push(serde_json::from_str(response.trim()).expect("response parses"));
+    }
+    responses
+}
+
+#[test]
+fn stats_and_health_requests_report_live_engine_state() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral port binds");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let cache_dir = temp_dir("stats");
+    let engine = Engine::new()
+        .serial(true)
+        .with_cache(cache_dir.clone(), None)
+        .expect("cache opens");
+    let daemon = std::thread::spawn(move || serve(listener, &engine, Some(2)));
+
+    // Cold daemon: health answers, stats shows an idle engine.
+    let responses = raw_request(&addr, &[r#"{"request":"health"}"#, r#"{"request":"stats"}"#]);
+    let field = |value: &Value, name: &str| value.get_field(name).expect(name).clone();
+    assert!(matches!(field(&responses[0], "status"), Value::String(s) if s == "ok"));
+    assert!(matches!(field(&responses[0], "uptime_ms"), Value::Number(_)));
+    let cells = field(&responses[1], "cells");
+    assert!(matches!(field(&cells, "finished"), Value::Number(n) if n == 0.0));
+
+    // Run one sweep, then read stats again on a fresh connection. Control
+    // requests never count toward --max-requests, so the daemon still waits
+    // for a second sweep.
+    submit(&addr, SPEC, Duration::from_secs(10), |_| {}).expect("sweep runs");
+    let responses = raw_request(&addr, &[r#"{"request":"stats"}"#, r#"{"request":"reboot"}"#]);
+    let stats = &responses[0];
+    let requests = field(stats, "requests");
+    assert!(matches!(field(&requests, "served"), Value::Number(n) if n == 1.0));
+    let cells = field(stats, "cells");
+    assert!(matches!(field(&cells, "finished"), Value::Number(n) if n == 1.0));
+    let cache = field(stats, "cache");
+    assert!(matches!(field(&cache, "misses"), Value::Number(n) if n >= 1.0));
+    assert!(matches!(field(&cache, "hit_rate"), Value::Number(r) if (0.0..=1.0).contains(&r)));
+    assert!(matches!(field(&cache, "bytes_encoded"), Value::Number(b) if b > 0.0));
+    let latency = field(stats, "latency_ms");
+    let cell_total = field(&latency, "cell_total");
+    assert!(matches!(field(&cell_total, "count"), Value::Number(n) if n == 1.0));
+    assert!(matches!(field(&cell_total, "p95"), Value::Number(p) if p > 0.0));
+    // Unknown control requests answer with an error event, not a hangup.
+    assert!(matches!(field(&responses[1], "event"), Value::String(e) if e == "error"));
+
+    // A second sweep lets the daemon exit; it served 2 sweep requests.
+    submit(&addr, SPEC, Duration::from_secs(10), |_| {}).expect("second sweep runs");
+    let served = daemon.join().expect("daemon thread").expect("daemon exits cleanly");
+    assert_eq!(served, 2, "control requests never count toward --max-requests");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}

@@ -13,9 +13,12 @@
 //! * [`store`] — [`store::CacheStore`]: one file per entry under a cache
 //!   directory, written atomically (write to a temp file, then rename) so a
 //!   crashed or concurrent writer can never leave a torn entry behind, with
-//!   hit/miss/evict counters that callers surface in report metadata.
+//!   hit/miss/evict counters that callers surface in report metadata. The
+//!   counters live on a per-store `geattack-telemetry` [`MetricsRegistry`]
+//!   (`cache.*` names), and loads/stores open `cache.get`/`cache.put` spans.
 //!
-//! The crate is deliberately leaf-level: no workspace dependencies, no serde.
+//! The crate is deliberately leaf-level: its only workspace dependency is the
+//! equally-leaf-level zero-dep `geattack-telemetry`, and there is no serde.
 //! `geattack-core` layers `Prepared`-experiment persistence on top and
 //! `geattack-scenarios` uses the hashing for sweep-spec fingerprints.
 
@@ -26,3 +29,5 @@ pub mod store;
 pub use codec::{Decoder, Encoder};
 pub use hash::{fnv1a128, KeyHasher};
 pub use store::{CacheCounters, CacheStore, GcStats};
+
+pub use geattack_telemetry::MetricsRegistry;

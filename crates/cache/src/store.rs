@@ -12,11 +12,19 @@
 //! whether a loaded payload actually *decoded* into something usable, so the
 //! counting protocol is explicit — [`CacheStore::record_hit`] after a
 //! successful decode, [`CacheStore::record_miss`] before recomputing, and
-//! [`CacheStore::evict`] when an entry turns out to be corrupt. Counters are
-//! atomic because sweep cells touch the store from worker threads.
+//! [`CacheStore::evict`] when an entry turns out to be corrupt. The counters
+//! live on a per-store [`MetricsRegistry`] (`cache.hits` / `cache.misses` /
+//! `cache.evictions` / `cache.bytes_read` / `cache.bytes_written`), so a
+//! daemon sharing one store across requests can export exact per-store
+//! numbers; [`CacheStore::counters`] snapshots them in the legacy
+//! [`CacheCounters`] shape report metadata uses. Loads and stores open
+//! `cache.get` / `cache.put` telemetry spans.
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use geattack_telemetry::{span, Counter, Level, MetricsRegistry};
 
 /// Magic bytes opening every entry file.
 const MAGIC: [u8; 4] = *b"GEAC";
@@ -68,9 +76,12 @@ pub struct GcStats {
 pub struct CacheStore {
     dir: PathBuf,
     budget_bytes: Option<u64>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
+    metrics: MetricsRegistry,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    evictions: Arc<Counter>,
+    bytes_read: Arc<Counter>,
+    bytes_written: Arc<Counter>,
     tmp_counter: AtomicU64,
 }
 
@@ -85,14 +96,28 @@ impl CacheStore {
     pub fn open_with_budget(dir: impl Into<PathBuf>, budget_bytes: Option<u64>) -> Result<Self, String> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create cache dir {}: {e}", dir.display()))?;
+        let metrics = MetricsRegistry::new();
+        let hits = metrics.counter("cache.hits");
+        let misses = metrics.counter("cache.misses");
+        let evictions = metrics.counter("cache.evictions");
+        let bytes_read = metrics.counter("cache.bytes_read");
+        let bytes_written = metrics.counter("cache.bytes_written");
         Ok(Self {
             dir,
             budget_bytes,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            metrics,
+            hits,
+            misses,
+            evictions,
+            bytes_read,
+            bytes_written,
             tmp_counter: AtomicU64::new(0),
         })
+    }
+
+    /// The store's own metrics registry (`cache.*` counters).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// The cache directory.
@@ -114,6 +139,7 @@ impl CacheStore {
     /// unreadable file) is evicted and also reported as `None`. No hit/miss
     /// accounting happens here — see the module docs for the protocol.
     pub fn load(&self, key: &str) -> Option<Vec<u8>> {
+        let _span = span(Level::Phase, "cache.get");
         let path = self.entry_path(key);
         let bytes = match std::fs::read(&path) {
             Ok(bytes) => bytes,
@@ -132,6 +158,7 @@ impl CacheStore {
             self.evict(key);
             return None;
         }
+        self.bytes_read.add(bytes.len() as u64);
         Some(bytes[8..].to_vec())
     }
 
@@ -139,6 +166,7 @@ impl CacheStore {
     /// process-unique temp file and renamed into place, so concurrent readers
     /// and writers never see a torn entry (last writer wins).
     pub fn store(&self, key: &str, payload: &[u8]) -> Result<(), String> {
+        let _span = span(Level::Phase, "cache.put");
         let path = self.entry_path(key);
         let tmp = self.dir.join(format!(
             "{key}.tmp.{}.{}",
@@ -154,6 +182,7 @@ impl CacheStore {
             let _ = std::fs::remove_file(&tmp);
             format!("cannot publish {}: {e}", path.display())
         })?;
+        self.bytes_written.add(bytes.len() as u64);
         if let Some(budget) = self.budget_bytes {
             // Enforcement after publication: the just-written entry carries the
             // newest mtime, so it is evicted last — only a budget smaller than
@@ -203,7 +232,7 @@ impl CacheStore {
             if std::fs::remove_file(self.dir.join(&name)).is_ok() {
                 stats.bytes_after = stats.bytes_after.saturating_sub(len);
                 stats.evicted += 1;
-                self.evictions.fetch_add(1, Ordering::Relaxed);
+                self.evictions.inc();
             }
         }
         stats
@@ -229,25 +258,25 @@ impl CacheStore {
     /// Removes an entry (corrupt or invalidated) and counts the eviction.
     pub fn evict(&self, key: &str) {
         let _ = std::fs::remove_file(self.entry_path(key));
-        self.evictions.fetch_add(1, Ordering::Relaxed);
+        self.evictions.inc();
     }
 
     /// Records a successful cache hit.
     pub fn record_hit(&self) {
-        self.hits.fetch_add(1, Ordering::Relaxed);
+        self.hits.inc();
     }
 
     /// Records a miss (about to recompute).
     pub fn record_miss(&self) {
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
     }
 
     /// Snapshot of the counters.
     pub fn counters(&self) -> CacheCounters {
         CacheCounters {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
         }
     }
 
@@ -398,6 +427,33 @@ mod tests {
         assert!(store.load("cc").is_some(), "the just-written entry survives");
         assert_eq!(store.counters().evictions, 1);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn counters_are_backed_by_the_metrics_registry() {
+        let t = TempStore::new("metrics");
+        let store = &t.store;
+        store.store("aa", b"payload").unwrap();
+        store.load("aa");
+        store.record_hit();
+        store.record_miss();
+        store.evict("aa");
+        let metrics = store.metrics();
+        assert_eq!(metrics.counter_value("cache.hits"), 1);
+        assert_eq!(metrics.counter_value("cache.misses"), 1);
+        assert_eq!(metrics.counter_value("cache.evictions"), 1);
+        // 8-byte envelope both ways.
+        assert_eq!(metrics.counter_value("cache.bytes_written"), 15);
+        assert_eq!(metrics.counter_value("cache.bytes_read"), 15);
+        // The legacy snapshot reads the same counters.
+        assert_eq!(
+            store.counters(),
+            CacheCounters {
+                hits: 1,
+                misses: 1,
+                evictions: 1
+            }
+        );
     }
 
     #[test]

@@ -19,8 +19,8 @@
 //! let spec = SweepSpec::new("demo", vec!["ba-shapes".into()], vec!["fga-t".into()]);
 //! let mut session = engine.submit(spec).unwrap();
 //! for event in session.by_ref() {
-//!     if let CellEvent::Finished { position, cells } = event {
-//!         println!("cell {position}: {} results", cells.len());
+//!     if let CellEvent::Finished { position, cells, timing } = event {
+//!         println!("cell {position}: {} results in {:.1} ms", cells.len(), timing.total_ms);
 //!     }
 //! }
 //! let run = session.wait().unwrap(); // cells in grid order
@@ -36,20 +36,23 @@ use std::path::PathBuf;
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use geattack_cache::{CacheCounters, CacheStore};
 use geattack_graph::datasets::GeneratorConfig;
 use geattack_scenarios::{ScenarioSpec, SweepSpec};
+use geattack_telemetry::{span_labeled, Histogram, Level, MetricsRegistry};
 
 use crate::error::{CellFailure, GeError, Result};
 use crate::evaluation::summarize_run;
 use crate::persist::prepare_cached;
-use crate::pipeline::{run_attacker_with_budget, BudgetRule, GraphSource, PipelineConfig};
+use crate::pipeline::{run_attacker_instrumented, BudgetRule, GraphSource, PipelineConfig};
 use crate::registry::{AttackerPlugin, AttackerRegistry, ExplainerPlugin, ExplainerRegistry};
 use crate::sweep::{
     execution_order, expand_prep_cells, merge_shards_with, plan_lines_with, resolve_axes, PlannedCell, Shard,
     ShardReport, SweepCell, SweepReport, SweepRun,
 };
+use crate::telemetry::{CellTiming, LatencySummary, PhaseAccumulator, SweepTelemetry};
 
 /// One progress notification of a running sweep session.
 ///
@@ -75,13 +78,15 @@ pub enum CellEvent {
         position: usize,
         /// The cell's results, in (attacker, budget) axis order.
         cells: Vec<SweepCell>,
+        /// Per-phase wall-clock breakdown of the cell.
+        timing: CellTiming,
     },
     /// A prepared cell failed. The session continues with the remaining cells.
     Failed {
         /// Grid position of the cell.
         position: usize,
-        /// Rendered error.
-        error: String,
+        /// The structured cell error ([`GeError::kind`] classifies it).
+        error: GeError,
     },
 }
 
@@ -138,6 +143,7 @@ struct SessionContext {
     attackers: Vec<Arc<dyn AttackerPlugin>>,
     explainers: Vec<Arc<dyn ExplainerPlugin>>,
     cache: Option<Arc<CacheStore>>,
+    metrics: Arc<MetricsRegistry>,
     serial: bool,
 }
 
@@ -151,6 +157,7 @@ pub struct Engine {
     attackers: AttackerRegistry,
     explainers: ExplainerRegistry,
     cache: Option<Arc<CacheStore>>,
+    metrics: Arc<MetricsRegistry>,
     serial: bool,
 }
 
@@ -168,6 +175,7 @@ impl Engine {
             attackers: AttackerRegistry::builtin(),
             explainers: ExplainerRegistry::builtin(),
             cache: None,
+            metrics: Arc::new(MetricsRegistry::new()),
             serial: false,
         }
     }
@@ -211,6 +219,20 @@ impl Engine {
     /// over every session this engine ran.
     pub fn cache_counters(&self) -> Option<CacheCounters> {
         self.cache.as_ref().map(|c| c.counters())
+    }
+
+    /// Snapshot of the shared cache's metrics registry (`cache.*` counters
+    /// plus `persist.bytes_encoded/decoded`), when a cache is attached.
+    pub fn cache_metrics(&self) -> Option<geattack_telemetry::MetricsSnapshot> {
+        self.cache.as_ref().map(|c| c.metrics().snapshot())
+    }
+
+    /// The engine's metrics registry: `cells.planned/started/finished/failed`
+    /// counters plus `cell.total_ms` and `phase.{prepare,attack,explain,
+    /// detect}_ms` latency histograms, accumulated over every session this
+    /// engine (and its clones) ran. The serve daemon exports it on `stats`.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
     }
 
     /// The prepared cells a (possibly sharded) session over `spec` would own,
@@ -265,6 +287,7 @@ impl Engine {
             attackers: axes.attacker_plugins,
             explainers: axes.explainer_plugins,
             cache: self.cache.clone(),
+            metrics: Arc::clone(&self.metrics),
             serial: self.serial,
         };
         let worker = std::thread::spawn(move || session_worker(context, sender));
@@ -290,10 +313,15 @@ impl Engine {
     }
 }
 
+/// What executing one prepared cell yields: its result cells plus the
+/// wall-clock phase breakdown.
+type CellOutcome = Result<(Vec<SweepCell>, CellTiming)>;
+
 /// The session body: emits the plan, executes owned cells most-expensive
 /// first (fanning out across threads unless serial), streams per-cell events,
 /// and reassembles everything into grid order.
 fn session_worker(context: SessionContext, sender: Sender<CellEvent>) -> Result<SweepRun> {
+    context.metrics.counter("cells.planned").add(context.owned.len() as u64);
     for cell in &context.owned {
         let _ = sender.send(CellEvent::Planned { cell: cell.clone() });
     }
@@ -312,41 +340,71 @@ fn session_worker(context: SessionContext, sender: Sender<CellEvent>) -> Result<
     let fan_out = cells_fan_out(context.serial, ordered.len());
     let victim_parallel = !context.serial && !fan_out;
     let sender = Mutex::new(sender);
+    // Session-local latency histogram (the engine-lifetime histograms in
+    // `context.metrics` accumulate across sessions; `SweepTelemetry` reports
+    // this session alone).
+    let session_latency = Histogram::new();
+    let started_counter = context.metrics.counter("cells.started");
+    let finished_counter = context.metrics.counter("cells.finished");
+    let failed_counter = context.metrics.counter("cells.failed");
     let run_cell = |cell: &&PlannedCell| {
         let position = cell.position;
+        started_counter.inc();
         let _ = sender.lock().map(|s| s.send(CellEvent::Started { position }));
         let result = run_prep_cell(&context, cell, victim_parallel);
         let event = match &result {
-            Ok(cells) => CellEvent::Finished {
-                position,
-                cells: cells.clone(),
-            },
-            Err(e) => CellEvent::Failed {
-                position,
-                error: e.to_string(),
-            },
+            Ok((cells, timing)) => {
+                finished_counter.inc();
+                session_latency.record(timing.total_ms);
+                context.metrics.histogram("cell.total_ms").record(timing.total_ms);
+                context.metrics.histogram("phase.prepare_ms").record(timing.prepare_ms);
+                context.metrics.histogram("phase.attack_ms").record(timing.attack_ms);
+                context.metrics.histogram("phase.explain_ms").record(timing.explain_ms);
+                context.metrics.histogram("phase.detect_ms").record(timing.detect_ms);
+                CellEvent::Finished {
+                    position,
+                    cells: cells.clone(),
+                    timing: *timing,
+                }
+            }
+            Err(e) => {
+                failed_counter.inc();
+                CellEvent::Failed {
+                    position,
+                    error: e.clone(),
+                }
+            }
         };
         let _ = sender.lock().map(|s| s.send(event));
         result
     };
-    let executed: Vec<Result<Vec<SweepCell>>> = map_cells(fan_out, &ordered, run_cell);
+    let executed: Vec<CellOutcome> = map_cells(fan_out, &ordered, run_cell);
 
     // Land every block back in its grid slot, collecting failures.
-    let mut by_grid: Vec<Option<Result<Vec<SweepCell>>>> = (0..context.owned.len()).map(|_| None).collect();
+    let mut by_grid: Vec<Option<CellOutcome>> = (0..context.owned.len()).map(|_| None).collect();
     for (k, block) in executed.into_iter().enumerate() {
         by_grid[exec_order[k]] = Some(block);
     }
     let mut cells = Vec::new();
     let mut failures = Vec::new();
+    let mut telemetry = SweepTelemetry {
+        planned_cells: context.owned.len(),
+        ..SweepTelemetry::default()
+    };
     for (slot, block) in by_grid.into_iter().enumerate() {
         match block.expect("every executed cell lands back in its grid slot") {
-            Ok(block) => cells.extend(block),
-            Err(e) => failures.push(CellFailure {
-                position: context.owned[slot].position,
-                error: e.to_string(),
-            }),
+            Ok((block, timing)) => {
+                cells.extend(block);
+                telemetry.finished_cells += 1;
+                telemetry.phase_totals.accumulate(&timing);
+            }
+            Err(e) => {
+                telemetry.failed_cells += 1;
+                failures.push(CellFailure::new(context.owned[slot].position, &e));
+            }
         }
     }
+    telemetry.cell_latency = LatencySummary::from_histogram(&session_latency);
     if !failures.is_empty() {
         return Err(GeError::CellsFailed(failures));
     }
@@ -362,13 +420,22 @@ fn session_worker(context: SessionContext, sender: Sender<CellEvent>) -> Result<
         },
         cache: context.cache.as_ref().map(|c| c.counters()),
         prepared_cells: context.owned.len(),
+        telemetry,
     })
 }
 
 /// Prepares one (family, scale, seed, explainer) experiment — through the
 /// engine's cache when one is attached — and attacks it with every attacker
-/// and budget of the grid.
-fn run_prep_cell(context: &SessionContext, cell: &PlannedCell, victim_parallel: bool) -> Result<Vec<SweepCell>> {
+/// and budget of the grid. Returns the cell's results plus its wall-clock
+/// phase breakdown (measured unconditionally; span emission is gated on the
+/// installed recorder).
+fn run_prep_cell(
+    context: &SessionContext,
+    cell: &PlannedCell,
+    victim_parallel: bool,
+) -> CellOutcome {
+    let _cell_span = span_labeled(Level::Cell, "cell", cell.position.to_string());
+    let cell_started = Instant::now();
     let spec = &context.spec;
     let explainer = context
         .explainers
@@ -386,17 +453,25 @@ fn run_prep_cell(context: &SessionContext, cell: &PlannedCell, victim_parallel: 
     config.explainer = explainer.prepare_kind();
     config.parallel = victim_parallel;
     let prepared = prepare_cached(config, context.cache.as_deref())?;
+    let prepare_ms = cell_started.elapsed().as_secs_f64() * 1e3;
 
+    let phases = PhaseAccumulator::new();
     let inspector = explainer.inspector(&prepared)?;
     let mut out = Vec::with_capacity(context.attackers.len() * spec.budgets.len());
     for plugin in &context.attackers {
         let attacker = plugin.build(&prepared)?;
         for &budget in &spec.budgets {
-            let outcomes = run_attacker_with_budget(
+            let _run_span = span_labeled(
+                Level::Phase,
+                "attack.run",
+                format!("{}@{}", plugin.name(), budget.label()),
+            );
+            let outcomes = run_attacker_instrumented(
                 &prepared,
                 attacker.as_ref(),
                 inspector.as_ref(),
                 BudgetRule::from(budget),
+                Some(&phases),
             );
             let summary = summarize_run(plugin.name(), &outcomes);
             out.push(SweepCell {
@@ -418,7 +493,15 @@ fn run_prep_cell(context: &SessionContext, cell: &PlannedCell, victim_parallel: 
             });
         }
     }
-    Ok(out)
+    let (attack_ms, explain_ms, detect_ms) = phases.totals_ms();
+    let timing = CellTiming {
+        prepare_ms,
+        attack_ms,
+        explain_ms,
+        detect_ms,
+        total_ms: cell_started.elapsed().as_secs_f64() * 1e3,
+    };
+    Ok((out, timing))
 }
 
 /// Whether the prepared-cell loop should fan out across threads (see
@@ -484,9 +567,15 @@ mod tests {
                     assert!(!finished.contains(&position), "started after finishing");
                     started.push(position);
                 }
-                CellEvent::Finished { position, cells } => {
+                CellEvent::Finished {
+                    position,
+                    cells,
+                    timing,
+                } => {
                     assert!(started.contains(&position), "finished without starting");
                     assert_eq!(cells.len(), 1, "one attacker x one budget");
+                    assert!(timing.total_ms > 0.0, "finished cells carry wall-clock timing");
+                    assert!(timing.prepare_ms <= timing.total_ms, "prepare is part of the total");
                     finished.push(position);
                 }
                 CellEvent::Failed { position, error } => {
@@ -545,7 +634,8 @@ mod tests {
             match event {
                 CellEvent::Finished { position, .. } => finished.push(position),
                 CellEvent::Failed { position, error } => {
-                    assert!(error.contains("refuses seed 1"), "{error}");
+                    assert_eq!(error.kind(), "prepare", "events carry the structured error kind");
+                    assert!(error.to_string().contains("refuses seed 1"), "{error}");
                     failed.push(position);
                 }
                 _ => {}
@@ -559,6 +649,7 @@ mod tests {
             GeError::CellsFailed(failures) => {
                 assert_eq!(failures.len(), 1);
                 assert_eq!(failures[0].position, 1);
+                assert_eq!(failures[0].kind, "prepare");
             }
             other => panic!("expected CellsFailed, got {other:?}"),
         }

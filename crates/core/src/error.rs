@@ -17,13 +17,26 @@ use std::fmt;
 pub type Result<T, E = GeError> = std::result::Result<T, E>;
 
 /// One failed cell of a sweep session: the prepared-cell grid position plus
-/// the rendered error.
+/// the structured error kind and the rendered message.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CellFailure {
     /// Deterministic grid position of the prepared cell that failed.
     pub position: usize,
+    /// Machine-readable classification ([`GeError::kind`] of the cell error).
+    pub kind: &'static str,
     /// Rendered error message.
     pub error: String,
+}
+
+impl CellFailure {
+    /// Captures a cell error's kind and rendered message.
+    pub fn new(position: usize, error: &GeError) -> Self {
+        CellFailure {
+            position,
+            kind: error.kind(),
+            error: error.to_string(),
+        }
+    }
 }
 
 /// Everything that can go wrong on the engine's user-input path.
@@ -68,6 +81,23 @@ impl GeError {
             known,
         }
     }
+
+    /// Stable machine-readable classification of the error variant, used by
+    /// the serve event stream and telemetry to classify failures without
+    /// parsing display strings.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            GeError::UnknownName { .. } => "unknown-name",
+            GeError::Registry(_) => "registry",
+            GeError::InvalidSpec(_) => "invalid-spec",
+            GeError::GraphSource(_) => "graph-source",
+            GeError::Prepare(_) => "prepare",
+            GeError::Cache(_) => "cache",
+            GeError::Shard(_) => "shard",
+            GeError::CellsFailed(_) => "cells-failed",
+            GeError::Protocol(_) => "protocol",
+        }
+    }
 }
 
 impl fmt::Display for GeError {
@@ -109,6 +139,7 @@ mod tests {
 
         let err = GeError::CellsFailed(vec![CellFailure {
             position: 3,
+            kind: "prepare",
             error: "boom".into(),
         }]);
         let text = err.to_string();
@@ -120,5 +151,17 @@ mod tests {
         assert!(GeError::Shard("missing shard 1/2".into())
             .to_string()
             .contains("missing"));
+    }
+
+    #[test]
+    fn kinds_classify_every_variant_and_cell_failures_capture_them() {
+        assert_eq!(GeError::Prepare("x".into()).kind(), "prepare");
+        assert_eq!(GeError::Cache("x".into()).kind(), "cache");
+        assert_eq!(GeError::unknown("attacker", "zz", vec![]).kind(), "unknown-name");
+        let failure = CellFailure::new(7, &GeError::GraphSource("nope".into()));
+        assert_eq!(failure.position, 7);
+        assert_eq!(failure.kind, "graph-source");
+        assert!(failure.error.contains("nope"));
+        assert_eq!(GeError::CellsFailed(vec![failure]).kind(), "cells-failed");
     }
 }

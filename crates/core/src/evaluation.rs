@@ -43,17 +43,65 @@ pub fn evaluate_attack(
     detection_k: usize,
     explanation_size: usize,
 ) -> AttackOutcome {
+    evaluate_attack_instrumented(
+        model,
+        graph,
+        explainer,
+        victim,
+        perturbation,
+        detection_k,
+        explanation_size,
+        None,
+    )
+}
+
+/// [`evaluate_attack`] that also accumulates explain/detect wall-clock into
+/// `phases` when given: "explain" is the inspector explaining the attacked
+/// prediction, "detect" is applying the perturbation, re-predicting and
+/// scoring adversarial-edge detection. The computation is identical either
+/// way.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_attack_instrumented(
+    model: &Gcn,
+    graph: &Graph,
+    explainer: &dyn Explainer,
+    victim: &Victim,
+    perturbation: &Perturbation,
+    detection_k: usize,
+    explanation_size: usize,
+    phases: Option<&crate::telemetry::PhaseAccumulator>,
+) -> AttackOutcome {
+    let detect_started = std::time::Instant::now();
     let attacked = perturbation.apply(graph);
     let predicted = model.predict_proba(&attacked).argmax_row(victim.node);
     let success_any = predicted != victim.true_label;
     let success_target = predicted == victim.target_label;
+    if let Some(phases) = phases {
+        phases.add_detect(detect_started.elapsed());
+    }
 
     // The explainer explains the class the model predicts on the attacked
     // graph — exactly `predicted`, so the forward pass is not repeated.
-    let explanation = explainer
-        .explain_class(model, &attacked, victim.node, predicted)
-        .truncated(explanation_size);
+    let explain_started = std::time::Instant::now();
+    let explanation = {
+        let _span = geattack_telemetry::span_labeled(
+            geattack_telemetry::Level::Detail,
+            "explain.victim",
+            victim.node.to_string(),
+        );
+        explainer
+            .explain_class(model, &attacked, victim.node, predicted)
+            .truncated(explanation_size)
+    };
+    if let Some(phases) = phases {
+        phases.add_explain(explain_started.elapsed());
+    }
+
+    let detect_started = std::time::Instant::now();
     let detection = detection_scores(&explanation, perturbation.added(), detection_k);
+    if let Some(phases) = phases {
+        phases.add_detect(detect_started.elapsed());
+    }
 
     AttackOutcome {
         node: victim.node,

@@ -281,6 +281,7 @@ impl GeAttack {
 
 impl TargetedAttack for GeAttack {
     fn attack(&self, ctx: &AttackContext<'_>) -> Perturbation {
+        let _span = geattack_telemetry::span(geattack_telemetry::Level::Detail, "attack.geattack");
         // B = 11ᵀ − I − A (Algorithm 1, line 3), tracked implicitly: the clean
         // graph answers has_edge queries and `added` records the endpoints whose
         // B entries were zeroed by line 10.

@@ -20,6 +20,9 @@
 //! * [`sweep`] — sweep grids, shard reports and strict merge reassembly.
 //! * [`error`] — the [`error::GeError`] every user-input path returns instead
 //!   of panicking.
+//! * [`telemetry`] — engine-side timing types ([`telemetry::CellTiming`],
+//!   [`telemetry::SweepTelemetry`]) surfaced on events and `.meta.json`
+//!   sidecars; span/metric plumbing lives in the `geattack-telemetry` crate.
 //!
 //! ## Quickstart
 //!
@@ -45,18 +48,22 @@ pub mod registry;
 pub mod report;
 pub mod sweep;
 pub mod targets;
+pub mod telemetry;
 
 pub use engine::{CellEvent, Engine, SweepHandle};
 pub use error::{CellFailure, GeError};
-pub use evaluation::{aggregate_runs, summarize_run, AggregatedSummary, AttackOutcome, MeanStd, RunSummary};
+pub use evaluation::{
+    aggregate_runs, evaluate_attack_instrumented, summarize_run, AggregatedSummary, AttackOutcome, MeanStd, RunSummary,
+};
 pub use geattack::{GeAttack, GeAttackConfig};
 pub use persist::{cache_key, prepare_cached, CODE_VERSION_SALT};
 pub use pg_geattack::{PgGeAttack, PgGeAttackConfig};
 pub use pipeline::{
-    prepare, run_attacker, run_attacker_kind, run_attacker_with_budget, AttackerKind, BudgetRule, ExplainerKind,
-    GraphSource, PipelineConfig, Prepared,
+    prepare, run_attacker, run_attacker_instrumented, run_attacker_kind, run_attacker_with_budget, AttackerKind,
+    BudgetRule, ExplainerKind, GraphSource, PipelineConfig, Prepared,
 };
 pub use registry::{AttackerPlugin, AttackerRegistry, ExplainerPlugin, ExplainerRegistry};
 pub use report::{format_percent, Figure, Series, TableBlock};
 pub use sweep::{merge_shards, PlannedCell, Shard, ShardReport, SweepAggregate, SweepCell, SweepReport, SweepRun};
 pub use targets::{assign_target_labels, select_victims, victims_with_degree, Victim, VictimSelectionConfig};
+pub use telemetry::{CellTiming, LatencySummary, PhaseAccumulator, SweepTelemetry};

@@ -328,9 +328,17 @@ pub fn prepare_cached_salted(config: PipelineConfig, cache: Option<&CacheStore>,
     };
     let key = cache_key_salted(&config, salt);
     if let Some(payload) = store.load(&key) {
-        match decode_prepared(&payload, config.clone()) {
+        let decoded = {
+            let _span = geattack_telemetry::span(geattack_telemetry::Level::Phase, "persist.decode");
+            decode_prepared(&payload, config.clone())
+        };
+        match decoded {
             Ok(prepared) => {
                 store.record_hit();
+                store
+                    .metrics()
+                    .counter("persist.bytes_decoded")
+                    .add(payload.len() as u64);
                 return Ok(prepared);
             }
             Err(e) => {
@@ -341,7 +349,15 @@ pub fn prepare_cached_salted(config: PipelineConfig, cache: Option<&CacheStore>,
     }
     store.record_miss();
     let prepared = prepare(config)?;
-    if let Err(e) = store.store(&key, &encode_prepared(&prepared)) {
+    let payload = {
+        let _span = geattack_telemetry::span(geattack_telemetry::Level::Phase, "persist.encode");
+        encode_prepared(&prepared)
+    };
+    store
+        .metrics()
+        .counter("persist.bytes_encoded")
+        .add(payload.len() as u64);
+    if let Err(e) = store.store(&key, &payload) {
         eprintln!("cache: warning: could not persist entry {key}: {e}");
     }
     Ok(prepared)

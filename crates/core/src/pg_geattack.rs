@@ -116,6 +116,7 @@ impl PgGeAttack {
 
 impl TargetedAttack for PgGeAttack {
     fn attack(&self, ctx: &AttackContext<'_>) -> Perturbation {
+        let _span = geattack_telemetry::span(geattack_telemetry::Level::Detail, "attack.pg-geattack");
         let mut zeroed = std::collections::HashSet::new();
         let mut perturbation = Perturbation::new();
         let mut working = ctx.graph.clone();

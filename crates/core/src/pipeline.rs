@@ -24,10 +24,11 @@ use geattack_graph::{stratified_split, DataSplit, Graph};
 use geattack_scenarios::{BudgetSpec, ScenarioSpec};
 
 use crate::error::{GeError, Result};
-use crate::evaluation::{evaluate_attack, AttackOutcome};
+use crate::evaluation::{evaluate_attack_instrumented, AttackOutcome};
 use crate::geattack::{GeAttack, GeAttackConfig};
 use crate::pg_geattack::{PgGeAttack, PgGeAttackConfig};
 use crate::targets::{assign_target_labels, select_victims, Victim, VictimSelectionConfig};
+use crate::telemetry::PhaseAccumulator;
 
 /// The attackers compared in Tables 1 and 2, in the paper's column order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -424,6 +425,7 @@ impl Prepared {
 /// assign their target labels (and train PGExplainer if it is the inspector).
 /// Fails (instead of panicking) when the graph source cannot be loaded.
 pub fn prepare(config: PipelineConfig) -> Result<Prepared> {
+    let _span = geattack_telemetry::span(geattack_telemetry::Level::Phase, "prepare");
     let graph = config.source.load(&config.generator)?;
     use rand::SeedableRng as _;
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(config.generator.seed);
@@ -469,6 +471,20 @@ pub fn run_attacker_with_budget(
     inspector: &(dyn Explainer + Sync),
     budget: BudgetRule,
 ) -> Vec<AttackOutcome> {
+    run_attacker_instrumented(prepared, attacker, inspector, budget, None)
+}
+
+/// [`run_attacker_with_budget`] that also accumulates per-phase wall-clock
+/// into `phases` when given — the engine's per-cell timing breakdown. Timing
+/// is additive across the parallel victim threads; the measured computation is
+/// unchanged either way.
+pub fn run_attacker_instrumented(
+    prepared: &Prepared,
+    attacker: &(dyn TargetedAttack + Sync),
+    inspector: &(dyn Explainer + Sync),
+    budget: BudgetRule,
+    phases: Option<&PhaseAccumulator>,
+) -> Vec<AttackOutcome> {
     let config = prepared.config();
     let evaluate = |victim: &Victim| {
         let ctx = AttackContext {
@@ -478,8 +494,19 @@ pub fn run_attacker_with_budget(
             target_label: victim.target_label,
             budget: budget.budget_for(&prepared.graph, victim.node),
         };
-        let perturbation = attacker.attack(&ctx);
-        evaluate_attack(
+        let attack_started = std::time::Instant::now();
+        let perturbation = {
+            let _span = geattack_telemetry::span_labeled(
+                geattack_telemetry::Level::Detail,
+                "attack.victim",
+                victim.node.to_string(),
+            );
+            attacker.attack(&ctx)
+        };
+        if let Some(phases) = phases {
+            phases.add_attack(attack_started.elapsed());
+        }
+        evaluate_attack_instrumented(
             &prepared.model,
             &prepared.graph,
             inspector,
@@ -487,6 +514,7 @@ pub fn run_attacker_with_budget(
             &perturbation,
             config.detection_k,
             config.explanation_size,
+            phases,
         )
     };
 

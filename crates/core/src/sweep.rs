@@ -243,13 +243,17 @@ pub struct SweepRun {
     /// Number of experiments this run prepared (== cache hits + misses when
     /// caching).
     pub prepared_cells: usize,
+    /// Aggregated session timing: per-phase totals and the per-cell latency
+    /// distribution.
+    pub telemetry: crate::telemetry::SweepTelemetry,
 }
 
 impl SweepRun {
     /// Renders the run's metadata sidecar (spec hash, shard, prepared-cell
-    /// count, cache counters) as pretty JSON. This lives *next to* the report
-    /// instead of inside it so cold and warm runs stay byte-identical on the
-    /// report while still surfacing their cache behavior.
+    /// count, cache counters, aggregated timing) as pretty JSON. This lives
+    /// *next to* the report instead of inside it so cold and warm runs stay
+    /// byte-identical on the report while still surfacing their cache and
+    /// timing behavior.
     pub fn meta_json(&self) -> String {
         use serde::Value;
         let cache = match &self.cache {
@@ -265,6 +269,35 @@ impl SweepRun {
         } else {
             Value::String(format!("{}/{}", self.shard.shard_index, self.shard.shard_count))
         };
+        // Round timing to microsecond granularity so the sidecar stays tidy;
+        // the values are nondeterministic either way.
+        let ms = |v: f64| Value::Number((v * 1e3).round() / 1e3);
+        let t = &self.telemetry;
+        let telemetry = Value::Object(vec![
+            ("planned_cells".to_string(), Value::Number(t.planned_cells as f64)),
+            ("finished_cells".to_string(), Value::Number(t.finished_cells as f64)),
+            ("failed_cells".to_string(), Value::Number(t.failed_cells as f64)),
+            (
+                "phase_totals_ms".to_string(),
+                Value::Object(vec![
+                    ("prepare".to_string(), ms(t.phase_totals.prepare_ms)),
+                    ("attack".to_string(), ms(t.phase_totals.attack_ms)),
+                    ("explain".to_string(), ms(t.phase_totals.explain_ms)),
+                    ("detect".to_string(), ms(t.phase_totals.detect_ms)),
+                    ("total".to_string(), ms(t.phase_totals.total_ms)),
+                ]),
+            ),
+            (
+                "cell_latency_ms".to_string(),
+                Value::Object(vec![
+                    ("count".to_string(), Value::Number(t.cell_latency.count as f64)),
+                    ("p50".to_string(), ms(t.cell_latency.p50)),
+                    ("p95".to_string(), ms(t.cell_latency.p95)),
+                    ("p99".to_string(), ms(t.cell_latency.p99)),
+                    ("max".to_string(), ms(t.cell_latency.max)),
+                ]),
+            ),
+        ]);
         let meta = Value::Object(vec![
             ("sweep".to_string(), Value::String(self.shard.sweep.clone())),
             ("spec_hash".to_string(), Value::String(self.shard.spec_hash.clone())),
@@ -272,6 +305,7 @@ impl SweepRun {
             ("prepared_cells".to_string(), Value::Number(self.prepared_cells as f64)),
             ("result_cells".to_string(), Value::Number(self.shard.cells.len() as f64)),
             ("cache".to_string(), cache),
+            ("telemetry".to_string(), telemetry),
         ]);
         serde_json::to_string_pretty(&meta).expect("metadata always serializes")
     }
@@ -945,7 +979,13 @@ mod tests {
     }
 
     #[test]
-    fn meta_json_reports_shard_and_cache_state() {
+    fn meta_json_reports_shard_cache_and_telemetry_state() {
+        let mut telemetry = crate::telemetry::SweepTelemetry {
+            planned_cells: 1,
+            finished_cells: 1,
+            ..Default::default()
+        };
+        telemetry.phase_totals.attack_ms = 12.3456789;
         let run = SweepRun {
             shard: fabricated_shard(1, 2, vec![fabricated_cell(1, 3, 0.5)]),
             cache: Some(CacheCounters {
@@ -954,16 +994,21 @@ mod tests {
                 evictions: 0,
             }),
             prepared_cells: 1,
+            telemetry,
         };
         let meta = run.meta_json();
         assert!(meta.contains("\"shard\": \"1/2\""), "{meta}");
         assert!(meta.contains("\"hits\": 2"), "{meta}");
         assert!(meta.contains("\"prepared_cells\": 1"), "{meta}");
+        assert!(meta.contains("\"finished_cells\": 1"), "{meta}");
+        assert!(meta.contains("\"attack\": 12.346"), "timing rounds to µs: {meta}");
+        assert!(meta.contains("\"cell_latency_ms\""), "{meta}");
 
         let full = SweepRun {
             shard: fabricated_shard(0, 1, Vec::new()),
             cache: None,
             prepared_cells: 0,
+            telemetry: Default::default(),
         };
         let meta = full.meta_json();
         assert!(meta.contains("\"shard\": null"), "{meta}");

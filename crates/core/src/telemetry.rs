@@ -1,0 +1,186 @@
+//! Engine-side timing types: per-cell phase breakdowns and the per-session
+//! [`SweepTelemetry`] summary.
+//!
+//! The engine measures phases directly with the monotonic clock — independent
+//! of whether a `geattack-telemetry` recorder is installed — so
+//! `CellEvent::Finished` always carries a [`CellTiming`] and
+//! `SweepHandle::wait()` always aggregates a [`SweepTelemetry`]. None of it
+//! feeds back into the computation, and none of it is written into the report
+//! itself: timings surface in the event stream, the serve protocol and the
+//! `results/sweep_<name>.meta.json` sidecar, keeping reports byte-identical
+//! run to run.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use geattack_telemetry::Histogram;
+
+/// Wall-clock breakdown of one executed prepared cell, in milliseconds.
+///
+/// `prepare` is the (possibly cache-served) preparation; `attack` is the
+/// attackers' perturbation search; `explain` is the inspector explaining each
+/// attacked victim; `detect` covers applying the perturbation, re-predicting
+/// and scoring adversarial-edge detection. The last three are summed across
+/// victims, so with parallel victim loops their sum can exceed the cell's
+/// `total` wall-clock — they measure where compute went, not elapsed time.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CellTiming {
+    /// Preparation (dataset + GCN training, or a cache hit), ms.
+    pub prepare_ms: f64,
+    /// Attack-search time summed over victims and attackers, ms.
+    pub attack_ms: f64,
+    /// Explanation time summed over victims and attackers, ms.
+    pub explain_ms: f64,
+    /// Apply + re-predict + detection-scoring time summed over victims, ms.
+    pub detect_ms: f64,
+    /// Whole-cell wall-clock (prepare through last attack run), ms.
+    pub total_ms: f64,
+}
+
+impl CellTiming {
+    /// Accumulates another cell's timing into per-phase totals.
+    pub fn accumulate(&mut self, other: &CellTiming) {
+        self.prepare_ms += other.prepare_ms;
+        self.attack_ms += other.attack_ms;
+        self.explain_ms += other.explain_ms;
+        self.detect_ms += other.detect_ms;
+        self.total_ms += other.total_ms;
+    }
+}
+
+/// Thread-safe nanosecond accumulators for the attack/explain/detect phases.
+/// One lives per executing cell; victim threads add into it, the engine
+/// converts the totals to a [`CellTiming`].
+#[derive(Debug, Default)]
+pub struct PhaseAccumulator {
+    attack_ns: AtomicU64,
+    explain_ns: AtomicU64,
+    detect_ns: AtomicU64,
+}
+
+impl PhaseAccumulator {
+    /// A zeroed accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds attack-search time.
+    pub fn add_attack(&self, elapsed: Duration) {
+        self.attack_ns.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Adds explanation time.
+    pub fn add_explain(&self, elapsed: Duration) {
+        self.explain_ns.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Adds apply/re-predict/detection time.
+    pub fn add_detect(&self, elapsed: Duration) {
+        self.detect_ns.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// The accumulated `(attack, explain, detect)` milliseconds.
+    pub fn totals_ms(&self) -> (f64, f64, f64) {
+        let to_ms = |ns: &AtomicU64| ns.load(Ordering::Relaxed) as f64 / 1e6;
+        (to_ms(&self.attack_ns), to_ms(&self.explain_ns), to_ms(&self.detect_ns))
+    }
+}
+
+/// Latency distribution summary (milliseconds), exported from a fixed-bucket
+/// [`Histogram`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Estimated median.
+    pub p50: f64,
+    /// Estimated 95th percentile.
+    pub p95: f64,
+    /// Estimated 99th percentile.
+    pub p99: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl LatencySummary {
+    /// Summarizes a histogram of cell latencies.
+    pub fn from_histogram(histogram: &Histogram) -> Self {
+        let snap = histogram.snapshot();
+        LatencySummary {
+            count: snap.count,
+            p50: snap.p50,
+            p95: snap.p95,
+            p99: snap.p99,
+            max: snap.max,
+        }
+    }
+}
+
+/// Aggregated timing of one sweep session, assembled by the engine's session
+/// worker and carried on `SweepRun` into the `.meta.json` sidecar (and the
+/// serve protocol's `done` event).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SweepTelemetry {
+    /// Prepared cells this session owned.
+    pub planned_cells: usize,
+    /// Cells that finished successfully.
+    pub finished_cells: usize,
+    /// Cells that failed.
+    pub failed_cells: usize,
+    /// Per-phase totals summed over finished cells (`total_ms` here is the
+    /// sum of cell wall-clocks, not the session's elapsed time).
+    pub phase_totals: CellTiming,
+    /// Distribution of per-cell wall-clock latencies.
+    pub cell_latency: LatencySummary,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulator_sums_phases_in_ms() {
+        let acc = PhaseAccumulator::new();
+        acc.add_attack(Duration::from_millis(2));
+        acc.add_attack(Duration::from_millis(3));
+        acc.add_explain(Duration::from_micros(1500));
+        acc.add_detect(Duration::from_millis(1));
+        let (attack, explain, detect) = acc.totals_ms();
+        assert_eq!(attack, 5.0);
+        assert_eq!(explain, 1.5);
+        assert_eq!(detect, 1.0);
+    }
+
+    #[test]
+    fn cell_timing_accumulates_per_phase() {
+        let mut totals = CellTiming::default();
+        totals.accumulate(&CellTiming {
+            prepare_ms: 1.0,
+            attack_ms: 2.0,
+            explain_ms: 3.0,
+            detect_ms: 4.0,
+            total_ms: 10.0,
+        });
+        totals.accumulate(&CellTiming {
+            prepare_ms: 0.5,
+            attack_ms: 0.5,
+            explain_ms: 0.5,
+            detect_ms: 0.5,
+            total_ms: 2.0,
+        });
+        assert_eq!(totals.prepare_ms, 1.5);
+        assert_eq!(totals.total_ms, 12.0);
+    }
+
+    #[test]
+    fn latency_summary_reads_histogram_percentiles() {
+        let histogram = Histogram::new();
+        for _ in 0..10 {
+            histogram.record(8.0);
+        }
+        let summary = LatencySummary::from_histogram(&histogram);
+        assert_eq!(summary.count, 10);
+        assert_eq!(summary.max, 8.0);
+        assert!(summary.p50 > 0.0 && summary.p50 <= 8.0);
+    }
+}

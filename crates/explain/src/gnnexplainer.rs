@@ -431,6 +431,7 @@ impl Explainer for GnnExplainer {
     }
 
     fn explain_class(&self, model: &Gcn, graph: &Graph, target: usize, explained_class: usize) -> Explanation {
+        let _span = geattack_telemetry::span(geattack_telemetry::Level::Detail, "explain.gnnexplainer");
         let sub = computation_subgraph(graph, target, self.config.hops, &[]);
         if self.use_per_edge(sub.num_nodes()) {
             self.explain_per_edge(model, &sub, target, explained_class)

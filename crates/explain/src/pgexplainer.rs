@@ -340,6 +340,11 @@ impl PgExplainer {
             !candidate_nodes.is_empty(),
             "PGExplainer needs at least one training instance"
         );
+        let _span = geattack_telemetry::span_labeled(
+            geattack_telemetry::Level::Phase,
+            "pgexplainer.train",
+            format!("epochs={}", config.epochs),
+        );
         let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
         let mut params = PgMlpParams::init(model.hidden(), config.hidden, &mut rng);
         let mut optimizer = Adam::new(config.lr);
@@ -430,6 +435,7 @@ impl Explainer for PgExplainer {
     }
 
     fn explain_class(&self, model: &Gcn, graph: &Graph, target: usize, explained_class: usize) -> Explanation {
+        let _span = geattack_telemetry::span(geattack_telemetry::Level::Detail, "explain.pgexplainer");
         let sub = computation_subgraph(graph, target, self.config.hops, &[]);
         let edges = SubgraphEdges::from_subgraph(&sub);
         if edges.is_empty() {

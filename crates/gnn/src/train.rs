@@ -114,6 +114,11 @@ pub fn train_dense_oracle(graph: &Graph, split: &DataSplit, config: &TrainConfig
 
 fn train_with_repr(graph: &Graph, split: &DataSplit, config: &TrainConfig, repr: AdjacencyRepr) -> TrainedGcn {
     assert!(!split.train.is_empty(), "training split is empty");
+    let _span = geattack_telemetry::span_labeled(
+        geattack_telemetry::Level::Phase,
+        "gnn.train",
+        format!("n={} epochs<={}", graph.num_nodes(), config.epochs),
+    );
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
     let mut model = Gcn::new(graph.num_features(), config.hidden, graph.num_classes(), &mut rng);
     let mut optimizer = Adam::new(config.lr).with_weight_decay(config.weight_decay);
@@ -128,6 +133,8 @@ fn train_with_repr(graph: &Graph, split: &DataSplit, config: &TrainConfig, repr:
     let mut epochs_since_best = 0usize;
 
     for epoch in 0..config.epochs {
+        let _epoch_span =
+            geattack_telemetry::span_labeled(geattack_telemetry::Level::Detail, "gnn.epoch", epoch.to_string());
         let tape = Tape::new();
         let x = tape.constant(x_value.clone());
         let params = model.insert_params(&tape);

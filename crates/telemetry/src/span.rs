@@ -1,0 +1,198 @@
+//! Monotonic-clock spans with thread-local nesting.
+//!
+//! A [`SpanGuard`] measures the region between its construction and its drop.
+//! Guards are plain stack values, so Rust's drop order enforces LIFO nesting
+//! per thread; each guard records its parent (the span that was innermost on
+//! this thread when it opened), which lets offline tooling rebuild the call
+//! tree from a flat NDJSON trace. When the span's [`Level`] is not enabled the
+//! guard is inert: no clock read, no allocation, no stack push.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Coarseness of a span. Recorders opt into a maximum level; a recorder at
+/// [`Level::Phase`] captures `Cell` and `Phase` spans and skips `Detail`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// One sweep cell or one served request.
+    Cell,
+    /// One pipeline phase within a cell: prepare, train, attack run,
+    /// persist encode/decode, cache get/put.
+    Phase,
+    /// Hot-loop granularity: a train epoch, one victim's attack, one
+    /// explanation, one spmm call. High-volume; off in the default NDJSON
+    /// sink, on in the in-memory ring for tests.
+    Detail,
+}
+
+impl Level {
+    /// Numeric form used by the global enabled-level gate (higher = finer).
+    #[inline]
+    pub fn as_u8(self) -> u8 {
+        match self {
+            Level::Cell => 1,
+            Level::Phase => 2,
+            Level::Detail => 3,
+        }
+    }
+
+    /// Stable lowercase name, used by the NDJSON sink.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Cell => "cell",
+            Level::Phase => "phase",
+            Level::Detail => "detail",
+        }
+    }
+}
+
+/// A finished span as handed to a [`crate::Recorder`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanRecord {
+    /// Process-unique span id (never 0).
+    pub id: u64,
+    /// Id of the enclosing span on the same thread, or 0 for a root span.
+    pub parent: u64,
+    /// Taxonomy name, e.g. `"prepare"` or `"attack.victim"`.
+    pub name: &'static str,
+    /// Free-form instance label (victim id, cell position, ...); may be empty.
+    pub label: String,
+    /// Coarseness the span was declared at.
+    pub level: Level,
+    /// Small dense id of the recording thread (1-based, per process).
+    pub thread: u64,
+    /// Microseconds since the process telemetry epoch (first span ever).
+    pub start_us: u64,
+    /// Wall-clock duration in microseconds (monotonic clock).
+    pub elapsed_us: u64,
+}
+
+/// Monotonic time origin shared by every span in the process.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Process-unique span ids; 0 is reserved for "no parent".
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Small dense thread ids (`std::thread::ThreadId` has no stable integer form).
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Ids of the spans currently open on this thread, outermost first.
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    static THREAD_ID: u64 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Opens an unlabeled span. Equivalent to [`span_labeled`] with `""`.
+#[inline]
+pub fn span(level: Level, name: &'static str) -> SpanGuard {
+    if !crate::enabled(level) {
+        return SpanGuard { active: None };
+    }
+    SpanGuard::open(level, name, String::new())
+}
+
+/// Opens a span carrying an instance label (victim id, grid position, ...).
+/// The label is only materialized when the level is enabled, so call sites may
+/// pass `format!`-built strings via a closure-free `&dyn Fn` — in practice the
+/// hot paths guard with [`crate::enabled`] before formatting.
+#[inline]
+pub fn span_labeled(level: Level, name: &'static str, label: impl Into<String>) -> SpanGuard {
+    if !crate::enabled(level) {
+        return SpanGuard { active: None };
+    }
+    SpanGuard::open(level, name, label.into())
+}
+
+/// RAII guard for one span; records the span when dropped. Inert (all no-ops)
+/// when the span's level was disabled at construction time.
+#[must_use = "a span measures the region until the guard drops"]
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+struct ActiveSpan {
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    label: String,
+    level: Level,
+    thread: u64,
+    start: Instant,
+    start_us: u64,
+}
+
+impl SpanGuard {
+    fn open(level: Level, name: &'static str, label: String) -> SpanGuard {
+        let start = Instant::now();
+        let start_us = start.duration_since(epoch()).as_micros() as u64;
+        let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        let parent = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let parent = stack.last().copied().unwrap_or(0);
+            stack.push(id);
+            parent
+        });
+        let thread = THREAD_ID.with(|t| *t);
+        SpanGuard {
+            active: Some(ActiveSpan {
+                id,
+                parent,
+                name,
+                label,
+                level,
+                thread,
+                start,
+                start_us,
+            }),
+        }
+    }
+
+    /// Whether this guard is live (its level was enabled when it opened).
+    pub fn is_recording(&self) -> bool {
+        self.active.is_some()
+    }
+
+    /// The span id, or 0 for an inert guard.
+    pub fn id(&self) -> u64 {
+        self.active.as_ref().map_or(0, |a| a.id)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(active) = self.active.take() else {
+            return;
+        };
+        let elapsed_us = active.start.elapsed().as_micros() as u64;
+        SPAN_STACK.with(|stack| {
+            // Guards are stack values so this is the top entry; a guard moved
+            // into a longer-lived structure is removed from wherever it sits
+            // so sibling spans never inherit a closed parent.
+            let mut stack = stack.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|&id| id == active.id) {
+                stack.remove(pos);
+            }
+        });
+        let record = SpanRecord {
+            id: active.id,
+            parent: active.parent,
+            name: active.name,
+            label: active.label,
+            level: active.level,
+            thread: active.thread,
+            start_us: active.start_us,
+            elapsed_us,
+        };
+        crate::dispatch(&record);
+    }
+}
+
+/// Depth of the span stack on the current thread (test/diagnostic hook).
+pub fn open_span_depth() -> usize {
+    SPAN_STACK.with(|stack| stack.borrow().len())
+}

@@ -1,0 +1,129 @@
+//! Span-core behavior: the global enable gate, parent tracking, and the
+//! LIFO-nesting property. Recording is process-global, so every test that
+//! installs a recorder serializes on one mutex.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+use proptest::prelude::*;
+
+use geattack_telemetry::span::open_span_depth;
+use geattack_telemetry::{install, span, span_labeled, uninstall, Level, RingRecorder, SpanGuard};
+
+fn recorder_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[test]
+fn spans_are_inert_without_a_recorder() {
+    let _serial = recorder_lock();
+    uninstall();
+    let guard = span(Level::Cell, "cell");
+    assert!(!guard.is_recording());
+    assert_eq!(guard.id(), 0);
+    assert_eq!(open_span_depth(), 0);
+    drop(guard);
+}
+
+#[test]
+fn recorded_spans_carry_parent_label_and_timing() {
+    let _serial = recorder_lock();
+    let ring = Arc::new(RingRecorder::new(64));
+    install(ring.clone());
+    {
+        let outer = span_labeled(Level::Cell, "cell", "pos=3");
+        assert!(outer.is_recording());
+        let inner = span(Level::Phase, "prepare");
+        assert_eq!(open_span_depth(), 2);
+        drop(inner);
+        drop(outer);
+    }
+    uninstall();
+    let spans = ring.drain();
+    assert_eq!(spans.len(), 2);
+    // Spans are recorded when they close: innermost first.
+    assert_eq!(spans[0].name, "prepare");
+    assert_eq!(spans[1].name, "cell");
+    assert_eq!(spans[1].label, "pos=3");
+    assert_eq!(spans[1].parent, 0);
+    assert_eq!(spans[0].parent, spans[1].id);
+    assert_eq!(spans[0].thread, spans[1].thread);
+    assert!(spans[0].start_us >= spans[1].start_us);
+    assert_eq!(open_span_depth(), 0);
+}
+
+#[test]
+fn recorder_level_filters_finer_spans() {
+    let _serial = recorder_lock();
+    let ring = Arc::new(RingRecorder::with_level(64, Level::Phase));
+    install(ring.clone());
+    let phase = span(Level::Phase, "prepare");
+    let detail = span(Level::Detail, "spmm");
+    assert!(phase.is_recording());
+    assert!(!detail.is_recording());
+    drop(detail);
+    drop(phase);
+    uninstall();
+    let names: Vec<&str> = ring.drain().iter().map(|s| s.name).collect();
+    assert_eq!(names, vec!["prepare"]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For any balanced open/close sequence, guards close in LIFO order, every
+    /// span's recorded parent is the span that was innermost when it opened,
+    /// and no span is orphaned (its parent is recorded after it or is root).
+    #[test]
+    fn span_nesting_is_lifo_with_no_orphans(ops in proptest::collection::vec(0usize..2, 1..40)) {
+        let _serial = recorder_lock();
+        let ring = Arc::new(RingRecorder::new(256));
+        install(ring.clone());
+
+        let mut open: Vec<SpanGuard> = Vec::new();
+        let mut expected_parent: HashMap<u64, u64> = HashMap::new();
+        let mut close_order: Vec<u64> = Vec::new();
+        let base_depth = open_span_depth();
+        for op in ops {
+            if op == 0 || open.is_empty() {
+                let parent = open.last().map_or(0, |g| g.id());
+                let guard = span(Level::Detail, "prop");
+                expected_parent.insert(guard.id(), parent);
+                open.push(guard);
+            } else {
+                let guard = open.pop().unwrap();
+                close_order.push(guard.id());
+                drop(guard);
+            }
+            prop_assert_eq!(open_span_depth() - base_depth, open.len());
+        }
+        while let Some(guard) = open.pop() {
+            close_order.push(guard.id());
+            drop(guard);
+        }
+        uninstall();
+        prop_assert_eq!(open_span_depth(), base_depth);
+
+        let spans = ring.drain();
+        let recorded: Vec<u64> = spans.iter().map(|s| s.id).collect();
+        // Records appear in close order (a recorder sees a span when it ends).
+        prop_assert_eq!(&recorded, &close_order);
+        // Parents are exactly the innermost-open span at open time.
+        for span in &spans {
+            prop_assert_eq!(span.parent, expected_parent[&span.id]);
+        }
+        // No orphans: every non-root parent was itself recorded, and later
+        // than all of its children (LIFO).
+        let position: HashMap<u64, usize> = recorded.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+        for span in &spans {
+            if span.parent != 0 {
+                let parent_pos = position.get(&span.parent);
+                prop_assert!(parent_pos.is_some(), "span {} has unrecorded parent {}", span.id, span.parent);
+                prop_assert!(parent_pos.unwrap() > &position[&span.id]);
+            }
+        }
+    }
+}

@@ -203,6 +203,10 @@ impl SparseMatrix {
     /// [`Matrix::matmul`], so the result is bit-identical to
     /// `self.to_dense().matmul(b)`.
     pub fn spmm(&self, b: &Matrix) -> Matrix {
+        // Unlabeled detail span: the guard is inert (one relaxed atomic load)
+        // unless a recorder at Detail level is installed, keeping the kernel's
+        // hot path free of allocations.
+        let _span = geattack_telemetry::span(geattack_telemetry::Level::Detail, "spmm");
         assert_eq!(
             self.cols,
             b.rows(),
