@@ -1,0 +1,111 @@
+//! Concurrency load harness for a running `geattack-serve` daemon.
+//!
+//! ```text
+//! cargo run --release -p geattack-bench --bin geattack-loadtest -- \
+//!     --spec examples/sweeps/quick.json [--spec MORE.json ...] \
+//!     [--addr 127.0.0.1:7341] [--clients 4] [--requests 2] \
+//!     [--timeout-s 120] [--out PATH.json]
+//! ```
+//!
+//! Spawns `--clients` threads, each submitting `--requests` sweeps; clients
+//! round-robin the `--spec` files with a per-client offset so the in-flight
+//! mix always spans cheap and heavy work. Prints a one-line summary to stderr
+//! and the full JSON report (throughput, p50/p95/p99 latency, per-spec
+//! byte-identity of the served reports, the daemon's final `stats` snapshot)
+//! to stdout — or to `--out` when given.
+//!
+//! Exits non-zero when any request failed or any spec's responses diverged,
+//! so CI can use it as an assertion, not just a measurement.
+
+use std::time::Duration;
+
+use geattack_bench::loadtest::{run, LoadtestConfig};
+
+const USAGE: &str = "usage: geattack-loadtest --spec SPEC.json [--spec MORE.json ...] \
+[--addr HOST:PORT] [--clients N] [--requests N] [--timeout-s N] [--out PATH.json]";
+
+fn fail(message: &str) -> ! {
+    eprintln!("{message}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn next_value(args: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    args.next().unwrap_or_else(|| fail(&format!("{flag} expects a value")))
+}
+
+fn parse_number<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, flag: &str) -> T {
+    let value = next_value(args, flag);
+    value
+        .parse()
+        .unwrap_or_else(|_| fail(&format!("{flag} expects a number, got `{value}`")))
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut addr = "127.0.0.1:7341".to_string();
+    let mut clients = 4usize;
+    let mut requests = 2usize;
+    let mut timeout_s = 120u64;
+    let mut out: Option<String> = None;
+    let mut specs: Vec<(String, String)> = Vec::new();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = next_value(&mut args, "--addr"),
+            "--clients" => clients = parse_number(&mut args, "--clients"),
+            "--requests" => requests = parse_number(&mut args, "--requests"),
+            "--timeout-s" => timeout_s = parse_number(&mut args, "--timeout-s"),
+            "--out" => out = Some(next_value(&mut args, "--out")),
+            "--spec" => {
+                let path = next_value(&mut args, "--spec");
+                let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                    eprintln!("cannot read {path}: {e}");
+                    std::process::exit(2);
+                });
+                let label = std::path::Path::new(&path)
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .unwrap_or_else(|| path.clone());
+                specs.push((label, text));
+            }
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                return;
+            }
+            other => fail(&format!("unknown option: {other}")),
+        }
+    }
+    if specs.is_empty() {
+        fail("at least one --spec is required");
+    }
+
+    let config = LoadtestConfig {
+        addr,
+        clients,
+        requests_per_client: requests,
+        specs,
+        timeout: Duration::from_secs(timeout_s),
+    };
+    let report = run(&config).unwrap_or_else(|e| {
+        eprintln!("loadtest failed: {e}");
+        std::process::exit(2);
+    });
+    eprintln!("{}", report.summary_line());
+    for error in &report.errors {
+        eprintln!("  error: {error}");
+    }
+    let json = report.to_pretty();
+    match out {
+        Some(path) => {
+            std::fs::write(&path, format!("{json}\n")).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(2);
+            });
+            eprintln!("(JSON written to {path})");
+        }
+        None => println!("{json}"),
+    }
+    if report.failed > 0 || !report.reports_consistent {
+        std::process::exit(1);
+    }
+}

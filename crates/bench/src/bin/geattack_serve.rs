@@ -3,7 +3,8 @@
 //! ```text
 //! # daemon: accept sweep-spec JSON lines on a TCP socket, stream NDJSON results
 //! cargo run --release -p geattack-bench --bin geattack-serve -- listen \
-//!     [--addr 127.0.0.1:7341] [--serial] [--cache-dir DIR] [--cache-budget-mb N] [--max-requests N]
+//!     [--addr 127.0.0.1:7341] [--workers N] [--queue-limit N] [--serial] \
+//!     [--cache-dir DIR] [--cache-budget-mb N] [--max-requests N]
 //!
 //! # client: submit a spec file, reassemble the report, write it under results/
 //! cargo run --release -p geattack-bench --bin geattack-serve -- submit SPEC.json \
@@ -12,11 +13,16 @@
 //!
 //! One [`Engine`] (and therefore one prepared-experiment cache) serves every
 //! request of the daemon's lifetime, so repeated sweeps over overlapping grids
-//! skip their GCN training. The protocol is NDJSON both ways (see
-//! [`geattack_bench::serve`]); `nc` works as a client too:
+//! skip their GCN training. Connections are handled concurrently: up to
+//! `--workers` requests execute at once (cheapest-estimated-cost first among
+//! waiters), at most `--queue-limit` more may wait. SIGTERM drains gracefully
+//! — in-flight requests finish streaming, then the daemon exits 0. The
+//! protocol is NDJSON both ways (see [`geattack_bench::serve`]); `nc` works
+//! as a client too:
 //!
 //! ```text
 //! jq -c . examples/sweeps/quick.json | nc 127.0.0.1 7341
+//! echo '{"request":"drain"}' | nc 127.0.0.1 7341
 //! ```
 //!
 //! `submit` writes `results/served_<name>.json`, byte-identical to the
@@ -26,13 +32,14 @@ use std::net::TcpListener;
 use std::time::Duration;
 
 use geattack_bench::runner::write_json;
-use geattack_bench::serve::{serve, submit};
+use geattack_bench::serve::{serve, sigterm_flag, submit, ServeOptions};
 use geattack_core::engine::Engine;
 
 const DEFAULT_ADDR: &str = "127.0.0.1:7341";
 
-const USAGE: &str = "usage: geattack-serve listen [--addr HOST:PORT] [--serial] [--cache-dir DIR] \
-[--cache-budget-mb N] [--max-requests N]\n       geattack-serve submit SPEC.json [--addr HOST:PORT]";
+const USAGE: &str = "usage: geattack-serve listen [--addr HOST:PORT] [--workers N] [--queue-limit N] \
+[--serial] [--cache-dir DIR] [--cache-budget-mb N] [--max-requests N]\n       \
+geattack-serve submit SPEC.json [--addr HOST:PORT]";
 
 fn fail(message: &str) -> ! {
     eprintln!("{message}");
@@ -63,10 +70,26 @@ fn listen(mut args: impl Iterator<Item = String>) {
     let mut cache_dir: Option<String> = None;
     let mut cache_budget_mb: Option<u64> = None;
     let mut max_requests: Option<usize> = None;
+    let mut workers = 1usize;
+    let mut queue_limit = 16usize;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--addr" => addr = next_value(&mut args, "--addr"),
             "--serial" => serial = true,
+            "--workers" => {
+                let value = next_value(&mut args, "--workers");
+                match value.parse() {
+                    Ok(n) => workers = n,
+                    Err(_) => fail(&format!("--workers expects a number, got `{value}`")),
+                }
+            }
+            "--queue-limit" => {
+                let value = next_value(&mut args, "--queue-limit");
+                match value.parse() {
+                    Ok(n) => queue_limit = n,
+                    Err(_) => fail(&format!("--queue-limit expects a number, got `{value}`")),
+                }
+            }
             "--cache-dir" => cache_dir = Some(next_value(&mut args, "--cache-dir")),
             "--cache-budget-mb" => {
                 let value = next_value(&mut args, "--cache-budget-mb");
@@ -103,8 +126,17 @@ fn listen(mut args: impl Iterator<Item = String>) {
         eprintln!("cannot listen on {addr}: {e}");
         std::process::exit(2);
     });
-    eprintln!("geattack-serve listening on {addr} (one sweep-spec JSON object per line)");
-    match serve(listener, &engine, max_requests) {
+    eprintln!(
+        "geattack-serve listening on {addr} (one sweep-spec JSON object per line, \
+{workers} worker(s), queue limit {queue_limit})"
+    );
+    let options = ServeOptions {
+        workers,
+        queue_limit,
+        max_requests,
+        term_signal: Some(sigterm_flag()),
+    };
+    match serve(listener, &engine, options) {
         Ok(served) => eprintln!("geattack-serve exiting after {served} request(s)"),
         Err(e) => {
             eprintln!("serve failed: {e}");

@@ -8,11 +8,16 @@
 //!
 //! * [`cli`] — the one command-line parser every binary uses;
 //! * [`runner`] — experiment-running logic for the paper reproductions;
-//! * [`serve`] — the NDJSON sweep-serving protocol (daemon loop + client).
+//! * [`serve`] — the NDJSON sweep-serving protocol (concurrent daemon loop +
+//!   client), with cancellation and graceful drain;
+//! * [`pool`] — the daemon's bounded, cost-aware admission gate;
+//! * [`loadtest`] — the `geattack-loadtest` concurrency harness.
 //!
 //! The sweep executor itself lives in `geattack_core::{engine, sweep}`; the
 //! binaries here are thin clients of that engine.
 
 pub mod cli;
+pub mod loadtest;
+pub mod pool;
 pub mod runner;
 pub mod serve;

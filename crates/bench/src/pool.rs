@@ -1,0 +1,398 @@
+//! Bounded, cost-aware execution slots for the serve daemon.
+//!
+//! A [`WorkerPool`] is the admission gate between connection handler threads
+//! and the shared engine: at most `workers` requests execute at once, at most
+//! `queue_limit` more may wait, and the queue is **cost-ordered** — when a
+//! slot frees, the cheapest waiting request (by the engine's per-cell cost
+//! estimate) runs next, so a quick grid never queues behind a scale-0.6 sweep
+//! that arrived moments earlier. Pure shortest-job-first can starve expensive
+//! requests under a stream of cheap ones, so the scheduler ages the queue:
+//! once the oldest waiter has been bypassed [`MAX_BYPASS`] times it runs next
+//! regardless of cost.
+//!
+//! Waiting is cancellable: a queued request whose [`CancelToken`] is set
+//! (client disconnect noticed later, or an explicit `cancel` control request)
+//! leaves the queue with [`AdmissionError::Cancelled`] instead of executing.
+//! Cancellers call [`WorkerPool::poke`] to wake the waiters promptly; waiters
+//! also poll their token on a short timeout as a backstop.
+
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use geattack_core::CancelToken;
+
+/// How many times the oldest waiter may be passed over by cheaper arrivals
+/// before it runs next regardless of cost.
+pub const MAX_BYPASS: u32 = 8;
+
+/// Why an [`WorkerPool::acquire`] call did not yield a permit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The wait queue is at `--queue-limit`; the request is rejected so the
+    /// client can back off instead of piling up unbounded work.
+    QueueFull {
+        /// The configured queue limit.
+        limit: usize,
+    },
+    /// The request's cancellation token was set while it waited.
+    Cancelled,
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::QueueFull { limit } => {
+                write!(f, "queue full: {limit} request(s) already waiting (--queue-limit)")
+            }
+            AdmissionError::Cancelled => write!(f, "cancelled while queued"),
+        }
+    }
+}
+
+/// One queued acquire call.
+#[derive(Debug)]
+struct Waiter {
+    seq: u64,
+    cost: f64,
+    /// Times a cheaper, younger waiter was scheduled ahead of this one while
+    /// it was the oldest in the queue.
+    bypassed: u32,
+    /// Set when the scheduler grants this waiter a slot (reserved in
+    /// `running`); the waiter removes itself when it wakes and observes this.
+    granted: bool,
+}
+
+#[derive(Debug)]
+struct PoolState {
+    /// Slots in use: executing permits plus granted-but-not-yet-claimed
+    /// waiters (their slot is reserved at grant time so the pool never
+    /// overcommits).
+    running: usize,
+    waiters: Vec<Waiter>,
+    next_seq: u64,
+}
+
+impl PoolState {
+    /// Grants free slots to waiters: cheapest first, unless the oldest waiter
+    /// has aged past [`MAX_BYPASS`].
+    fn schedule(&mut self, workers: usize) {
+        while self.running < workers {
+            let Some(oldest) = self
+                .waiters
+                .iter()
+                .enumerate()
+                .filter(|(_, w)| !w.granted)
+                .min_by_key(|(_, w)| w.seq)
+                .map(|(i, _)| i)
+            else {
+                return;
+            };
+            let cheapest = self
+                .waiters
+                .iter()
+                .enumerate()
+                .filter(|(_, w)| !w.granted)
+                .min_by(|(_, a), (_, b)| {
+                    a.cost
+                        .partial_cmp(&b.cost)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.seq.cmp(&b.seq))
+                })
+                .map(|(i, _)| i)
+                .expect("an ungranted waiter exists");
+            let pick = if self.waiters[oldest].bypassed >= MAX_BYPASS {
+                oldest
+            } else {
+                cheapest
+            };
+            if pick != oldest {
+                self.waiters[oldest].bypassed += 1;
+            }
+            self.waiters[pick].granted = true;
+            self.running += 1;
+        }
+    }
+
+    fn position(&self, seq: u64) -> Option<usize> {
+        self.waiters.iter().position(|w| w.seq == seq)
+    }
+}
+
+/// The bounded, cost-aware admission gate. See the module docs.
+#[derive(Debug)]
+pub struct WorkerPool {
+    workers: usize,
+    queue_limit: usize,
+    state: Mutex<PoolState>,
+    cv: Condvar,
+}
+
+impl WorkerPool {
+    /// A pool with `workers` concurrent execution slots and room for
+    /// `queue_limit` waiting requests. `workers` is clamped to at least 1.
+    pub fn new(workers: usize, queue_limit: usize) -> Self {
+        WorkerPool {
+            workers: workers.max(1),
+            queue_limit,
+            state: Mutex::new(PoolState {
+                running: 0,
+                waiters: Vec::new(),
+                next_seq: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Number of concurrent execution slots.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Maximum number of waiting requests before admission rejects.
+    pub fn queue_limit(&self) -> usize {
+        self.queue_limit
+    }
+
+    /// `(running, queued)` at this instant.
+    pub fn depth(&self) -> (usize, usize) {
+        let state = self.state.lock().expect("pool lock");
+        (state.running, state.waiters.len())
+    }
+
+    /// Wakes every waiter so cancelled requests leave the queue promptly.
+    pub fn poke(&self) {
+        self.cv.notify_all();
+    }
+
+    /// Blocks until an execution slot is free (cost-ordered among waiters) and
+    /// returns the RAII permit occupying it. Fails fast with `QueueFull` when
+    /// the wait queue is at capacity, and with `Cancelled` when `cancel` is
+    /// set before a slot is granted.
+    pub fn acquire(&self, cost: f64, cancel: &CancelToken) -> Result<Permit<'_>, AdmissionError> {
+        let mut state = self.state.lock().expect("pool lock");
+        if cancel.is_cancelled() {
+            return Err(AdmissionError::Cancelled);
+        }
+        // Fast path: a free slot and nobody ahead of us.
+        if state.running < self.workers && state.waiters.is_empty() {
+            state.running += 1;
+            return Ok(Permit { pool: self });
+        }
+        if state.waiters.len() >= self.queue_limit {
+            return Err(AdmissionError::QueueFull {
+                limit: self.queue_limit,
+            });
+        }
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        state.waiters.push(Waiter {
+            seq,
+            cost,
+            bypassed: 0,
+            granted: false,
+        });
+        state.schedule(self.workers);
+        loop {
+            if let Some(i) = state.position(seq) {
+                if state.waiters[i].granted {
+                    state.waiters.remove(i);
+                    // The slot was reserved at grant time; just claim it.
+                    return Ok(Permit { pool: self });
+                }
+                if cancel.is_cancelled() {
+                    // Not granted (the granted arm above returns), so no slot
+                    // was reserved for us — just leave the queue.
+                    state.waiters.remove(i);
+                    state.schedule(self.workers);
+                    self.cv.notify_all();
+                    return Err(AdmissionError::Cancelled);
+                }
+            }
+            // Timed wait as a cancellation backstop: cancellers poke the
+            // condvar, but a missed wakeup must not strand the waiter.
+            let (next, _) = self
+                .cv
+                .wait_timeout(state, Duration::from_millis(100))
+                .expect("pool lock");
+            state = next;
+        }
+    }
+}
+
+/// An occupied execution slot; dropping it frees the slot and schedules the
+/// next waiter.
+#[derive(Debug)]
+pub struct Permit<'a> {
+    pool: &'a WorkerPool,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut state = self.pool.state.lock().expect("pool lock");
+        state.running -= 1;
+        state.schedule(self.pool.workers);
+        self.pool.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+    use std::sync::Arc;
+
+    /// Queues an acquire on a thread and reports when it got its permit.
+    fn spawn_acquire(
+        pool: &Arc<WorkerPool>,
+        cost: f64,
+        done: mpsc::Sender<(&'static str, std::time::Instant)>,
+        tag: &'static str,
+    ) -> std::thread::JoinHandle<Result<(), AdmissionError>> {
+        let pool = Arc::clone(pool);
+        std::thread::spawn(move || {
+            let token = CancelToken::new();
+            let permit = pool.acquire(cost, &token)?;
+            done.send((tag, std::time::Instant::now())).expect("report");
+            // Hold briefly so concurrent acquires observe the occupancy.
+            std::thread::sleep(Duration::from_millis(20));
+            drop(permit);
+            Ok(())
+        })
+    }
+
+    /// Waits until `queued` requests are waiting in the pool.
+    fn wait_for_queue(pool: &WorkerPool, queued: usize) {
+        for _ in 0..200 {
+            if pool.depth().1 >= queued {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        panic!("queue never reached depth {queued}");
+    }
+
+    #[test]
+    fn single_worker_runs_cheapest_waiter_first() {
+        let pool = Arc::new(WorkerPool::new(1, 16));
+        let gate = CancelToken::new();
+        let first = pool.acquire(1.0, &gate).expect("slot free");
+        let (tx, rx) = mpsc::channel();
+        // Queue an expensive then a cheap request while the slot is held.
+        let heavy = spawn_acquire(&pool, 1000.0, tx.clone(), "heavy");
+        wait_for_queue(&pool, 1);
+        let cheap = spawn_acquire(&pool, 1.0, tx, "cheap");
+        wait_for_queue(&pool, 2);
+        drop(first);
+        let (first_tag, _) = rx.recv().expect("one waiter runs");
+        assert_eq!(first_tag, "cheap", "the cheap request jumps the queue");
+        let (second_tag, _) = rx.recv().expect("the other waiter runs");
+        assert_eq!(second_tag, "heavy");
+        heavy.join().expect("joins").expect("acquired");
+        cheap.join().expect("joins").expect("acquired");
+    }
+
+    #[test]
+    fn queue_limit_rejects_and_cancel_dequeues() {
+        let pool = Arc::new(WorkerPool::new(1, 1));
+        let gate = CancelToken::new();
+        let held = pool.acquire(1.0, &gate).expect("slot free");
+
+        let (tx, rx) = mpsc::channel();
+        let queued = spawn_acquire(&pool, 5.0, tx, "queued");
+        wait_for_queue(&pool, 1);
+        // Queue is at its limit of 1: the next arrival is rejected.
+        let err = pool.acquire(2.0, &CancelToken::new()).unwrap_err();
+        assert_eq!(err, AdmissionError::QueueFull { limit: 1 });
+        assert!(err.to_string().contains("queue full"), "{err}");
+
+        // A pre-cancelled token never waits.
+        let cancelled = CancelToken::new();
+        cancelled.cancel("test");
+        assert_eq!(pool.acquire(2.0, &cancelled).unwrap_err(), AdmissionError::Cancelled);
+
+        drop(held);
+        queued.join().expect("joins").expect("acquired");
+        rx.recv().expect("queued request ran");
+    }
+
+    #[test]
+    fn cancelling_a_queued_waiter_releases_it_without_running() {
+        let pool = Arc::new(WorkerPool::new(1, 16));
+        let gate = CancelToken::new();
+        let held = pool.acquire(1.0, &gate).expect("slot free");
+        let token = CancelToken::new();
+        let waiter = {
+            let pool = Arc::clone(&pool);
+            let token = token.clone();
+            std::thread::spawn(move || pool.acquire(1.0, &token).map(|_| ()))
+        };
+        wait_for_queue(&pool, 1);
+        token.cancel("client went away");
+        pool.poke();
+        assert_eq!(waiter.join().expect("joins").unwrap_err(), AdmissionError::Cancelled);
+        assert_eq!(pool.depth(), (1, 0), "the cancelled waiter left the queue");
+        drop(held);
+    }
+
+    #[test]
+    fn aged_waiters_run_despite_cheaper_arrivals() {
+        // Single-threaded check of the aging rule: after MAX_BYPASS bypasses
+        // the oldest waiter is granted ahead of a cheaper one.
+        let mut state = PoolState {
+            running: 1,
+            waiters: Vec::new(),
+            next_seq: 0,
+        };
+        state.waiters.push(Waiter {
+            seq: 0,
+            cost: 1000.0,
+            bypassed: MAX_BYPASS,
+            granted: false,
+        });
+        state.waiters.push(Waiter {
+            seq: 1,
+            cost: 1.0,
+            bypassed: 0,
+            granted: false,
+        });
+        state.running = 0;
+        state.schedule(1);
+        assert!(state.waiters[0].granted, "the aged expensive waiter runs first");
+        assert!(!state.waiters[1].granted);
+
+        // Below the threshold the cheap waiter still wins and ages the oldest.
+        let mut state = PoolState {
+            running: 0,
+            waiters: vec![
+                Waiter {
+                    seq: 0,
+                    cost: 1000.0,
+                    bypassed: 0,
+                    granted: false,
+                },
+                Waiter {
+                    seq: 1,
+                    cost: 1.0,
+                    bypassed: 0,
+                    granted: false,
+                },
+            ],
+            next_seq: 2,
+        };
+        state.schedule(1);
+        assert!(state.waiters[1].granted);
+        assert_eq!(state.waiters[0].bypassed, 1);
+    }
+
+    #[test]
+    fn multiple_workers_run_concurrently() {
+        let pool = Arc::new(WorkerPool::new(2, 16));
+        let gate = CancelToken::new();
+        let a = pool.acquire(1.0, &gate).expect("slot 1");
+        let b = pool.acquire(1.0, &gate).expect("slot 2");
+        assert_eq!(pool.depth(), (2, 0));
+        drop(a);
+        drop(b);
+        assert_eq!(pool.depth(), (0, 0));
+    }
+}

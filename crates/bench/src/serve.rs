@@ -1,13 +1,18 @@
 //! The `geattack-serve` wire protocol: sweep specs in, NDJSON cell events out.
 //!
-//! The daemon side ([`serve`]) accepts TCP connections and reads one JSON
-//! sweep spec per line (NDJSON framing — multi-line spec files must be
-//! compacted to a single line, e.g. `jq -c . spec.json`). Each request is
-//! submitted to one shared [`Engine`], so every request of the daemon's
-//! lifetime shares one prepared-experiment cache; the session's events stream
-//! back as NDJSON while cells complete:
+//! The daemon side ([`serve`]) accepts N simultaneous TCP connections — one
+//! handler thread per connection — and reads one JSON sweep spec per line
+//! (NDJSON framing — multi-line spec files must be compacted to a single
+//! line, e.g. `jq -c . spec.json`). Every request executes against one shared
+//! [`Engine`] (and therefore one shared prepared-experiment cache), but
+//! requests no longer execute one at a time: handler threads feed a bounded
+//! cost-aware [`WorkerPool`] (`--workers` slots, `--queue-limit` waiters),
+//! whose queue is ordered by the engine's per-cell cost estimate so a cheap
+//! quick grid never queues behind a scale-0.6 sweep. The session's events
+//! stream back as NDJSON while cells complete:
 //!
 //! ```text
+//! {"event":"accepted","id":7,"cost":123456.0,"queue_depth":1}
 //! {"event":"planned","position":0,"family":"ba-shapes","scale":0.08,"seed":0,"explainer":"GNNExplainer"}
 //! {"event":"started","position":0}
 //! {"event":"cell","position":0,"cells":[{...SweepCell...}, ...],"timing_ms":{"prepare":...,"total":...}}
@@ -25,35 +30,60 @@
 //! Besides sweep specs, a request line may be a control request:
 //!
 //! ```text
-//! {"request":"health"} → {"event":"health","status":"ok","uptime_ms":...}
-//! {"request":"stats"}  → {"event":"stats","uptime_ms":...,"requests":{...},"cache":{...},"cells":{...},"latency_ms":{...}}
+//! {"request":"health"}         → {"event":"health","status":"ok","uptime_ms":...}
+//! {"request":"stats"}          → {"event":"stats","uptime_ms":...,"requests":{...},"queue":{...},"cache":{...},"cells":{...},"latency_ms":{...}}
+//! {"request":"cancel","id":7}  → {"event":"cancelled","id":7}      (aborts that request's remaining cells)
+//! {"request":"drain"}          → {"event":"draining","in_flight":...,"queued":...}
 //! ```
 //!
-//! `stats` exports the daemon-lifetime view: requests served/failed, the
-//! shared cache's counters with a live hit rate (plus encode/decode byte
-//! totals), the engine's cell counters and its per-cell / per-phase latency
-//! histograms as `{count,p50,p95,p99,max}` summaries.
+//! **Cancellation** is per-request: the `id` from the `accepted` event names
+//! the session, and a `cancel` control request (from any connection) — or the
+//! submitting client disconnecting mid-stream — sets that session's
+//! [`CancelToken`]: cells that have not started are skipped (each surfacing as
+//! a `failed` event with kind `cancelled`), cells already executing finish,
+//! and the request terminates with an `error` event while the daemon keeps
+//! serving everything else.
+//!
+//! **Graceful drain**: a `drain` control request — or SIGTERM, via
+//! [`sigterm_flag`] — stops the daemon accepting new connections and new
+//! sweep requests (they are refused with an `error` event), lets in-flight
+//! and already-queued sweeps finish streaming, then [`serve`] returns so the
+//! process can exit cleanly.
+//!
+//! `stats` exports the daemon-lifetime view: request counters (served,
+//! failed, cancelled, rejected, live and peak in-flight), the worker-pool
+//! queue, the shared cache's counters with a live hit rate, the engine's cell
+//! counters and its per-cell / per-phase latency histograms as
+//! `{count,p50,p95,p99,max}` summaries — plus per-request `request_wait` /
+//! `request_run` histograms separating time-in-queue from time-executing.
 //!
 //! The `done` event embeds the full assembled [`SweepReport`] as a JSON value.
 //! Because the workspace's JSON codec round-trips every number exactly and
 //! preserves object field order, pretty-printing that value reproduces the
 //! `results/sweep_<name>.json` artifact of a `geattack-sweep` run of the same
-//! spec **byte for byte** — the serve round-trip test and the CI `serve-smoke`
-//! job both pin this.
+//! spec **byte for byte** — even under concurrent clients, which the CI
+//! `concurrent-serve-smoke` job pins.
 //!
 //! The client side ([`submit`]) connects (with retries, so scripts can start
 //! the daemon concurrently), sends one spec, surfaces progress lines and
 //! returns the reassembled pretty report.
+//!
+//! [`SweepReport`]: geattack_core::SweepReport
 
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use serde::Value;
 
-use geattack_core::engine::{CellEvent, Engine};
+use geattack_core::engine::{CancelToken, CellEvent, Engine};
 use geattack_core::sweep::PlannedCell;
 use geattack_scenarios::SweepSpec;
+
+use crate::pool::{AdmissionError, WorkerPool};
 
 /// Serializes one protocol event as a compact single line.
 fn line(value: &Value) -> String {
@@ -140,44 +170,161 @@ fn histogram_value(snap: &geattack_telemetry::HistogramSnapshot) -> Value {
     ])
 }
 
-/// Daemon-lifetime observability state behind the `stats`/`health` requests.
-#[derive(Debug)]
-pub struct ServeState {
-    started: Instant,
-    requests_served: u64,
-    requests_failed: u64,
+/// How the daemon loop is configured; see the field docs. `Default` matches
+/// the old single-request-at-a-time daemon (one worker), with a 16-deep queue.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Concurrent execution slots of the worker pool (`--workers`), clamped to
+    /// at least 1.
+    pub workers: usize,
+    /// Requests allowed to wait for a slot before admission rejects them with
+    /// a queue-full error (`--queue-limit`).
+    pub queue_limit: usize,
+    /// Stop after this many successfully-parsed sweep requests (the CI smoke
+    /// tests use this for a clean exit); `None` serves until drained/killed.
+    pub max_requests: Option<usize>,
+    /// External shutdown flag: when it becomes `true` (e.g. from a SIGTERM
+    /// handler — see [`sigterm_flag`]) the daemon drains gracefully.
+    pub term_signal: Option<&'static AtomicBool>,
 }
 
-impl ServeState {
-    /// Fresh state; the daemon's uptime starts now.
-    pub fn new() -> Self {
-        ServeState {
-            started: Instant::now(),
-            requests_served: 0,
-            requests_failed: 0,
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            workers: 1,
+            queue_limit: 16,
+            max_requests: None,
+            term_signal: None,
         }
     }
 }
 
-impl Default for ServeState {
-    fn default() -> Self {
-        ServeState::new()
+impl ServeOptions {
+    /// The default options with `--max-requests N` set: the shape every
+    /// pre-worker-pool call site used.
+    pub fn with_max_requests(max_requests: Option<usize>) -> Self {
+        ServeOptions {
+            max_requests,
+            ..Default::default()
+        }
+    }
+}
+
+/// Installs a process-wide SIGTERM handler (unix; a no-op elsewhere) and
+/// returns the flag it sets, ready for [`ServeOptions::term_signal`]. The
+/// handler only stores into an atomic, which is async-signal-safe.
+pub fn sigterm_flag() -> &'static AtomicBool {
+    static FLAG: AtomicBool = AtomicBool::new(false);
+    #[cfg(unix)]
+    {
+        extern "C" fn on_term(_signum: i32) {
+            FLAG.store(true, Ordering::SeqCst);
+        }
+        extern "C" {
+            // `signal(2)` from libc, which every unix Rust binary links.
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        const SIGTERM: i32 = 15;
+        // SAFETY: installing an atomic-store-only handler for SIGTERM; the
+        // replaced disposition (default: terminate) is not needed back.
+        unsafe {
+            signal(SIGTERM, on_term);
+        }
+    }
+    &FLAG
+}
+
+/// Daemon-lifetime state shared by the accept loop and every connection
+/// handler thread.
+struct ServeShared {
+    engine: Engine,
+    pool: WorkerPool,
+    started: Instant,
+    max_requests: Option<usize>,
+    /// Successfully-parsed sweep requests admitted so far (`--max-requests`
+    /// accounting; control requests never count).
+    accepted: AtomicUsize,
+    /// Requests between admission and their final `done`/`error` event — what
+    /// graceful drain waits on.
+    outstanding: AtomicUsize,
+    /// Requests that reached `done`.
+    served: AtomicU64,
+    /// Requests that terminated with an `error` event (bad spec, failed cells).
+    failed: AtomicU64,
+    /// Requests aborted by `cancel` or client disconnect.
+    cancelled: AtomicU64,
+    /// Requests refused by admission control (queue full or draining).
+    rejected: AtomicU64,
+    /// Highest number of requests ever executing at once.
+    peak_in_flight: AtomicUsize,
+    next_id: AtomicU64,
+    /// Cancellation tokens of admitted, not-yet-finished requests, by id.
+    active: Mutex<HashMap<u64, CancelToken>>,
+    /// Set by `drain`/SIGTERM: refuse new work, finish what is in flight.
+    draining: AtomicBool,
+    /// Set when the accept loop decided to exit: handler threads close their
+    /// connections at the next read-timeout tick.
+    stopping: AtomicBool,
+}
+
+impl ServeShared {
+    /// Reserves one of `--max-requests` (always succeeds when unlimited).
+    fn reserve_request(&self) -> bool {
+        // `outstanding` goes up before `accepted` so the accept loop can never
+        // observe the request count reached with the last request invisible.
+        self.outstanding.fetch_add(1, Ordering::SeqCst);
+        let admitted = match self.max_requests {
+            None => {
+                self.accepted.fetch_add(1, Ordering::SeqCst);
+                true
+            }
+            Some(max) => self
+                .accepted
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| (n < max).then_some(n + 1))
+                .is_ok(),
+        };
+        if !admitted {
+            self.outstanding.fetch_sub(1, Ordering::SeqCst);
+        }
+        admitted
+    }
+
+    /// Marks one admitted request finished.
+    fn finish_request(&self) {
+        self.outstanding.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    fn is_stopping(&self) -> bool {
+        self.stopping.load(Ordering::SeqCst)
+    }
+
+    /// Refreshes the live queue/in-flight gauges from the pool.
+    fn refresh_gauges(&self) {
+        let (running, queued) = self.pool.depth();
+        let metrics = self.engine.metrics();
+        metrics.gauge("serve.in_flight").set(running as f64);
+        metrics.gauge("serve.queue_depth").set(queued as f64);
     }
 }
 
 /// The `health` response: liveness plus uptime.
-fn health_value(state: &ServeState) -> Value {
+fn health_value(shared: &ServeShared) -> Value {
     object(vec![
         ("event", Value::String("health".into())),
         ("status", Value::String("ok".into())),
-        ("uptime_ms", Value::Number(state.started.elapsed().as_secs_f64() * 1e3)),
+        ("uptime_ms", Value::Number(shared.started.elapsed().as_secs_f64() * 1e3)),
     ])
 }
 
-/// The `stats` response: daemon-lifetime request counters, the shared cache's
-/// live counters and hit rate, the engine's cell counters and its latency
-/// histograms summarized to percentiles.
-fn stats_value(engine: &Engine, state: &ServeState) -> Value {
+/// The `stats` response: daemon-lifetime request counters, the worker-pool
+/// queue, the shared cache's live counters and hit rate, the engine's cell
+/// counters and its latency histograms summarized to percentiles.
+fn stats_value(shared: &ServeShared) -> Value {
+    let engine = &shared.engine;
     let cache = match engine.cache_metrics() {
         None => Value::Null,
         Some(snapshot) => {
@@ -210,9 +357,15 @@ fn stats_value(engine: &Engine, state: &ServeState) -> Value {
             Value::Number(metrics.counter_value("cells.finished") as f64),
         ),
         ("failed", Value::Number(metrics.counter_value("cells.failed") as f64)),
+        (
+            "cancelled",
+            Value::Number(metrics.counter_value("cells.cancelled") as f64),
+        ),
     ]);
     let latency = object(
         [
+            ("request_wait", "request.wait_ms"),
+            ("request_run", "request.run_ms"),
             ("cell_total", "cell.total_ms"),
             ("prepare", "phase.prepare_ms"),
             ("attack", "phase.attack_ms"),
@@ -223,14 +376,34 @@ fn stats_value(engine: &Engine, state: &ServeState) -> Value {
         .map(|(label, name)| (label, histogram_value(&metrics.histogram(name).snapshot())))
         .collect(),
     );
+    let (running, queued) = shared.pool.depth();
     object(vec![
         ("event", Value::String("stats".into())),
-        ("uptime_ms", Value::Number(state.started.elapsed().as_secs_f64() * 1e3)),
+        ("uptime_ms", Value::Number(shared.started.elapsed().as_secs_f64() * 1e3)),
         (
             "requests",
             object(vec![
-                ("served", Value::Number(state.requests_served as f64)),
-                ("failed", Value::Number(state.requests_failed as f64)),
+                ("served", Value::Number(shared.served.load(Ordering::SeqCst) as f64)),
+                ("failed", Value::Number(shared.failed.load(Ordering::SeqCst) as f64)),
+                (
+                    "cancelled",
+                    Value::Number(shared.cancelled.load(Ordering::SeqCst) as f64),
+                ),
+                ("rejected", Value::Number(shared.rejected.load(Ordering::SeqCst) as f64)),
+                ("in_flight", Value::Number(running as f64)),
+                (
+                    "peak_in_flight",
+                    Value::Number(shared.peak_in_flight.load(Ordering::SeqCst) as f64),
+                ),
+            ]),
+        ),
+        (
+            "queue",
+            object(vec![
+                ("depth", Value::Number(queued as f64)),
+                ("limit", Value::Number(shared.pool.queue_limit() as f64)),
+                ("workers", Value::Number(shared.pool.workers() as f64)),
+                ("draining", Value::Bool(shared.is_draining())),
             ]),
         ),
         ("cache", cache),
@@ -239,28 +412,50 @@ fn stats_value(engine: &Engine, state: &ServeState) -> Value {
     ])
 }
 
-/// Runs one sweep request through the engine and streams its events to `out`.
-/// Request-level failures (bad spec, failed cells) end in an `error` event;
-/// transport failures propagate as `io::Error` and end the connection.
-/// Returns whether the request reached `done`.
-pub fn stream_sweep(engine: &Engine, spec: SweepSpec, out: &mut impl Write) -> std::io::Result<bool> {
+/// How one sweep request ended, for the daemon's request counters.
+enum RequestEnd {
+    Done,
+    Failed,
+    Cancelled,
+}
+
+/// Runs one admitted sweep request through the engine and streams its events
+/// to `out`. Request-level failures (bad spec, failed cells) end in an `error`
+/// event; a set `cancel` token ends in an `error` event mentioning the
+/// cancellation; transport failures cancel the session, drain it, and
+/// propagate as `io::Error` (ending the connection, not the daemon).
+fn stream_sweep_session(
+    engine: &Engine,
+    spec: SweepSpec,
+    cancel: &CancelToken,
+    out: &mut impl Write,
+) -> std::io::Result<RequestEnd> {
     // The engine's counters accumulate over its lifetime; the `done` event
     // reports this request's delta.
     let counters_before = engine.cache_counters();
-    let mut session = match engine.submit(spec) {
+    let mut session = match engine.submit_cancellable(spec, None, cancel.clone()) {
         Ok(session) => session,
         Err(e) => {
             writeln!(out, "{}", line(&error_value(&e.to_string())))?;
             out.flush()?;
-            return Ok(false);
+            return Ok(RequestEnd::Failed);
         }
     };
-    for event in session.by_ref() {
-        writeln!(out, "{}", line(&event_value(&event)))?;
-        out.flush()?;
+    let mut write_error = None;
+    while let Some(event) = session.next_event() {
+        if let Err(e) = writeln!(out, "{}", line(&event_value(&event))).and_then(|_| out.flush()) {
+            // The client went away mid-stream: abort this session's remaining
+            // cells, then fall through to drain it so the slot frees promptly.
+            cancel.cancel("client disconnected");
+            write_error = Some(e);
+            break;
+        }
     }
-    let mut reached_done = false;
-    match session.wait().and_then(|run| {
+    let finished = session.wait();
+    if let Some(e) = write_error {
+        return Err(e);
+    }
+    let end = match finished.and_then(|run| {
         engine
             .merge(std::slice::from_ref(&run.shard))
             .map(|report| (run, report))
@@ -305,73 +500,227 @@ pub fn stream_sweep(engine: &Engine, spec: SweepSpec, out: &mut impl Write) -> s
                 ("telemetry", telemetry),
             ]);
             writeln!(out, "{}", line(&done))?;
-            reached_done = true;
+            RequestEnd::Done
         }
         Err(e) => {
             writeln!(out, "{}", line(&error_value(&e.to_string())))?;
+            if cancel.is_cancelled() {
+                RequestEnd::Cancelled
+            } else {
+                RequestEnd::Failed
+            }
         }
-    }
+    };
     out.flush()?;
-    Ok(reached_done)
+    Ok(end)
 }
 
-/// The kind of control request a line carries, when it is one.
-fn control_request(request: &str) -> Option<String> {
+/// Admits one parsed sweep request through the worker pool, executes it and
+/// streams the outcome. Owns the request's whole lifecycle: id assignment,
+/// `accepted` event, cost-aware admission, wait/run histograms, cancellation
+/// registration and the daemon's request counters.
+fn run_sweep_request(shared: &ServeShared, spec: SweepSpec, out: &mut impl Write) -> std::io::Result<()> {
+    let engine = &shared.engine;
+    let cost = match engine.estimate_cost(&spec, None) {
+        Ok(cost) => cost,
+        Err(e) => {
+            shared.failed.fetch_add(1, Ordering::SeqCst);
+            shared.finish_request();
+            writeln!(out, "{}", line(&error_value(&e.to_string())))?;
+            return out.flush();
+        }
+    };
+    let id = shared.next_id.fetch_add(1, Ordering::SeqCst);
+    let cancel = CancelToken::new();
+    shared
+        .active
+        .lock()
+        .expect("active-request lock")
+        .insert(id, cancel.clone());
+
+    let result = (|| -> std::io::Result<()> {
+        let (_, queued) = shared.pool.depth();
+        let accepted = object(vec![
+            ("event", Value::String("accepted".into())),
+            ("id", Value::Number(id as f64)),
+            ("cost", Value::Number(cost)),
+            ("queue_depth", Value::Number(queued as f64)),
+        ]);
+        writeln!(out, "{}", line(&accepted))?;
+        out.flush()?;
+
+        let enqueued = Instant::now();
+        let permit = match shared.pool.acquire(cost, &cancel) {
+            Ok(permit) => permit,
+            Err(e) => {
+                match e {
+                    AdmissionError::QueueFull { .. } => shared.rejected.fetch_add(1, Ordering::SeqCst),
+                    AdmissionError::Cancelled => shared.cancelled.fetch_add(1, Ordering::SeqCst),
+                };
+                let message = geattack_core::GeError::Protocol(format!("request {id} not admitted: {e}")).to_string();
+                writeln!(out, "{}", line(&error_value(&message)))?;
+                return out.flush();
+            }
+        };
+        engine
+            .metrics()
+            .histogram("request.wait_ms")
+            .record(enqueued.elapsed().as_secs_f64() * 1e3);
+        let (running, _) = shared.pool.depth();
+        shared.peak_in_flight.fetch_max(running, Ordering::SeqCst);
+        shared.refresh_gauges();
+
+        let run_started = Instant::now();
+        let outcome = stream_sweep_session(engine, spec, &cancel, out);
+        engine
+            .metrics()
+            .histogram("request.run_ms")
+            .record(run_started.elapsed().as_secs_f64() * 1e3);
+        drop(permit);
+        shared.refresh_gauges();
+        match outcome? {
+            RequestEnd::Done => shared.served.fetch_add(1, Ordering::SeqCst),
+            RequestEnd::Failed => shared.failed.fetch_add(1, Ordering::SeqCst),
+            RequestEnd::Cancelled => shared.cancelled.fetch_add(1, Ordering::SeqCst),
+        };
+        Ok(())
+    })();
+    if result.is_err() {
+        // The connection died mid-request: the session was cancelled and
+        // drained by the streamer; account it here.
+        shared.cancelled.fetch_add(1, Ordering::SeqCst);
+        shared.refresh_gauges();
+    }
+    shared.active.lock().expect("active-request lock").remove(&id);
+    shared.finish_request();
+    result
+}
+
+/// The parsed form of a control request line, when the line is one.
+fn control_request(request: &str) -> Option<(String, Value)> {
     let value: Value = serde_json::from_str(request).ok()?;
     match value.get_field("request") {
-        Ok(Value::String(kind)) => Some(kind.clone()),
+        Ok(Value::String(kind)) => Some((kind.clone(), value.clone())),
         _ => None,
     }
 }
 
-/// Handles one connection: one request per line until the peer closes.
-/// Increments `served` through the reference as each successfully-parsed
-/// sweep request completes — even when the connection later errors — so the
-/// daemon's `--max-requests` accounting never loses executed requests.
-/// Control requests (`stats`, `health`) answer inline and never count toward
-/// `--max-requests`.
-fn handle_connection(
-    stream: TcpStream,
-    engine: &Engine,
-    state: &mut ServeState,
-    served: &mut usize,
-    max_requests: Option<usize>,
-) -> std::io::Result<()> {
-    let reader = BufReader::new(stream.try_clone()?);
+/// Answers one control request (`health`, `stats`, `cancel`, `drain`).
+fn handle_control(shared: &ServeShared, kind: &str, request: &Value) -> Value {
+    match kind {
+        "health" => health_value(shared),
+        "stats" => stats_value(shared),
+        "cancel" => {
+            let id = match request.get_field("id") {
+                Ok(Value::Number(id)) => *id as u64,
+                _ => {
+                    return error_value(
+                        &geattack_core::GeError::Protocol("cancel requires a numeric `id` field".to_string())
+                            .to_string(),
+                    )
+                }
+            };
+            let token = shared.active.lock().expect("active-request lock").get(&id).cloned();
+            match token {
+                Some(token) => {
+                    token.cancel("cancel requested");
+                    shared.pool.poke();
+                    object(vec![
+                        ("event", Value::String("cancelled".into())),
+                        ("id", Value::Number(id as f64)),
+                    ])
+                }
+                None => error_value(
+                    &geattack_core::GeError::Protocol(format!("no active request with id {id}")).to_string(),
+                ),
+            }
+        }
+        "drain" => {
+            shared.draining.store(true, Ordering::SeqCst);
+            let (running, queued) = shared.pool.depth();
+            object(vec![
+                ("event", Value::String("draining".into())),
+                ("in_flight", Value::Number(running as f64)),
+                ("queued", Value::Number(queued as f64)),
+            ])
+        }
+        other => error_value(
+            &geattack_core::GeError::Protocol(format!(
+                "unknown request `{other}` (known: health, stats, cancel, drain)"
+            ))
+            .to_string(),
+        ),
+    }
+}
+
+/// Reads the next request line, tolerating read-timeout ticks (used to notice
+/// daemon shutdown on otherwise idle connections). `Ok(None)` means the peer
+/// closed the connection or the daemon is stopping.
+fn read_request_line(reader: &mut BufReader<TcpStream>, shared: &ServeShared) -> std::io::Result<Option<String>> {
+    let mut buf = String::new();
+    loop {
+        match reader.read_line(&mut buf) {
+            Ok(0) => return Ok(None),
+            Ok(_) => return Ok(Some(buf)),
+            Err(e) if matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut) => {
+                // Partial data (if any) stays appended to `buf`; keep reading
+                // unless the daemon is going away.
+                if shared.is_stopping() {
+                    return Ok(None);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Handles one connection: one request per line until the peer closes or the
+/// daemon stops. Control requests (`stats`, `health`, `cancel`, `drain`)
+/// answer inline and never count toward `--max-requests`.
+fn handle_connection(stream: TcpStream, shared: &ServeShared) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(200)))?;
+    // A wedged client must not stall graceful drain forever.
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
-    for request in reader.lines() {
-        let request = request?;
-        if request.trim().is_empty() {
+    while let Some(request) = read_request_line(&mut reader, shared)? {
+        let request = request.trim().to_string();
+        if request.is_empty() {
             continue;
         }
-        if let Some(kind) = control_request(&request) {
-            let response = match kind.as_str() {
-                "health" => health_value(state),
-                "stats" => stats_value(engine, state),
-                other => error_value(
-                    &geattack_core::GeError::Protocol(format!("unknown request `{other}` (known: health, stats)"))
-                        .to_string(),
-                ),
-            };
+        if let Some((kind, value)) = control_request(&request) {
+            let response = handle_control(shared, &kind, &value);
             writeln!(writer, "{}", line(&response))?;
             writer.flush()?;
             continue;
         }
         match SweepSpec::from_json(&request) {
             Err(e) => {
-                state.requests_failed += 1;
+                shared.failed.fetch_add(1, Ordering::SeqCst);
                 let err = geattack_core::GeError::Protocol(e);
                 writeln!(writer, "{}", line(&error_value(&err.to_string())))?;
                 writer.flush()?;
             }
             Ok(spec) => {
-                *served += 1;
-                if stream_sweep(engine, spec, &mut writer)? {
-                    state.requests_served += 1;
-                } else {
-                    state.requests_failed += 1;
+                if shared.is_draining() {
+                    shared.rejected.fetch_add(1, Ordering::SeqCst);
+                    let err =
+                        geattack_core::GeError::Protocol("draining: not accepting new sweep requests".to_string());
+                    writeln!(writer, "{}", line(&error_value(&err.to_string())))?;
+                    writer.flush()?;
+                    continue;
                 }
-                if max_requests.is_some_and(|max| *served >= max) {
+                if !shared.reserve_request() {
+                    // --max-requests reached: close the connection like the
+                    // serial daemon did once its budget was spent.
+                    break;
+                }
+                run_sweep_request(shared, spec, &mut writer)?;
+                if shared
+                    .max_requests
+                    .is_some_and(|max| shared.accepted.load(Ordering::SeqCst) >= max)
+                {
                     break;
                 }
             }
@@ -380,32 +729,72 @@ fn handle_connection(
     Ok(())
 }
 
-/// The daemon loop: accepts connections serially and serves line-delimited
-/// sweep requests against one shared engine (and therefore one shared
-/// prepared-experiment cache). Stops after `max_requests` successfully-parsed
-/// requests when given (the CI smoke test uses this for a clean exit);
-/// otherwise loops until the process is killed. Per-connection I/O errors end
-/// that connection, not the daemon.
-pub fn serve(listener: TcpListener, engine: &Engine, max_requests: Option<usize>) -> std::io::Result<usize> {
-    let mut state = ServeState::new();
-    let mut served = 0usize;
-    for stream in listener.incoming() {
-        if max_requests.is_some_and(|max| served >= max) {
-            break;
-        }
-        match stream {
-            Err(e) => return Err(e),
-            Ok(stream) => {
-                if let Err(e) = handle_connection(stream, engine, &mut state, &mut served, max_requests) {
-                    eprintln!("serve: connection ended: {e}");
-                }
+/// The daemon loop: accepts connections concurrently (one handler thread
+/// each) and executes line-delimited sweep requests against one shared engine
+/// through a bounded cost-aware worker pool. Returns the number of admitted
+/// sweep requests once the daemon stops: after `max_requests` admitted
+/// requests have finished, or after a `drain` control request / a set
+/// `term_signal` (SIGTERM) has let in-flight work complete. Per-connection
+/// I/O errors end that connection, not the daemon.
+pub fn serve(listener: TcpListener, engine: &Engine, options: ServeOptions) -> std::io::Result<usize> {
+    listener.set_nonblocking(true)?;
+    let shared = Arc::new(ServeShared {
+        engine: engine.clone(),
+        pool: WorkerPool::new(options.workers, options.queue_limit),
+        started: Instant::now(),
+        max_requests: options.max_requests,
+        accepted: AtomicUsize::new(0),
+        outstanding: AtomicUsize::new(0),
+        served: AtomicU64::new(0),
+        failed: AtomicU64::new(0),
+        cancelled: AtomicU64::new(0),
+        rejected: AtomicU64::new(0),
+        peak_in_flight: AtomicUsize::new(0),
+        next_id: AtomicU64::new(1),
+        active: Mutex::new(HashMap::new()),
+        draining: AtomicBool::new(false),
+        stopping: AtomicBool::new(false),
+    });
+    let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    loop {
+        if let Some(term) = options.term_signal {
+            if term.load(Ordering::SeqCst) {
+                shared.draining.store(true, Ordering::SeqCst);
             }
         }
-        if max_requests.is_some_and(|max| served >= max) {
+        let budget_spent = options
+            .max_requests
+            .is_some_and(|max| shared.accepted.load(Ordering::SeqCst) >= max);
+        if (shared.is_draining() || budget_spent) && shared.outstanding.load(Ordering::SeqCst) == 0 {
             break;
         }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.is_draining() || budget_spent {
+                    // Refused: the daemon is winding down.
+                    drop(stream);
+                    continue;
+                }
+                let shared = Arc::clone(&shared);
+                handlers.push(std::thread::spawn(move || {
+                    if let Err(e) = handle_connection(stream, &shared) {
+                        eprintln!("serve: connection ended: {e}");
+                    }
+                }));
+            }
+            Err(e) if matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut) => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
     }
-    Ok(served)
+    // Stop idle connections and wait for every handler to notice.
+    shared.stopping.store(true, Ordering::SeqCst);
+    for handle in handlers {
+        let _ = handle.join();
+    }
+    Ok(shared.accepted.load(Ordering::SeqCst))
 }
 
 /// What a successful [`submit`] brings back. A request with any failed cell
@@ -422,6 +811,10 @@ pub struct SubmitOutcome {
     /// This request's cache-counter delta on the daemon (`Value::Null` when
     /// the daemon runs uncached).
     pub cache: Value,
+    /// The request id the daemon assigned (from the `accepted` event); the
+    /// handle a `cancel` control request would target. `None` on daemons
+    /// predating the worker pool.
+    pub request_id: Option<u64>,
 }
 
 /// Connects to the daemon, retrying until `timeout` elapses (so a script can
@@ -437,6 +830,21 @@ pub fn connect_retry(addr: &str, timeout: Duration) -> Result<TcpStream, String>
             Err(_) => std::thread::sleep(Duration::from_millis(100)),
         }
     }
+}
+
+/// Sends one control request line (e.g. `{"request":"stats"}`) and returns the
+/// parsed single-line response.
+pub fn control(addr: &str, request: &str, timeout: Duration) -> Result<Value, String> {
+    let stream = connect_retry(addr, timeout)?;
+    let mut writer = BufWriter::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut reader = BufReader::new(stream);
+    writeln!(writer, "{request}").map_err(|e| format!("cannot send request: {e}"))?;
+    writer.flush().map_err(|e| format!("cannot send request: {e}"))?;
+    let mut response = String::new();
+    reader
+        .read_line(&mut response)
+        .map_err(|e| format!("connection lost: {e}"))?;
+    serde_json::from_str(response.trim()).map_err(|e| format!("malformed response: {e}"))
 }
 
 /// Submits one sweep spec (JSON text, any layout — it is compacted to one
@@ -457,6 +865,7 @@ pub fn submit(
     writeln!(writer, "{request}").map_err(|e| format!("cannot send request: {e}"))?;
     writer.flush().map_err(|e| format!("cannot send request: {e}"))?;
 
+    let mut request_id = None;
     for response in reader.lines() {
         let response = response.map_err(|e| format!("connection lost: {e}"))?;
         let value: Value = serde_json::from_str(&response).map_err(|e| format!("malformed event: {e}"))?;
@@ -469,6 +878,12 @@ pub fn submit(
             _ => usize::MAX,
         };
         match event.as_str() {
+            "accepted" => {
+                if let Ok(Value::Number(id)) = value.get_field("id") {
+                    request_id = Some(*id as u64);
+                    progress(format!("request {} accepted", *id as u64));
+                }
+            }
             "planned" => {}
             "started" => progress(format!("cell {} started", position())),
             "cell" => progress(format!("cell {} finished", position())),
@@ -493,6 +908,7 @@ pub fn submit(
                     sweep,
                     report_pretty: serde_json::to_string_pretty(report).map_err(|e| e.to_string())?,
                     cache,
+                    request_id,
                 });
             }
             other => return Err(format!("unknown event `{other}`")),

@@ -1,0 +1,375 @@
+//! Concurrency behavior of the serve daemon: simultaneous requests execute in
+//! parallel with byte-identical reports, cancellation aborts one session
+//! without disturbing the daemon, admission control rejects when the queue is
+//! full, and drain/term-signal shut the daemon down cleanly.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use geattack_bench::serve::{connect_retry, serve, submit, ServeOptions};
+use geattack_core::engine::Engine;
+use geattack_scenarios::SweepSpec;
+use serde::Value;
+
+/// A small-but-real spec (one GCN training per seed); `seeds` and `name` vary
+/// per test below.
+fn spec_json(name: &str, seeds: &[u64]) -> String {
+    let seeds = seeds.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(", ");
+    format!(
+        r#"{{
+            "name": "{name}",
+            "families": ["tree-cycles"],
+            "scales": [0.07],
+            "seeds": [{seeds}],
+            "attackers": ["fga-t", "rna"],
+            "victims": 3
+        }}"#
+    )
+}
+
+/// Starts an in-process daemon on an ephemeral port.
+fn daemon(options: ServeOptions) -> (String, std::thread::JoinHandle<std::io::Result<usize>>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral port binds");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let engine = Engine::new().serial(true);
+    let handle = std::thread::spawn(move || serve(listener, &engine, options));
+    (addr, handle)
+}
+
+/// Sends raw NDJSON lines over one connection, one parsed response per line.
+fn raw_request(addr: &str, lines: &[&str]) -> Vec<Value> {
+    let stream = connect_retry(addr, Duration::from_secs(10)).expect("connects");
+    let mut writer = std::io::BufWriter::new(stream.try_clone().expect("clone"));
+    let mut reader = BufReader::new(stream);
+    let mut responses = Vec::new();
+    for line in lines {
+        writeln!(writer, "{line}").expect("sends");
+        writer.flush().expect("flushes");
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("reads");
+        responses.push(serde_json::from_str(response.trim()).expect("response parses"));
+    }
+    responses
+}
+
+fn field(value: &Value, name: &str) -> Value {
+    value.get_field(name).expect(name).clone()
+}
+
+fn number(value: &Value, name: &str) -> f64 {
+    match field(value, name) {
+        Value::Number(n) => n,
+        other => panic!("{name} is not a number: {other:?}"),
+    }
+}
+
+#[test]
+fn concurrent_clients_get_byte_identical_reports_and_overlap_in_flight() {
+    let spec_a = spec_json("conc-a", &[0]);
+    let spec_b = spec_json("conc-b", &[1]);
+    let reference = |text: &str| {
+        Engine::new()
+            .serial(true)
+            .run_report(&SweepSpec::from_json(text).expect("spec parses"))
+            .expect("reference sweep runs")
+            .to_json()
+    };
+    let (reference_a, reference_b) = (reference(&spec_a), reference(&spec_b));
+
+    let (addr, handle) = daemon(ServeOptions {
+        workers: 2,
+        queue_limit: 4,
+        ..Default::default()
+    });
+    let outcomes = std::thread::scope(|scope| {
+        let submit_one = |text: &str| {
+            let addr = addr.clone();
+            let text = text.to_string();
+            scope.spawn(move || submit(&addr, &text, Duration::from_secs(60), |_| {}))
+        };
+        let a = submit_one(&spec_a);
+        let b = submit_one(&spec_b);
+        (a.join().expect("client a"), b.join().expect("client b"))
+    });
+    let outcome_a = outcomes.0.expect("request a succeeds");
+    let outcome_b = outcomes.1.expect("request b succeeds");
+    assert_eq!(outcome_a.report_pretty, reference_a, "served bytes must match the CLI");
+    assert_eq!(outcome_b.report_pretty, reference_b, "served bytes must match the CLI");
+    assert_ne!(outcome_a.request_id, outcome_b.request_id, "requests get distinct ids");
+
+    let stats = &raw_request(&addr, &[r#"{"request":"stats"}"#])[0];
+    let requests = field(stats, "requests");
+    assert_eq!(number(&requests, "served"), 2.0);
+    assert!(
+        number(&requests, "peak_in_flight") >= 2.0,
+        "two workers must have executed simultaneously: {stats:?}"
+    );
+    let queue = field(stats, "queue");
+    assert_eq!(number(&queue, "workers"), 2.0);
+    let latency = field(stats, "latency_ms");
+    assert_eq!(number(&field(&latency, "request_run"), "count"), 2.0);
+    assert_eq!(number(&field(&latency, "request_wait"), "count"), 2.0);
+
+    let _ = raw_request(&addr, &[r#"{"request":"drain"}"#]);
+    let accepted = handle.join().expect("daemon thread").expect("daemon exits cleanly");
+    assert_eq!(accepted, 2);
+}
+
+#[test]
+fn cancelling_a_request_mid_flight_leaves_the_daemon_healthy() {
+    let (addr, handle) = daemon(ServeOptions {
+        workers: 1,
+        queue_limit: 4,
+        ..Default::default()
+    });
+
+    // Submit a 6-cell sweep on a raw connection so the event stream is visible
+    // line by line.
+    let stream = connect_retry(&addr, Duration::from_secs(10)).expect("connects");
+    let mut writer = std::io::BufWriter::new(stream.try_clone().expect("clone"));
+    let mut reader = BufReader::new(stream);
+    let spec: Value = serde_json::from_str(&spec_json("cancel-me", &[0, 1, 2, 3, 4, 5])).expect("valid json");
+    writeln!(writer, "{}", serde_json::to_string(&spec).expect("compact")).expect("sends");
+    writer.flush().expect("flushes");
+
+    // Read until the first cell starts, remembering the request id.
+    let mut id = None;
+    let mut lines = (&mut reader).lines();
+    for line in &mut lines {
+        let value: Value = serde_json::from_str(line.expect("reads").trim()).expect("event parses");
+        match field(&value, "event") {
+            Value::String(e) if e == "accepted" => id = Some(number(&value, "id") as u64),
+            Value::String(e) if e == "started" => break,
+            _ => {}
+        }
+    }
+    let id = id.expect("an accepted event named the request id");
+
+    // Cancel it from a second connection.
+    let cancelled = &raw_request(&addr, &[&format!(r#"{{"request":"cancel","id":{id}}}"#)])[0];
+    assert!(matches!(field(cancelled, "event"), Value::String(e) if e == "cancelled"));
+
+    // The stream must terminate with an error event mentioning the
+    // cancellation; skipped cells surface as failed events of kind
+    // `cancelled` along the way.
+    let mut saw_cancelled_cell = false;
+    let mut terminal = None;
+    for line in &mut lines {
+        let value: Value = serde_json::from_str(line.expect("reads").trim()).expect("event parses");
+        match field(&value, "event") {
+            Value::String(e) if e == "failed" => {
+                if matches!(field(&value, "kind"), Value::String(k) if k == "cancelled") {
+                    saw_cancelled_cell = true;
+                }
+            }
+            Value::String(e) if e == "error" => {
+                terminal = Some(field(&value, "error"));
+                break;
+            }
+            Value::String(e) if e == "done" => panic!("cancelled request must not complete"),
+            _ => {}
+        }
+    }
+    assert!(saw_cancelled_cell, "remaining cells must be skipped as cancelled");
+    match terminal {
+        Some(Value::String(message)) => {
+            assert!(
+                message.contains("cancel"),
+                "error must mention the cancellation: {message}"
+            )
+        }
+        other => panic!("stream must end in an error event, got {other:?}"),
+    }
+
+    // The daemon keeps serving: health answers, a fresh request completes, and
+    // the stats ledger shows exactly one cancelled request.
+    let health = &raw_request(&addr, &[r#"{"request":"health"}"#])[0];
+    assert!(matches!(field(health, "status"), Value::String(s) if s == "ok"));
+    let outcome = submit(&addr, &spec_json("after-cancel", &[0]), Duration::from_secs(60), |_| {})
+        .expect("the daemon survives a cancellation");
+    assert_eq!(outcome.sweep, "after-cancel");
+    let stats = &raw_request(&addr, &[r#"{"request":"stats"}"#])[0];
+    let requests = field(stats, "requests");
+    assert_eq!(number(&requests, "cancelled"), 1.0);
+    assert_eq!(number(&requests, "served"), 1.0);
+    assert!(number(&field(stats, "cells"), "cancelled") >= 1.0);
+
+    let _ = raw_request(&addr, &[r#"{"request":"drain"}"#]);
+    handle.join().expect("daemon thread").expect("daemon exits cleanly");
+}
+
+#[test]
+fn full_queue_rejects_with_a_protocol_error() {
+    let (addr, handle) = daemon(ServeOptions {
+        workers: 1,
+        queue_limit: 0,
+        ..Default::default()
+    });
+
+    // Occupy the single worker, signalling once the first cell is running.
+    let (started_tx, started_rx) = mpsc::channel();
+    let first = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            submit(
+                &addr,
+                &spec_json("occupy", &[0, 1]),
+                Duration::from_secs(60),
+                move |p| {
+                    if p.contains("started") {
+                        let _ = started_tx.send(());
+                    }
+                },
+            )
+        })
+    };
+    started_rx
+        .recv_timeout(Duration::from_secs(30))
+        .expect("first request starts");
+
+    // With a zero-length queue the concurrent request is rejected outright.
+    let err = submit(&addr, &spec_json("rejected", &[0]), Duration::from_secs(30), |_| {}).unwrap_err();
+    assert!(err.contains("queue full"), "{err}");
+    first.join().expect("client").expect("occupying request completes");
+
+    let stats = &raw_request(&addr, &[r#"{"request":"stats"}"#])[0];
+    let requests = field(stats, "requests");
+    assert_eq!(number(&requests, "rejected"), 1.0);
+    assert_eq!(number(&requests, "served"), 1.0);
+
+    let _ = raw_request(&addr, &[r#"{"request":"drain"}"#]);
+    handle.join().expect("daemon thread").expect("daemon exits cleanly");
+}
+
+#[test]
+fn malformed_control_requests_answer_with_errors_not_hangups() {
+    let (addr, handle) = daemon(ServeOptions::default());
+    let responses = raw_request(
+        &addr,
+        &[
+            r#"{"request":"cancel"}"#,
+            r#"{"request":"cancel","id":"seven"}"#,
+            r#"{"request":"cancel","id":999}"#,
+            r#"{"request":"reopen"}"#,
+            r#"{"not json"#,
+        ],
+    );
+    let message = |value: &Value| match field(value, "error") {
+        Value::String(m) => m,
+        other => panic!("expected an error event, got {other:?}"),
+    };
+    assert!(message(&responses[0]).contains("numeric `id`"), "{responses:?}");
+    assert!(message(&responses[1]).contains("numeric `id`"), "{responses:?}");
+    assert!(message(&responses[2]).contains("no active request"), "{responses:?}");
+    assert!(message(&responses[3]).contains("unknown request"), "{responses:?}");
+    // A line that is not JSON at all is not a control request; it falls
+    // through to spec parsing and errors there — on the same live connection.
+    assert!(matches!(field(&responses[4], "event"), Value::String(e) if e == "error"));
+
+    // All of that left the request ledger untouched.
+    let stats = &raw_request(&addr, &[r#"{"request":"stats"}"#])[0];
+    let requests = field(stats, "requests");
+    assert_eq!(number(&requests, "served"), 0.0);
+    assert_eq!(number(&requests, "cancelled"), 0.0);
+
+    let _ = raw_request(&addr, &[r#"{"request":"drain"}"#]);
+    handle.join().expect("daemon thread").expect("daemon exits cleanly");
+}
+
+#[test]
+fn drain_refuses_new_sweeps_but_finishes_the_one_in_flight() {
+    let (addr, handle) = daemon(ServeOptions {
+        workers: 1,
+        queue_limit: 4,
+        ..Default::default()
+    });
+
+    let (started_tx, started_rx) = mpsc::channel();
+    let in_flight = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            submit(
+                &addr,
+                &spec_json("drain-rt", &[0, 1]),
+                Duration::from_secs(60),
+                move |p| {
+                    if p.contains("started") {
+                        let _ = started_tx.send(());
+                    }
+                },
+            )
+        })
+    };
+    started_rx
+        .recv_timeout(Duration::from_secs(30))
+        .expect("request starts");
+
+    // Drain while the sweep runs: the daemon acknowledges with its live
+    // occupancy, refuses a subsequent sweep on the same connection, and still
+    // finishes the in-flight request.
+    let stream = connect_retry(&addr, Duration::from_secs(10)).expect("connects");
+    let mut writer = std::io::BufWriter::new(stream.try_clone().expect("clone"));
+    let mut reader = BufReader::new(stream);
+    writeln!(writer, r#"{{"request":"drain"}}"#).expect("sends");
+    writer.flush().expect("flushes");
+    let mut response = String::new();
+    reader.read_line(&mut response).expect("reads");
+    let draining: Value = serde_json::from_str(response.trim()).expect("parses");
+    assert!(matches!(field(&draining, "event"), Value::String(e) if e == "draining"));
+    assert_eq!(number(&draining, "in_flight"), 1.0);
+
+    let refused_spec: Value = serde_json::from_str(&spec_json("too-late", &[0])).expect("valid json");
+    writeln!(writer, "{}", serde_json::to_string(&refused_spec).expect("compact")).expect("sends");
+    writer.flush().expect("flushes");
+    let mut refused = String::new();
+    reader.read_line(&mut refused).expect("reads");
+    let refused: Value = serde_json::from_str(refused.trim()).expect("parses");
+    match field(&refused, "error") {
+        Value::String(m) => assert!(m.contains("draining"), "{m}"),
+        other => panic!("expected an error event, got {other:?}"),
+    }
+    drop(reader);
+    drop(writer);
+
+    let outcome = in_flight.join().expect("client").expect("in-flight request finishes");
+    assert_eq!(outcome.sweep, "drain-rt");
+    let accepted = handle.join().expect("daemon thread").expect("daemon drains cleanly");
+    assert_eq!(accepted, 1, "only the in-flight sweep was admitted");
+}
+
+#[test]
+fn a_set_term_signal_drains_the_daemon_like_sigterm_would() {
+    let flag: &'static AtomicBool = Box::leak(Box::new(AtomicBool::new(false)));
+    let (addr, handle) = daemon(ServeOptions {
+        term_signal: Some(flag),
+        ..Default::default()
+    });
+    // The daemon is idle; flipping the flag (what the SIGTERM handler does)
+    // must make serve() return promptly with zero requests.
+    let health = &raw_request(&addr, &[r#"{"request":"health"}"#])[0];
+    assert!(matches!(field(health, "status"), Value::String(s) if s == "ok"));
+    flag.store(true, Ordering::SeqCst);
+    let accepted = handle.join().expect("daemon thread").expect("daemon exits cleanly");
+    assert_eq!(accepted, 0);
+}
+
+#[test]
+fn connect_retry_gives_up_after_the_timeout() {
+    // Bind then drop a listener so the port is (almost certainly) closed.
+    let port = {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("binds");
+        listener.local_addr().expect("addr").port()
+    };
+    let addr = format!("127.0.0.1:{port}");
+    let begun = Instant::now();
+    let err = connect_retry(&addr, Duration::from_millis(300)).unwrap_err();
+    assert!(err.contains("cannot connect"), "{err}");
+    assert!(
+        begun.elapsed() >= Duration::from_millis(250),
+        "must keep retrying until the deadline, gave up after {:?}",
+        begun.elapsed()
+    );
+}

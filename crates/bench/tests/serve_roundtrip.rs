@@ -6,7 +6,7 @@
 use std::net::TcpListener;
 use std::time::Duration;
 
-use geattack_bench::serve::{serve, submit};
+use geattack_bench::serve::{serve, submit, ServeOptions};
 use geattack_core::engine::Engine;
 use geattack_scenarios::SweepSpec;
 use serde::Value;
@@ -47,7 +47,7 @@ fn served_reports_are_byte_identical_to_cli_sweeps_and_share_the_cache() {
         .serial(true)
         .with_cache(cache_dir.clone(), None)
         .expect("cache opens");
-    let daemon = std::thread::spawn(move || serve(listener, &engine, Some(2)));
+    let daemon = std::thread::spawn(move || serve(listener, &engine, ServeOptions::with_max_requests(Some(2))));
 
     // Cold request: the daemon prepares and caches the experiment.
     let cold = submit(&addr, SPEC, Duration::from_secs(10), |_| {}).expect("cold submit succeeds");
@@ -84,7 +84,7 @@ fn request_level_errors_come_back_as_error_events_and_the_daemon_survives() {
     let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral port binds");
     let addr = listener.local_addr().expect("addr").to_string();
     let engine = Engine::new().serial(true);
-    let daemon = std::thread::spawn(move || serve(listener, &engine, Some(1)));
+    let daemon = std::thread::spawn(move || serve(listener, &engine, ServeOptions::with_max_requests(Some(1))));
 
     // An invalid spec (unknown family) must produce a protocol-level error…
     let bad = r#"{ "name": "bad", "families": ["petersen"], "attackers": ["rna"] }"#;
@@ -128,7 +128,7 @@ fn stats_and_health_requests_report_live_engine_state() {
         .serial(true)
         .with_cache(cache_dir.clone(), None)
         .expect("cache opens");
-    let daemon = std::thread::spawn(move || serve(listener, &engine, Some(2)));
+    let daemon = std::thread::spawn(move || serve(listener, &engine, ServeOptions::with_max_requests(Some(2))));
 
     // Cold daemon: health answers, stats shows an idle engine.
     let responses = raw_request(&addr, &[r#"{"request":"health"}"#, r#"{"request":"stats"}"#]);

@@ -33,6 +33,7 @@
 //! [`GeError::CellsFailed`] listing every failed position.
 
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -49,10 +50,56 @@ use crate::persist::prepare_cached;
 use crate::pipeline::{run_attacker_instrumented, BudgetRule, GraphSource, PipelineConfig};
 use crate::registry::{AttackerPlugin, AttackerRegistry, ExplainerPlugin, ExplainerRegistry};
 use crate::sweep::{
-    execution_order, expand_prep_cells, merge_shards_with, plan_lines_with, resolve_axes, PlannedCell, Shard,
-    ShardReport, SweepCell, SweepReport, SweepRun,
+    estimated_cost, execution_order, expand_prep_cells, merge_shards_with, plan_lines_with, resolve_axes, PlannedCell,
+    Shard, ShardReport, SweepCell, SweepReport, SweepRun,
 };
 use crate::telemetry::{CellTiming, LatencySummary, PhaseAccumulator, SweepTelemetry};
+
+/// A shared cancellation flag for one sweep session. Cloning shares the flag;
+/// setting it makes the session skip every cell that has not started yet —
+/// each skipped cell surfaces as [`CellEvent::Failed`] with a
+/// [`GeError::Cancelled`] error, and [`SweepHandle::wait`] returns
+/// [`GeError::CellsFailed`] listing them. Cells already executing run to
+/// completion (cancellation is cell-granular), so a cancelled session still
+/// leaves the shared cache in a consistent state.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    reason: Arc<Mutex<String>>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the flag; every clone observes it. The first caller's reason wins.
+    pub fn cancel(&self, reason: &str) {
+        if let Ok(mut slot) = self.reason.lock() {
+            if slot.is_empty() {
+                *slot = reason.to_string();
+            }
+        }
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the token has been cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+
+    /// The reason passed to the first [`CancelToken::cancel`] call
+    /// (`"cancelled"` when cancelled without one, empty when not cancelled).
+    pub fn reason(&self) -> String {
+        let reason = self.reason.lock().map(|r| r.clone()).unwrap_or_default();
+        if reason.is_empty() && self.is_cancelled() {
+            "cancelled".to_string()
+        } else {
+            reason
+        }
+    }
+}
 
 /// One progress notification of a running sweep session.
 ///
@@ -145,6 +192,7 @@ struct SessionContext {
     cache: Option<Arc<CacheStore>>,
     metrics: Arc<MetricsRegistry>,
     serial: bool,
+    cancel: CancelToken,
 }
 
 /// The registry-driven, result-typed experiment core.
@@ -265,11 +313,35 @@ impl Engine {
         self.submit_shard(spec, None)
     }
 
+    /// [`Engine::submit_cancellable`] with a fresh (never-cancelled) token.
+    pub fn submit_shard(&self, spec: SweepSpec, shard: Option<Shard>) -> Result<SweepHandle> {
+        self.submit_cancellable(spec, shard, CancelToken::new())
+    }
+
+    /// Estimated cost of the owned slice of `spec`'s grid, in the same
+    /// arbitrary units as the cost-ordered scheduler (≈ Σ (nodes²·epochs) per
+    /// prepared cell, scaled by the per-cell (attacker × budget) block size).
+    /// Only relative order is meaningful; the serve daemon uses it for
+    /// cost-aware admission so cheap requests never queue behind sweeps that
+    /// are orders of magnitude heavier.
+    pub fn estimate_cost(&self, spec: &SweepSpec, shard: Option<Shard>) -> Result<f64> {
+        let cells = self.plan(spec, shard)?;
+        let block = (spec.attackers.len() * spec.budgets.len()).max(1);
+        Ok(cells.iter().map(estimated_cost).sum::<f64>() * block as f64)
+    }
+
     /// Validates the spec, resolves its axes against the registries and
     /// starts executing the owned slice of the grid on a background session.
     /// Returns immediately with the streaming [`SweepHandle`]; all validation
-    /// errors surface here, before anything runs.
-    pub fn submit_shard(&self, spec: SweepSpec, shard: Option<Shard>) -> Result<SweepHandle> {
+    /// errors surface here, before anything runs. Setting `cancel` (from any
+    /// thread) makes the session skip its remaining cells — see
+    /// [`CancelToken`].
+    pub fn submit_cancellable(
+        &self,
+        spec: SweepSpec,
+        shard: Option<Shard>,
+        cancel: CancelToken,
+    ) -> Result<SweepHandle> {
         spec.validate().map_err(GeError::InvalidSpec)?;
         let shard = shard.unwrap_or(Shard::FULL);
         shard.validate()?;
@@ -289,6 +361,7 @@ impl Engine {
             cache: self.cache.clone(),
             metrics: Arc::clone(&self.metrics),
             serial: self.serial,
+            cancel,
         };
         let worker = std::thread::spawn(move || session_worker(context, sender));
         Ok(SweepHandle {
@@ -347,8 +420,23 @@ fn session_worker(context: SessionContext, sender: Sender<CellEvent>) -> Result<
     let started_counter = context.metrics.counter("cells.started");
     let finished_counter = context.metrics.counter("cells.finished");
     let failed_counter = context.metrics.counter("cells.failed");
+    let cancelled_counter = context.metrics.counter("cells.cancelled");
     let run_cell = |cell: &&PlannedCell| {
         let position = cell.position;
+        // Cancellation is cell-granular: a set token makes every
+        // not-yet-started cell fail fast with a `cancelled` error instead of
+        // executing, while cells already past this check run to completion.
+        if context.cancel.is_cancelled() {
+            cancelled_counter.inc();
+            let error = GeError::Cancelled(context.cancel.reason());
+            let _ = sender.lock().map(|s| {
+                s.send(CellEvent::Failed {
+                    position,
+                    error: error.clone(),
+                })
+            });
+            return Err(error);
+        }
         started_counter.inc();
         let _ = sender.lock().map(|s| s.send(CellEvent::Started { position }));
         let result = run_prep_cell(&context, cell, victim_parallel);
@@ -429,11 +517,7 @@ fn session_worker(context: SessionContext, sender: Sender<CellEvent>) -> Result<
 /// and budget of the grid. Returns the cell's results plus its wall-clock
 /// phase breakdown (measured unconditionally; span emission is gated on the
 /// installed recorder).
-fn run_prep_cell(
-    context: &SessionContext,
-    cell: &PlannedCell,
-    victim_parallel: bool,
-) -> CellOutcome {
+fn run_prep_cell(context: &SessionContext, cell: &PlannedCell, victim_parallel: bool) -> CellOutcome {
     let _cell_span = span_labeled(Level::Cell, "cell", cell.position.to_string());
     let cell_started = Instant::now();
     let spec = &context.spec;
@@ -680,6 +764,68 @@ mod tests {
         let run = engine.run(&spec, None).expect("runs");
         let err = crate::sweep::merge_shards(std::slice::from_ref(&run.shard)).unwrap_err();
         assert!(err.to_string().contains("unknown attacker"), "{err}");
+    }
+
+    #[test]
+    fn cancelled_token_skips_every_remaining_cell_as_a_cancelled_failure() {
+        let engine = Engine::new().serial(true);
+        let token = CancelToken::new();
+        assert!(!token.is_cancelled());
+        token.cancel("test teardown");
+        token.cancel("second reason loses");
+        assert!(token.is_cancelled());
+        assert_eq!(token.reason(), "test teardown");
+
+        let mut session = engine
+            .submit_cancellable(tiny_spec(), None, token)
+            .expect("submission itself is not gated on the token");
+        let mut failed = Vec::new();
+        for event in session.by_ref() {
+            match event {
+                CellEvent::Failed { position, error } => {
+                    assert_eq!(error.kind(), "cancelled");
+                    assert!(error.to_string().contains("test teardown"), "{error}");
+                    failed.push(position);
+                }
+                CellEvent::Planned { .. } => {}
+                other => panic!("cancelled session must not start cells: {other:?}"),
+            }
+        }
+        assert_eq!(failed, vec![0, 1], "both cells cancelled, in execution order");
+        let err = session.wait().unwrap_err();
+        match &err {
+            GeError::CellsFailed(failures) => {
+                assert_eq!(failures.len(), 2);
+                assert!(failures.iter().all(|f| f.kind == "cancelled"));
+            }
+            other => panic!("expected CellsFailed, got {other:?}"),
+        }
+        assert_eq!(engine.metrics().counter_value("cells.cancelled"), 2);
+        assert_eq!(engine.metrics().counter_value("cells.started"), 0);
+    }
+
+    #[test]
+    fn cost_estimates_order_specs_by_heaviness() {
+        let engine = Engine::new();
+        let quick = tiny_spec();
+        let mut heavy = tiny_spec();
+        heavy.scales = vec![0.6];
+        let quick_cost = engine.estimate_cost(&quick, None).expect("estimates");
+        let heavy_cost = engine.estimate_cost(&heavy, None).expect("estimates");
+        assert!(quick_cost > 0.0);
+        assert!(
+            heavy_cost > 10.0 * quick_cost,
+            "scale 0.6 must dominate scale 0.07: {heavy_cost} vs {quick_cost}"
+        );
+        // Sharding halves the owned slice (2 seeds -> 1 owned cell each).
+        let half = engine
+            .estimate_cost(&quick, Some(Shard { index: 0, count: 2 }))
+            .expect("estimates");
+        assert!(half < quick_cost);
+        // Bad specs fail estimation the same way they fail submission.
+        let mut bad = tiny_spec();
+        bad.attackers = vec!["metattack".to_string()];
+        assert!(engine.estimate_cost(&bad, None).is_err());
     }
 
     #[test]

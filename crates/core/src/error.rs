@@ -70,6 +70,10 @@ pub enum GeError {
     CellsFailed(Vec<CellFailure>),
     /// A serve-protocol request could not be understood.
     Protocol(String),
+    /// The session's cancellation token was set before this cell ran; the
+    /// cell was skipped, not executed. Carries a human-readable reason
+    /// (`"client disconnected"`, `"cancel requested"`, ...).
+    Cancelled(String),
 }
 
 impl GeError {
@@ -96,6 +100,7 @@ impl GeError {
             GeError::Shard(_) => "shard",
             GeError::CellsFailed(_) => "cells-failed",
             GeError::Protocol(_) => "protocol",
+            GeError::Cancelled(_) => "cancelled",
         }
     }
 }
@@ -120,6 +125,7 @@ impl fmt::Display for GeError {
                 Ok(())
             }
             GeError::Protocol(m) => write!(f, "protocol error: {m}"),
+            GeError::Cancelled(m) => write!(f, "cancelled: {m}"),
         }
     }
 }
@@ -163,5 +169,8 @@ mod tests {
         assert_eq!(failure.kind, "graph-source");
         assert!(failure.error.contains("nope"));
         assert_eq!(GeError::CellsFailed(vec![failure]).kind(), "cells-failed");
+        let cancelled = GeError::Cancelled("client disconnected".into());
+        assert_eq!(cancelled.kind(), "cancelled");
+        assert!(cancelled.to_string().contains("cancelled: client disconnected"));
     }
 }

@@ -50,7 +50,7 @@ pub mod sweep;
 pub mod targets;
 pub mod telemetry;
 
-pub use engine::{CellEvent, Engine, SweepHandle};
+pub use engine::{CancelToken, CellEvent, Engine, SweepHandle};
 pub use error::{CellFailure, GeError};
 pub use evaluation::{
     aggregate_runs, evaluate_attack_instrumented, summarize_run, AggregatedSummary, AttackOutcome, MeanStd, RunSummary,
@@ -64,6 +64,8 @@ pub use pipeline::{
 };
 pub use registry::{AttackerPlugin, AttackerRegistry, ExplainerPlugin, ExplainerRegistry};
 pub use report::{format_percent, Figure, Series, TableBlock};
-pub use sweep::{merge_shards, PlannedCell, Shard, ShardReport, SweepAggregate, SweepCell, SweepReport, SweepRun};
+pub use sweep::{
+    estimated_cost, merge_shards, PlannedCell, Shard, ShardReport, SweepAggregate, SweepCell, SweepReport, SweepRun,
+};
 pub use targets::{assign_target_labels, select_victims, victims_with_degree, Victim, VictimSelectionConfig};
 pub use telemetry::{CellTiming, LatencySummary, PhaseAccumulator, SweepTelemetry};

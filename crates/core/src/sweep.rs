@@ -652,7 +652,7 @@ pub(crate) fn aggregate_cells(
 /// (now `O(nnz·f)` sparse, which still grows superlinearly in `n` through nnz
 /// and the `n×f` dense blocks), so `n²` keeps the *relative* order right — all
 /// this estimate is used for.
-pub(crate) fn estimated_cost(cell: &PlannedCell) -> f64 {
+pub fn estimated_cost(cell: &PlannedCell) -> f64 {
     let reference = geattack_scenarios::resolve(&cell.family)
         .map(|family| family.reference_nodes())
         .unwrap_or(500);
