@@ -8,7 +8,10 @@
 //! paper shows, this heuristic barely helps because the *newly inserted* edges
 //! themselves become influential and are still picked up by the explainer.
 
+use std::sync::Arc;
+
 use geattack_explain::{Explainer, GnnExplainer, GnnExplainerConfig};
+use geattack_gnn::BatchedForward;
 use geattack_graph::Perturbation;
 
 use crate::fga::FgaT;
@@ -38,18 +41,37 @@ impl Default for FgaTEConfig {
 pub struct FgaTE {
     /// Attack configuration.
     pub config: FgaTEConfig,
+    clean_forward: Option<Arc<BatchedForward>>,
 }
 
 impl FgaTE {
     /// Creates an FGA-T&E attacker with the given configuration.
     pub fn new(config: FgaTEConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            clean_forward: None,
+        }
+    }
+
+    /// Attaches a shared clean-graph forward pass. The forward **must** be
+    /// `BatchedForward::new(model, graph)` for the exact `(model, graph)` the
+    /// attack contexts will carry (FGA-T&E always explains the clean graph);
+    /// the per-victim clean prediction is then served from it instead of
+    /// re-running a full forward per victim. Results are bit-identical.
+    pub fn with_clean_forward(mut self, forward: Arc<BatchedForward>) -> Self {
+        self.clean_forward = Some(forward);
+        self
     }
 
     /// Endpoints of the clean-graph explanation's top edges (the exclusion set).
     pub fn excluded_endpoints(&self, ctx: &AttackContext<'_>) -> Vec<usize> {
         let explainer = GnnExplainer::new(self.config.explainer.clone());
-        let explanation = explainer.explain(ctx.model, ctx.graph, ctx.target);
+        let explanation = match &self.clean_forward {
+            Some(f) => {
+                explainer.explain_class_with_forward(ctx.model, ctx.graph, ctx.target, f.predicted_class(ctx.target), f)
+            }
+            None => explainer.explain(ctx.model, ctx.graph, ctx.target),
+        };
         let mut nodes: Vec<usize> = explanation
             .top_edges(self.config.explanation_size)
             .into_iter()
@@ -106,6 +128,26 @@ mod tests {
         // The target's explanation covers its own neighborhood, so at least one
         // neighbor should be excluded.
         assert!(!excluded.is_empty());
+    }
+
+    #[test]
+    fn clean_forward_routing_is_bit_identical() {
+        let (graph, model) = small_setup(51);
+        let (victim, target_label) = pick_victim(&graph, &model);
+        let ctx = AttackContext {
+            model: &model,
+            graph: &graph,
+            target: victim,
+            target_label,
+            budget: 2,
+        };
+        let attack = FgaTE::new(quick_config());
+        let plain = attack.excluded_endpoints(&ctx);
+        let routed = attack
+            .clone()
+            .with_clean_forward(Arc::new(BatchedForward::new(&model, &graph)))
+            .excluded_endpoints(&ctx);
+        assert_eq!(plain, routed, "shared clean forward changed the exclusion set");
     }
 
     #[test]

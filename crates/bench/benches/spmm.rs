@@ -1,19 +1,31 @@
-//! `spmm_vs_dense`: the sparse compute core against its dense oracle.
+//! Sparse-compute benchmarks.
 //!
-//! Two shapes at three dataset scales: the raw SpMM forward (normalized
-//! adjacency times the feature matrix) and one full GCN training epoch. The
-//! sparse and dense variants produce bit-identical values, so the delta is pure
-//! compute cost — O(nnz·f) against O(n²·f) per layer.
+//! `spmm_vs_dense_*`: the sparse compute core against its dense oracle — the
+//! raw SpMM forward (normalized adjacency times the feature matrix) and one
+//! full GCN training epoch at three dataset scales. The sparse and dense
+//! variants produce bit-identical values, so the delta is pure compute cost —
+//! O(nnz·f) against O(n²·f) per layer.
+//!
+//! `spmm_kernels`: the register-blocked spmm against the scalar reference
+//! kernel (bit-identical results) and against the opt-in f32 kernel (reduced
+//! precision, roughly half the memory traffic).
+//!
+//! `batched_forward`: one shared clean-graph forward pass against the two
+//! separate full-graph passes it replaces in the evaluation loop
+//! (`predict_proba` for the success check plus `node_embeddings` for the
+//! explainer).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use geattack_gnn::{train_dense_oracle, train_sparse, TrainConfig};
+use geattack_gnn::{train, train_dense_oracle, train_sparse, BatchedForward, TrainConfig};
 use geattack_graph::datasets::{load, DatasetName, GeneratorConfig};
 use geattack_graph::{normalized_adjacency, normalized_adjacency_csr, stratified_split};
+use geattack_tensor::{Matrix, MatrixF32, SparseMatrixF32};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 const SCALES: [f64; 3] = [0.1, 0.2, 0.4];
+const KERNEL_SCALES: [f64; 3] = [0.2, 0.4, 0.6];
 
 fn bench_forward(c: &mut Criterion) {
     let mut group = c.benchmark_group("spmm_vs_dense_forward");
@@ -55,5 +67,67 @@ fn bench_train_epoch(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_forward, bench_train_epoch);
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmm_kernels");
+    group.sample_size(10);
+    for scale in KERNEL_SCALES {
+        let graph = load(DatasetName::Cora, &GeneratorConfig::at_scale(scale, 0));
+        let sparse = normalized_adjacency_csr(&graph).matrix;
+        let features = graph.features().clone();
+        let sparse32 = SparseMatrixF32::from_f64(&sparse);
+        let features32 = MatrixF32::from_f64(&features);
+        // The kernels write into a reused buffer (`*_into`) so the measurement
+        // is the compute itself, not the page-faulting cost of a fresh zeroed
+        // allocation per call — that shared constant would otherwise mask the
+        // kernel delta (and the allocator's lazy zeroing would hand the scalar
+        // loop its required zero-fill pass for free).
+        let (rows, _) = sparse.shape();
+        let mut out = Matrix::zeros(rows, features.cols());
+        let mut out32 = MatrixF32::zeros(rows, features.cols());
+        group.bench_with_input(BenchmarkId::new("scalar", scale), &scale, |bencher, _| {
+            bencher.iter(|| sparse.spmm_reference_into(&features, std::hint::black_box(&mut out)));
+        });
+        group.bench_with_input(BenchmarkId::new("blocked", scale), &scale, |bencher, _| {
+            bencher.iter(|| sparse.spmm_into(&features, std::hint::black_box(&mut out)));
+        });
+        group.bench_with_input(BenchmarkId::new("blocked_f32", scale), &scale, |bencher, _| {
+            bencher.iter(|| sparse32.spmm_into(&features32, std::hint::black_box(&mut out32)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_batched_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batched_forward");
+    group.sample_size(10);
+    let config = TrainConfig {
+        epochs: 30,
+        patience: None,
+        ..Default::default()
+    };
+    for scale in [0.2, 0.4] {
+        let graph = load(DatasetName::Cora, &GeneratorConfig::at_scale(scale, 0));
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let split = stratified_split(graph.labels(), graph.num_classes(), 0.1, 0.1, &mut rng);
+        let model = train(&graph, &split, &config).model;
+        group.bench_with_input(BenchmarkId::new("per_call", scale), &scale, |bencher, _| {
+            bencher.iter(|| {
+                std::hint::black_box(model.predict_proba(&graph));
+                std::hint::black_box(model.node_embeddings(&graph));
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("batched", scale), &scale, |bencher, _| {
+            bencher.iter(|| std::hint::black_box(BatchedForward::new(&model, &graph)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_forward,
+    bench_train_epoch,
+    bench_kernels,
+    bench_batched_forward
+);
 criterion_main!(benches);

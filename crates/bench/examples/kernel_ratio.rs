@@ -1,0 +1,146 @@
+//! Interleaved A/B micro-harness for spmm kernel decisions.
+//!
+//! Unlike the criterion groups (which time each variant in its own block),
+//! this probe interleaves scalar / blocked / column-tiled timings within every
+//! iteration and reports medians, so slow drifts of the shared container hit
+//! all variants equally. It also keeps the column-tiled prototype alive as a
+//! *negative* result: tiling the dense operand to L2 (tiles 128-256 columns,
+//! AVX2-dispatched like production) loses to the untiled blocked kernel at
+//! Cora densities — per-tile entry re-decode dominates at average degree ~5 —
+//! which is why production `spmm` does not tile. Every prototype result is
+//! asserted bit-identical to production `spmm` before timing.
+//!
+//! Run: `cargo run --release -p geattack-bench --example kernel_ratio`
+
+use geattack_graph::datasets::{load, DatasetName, GeneratorConfig};
+use geattack_graph::normalized_adjacency_csr;
+use geattack_tensor::{Matrix, SparseMatrix};
+use std::time::Instant;
+
+// prototype: column-tiled entry-blocked spmm, AVX2-dispatched like production
+fn spmm_tiled(a: &SparseMatrix, b: &Matrix, tile: usize) -> Matrix {
+    #[target_feature(enable = "avx2")]
+    unsafe fn run_avx2(a: &SparseMatrix, b: &Matrix, tile: usize) -> Matrix {
+        spmm_tiled_body(a, b, tile)
+    }
+    if std::is_x86_feature_detected!("avx2") {
+        return unsafe { run_avx2(a, b, tile) };
+    }
+    spmm_tiled_body(a, b, tile)
+}
+
+#[inline(always)]
+fn spmm_tiled_body(a: &SparseMatrix, b: &Matrix, tile: usize) -> Matrix {
+    let (rows, _) = a.shape();
+    let n = b.cols();
+    let bs = b.as_slice();
+    let mut out = Matrix::zeros(rows, n);
+    let od = out.as_mut_slice();
+    let mut j0 = 0;
+    while j0 < n {
+        let w = tile.min(n - j0);
+        for i in 0..rows {
+            let idx = a.row_indices(i);
+            let vals = a.row_values(i);
+            let orow = &mut od[i * n + j0..i * n + j0 + w];
+            let mut p = 0;
+            if idx.is_empty() {
+                for x in orow.iter_mut() {
+                    *x = 0.0;
+                }
+                continue;
+            }
+            let mut es = [(0usize, 0.0f64); 4];
+            let first = (idx.len() - p).min(4);
+            for m in 0..first {
+                es[m] = (idx[p + m], vals[p + m]);
+            }
+            match first {
+                1 => axpy::<1, true>([es[0]], bs, n, j0, orow),
+                2 => axpy::<2, true>([es[0], es[1]], bs, n, j0, orow),
+                3 => axpy::<3, true>([es[0], es[1], es[2]], bs, n, j0, orow),
+                _ => axpy::<4, true>(es, bs, n, j0, orow),
+            }
+            p += first;
+            while p < idx.len() {
+                let g = (idx.len() - p).min(4);
+                for m in 0..g {
+                    es[m] = (idx[p + m], vals[p + m]);
+                }
+                match g {
+                    1 => axpy::<1, false>([es[0]], bs, n, j0, orow),
+                    2 => axpy::<2, false>([es[0], es[1]], bs, n, j0, orow),
+                    3 => axpy::<3, false>([es[0], es[1], es[2]], bs, n, j0, orow),
+                    _ => axpy::<4, false>(es, bs, n, j0, orow),
+                }
+                p += g;
+            }
+        }
+        j0 += w;
+    }
+    out
+}
+
+#[inline(always)]
+fn axpy<const M: usize, const INIT: bool>(es: [(usize, f64); M], b: &[f64], n: usize, j0: usize, out: &mut [f64]) {
+    let w = out.len();
+    let rows: [&[f64]; M] = std::array::from_fn(|m| &b[es[m].0 * n + j0..es[m].0 * n + j0 + w]);
+    for j in 0..w {
+        let mut acc = if INIT { 0.0 } else { out[j] };
+        for m in 0..M {
+            acc += es[m].1 * rows[m][j];
+        }
+        out[j] = acc;
+    }
+}
+
+const TILES: [usize; 3] = [128, 192, 256];
+
+fn main() {
+    for scale in [0.4f64, 0.6] {
+        let graph = load(DatasetName::Cora, &GeneratorConfig::at_scale(scale, 0));
+        let sparse = normalized_adjacency_csr(&graph).matrix;
+        let features = graph.features().clone();
+        // correctness: bitwise vs current blocked
+        let want = sparse.spmm(&features);
+        for tile in TILES {
+            let got = spmm_tiled(&sparse, &features, tile);
+            assert_eq!(
+                got.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                want.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "tile {tile}"
+            );
+        }
+        let mut results: Vec<(String, Vec<u128>)> = vec![("scalar".into(), vec![]), ("blocked".into(), vec![])];
+        for t in TILES {
+            results.push((format!("tile{t}"), vec![]));
+        }
+        for _ in 0..30 {
+            let t = Instant::now();
+            std::hint::black_box(sparse.spmm_reference(&features));
+            results[0].1.push(t.elapsed().as_nanos());
+            let t = Instant::now();
+            std::hint::black_box(sparse.spmm(&features));
+            results[1].1.push(t.elapsed().as_nanos());
+            for (ti, tile) in TILES.iter().enumerate() {
+                let t = Instant::now();
+                std::hint::black_box(spmm_tiled(&sparse, &features, *tile));
+                results[2 + ti].1.push(t.elapsed().as_nanos());
+            }
+        }
+        let scalar_med = {
+            let mut v = results[0].1.clone();
+            v.sort();
+            v[v.len() / 2] as f64
+        };
+        for (name, mut v) in results {
+            v.sort();
+            let med = v[v.len() / 2] as f64;
+            println!(
+                "scale {scale} {name}: med {:.3} ms (ratio vs scalar {:.2}x)",
+                med / 1e6,
+                scalar_med / med
+            );
+        }
+    }
+}

@@ -150,7 +150,8 @@ pub fn degree_sweep(
             eprintln!("{e}");
             std::process::exit(2);
         });
-        let preds = prepared.model.predict_labels(&prepared.graph);
+        // Clean predictions come from the forward pass prepare() already ran.
+        let preds = prepared.clean_forward().predict_labels();
         let mut row: Vec<Option<RunSummary>> = Vec::with_capacity(degrees.len());
         for &degree in degrees.iter() {
             // Victims of exactly this degree among correctly-classified test nodes.

@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use geattack_explain::{detection_scores, DetectionScores, Explainer};
-use geattack_gnn::Gcn;
+use geattack_gnn::{BatchedForward, Gcn};
 use geattack_graph::{Graph, Perturbation};
 
 use crate::targets::Victim;
@@ -73,7 +73,11 @@ pub fn evaluate_attack_instrumented(
 ) -> AttackOutcome {
     let detect_started = std::time::Instant::now();
     let attacked = perturbation.apply(graph);
-    let predicted = model.predict_proba(&attacked).argmax_row(victim.node);
+    // One shared forward on the attacked graph serves the success check *and*
+    // whatever full-graph quantities the explainer needs (PGExplainer reads the
+    // first-layer embeddings from it instead of re-running the layer).
+    let forward = BatchedForward::new(model, &attacked);
+    let predicted = forward.predicted_class(victim.node);
     let success_any = predicted != victim.true_label;
     let success_target = predicted == victim.target_label;
     if let Some(phases) = phases {
@@ -90,7 +94,7 @@ pub fn evaluate_attack_instrumented(
             victim.node.to_string(),
         );
         explainer
-            .explain_class(model, &attacked, victim.node, predicted)
+            .explain_class_with_forward(model, &attacked, victim.node, predicted, &forward)
             .truncated(explanation_size)
     };
     if let Some(phases) = phases {

@@ -67,5 +67,7 @@ pub use report::{format_percent, Figure, Series, TableBlock};
 pub use sweep::{
     estimated_cost, merge_shards, PlannedCell, Shard, ShardReport, SweepAggregate, SweepCell, SweepReport, SweepRun,
 };
-pub use targets::{assign_target_labels, select_victims, victims_with_degree, Victim, VictimSelectionConfig};
+pub use targets::{
+    assign_target_labels, select_victims, select_victims_from_probs, victims_with_degree, Victim, VictimSelectionConfig,
+};
 pub use telemetry::{CellTiming, LatencySummary, PhaseAccumulator, SweepTelemetry};

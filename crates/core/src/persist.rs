@@ -77,6 +77,11 @@ pub fn cache_key_salted(config: &PipelineConfig, salt: &str) -> String {
         .write_f64(t.weight_decay)
         .write_opt_u64(t.patience.map(|p| p as u64))
         .write_u64(t.seed);
+    // The f32 path trains different weights, so it needs its own entries; the
+    // default f64 path writes nothing, keeping pre-existing keys reachable.
+    if t.precision == geattack_gnn::Precision::F32 {
+        h.write_str("precision-f32");
+    }
     let v = &config.victims;
     h.write_usize(v.count)
         .write_usize(v.top_margin)
@@ -418,6 +423,14 @@ mod tests {
             base,
             cache_key(&scheduling),
             "scheduling and attack-time knobs must not change the key"
+        );
+
+        let mut f32_train = tiny_config(7);
+        f32_train.train.precision = geattack_gnn::Precision::F32;
+        assert_ne!(
+            base,
+            cache_key(&f32_train),
+            "f32 training trains different weights and needs its own entries"
         );
 
         let mut pg = tiny_config(7);

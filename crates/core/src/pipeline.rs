@@ -12,13 +12,13 @@
 //! datasets or any named [`geattack_scenarios`] family, so the same pipeline
 //! drives both the reproduction binaries and the scenario sweep runner.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use serde::{Deserialize, Serialize};
 
 use geattack_attack::{AttackContext, Fga, FgaT, FgaTE, FgaTEConfig, IgAttack, Nettack, RandomAttack, TargetedAttack};
 use geattack_explain::{Explainer, GnnExplainer, GnnExplainerConfig, PgExplainer, PgExplainerConfig};
-use geattack_gnn::{train, Gcn, TrainConfig};
+use geattack_gnn::{train, BatchedForward, Gcn, TrainConfig};
 use geattack_graph::datasets::{load, DatasetName, GeneratorConfig};
 use geattack_graph::{stratified_split, DataSplit, Graph};
 use geattack_scenarios::{BudgetSpec, ScenarioSpec};
@@ -27,7 +27,7 @@ use crate::error::{GeError, Result};
 use crate::evaluation::{evaluate_attack_instrumented, AttackOutcome};
 use crate::geattack::{GeAttack, GeAttackConfig};
 use crate::pg_geattack::{PgGeAttack, PgGeAttackConfig};
-use crate::targets::{assign_target_labels, select_victims, Victim, VictimSelectionConfig};
+use crate::targets::{assign_target_labels, select_victims_from_probs, Victim, VictimSelectionConfig};
 use crate::telemetry::PhaseAccumulator;
 
 /// The attackers compared in Tables 1 and 2, in the paper's column order.
@@ -336,6 +336,11 @@ pub struct Prepared {
     /// The trained PGExplainer, if the experiment uses one (shared, immutable).
     pub pg_explainer: Option<Arc<PgExplainer>>,
     config: PipelineConfig,
+    /// The clean-graph forward pass, computed at most once per `(graph, model)`
+    /// and shared by every consumer of clean predictions or embeddings
+    /// (FGA-T&E's exclusion explanation, degree sweeps, victim re-scoping).
+    /// Lazy so cache-hit loads that never query the clean graph pay nothing.
+    clean_forward: Arc<OnceLock<Arc<BatchedForward>>>,
 }
 
 impl Prepared {
@@ -357,7 +362,20 @@ impl Prepared {
             victims,
             pg_explainer: pg_explainer.map(Arc::new),
             config,
+            clean_forward: Arc::new(OnceLock::new()),
         }
+    }
+
+    /// The shared clean-graph forward pass (bit-identical to
+    /// `model.predict_proba(graph)` / `model.node_embeddings(graph)`), computed
+    /// on first use and then served from the shared cell — including across
+    /// [`Prepared::with_victims`] re-scopes, which keep the same graph and
+    /// model.
+    pub fn clean_forward(&self) -> Arc<BatchedForward> {
+        Arc::clone(
+            self.clean_forward
+                .get_or_init(|| Arc::new(BatchedForward::new(&self.model, &self.graph))),
+        )
     }
 
     /// Read access to the configuration used to prepare this experiment.
@@ -381,6 +399,7 @@ impl Prepared {
             victims,
             pg_explainer: self.pg_explainer.clone(),
             config: self.config.clone(),
+            clean_forward: Arc::clone(&self.clean_forward),
         }
     }
 
@@ -407,10 +426,15 @@ impl Prepared {
             AttackerKind::FgaT => Box::new(FgaT::default()),
             AttackerKind::Nettack => Box::new(Nettack::default()),
             AttackerKind::IgAttack => Box::new(IgAttack::default()),
-            AttackerKind::FgaTE => Box::new(FgaTE::new(FgaTEConfig {
-                explanation_size: self.config.explanation_size,
-                explainer: self.config.gnnexplainer.clone(),
-            })),
+            AttackerKind::FgaTE => Box::new(
+                FgaTE::new(FgaTEConfig {
+                    explanation_size: self.config.explanation_size,
+                    explainer: self.config.gnnexplainer.clone(),
+                })
+                // FGA-T&E explains every victim on the same clean graph, so all
+                // victims share one forward pass.
+                .with_clean_forward(self.clean_forward()),
+            ),
             AttackerKind::GeAttack => match (&self.config.explainer, &self.pg_explainer) {
                 (ExplainerKind::PgExplainer, Some(pg)) => {
                     Box::new(PgGeAttack::new(pg.as_ref().clone(), self.config.pg_geattack.clone()))
@@ -433,20 +457,26 @@ pub fn prepare(config: PipelineConfig) -> Result<Prepared> {
     let trained = train(&graph, &split, &config.train);
     let model = trained.model;
 
-    let victims = select_victims(&model, &graph, &split.test, &config.victims);
+    // One clean-graph forward serves victim selection, PGExplainer training
+    // and (seeded into the Prepared below) every later clean-graph query.
+    let forward = BatchedForward::new(&model, &graph);
+    let victims = select_victims_from_probs(forward.probs(), &graph, &split.test, &config.victims);
     let victims = assign_target_labels(&model, &graph, &victims);
 
     let pg_explainer = match config.explainer {
-        ExplainerKind::PgExplainer => Some(PgExplainer::train(
+        ExplainerKind::PgExplainer => Some(PgExplainer::train_with_forward(
             &model,
             &graph,
             &split.test,
             config.pgexplainer.clone(),
+            &forward,
         )),
         ExplainerKind::GnnExplainer => None,
     };
 
-    Ok(Prepared::from_parts(graph, model, split, victims, pg_explainer, config))
+    let prepared = Prepared::from_parts(graph, model, split, victims, pg_explainer, config);
+    let _ = prepared.clean_forward.set(Arc::new(forward));
+    Ok(prepared)
 }
 
 /// Runs one attacker over all prepared victims and returns per-victim outcomes.

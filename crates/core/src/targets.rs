@@ -13,8 +13,10 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use geattack_attack::{AttackContext, Fga, TargetedAttack};
+use geattack_gnn::eval::prediction_from_probs;
 use geattack_gnn::{node_predictions, Gcn};
 use geattack_graph::Graph;
+use geattack_tensor::Matrix;
 
 /// A victim node together with the label the attacker must force.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -64,8 +66,23 @@ pub fn select_victims(
     candidate_nodes: &[usize],
     config: &VictimSelectionConfig,
 ) -> Vec<usize> {
-    let mut correct: Vec<_> = node_predictions(model, graph, candidate_nodes)
-        .into_iter()
+    select_victims_from_probs(&model.predict_proba(graph), graph, candidate_nodes, config)
+}
+
+/// [`select_victims`] from a precomputed clean-graph probability matrix
+/// (`model.predict_proba(graph)` or [`geattack_gnn::BatchedForward::probs`]).
+/// The pipeline computes that forward once and shares it between victim
+/// selection and PGExplainer training; results are identical to
+/// [`select_victims`].
+pub fn select_victims_from_probs(
+    probs: &Matrix,
+    graph: &Graph,
+    candidate_nodes: &[usize],
+    config: &VictimSelectionConfig,
+) -> Vec<usize> {
+    let mut correct: Vec<_> = candidate_nodes
+        .iter()
+        .map(|&i| prediction_from_probs(probs, graph, i))
         .filter(|p| p.predicted == p.label)
         .collect();
     correct.sort_by(|a, b| b.margin.partial_cmp(&a.margin).unwrap_or(std::cmp::Ordering::Equal));
@@ -204,6 +221,21 @@ mod tests {
         for &v in &victims {
             assert_eq!(graph.degree(v), 2);
         }
+    }
+
+    #[test]
+    fn probs_based_selection_matches_model_based() {
+        let (graph, model, test_nodes) = setup();
+        let config = VictimSelectionConfig {
+            count: 10,
+            top_margin: 3,
+            bottom_margin: 3,
+            seed: 7,
+        };
+        let direct = select_victims(&model, &graph, &test_nodes, &config);
+        let forward = geattack_gnn::BatchedForward::new(&model, &graph);
+        let shared = select_victims_from_probs(forward.probs(), &graph, &test_nodes, &config);
+        assert_eq!(direct, shared, "shared-forward selection diverged");
     }
 
     #[test]

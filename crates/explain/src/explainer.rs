@@ -1,6 +1,6 @@
 //! The explanation interface shared by GNNExplainer and PGExplainer.
 
-use geattack_gnn::Gcn;
+use geattack_gnn::{BatchedForward, Gcn};
 use geattack_graph::Graph;
 
 /// An explanation of a single node's prediction: every edge of the node's
@@ -104,6 +104,25 @@ pub trait Explainer {
         self.explain(model, graph, target)
     }
 
+    /// [`Explainer::explain_class`] with the whole clean forward pass already
+    /// computed. `forward` **must** be [`BatchedForward::new(model, graph)`] for
+    /// these exact arguments; explainers that consume full-graph quantities
+    /// beyond the prediction (PGExplainer reads the first-layer embeddings) then
+    /// serve them from the shared forward instead of re-running it. Results are
+    /// identical to [`Explainer::explain_class`] — the shared forward is
+    /// bit-identical to the per-call ones.
+    fn explain_class_with_forward(
+        &self,
+        model: &Gcn,
+        graph: &Graph,
+        target: usize,
+        explained_class: usize,
+        forward: &BatchedForward,
+    ) -> Explanation {
+        let _ = forward;
+        self.explain_class(model, graph, target, explained_class)
+    }
+
     /// Human-readable name used in reports.
     fn name(&self) -> &'static str;
 }
@@ -117,6 +136,17 @@ impl<T: Explainer + ?Sized> Explainer for std::sync::Arc<T> {
 
     fn explain_class(&self, model: &Gcn, graph: &Graph, target: usize, explained_class: usize) -> Explanation {
         (**self).explain_class(model, graph, target, explained_class)
+    }
+
+    fn explain_class_with_forward(
+        &self,
+        model: &Gcn,
+        graph: &Graph,
+        target: usize,
+        explained_class: usize,
+        forward: &BatchedForward,
+    ) -> Explanation {
+        (**self).explain_class_with_forward(model, graph, target, explained_class, forward)
     }
 
     fn name(&self) -> &'static str {

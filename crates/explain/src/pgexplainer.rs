@@ -16,7 +16,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use geattack_gnn::Gcn;
+use geattack_gnn::{BatchedForward, Gcn};
 use geattack_graph::{computation_subgraph, ComputationSubgraph, Graph};
 use geattack_tensor::{grad::grad_values, init, nn, Adam, Matrix, Optimizer, Tape, Var};
 
@@ -336,6 +336,26 @@ impl PgExplainer {
     /// Trains PGExplainer on instances sampled from `candidate_nodes` (typically
     /// the test split, following the inductive setting of the original paper).
     pub fn train(model: &Gcn, graph: &Graph, candidate_nodes: &[usize], config: PgExplainerConfig) -> Self {
+        Self::train_with_forward(
+            model,
+            graph,
+            candidate_nodes,
+            config,
+            &BatchedForward::new(model, graph),
+        )
+    }
+
+    /// [`PgExplainer::train`] with the clean full-graph forward already computed
+    /// (it supplies both the node embeddings and the predictions the instances
+    /// are built from). `forward` must be `BatchedForward::new(model, graph)`;
+    /// results are bit-identical to [`PgExplainer::train`].
+    pub fn train_with_forward(
+        model: &Gcn,
+        graph: &Graph,
+        candidate_nodes: &[usize],
+        config: PgExplainerConfig,
+        forward: &BatchedForward,
+    ) -> Self {
         assert!(
             !candidate_nodes.is_empty(),
             "PGExplainer needs at least one training instance"
@@ -353,8 +373,8 @@ impl PgExplainer {
         instances.shuffle(&mut rng);
         instances.truncate(config.training_instances.max(1));
 
-        let embeddings = model.node_embeddings(graph);
-        let predictions = model.predict_proba(graph);
+        let embeddings = forward.hidden();
+        let predictions = forward.probs();
         let explainer = Self {
             config: config.clone(),
             params: params.clone(),
@@ -435,13 +455,42 @@ impl Explainer for PgExplainer {
     }
 
     fn explain_class(&self, model: &Gcn, graph: &Graph, target: usize, explained_class: usize) -> Explanation {
+        self.explain_from_embeddings(graph, target, explained_class, &model.node_embeddings(graph))
+    }
+
+    fn explain_class_with_forward(
+        &self,
+        _model: &Gcn,
+        graph: &Graph,
+        target: usize,
+        explained_class: usize,
+        forward: &BatchedForward,
+    ) -> Explanation {
+        self.explain_from_embeddings(graph, target, explained_class, forward.hidden())
+    }
+
+    fn name(&self) -> &'static str {
+        "PGExplainer"
+    }
+}
+
+impl PgExplainer {
+    /// The shared tail of `explain_class` / `explain_class_with_forward`: score
+    /// the target's computation subgraph given the full-graph first-layer
+    /// embeddings, however the caller obtained them.
+    fn explain_from_embeddings(
+        &self,
+        graph: &Graph,
+        target: usize,
+        explained_class: usize,
+        embeddings: &Matrix,
+    ) -> Explanation {
         let _span = geattack_telemetry::span(geattack_telemetry::Level::Detail, "explain.pgexplainer");
         let sub = computation_subgraph(graph, target, self.config.hops, &[]);
         let edges = SubgraphEdges::from_subgraph(&sub);
         if edges.is_empty() {
             return Explanation::from_edge_weights(target, explained_class, vec![]);
         }
-        let embeddings = model.node_embeddings(graph);
         let tape = Tape::new();
         let z = tape.constant(embeddings.gather_rows(&sub.nodes));
         let params = self.insert_params_frozen(&tape);
@@ -455,10 +504,6 @@ impl Explainer for PgExplainer {
             .map(|(e, &(u, v))| (sub.to_global(u), sub.to_global(v), gates[(e, 0)]))
             .collect();
         Explanation::from_edge_weights(target, explained_class, weighted)
-    }
-
-    fn name(&self) -> &'static str {
-        "PGExplainer"
     }
 }
 

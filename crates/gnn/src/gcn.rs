@@ -280,6 +280,37 @@ impl Gcn {
         }
     }
 
+    /// Full-graph hidden layer **and** logits off one shared first-layer product:
+    /// the hidden activations `σ(Ã X W₁ + b₁)` are computed once and feed both
+    /// return values, instead of [`Gcn::predict_proba`] and
+    /// [`Gcn::node_embeddings`] each paying the first layer separately. The op
+    /// sequence per output is identical to the single-purpose paths, so both
+    /// values are bit-identical to them — this is what `BatchedForward` records.
+    pub(crate) fn graph_hidden_and_logits(
+        &self,
+        tape: &Tape,
+        graph: &Graph,
+        x: Var,
+        params: &GcnParamVars,
+    ) -> (Var, Var) {
+        #[cfg(feature = "dense-oracle")]
+        {
+            let a_norm = tape.constant(geattack_graph::normalized_adjacency(graph));
+            let h = self.hidden_layer(tape, a_norm, x, params);
+            let h2 = tape.matmul(a_norm, tape.matmul(h, params.w2));
+            let logits = tape.add(h2, tape.row_broadcast(params.b2, h2.rows()));
+            (h, logits)
+        }
+        #[cfg(not(feature = "dense-oracle"))]
+        {
+            let a_norm = tape.sparse_constant(geattack_graph::normalized_adjacency_csr(graph).matrix);
+            let h = self.hidden_layer_sparse(tape, a_norm, x, params);
+            let h2 = tape.spmm(a_norm, tape.matmul(h, params.w2));
+            let logits = tape.add(h2, tape.row_broadcast(params.b2, h2.rows()));
+            (h, logits)
+        }
+    }
+
     /// Full-graph hidden layer through the compiled-in adjacency representation.
     fn graph_hidden(&self, tape: &Tape, graph: &Graph, x: Var, params: &GcnParamVars) -> Var {
         #[cfg(feature = "dense-oracle")]

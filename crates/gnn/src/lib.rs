@@ -5,12 +5,15 @@
 //! training loop ([`train`]), evaluation helpers ([`eval`]) and the linearized
 //! surrogate model used by the Nettack baseline ([`surrogate`]).
 
+pub mod batched;
 pub mod eval;
 pub mod gcn;
 pub mod surrogate;
 pub mod train;
+mod train_f32;
 
+pub use batched::BatchedForward;
 pub use eval::{accuracy, node_predictions, predicted_class, NodePrediction};
 pub use gcn::{Gcn, GcnParamVars, GcnParams};
 pub use surrogate::{Surrogate, SurrogateConfig};
-pub use train::{train, train_dense_oracle, train_sparse, EpochStats, TrainConfig, TrainedGcn};
+pub use train::{train, train_dense_oracle, train_sparse, EpochStats, Precision, TrainConfig, TrainedGcn};

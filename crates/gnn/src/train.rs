@@ -8,6 +8,24 @@ use geattack_tensor::{grad::grad_values, nn, Adam, Matrix, Optimizer, SparseMatr
 
 use crate::gcn::{Gcn, GcnParamVars, GcnParams};
 
+/// Floating-point precision of the training arithmetic.
+///
+/// [`Precision::F64`] (the default) is the repo's report-grade path: every
+/// value is pinned bit-for-bit against the dense oracle. [`Precision::F32`] is
+/// the opt-in bandwidth-saving path — same architecture, optimizer and
+/// early-stopping schedule run through the `f32` kernels
+/// ([`geattack_tensor::fp32`]), with the fitted parameters widened back to f64.
+/// It carries **no** bit-identity guarantee and is excluded from the
+/// report-identity contract; pick it for throughput, not for reproduction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Precision {
+    /// Double precision (default; byte-exact report path).
+    #[default]
+    F64,
+    /// Single precision (opt-in; ~2× lower memory bandwidth per epoch).
+    F32,
+}
+
 /// Hyper-parameters for GCN training (defaults follow the DeepRobust/Kipf setup
 /// the paper builds on: 16 hidden units, Adam with lr 0.01, weight decay 5e-4,
 /// 200 epochs with early stopping).
@@ -26,6 +44,8 @@ pub struct TrainConfig {
     pub patience: Option<usize>,
     /// RNG seed for parameter initialization.
     pub seed: u64,
+    /// Arithmetic precision of the training loop (f64 unless opted out).
+    pub precision: Precision,
 }
 
 impl Default for TrainConfig {
@@ -37,6 +57,7 @@ impl Default for TrainConfig {
             weight_decay: 5e-4,
             patience: Some(30),
             seed: 0,
+            precision: Precision::F64,
         }
     }
 }
@@ -92,6 +113,9 @@ impl AdjacencyRepr {
 /// flips the default to the dense adjacency (results are bit-identical, see
 /// [`train_dense_oracle`]).
 pub fn train(graph: &Graph, split: &DataSplit, config: &TrainConfig) -> TrainedGcn {
+    if config.precision == Precision::F32 {
+        return crate::train_f32::train_f32(graph, split, config);
+    }
     #[cfg(feature = "dense-oracle")]
     let repr = AdjacencyRepr::Dense(geattack_graph::normalized_adjacency(graph));
     #[cfg(not(feature = "dense-oracle"))]
@@ -99,7 +123,8 @@ pub fn train(graph: &Graph, split: &DataSplit, config: &TrainConfig) -> TrainedG
     train_with_repr(graph, split, config, repr)
 }
 
-/// [`train`] forced onto the sparse path (equivalence tests).
+/// [`train`] forced onto the sparse path (equivalence tests; always f64 — the
+/// f32 opt-in applies to [`train`] only).
 pub fn train_sparse(graph: &Graph, split: &DataSplit, config: &TrainConfig) -> TrainedGcn {
     let repr = AdjacencyRepr::Sparse(geattack_graph::normalized_adjacency_csr(graph).matrix);
     train_with_repr(graph, split, config, repr)

@@ -1,0 +1,316 @@
+//! The opt-in single-precision training loop behind [`Precision::F32`].
+//!
+//! Same model, same Adam, same early-stopping schedule as [`crate::train`] —
+//! but the whole per-epoch compute (forward, backward, optimizer state) runs at
+//! `f32` through [`geattack_tensor::fp32`], halving the memory bandwidth the
+//! epoch loop is bound by. The tape engine is f64-only, so this path is a
+//! hand-written forward/backward for the fixed 2-layer GCN architecture; the
+//! fitted parameters of the best validation epoch are widened back to f64, so
+//! everything downstream (attacks, explainers, reports) is unchanged in shape.
+//!
+//! No bit-identity claim: f32 results track the f64 path only approximately and
+//! are excluded from the report-identity contract (see [`Precision`]).
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use geattack_graph::{DataSplit, Graph};
+use geattack_tensor::{MatrixF32, SparseMatrixF32};
+
+use crate::gcn::{Gcn, GcnParams};
+use crate::train::{EpochStats, Precision, TrainConfig, TrainedGcn};
+
+/// Adam at f32, mirroring [`geattack_tensor::Adam`] update-for-update.
+struct AdamF32 {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: i32,
+    m: Vec<MatrixF32>,
+    v: Vec<MatrixF32>,
+}
+
+impl AdamF32 {
+    fn new(lr: f32, weight_decay: f32) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    fn step(&mut self, params: &mut [MatrixF32], grads: &[MatrixF32]) {
+        assert_eq!(params.len(), grads.len(), "adam: param/grad count mismatch");
+        if self.m.is_empty() {
+            self.m = params.iter().map(|p| MatrixF32::zeros(p.rows(), p.cols())).collect();
+            self.v = params.iter().map(|p| MatrixF32::zeros(p.rows(), p.cols())).collect();
+        }
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t);
+        let b2t = 1.0 - self.beta2.powi(self.t);
+        for (((p, g), m), v) in params
+            .iter_mut()
+            .zip(grads.iter())
+            .zip(self.m.iter_mut())
+            .zip(self.v.iter_mut())
+        {
+            assert_eq!(p.shape(), g.shape(), "adam: shape mismatch");
+            for i in 0..p.as_slice().len() {
+                let gv = g.as_slice()[i] + self.weight_decay * p.as_slice()[i];
+                let mv = self.beta1 * m.as_slice()[i] + (1.0 - self.beta1) * gv;
+                let vv = self.beta2 * v.as_slice()[i] + (1.0 - self.beta2) * gv * gv;
+                m.as_mut_slice()[i] = mv;
+                v.as_mut_slice()[i] = vv;
+                let m_hat = mv / b1t;
+                let v_hat = vv / b2t;
+                p.as_mut_slice()[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+/// Sum over rows, producing a `1 x cols` row (bias gradients).
+fn colsum(m: &MatrixF32) -> MatrixF32 {
+    let mut out = MatrixF32::zeros(1, m.cols());
+    for i in 0..m.rows() {
+        for (o, &v) in out.row_mut(0).iter_mut().zip(m.row(i)) {
+            *o += v;
+        }
+    }
+    out
+}
+
+/// Adds a `1 x cols` bias row to every row of `m` in place.
+fn add_row_broadcast(m: &mut MatrixF32, bias: &MatrixF32) {
+    for i in 0..m.rows() {
+        for (o, &b) in m.row_mut(i).iter_mut().zip(bias.row(0)) {
+            *o += b;
+        }
+    }
+}
+
+/// In-place row-wise log-softmax with the usual max shift.
+fn log_softmax_rows_inplace(m: &mut MatrixF32) {
+    for i in 0..m.rows() {
+        let row = m.row_mut(i);
+        let mx = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v -= mx;
+            sum += v.exp();
+        }
+        let ln = sum.ln();
+        for v in row.iter_mut() {
+            *v -= ln;
+        }
+    }
+}
+
+/// Masked mean negative log-likelihood over `nodes`.
+fn masked_nll(log_probs: &MatrixF32, nodes: &[usize], labels: &[usize]) -> f32 {
+    let mut s = 0.0f32;
+    for (&i, &y) in nodes.iter().zip(labels) {
+        s -= log_probs.row(i)[y];
+    }
+    s / nodes.len() as f32
+}
+
+pub(crate) fn train_f32(graph: &Graph, split: &DataSplit, config: &TrainConfig) -> TrainedGcn {
+    assert!(!split.train.is_empty(), "training split is empty");
+    debug_assert_eq!(config.precision, Precision::F32);
+    let _span = geattack_telemetry::span_labeled(
+        geattack_telemetry::Level::Phase,
+        "gnn.train.f32",
+        format!("n={} epochs<={}", graph.num_nodes(), config.epochs),
+    );
+    // Same seeded init as the f64 path, then narrowed once.
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let model = Gcn::new(graph.num_features(), config.hidden, graph.num_classes(), &mut rng);
+    let mut params: Vec<MatrixF32> = model.params().to_vec().iter().map(MatrixF32::from_f64).collect();
+    let mut optimizer = AdamF32::new(config.lr as f32, config.weight_decay as f32);
+
+    let a64 = geattack_graph::normalized_adjacency_csr(graph).matrix;
+    let a = SparseMatrixF32::from_f64(&a64);
+    // Ã is symmetric, but the backward pass is written against the transpose so
+    // the loop stays correct if an asymmetric normalization ever lands.
+    let at = SparseMatrixF32::from_f64(&a64.transpose());
+    let x = MatrixF32::from_f64(graph.features());
+    let xt = x.transpose();
+
+    let train_labels: Vec<usize> = split.train.iter().map(|&i| graph.label(i)).collect();
+    let val_labels: Vec<usize> = split.val.iter().map(|&i| graph.label(i)).collect();
+    let n = graph.num_nodes();
+    let c = graph.num_classes();
+
+    let mut history = Vec::with_capacity(config.epochs);
+    let mut best_val = f64::INFINITY;
+    let mut best_params = params.clone();
+    let mut epochs_since_best = 0usize;
+
+    for epoch in 0..config.epochs {
+        let _epoch_span =
+            geattack_telemetry::span_labeled(geattack_telemetry::Level::Detail, "gnn.epoch.f32", epoch.to_string());
+        let (w1, b1, w2, b2) = (&params[0], &params[1], &params[2], &params[3]);
+
+        // Forward: Z = Ã·relu(Ã·X·W₁ + b₁)·W₂ + b₂, then row log-softmax.
+        let xw = x.matmul(w1);
+        let mut p1 = a.spmm(&xw);
+        add_row_broadcast(&mut p1, b1);
+        let mut h = p1.clone();
+        for v in h.as_mut_slice() {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+        let hw = h.matmul(w2);
+        let mut z = a.spmm(&hw);
+        add_row_broadcast(&mut z, b2);
+        let mut log_probs = z;
+        log_softmax_rows_inplace(&mut log_probs);
+
+        let train_loss_value = masked_nll(&log_probs, &split.train, &train_labels) as f64;
+        let val_loss = if split.val.is_empty() {
+            train_loss_value
+        } else {
+            masked_nll(&log_probs, &split.val, &val_labels) as f64
+        };
+
+        // Backward. dZ = (softmax(Z) - onehot(y)) / m on train rows, 0 elsewhere.
+        let mut dz = MatrixF32::zeros(n, c);
+        let inv_m = 1.0 / split.train.len() as f32;
+        for (&i, &y) in split.train.iter().zip(&train_labels) {
+            let lp = log_probs.row(i);
+            let dr = dz.row_mut(i);
+            for (cc, d) in dr.iter_mut().enumerate() {
+                *d = (lp[cc].exp() - if cc == y { 1.0 } else { 0.0 }) * inv_m;
+            }
+        }
+        let db2 = colsum(&dz);
+        let dhw = at.spmm(&dz);
+        let dw2 = h.transpose().matmul(&dhw);
+        let mut dp1 = dhw.matmul(&w2.transpose());
+        for (d, &pre) in dp1.as_mut_slice().iter_mut().zip(p1.as_slice()) {
+            if pre <= 0.0 {
+                *d = 0.0;
+            }
+        }
+        let db1 = colsum(&dp1);
+        let dxw = at.spmm(&dp1);
+        let dw1 = xt.matmul(&dxw);
+
+        optimizer.step(&mut params, &[dw1, db1, dw2, db2]);
+
+        history.push(EpochStats {
+            epoch,
+            train_loss: train_loss_value,
+            val_loss,
+        });
+
+        if val_loss < best_val - 1e-6 {
+            best_val = val_loss;
+            best_params = params.clone();
+            epochs_since_best = 0;
+        } else {
+            epochs_since_best += 1;
+            if let Some(p) = config.patience {
+                if epochs_since_best >= p {
+                    break;
+                }
+            }
+        }
+    }
+
+    let fitted = GcnParams::from_vec(best_params.iter().map(MatrixF32::to_f64).collect());
+    TrainedGcn {
+        model: Gcn::from_params(fitted),
+        history,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::accuracy;
+    use crate::train::train;
+    use geattack_graph::datasets::{load, DatasetName, GeneratorConfig};
+    use geattack_graph::stratified_split;
+
+    fn f32_config(epochs: usize) -> TrainConfig {
+        TrainConfig {
+            epochs,
+            patience: None,
+            precision: Precision::F32,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn f32_training_reduces_loss_and_stays_finite() {
+        let cfg = GeneratorConfig::at_scale(0.08, 1);
+        let graph = load(DatasetName::Cora, &cfg);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let split = stratified_split(graph.labels(), graph.num_classes(), 0.1, 0.1, &mut rng);
+        let trained = train(&graph, &split, &f32_config(60));
+        let first = trained.history.first().unwrap().train_loss;
+        let last = trained.history.last().unwrap().train_loss;
+        assert!(
+            last < first * 0.7,
+            "f32 training loss did not decrease: {first} -> {last}"
+        );
+        for p in trained.model.params().to_vec() {
+            assert!(!p.has_non_finite(), "f32-trained parameters must be finite");
+        }
+        // Widened parameters keep the f64 shapes.
+        assert_eq!(trained.model.params().w1.shape(), (graph.num_features(), 16));
+        assert_eq!(trained.model.params().w2.shape(), (16, graph.num_classes()));
+    }
+
+    #[test]
+    fn f32_training_tracks_f64_accuracy() {
+        let cfg = GeneratorConfig::at_scale(0.1, 2);
+        let graph = load(DatasetName::Citeseer, &cfg);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let split = stratified_split(graph.labels(), graph.num_classes(), 0.1, 0.1, &mut rng);
+        let f64_trained = train(&graph, &split, &TrainConfig::default());
+        let f32_trained = train(
+            &graph,
+            &split,
+            &TrainConfig {
+                precision: Precision::F32,
+                ..Default::default()
+            },
+        );
+        let acc64 = accuracy(&f64_trained.model, &graph, &split.test);
+        let acc32 = accuracy(&f32_trained.model, &graph, &split.test);
+        assert!(
+            acc32 > acc64 - 0.1,
+            "f32 accuracy {acc32:.3} fell far below f64 accuracy {acc64:.3}"
+        );
+    }
+
+    #[test]
+    fn f32_early_stopping_still_triggers() {
+        let cfg = GeneratorConfig::at_scale(0.08, 5);
+        let graph = load(DatasetName::Acm, &cfg);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let split = stratified_split(graph.labels(), graph.num_classes(), 0.1, 0.1, &mut rng);
+        let trained = train(
+            &graph,
+            &split,
+            &TrainConfig {
+                epochs: 500,
+                patience: Some(5),
+                precision: Precision::F32,
+                ..Default::default()
+            },
+        );
+        assert!(trained.history.len() < 500, "early stopping never triggered at f32");
+    }
+}

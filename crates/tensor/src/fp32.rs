@@ -1,0 +1,292 @@
+//! Opt-in single-precision containers for the reduced-precision train path.
+//!
+//! [`MatrixF32`] and [`SparseMatrixF32`] mirror the hot subset of [`Matrix`] /
+//! [`SparseMatrix`] at `f32`, halving memory bandwidth on the spmm/matmul-bound
+//! training and explanation epochs. They are **not** part of the default path:
+//! the report pipeline stays f64 end-to-end, and nothing converts implicitly —
+//! callers opt in via [`MatrixF32::from_f64`] / [`SparseMatrixF32::from_f64`]
+//! and get back to f64 with [`MatrixF32::to_f64`].
+//!
+//! The kernels are generated from the same macro as the f64 ones
+//! (see [`crate::kernels`]), so the blocking scheme and accumulation order are
+//! structurally identical — only the scalar type changes. No bit-identity claim
+//! crosses the precision boundary; the f32 path is pinned by shape, finiteness,
+//! and tolerance tests instead.
+
+use crate::kernels;
+use crate::matrix::Matrix;
+use crate::sparse::SparseMatrix;
+
+/// A dense row-major `rows x cols` matrix of `f32`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MatrixF32 {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl MatrixF32 {
+    /// An all-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds from a generator over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Narrows an f64 matrix (round-to-nearest per element).
+    pub fn from_f64(m: &Matrix) -> Self {
+        let (rows, cols) = m.shape();
+        Self {
+            rows,
+            cols,
+            data: m.as_slice().iter().map(|&v| v as f32).collect(),
+        }
+    }
+
+    /// Widens back to f64 (exact: every f32 is representable as f64).
+    pub fn to_f64(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for (o, &v) in out.as_mut_slice().iter_mut().zip(&self.data) {
+            *o = v as f64;
+        }
+        out
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Row `i` as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// All elements, row-major.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// All elements, row-major, mutable.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Matrix product through the same register-blocked, zero-skipping kernel
+    /// shape as [`Matrix::matmul`], at f32.
+    pub fn matmul(&self, other: &Self) -> Self {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Self::zeros(self.rows, other.cols);
+        let n = other.cols;
+        let bs = other.as_slice();
+        for i in 0..self.rows {
+            let entries = self.row(i).iter().copied().enumerate().filter(|&(_, a_ik)| a_ik != 0.0);
+            kernels::mul_row_panels_f32(entries, bs, n, &mut out.data[i * n..(i + 1) * n]);
+        }
+        out
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Self {
+        let mut out = Self::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        out
+    }
+
+    /// Whether any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|v| !v.is_finite())
+    }
+}
+
+/// A sparse `rows x cols` matrix in CSR form at `f32`.
+///
+/// Like [`SparseMatrix`], zeros are filtered at construction (a tiny f64 value
+/// may round to `0.0f32` in [`SparseMatrixF32::from_f64`]; it is then dropped),
+/// so the kernels never branch on the value.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SparseMatrixF32 {
+    rows: usize,
+    cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<usize>,
+    values: Vec<f32>,
+}
+
+impl SparseMatrixF32 {
+    /// Narrows an f64 CSR matrix, dropping entries that round to zero.
+    pub fn from_f64(src: &SparseMatrix) -> Self {
+        let mut indptr = Vec::with_capacity(src.rows() + 1);
+        let mut indices = Vec::with_capacity(src.nnz());
+        let mut values = Vec::with_capacity(src.nnz());
+        indptr.push(0);
+        for i in 0..src.rows() {
+            for (&j, &v) in src.row_indices(i).iter().zip(src.row_values(i)) {
+                let vf = v as f32;
+                if vf != 0.0 {
+                    indices.push(j);
+                    values.push(vf);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        Self {
+            rows: src.rows(),
+            cols: src.cols(),
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (non-zero) entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Sparse-times-dense product `self · b`, register-blocked at f32.
+    pub fn spmm(&self, b: &MatrixF32) -> MatrixF32 {
+        let mut out = MatrixF32::zeros(self.rows, b.cols());
+        self.spmm_into(b, &mut out);
+        out
+    }
+
+    /// [`SparseMatrixF32::spmm`] into a caller-provided output buffer; every
+    /// element of `out` is overwritten (see [`crate::SparseMatrix::spmm_into`]).
+    pub fn spmm_into(&self, b: &MatrixF32, out: &mut MatrixF32) {
+        let _span = geattack_telemetry::span(geattack_telemetry::Level::Detail, "spmm.f32");
+        assert_eq!(
+            self.cols,
+            b.rows(),
+            "spmm: inner dimensions differ ({} vs {})",
+            self.cols,
+            b.rows()
+        );
+        let n = b.cols();
+        assert_eq!(
+            out.shape(),
+            (self.rows, n),
+            "spmm_into: output shape {:?} does not match result shape ({}, {})",
+            out.shape(),
+            self.rows,
+            n
+        );
+        let bs = b.as_slice();
+        for i in 0..self.rows {
+            let (lo, hi) = (self.indptr[i], self.indptr[i + 1]);
+            let entries = self.indices[lo..hi]
+                .iter()
+                .copied()
+                .zip(self.values[lo..hi].iter().copied());
+            kernels::mul_row_panels_f32(entries, bs, n, &mut out.data[i * n..(i + 1) * n]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_shapes() {
+        let m = Matrix::from_fn(3, 5, |i, j| (i as f64) * 0.25 - (j as f64) * 0.5);
+        let f = MatrixF32::from_f64(&m);
+        assert_eq!(f.shape(), (3, 5));
+        // These values are exactly representable at f32, so the roundtrip is exact.
+        assert!(f.to_f64().approx_eq(&m, 0.0));
+    }
+
+    #[test]
+    fn f32_spmm_tracks_f64_within_tolerance() {
+        let s = SparseMatrix::from_rows(
+            3,
+            3,
+            &[vec![(0, 0.5), (2, 2.0)], vec![(1, -1.25)], vec![(0, 0.1), (1, 3.0)]],
+        );
+        let b = Matrix::from_fn(3, 7, |i, j| ((i * 7 + j) as f64).cos());
+        let f64_out = s.spmm(&b);
+        let f32_out = SparseMatrixF32::from_f64(&s).spmm(&MatrixF32::from_f64(&b));
+        assert_eq!(f32_out.shape(), (3, 7));
+        assert!(!f32_out.has_non_finite());
+        assert!(f32_out.to_f64().approx_eq(&f64_out, 1e-5));
+    }
+
+    #[test]
+    fn f32_matmul_tracks_f64_within_tolerance() {
+        let a = Matrix::from_fn(4, 6, |i, j| {
+            if (i + j) % 3 == 0 {
+                0.0
+            } else {
+                0.3 * (i as f64) - 0.1 * (j as f64)
+            }
+        });
+        let b = Matrix::from_fn(6, 5, |i, j| ((i + 2 * j) as f64).sin());
+        let dense = a.matmul(&b);
+        let f32_out = MatrixF32::from_f64(&a).matmul(&MatrixF32::from_f64(&b));
+        assert!(!f32_out.has_non_finite());
+        assert!(f32_out.to_f64().approx_eq(&dense, 1e-5));
+    }
+
+    #[test]
+    fn narrowing_drops_entries_that_round_to_zero() {
+        let s = SparseMatrix::from_rows(1, 2, &[vec![(0, 1e-300), (1, 1.0)]]);
+        let f = SparseMatrixF32::from_f64(&s);
+        assert_eq!(f.nnz(), 1);
+    }
+}

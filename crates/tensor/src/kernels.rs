@@ -1,0 +1,228 @@
+//! Shared register-blocked inner kernels for the dense and sparse matmuls.
+//!
+//! Both [`crate::Matrix::matmul`] and [`crate::SparseMatrix::spmm`] are row-times-
+//! dense products: one output row is a weighted sum of rows of `b`, accumulated in
+//! a fixed entry order. [`mul_row_panels`] is that shape, register-blocked by
+//! *entry groups*: entries are pulled eight at a time and the output row is
+//! swept once per group, so each element is read and written once per eight
+//! entries instead of once per entry — the dominant traffic of the unblocked
+//! loop.
+//!
+//! **Bit-identity contract.** For every output element `out_row[j]` the adds
+//! happen in exactly the entry order the iterator yields — the same sequence as
+//! the unblocked scalar loop (`for e { for j { out[j] += v*b[k][j] } }`), just
+//! with eight entries applied per sweep through an explicit sequential
+//! accumulator chain. No reassociation, no FMA contraction, so the blocked
+//! result is bit-for-bit equal to the scalar one. Different output elements are
+//! independent, so the sweep still auto-vectorizes across `j`.
+//!
+//! **SIMD dispatch.** The workspace builds for baseline x86-64 (SSE2). On CPUs
+//! with AVX2 the same kernel body is re-entered through a
+//! `#[target_feature(enable = "avx2")]` wrapper picked at runtime, so the
+//! column sweep vectorizes at twice the width. Element-wise IEEE multiplies and
+//! adds are exact in every vector width and rustc never contracts them into
+//! FMAs, so the wide path is bit-for-bit identical to the portable one — the
+//! equivalence suites compare it against the (always-SSE2) scalar reference on
+//! every run.
+//!
+//! The same kernels are generated at `f32` (`mul_row_panels_f32`,
+//! `dot_in_order_f32`) for the opt-in reduced-precision path — one macro, so the
+//! two precisions cannot drift apart structurally.
+
+macro_rules! impl_panel_kernels {
+    ($mul:ident, $run:ident, $(#[$dot_attr:meta])* $dot:ident, $t:ty) => {
+        /// Computes `out_row[j] = Σ_entries v · b[k·n + j]` for one output row,
+        /// where `entries` yields `(k, v)` pairs in accumulation order and `b` is
+        /// a row-major `? x n` matrix. Every element of `out_row` is overwritten.
+        #[inline]
+        pub(crate) fn $mul<I>(entries: I, b: &[$t], n: usize, out_row: &mut [$t])
+        where
+            I: Iterator<Item = (usize, $t)>,
+        {
+            #[cfg(target_arch = "x86_64")]
+            {
+                /// The portable body compiled with AVX2 enabled: `run` is
+                /// `#[inline(always)]`, so its loops inherit this wrapper's
+                /// target features and vectorize 4-wide (f64) / 8-wide (f32).
+                #[target_feature(enable = "avx2")]
+                unsafe fn run_avx2<I: Iterator<Item = (usize, $t)>>(
+                    entries: I,
+                    b: &[$t],
+                    n: usize,
+                    out_row: &mut [$t],
+                ) {
+                    $run(entries, b, n, out_row)
+                }
+                if std::is_x86_feature_detected!("avx2") {
+                    // SAFETY: AVX2 support was just verified at runtime.
+                    return unsafe { run_avx2(entries, b, n, out_row) };
+                }
+            }
+            $run(entries, b, n, out_row)
+        }
+
+        #[inline(always)]
+        fn $run<I>(mut entries: I, b: &[$t], n: usize, out_row: &mut [$t])
+        where
+            I: Iterator<Item = (usize, $t)>,
+        {
+            /// One sweep over the output row applying `M` entries. Per element
+            /// the adds run through a sequential accumulator in entry order —
+            /// the bit-identity contract — while the compiler vectorizes
+            /// across `j` and fully unrolls the inner `M` loop. `INIT` seeds
+            /// the accumulator from `+0.0` (a write-only first sweep, exactly
+            /// the scalar loop's zeroed starting point) instead of reading the
+            /// current output back.
+            #[inline]
+            fn axpy<const M: usize, const INIT: bool>(
+                es: [(usize, $t); M],
+                b: &[$t],
+                n: usize,
+                out: &mut [$t],
+            ) {
+                let rows: [&[$t]; M] = std::array::from_fn(|m| &b[es[m].0 * n..es[m].0 * n + n]);
+                for j in 0..n {
+                    let mut acc = if INIT { 0.0 as $t } else { out[j] };
+                    for m in 0..M {
+                        acc += es[m].1 * rows[m][j];
+                    }
+                    out[j] = acc;
+                }
+            }
+
+            /// Pulls up to eight entries into `buf`, returning how many arrived.
+            #[inline]
+            fn take8<I: Iterator<Item = (usize, $t)>>(it: &mut I, buf: &mut [(usize, $t); 8]) -> usize {
+                let mut len = 0;
+                while len < 8 {
+                    match it.next() {
+                        Some(e) => {
+                            buf[len] = e;
+                            len += 1;
+                        }
+                        None => break,
+                    }
+                }
+                len
+            }
+
+            #[inline]
+            fn group<const INIT: bool>(buf: &[(usize, $t); 8], len: usize, b: &[$t], n: usize, out: &mut [$t]) {
+                match len {
+                    1 => axpy::<1, INIT>([buf[0]], b, n, out),
+                    2 => axpy::<2, INIT>([buf[0], buf[1]], b, n, out),
+                    3 => axpy::<3, INIT>([buf[0], buf[1], buf[2]], b, n, out),
+                    4 => axpy::<4, INIT>([buf[0], buf[1], buf[2], buf[3]], b, n, out),
+                    5 => axpy::<5, INIT>([buf[0], buf[1], buf[2], buf[3], buf[4]], b, n, out),
+                    6 => axpy::<6, INIT>([buf[0], buf[1], buf[2], buf[3], buf[4], buf[5]], b, n, out),
+                    7 => axpy::<7, INIT>([buf[0], buf[1], buf[2], buf[3], buf[4], buf[5], buf[6]], b, n, out),
+                    _ => axpy::<8, INIT>(*buf, b, n, out),
+                }
+            }
+
+            let out = &mut out_row[..n];
+            let mut buf = [(0usize, 0.0 as $t); 8];
+            let len = take8(&mut entries, &mut buf);
+            if len == 0 {
+                out.fill(0.0 as $t);
+                return;
+            }
+            group::<true>(&buf, len, b, n, out);
+            if len < 8 {
+                return;
+            }
+            loop {
+                let len = take8(&mut entries, &mut buf);
+                if len == 0 {
+                    return;
+                }
+                group::<false>(&buf, len, b, n, out);
+                if len < 8 {
+                    return;
+                }
+            }
+        }
+
+        /// Sequential dot product, unrolled by 4 **without reassociation**: the
+        /// adds happen strictly left-to-right, exactly like
+        /// `zip(a, b).map(|..| x*y).sum()`, so results are bit-identical to the
+        /// naive fold — including the `-0.0` the std float `Sum` folds from,
+        /// which is the IEEE additive identity (`+0.0` would flip an all-`-0.0`
+        /// product stream). Shared by `sddmm`.
+        $(#[$dot_attr])*
+        #[inline]
+        pub(crate) fn $dot(a: &[$t], b: &[$t]) -> $t {
+            debug_assert_eq!(a.len(), b.len());
+            let mut acc = -0.0 as $t;
+            let mut ca = a.chunks_exact(4);
+            let mut cb = b.chunks_exact(4);
+            for (pa, pb) in ca.by_ref().zip(cb.by_ref()) {
+                acc += pa[0] * pb[0];
+                acc += pa[1] * pb[1];
+                acc += pa[2] * pb[2];
+                acc += pa[3] * pb[3];
+            }
+            for (&x, &y) in ca.remainder().iter().zip(cb.remainder()) {
+                acc += x * y;
+            }
+            acc
+        }
+    };
+}
+
+impl_panel_kernels!(mul_row_panels, mul_row_panels_body, dot_in_order, f64);
+// The f32 sddmm has no production caller yet (the f32 train path backpropagates
+// through Aᵀ·spmm instead); the dot is kept macro-paired so the precisions stay
+// structurally identical, and is pinned by the bitwise test below.
+impl_panel_kernels!(
+    mul_row_panels_f32,
+    mul_row_panels_f32_body,
+    #[allow(dead_code)]
+    dot_in_order_f32,
+    f32
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_in_order_matches_naive_fold_bitwise() {
+        for len in 0..=13 {
+            let a: Vec<f64> = (0..len).map(|i| 0.37 * (i as f64) - 1.2).collect();
+            let b: Vec<f64> = (0..len).map(|i| 1.0 / (i as f64 + 3.0)).collect();
+            let naive: f64 = a.iter().zip(&b).map(|(&x, &y)| x * y).sum();
+            assert_eq!(dot_in_order(&a, &b).to_bits(), naive.to_bits(), "len={len}");
+        }
+    }
+
+    #[test]
+    fn dot_in_order_f32_matches_naive_fold_bitwise() {
+        for len in 0..=13 {
+            let a: Vec<f32> = (0..len).map(|i| 0.37 * (i as f32) - 1.2).collect();
+            let b: Vec<f32> = (0..len).map(|i| 1.0 / (i as f32 + 3.0)).collect();
+            let naive: f32 = a.iter().zip(&b).map(|(&x, &y)| x * y).sum();
+            assert_eq!(dot_in_order_f32(&a, &b).to_bits(), naive.to_bits(), "len={len}");
+        }
+    }
+
+    #[test]
+    fn panels_match_scalar_loop_bitwise() {
+        // 3 entries against a 5 x n dense block, for every panel-remainder width.
+        for n in 0..=19 {
+            let b: Vec<f64> = (0..5 * n).map(|i| (i as f64).sin() * 0.5 + 0.1).collect();
+            let entries = [(1usize, 0.3f64), (2, -1.7), (4, 0.9)];
+            let mut scalar = vec![0.0f64; n];
+            for &(k, v) in &entries {
+                for j in 0..n {
+                    scalar[j] += v * b[k * n + j];
+                }
+            }
+            let mut blocked = vec![0.0f64; n];
+            mul_row_panels(entries.iter().copied(), &b, n, &mut blocked);
+            for j in 0..n {
+                assert_eq!(blocked[j].to_bits(), scalar[j].to_bits(), "n={n} j={j}");
+            }
+        }
+    }
+}

@@ -22,14 +22,17 @@
 //! assert!(tape.value(dx).approx_eq(&Matrix::row_vector(&[2.0, 4.0, 6.0]), 1e-12));
 //! ```
 
+pub mod fp32;
 pub mod grad;
 pub mod init;
+mod kernels;
 pub mod matrix;
 pub mod nn;
 pub mod optim;
 pub mod sparse;
 pub mod tape;
 
+pub use fp32::{MatrixF32, SparseMatrixF32};
 pub use grad::{grad, grad_full, grad_values};
 pub use matrix::Matrix;
 pub use optim::{Adam, Optimizer, Sgd};

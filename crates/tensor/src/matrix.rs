@@ -257,7 +257,11 @@ impl Matrix {
     }
 
     /// Matrix product `self * other` using an i-k-j loop order so the inner loop
-    /// streams over contiguous rows of both operands.
+    /// streams over contiguous rows of both operands, register-blocked through
+    /// [`crate::kernels::mul_row_panels`]. Zero `a_ik` entries are skipped (the
+    /// same stream a [`crate::SparseMatrix`] of `self` would store), which keeps
+    /// the dense product bit-identical to the sparse `spmm` — the zero-skip is
+    /// also load-bearing for exactness: `acc + 0.0` flips a `-0.0` accumulator.
     pub fn matmul(&self, other: &Self) -> Self {
         assert_eq!(
             self.cols, other.rows,
@@ -266,18 +270,10 @@ impl Matrix {
         );
         let mut out = Self::zeros(self.rows, other.cols);
         let n = other.cols;
+        let bs = other.as_slice();
         for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            for (k, &a_ik) in a_row.iter().enumerate() {
-                if a_ik == 0.0 {
-                    continue;
-                }
-                let b_row = other.row(k);
-                for j in 0..n {
-                    out_row[j] += a_ik * b_row[j];
-                }
-            }
+            let entries = self.row(i).iter().copied().enumerate().filter(|&(_, a_ik)| a_ik != 0.0);
+            crate::kernels::mul_row_panels(entries, bs, n, &mut out.data[i * n..(i + 1) * n]);
         }
         out
     }

@@ -5,12 +5,15 @@
 //! graph adjacency multiplying dense feature/embedding blocks. Two kernels carry
 //! the whole sparse compute core:
 //!
-//! * [`SparseMatrix::spmm`] — CSR · dense. Per output row the stored entries are
-//!   accumulated in ascending column order while skipping explicit zeros, which is
-//!   the **exact** floating-point operation sequence of [`Matrix::matmul`] (an
-//!   i-k-j loop that skips zero `a_ik`). Sparse and dense forward passes are
-//!   therefore bit-for-bit identical, which is what lets the dense path remain a
-//!   byte-exact oracle for the sparse one.
+//! * [`SparseMatrix::spmm`] — CSR · dense, register-blocked (see [`crate::kernels`]).
+//!   Per output row the stored entries are accumulated in ascending column order,
+//!   which is the **exact** floating-point operation sequence of [`Matrix::matmul`]
+//!   (an i-k-j loop that skips zero `a_ik`; the builders filter explicit zeros so
+//!   the stored stream *is* the non-zero stream). Sparse and dense forward passes
+//!   are therefore bit-for-bit identical, which is what lets the dense path remain
+//!   a byte-exact oracle for the sparse one — and the unblocked
+//!   [`SparseMatrix::spmm_reference`] scalar kernel stays around as the oracle the
+//!   blocked kernel is pinned against.
 //! * [`SparseMatrix::sddmm`] — sampled dense-dense matmul: for `C = A · B`, the
 //!   gradient `∂L/∂A[i,j] = ⟨∂L/∂C[i,·], B[j,·]⟩` evaluated **only at requested
 //!   positions** instead of all `n²` entries. The attack loops only ever consume
@@ -23,9 +26,11 @@ use crate::matrix::Matrix;
 /// A sparse `rows x cols` matrix in compressed-sparse-row form.
 ///
 /// Within each row, column indices are strictly ascending. Explicit zeros are
-/// representable (the builders do not insert them, but e.g. interpolation paths
-/// may) and are skipped by the kernels so results stay bit-identical to the
-/// zero-skipping dense `matmul`.
+/// **filtered at construction** (both builders drop `0.0` entries), so the hot
+/// kernels never branch on `v == 0.0`: every stored value is non-zero, and the
+/// stored stream is exactly the stream the zero-skipping dense `matmul` would
+/// consume. A zero handed to a builder still round-trips through
+/// [`SparseMatrix::to_dense`] unchanged — the position is simply not stored.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SparseMatrix {
     rows: usize,
@@ -37,7 +42,8 @@ pub struct SparseMatrix {
 
 impl SparseMatrix {
     /// Builds a CSR matrix from per-row `(column, value)` entry lists. Entries
-    /// within a row must have strictly ascending column indices.
+    /// within a row must have strictly ascending column indices. Entries with
+    /// value `0.0` are validated but not stored.
     ///
     /// # Panics
     /// Panics on out-of-range or non-ascending columns.
@@ -54,6 +60,9 @@ impl SparseMatrix {
                 assert!(j < cols, "column {j} out of range for {cols} columns");
                 assert!(last.is_none_or(|l| j > l), "columns must be strictly ascending");
                 last = Some(j);
+                if v == 0.0 {
+                    continue;
+                }
                 indices.push(j);
                 values.push(v);
             }
@@ -122,7 +131,7 @@ impl SparseMatrix {
         (self.rows, self.cols)
     }
 
-    /// Number of stored entries (explicit zeros included).
+    /// Number of stored entries (all non-zero: the builders filter zeros).
     #[inline]
     pub fn nnz(&self) -> usize {
         self.indices.len()
@@ -196,13 +205,27 @@ impl SparseMatrix {
         }
     }
 
-    /// Sparse-times-dense product `self · b`.
+    /// Sparse-times-dense product `self · b`, register-blocked.
     ///
-    /// Accumulation order per output row is ascending stored column, skipping
-    /// explicit zeros — exactly the operation sequence of the zero-skipping dense
-    /// [`Matrix::matmul`], so the result is bit-identical to
-    /// `self.to_dense().matmul(b)`.
+    /// Accumulation order per output element is ascending stored column — exactly
+    /// the operation sequence of the zero-skipping dense [`Matrix::matmul`] and of
+    /// the scalar [`SparseMatrix::spmm_reference`], so the result is bit-identical
+    /// to both (the blocking only regroups *which output columns* an entry's
+    /// multiply-adds land in, never the per-element add order).
     pub fn spmm(&self, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, b.cols());
+        self.spmm_into(b, &mut out);
+        out
+    }
+
+    /// [`SparseMatrix::spmm`] into a caller-provided output buffer.
+    ///
+    /// Every element of `out` is overwritten and its prior contents are ignored
+    /// — the blocked kernel's first sweep is write-only, so no zeroed (or even
+    /// initialized-to-anything-specific) buffer is required. Hot loops that
+    /// compute many products of the same shape can reuse one allocation and
+    /// skip the page-faulting cost of a fresh zeroed matrix per call.
+    pub fn spmm_into(&self, b: &Matrix, out: &mut Matrix) {
         // Unlabeled detail span: the guard is inert (one relaxed atomic load)
         // unless a recorder at Detail level is installed, keeping the kernel's
         // hot path free of allocations.
@@ -215,7 +238,57 @@ impl SparseMatrix {
             b.rows()
         );
         let n = b.cols();
-        let mut out = Matrix::zeros(self.rows, n);
+        assert_eq!(
+            out.shape(),
+            (self.rows, n),
+            "spmm_into: output shape {:?} does not match result shape ({}, {})",
+            out.shape(),
+            self.rows,
+            n
+        );
+        let bs = b.as_slice();
+        for i in 0..self.rows {
+            let (lo, hi) = (self.indptr[i], self.indptr[i + 1]);
+            let entries = self.indices[lo..hi]
+                .iter()
+                .copied()
+                .zip(self.values[lo..hi].iter().copied());
+            crate::kernels::mul_row_panels(entries, bs, n, out.row_mut(i));
+        }
+    }
+
+    /// The original unblocked scalar spmm loop, kept as the oracle the blocked
+    /// [`SparseMatrix::spmm`] is pinned against (bit-for-bit, see the equivalence
+    /// suites). Benchmarked as the `scalar` baseline of the `spmm_kernels` group.
+    pub fn spmm_reference(&self, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, b.cols());
+        self.spmm_reference_into(b, &mut out);
+        out
+    }
+
+    /// [`SparseMatrix::spmm_reference`] into a caller-provided output buffer.
+    ///
+    /// The scalar loop accumulates in place, so unlike the blocked
+    /// [`SparseMatrix::spmm_into`] it must first zero-fill `out` — the pass the
+    /// allocating form gets implicitly (and lazily) from the zeroed allocation.
+    pub fn spmm_reference_into(&self, b: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols,
+            b.rows(),
+            "spmm: inner dimensions differ ({} vs {})",
+            self.cols,
+            b.rows()
+        );
+        let n = b.cols();
+        assert_eq!(
+            out.shape(),
+            (self.rows, n),
+            "spmm_reference_into: output shape {:?} does not match result shape ({}, {})",
+            out.shape(),
+            self.rows,
+            n
+        );
+        out.as_mut_slice().fill(0.0);
         for i in 0..self.rows {
             let out_row = out.row_mut(i);
             for e in self.indptr[i]..self.indptr[i + 1] {
@@ -229,21 +302,34 @@ impl SparseMatrix {
                 }
             }
         }
-        out
     }
 
     /// Sampled dense-dense matmul: for each requested position `(i, j)` returns
     /// `⟨g[i,·], b[j,·]⟩` — the gradient `∂L/∂A[i,j]` of `C = A · B` given
     /// `g = ∂L/∂C`, evaluated only where asked.
+    ///
+    /// Bounds are validated in one pre-pass so the per-position loop is
+    /// assert-free; consecutive positions sharing a row reuse one `g.row(i)`
+    /// load (stored positions arrive row-major, so runs are long); and the dot
+    /// itself is the unrolled **in-order** [`crate::kernels::dot_in_order`], so
+    /// every returned value is bit-identical to the naive
+    /// `zip(g.row(i), b.row(j)).map(|..| x*y).sum()`.
     pub fn sddmm(positions: &[(usize, usize)], g: &Matrix, b: &Matrix) -> Vec<f64> {
         assert_eq!(g.cols(), b.cols(), "sddmm: g and b must share their inner dimension");
-        positions
-            .iter()
-            .map(|&(i, j)| {
-                assert!(i < g.rows() && j < b.rows(), "sddmm position ({i},{j}) out of range");
-                g.row(i).iter().zip(b.row(j)).map(|(x, y)| x * y).sum()
-            })
-            .collect()
+        for &(i, j) in positions {
+            assert!(i < g.rows() && j < b.rows(), "sddmm position ({i},{j}) out of range");
+        }
+        let mut out = Vec::with_capacity(positions.len());
+        let mut p = 0;
+        while p < positions.len() {
+            let i = positions[p].0;
+            let g_row = g.row(i);
+            while p < positions.len() && positions[p].0 == i {
+                out.push(crate::kernels::dot_in_order(g_row, b.row(positions[p].1)));
+                p += 1;
+            }
+        }
+        out
     }
 }
 
@@ -281,10 +367,39 @@ mod tests {
     }
 
     #[test]
-    fn explicit_zeros_are_skipped() {
+    fn explicit_zeros_are_filtered_but_roundtrip_unchanged() {
         let s = SparseMatrix::from_rows(2, 2, &[vec![(0, 0.0), (1, 2.0)], vec![(0, 1.0)]]);
+        // The zero entry is dropped at construction, not stored…
+        assert_eq!(s.nnz(), 2);
+        assert!(!s.is_stored(0, 0));
+        assert_eq!(s.get(0, 0), 0.0);
+        // …and the dense round-trip is exactly what storing the zero would give.
+        let with_zero = Matrix::from_fn(2, 2, |i, j| [[0.0, 2.0], [1.0, 0.0]][i][j]);
+        assert!(s.to_dense().approx_eq(&with_zero, 0.0));
         let b = Matrix::from_fn(2, 2, |i, j| (i * 2 + j) as f64 + 0.5);
         assert_eq!(s.spmm(&b).as_slice(), s.to_dense().matmul(&b).as_slice());
+    }
+
+    #[test]
+    fn blocked_spmm_matches_reference_bitwise_across_widths() {
+        // Widths 1..=19 cover the 8-panel, the 4-panel, and every scalar
+        // remainder, plus rows with zero entries.
+        let s = SparseMatrix::from_rows(
+            4,
+            5,
+            &[
+                vec![(0, 0.31), (3, -1.7), (4, 0.02)],
+                vec![],
+                vec![(1, 2.5)],
+                vec![(0, -0.875), (1, 1.0e-3), (2, 7.25), (3, 0.5), (4, -3.0)],
+            ],
+        );
+        for n in 0..=19 {
+            let b = Matrix::from_fn(5, n, |i, j| ((i * 19 + j) as f64).sin() - 0.4);
+            let blocked = s.spmm(&b);
+            let reference = s.spmm_reference(&b);
+            assert_eq!(blocked.as_slice(), reference.as_slice(), "width {n}");
+        }
     }
 
     #[test]

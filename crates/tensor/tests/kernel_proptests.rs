@@ -1,0 +1,164 @@
+//! Property-based tests of the register-blocked sparse kernels: the blocked
+//! spmm must be bit-for-bit identical to the scalar reference (and to the
+//! zero-skipping dense matmul) on arbitrary CSR matrices, across every panel
+//! remainder width, and the f32 mirror kernels must stay shape-correct and
+//! finite while tracking the f64 results.
+
+use proptest::prelude::*;
+
+use geattack_tensor::{Matrix, MatrixF32, SparseMatrix, SparseMatrixF32};
+
+/// Random rectangular CSR matrices built row-by-row: rows are independently
+/// empty, sparse or dense-ish, so panel kernels see empty rows, single-entry
+/// rows and long runs. Values include exact zeros (filtered at construction).
+fn csr_strategy(rows: usize, cols: usize) -> impl Strategy<Value = SparseMatrix> {
+    proptest::collection::vec(
+        proptest::collection::vec((0usize..cols, -2.0f64..2.0), 0..(cols + 1)),
+        rows..(rows + 1),
+    )
+    .prop_map(move |row_lists| {
+        let row_entries: Vec<Vec<(usize, f64)>> = row_lists
+            .into_iter()
+            .map(|mut entries| {
+                entries.sort_by_key(|&(j, _)| j);
+                entries.dedup_by_key(|&mut (j, _)| j);
+                // Squash small magnitudes to exact zero so construction-time
+                // filtering of explicit zeros is exercised.
+                for e in &mut entries {
+                    if e.1.abs() < 0.2 {
+                        e.1 = 0.0;
+                    }
+                }
+                entries
+            })
+            .collect();
+        SparseMatrix::from_rows(rows, cols, &row_entries)
+    })
+}
+
+fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-2.0f64..2.0, rows * cols).prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The tentpole equivalence: blocked spmm == scalar reference, bitwise, for
+    /// every panel remainder width 1..=7 (below one 4-panel) and for widths that
+    /// exercise the 8-panel loop plus a remainder.
+    #[test]
+    fn blocked_spmm_is_bitwise_equal_to_scalar_reference(
+        a in csr_strategy(7, 5),
+        width in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        for n in [width, 8 + width, 16 + width] {
+            let b = Matrix::from_fn(5, n, |i, j| {
+                let x = (seed as f64 + 1.0) * (i as f64 + 0.7) - 1.3 * j as f64;
+                (x * 0.37).sin()
+            });
+            let blocked = a.spmm(&b);
+            let reference = a.spmm_reference(&b);
+            prop_assert_eq!(blocked.as_slice(), reference.as_slice(), "width {}", n);
+        }
+    }
+
+    /// The `_into` variants fully overwrite a reused (dirty) buffer: results are
+    /// bit-identical to the allocating forms no matter what the buffer held.
+    #[test]
+    fn spmm_into_overwrites_dirty_buffers_bitwise(
+        a in csr_strategy(7, 5),
+        b in matrix_strategy(5, 6),
+        garbage in -100.0f64..100.0,
+    ) {
+        let mut out = Matrix::from_fn(7, 6, |i, j| garbage * (i as f64 + 1.0) - j as f64);
+        a.spmm_into(&b, &mut out);
+        let fresh = a.spmm(&b);
+        prop_assert_eq!(out.as_slice(), fresh.as_slice());
+
+        let mut out_ref = Matrix::from_fn(7, 6, |i, j| garbage - (i * j) as f64);
+        a.spmm_reference_into(&b, &mut out_ref);
+        prop_assert_eq!(out_ref.as_slice(), fresh.as_slice());
+    }
+
+    /// The blocked kernel also replays the dense zero-skipping matmul exactly —
+    /// the dense path stays a byte-exact oracle for the sparse one.
+    #[test]
+    fn blocked_spmm_is_bitwise_equal_to_dense_matmul(
+        a in csr_strategy(6, 6),
+        b in matrix_strategy(6, 5),
+    ) {
+        let sparse = a.spmm(&b);
+        let dense = a.to_dense().matmul(&b);
+        prop_assert_eq!(sparse.as_slice(), dense.as_slice());
+    }
+
+    /// Explicit zeros never survive construction, and filtering them does not
+    /// change what the matrix computes.
+    #[test]
+    fn construction_filters_zeros_without_changing_results(
+        a in csr_strategy(6, 4),
+        b in matrix_strategy(4, 3),
+    ) {
+        for i in 0..6 {
+            prop_assert!(a.row_values(i).iter().all(|&v| v != 0.0), "explicit zero stored in row {}", i);
+        }
+        let rebuilt = SparseMatrix::from_dense(&a.to_dense());
+        prop_assert_eq!(rebuilt.nnz(), a.nnz());
+        let via_rebuilt = rebuilt.spmm(&b);
+        let direct = a.spmm(&b);
+        prop_assert_eq!(via_rebuilt.as_slice(), direct.as_slice());
+    }
+
+    /// The grouped sddmm computes each position's dot product exactly as the
+    /// straightforward per-position fold does.
+    #[test]
+    fn sddmm_matches_per_position_dot_bitwise(
+        g in matrix_strategy(5, 6),
+        b in matrix_strategy(4, 6),
+        positions in proptest::collection::vec((0usize..5, 0usize..4), 0..12),
+    ) {
+        let mut positions = positions;
+        positions.sort_unstable();
+        positions.dedup();
+        let out = SparseMatrix::sddmm(&positions, &g, &b);
+        prop_assert_eq!(out.len(), positions.len());
+        for (&(i, j), &v) in positions.iter().zip(&out) {
+            let naive: f64 = g.row(i).iter().zip(b.row(j)).map(|(&x, &y)| x * y).sum();
+            prop_assert_eq!(v.to_bits(), naive.to_bits(), "position ({}, {})", i, j);
+        }
+    }
+
+    /// The f32 spmm mirror: correct shape, finite outputs, and within
+    /// single-precision tolerance of the f64 result.
+    #[test]
+    fn f32_spmm_is_finite_and_tracks_f64(
+        a in csr_strategy(6, 5),
+        b in matrix_strategy(5, 7),
+    ) {
+        let a32 = SparseMatrixF32::from_f64(&a);
+        let b32 = MatrixF32::from_f64(&b);
+        let out32 = a32.spmm(&b32);
+        prop_assert_eq!(out32.shape(), (6, 7));
+        prop_assert!(!out32.has_non_finite());
+        let out64 = a.spmm(&b);
+        for (x32, x64) in out32.as_slice().iter().zip(out64.as_slice()) {
+            prop_assert!((*x32 as f64 - x64).abs() < 1e-4, "{} vs {}", x32, x64);
+        }
+    }
+
+    /// The f32 dense matmul mirror: correct shape, finite, tracks f64.
+    #[test]
+    fn f32_matmul_is_finite_and_tracks_f64(
+        a in matrix_strategy(4, 6),
+        b in matrix_strategy(6, 5),
+    ) {
+        let out32 = MatrixF32::from_f64(&a).matmul(&MatrixF32::from_f64(&b));
+        prop_assert_eq!(out32.shape(), (4, 5));
+        prop_assert!(!out32.has_non_finite());
+        let out64 = a.matmul(&b);
+        for (x32, x64) in out32.as_slice().iter().zip(out64.as_slice()) {
+            prop_assert!((*x32 as f64 - x64).abs() < 1e-4, "{} vs {}", x32, x64);
+        }
+    }
+}
