@@ -20,7 +20,7 @@ use std::time::{Duration, Instant};
 
 use serde::Value;
 
-use crate::serve::{control, submit};
+use geattack_fleet::client::{control, submit};
 
 /// What to run: how many clients, how many requests each, over which specs.
 #[derive(Clone, Debug)]

@@ -21,6 +21,25 @@
 //! {"event":"error","error":"..."}                                  (request-level failure)
 //! ```
 //!
+//! A request line may also be a **sharded** sweep request, wrapping the spec
+//! with a `--shard I/N`-style slice — how the fleet coordinator dispatches
+//! grid slices to workers:
+//!
+//! ```text
+//! {"spec": {...SweepSpec...}, "shard": "1/3"}
+//! ```
+//!
+//! A sharded request streams the same events, echoes the shard in its
+//! `accepted` event (`"shard":"1/3"`) so fleet logs can attribute it, and —
+//! because a partial slice cannot be merged server-side — terminates with a
+//! `done` event embedding the raw `shard_report` instead of a merged
+//! `report`:
+//!
+//! ```text
+//! {"event":"accepted","id":7,"cost":41152.0,"queue_depth":0,"shard":"1/3"}
+//! {"event":"done","sweep":"quick","shard":"1/3","shard_report":{...},"cache":...,"telemetry":...}
+//! ```
+//!
 //! A `failed` cell does not abort the session — the engine keeps executing and
 //! streaming the remaining cells — but a request with any failed cell cannot
 //! assemble a complete report, so it terminates with an `error` event (listing
@@ -64,9 +83,12 @@
 //! spec **byte for byte** — even under concurrent clients, which the CI
 //! `concurrent-serve-smoke` job pins.
 //!
-//! The client side ([`submit`]) connects (with retries, so scripts can start
-//! the daemon concurrently), sends one spec, surfaces progress lines and
-//! returns the reassembled pretty report.
+//! The client side lives in [`geattack_fleet::client`] (shared with the fleet
+//! coordinator and the loadtest); [`submit`], [`control`], [`connect_retry`]
+//! and [`SubmitOutcome`] are re-exported here for compatibility. [`submit`]
+//! connects (with retries, so scripts can start the daemon concurrently),
+//! sends one spec, surfaces progress lines and returns the reassembled pretty
+//! report.
 //!
 //! [`SweepReport`]: geattack_core::SweepReport
 
@@ -80,10 +102,12 @@ use std::time::{Duration, Instant};
 use serde::Value;
 
 use geattack_core::engine::{CancelToken, CellEvent, Engine};
-use geattack_core::sweep::PlannedCell;
+use geattack_core::sweep::{PlannedCell, Shard};
 use geattack_scenarios::SweepSpec;
 
 use crate::pool::{AdmissionError, WorkerPool};
+
+pub use geattack_fleet::client::{connect_retry, control, submit, SubmitOutcome};
 
 /// Serializes one protocol event as a compact single line.
 fn line(value: &Value) -> String {
@@ -186,6 +210,10 @@ pub struct ServeOptions {
     /// External shutdown flag: when it becomes `true` (e.g. from a SIGTERM
     /// handler — see [`sigterm_flag`]) the daemon drains gracefully.
     pub term_signal: Option<&'static AtomicBool>,
+    /// Worker identity for fleet deployments (`--fleet-id`), surfaced in the
+    /// `stats` response so coordinator logs and telemetry can attribute
+    /// events per worker.
+    pub fleet_id: Option<String>,
 }
 
 impl Default for ServeOptions {
@@ -195,6 +223,7 @@ impl Default for ServeOptions {
             queue_limit: 16,
             max_requests: None,
             term_signal: None,
+            fleet_id: None,
         }
     }
 }
@@ -241,6 +270,8 @@ struct ServeShared {
     pool: WorkerPool,
     started: Instant,
     max_requests: Option<usize>,
+    /// Worker identity for fleet deployments, echoed in `stats`.
+    fleet_id: Option<String>,
     /// Successfully-parsed sweep requests admitted so far (`--max-requests`
     /// accounting; control requests never count).
     accepted: AtomicUsize,
@@ -320,9 +351,20 @@ fn health_value(shared: &ServeShared) -> Value {
     ])
 }
 
-/// The `stats` response: daemon-lifetime request counters, the worker-pool
-/// queue, the shared cache's live counters and hit rate, the engine's cell
-/// counters and its latency histograms summarized to percentiles.
+/// The `worker` identity block of the `stats` response: the `--fleet-id`
+/// (null when unset) plus the daemon's pid, so a fleet coordinator can
+/// attribute events and a fleet manifest can be checked against live daemons.
+fn worker_identity_value(shared: &ServeShared) -> Value {
+    object(vec![
+        ("fleet_id", shared.fleet_id.clone().map_or(Value::Null, Value::String)),
+        ("pid", Value::Number(std::process::id() as f64)),
+    ])
+}
+
+/// The `stats` response: daemon-lifetime request counters, the worker
+/// identity, the worker-pool queue, the shared cache's live counters and hit
+/// rate, the engine's cell counters and its latency histograms summarized to
+/// percentiles.
 fn stats_value(shared: &ServeShared) -> Value {
     let engine = &shared.engine;
     let cache = match engine.cache_metrics() {
@@ -380,6 +422,7 @@ fn stats_value(shared: &ServeShared) -> Value {
     object(vec![
         ("event", Value::String("stats".into())),
         ("uptime_ms", Value::Number(shared.started.elapsed().as_secs_f64() * 1e3)),
+        ("worker", worker_identity_value(shared)),
         (
             "requests",
             object(vec![
@@ -427,13 +470,14 @@ enum RequestEnd {
 fn stream_sweep_session(
     engine: &Engine,
     spec: SweepSpec,
+    shard: Option<Shard>,
     cancel: &CancelToken,
     out: &mut impl Write,
 ) -> std::io::Result<RequestEnd> {
     // The engine's counters accumulate over its lifetime; the `done` event
     // reports this request's delta.
     let counters_before = engine.cache_counters();
-    let mut session = match engine.submit_cancellable(spec, None, cancel.clone()) {
+    let mut session = match engine.submit_cancellable(spec, shard, cancel.clone()) {
         Ok(session) => session,
         Err(e) => {
             writeln!(out, "{}", line(&error_value(&e.to_string())))?;
@@ -455,12 +499,27 @@ fn stream_sweep_session(
     if let Some(e) = write_error {
         return Err(e);
     }
-    let end = match finished.and_then(|run| {
-        engine
-            .merge(std::slice::from_ref(&run.shard))
-            .map(|report| (run, report))
+    // An unsharded request assembles and embeds the merged report; a sharded
+    // request's slice cannot be merged server-side, so its `done` event embeds
+    // the raw shard report for the coordinator to merge in-process.
+    let end = match finished.and_then(|run| match shard {
+        None => engine.merge(std::slice::from_ref(&run.shard)).map(|report| {
+            let payload = vec![
+                ("sweep", Value::String(report.sweep.clone())),
+                ("report", serde_json::to_value(&report)),
+            ];
+            (run, payload)
+        }),
+        Some(shard) => {
+            let payload = vec![
+                ("sweep", Value::String(run.shard.sweep.clone())),
+                ("shard", Value::String(shard.label())),
+                ("shard_report", serde_json::to_value(&run.shard)),
+            ];
+            Ok((run, payload))
+        }
     }) {
-        Ok((run, report)) => {
+        Ok((run, payload)) => {
             let cache = match (counters_before, engine.cache_counters()) {
                 (Some(before), Some(after)) => object(vec![
                     ("hits", Value::Number(after.hits.saturating_sub(before.hits) as f64)),
@@ -492,13 +551,11 @@ fn stream_sweep_session(
                 ),
                 ("cell_latency_ms", latency_value(&t.cell_latency)),
             ]);
-            let done = object(vec![
-                ("event", Value::String("done".into())),
-                ("sweep", Value::String(report.sweep.clone())),
-                ("report", serde_json::to_value(&report)),
-                ("cache", cache),
-                ("telemetry", telemetry),
-            ]);
+            let mut fields = vec![("event", Value::String("done".into()))];
+            fields.extend(payload);
+            fields.push(("cache", cache));
+            fields.push(("telemetry", telemetry));
+            let done = object(fields);
             writeln!(out, "{}", line(&done))?;
             RequestEnd::Done
         }
@@ -519,9 +576,14 @@ fn stream_sweep_session(
 /// streams the outcome. Owns the request's whole lifecycle: id assignment,
 /// `accepted` event, cost-aware admission, wait/run histograms, cancellation
 /// registration and the daemon's request counters.
-fn run_sweep_request(shared: &ServeShared, spec: SweepSpec, out: &mut impl Write) -> std::io::Result<()> {
+fn run_sweep_request(
+    shared: &ServeShared,
+    spec: SweepSpec,
+    shard: Option<Shard>,
+    out: &mut impl Write,
+) -> std::io::Result<()> {
     let engine = &shared.engine;
-    let cost = match engine.estimate_cost(&spec, None) {
+    let cost = match engine.estimate_cost(&spec, shard) {
         Ok(cost) => cost,
         Err(e) => {
             shared.failed.fetch_add(1, Ordering::SeqCst);
@@ -540,12 +602,17 @@ fn run_sweep_request(shared: &ServeShared, spec: SweepSpec, out: &mut impl Write
 
     let result = (|| -> std::io::Result<()> {
         let (_, queued) = shared.pool.depth();
-        let accepted = object(vec![
+        let mut fields = vec![
             ("event", Value::String("accepted".into())),
             ("id", Value::Number(id as f64)),
             ("cost", Value::Number(cost)),
             ("queue_depth", Value::Number(queued as f64)),
-        ]);
+        ];
+        if let Some(shard) = shard {
+            // Echo the slice so fleet coordinator logs can attribute it.
+            fields.push(("shard", Value::String(shard.label())));
+        }
+        let accepted = object(fields);
         writeln!(out, "{}", line(&accepted))?;
         out.flush()?;
 
@@ -571,7 +638,7 @@ fn run_sweep_request(shared: &ServeShared, spec: SweepSpec, out: &mut impl Write
         shared.refresh_gauges();
 
         let run_started = Instant::now();
-        let outcome = stream_sweep_session(engine, spec, &cancel, out);
+        let outcome = stream_sweep_session(engine, spec, shard, &cancel, out);
         engine
             .metrics()
             .histogram("request.run_ms")
@@ -594,6 +661,37 @@ fn run_sweep_request(shared: &ServeShared, spec: SweepSpec, out: &mut impl Write
     shared.active.lock().expect("active-request lock").remove(&id);
     shared.finish_request();
     result
+}
+
+/// Parses a sweep request line: a bare spec (the original protocol), or the
+/// fleet coordinator's `{"spec": {...}, "shard": "I/N"}` wrapper naming a
+/// deterministic grid slice. A wrapper without a `shard` field runs the whole
+/// grid, exactly like the bare form.
+fn parse_sweep_request(request: &str) -> Result<(SweepSpec, Option<Shard>), String> {
+    let wrapped = serde_json::from_str::<Value>(request)
+        .ok()
+        .filter(|value| value.get_field("spec").is_ok());
+    let Some(value) = wrapped else {
+        return SweepSpec::from_json(request).map(|spec| (spec, None));
+    };
+    let spec_text =
+        serde_json::to_string(value.get_field("spec").expect("presence checked")).map_err(|e| e.to_string())?;
+    let spec = SweepSpec::from_json(&spec_text)?;
+    let shard = match value.get_field("shard") {
+        Err(_) => None,
+        Ok(Value::String(label)) => {
+            let shard = Shard::parse(label).map_err(|e| e.to_string())?;
+            shard.validate().map_err(|e| e.to_string())?;
+            Some(shard)
+        }
+        Ok(other) => {
+            return Err(format!(
+                "`shard` must be an \"I/N\" string, found {}",
+                serde_json::to_string(other).unwrap_or_default()
+            ))
+        }
+    };
+    Ok((spec, shard))
 }
 
 /// The parsed form of a control request line, when the line is one.
@@ -695,14 +793,14 @@ fn handle_connection(stream: TcpStream, shared: &ServeShared) -> std::io::Result
             writer.flush()?;
             continue;
         }
-        match SweepSpec::from_json(&request) {
+        match parse_sweep_request(&request) {
             Err(e) => {
                 shared.failed.fetch_add(1, Ordering::SeqCst);
                 let err = geattack_core::GeError::Protocol(e);
                 writeln!(writer, "{}", line(&error_value(&err.to_string())))?;
                 writer.flush()?;
             }
-            Ok(spec) => {
+            Ok((spec, shard)) => {
                 if shared.is_draining() {
                     shared.rejected.fetch_add(1, Ordering::SeqCst);
                     let err =
@@ -716,7 +814,7 @@ fn handle_connection(stream: TcpStream, shared: &ServeShared) -> std::io::Result
                     // serial daemon did once its budget was spent.
                     break;
                 }
-                run_sweep_request(shared, spec, &mut writer)?;
+                run_sweep_request(shared, spec, shard, &mut writer)?;
                 if shared
                     .max_requests
                     .is_some_and(|max| shared.accepted.load(Ordering::SeqCst) >= max)
@@ -743,6 +841,7 @@ pub fn serve(listener: TcpListener, engine: &Engine, options: ServeOptions) -> s
         pool: WorkerPool::new(options.workers, options.queue_limit),
         started: Instant::now(),
         max_requests: options.max_requests,
+        fleet_id: options.fleet_id.clone(),
         accepted: AtomicUsize::new(0),
         outstanding: AtomicUsize::new(0),
         served: AtomicU64::new(0),
@@ -795,124 +894,4 @@ pub fn serve(listener: TcpListener, engine: &Engine, options: ServeOptions) -> s
         let _ = handle.join();
     }
     Ok(shared.accepted.load(Ordering::SeqCst))
-}
-
-/// What a successful [`submit`] brings back. A request with any failed cell
-/// never reaches `done` (the server terminates it with an `error` event), so
-/// a returned outcome always carries a complete report.
-#[derive(Clone, Debug)]
-pub struct SubmitOutcome {
-    /// Sweep name from the `done` event.
-    pub sweep: String,
-    /// The assembled report, pretty-printed — byte-identical to the
-    /// `results/sweep_<name>.json` a `geattack-sweep` run of the same spec
-    /// writes.
-    pub report_pretty: String,
-    /// This request's cache-counter delta on the daemon (`Value::Null` when
-    /// the daemon runs uncached).
-    pub cache: Value,
-    /// The request id the daemon assigned (from the `accepted` event); the
-    /// handle a `cancel` control request would target. `None` on daemons
-    /// predating the worker pool.
-    pub request_id: Option<u64>,
-}
-
-/// Connects to the daemon, retrying until `timeout` elapses (so a script can
-/// launch daemon and client together).
-pub fn connect_retry(addr: &str, timeout: Duration) -> Result<TcpStream, String> {
-    let deadline = Instant::now() + timeout;
-    loop {
-        match TcpStream::connect(addr) {
-            Ok(stream) => return Ok(stream),
-            Err(e) if Instant::now() >= deadline => {
-                return Err(format!("cannot connect to {addr}: {e}"));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(100)),
-        }
-    }
-}
-
-/// Sends one control request line (e.g. `{"request":"stats"}`) and returns the
-/// parsed single-line response.
-pub fn control(addr: &str, request: &str, timeout: Duration) -> Result<Value, String> {
-    let stream = connect_retry(addr, timeout)?;
-    let mut writer = BufWriter::new(stream.try_clone().map_err(|e| e.to_string())?);
-    let mut reader = BufReader::new(stream);
-    writeln!(writer, "{request}").map_err(|e| format!("cannot send request: {e}"))?;
-    writer.flush().map_err(|e| format!("cannot send request: {e}"))?;
-    let mut response = String::new();
-    reader
-        .read_line(&mut response)
-        .map_err(|e| format!("connection lost: {e}"))?;
-    serde_json::from_str(response.trim()).map_err(|e| format!("malformed response: {e}"))
-}
-
-/// Submits one sweep spec (JSON text, any layout — it is compacted to one
-/// line) and consumes the event stream until `done`/`error`. `progress` is
-/// called with one human-readable line per streamed event.
-pub fn submit(
-    addr: &str,
-    spec_text: &str,
-    timeout: Duration,
-    mut progress: impl FnMut(String),
-) -> Result<SubmitOutcome, String> {
-    let spec_value: Value = serde_json::from_str(spec_text).map_err(|e| format!("invalid spec JSON: {e}"))?;
-    let request = serde_json::to_string(&spec_value).map_err(|e| e.to_string())?;
-
-    let stream = connect_retry(addr, timeout)?;
-    let mut writer = BufWriter::new(stream.try_clone().map_err(|e| e.to_string())?);
-    let reader = BufReader::new(stream);
-    writeln!(writer, "{request}").map_err(|e| format!("cannot send request: {e}"))?;
-    writer.flush().map_err(|e| format!("cannot send request: {e}"))?;
-
-    let mut request_id = None;
-    for response in reader.lines() {
-        let response = response.map_err(|e| format!("connection lost: {e}"))?;
-        let value: Value = serde_json::from_str(&response).map_err(|e| format!("malformed event: {e}"))?;
-        let event = match value.get_field("event") {
-            Ok(Value::String(event)) => event.clone(),
-            _ => return Err(format!("event line without an `event` field: {response}")),
-        };
-        let position = || match value.get_field("position") {
-            Ok(Value::Number(p)) => *p as usize,
-            _ => usize::MAX,
-        };
-        match event.as_str() {
-            "accepted" => {
-                if let Ok(Value::Number(id)) = value.get_field("id") {
-                    request_id = Some(*id as u64);
-                    progress(format!("request {} accepted", *id as u64));
-                }
-            }
-            "planned" => {}
-            "started" => progress(format!("cell {} started", position())),
-            "cell" => progress(format!("cell {} finished", position())),
-            "failed" => progress(format!("cell {} FAILED", position())),
-            "error" => {
-                let message = match value.get_field("error") {
-                    Ok(Value::String(m)) => m.clone(),
-                    _ => "unspecified server error".to_string(),
-                };
-                return Err(message);
-            }
-            "done" => {
-                let report = value
-                    .get_field("report")
-                    .map_err(|_| "done event without a report".to_string())?;
-                let sweep = match value.get_field("sweep") {
-                    Ok(Value::String(s)) => s.clone(),
-                    _ => String::new(),
-                };
-                let cache = value.get_field("cache").ok().cloned().unwrap_or(Value::Null);
-                return Ok(SubmitOutcome {
-                    sweep,
-                    report_pretty: serde_json::to_string_pretty(report).map_err(|e| e.to_string())?,
-                    cache,
-                    request_id,
-                });
-            }
-            other => return Err(format!("unknown event `{other}`")),
-        }
-    }
-    Err("connection closed before a `done` event".to_string())
 }

@@ -1,0 +1,349 @@
+//! Fleet orchestration end-to-end: a coordinator over live `geattack-serve`
+//! workers must produce a merged report **byte-identical** to a
+//! single-machine run — including after a worker disconnects mid-stream, is
+//! SIGKILLed mid-shard, or the fleet runs out of retry budget (in which case
+//! completed shards are preserved on disk for manual `geattack-merge`).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use geattack_bench::serve::{control, serve, ServeOptions};
+use geattack_core::engine::Engine;
+use geattack_core::sweep::ShardReport;
+use geattack_fleet::coordinator::{Coordinator, FleetOptions};
+use geattack_fleet::manifest::Worker;
+use geattack_scenarios::SweepSpec;
+
+/// A small-but-real spec: four prepared cells (one GCN training each), so a
+/// multi-shard split has real slices on every worker.
+fn spec_json(name: &str) -> String {
+    format!(
+        r#"{{
+            "name": "{name}",
+            "families": ["tree-cycles"],
+            "scales": [0.07],
+            "seeds": [0, 1, 2, 3],
+            "attackers": ["fga-t", "rna"],
+            "victims": 3
+        }}"#
+    )
+}
+
+/// A heavier spec for the SIGKILL test: six slower cells (three per shard),
+/// so a freshly-accepted shard cannot finish streaming before the kill lands.
+fn heavy_spec_json(name: &str) -> String {
+    format!(
+        r#"{{
+            "name": "{name}",
+            "families": ["tree-cycles"],
+            "scales": [0.3],
+            "seeds": [0, 1, 2, 3, 4, 5],
+            "attackers": ["fga-t", "rna"],
+            "victims": 3
+        }}"#
+    )
+}
+
+/// What `geattack-sweep` would write for this spec on one machine.
+fn reference_bytes(spec: &SweepSpec) -> String {
+    Engine::new()
+        .serial(true)
+        .run_report(spec)
+        .expect("reference sweep runs")
+        .to_json()
+}
+
+/// Starts an in-process daemon on an ephemeral port.
+fn daemon(options: ServeOptions) -> (String, std::thread::JoinHandle<std::io::Result<usize>>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral port binds");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let engine = Engine::new().serial(true);
+    let handle = std::thread::spawn(move || serve(listener, &engine, options));
+    (addr, handle)
+}
+
+fn drain(addr: &str) {
+    control(addr, r#"{"request":"drain"}"#, Duration::from_secs(10)).expect("drain answers");
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("geattack-fleet-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn three_worker_fleet_reports_are_byte_identical_to_a_single_machine_run() {
+    let spec = SweepSpec::from_json(&spec_json("fleet-tri")).expect("spec parses");
+    let reference = reference_bytes(&spec);
+
+    let fleet: Vec<_> = (0..3)
+        .map(|i| {
+            let (addr, handle) = daemon(ServeOptions {
+                fleet_id: Some(format!("w{i}")),
+                ..ServeOptions::default()
+            });
+            (addr, handle)
+        })
+        .collect();
+    let results_dir = temp_dir("tri");
+    let workers = fleet
+        .iter()
+        .enumerate()
+        .map(|(i, (addr, _))| Worker::named(addr.clone(), format!("w{i}")))
+        .collect();
+    let coordinator = Coordinator::new(
+        workers,
+        FleetOptions {
+            results_dir: Some(results_dir.clone()),
+            ..FleetOptions::default()
+        },
+    )
+    .expect("coordinator builds");
+
+    let run = coordinator.run(&spec, |_| {}).expect("fleet run succeeds");
+    assert_eq!(
+        run.report.to_json(),
+        reference,
+        "fleet-merged report must be byte-identical to the single-machine run"
+    );
+    let artifact = run.artifact.expect("artifact written");
+    assert_eq!(artifact, results_dir.join("sweep_fleet-tri.json"));
+    assert_eq!(
+        std::fs::read_to_string(&artifact).expect("artifact readable"),
+        reference,
+        "the on-disk artifact must match the CLI artifact byte for byte"
+    );
+
+    assert_eq!(run.stats.shards, 3);
+    assert_eq!(run.stats.dispatched, 3, "a clean run dispatches each shard once");
+    assert_eq!(run.stats.retried, 0);
+    assert_eq!(run.stats.finished_cells, 4);
+    let ids: Vec<_> = run.stats.workers.iter().map(|w| w.fleet_id.clone()).collect();
+    assert_eq!(
+        ids,
+        vec![Some("w0".to_string()), Some("w1".to_string()), Some("w2".to_string())],
+        "worker identities come from each daemon's --fleet-id stats line"
+    );
+
+    for (addr, handle) in fleet {
+        drain(&addr);
+        handle.join().expect("daemon thread").expect("daemon exits cleanly");
+    }
+    let _ = std::fs::remove_dir_all(&results_dir);
+}
+
+/// A worker that accepts sweep requests, answers `accepted`, then drops the
+/// connection — the mid-stream-disconnect failure mode. Control requests
+/// answer so health probes pass.
+fn flaky_worker() -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral port binds");
+    let addr = listener.local_addr().expect("addr").to_string();
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { break };
+            let mut reader = BufReader::new(match stream.try_clone() {
+                Ok(clone) => clone,
+                Err(_) => continue,
+            });
+            let mut writer = std::io::BufWriter::new(stream);
+            let mut line = String::new();
+            if reader.read_line(&mut line).is_err() || line.is_empty() {
+                continue;
+            }
+            if line.contains("\"request\"") {
+                let _ = writeln!(writer, r#"{{"event":"health","status":"ok","uptime_ms":1.0}}"#);
+            } else {
+                let _ = writeln!(writer, r#"{{"event":"accepted","id":1,"cost":1.0,"queue_depth":0}}"#);
+            }
+            let _ = writer.flush();
+            // Dropping writer/reader closes the socket mid-stream.
+        }
+    });
+    addr
+}
+
+#[test]
+fn mid_stream_disconnects_reassign_the_shard_to_a_survivor() {
+    let spec = SweepSpec::from_json(&spec_json("fleet-flaky")).expect("spec parses");
+    let reference = reference_bytes(&spec);
+
+    let flaky_addr = flaky_worker();
+    let (good_addr, good) = daemon(ServeOptions::default());
+    let coordinator = Coordinator::new(
+        vec![
+            Worker::named(flaky_addr, "flaky"),
+            Worker::named(good_addr.clone(), "good"),
+        ],
+        FleetOptions {
+            max_shard_attempts: 5,
+            // The flaky worker retires on its first failure, so the survivor
+            // deterministically finishes the whole grid.
+            worker_failure_limit: 1,
+            backoff: Duration::from_millis(10),
+            ..FleetOptions::default()
+        },
+    )
+    .expect("coordinator builds");
+
+    let lines = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&lines);
+    let run = coordinator
+        .run(&spec, move |line| sink.lock().expect("line sink").push(line))
+        .expect("fleet run survives the flaky worker");
+
+    assert_eq!(
+        run.report.to_json(),
+        reference,
+        "reassigned shards must not change a single byte of the merged report"
+    );
+    assert!(
+        run.stats.reassigned >= 1,
+        "the flaky worker's shard must be picked up by the survivor: {:?}",
+        lines.lock().expect("line sink").join("\n")
+    );
+    assert_eq!(run.stats.duplicates, 0, "first-completed-wins never duplicates cells");
+    let flaky = &run.stats.workers[0];
+    assert!(flaky.retired, "one failure must retire the flaky worker here");
+    assert!(flaky.failures >= 1);
+    assert_eq!(run.stats.workers[1].shards_completed, 2);
+
+    drain(&good_addr);
+    good.join().expect("daemon thread").expect("daemon exits cleanly");
+}
+
+/// Spawns a real `geattack-serve` process on an ephemeral port and parses the
+/// bound address from its startup line. The rest of its stderr drains in a
+/// background thread so the pipe can never fill.
+fn spawn_worker(fleet_id: &str) -> (String, std::process::Child) {
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_geattack-serve"))
+        .args(["listen", "--addr", "127.0.0.1:0", "--serial", "--fleet-id", fleet_id])
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("geattack-serve spawns");
+    let stderr = child.stderr.take().expect("stderr piped");
+    let mut reader = BufReader::new(stderr);
+    let addr = loop {
+        let mut line = String::new();
+        assert_ne!(
+            reader.read_line(&mut line).expect("startup line"),
+            0,
+            "daemon exited early"
+        );
+        if let Some(rest) = line.split("listening on ").nth(1) {
+            break rest.split_whitespace().next().expect("bound address").to_string();
+        }
+    };
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        while let Ok(n) = reader.read_line(&mut sink) {
+            if n == 0 {
+                break;
+            }
+            sink.clear();
+        }
+    });
+    (addr, child)
+}
+
+#[test]
+fn sigkilled_workers_are_reassigned_and_the_merged_bytes_stay_identical() {
+    let spec = SweepSpec::from_json(&heavy_spec_json("fleet-kill")).expect("spec parses");
+    let reference = reference_bytes(&spec);
+
+    let (addr1, child1) = spawn_worker("w1");
+    let (addr2, child2) = spawn_worker("w2");
+    let coordinator = Coordinator::new(
+        vec![Worker::named(addr1.clone(), "w1"), Worker::named(addr2, "w2")],
+        FleetOptions {
+            max_shard_attempts: 5,
+            worker_failure_limit: 1,
+            connect_timeout: Duration::from_secs(2),
+            backoff: Duration::from_millis(10),
+            ..FleetOptions::default()
+        },
+    )
+    .expect("coordinator builds");
+
+    // SIGKILL w2 the moment its shard is accepted: the daemon is mid-shard
+    // (its first cell is still training) and its stream dies, so the shard
+    // must finish on w1.
+    let victim = Arc::new(Mutex::new(Some(child2)));
+    let killer = Arc::clone(&victim);
+    let run = coordinator
+        .run(&spec, move |line| {
+            if line.contains("[w2]") && line.contains("accepted") {
+                if let Some(mut child) = killer.lock().expect("victim lock").take() {
+                    child.kill().expect("SIGKILL delivered");
+                    child.wait().expect("killed worker reaped");
+                }
+            }
+        })
+        .expect("fleet run survives the killed worker");
+
+    assert!(
+        victim.lock().expect("victim lock").is_none(),
+        "w2 must have been dispatched a shard (and been killed) during the run"
+    );
+    assert_eq!(
+        run.report.to_json(),
+        reference,
+        "a worker killed mid-shard must not change the merged bytes"
+    );
+    assert!(run.stats.reassigned >= 1, "the killed worker's shard must move to w1");
+    assert_eq!(run.stats.duplicates, 0);
+    assert!(run.stats.workers[1].retired, "the killed worker retires");
+
+    let mut child1 = child1;
+    drain(&addr1);
+    child1.wait().expect("drained worker exits");
+}
+
+#[test]
+fn exhausted_shards_abort_with_a_fleet_error_and_preserve_completed_shards() {
+    let spec = SweepSpec::from_json(&spec_json("fleet-exhaust")).expect("spec parses");
+
+    // A one-request worker: it completes the first shard, then the daemon is
+    // gone — the second shard must exhaust its attempts.
+    let (addr, handle) = daemon(ServeOptions::with_max_requests(Some(1)));
+    let results_dir = temp_dir("exhaust");
+    let coordinator = Coordinator::new(
+        vec![Worker::named(addr, "only")],
+        FleetOptions {
+            shards: Some(2),
+            max_shard_attempts: 2,
+            worker_failure_limit: 10,
+            connect_timeout: Duration::from_millis(300),
+            backoff: Duration::from_millis(10),
+            results_dir: Some(results_dir.clone()),
+            ..FleetOptions::default()
+        },
+    )
+    .expect("coordinator builds");
+
+    let err = coordinator.run(&spec, |_| {}).expect_err("the run must abort");
+    assert_eq!(err.kind(), "fleet", "exhaustion surfaces as the typed fleet error");
+    let message = err.to_string();
+    assert!(message.contains("exhausted its 2 attempt(s)"), "{message}");
+    assert!(
+        message.contains("preserved for geattack-merge"),
+        "the error must point at the preserved partial artifacts: {message}"
+    );
+
+    // The completed shard survives on disk, parseable and correctly indexed,
+    // so a manual `geattack-merge` can finish the job.
+    let preserved = results_dir.join("sweep_fleet-exhaust.shard0of2.json");
+    let text = std::fs::read_to_string(&preserved).expect("preserved shard artifact exists");
+    let shard = ShardReport::from_json(&text).expect("preserved shard parses");
+    assert_eq!((shard.shard_index, shard.shard_count), (0, 2));
+    assert_eq!(shard.sweep, "fleet-exhaust");
+    assert!(
+        !results_dir.join("sweep_fleet-exhaust.json").exists(),
+        "an aborted run must not write the merged artifact"
+    );
+
+    handle.join().expect("daemon thread").expect("daemon exits cleanly");
+    let _ = std::fs::remove_dir_all(&results_dir);
+}

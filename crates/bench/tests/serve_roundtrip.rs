@@ -7,7 +7,9 @@ use std::net::TcpListener;
 use std::time::Duration;
 
 use geattack_bench::serve::{serve, submit, ServeOptions};
-use geattack_core::engine::Engine;
+use geattack_core::engine::{CancelToken, Engine};
+use geattack_core::sweep::{merge_shards, Shard};
+use geattack_fleet::client::{ServeClient, ShardEvent};
 use geattack_scenarios::SweepSpec;
 use serde::Value;
 
@@ -77,6 +79,62 @@ fn served_reports_are_byte_identical_to_cli_sweeps_and_share_the_cache() {
     let served = daemon.join().expect("daemon thread").expect("daemon exits cleanly");
     assert_eq!(served, 2);
     let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+#[test]
+fn sharded_requests_stream_shard_reports_that_merge_byte_identically() {
+    let spec = SweepSpec::from_json(SPEC).expect("spec parses");
+    let reference = Engine::new()
+        .serial(true)
+        .run_report(&spec)
+        .expect("reference sweep runs")
+        .to_json();
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral port binds");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let engine = Engine::new().serial(true);
+    let options = ServeOptions {
+        fleet_id: Some("w-test".to_string()),
+        ..ServeOptions::with_max_requests(Some(2))
+    };
+    let daemon = std::thread::spawn(move || serve(listener, &engine, options));
+
+    // The worker advertises its fleet identity in `stats`.
+    let client = ServeClient::new(&addr);
+    assert_eq!(client.fleet_id().expect("stats answers"), Some("w-test".to_string()));
+
+    // Dispatch both slices of a 2-way split; each `accepted` event echoes its
+    // shard label, and each `done` event carries the raw shard report.
+    let cancel = CancelToken::new();
+    let mut echoes = Vec::new();
+    let shards: Vec<_> = Shard::split(2)
+        .expect("split")
+        .into_iter()
+        .map(|shard| {
+            client
+                .submit_shard(&spec, shard, &cancel, |event| {
+                    if let ShardEvent::Accepted { shard, .. } = event {
+                        echoes.push(shard);
+                    }
+                })
+                .expect("sharded submit succeeds")
+        })
+        .collect();
+    assert_eq!(
+        echoes,
+        vec![Some("0/2".to_string()), Some("1/2".to_string())],
+        "accepted events must echo the dispatched shard"
+    );
+    assert_eq!(shards[0].shard_index, 0);
+    assert_eq!(shards[1].shard_index, 1);
+
+    let merged = merge_shards(&shards).expect("slices merge strictly");
+    assert_eq!(
+        merged.to_json(),
+        reference,
+        "client-side merge of served shards must be byte-identical to the CLI artifact"
+    );
+    daemon.join().expect("daemon thread").expect("daemon exits cleanly");
 }
 
 #[test]

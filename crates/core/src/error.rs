@@ -70,6 +70,11 @@ pub enum GeError {
     CellsFailed(Vec<CellFailure>),
     /// A serve-protocol request could not be understood.
     Protocol(String),
+    /// Fleet orchestration failed: a shard exhausted every worker (connect,
+    /// stream or validation failures on each attempt) or no live workers
+    /// remain. Completed shard artifacts are preserved on disk for manual
+    /// `geattack-merge` before this surfaces.
+    Fleet(String),
     /// The session's cancellation token was set before this cell ran; the
     /// cell was skipped, not executed. Carries a human-readable reason
     /// (`"client disconnected"`, `"cancel requested"`, ...).
@@ -100,6 +105,7 @@ impl GeError {
             GeError::Shard(_) => "shard",
             GeError::CellsFailed(_) => "cells-failed",
             GeError::Protocol(_) => "protocol",
+            GeError::Fleet(_) => "fleet",
             GeError::Cancelled(_) => "cancelled",
         }
     }
@@ -125,6 +131,7 @@ impl fmt::Display for GeError {
                 Ok(())
             }
             GeError::Protocol(m) => write!(f, "protocol error: {m}"),
+            GeError::Fleet(m) => write!(f, "fleet error: {m}"),
             GeError::Cancelled(m) => write!(f, "cancelled: {m}"),
         }
     }
@@ -172,5 +179,8 @@ mod tests {
         let cancelled = GeError::Cancelled("client disconnected".into());
         assert_eq!(cancelled.kind(), "cancelled");
         assert!(cancelled.to_string().contains("cancelled: client disconnected"));
+        let fleet = GeError::Fleet("shard 1/3 exhausted all 2 workers".into());
+        assert_eq!(fleet.kind(), "fleet");
+        assert!(fleet.to_string().contains("fleet error: shard 1/3"));
     }
 }

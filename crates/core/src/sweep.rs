@@ -196,6 +196,26 @@ impl Shard {
         p % self.count == self.index
     }
 
+    /// The complete `count`-way split of the grid, in index order — the
+    /// coordinator's shard plan. Rejects a zero-way split.
+    pub fn split(count: usize) -> Result<Vec<Shard>> {
+        if count == 0 {
+            return Err(GeError::Shard("shard count must be at least 1".to_string()));
+        }
+        Ok((0..count).map(|index| Shard { index, count }).collect())
+    }
+
+    /// How many of the first `cells` grid positions this shard owns (its
+    /// prepared-cell workload, for progress accounting).
+    pub fn owned_count(&self, cells: usize) -> usize {
+        // Positions owned: index, index + count, index + 2·count, … < cells.
+        if self.index >= cells {
+            0
+        } else {
+            (cells - self.index - 1) / self.count + 1
+        }
+    }
+
     /// Display form (`0/2`).
     pub fn label(&self) -> String {
         format!("{}/{}", self.index, self.count)
@@ -736,6 +756,42 @@ mod tests {
 
     fn run_sweep(spec: &SweepSpec, serial: bool) -> Result<SweepReport> {
         Engine::new().serial(serial).run_report(spec)
+    }
+
+    #[test]
+    fn shard_split_enumerates_a_complete_partition() {
+        let shards = Shard::split(3).expect("3-way split");
+        assert_eq!(shards.len(), 3);
+        for (i, shard) in shards.iter().enumerate() {
+            assert_eq!((shard.index, shard.count), (i, 3));
+            shard.validate().expect("split shards validate");
+        }
+        // Every grid position is owned by exactly one shard of the split.
+        for p in 0..10 {
+            assert_eq!(shards.iter().filter(|s| s.owns(p)).count(), 1);
+        }
+        assert!(Shard::split(0).is_err(), "zero-way split must be rejected");
+        assert_eq!(Shard::split(1).expect("trivial split"), vec![Shard::FULL]);
+    }
+
+    #[test]
+    fn shard_owned_count_matches_brute_force_ownership() {
+        for count in 1..5 {
+            for index in 0..count {
+                let shard = Shard { index, count };
+                for cells in 0..12 {
+                    let brute = (0..cells).filter(|&p| shard.owns(p)).count();
+                    assert_eq!(
+                        shard.owned_count(cells),
+                        brute,
+                        "shard {}/{} over {} cells",
+                        index,
+                        count,
+                        cells
+                    );
+                }
+            }
+        }
     }
 
     #[test]

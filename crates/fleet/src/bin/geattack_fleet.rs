@@ -1,0 +1,163 @@
+//! The fleet coordinator CLI: run one sweep across N `geattack-serve`
+//! workers and write the byte-identical merged report.
+//!
+//! ```text
+//! cargo run --release -p geattack-fleet --bin geattack-fleet -- SPEC.json \
+//!     --worker 127.0.0.1:7341 --worker 127.0.0.1:7342 [--fleet manifest.json] \
+//!     [--shards N] [--max-attempts N] [--worker-failure-limit N] \
+//!     [--connect-timeout-s N] [--idle-timeout-s N] [--results-dir DIR] [--quiet]
+//! ```
+//!
+//! Workers come from repeated `--worker` flags, a `--fleet` JSON manifest
+//! (`{"workers": [{"addr": "host:port", "name": "..."}, "host:port"]}`), or
+//! both (flags append after the manifest). The grid is sliced into `--shards`
+//! deterministic `p % N` slices (default: one per worker), each dispatched
+//! over the serve NDJSON protocol; failed or lost shards are retried on
+//! surviving workers with backoff. On success the merged
+//! `results/sweep_<name>.json` is byte-identical to a single-machine
+//! `geattack-sweep` run and a `results/sweep_<name>.fleet.meta.json` sidecar
+//! records the fleet accounting; on exhaustion completed shards are preserved
+//! as `results/sweep_<name>.shard<I>of<N>.json` for manual `geattack-merge`.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use geattack_fleet::coordinator::{Coordinator, FleetOptions};
+use geattack_fleet::manifest::{parse_manifest, Worker};
+use geattack_scenarios::SweepSpec;
+
+const USAGE: &str = "usage: geattack-fleet SPEC.json --worker HOST:PORT [--worker HOST:PORT ...] \
+[--fleet MANIFEST.json] [--shards N] [--max-attempts N] [--worker-failure-limit N] \
+[--connect-timeout-s N] [--idle-timeout-s N] [--results-dir DIR] [--quiet]";
+
+fn fail(message: &str) -> ! {
+    eprintln!("{message}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn next_value(args: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    args.next().unwrap_or_else(|| fail(&format!("{flag} expects a value")))
+}
+
+fn parse_number<T: std::str::FromStr>(value: &str, flag: &str) -> T {
+    value
+        .parse()
+        .unwrap_or_else(|_| fail(&format!("{flag} expects a number, got `{value}`")))
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut spec_path: Option<String> = None;
+    let mut workers: Vec<Worker> = Vec::new();
+    let mut manifest_path: Option<String> = None;
+    let mut options = FleetOptions {
+        results_dir: Some(PathBuf::from("results")),
+        ..Default::default()
+    };
+    let mut quiet = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--worker" => workers.push(Worker::at(next_value(&mut args, "--worker"))),
+            "--fleet" => manifest_path = Some(next_value(&mut args, "--fleet")),
+            "--shards" => options.shards = Some(parse_number(&next_value(&mut args, "--shards"), "--shards")),
+            "--max-attempts" => {
+                options.max_shard_attempts = parse_number(&next_value(&mut args, "--max-attempts"), "--max-attempts")
+            }
+            "--worker-failure-limit" => {
+                options.worker_failure_limit = parse_number(
+                    &next_value(&mut args, "--worker-failure-limit"),
+                    "--worker-failure-limit",
+                )
+            }
+            "--connect-timeout-s" => {
+                options.connect_timeout = Duration::from_secs(parse_number(
+                    &next_value(&mut args, "--connect-timeout-s"),
+                    "--connect-timeout-s",
+                ))
+            }
+            "--idle-timeout-s" => {
+                options.idle_timeout = Duration::from_secs(parse_number(
+                    &next_value(&mut args, "--idle-timeout-s"),
+                    "--idle-timeout-s",
+                ))
+            }
+            "--results-dir" => options.results_dir = Some(PathBuf::from(next_value(&mut args, "--results-dir"))),
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                return;
+            }
+            other if other.starts_with('-') => fail(&format!("unknown option: {other}")),
+            other => {
+                if spec_path.replace(other.to_string()).is_some() {
+                    fail("expected exactly one sweep spec path");
+                }
+            }
+        }
+    }
+    let spec_path = spec_path.unwrap_or_else(|| fail("expected a sweep spec path"));
+    let text = std::fs::read_to_string(&spec_path).unwrap_or_else(|e| {
+        eprintln!("cannot read {spec_path}: {e}");
+        std::process::exit(2);
+    });
+    let spec = SweepSpec::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+
+    // Manifest workers first, then `--worker` flags, in the order given.
+    if let Some(path) = manifest_path {
+        let manifest = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        let mut from_manifest = parse_manifest(&manifest).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+        from_manifest.extend(workers);
+        workers = from_manifest;
+    }
+    if workers.is_empty() {
+        fail("expected at least one worker (--worker or --fleet)");
+    }
+
+    let results_dir = options.results_dir.clone();
+    let coordinator = Coordinator::new(workers, options).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let run = coordinator
+        .run(&spec, |line| {
+            if !quiet {
+                eprintln!("{line}");
+            }
+        })
+        .unwrap_or_else(|e| {
+            eprintln!("fleet run failed: {e}");
+            std::process::exit(1);
+        });
+
+    print!("{}", run.report.to_markdown());
+    if let Some(path) = &run.artifact {
+        println!("(JSON written to {})", path.display());
+    }
+    if let Some(dir) = results_dir {
+        let meta_path = dir.join(format!("sweep_{}.fleet.meta.json", run.report.sweep));
+        if let Err(e) = std::fs::write(&meta_path, run.stats.meta_json()) {
+            eprintln!("warning: could not write {}: {e}", meta_path.display());
+        } else {
+            eprintln!("(fleet metadata written to {})", meta_path.display());
+        }
+    }
+    let s = &run.stats;
+    eprintln!(
+        "fleet: {} shard(s), {} dispatched, {} retried, {} reassigned, {:.1}s wall",
+        s.shards,
+        s.dispatched,
+        s.retried,
+        s.reassigned,
+        s.wall_ms / 1e3
+    );
+}

@@ -1,0 +1,149 @@
+//! Fleet manifests: the worker list a coordinator dispatches to.
+//!
+//! Workers come from repeated `--worker host:port` flags, from a JSON
+//! manifest, or both (flags append after the manifest). The manifest format:
+//!
+//! ```json
+//! {
+//!   "workers": [
+//!     { "addr": "10.0.0.4:7341", "name": "rack1-a" },
+//!     "10.0.0.5:7341"
+//!   ]
+//! }
+//! ```
+//!
+//! Entries may be bare address strings (the name defaults to the address) or
+//! objects with an `addr` and an optional display `name` used in coordinator
+//! logs and per-worker telemetry.
+
+use serde::Value;
+
+use geattack_core::GeError;
+
+/// One worker of the fleet: where to reach it and what to call it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Worker {
+    /// `host:port` of a running `geattack-serve` daemon.
+    pub addr: String,
+    /// Display name for logs and metrics; defaults to the address.
+    pub name: String,
+}
+
+impl Worker {
+    /// A worker named after its address.
+    pub fn at(addr: impl Into<String>) -> Self {
+        let addr = addr.into();
+        Worker {
+            name: addr.clone(),
+            addr,
+        }
+    }
+
+    /// A worker with an explicit display name.
+    pub fn named(addr: impl Into<String>, name: impl Into<String>) -> Self {
+        Worker {
+            addr: addr.into(),
+            name: name.into(),
+        }
+    }
+}
+
+/// Parses a fleet manifest (see the module docs) into its worker list.
+pub fn parse_manifest(text: &str) -> Result<Vec<Worker>, GeError> {
+    let value: Value =
+        serde_json::from_str(text).map_err(|e| GeError::Fleet(format!("invalid fleet manifest: {e}")))?;
+    let entries = match value.get_field("workers") {
+        Ok(Value::Array(entries)) => entries,
+        _ => {
+            return Err(GeError::Fleet(
+                "fleet manifest must be an object with a `workers` array".to_string(),
+            ))
+        }
+    };
+    let mut workers = Vec::with_capacity(entries.len());
+    for (i, entry) in entries.iter().enumerate() {
+        workers.push(parse_entry(entry).map_err(|e| GeError::Fleet(format!("fleet manifest worker {i}: {e}")))?);
+    }
+    if workers.is_empty() {
+        return Err(GeError::Fleet("fleet manifest lists no workers".to_string()));
+    }
+    Ok(workers)
+}
+
+fn parse_entry(entry: &Value) -> Result<Worker, String> {
+    match entry {
+        Value::String(addr) => validate_addr(addr).map(|_| Worker::at(addr.clone())),
+        Value::Object(_) => {
+            let addr = match entry.get_field("addr") {
+                Ok(Value::String(addr)) => addr.clone(),
+                _ => return Err("expected an `addr` string".to_string()),
+            };
+            validate_addr(&addr)?;
+            let name = match entry.get_field("name") {
+                Ok(Value::String(name)) if !name.trim().is_empty() => name.clone(),
+                Ok(_) => return Err("`name` must be a non-empty string".to_string()),
+                Err(_) => addr.clone(),
+            };
+            Ok(Worker { addr, name })
+        }
+        other => Err(format!(
+            "expected an address string or an object, found {}",
+            serde_json::to_string(other).unwrap_or_default()
+        )),
+    }
+}
+
+/// Rejects the obvious non-addresses early, before the coordinator burns its
+/// retry budget connecting to them.
+fn validate_addr(addr: &str) -> Result<(), String> {
+    let (host, port) = addr
+        .rsplit_once(':')
+        .ok_or_else(|| format!("worker address must look like host:port, got `{addr}`"))?;
+    if host.trim().is_empty() {
+        return Err(format!("worker address has an empty host: `{addr}`"));
+    }
+    port.parse::<u16>()
+        .map_err(|_| format!("worker address has an invalid port: `{addr}`"))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifests_accept_bare_strings_and_named_objects() {
+        let workers = parse_manifest(
+            r#"{
+                "workers": [
+                    { "addr": "10.0.0.4:7341", "name": "rack1-a" },
+                    "10.0.0.5:7341"
+                ]
+            }"#,
+        )
+        .expect("manifest parses");
+        assert_eq!(
+            workers,
+            vec![Worker::named("10.0.0.4:7341", "rack1-a"), Worker::at("10.0.0.5:7341"),]
+        );
+    }
+
+    #[test]
+    fn malformed_manifests_surface_typed_fleet_errors() {
+        for (text, needle) in [
+            ("[]", "`workers` array"),
+            (r#"{"workers": []}"#, "no workers"),
+            (r#"{"workers": [42]}"#, "worker 0"),
+            (r#"{"workers": [{"name": "x"}]}"#, "`addr`"),
+            (r#"{"workers": ["localhost"]}"#, "host:port"),
+            (r#"{"workers": ["localhost:notaport"]}"#, "invalid port"),
+            (r#"{"workers": [":7341"]}"#, "empty host"),
+            (r#"{"workers": [{"addr": "h:1", "name": "  "}]}"#, "non-empty"),
+            ("{not json", "invalid fleet manifest"),
+        ] {
+            let err = parse_manifest(text).unwrap_err();
+            assert_eq!(err.kind(), "fleet", "{text}");
+            assert!(err.to_string().contains(needle), "{text} → {err}");
+        }
+    }
+}

@@ -31,7 +31,7 @@ pub mod metrics;
 pub mod recorder;
 pub mod span;
 
-pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, HistogramTimer, MetricsRegistry, MetricsSnapshot};
 pub use recorder::{NdjsonRecorder, NoopRecorder, Recorder, RingRecorder};
 pub use span::{span, span_labeled, Level, SpanGuard, SpanRecord};
 
