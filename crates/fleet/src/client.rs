@@ -365,8 +365,11 @@ impl ServeClient {
         let mut buf = String::new();
         loop {
             match reader.read_line(&mut buf) {
-                Ok(0) => return Err(format!("worker {} closed the connection mid-stream", self.addr)),
-                Ok(_) => return Ok(buf),
+                // `read_line` returns `Ok` at EOF even without a trailing
+                // newline, so a buffer not ending in '\n' is a mid-line
+                // disconnect, not a complete event line.
+                Ok(_) if buf.ends_with('\n') => return Ok(buf),
+                Ok(_) => return Err(format!("worker {} closed the connection mid-stream", self.addr)),
                 Err(e) if matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut) => {
                     // Partial data (if any) stays appended to `buf`.
                     if cancel.is_cancelled() {
@@ -437,6 +440,35 @@ mod tests {
         assert_eq!(parse_shard_event(&done).expect("parses"), None);
         assert!(parse_shard_event(&parse(r#"{"position":1}"#)).is_err());
         assert!(parse_shard_event(&parse(r#"{"event":"cell"}"#)).is_err());
+    }
+
+    #[test]
+    fn partial_line_at_eof_reads_as_a_mid_stream_disconnect() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("ephemeral port binds");
+        let addr = listener.local_addr().expect("addr").to_string();
+        std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("client connects");
+            let mut reader = BufReader::new(stream.try_clone().expect("stream clones"));
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("request line");
+            let mut writer = BufWriter::new(stream);
+            writeln!(writer, r#"{{"event":"accepted","id":1,"cost":1.0,"queue_depth":0,"shard":"0/1"}}"#)
+                .expect("accepted line");
+            write!(writer, r#"{{"event":"cell","posi"#).expect("partial line");
+            writer.flush().expect("flush");
+            // Dropping the socket closes the connection mid-line.
+        });
+
+        let spec = SweepSpec::from_json(r#"{"name":"partial","families":["tree-cycles"],"attackers":["rna"]}"#)
+            .expect("spec parses");
+        let client = ServeClient::new(addr).with_timeouts(Duration::from_secs(5), Duration::from_secs(5));
+        let err = client
+            .submit_shard(&spec, Shard { index: 0, count: 1 }, &CancelToken::new(), |_| {})
+            .expect_err("a truncated stream must fail");
+        assert!(
+            err.contains("closed the connection mid-stream"),
+            "a partial line at EOF must diagnose as a disconnect, not malformed JSON: {err}"
+        );
     }
 
     #[test]

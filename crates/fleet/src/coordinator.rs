@@ -419,9 +419,9 @@ impl Coordinator {
             let attempt = if ledger.consecutive_failures > 0 {
                 client
                     .health()
-                    .and_then(|_| self.attempt_shard(&client, worker, spec, shard, state, emit, &mut ledger))
+                    .and_then(|_| self.attempt_shard(&client, me, worker, spec, shard, state, emit, &mut ledger))
             } else {
-                self.attempt_shard(&client, worker, spec, shard, state, emit, &mut ledger)
+                self.attempt_shard(&client, me, worker, spec, shard, state, emit, &mut ledger)
             };
 
             // A returned report still has to belong to this run before it may
@@ -454,20 +454,34 @@ impl Coordinator {
                     condvar.notify_all();
                 }
                 Err(message) => {
+                    // The requeue/fatal/retire decision happens under the same
+                    // lock as the `in_progress` decrement above: releasing the
+                    // lock in between would let another worker observe an
+                    // empty queue with nothing in progress and exit before the
+                    // failed shard is requeued.
+                    let (lines, backoff) =
+                        self.fail_attempt(me, worker, &spec.name, &mut task, &message, &mut st, &mut ledger);
+                    condvar.notify_all();
                     drop(st);
-                    self.fail_attempt(
-                        me,
-                        worker,
-                        &spec.name,
-                        &mut task,
-                        message,
-                        state,
-                        condvar,
-                        emit,
-                        &mut ledger,
-                    );
+                    for line in lines {
+                        emit(line);
+                    }
                     if ledger.retired {
                         return ledger;
+                    }
+                    if backoff {
+                        // The failing worker backs off (others pick up the
+                        // requeued shard immediately); stay responsive to
+                        // cancellation.
+                        let backoff = self
+                            .options
+                            .backoff
+                            .saturating_mul(1u32 << (task.attempts.min(5) - 1) as u32)
+                            .min(Duration::from_secs(5));
+                        let deadline = Instant::now() + backoff;
+                        while Instant::now() < deadline && !self.cancel.is_cancelled() {
+                            std::thread::sleep(Duration::from_millis(25));
+                        }
                     }
                 }
             }
@@ -479,6 +493,7 @@ impl Coordinator {
     fn attempt_shard(
         &self,
         client: &ServeClient,
+        me: usize,
         worker: &Worker,
         spec: &SweepSpec,
         shard: Shard,
@@ -490,7 +505,7 @@ impl Coordinator {
         emit(format!("[{}] shard {} dispatched", worker.name, shard.label()));
         let timer = self
             .metrics
-            .histogram(&format!("fleet.worker.{}.shard_ms", worker.name))
+            .histogram(&worker_histogram_key(me, worker))
             .start_timer();
         let _fleet_timer = self.metrics.histogram("fleet.shard_attempt_ms").start_timer();
         let total = spec.prepared_cells();
@@ -520,20 +535,37 @@ impl Coordinator {
                 ));
             }
             ShardEvent::Finished { position } => {
-                let (done, eta) = {
+                // A straggler attempt for a shard whose result is already
+                // recorded counts nothing: `completed_cells` already covers
+                // the whole shard, so incrementing here would push the
+                // done/total line past 100%.
+                let fleet_progress = {
                     let mut st = state.lock().expect("fleet state lock");
-                    st.inflight_cells[shard.index] += 1;
-                    let done = st.completed_cells + st.inflight_cells.iter().sum::<usize>();
-                    (done, eta_seconds(started, done, total))
+                    if st.results[shard.index].is_some() {
+                        None
+                    } else {
+                        st.inflight_cells[shard.index] += 1;
+                        let done = st.completed_cells + st.inflight_cells.iter().sum::<usize>();
+                        Some((done, eta_seconds(started, done, total)))
+                    }
                 };
-                self.metrics.counter("fleet.cells.finished").inc();
-                emit(format!(
-                    "fleet: {done}/{total} cells ({:.1}%){} — [{}] shard {}: cell {position} finished",
-                    done as f64 / total.max(1) as f64 * 100.0,
-                    eta.map(|s| format!(" eta {s:.1}s")).unwrap_or_default(),
-                    worker.name,
-                    shard.label(),
-                ));
+                match fleet_progress {
+                    Some((done, eta)) => {
+                        self.metrics.counter("fleet.cells.finished").inc();
+                        emit(format!(
+                            "fleet: {done}/{total} cells ({:.1}%){} — [{}] shard {}: cell {position} finished",
+                            done as f64 / total.max(1) as f64 * 100.0,
+                            eta.map(|s| format!(" eta {s:.1}s")).unwrap_or_default(),
+                            worker.name,
+                            shard.label(),
+                        ));
+                    }
+                    None => emit(format!(
+                        "[{}] shard {}: cell {position} finished (straggler, shard already complete)",
+                        worker.name,
+                        shard.label()
+                    )),
+                }
             }
             ShardEvent::Failed { position, kind, error } => {
                 self.metrics.counter("fleet.cells.failed").inc();
@@ -549,8 +581,11 @@ impl Coordinator {
     }
 
     /// The retry path of a failed attempt: requeue (or abort the run when the
-    /// shard is out of attempts), back off, retire a repeatedly-failing
-    /// worker.
+    /// shard is out of attempts) and retire a repeatedly-failing worker. Runs
+    /// under the state lock held by the caller since its `in_progress`
+    /// decrement, so the whole attempt transition is atomic. Returns the
+    /// progress lines to emit once the lock is released, and whether the
+    /// worker should back off before its next pull.
     #[allow(clippy::too_many_arguments)]
     fn fail_attempt(
         &self,
@@ -558,29 +593,25 @@ impl Coordinator {
         worker: &Worker,
         sweep: &str,
         task: &mut ShardTask,
-        message: String,
-        state: &Mutex<FleetState>,
-        condvar: &Condvar,
-        emit: &dyn Fn(String),
+        message: &str,
+        st: &mut FleetState,
         ledger: &mut WorkerLedger,
-    ) {
+    ) -> (Vec<String>, bool) {
         task.attempts += 1;
         task.last_worker = Some(me);
         ledger.failures += 1;
         ledger.consecutive_failures += 1;
         self.metrics.counter("fleet.shards.retried").inc();
-        emit(format!(
+        let mut lines = vec![format!(
             "[{}] shard {} attempt {} failed: {}",
             worker.name,
             task.shard.label(),
             task.attempts,
             message
-        ));
+        )];
 
-        let mut st = state.lock().expect("fleet state lock");
         if st.fatal.is_some() || self.cancel.is_cancelled() {
-            condvar.notify_all();
-            return;
+            return (lines, false);
         }
         if task.attempts >= self.options.max_shard_attempts {
             st.fatal = Some(GeError::Fleet(format!(
@@ -591,8 +622,7 @@ impl Coordinator {
                 message
             )));
             self.cancel.cancel("fleet run aborted");
-            condvar.notify_all();
-            return;
+            return (lines, false);
         }
         st.queue.push_back(ShardTask {
             shard: task.shard,
@@ -604,7 +634,7 @@ impl Coordinator {
             st.live_workers -= 1;
             self.metrics.counter("fleet.workers.retired").inc();
             self.metrics.gauge("fleet.workers.live").set(st.live_workers as f64);
-            emit(format!(
+            lines.push(format!(
                 "[{}] retired after {} consecutive failures",
                 worker.name, ledger.consecutive_failures
             ));
@@ -617,23 +647,9 @@ impl Coordinator {
                 )));
                 self.cancel.cancel("fleet run aborted");
             }
-            condvar.notify_all();
-            return;
+            return (lines, false);
         }
-        condvar.notify_all();
-        drop(st);
-
-        // The failing worker backs off (others pick up the requeued shard
-        // immediately); stay responsive to cancellation.
-        let backoff = self
-            .options
-            .backoff
-            .saturating_mul(1u32 << (task.attempts.min(5) - 1) as u32)
-            .min(Duration::from_secs(5));
-        let deadline = Instant::now() + backoff;
-        while Instant::now() < deadline && !self.cancel.is_cancelled() {
-            std::thread::sleep(Duration::from_millis(25));
-        }
+        (lines, true)
     }
 
     /// Rejects a shard report that does not belong to this run before it can
@@ -709,17 +725,15 @@ impl Coordinator {
                 .workers
                 .iter()
                 .zip(ledgers.iter_mut())
-                .map(|(worker, ledger)| WorkerSummary {
+                .enumerate()
+                .map(|(index, (worker, ledger))| WorkerSummary {
                     name: worker.name.clone(),
                     addr: worker.addr.clone(),
                     fleet_id: ledger.fleet_id.take(),
                     shards_completed: ledger.shards_completed,
                     failures: ledger.failures,
                     retired: ledger.retired,
-                    latency: self
-                        .metrics
-                        .histogram(&format!("fleet.worker.{}.shard_ms", worker.name))
-                        .snapshot(),
+                    latency: self.metrics.histogram(&worker_histogram_key(index, worker)).snapshot(),
                 })
                 .collect(),
         }
@@ -732,6 +746,12 @@ impl FleetState {
     fn in_flight_reset(&mut self, shard: usize) {
         self.inflight_cells[shard] = 0;
     }
+}
+
+/// Per-worker latency histogram key, keyed by fleet index (not display name)
+/// so two workers sharing a name or address never share a histogram.
+fn worker_histogram_key(index: usize, worker: &Worker) -> String {
+    format!("fleet.worker.{index}.{}.shard_ms", worker.name)
 }
 
 /// Remaining-work ETA from throughput so far; `None` until something finished.
